@@ -1,0 +1,188 @@
+//! Arithmetic-expansion expression trees (`$((...))`).
+//!
+//! POSIX specifies the integer arithmetic of ISO C (signed long), including
+//! assignment and the ternary operator. The evaluator lives in
+//! `jash-expand::arith_eval`; this module only defines the shape.
+
+/// Binary operators, in C semantics on `i64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (truncating; division by zero is a runtime expansion error)
+    Div,
+    /// `%`
+    Rem,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&`
+    BitAnd,
+    /// `^`
+    BitXor,
+    /// `|`
+    BitOr,
+    /// `&&` (short-circuit)
+    LogAnd,
+    /// `||` (short-circuit)
+    LogOr,
+}
+
+impl ArithBinOp {
+    /// The concrete-syntax spelling of the operator.
+    pub fn symbol(&self) -> &'static str {
+        use ArithBinOp::*;
+        match self {
+            Add => "+",
+            Sub => "-",
+            Mul => "*",
+            Div => "/",
+            Rem => "%",
+            Shl => "<<",
+            Shr => ">>",
+            Lt => "<",
+            Le => "<=",
+            Gt => ">",
+            Ge => ">=",
+            Eq => "==",
+            Ne => "!=",
+            BitAnd => "&",
+            BitXor => "^",
+            BitOr => "|",
+            LogAnd => "&&",
+            LogOr => "||",
+        }
+    }
+
+    /// Binding strength; larger binds tighter. Mirrors C.
+    pub fn precedence(&self) -> u8 {
+        use ArithBinOp::*;
+        match self {
+            Mul | Div | Rem => 10,
+            Add | Sub => 9,
+            Shl | Shr => 8,
+            Lt | Le | Gt | Ge => 7,
+            Eq | Ne => 6,
+            BitAnd => 5,
+            BitXor => 4,
+            BitOr => 3,
+            LogAnd => 2,
+            LogOr => 1,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithUnaryOp {
+    /// `-`
+    Neg,
+    /// `+`
+    Pos,
+    /// `!`
+    LogNot,
+    /// `~`
+    BitNot,
+}
+
+impl ArithUnaryOp {
+    /// The concrete-syntax spelling.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            ArithUnaryOp::Neg => "-",
+            ArithUnaryOp::Pos => "+",
+            ArithUnaryOp::LogNot => "!",
+            ArithUnaryOp::BitNot => "~",
+        }
+    }
+}
+
+/// An arithmetic expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArithExpr {
+    /// Integer literal (decimal, `0x..`, or `0..` octal in the source).
+    Num(i64),
+    /// A shell variable; unset variables evaluate to 0.
+    Var(String),
+    /// Unary application.
+    Unary(ArithUnaryOp, Box<ArithExpr>),
+    /// Binary application.
+    Binary(ArithBinOp, Box<ArithExpr>, Box<ArithExpr>),
+    /// `cond ? then : else`.
+    Ternary(Box<ArithExpr>, Box<ArithExpr>, Box<ArithExpr>),
+    /// `name = expr`, or compound `name op= expr` when `op` is `Some`.
+    ///
+    /// Assignments make the *expansion itself* effectful; the purity
+    /// analysis flags words containing them.
+    Assign(String, Option<ArithBinOp>, Box<ArithExpr>),
+}
+
+impl ArithExpr {
+    /// True if evaluating the expression can modify shell state.
+    pub fn has_side_effects(&self) -> bool {
+        match self {
+            ArithExpr::Num(_) | ArithExpr::Var(_) => false,
+            ArithExpr::Unary(_, e) => e.has_side_effects(),
+            ArithExpr::Binary(_, a, b) => a.has_side_effects() || b.has_side_effects(),
+            ArithExpr::Ternary(c, t, e) => {
+                c.has_side_effects() || t.has_side_effects() || e.has_side_effects()
+            }
+            ArithExpr::Assign(..) => true,
+        }
+    }
+
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: ArithBinOp, lhs: ArithExpr, rhs: ArithExpr) -> ArithExpr {
+        ArithExpr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn side_effects_found_in_nested_assign() {
+        let e = ArithExpr::bin(
+            ArithBinOp::Add,
+            ArithExpr::Num(1),
+            ArithExpr::Assign("x".into(), None, Box::new(ArithExpr::Num(2))),
+        );
+        assert!(e.has_side_effects());
+    }
+
+    #[test]
+    fn pure_expressions_are_pure() {
+        let e = ArithExpr::Ternary(
+            Box::new(ArithExpr::Var("x".into())),
+            Box::new(ArithExpr::Num(1)),
+            Box::new(ArithExpr::Num(2)),
+        );
+        assert!(!e.has_side_effects());
+    }
+
+    #[test]
+    fn precedence_ordering_is_c_like() {
+        assert!(ArithBinOp::Mul.precedence() > ArithBinOp::Add.precedence());
+        assert!(ArithBinOp::Add.precedence() > ArithBinOp::Shl.precedence());
+        assert!(ArithBinOp::BitAnd.precedence() > ArithBinOp::BitXor.precedence());
+        assert!(ArithBinOp::LogAnd.precedence() > ArithBinOp::LogOr.precedence());
+    }
+}

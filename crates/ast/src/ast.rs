@@ -1,0 +1,333 @@
+//! Command-level AST following the POSIX.1-2017 shell grammar.
+
+use crate::span::Span;
+use crate::word::Word;
+
+/// A complete shell program: a sequence of list items.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// Top-level items, in source order.
+    pub items: Vec<ListItem>,
+}
+
+impl Program {
+    /// The empty program (expands to nothing, exit status 0).
+    pub fn empty() -> Self {
+        Program { items: Vec::new() }
+    }
+
+    /// Wraps a single command into a one-item program.
+    pub fn single(cmd: Command) -> Self {
+        Program {
+            items: vec![ListItem {
+                and_or: AndOrList::single(Pipeline::single(cmd)),
+                background: false,
+            }],
+        }
+    }
+
+    /// Total number of [`Command`] nodes, for quick size heuristics.
+    pub fn command_count(&self) -> usize {
+        let mut n = 0;
+        crate::visit::walk_commands(self, &mut |_| n += 1);
+        n
+    }
+}
+
+/// One `and_or [; | &]` item of a list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListItem {
+    /// The and-or list to run.
+    pub and_or: AndOrList,
+    /// True when terminated by `&` (asynchronous execution).
+    pub background: bool,
+}
+
+/// Connective between pipelines in an and-or list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AndOrOp {
+    /// `&&`: run next only on success.
+    And,
+    /// `||`: run next only on failure.
+    Or,
+}
+
+/// `pipeline (&& pipeline | || pipeline)*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AndOrList {
+    /// The first pipeline.
+    pub first: Pipeline,
+    /// Subsequent pipelines with their connectives.
+    pub rest: Vec<(AndOrOp, Pipeline)>,
+}
+
+impl AndOrList {
+    /// An and-or list with a single pipeline.
+    pub fn single(p: Pipeline) -> Self {
+        AndOrList {
+            first: p,
+            rest: Vec::new(),
+        }
+    }
+}
+
+/// `[!] command (| command)*`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pipeline {
+    /// True when prefixed by `!` (status negation).
+    pub negated: bool,
+    /// The pipeline stages, at least one.
+    pub commands: Vec<Command>,
+}
+
+impl Pipeline {
+    /// A pipeline with a single stage.
+    pub fn single(cmd: Command) -> Self {
+        Pipeline {
+            negated: false,
+            commands: vec![cmd],
+        }
+    }
+}
+
+/// A command node: its kind plus any redirections and a source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Command {
+    /// What kind of command this is.
+    pub kind: CommandKind,
+    /// Redirections applied to the command, in source order.
+    pub redirects: Vec<Redirect>,
+    /// Source span (synthetic for generated nodes).
+    pub span: Span,
+}
+
+impl Command {
+    /// Wraps a kind with no redirects and a synthetic span.
+    pub fn new(kind: CommandKind) -> Self {
+        Command {
+            kind,
+            redirects: Vec::new(),
+            span: Span::synthetic(),
+        }
+    }
+
+    /// A simple command from plain-literal words, for tests and synthesis.
+    pub fn simple(words: &[&str]) -> Self {
+        Command::new(CommandKind::Simple(SimpleCommand {
+            assignments: Vec::new(),
+            words: words.iter().map(|w| Word::literal(*w)).collect(),
+        }))
+    }
+}
+
+/// The alternatives of the POSIX `command` production.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandKind {
+    /// `name=value ... word ...`
+    Simple(SimpleCommand),
+    /// `{ program ; }` — runs in the current shell environment.
+    BraceGroup(Program),
+    /// `( program )` — runs in a subshell (copied environment).
+    Subshell(Program),
+    /// `if ... fi`
+    If(IfClause),
+    /// `for name [in words] ; do ... done`
+    For(ForClause),
+    /// `while`/`until` loops.
+    While(WhileClause),
+    /// `case word in ... esac`
+    Case(CaseClause),
+    /// `name() compound-command`
+    FunctionDef {
+        /// Function name.
+        name: String,
+        /// Body (a compound command, possibly with redirects).
+        body: Box<Command>,
+    },
+}
+
+/// Assignments plus words: `A=1 B=2 cmd arg1 arg2`.
+///
+/// When `words` is empty the assignments affect the current shell; otherwise
+/// they only scope over the single command invocation.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SimpleCommand {
+    /// Leading variable assignments.
+    pub assignments: Vec<Assignment>,
+    /// Command name and arguments (pre-expansion).
+    pub words: Vec<Word>,
+}
+
+/// `name=value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Assignment {
+    /// Variable name (validated by the parser: `[A-Za-z_][A-Za-z0-9_]*`).
+    pub name: String,
+    /// Right-hand side word (expanded without field splitting).
+    pub value: Word,
+}
+
+/// `if cond; then body; [elif cond; then body;]* [else body;] fi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IfClause {
+    /// The first condition.
+    pub cond: Program,
+    /// Body taken when `cond` succeeds.
+    pub then_body: Program,
+    /// `elif` arms: condition and body.
+    pub elifs: Vec<(Program, Program)>,
+    /// Optional `else` body.
+    pub else_body: Option<Program>,
+}
+
+/// `for name [in word...]; do body; done`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForClause {
+    /// Loop variable.
+    pub var: String,
+    /// Words to iterate; `None` means the implicit `in "$@"`.
+    pub words: Option<Vec<Word>>,
+    /// Loop body.
+    pub body: Program,
+}
+
+/// `while cond; do body; done` (or `until` when `until` is true).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WhileClause {
+    /// True for `until` loops (condition sense inverted).
+    pub until: bool,
+    /// Loop condition.
+    pub cond: Program,
+    /// Loop body.
+    pub body: Program,
+}
+
+/// `case word in arms esac`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseClause {
+    /// The word being matched.
+    pub word: Word,
+    /// The pattern arms, in order.
+    pub arms: Vec<CaseArm>,
+}
+
+/// One `pattern [| pattern]* ) program ;;` arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Alternative patterns.
+    pub patterns: Vec<Word>,
+    /// Arm body.
+    pub body: Program,
+}
+
+/// A redirection operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RedirectOp {
+    /// `<`
+    Read,
+    /// `>`
+    Write,
+    /// `>>`
+    Append,
+    /// `>|` (clobber even under `set -C`)
+    Clobber,
+    /// `<>`
+    ReadWrite,
+    /// `<&` (duplicate input fd; target `-` closes)
+    DupRead,
+    /// `>&` (duplicate output fd; target `-` closes)
+    DupWrite,
+    /// `<<` / `<<-`; `strip_tabs` is true for `<<-`.
+    HereDoc {
+        /// Strip leading tabs from body lines (`<<-`).
+        strip_tabs: bool,
+    },
+}
+
+impl RedirectOp {
+    /// Default file descriptor the operator applies to when none is given.
+    pub fn default_fd(&self) -> u32 {
+        match self {
+            RedirectOp::Read
+            | RedirectOp::ReadWrite
+            | RedirectOp::DupRead
+            | RedirectOp::HereDoc { .. } => 0,
+            RedirectOp::Write | RedirectOp::Append | RedirectOp::Clobber | RedirectOp::DupWrite => {
+                1
+            }
+        }
+    }
+}
+
+/// One redirection: `[fd]op target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Redirect {
+    /// Explicit fd, if one was written (`2>err`).
+    pub fd: Option<u32>,
+    /// The operator.
+    pub op: RedirectOp,
+    /// Target word (filename, fd number, or `-`).
+    ///
+    /// For here-documents this holds the *body*; see `heredoc_quoted`.
+    pub target: Word,
+    /// For here-documents: true when the delimiter was quoted, which makes
+    /// the body inert (no expansion). Unused for other operators.
+    pub heredoc_quoted: bool,
+}
+
+impl Redirect {
+    /// A plain `op target` redirect with no explicit fd.
+    pub fn new(op: RedirectOp, target: Word) -> Self {
+        Redirect {
+            fd: None,
+            op,
+            target,
+            heredoc_quoted: false,
+        }
+    }
+
+    /// The fd this redirect applies to.
+    pub fn effective_fd(&self) -> u32 {
+        self.fd.unwrap_or_else(|| self.op.default_fd())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_fds_match_posix() {
+        assert_eq!(RedirectOp::Read.default_fd(), 0);
+        assert_eq!(RedirectOp::Write.default_fd(), 1);
+        assert_eq!(RedirectOp::Append.default_fd(), 1);
+        assert_eq!(RedirectOp::HereDoc { strip_tabs: false }.default_fd(), 0);
+    }
+
+    #[test]
+    fn effective_fd_prefers_explicit() {
+        let mut r = Redirect::new(RedirectOp::Write, Word::literal("f"));
+        assert_eq!(r.effective_fd(), 1);
+        r.fd = Some(2);
+        assert_eq!(r.effective_fd(), 2);
+    }
+
+    #[test]
+    fn command_count_counts_nested() {
+        let inner = Program::single(Command::simple(&["echo", "hi"]));
+        let prog = Program::single(Command::new(CommandKind::Subshell(inner)));
+        assert_eq!(prog.command_count(), 2);
+    }
+
+    #[test]
+    fn simple_helper_builds_literals() {
+        let c = Command::simple(&["grep", "-v", "999"]);
+        match &c.kind {
+            CommandKind::Simple(sc) => {
+                assert_eq!(sc.words.len(), 3);
+                assert_eq!(sc.words[1].as_literal(), Some("-v"));
+            }
+            _ => panic!("expected simple"),
+        }
+    }
+}

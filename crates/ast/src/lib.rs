@@ -1,0 +1,32 @@
+//! Abstract syntax trees for the POSIX shell command language.
+//!
+//! This crate plays the role that *libdash* plays for Smoosh and PaSh
+//! (enabler E1 of the HotOS '21 paper): a reusable, linkable representation
+//! of shell programs that supports both directions of the parse/unparse
+//! contract:
+//!
+//! * parsing produces values of [`Program`] (see the `jash-parser` crate),
+//! * [`unparse`] turns any [`Program`] back into concrete shell syntax that
+//!   re-parses to the same tree.
+//!
+//! The tree mirrors the POSIX.1-2017 shell grammar: a [`Program`] is a list
+//! of and-or lists built from [`Pipeline`]s of [`Command`]s; words are not
+//! flat strings but structured [`word::Word`] values that record quoting and
+//! embedded expansions, which is what makes Smoosh-style purity analysis and
+//! PaSh-style dataflow extraction possible downstream.
+
+pub mod arith;
+pub mod ast;
+pub mod span;
+pub mod unparse;
+pub mod visit;
+pub mod word;
+
+pub use arith::{ArithBinOp, ArithExpr, ArithUnaryOp};
+pub use ast::{
+    AndOrList, AndOrOp, Assignment, CaseArm, CaseClause, Command, CommandKind, ForClause,
+    IfClause, ListItem, Pipeline, Program, Redirect, RedirectOp, SimpleCommand, WhileClause,
+};
+pub use span::Span;
+pub use unparse::{unparse, unparse_command, unparse_word};
+pub use word::{ParamExp, ParamOp, Word, WordPart};

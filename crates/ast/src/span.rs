@@ -1,0 +1,118 @@
+//! Byte-offset source spans.
+
+/// A half-open byte range `[start, end)` into the original script source.
+///
+/// Spans are carried on [`crate::Command`] nodes so that downstream tools
+/// (the linter, the JIT trace log) can point back at concrete script text.
+/// Synthesized nodes (e.g. commands emitted by the dataflow-to-shell
+/// translation) use [`Span::synthetic`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The span used for nodes that have no source text.
+    pub fn synthetic() -> Self {
+        Span::default()
+    }
+
+    /// Returns true for spans produced by [`Span::synthetic`].
+    pub fn is_synthetic(&self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn join(self, other: Span) -> Span {
+        if self.is_synthetic() {
+            return other;
+        }
+        if other.is_synthetic() {
+            return self;
+        }
+        Span::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Maps byte offsets to 1-based `(line, column)` pairs for diagnostics.
+#[derive(Debug, Clone)]
+pub struct LineMap {
+    /// Byte offset of the start of each line.
+    line_starts: Vec<usize>,
+}
+
+impl LineMap {
+    /// Builds a line map for `source`.
+    pub fn new(source: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    /// Returns the 1-based `(line, column)` of a byte offset.
+    pub fn position(&self, offset: usize) -> (usize, usize) {
+        let line = match self.line_starts.binary_search(&offset) {
+            Ok(l) => l,
+            Err(l) => l - 1,
+        };
+        (line + 1, offset - self.line_starts[line] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+    }
+
+    #[test]
+    fn join_ignores_synthetic() {
+        let a = Span::new(3, 7);
+        assert_eq!(a.join(Span::synthetic()), a);
+        assert_eq!(Span::synthetic().join(a), a);
+    }
+
+    #[test]
+    fn line_map_positions() {
+        let map = LineMap::new("ab\ncd\n\nxyz");
+        assert_eq!(map.position(0), (1, 1));
+        assert_eq!(map.position(1), (1, 2));
+        assert_eq!(map.position(3), (2, 1));
+        assert_eq!(map.position(6), (3, 1));
+        assert_eq!(map.position(7), (4, 1));
+        assert_eq!(map.position(9), (4, 3));
+    }
+
+    #[test]
+    fn span_len() {
+        assert_eq!(Span::new(2, 6).len(), 4);
+        assert!(Span::synthetic().is_empty());
+    }
+}

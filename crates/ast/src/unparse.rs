@@ -1,0 +1,692 @@
+//! AST-to-script unparsing (the second half of the libdash contract).
+//!
+//! The central guarantee, exercised by property tests in `jash-parser`, is
+//! the *fixpoint law*: for any tree `t`, `unparse(parse(unparse(t)))`
+//! equals `unparse(t)`, and the reparse is structurally equal to `t` modulo
+//! spans whenever `t`'s literals are free of shell metacharacters (which is
+//! always true for parser-produced trees). Synthesized literals containing
+//! metacharacters are escaped, so the emitted script is always *semantically*
+//! faithful even when re-parsing produces `Escaped` parts instead.
+
+use crate::arith::{ArithExpr, ArithUnaryOp};
+use crate::ast::{
+    AndOrOp, CaseClause, Command, CommandKind, Pipeline, Program, Redirect, RedirectOp,
+};
+use crate::word::{ParamExp, ParamOp, Word, WordPart};
+
+/// Characters that must always be escaped in an unquoted literal. Glob
+/// metacharacters (`*?[`) are deliberately *not* escaped: a `Literal` part
+/// keeps them significant for pathname expansion, and escaping them would
+/// change the word's meaning.
+const UNQUOTED_SPECIALS: &str = "|&;<>()$`\\\"' \t\n";
+
+/// Renders a whole program back to shell syntax.
+pub fn unparse(program: &Program) -> String {
+    let mut u = Unparser::new();
+    u.program(program, false);
+    u.finish()
+}
+
+/// Renders a single command (with its redirects).
+pub fn unparse_command(cmd: &Command) -> String {
+    let mut u = Unparser::new();
+    u.command(cmd);
+    u.finish()
+}
+
+/// Renders a single word.
+pub fn unparse_word(word: &Word) -> String {
+    let mut u = Unparser::new();
+    u.word(word);
+    u.finish()
+}
+
+struct PendingHeredoc {
+    delim: String,
+    body: String,
+}
+
+struct Unparser {
+    out: String,
+    heredocs: Vec<PendingHeredoc>,
+}
+
+impl Unparser {
+    fn new() -> Self {
+        Unparser {
+            out: String::new(),
+            heredocs: Vec::new(),
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.flush_heredocs();
+        self.out
+    }
+
+    fn push(&mut self, s: &str) {
+        self.out.push_str(s);
+    }
+
+    /// Emits a statement separator, flushing any pending here-documents
+    /// (their bodies must follow the next newline).
+    fn newline(&mut self) {
+        self.out.push('\n');
+        self.flush_heredocs();
+    }
+
+    fn flush_heredocs(&mut self) {
+        if self.heredocs.is_empty() {
+            return;
+        }
+        if !self.out.ends_with('\n') {
+            self.out.push('\n');
+        }
+        for h in std::mem::take(&mut self.heredocs) {
+            self.out.push_str(&h.body);
+            if !h.body.is_empty() && !h.body.ends_with('\n') {
+                self.out.push('\n');
+            }
+            self.out.push_str(&h.delim);
+            self.out.push('\n');
+        }
+    }
+
+    /// Renders `program`. When `terminate` is true the final item gets a
+    /// trailing separator so a keyword (`then`, `do`, `}`) can follow.
+    fn program(&mut self, program: &Program, terminate: bool) {
+        for (i, item) in program.items.iter().enumerate() {
+            if i > 0 {
+                self.push(" ");
+            }
+            self.and_or(&item.and_or);
+            let last = i + 1 == program.items.len();
+            if item.background {
+                self.push(" &");
+            } else if !last || terminate {
+                self.push(";");
+            }
+            if !last {
+                // Keep one logical line per item unless a heredoc forces a
+                // real newline anyway.
+                if self.heredocs.is_empty() {
+                    self.push("");
+                } else {
+                    self.newline();
+                }
+            }
+        }
+        if program.items.is_empty() && terminate {
+            // An empty body is not valid POSIX; emit a no-op.
+            self.push(":;");
+        }
+        if terminate && !self.heredocs.is_empty() {
+            self.newline();
+        }
+    }
+
+    fn and_or(&mut self, ao: &crate::ast::AndOrList) {
+        self.pipeline(&ao.first);
+        for (op, p) in &ao.rest {
+            self.push(match op {
+                AndOrOp::And => " && ",
+                AndOrOp::Or => " || ",
+            });
+            self.pipeline(p);
+        }
+    }
+
+    fn pipeline(&mut self, p: &Pipeline) {
+        if p.negated {
+            self.push("! ");
+        }
+        for (i, cmd) in p.commands.iter().enumerate() {
+            if i > 0 {
+                self.push(" | ");
+            }
+            self.command(cmd);
+        }
+    }
+
+    fn command(&mut self, cmd: &Command) {
+        match &cmd.kind {
+            CommandKind::Simple(sc) => {
+                let mut first = true;
+                for a in &sc.assignments {
+                    if !first {
+                        self.push(" ");
+                    }
+                    first = false;
+                    self.push(&a.name);
+                    self.push("=");
+                    self.word(&a.value);
+                }
+                for w in &sc.words {
+                    if !first {
+                        self.push(" ");
+                    }
+                    first = false;
+                    self.word(w);
+                }
+                if first && cmd.redirects.is_empty() {
+                    // A fully empty simple command: emit the no-op builtin.
+                    self.push(":");
+                }
+            }
+            CommandKind::BraceGroup(p) => {
+                self.push("{ ");
+                self.program(p, true);
+                self.push(" }");
+            }
+            CommandKind::Subshell(p) => {
+                self.push("(");
+                self.program(p, false);
+                self.push(")");
+            }
+            CommandKind::If(c) => {
+                self.push("if ");
+                self.program(&c.cond, true);
+                self.push(" then ");
+                self.program(&c.then_body, true);
+                for (cond, body) in &c.elifs {
+                    self.push(" elif ");
+                    self.program(cond, true);
+                    self.push(" then ");
+                    self.program(body, true);
+                }
+                if let Some(e) = &c.else_body {
+                    self.push(" else ");
+                    self.program(e, true);
+                }
+                self.push(" fi");
+            }
+            CommandKind::For(c) => {
+                self.push("for ");
+                self.push(&c.var);
+                if let Some(words) = &c.words {
+                    self.push(" in");
+                    for w in words {
+                        self.push(" ");
+                        self.word(w);
+                    }
+                }
+                self.push("; do ");
+                self.program(&c.body, true);
+                self.push(" done");
+            }
+            CommandKind::While(c) => {
+                self.push(if c.until { "until " } else { "while " });
+                self.program(&c.cond, true);
+                self.push(" do ");
+                self.program(&c.body, true);
+                self.push(" done");
+            }
+            CommandKind::Case(c) => self.case_clause(c),
+            CommandKind::FunctionDef { name, body } => {
+                self.push(name);
+                self.push("() ");
+                self.command(body);
+            }
+        }
+        for r in &cmd.redirects {
+            self.push(" ");
+            self.redirect(r);
+        }
+    }
+
+    fn case_clause(&mut self, c: &CaseClause) {
+        self.push("case ");
+        self.word(&c.word);
+        self.push(" in ");
+        for arm in &c.arms {
+            for (i, p) in arm.patterns.iter().enumerate() {
+                if i > 0 {
+                    self.push("|");
+                }
+                self.word(p);
+            }
+            self.push(") ");
+            self.program(&arm.body, false);
+            self.push(" ;; ");
+        }
+        self.push("esac");
+    }
+
+    fn redirect(&mut self, r: &Redirect) {
+        if let Some(fd) = r.fd {
+            self.push(&fd.to_string());
+        }
+        match r.op {
+            RedirectOp::Read => self.push("<"),
+            RedirectOp::Write => self.push(">"),
+            RedirectOp::Append => self.push(">>"),
+            RedirectOp::Clobber => self.push(">|"),
+            RedirectOp::ReadWrite => self.push("<>"),
+            RedirectOp::DupRead => self.push("<&"),
+            RedirectOp::DupWrite => self.push(">&"),
+            RedirectOp::HereDoc { strip_tabs } => {
+                self.push(if strip_tabs { "<<-" } else { "<<" });
+                let body = heredoc_body_text(&r.target, r.heredoc_quoted);
+                let delim = fresh_delimiter(&body);
+                if r.heredoc_quoted {
+                    self.push("'");
+                    self.push(&delim);
+                    self.push("'");
+                } else {
+                    self.push(&delim);
+                }
+                self.heredocs.push(PendingHeredoc { delim, body });
+                return;
+            }
+        }
+        self.push(" ");
+        self.word(&r.target);
+    }
+
+    fn word(&mut self, w: &Word) {
+        if w.parts.is_empty() {
+            self.push("''");
+            return;
+        }
+        for (i, part) in w.parts.iter().enumerate() {
+            self.part_at(part, false, i == 0);
+        }
+    }
+
+    fn part(&mut self, p: &WordPart, in_dquotes: bool) {
+        self.part_at(p, in_dquotes, false);
+    }
+
+    fn part_at(&mut self, p: &WordPart, in_dquotes: bool, at_word_start: bool) {
+        match p {
+            WordPart::Literal(s) => {
+                if in_dquotes {
+                    self.push(&escape_dquoted(s));
+                } else {
+                    self.push(&escape_unquoted(s, at_word_start));
+                }
+            }
+            WordPart::SingleQuoted(s) => {
+                if in_dquotes {
+                    // Single quotes are not special inside double quotes;
+                    // render the content as escaped double-quoted text.
+                    self.push(&escape_dquoted(s));
+                } else {
+                    self.push("'");
+                    // A single quote cannot appear inside single quotes;
+                    // splice it via a backslash escape outside the quoted
+                    // run.
+                    self.push(&s.replace('\'', "'\\''"));
+                    self.push("'");
+                }
+            }
+            WordPart::DoubleQuoted(parts) => {
+                self.push("\"");
+                for p in parts {
+                    self.part(p, true);
+                }
+                self.push("\"");
+            }
+            WordPart::Escaped(c) => {
+                let mut buf = [0u8; 4];
+                let s = c.encode_utf8(&mut buf);
+                if in_dquotes {
+                    self.push(&escape_dquoted(s));
+                } else {
+                    self.push("\\");
+                    self.push(s);
+                }
+            }
+            WordPart::Param(pe) => self.param(pe),
+            WordPart::CmdSubst(prog) => {
+                self.push("$(");
+                self.program(prog, false);
+                self.push(")");
+            }
+            WordPart::Arith(e) => {
+                self.push("$((");
+                self.push(&unparse_arith(e));
+                self.push("))");
+            }
+            WordPart::Tilde(user) => {
+                self.push("~");
+                if let Some(u) = user {
+                    self.push(u);
+                }
+            }
+        }
+    }
+
+    fn param(&mut self, pe: &ParamExp) {
+        self.push("${");
+        match &pe.op {
+            ParamOp::Plain => self.push(&pe.name),
+            ParamOp::Length => {
+                self.push("#");
+                self.push(&pe.name);
+            }
+            ParamOp::Default { colon, word } => self.param_op(pe, *colon, "-", word),
+            ParamOp::Assign { colon, word } => self.param_op(pe, *colon, "=", word),
+            ParamOp::Error { colon, word } => self.param_op(pe, *colon, "?", word),
+            ParamOp::Alt { colon, word } => self.param_op(pe, *colon, "+", word),
+            ParamOp::RemoveSmallestSuffix(w) => self.param_pat(pe, "%", w),
+            ParamOp::RemoveLargestSuffix(w) => self.param_pat(pe, "%%", w),
+            ParamOp::RemoveSmallestPrefix(w) => self.param_pat(pe, "#", w),
+            ParamOp::RemoveLargestPrefix(w) => self.param_pat(pe, "##", w),
+        }
+        self.push("}");
+    }
+
+    fn param_op(&mut self, pe: &ParamExp, colon: bool, sym: &str, word: &Word) {
+        self.push(&pe.name);
+        if colon {
+            self.push(":");
+        }
+        self.push(sym);
+        if !word.parts.is_empty() {
+            self.word(word);
+        }
+    }
+
+    fn param_pat(&mut self, pe: &ParamExp, sym: &str, word: &Word) {
+        self.push(&pe.name);
+        self.push(sym);
+        if !word.parts.is_empty() {
+            self.word(word);
+        }
+    }
+}
+
+fn escape_unquoted(s: &str, at_word_start: bool) -> String {
+    let mut out = String::with_capacity(s.len());
+    for (i, c) in s.chars().enumerate() {
+        // `#` starts a comment and `~` a tilde-prefix only at the start of
+        // a word; elsewhere they are ordinary characters.
+        if UNQUOTED_SPECIALS.contains(c) || (at_word_start && i == 0 && matches!(c, '#' | '~')) {
+            if c == '\n' {
+                // A literal newline cannot be backslash-escaped portably
+                // inside a word; single-quote it.
+                out.push_str("'\n'");
+                continue;
+            }
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+fn escape_dquoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        if matches!(c, '"' | '$' | '`' | '\\') {
+            out.push('\\');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders a here-document body word back to text.
+fn heredoc_body_text(body: &Word, quoted: bool) -> String {
+    if quoted {
+        // Quoted-delimiter bodies are a single inert literal.
+        return body
+            .parts
+            .iter()
+            .map(|p| match p {
+                WordPart::Literal(s) | WordPart::SingleQuoted(s) => s.clone(),
+                _ => String::new(),
+            })
+            .collect();
+    }
+    let mut out = String::new();
+    for p in &body.parts {
+        match p {
+            WordPart::Literal(s) => {
+                for c in s.chars() {
+                    if matches!(c, '$' | '`' | '\\') {
+                        out.push('\\');
+                    }
+                    out.push(c);
+                }
+            }
+            WordPart::Param(pe) => {
+                let mut u = Unparser::new();
+                u.param(pe);
+                out.push_str(&u.finish());
+            }
+            WordPart::CmdSubst(prog) => {
+                out.push_str("$(");
+                let mut u = Unparser::new();
+                u.program(prog, false);
+                out.push_str(&u.finish());
+                out.push(')');
+            }
+            WordPart::Arith(e) => {
+                out.push_str("$((");
+                out.push_str(&unparse_arith(e));
+                out.push_str("))");
+            }
+            WordPart::Escaped(c) => {
+                out.push('\\');
+                out.push(*c);
+            }
+            // Other parts cannot occur in heredoc bodies.
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Picks a delimiter that does not occur as a line of `body`.
+fn fresh_delimiter(body: &str) -> String {
+    let mut delim = "EOF".to_string();
+    let mut n = 0;
+    while body.lines().any(|l| l == delim) {
+        n += 1;
+        delim = format!("EOF_{n}");
+    }
+    delim
+}
+
+/// Renders an arithmetic expression with minimal parentheses.
+pub fn unparse_arith(e: &ArithExpr) -> String {
+    fn go(e: &ArithExpr, parent_prec: u8, out: &mut String) {
+        match e {
+            ArithExpr::Num(n) => out.push_str(&n.to_string()),
+            ArithExpr::Var(v) => out.push_str(v),
+            ArithExpr::Unary(op, inner) => {
+                out.push_str(op.symbol());
+                // Parenthesize to avoid `--x` (would lex as decrement in
+                // some shells) and precedence surprises.
+                let need = matches!(
+                    **inner,
+                    ArithExpr::Binary(..) | ArithExpr::Ternary(..) | ArithExpr::Assign(..)
+                ) || matches!(
+                    (op, &**inner),
+                    (ArithUnaryOp::Neg, ArithExpr::Num(n)) if *n < 0
+                ) || matches!(
+                    (op, &**inner),
+                    (ArithUnaryOp::Neg, ArithExpr::Unary(ArithUnaryOp::Neg, _))
+                        | (ArithUnaryOp::Pos, ArithExpr::Unary(ArithUnaryOp::Pos, _))
+                );
+                if need {
+                    out.push('(');
+                    go(inner, 0, out);
+                    out.push(')');
+                } else {
+                    go(inner, 100, out);
+                }
+            }
+            ArithExpr::Binary(op, a, b) => {
+                let prec = op.precedence();
+                let need = prec < parent_prec;
+                if need {
+                    out.push('(');
+                }
+                go(a, prec, out);
+                out.push(' ');
+                out.push_str(op.symbol());
+                out.push(' ');
+                // Right operand needs parens at equal precedence because all
+                // our binary operators are left-associative.
+                go(b, prec + 1, out);
+                if need {
+                    out.push(')');
+                }
+            }
+            ArithExpr::Ternary(c, t, f) => {
+                let need = parent_prec > 0;
+                if need {
+                    out.push('(');
+                }
+                go(c, 1, out);
+                out.push_str(" ? ");
+                go(t, 0, out);
+                out.push_str(" : ");
+                go(f, 0, out);
+                if need {
+                    out.push(')');
+                }
+            }
+            ArithExpr::Assign(name, op, rhs) => {
+                let need = parent_prec > 0;
+                if need {
+                    out.push('(');
+                }
+                out.push_str(name);
+                out.push(' ');
+                if let Some(op) = op {
+                    out.push_str(op.symbol());
+                }
+                out.push_str("= ");
+                go(rhs, 0, out);
+                if need {
+                    out.push(')');
+                }
+            }
+        }
+    }
+    let mut out = String::new();
+    go(e, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::ArithBinOp;
+    use crate::ast::{Assignment, SimpleCommand};
+
+    #[test]
+    fn simple_command_roundtrips_text() {
+        let cmd = Command::simple(&["grep", "-v", "999"]);
+        assert_eq!(unparse_command(&cmd), "grep -v 999");
+    }
+
+    #[test]
+    fn assignment_renders() {
+        let cmd = Command::new(CommandKind::Simple(SimpleCommand {
+            assignments: vec![Assignment {
+                name: "X".into(),
+                value: Word::literal("1"),
+            }],
+            words: vec![],
+        }));
+        assert_eq!(unparse_command(&cmd), "X=1");
+    }
+
+    #[test]
+    fn metacharacters_escaped() {
+        let cmd = Command::new(CommandKind::Simple(SimpleCommand {
+            assignments: vec![],
+            words: vec![Word::literal("echo"), Word::literal("a b|c")],
+        }));
+        assert_eq!(unparse_command(&cmd), "echo a\\ b\\|c");
+    }
+
+    #[test]
+    fn single_quote_escaping() {
+        assert_eq!(unparse_word(&Word::single_quoted("don't")), "'don'\\''t'");
+    }
+
+    #[test]
+    fn empty_word_is_quoted() {
+        assert_eq!(unparse_word(&Word::empty()), "''");
+    }
+
+    #[test]
+    fn plain_param_is_braced() {
+        assert_eq!(unparse_word(&Word::param("FILES")), "${FILES}");
+    }
+
+    #[test]
+    fn arith_precedence_minimal_parens() {
+        // 1 + 2 * 3
+        let e = ArithExpr::bin(
+            ArithBinOp::Add,
+            ArithExpr::Num(1),
+            ArithExpr::bin(ArithBinOp::Mul, ArithExpr::Num(2), ArithExpr::Num(3)),
+        );
+        assert_eq!(unparse_arith(&e), "1 + 2 * 3");
+        // (1 + 2) * 3
+        let e = ArithExpr::bin(
+            ArithBinOp::Mul,
+            ArithExpr::bin(ArithBinOp::Add, ArithExpr::Num(1), ArithExpr::Num(2)),
+            ArithExpr::Num(3),
+        );
+        assert_eq!(unparse_arith(&e), "(1 + 2) * 3");
+    }
+
+    #[test]
+    fn arith_left_assoc_subtraction() {
+        // 1 - (2 - 3) must keep parens.
+        let e = ArithExpr::bin(
+            ArithBinOp::Sub,
+            ArithExpr::Num(1),
+            ArithExpr::bin(ArithBinOp::Sub, ArithExpr::Num(2), ArithExpr::Num(3)),
+        );
+        assert_eq!(unparse_arith(&e), "1 - (2 - 3)");
+    }
+
+    #[test]
+    fn pipeline_renders_with_pipes() {
+        let p = Program {
+            items: vec![crate::ast::ListItem {
+                and_or: crate::ast::AndOrList::single(Pipeline {
+                    negated: false,
+                    commands: vec![Command::simple(&["cat", "f"]), Command::simple(&["wc", "-l"])],
+                }),
+                background: false,
+            }],
+        };
+        assert_eq!(unparse(&p), "cat f | wc -l");
+    }
+
+    #[test]
+    fn heredoc_emits_body_after_command() {
+        let mut cmd = Command::simple(&["cat"]);
+        cmd.redirects.push(Redirect {
+            fd: None,
+            op: RedirectOp::HereDoc { strip_tabs: false },
+            target: Word::literal("hello\nworld\n"),
+            heredoc_quoted: true,
+        });
+        let text = unparse_command(&cmd);
+        assert_eq!(text, "cat <<'EOF'\nhello\nworld\nEOF\n");
+    }
+
+    #[test]
+    fn heredoc_delimiter_collision_avoided() {
+        let mut cmd = Command::simple(&["cat"]);
+        cmd.redirects.push(Redirect {
+            fd: None,
+            op: RedirectOp::HereDoc { strip_tabs: false },
+            target: Word::literal("EOF\n"),
+            heredoc_quoted: true,
+        });
+        let text = unparse_command(&cmd);
+        assert!(text.contains("<<'EOF_1'"), "{text}");
+    }
+}

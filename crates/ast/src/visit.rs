@@ -1,0 +1,292 @@
+//! Lightweight AST walkers.
+//!
+//! Downstream crates (linter, purity analysis, dataflow compiler) mostly
+//! need "visit every command" or "visit every word", including those nested
+//! in compound commands and command substitutions. Closure-based walkers
+//! keep that at one line per use site.
+
+use crate::ast::{Command, CommandKind, Program};
+use crate::word::{ParamOp, Word, WordPart};
+
+/// Calls `f` on every [`Command`] in `program`, pre-order, including
+/// commands nested inside compound bodies and command substitutions.
+pub fn walk_commands(program: &Program, f: &mut impl FnMut(&Command)) {
+    for item in &program.items {
+        walk_pipeline_cmds(&item.and_or.first, f);
+        for (_, p) in &item.and_or.rest {
+            walk_pipeline_cmds(p, f);
+        }
+    }
+}
+
+fn walk_pipeline_cmds(p: &crate::ast::Pipeline, f: &mut impl FnMut(&Command)) {
+    for cmd in &p.commands {
+        walk_command(cmd, f);
+    }
+}
+
+/// Calls `f` on `cmd` and every command nested under it.
+pub fn walk_command(cmd: &Command, f: &mut impl FnMut(&Command)) {
+    f(cmd);
+    for r in &cmd.redirects {
+        walk_word_cmds(&r.target, f);
+    }
+    match &cmd.kind {
+        CommandKind::Simple(sc) => {
+            for a in &sc.assignments {
+                walk_word_cmds(&a.value, f);
+            }
+            for w in &sc.words {
+                walk_word_cmds(w, f);
+            }
+        }
+        CommandKind::BraceGroup(p) | CommandKind::Subshell(p) => walk_commands(p, f),
+        CommandKind::If(c) => {
+            walk_commands(&c.cond, f);
+            walk_commands(&c.then_body, f);
+            for (cond, body) in &c.elifs {
+                walk_commands(cond, f);
+                walk_commands(body, f);
+            }
+            if let Some(e) = &c.else_body {
+                walk_commands(e, f);
+            }
+        }
+        CommandKind::For(c) => {
+            if let Some(words) = &c.words {
+                for w in words {
+                    walk_word_cmds(w, f);
+                }
+            }
+            walk_commands(&c.body, f);
+        }
+        CommandKind::While(c) => {
+            walk_commands(&c.cond, f);
+            walk_commands(&c.body, f);
+        }
+        CommandKind::Case(c) => {
+            walk_word_cmds(&c.word, f);
+            for arm in &c.arms {
+                for p in &arm.patterns {
+                    walk_word_cmds(p, f);
+                }
+                walk_commands(&arm.body, f);
+            }
+        }
+        CommandKind::FunctionDef { body, .. } => walk_command(body, f),
+    }
+}
+
+fn walk_word_cmds(word: &Word, f: &mut impl FnMut(&Command)) {
+    for part in &word.parts {
+        walk_part_cmds(part, f);
+    }
+}
+
+fn walk_part_cmds(part: &WordPart, f: &mut impl FnMut(&Command)) {
+    match part {
+        WordPart::CmdSubst(p) => walk_commands(p, f),
+        WordPart::DoubleQuoted(parts) => {
+            for p in parts {
+                walk_part_cmds(p, f);
+            }
+        }
+        WordPart::Param(pe) => match &pe.op {
+            ParamOp::Default { word, .. }
+            | ParamOp::Assign { word, .. }
+            | ParamOp::Error { word, .. }
+            | ParamOp::Alt { word, .. }
+            | ParamOp::RemoveSmallestSuffix(word)
+            | ParamOp::RemoveLargestSuffix(word)
+            | ParamOp::RemoveSmallestPrefix(word)
+            | ParamOp::RemoveLargestPrefix(word) => walk_word_cmds(word, f),
+            ParamOp::Plain | ParamOp::Length => {}
+        },
+        _ => {}
+    }
+}
+
+/// Calls `f` on every [`Word`] in the program (command words, assignment
+/// values, redirect targets, case patterns, for-lists), *not* recursing into
+/// words nested inside parameter-operator defaults.
+pub fn walk_words(program: &Program, f: &mut impl FnMut(&Word)) {
+    walk_commands(program, &mut |cmd| {
+        for r in &cmd.redirects {
+            f(&r.target);
+        }
+        match &cmd.kind {
+            CommandKind::Simple(sc) => {
+                for a in &sc.assignments {
+                    f(&a.value);
+                }
+                for w in &sc.words {
+                    f(w);
+                }
+            }
+            CommandKind::For(c) => {
+                if let Some(ws) = &c.words {
+                    for w in ws {
+                        f(w);
+                    }
+                }
+            }
+            CommandKind::Case(c) => {
+                f(&c.word);
+                for arm in &c.arms {
+                    for p in &arm.patterns {
+                        f(p);
+                    }
+                }
+            }
+            _ => {}
+        }
+    });
+}
+
+/// Resets every span in the program to [`crate::Span::synthetic`].
+///
+/// Useful for structural equality in tests: `parse(unparse(t))` rebuilds
+/// spans relative to the new text, so compare span-stripped trees.
+pub fn strip_spans(program: &mut Program) {
+    fn strip_cmd(cmd: &mut Command) {
+        cmd.span = crate::span::Span::synthetic();
+        for r in &mut cmd.redirects {
+            strip_word(&mut r.target);
+        }
+        match &mut cmd.kind {
+            CommandKind::Simple(sc) => {
+                for a in &mut sc.assignments {
+                    strip_word(&mut a.value);
+                }
+                for w in &mut sc.words {
+                    strip_word(w);
+                }
+            }
+            CommandKind::BraceGroup(p) | CommandKind::Subshell(p) => strip_prog(p),
+            CommandKind::If(c) => {
+                strip_prog(&mut c.cond);
+                strip_prog(&mut c.then_body);
+                for (a, b) in &mut c.elifs {
+                    strip_prog(a);
+                    strip_prog(b);
+                }
+                if let Some(e) = &mut c.else_body {
+                    strip_prog(e);
+                }
+            }
+            CommandKind::For(c) => {
+                if let Some(ws) = &mut c.words {
+                    for w in ws {
+                        strip_word(w);
+                    }
+                }
+                strip_prog(&mut c.body);
+            }
+            CommandKind::While(c) => {
+                strip_prog(&mut c.cond);
+                strip_prog(&mut c.body);
+            }
+            CommandKind::Case(c) => {
+                strip_word(&mut c.word);
+                for arm in &mut c.arms {
+                    for p in &mut arm.patterns {
+                        strip_word(p);
+                    }
+                    strip_prog(&mut arm.body);
+                }
+            }
+            CommandKind::FunctionDef { body, .. } => strip_cmd(body),
+        }
+    }
+    fn strip_word(w: &mut Word) {
+        for p in &mut w.parts {
+            strip_part(p);
+        }
+    }
+    fn strip_part(p: &mut WordPart) {
+        match p {
+            WordPart::CmdSubst(prog) => strip_prog(prog),
+            WordPart::DoubleQuoted(parts) => {
+                for p in parts {
+                    strip_part(p);
+                }
+            }
+            WordPart::Param(pe) => match &mut pe.op {
+                ParamOp::Default { word, .. }
+                | ParamOp::Assign { word, .. }
+                | ParamOp::Error { word, .. }
+                | ParamOp::Alt { word, .. }
+                | ParamOp::RemoveSmallestSuffix(word)
+                | ParamOp::RemoveLargestSuffix(word)
+                | ParamOp::RemoveSmallestPrefix(word)
+                | ParamOp::RemoveLargestPrefix(word) => strip_word(word),
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    fn strip_prog(p: &mut Program) {
+        for item in &mut p.items {
+            strip_pipe(&mut item.and_or.first);
+            for (_, pl) in &mut item.and_or.rest {
+                strip_pipe(pl);
+            }
+        }
+    }
+    fn strip_pipe(p: &mut crate::ast::Pipeline) {
+        for c in &mut p.commands {
+            strip_cmd(c);
+        }
+    }
+    strip_prog(program);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::*;
+    use crate::word::*;
+
+    fn subst_program() -> Program {
+        // `echo $(ls)`
+        let inner = Program::single(Command::simple(&["ls"]));
+        let word = Word {
+            parts: vec![WordPart::CmdSubst(inner)],
+        };
+        Program::single(Command::new(CommandKind::Simple(SimpleCommand {
+            assignments: vec![],
+            words: vec![Word::literal("echo"), word],
+        })))
+    }
+
+    #[test]
+    fn walk_reaches_command_substitutions() {
+        let mut names = Vec::new();
+        walk_commands(&subst_program(), &mut |c| {
+            if let CommandKind::Simple(sc) = &c.kind {
+                if let Some(n) = sc.words.first().and_then(|w| w.as_literal()) {
+                    names.push(n.to_string());
+                }
+            }
+        });
+        assert_eq!(names, vec!["echo", "ls"]);
+    }
+
+    #[test]
+    fn walk_words_sees_all_words() {
+        let mut n = 0;
+        walk_words(&subst_program(), &mut |_| n += 1);
+        // echo + $(ls) word at top level, plus `ls` inside the substitution.
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn strip_spans_resets() {
+        let mut p = subst_program();
+        if let CommandKind::Simple(_) = &p.items[0].and_or.first.commands[0].kind {
+            p.items[0].and_or.first.commands[0].span = crate::span::Span::new(5, 9);
+        }
+        strip_spans(&mut p);
+        walk_commands(&p, &mut |c| assert!(c.span.is_synthetic()));
+    }
+}

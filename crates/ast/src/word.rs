@@ -1,0 +1,238 @@
+//! Structured shell words.
+//!
+//! POSIX words are not strings: quoting and embedded expansions change both
+//! evaluation (field splitting, pathname expansion) and *effects* (a command
+//! substitution may write files; a `${x:=y}` assigns). Keeping the structure
+//! explicit is what allows the Smoosh-style purity analysis in `jash-expand`
+//! to decide when the Jash JIT may expand a word early.
+
+use crate::arith::ArithExpr;
+use crate::ast::Program;
+
+/// One syntactic constituent of a [`Word`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WordPart {
+    /// Unquoted literal text. May contain glob metacharacters (`*?[`),
+    /// which stay significant during pathname expansion.
+    Literal(String),
+    /// Text inside single quotes; fully inert.
+    SingleQuoted(String),
+    /// Text inside double quotes; parameter/command/arith expansion still
+    /// run inside, but field splitting and globbing are suppressed.
+    DoubleQuoted(Vec<WordPart>),
+    /// A backslash-escaped character outside quotes (`\x`).
+    Escaped(char),
+    /// A parameter expansion, `$name` or `${name...}`.
+    Param(ParamExp),
+    /// A command substitution, `$(program)` or `` `program` ``.
+    CmdSubst(Program),
+    /// An arithmetic expansion, `$((expr))`.
+    Arith(ArithExpr),
+    /// A tilde prefix: `~` (None) or `~user` (Some(user)).
+    ///
+    /// Only meaningful as the first part of a word (or after `:` in
+    /// assignment context); the parser only produces it in those positions.
+    Tilde(Option<String>),
+}
+
+/// A full shell word: a sequence of parts that concatenate after expansion.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Word {
+    /// The parts, in source order.
+    pub parts: Vec<WordPart>,
+}
+
+impl Word {
+    /// An empty word (expands to the empty field).
+    pub fn empty() -> Self {
+        Word { parts: Vec::new() }
+    }
+
+    /// A word consisting of a single unquoted literal.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Word {
+            parts: vec![WordPart::Literal(s.into())],
+        }
+    }
+
+    /// A word consisting of a single-quoted literal (inert under expansion).
+    pub fn single_quoted(s: impl Into<String>) -> Self {
+        Word {
+            parts: vec![WordPart::SingleQuoted(s.into())],
+        }
+    }
+
+    /// A bare `$name` parameter expansion.
+    pub fn param(name: impl Into<String>) -> Self {
+        Word {
+            parts: vec![WordPart::Param(ParamExp::plain(name))],
+        }
+    }
+
+    /// If the word is a pure literal (no quoting, no expansions), returns
+    /// its text.
+    ///
+    /// This is the fast path used all over the dataflow compiler: command
+    /// names and flags are almost always plain literals.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self.parts.as_slice() {
+            [WordPart::Literal(s)] => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the word's text if it is *static*: composed only of literal,
+    /// quoted, and escaped parts — i.e. expansion cannot change it (modulo
+    /// globbing, which the caller must consider separately).
+    pub fn static_text(&self) -> Option<String> {
+        fn push(parts: &[WordPart], out: &mut String) -> bool {
+            for p in parts {
+                match p {
+                    WordPart::Literal(s) | WordPart::SingleQuoted(s) => out.push_str(s),
+                    WordPart::Escaped(c) => out.push(*c),
+                    WordPart::DoubleQuoted(inner) => {
+                        if !push(inner, out) {
+                            return false;
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            true
+        }
+        let mut out = String::new();
+        if push(&self.parts, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// True if any part is an expansion (parameter, command, arithmetic).
+    pub fn has_expansion(&self) -> bool {
+        fn any(parts: &[WordPart]) -> bool {
+            parts.iter().any(|p| match p {
+                WordPart::Param(_) | WordPart::CmdSubst(_) | WordPart::Arith(_) => true,
+                WordPart::DoubleQuoted(inner) => any(inner),
+                _ => false,
+            })
+        }
+        any(&self.parts)
+    }
+
+    /// True if the word, taken literally, contains unquoted glob
+    /// metacharacters.
+    pub fn has_glob(&self) -> bool {
+        self.parts.iter().any(|p| match p {
+            WordPart::Literal(s) => s.contains(['*', '?', '[']),
+            _ => false,
+        })
+    }
+}
+
+/// The operator inside a `${...}` expansion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParamOp {
+    /// `$name` or `${name}`.
+    Plain,
+    /// `${name:-word}` (colon: true) or `${name-word}`: use default.
+    Default { colon: bool, word: Word },
+    /// `${name:=word}` or `${name=word}`: assign default. Side-effectful!
+    Assign { colon: bool, word: Word },
+    /// `${name:?word}` or `${name?word}`: error if unset. Side-effectful
+    /// (aborts the shell).
+    Error { colon: bool, word: Word },
+    /// `${name:+word}` or `${name+word}`: use alternative.
+    Alt { colon: bool, word: Word },
+    /// `${#name}`: string length.
+    Length,
+    /// `${name%pattern}`: remove smallest suffix.
+    RemoveSmallestSuffix(Word),
+    /// `${name%%pattern}`: remove largest suffix.
+    RemoveLargestSuffix(Word),
+    /// `${name#pattern}`: remove smallest prefix.
+    RemoveSmallestPrefix(Word),
+    /// `${name##pattern}`: remove largest prefix.
+    RemoveLargestPrefix(Word),
+}
+
+/// A parameter expansion: the parameter name plus an optional operator.
+///
+/// `name` may be a variable name, a positional parameter (`"1"`..), or a
+/// special parameter (`@ * # ? - $ ! 0`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamExp {
+    /// Parameter being expanded.
+    pub name: String,
+    /// Modifier applied to the value.
+    pub op: ParamOp,
+}
+
+impl ParamExp {
+    /// A plain `$name` expansion.
+    pub fn plain(name: impl Into<String>) -> Self {
+        ParamExp {
+            name: name.into(),
+            op: ParamOp::Plain,
+        }
+    }
+
+    /// True if `name` is one of the POSIX special parameters.
+    pub fn is_special(&self) -> bool {
+        matches!(
+            self.name.as_str(),
+            "@" | "*" | "#" | "?" | "-" | "$" | "!" | "0"
+        ) || self.name.chars().all(|c| c.is_ascii_digit()) && !self.name.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_roundtrip() {
+        let w = Word::literal("hello");
+        assert_eq!(w.as_literal(), Some("hello"));
+        assert_eq!(w.static_text().as_deref(), Some("hello"));
+        assert!(!w.has_expansion());
+    }
+
+    #[test]
+    fn static_text_mixes_quoting() {
+        let w = Word {
+            parts: vec![
+                WordPart::Literal("a".into()),
+                WordPart::SingleQuoted("b c".into()),
+                WordPart::Escaped('d'),
+                WordPart::DoubleQuoted(vec![WordPart::Literal("e".into())]),
+            ],
+        };
+        assert_eq!(w.static_text().as_deref(), Some("ab cde"));
+        assert_eq!(w.as_literal(), None);
+    }
+
+    #[test]
+    fn expansion_detected_through_double_quotes() {
+        let w = Word {
+            parts: vec![WordPart::DoubleQuoted(vec![WordPart::Param(
+                ParamExp::plain("x"),
+            )])],
+        };
+        assert!(w.has_expansion());
+        assert_eq!(w.static_text(), None);
+    }
+
+    #[test]
+    fn glob_detection_only_unquoted() {
+        assert!(Word::literal("*.txt").has_glob());
+        assert!(!Word::single_quoted("*.txt").has_glob());
+    }
+
+    #[test]
+    fn special_params() {
+        assert!(ParamExp::plain("@").is_special());
+        assert!(ParamExp::plain("3").is_special());
+        assert!(!ParamExp::plain("HOME").is_special());
+    }
+}

@@ -1,0 +1,68 @@
+//! **Ablation A1** — the no-regression guard ("performance benefits *and
+//! no regressions!*", §3.2): input-size sweep comparing Jash-with-guard
+//! against Jash forced to parallelize. On tiny inputs the forced variant
+//! pays startup/merge overhead; the guard must keep Jash at sequential
+//! speed there while still optimizing large inputs.
+
+use jash_bench::{report_header, run_engine, sim_machine, stage, word_corpus};
+use jash_core::{Engine, TraceEvent};
+use jash_cost::MachineProfile;
+use jash_io::DiskProfile;
+
+const SCRIPT: &str = "cat /in.txt | tr -cs A-Za-z '\\n' | sort > /out";
+
+fn main() {
+    println!("guard ablation: Jash (guarded) vs Jash (forced width 8) vs bash");
+    let profile = MachineProfile {
+        cores: 8,
+        disk: DiskProfile::ramdisk(),
+        mem_mb: 8 * 1024,
+    };
+    let sizes: &[u64] = &[16 * 1024, 256 * 1024, 4 * 1024 * 1024, 24 * 1024 * 1024];
+    let mut guard_never_lost = true;
+    for &size in sizes {
+        report_header(&format!("input {} KiB", size / 1024));
+        let corpus = word_corpus(size, 5);
+
+        let sim = sim_machine(profile, size);
+        stage(&sim, "/in.txt", &corpus);
+        let (bash_t, _, _) = run_engine(Engine::Bash, &sim, SCRIPT);
+
+        let sim = sim_machine(profile, size);
+        stage(&sim, "/in.txt", &corpus);
+        let (guard_t, r, trace) = run_engine(Engine::JashJit, &sim, SCRIPT);
+        assert_eq!(r.status, 0);
+        let decided = if trace.iter().any(TraceEvent::was_optimized) {
+            "optimized"
+        } else {
+            "declined"
+        };
+
+        let sim = sim_machine(profile, size);
+        stage(&sim, "/in.txt", &corpus);
+        let mut state = jash_expand::ShellState::new(std::sync::Arc::clone(&sim.fs));
+        state.cpu = Some(std::sync::Arc::clone(&sim.cpu));
+        let mut shell = jash_core::Jash::new(Engine::JashJit, sim.profile);
+        shell.planner.force_width = Some(8);
+        let t0 = std::time::Instant::now();
+        shell.run_script(&mut state, SCRIPT).expect("runs");
+        let forced_t = t0.elapsed();
+
+        println!(
+            "  bash {:>8.3}s | jash-guarded {:>8.3}s ({decided}) | jash-forced {:>8.3}s",
+            bash_t.as_secs_f64(),
+            guard_t.as_secs_f64(),
+            forced_t.as_secs_f64()
+        );
+        if guard_t.as_secs_f64() > bash_t.as_secs_f64() * 1.35 {
+            guard_never_lost = false;
+        }
+    }
+    println!(
+        "\n[{}] guarded Jash never regresses >35% behind bash at any size",
+        if guard_never_lost { "PASS" } else { "FAIL" }
+    );
+    if !guard_never_lost {
+        std::process::exit(1);
+    }
+}

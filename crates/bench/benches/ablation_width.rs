@@ -1,0 +1,84 @@
+//! **Ablation A2** — resource awareness: what width does the planner pick
+//! across disk profiles, and how do forced widths actually perform there?
+//! The planner's chosen width should track the measured optimum within
+//! one step on every profile ("a shell that can be used by anyone on any
+//! infrastructure", §3.2).
+
+use jash_bench::{bench_input_bytes, report_header, run_engine, sim_machine, stage, word_corpus};
+use jash_core::{Action, Engine};
+use jash_cost::MachineProfile;
+use jash_io::DiskProfile;
+
+const SCRIPT: &str = "cat /in.txt | tr -cs A-Za-z '\\n' | sort > /out";
+
+fn main() {
+    let bytes = bench_input_bytes();
+    let corpus = word_corpus(bytes, 21);
+    println!(
+        "width ablation, {} MiB input, widths 1/2/4/8 across disk profiles",
+        bytes / (1024 * 1024)
+    );
+
+    let profiles = [
+        ("gp2-standard", DiskProfile::gp2_standard()),
+        ("gp3-io-opt", DiskProfile::gp3_io_opt()),
+        ("ramdisk", DiskProfile::ramdisk()),
+    ];
+    let mut all_ok = true;
+    for (disk_name, disk) in profiles {
+        report_header(disk_name);
+        let profile = MachineProfile {
+            cores: 8,
+            disk,
+            mem_mb: 8 * 1024,
+        };
+        // Measure forced widths.
+        let mut best = (1usize, f64::MAX);
+        for w in [1usize, 2, 4, 8] {
+            let sim = sim_machine(profile, bytes);
+            stage(&sim, "/in.txt", &corpus);
+            let t = if w == 1 {
+                run_engine(Engine::Bash, &sim, SCRIPT).0
+            } else {
+                let mut state = jash_expand::ShellState::new(std::sync::Arc::clone(&sim.fs));
+                state.cpu = Some(std::sync::Arc::clone(&sim.cpu));
+                let mut shell = jash_core::Jash::new(Engine::JashJit, sim.profile);
+                shell.planner.force_width = Some(w);
+                let t0 = std::time::Instant::now();
+                shell.run_script(&mut state, SCRIPT).expect("runs");
+                t0.elapsed()
+            };
+            let secs = t.as_secs_f64();
+            println!("  forced width {w}: {secs:>8.3} s");
+            if secs < best.1 {
+                best = (w, secs);
+            }
+        }
+        // What does the planner pick?
+        let sim = sim_machine(profile, bytes);
+        stage(&sim, "/in.txt", &corpus);
+        let (t, _, trace) = run_engine(Engine::JashJit, &sim, SCRIPT);
+        let chosen = trace
+            .iter()
+            .find_map(|e| match e.action {
+                Action::Optimized { width, .. } => Some(width),
+                _ => None,
+            })
+            .unwrap_or(1);
+        println!(
+            "  planner chose width {chosen}: {:>8.3} s (measured optimum: width {})",
+            t.as_secs_f64(),
+            best.0
+        );
+        // Within a factor-of-two step of the optimum counts as tracking.
+        let tracks = chosen == best.0
+            || chosen == best.0 * 2
+            || best.0 == chosen * 2
+            || t.as_secs_f64() <= best.1 * 1.3;
+        println!("  [{}] planner tracks the optimum", if tracks { "PASS" } else { "FAIL" });
+        all_ok &= tracks;
+    }
+    if !all_ok {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,15 @@
+//! **Figure 1** — "Executing a script that sorts the words of a 3GB input
+//! file with bash, PaSh, and the Jash prototype. Both instances are
+//! c5.2xlarge AWS EC2. The standard instance has a gp2 disk (100 IOPS
+//! that bursts to 3K) while the IO-opt has a gp3 disk (15K IOPS). PaSh
+//! performs worse on 'Standard' because it doesn't take system resources
+//! into account."
+//!
+//! See `jash_bench::fig1` for the harness; the shape to reproduce:
+//!
+//! * Standard: `pash` **slower than** `bash`; `jash` ≤ `bash`;
+//! * IO-opt:   `jash` ≤ `pash` < `bash`.
+
+fn main() {
+    jash_bench::fig1::main_with_checks();
+}

@@ -1,0 +1,7 @@
+//! Standalone Figure 1 runner:
+//! `cargo run --release -p jash-bench --bin fig1`
+//! (knobs: `JASH_BENCH_MB`, `JASH_TIME_SCALE`).
+
+fn main() {
+    jash_bench::fig1::main_with_checks();
+}

@@ -1,0 +1,115 @@
+//! The Figure 1 harness, shared by the bench target and the `fig1` binary.
+
+use crate::{bench_input_bytes, report_header, report_row, run_engine, sim_machine, stage, word_corpus};
+use jash_core::Engine;
+use jash_cost::MachineProfile;
+
+/// The paper's sort-the-words script (stdout bound to a file, as in the
+/// original experiment).
+pub const SCRIPT: &str = "cat /in.txt | tr -cs A-Za-z '\\n' | sort > /out.txt";
+
+/// One measured cell of the figure.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Instance label.
+    pub machine: &'static str,
+    /// Engine.
+    pub engine: Engine,
+    /// Modeled wall seconds.
+    pub seconds: f64,
+}
+
+/// Runs the full figure; returns the six cells. Panics on output
+/// divergence between engines (the soundness requirement).
+pub fn run_fig1() -> Vec<Cell> {
+    let bytes = bench_input_bytes();
+    let corpus = word_corpus(bytes, 42);
+    println!(
+        "Figure 1: sort-words, input {} MiB (paper: 3 GiB), time-scale {}",
+        bytes / (1024 * 1024),
+        crate::time_scale()
+    );
+
+    let mut cells = Vec::new();
+    let mut reference: Option<Vec<u8>> = None;
+    for (label, profile) in [
+        ("Standard", MachineProfile::standard_ec2()),
+        ("IO-opt", MachineProfile::io_opt_ec2()),
+    ] {
+        report_header(&format!(
+            "{label} ({})",
+            if label == "Standard" {
+                "gp2, 100 IOPS burst 3K"
+            } else {
+                "gp3, 15K IOPS"
+            }
+        ));
+        for engine in Engine::ALL {
+            let sim = sim_machine(profile, bytes);
+            stage(&sim, "/in.txt", &corpus);
+            let (wall, result, trace) = run_engine(engine, &sim, SCRIPT);
+            assert_eq!(result.status, 0, "{engine} failed: {trace:?}");
+            let out = jash_io::fs::read_to_vec(sim.fs.as_ref(), "/out.txt")
+                .expect("script wrote /out.txt");
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(r, &out, "{engine} output diverged on {label}"),
+            }
+            report_row(&format!("  {engine}"), wall);
+            cells.push(Cell {
+                machine: label,
+                engine,
+                seconds: wall.as_secs_f64(),
+            });
+        }
+    }
+    cells
+}
+
+/// Figure 1's qualitative shape, checked over measured cells. Returns
+/// `(description, passed)` pairs.
+pub fn shape_checks(cells: &[Cell]) -> Vec<(&'static str, bool)> {
+    let get = |m: &str, e: Engine| {
+        cells
+            .iter()
+            .find(|c| c.machine == m && c.engine == e)
+            .expect("cell")
+            .seconds
+    };
+    vec![
+        (
+            "Standard: pash regresses behind bash",
+            get("Standard", Engine::PashAot) > get("Standard", Engine::Bash),
+        ),
+        (
+            "Standard: jash does not regress",
+            get("Standard", Engine::JashJit) <= get("Standard", Engine::Bash) * 1.10,
+        ),
+        (
+            "IO-opt: pash beats bash",
+            get("IO-opt", Engine::PashAot) < get("IO-opt", Engine::Bash),
+        ),
+        (
+            "IO-opt: jash beats bash",
+            get("IO-opt", Engine::JashJit) < get("IO-opt", Engine::Bash),
+        ),
+        (
+            "IO-opt: jash <= pash (within 10%)",
+            get("IO-opt", Engine::JashJit) <= get("IO-opt", Engine::PashAot) * 1.10,
+        ),
+    ]
+}
+
+/// Full run + checks; exits nonzero on a shape failure.
+pub fn main_with_checks() {
+    let cells = run_fig1();
+    report_header("shape checks");
+    let mut ok = true;
+    for (name, passed) in shape_checks(&cells) {
+        println!("  [{}] {name}", if passed { "PASS" } else { "FAIL" });
+        ok &= passed;
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

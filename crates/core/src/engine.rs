@@ -1,0 +1,100 @@
+//! Engine strategies: the three systems Figure 1 compares.
+
+use std::fmt;
+
+/// Which execution strategy a [`crate::Jash`] session uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Engine {
+    /// Plain interpretation — the `bash` baseline. Pipelines still get
+    /// pipeline (stage) parallelism, as real shells do, but never data
+    /// parallelism.
+    Bash,
+    /// The PaSh-style ahead-of-time transformer: parallelizes any region
+    /// whose words are *statically* known (no expansions), always at the
+    /// core count, always buffering split chunks through storage, never
+    /// consulting machine resources. Dynamic regions (the paper's `spell`
+    /// example) are left untouched.
+    PashAot,
+    /// The paper's proposal: a just-in-time compiler invoked with live
+    /// shell state. Expands pure words early, reads input sizes off the
+    /// filesystem, asks the resource-aware planner for a width, and
+    /// applies the no-regression guard.
+    JashJit,
+}
+
+impl Engine {
+    /// All engines, in the order Figure 1 plots them.
+    pub const ALL: [Engine; 3] = [Engine::Bash, Engine::PashAot, Engine::JashJit];
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Bash => write!(f, "bash"),
+            Engine::PashAot => write!(f, "pash"),
+            Engine::JashJit => write!(f, "jash"),
+        }
+    }
+}
+
+/// What the JIT decided for one top-level pipeline, for tracing and the
+/// `--explain` story in the paper's tooling section.
+#[derive(Debug, Clone)]
+pub enum Action {
+    /// Left to the interpreter.
+    Interpreted {
+        /// Why the region was not optimized.
+        reason: String,
+    },
+    /// Compiled, rewritten, and executed as a dataflow graph.
+    Optimized {
+        /// Chosen width.
+        width: usize,
+        /// Whether splits buffer through storage.
+        buffered: bool,
+        /// Planner's projected speedup (1.0 for PashAot, which does not
+        /// estimate).
+        projected_speedup: f64,
+    },
+}
+
+/// One traced decision.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// The pipeline, unparsed.
+    pub pipeline: String,
+    /// What happened.
+    pub action: Action,
+}
+
+impl TraceEvent {
+    /// True when the region ran through the dataflow executor.
+    pub fn was_optimized(&self) -> bool {
+        matches!(self.action, Action::Optimized { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Engine::Bash.to_string(), "bash");
+        assert_eq!(Engine::PashAot.to_string(), "pash");
+        assert_eq!(Engine::JashJit.to_string(), "jash");
+    }
+
+    #[test]
+    fn trace_classification() {
+        let t = TraceEvent {
+            pipeline: "cat f | sort".into(),
+            action: Action::Optimized {
+                width: 4,
+                buffered: false,
+                projected_speedup: 2.0,
+            },
+        };
+        assert!(t.was_optimized());
+    }
+}

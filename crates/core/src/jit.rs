@@ -1,0 +1,292 @@
+//! The Jash session: a shell whose statement loop carries a JIT compiler.
+//!
+//! "Jash inspects each shell command as it comes in to identify candidates
+//! for rewriting. Since Jash works dynamically, it can take into account
+//! current system conditions to decide whether to even try to apply
+//! optimizations!" (paper §3.2). The loop here is exactly that
+//! architecture: interpretation by `jash-interp` for everything dynamic,
+//! and — per top-level pipeline — an attempt to extract, compile, plan,
+//! and execute a dataflow region with live information (variable values,
+//! file sizes, machine resources).
+
+use crate::engine::{Action, Engine, TraceEvent};
+use crate::region::{jit_region, resolve_paths, static_region, Ineligible};
+use jash_ast::{ListItem, Program};
+use jash_cost::{choose_plan, pash_aot_plan, InputInfo, MachineProfile, PlannerOptions};
+use jash_dataflow::{compile, parallelize_all, NodeKind, Region};
+use jash_exec::{balanced_targets, execute, ExecConfig};
+use jash_expand::ShellState;
+use jash_interp::{Flow, InterpError, Interpreter, RunResult, ShellIo};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A Jash shell session.
+pub struct Jash {
+    /// Strategy under evaluation.
+    pub engine: Engine,
+    /// The machine the planner believes it is running on.
+    pub machine: MachineProfile,
+    /// Command specifications.
+    pub registry: jash_spec::Registry,
+    /// Planner tunables (JashJit only).
+    pub planner: PlannerOptions,
+    /// Decisions taken this session, in order.
+    pub trace: Vec<TraceEvent>,
+    interp: Interpreter,
+}
+
+impl Jash {
+    /// Creates a session for `engine` on `machine`.
+    pub fn new(engine: Engine, machine: MachineProfile) -> Self {
+        Jash {
+            engine,
+            machine,
+            registry: jash_spec::Registry::builtin(),
+            planner: PlannerOptions::default(),
+            trace: Vec::new(),
+            interp: Interpreter::new(),
+        }
+    }
+
+    /// Parses and runs a script, returning captured stdio and status.
+    pub fn run_script(
+        &mut self,
+        state: &mut ShellState,
+        src: &str,
+    ) -> jash_interp::Result<RunResult> {
+        let prog = jash_parser::parse(src)?;
+        self.run_program(state, &prog)
+    }
+
+    /// Runs a parsed program.
+    pub fn run_program(
+        &mut self,
+        state: &mut ShellState,
+        prog: &Program,
+    ) -> jash_interp::Result<RunResult> {
+        let (io, out, err) = ShellIo::captured();
+        self.interp.base_stderr = Some(io.stderr.clone());
+        let mut status = 0;
+        let mut flow_exit = None;
+        for item in &prog.items {
+            match self.run_item(state, item, &io) {
+                Ok(s) => status = s,
+                Err(InterpError::Flow(Flow::Exit(s))) => {
+                    status = s;
+                    flow_exit = Some(s);
+                    break;
+                }
+                Err(e) => {
+                    err.lock()
+                        .extend_from_slice(format!("jash: {e}\n").as_bytes());
+                    status = match e {
+                        InterpError::Parse(_) => 2,
+                        _ => 1,
+                    };
+                    break;
+                }
+            }
+            state.last_status = status;
+            if status != 0 && state.errexit {
+                flow_exit = Some(status);
+                break;
+            }
+        }
+        let _ = flow_exit;
+        state.last_status = status;
+        let stdout = std::mem::take(&mut *out.lock());
+        let stderr = std::mem::take(&mut *err.lock());
+        Ok(RunResult {
+            status,
+            stdout,
+            stderr,
+        })
+    }
+
+    fn run_item(
+        &mut self,
+        state: &mut ShellState,
+        item: &ListItem,
+        io: &ShellIo,
+    ) -> jash_interp::Result<i32> {
+        let optimizable = !item.background
+            && item.and_or.rest.is_empty()
+            && !item.and_or.first.negated
+            && self.engine != Engine::Bash;
+        if optimizable {
+            match self.try_optimize(state, item, io) {
+                Ok(Some(status)) => return Ok(status),
+                Ok(None) => {}
+                Err(e) => return Err(e),
+            }
+        } else if self.engine != Engine::Bash {
+            self.trace.push(TraceEvent {
+                pipeline: jash_ast::unparse(&Program {
+                    items: vec![item.clone()],
+                }),
+                action: Action::Interpreted {
+                    reason: "not a plain foreground pipeline".to_string(),
+                },
+            });
+        }
+        // Interpret.
+        let single = Program {
+            items: vec![item.clone()],
+        };
+        self.interp.run_program(state, &single, io)
+    }
+
+    /// Attempts the optimize path; `Ok(None)` means "fall back to the
+    /// interpreter".
+    fn try_optimize(
+        &mut self,
+        state: &mut ShellState,
+        item: &ListItem,
+        io: &ShellIo,
+    ) -> jash_interp::Result<Option<i32>> {
+        let pipeline_text = jash_ast::unparse(&Program {
+            items: vec![item.clone()],
+        });
+        let fallback = |this: &mut Self, reason: String| {
+            this.trace.push(TraceEvent {
+                pipeline: pipeline_text.clone(),
+                action: Action::Interpreted { reason },
+            });
+        };
+
+        // 1. Extract the region the way the engine can.
+        let region = match self.engine {
+            Engine::PashAot => static_region(state, &item.and_or.first),
+            Engine::JashJit => jit_region(state, &item.and_or.first),
+            Engine::Bash => unreachable!("caller filtered"),
+        };
+        let mut region = match region {
+            Ok(r) => r,
+            Err(e @ Ineligible::ExpansionFailed(_)) => {
+                // A failing expansion must surface as a real error, so let
+                // the interpreter produce it faithfully.
+                fallback(self, e.to_string());
+                return Ok(None);
+            }
+            Err(e) => {
+                fallback(self, e.to_string());
+                return Ok(None);
+            }
+        };
+        resolve_paths(state, &mut region);
+
+        // 2. Compile to a dataflow graph.
+        let mut compiled = match compile(&region, &self.registry) {
+            Ok(c) => c,
+            Err(e) => {
+                fallback(self, e.to_string());
+                return Ok(None);
+            }
+        };
+
+        // 3. Gather runtime information: input sizes from the live fs.
+        let input = InputInfo {
+            total_bytes: region_input_bytes(state, &region),
+        };
+
+        // 4. Plan.
+        let (shape, projected) = match self.engine {
+            Engine::PashAot => (pash_aot_plan(&self.machine), 1.0),
+            Engine::JashJit => {
+                let d = choose_plan(&compiled.dfg, &self.machine, input, &self.planner);
+                (d.shape, d.projected_speedup())
+            }
+            Engine::Bash => unreachable!(),
+        };
+        if shape.width <= 1 {
+            fallback(
+                self,
+                format!(
+                    "planner declined (input {} bytes, projected speedup < margin)",
+                    input.total_bytes
+                ),
+            );
+            return Ok(None);
+        }
+
+        // 5. Rewrite and execute.
+        parallelize_all(&mut compiled.dfg, shape.width);
+        let mut cfg = ExecConfig::new(Arc::clone(&state.fs));
+        cfg.cwd = state.cwd.clone();
+        cfg.cpu = state.cpu.clone();
+        if shape.buffered {
+            cfg.buffer_splits_in = Some("/tmp/jash-buffers".to_string());
+        }
+        cfg.split_targets = split_plans(&compiled.dfg, input.total_bytes);
+        let outcome = match execute(&compiled.dfg, &cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                // Execution-layer refusals (unsafe split) fall back.
+                fallback(self, format!("executor refused: {e}"));
+                return Ok(None);
+            }
+        };
+        self.trace.push(TraceEvent {
+            pipeline: pipeline_text,
+            action: Action::Optimized {
+                width: shape.width,
+                buffered: shape.buffered,
+                projected_speedup: projected,
+            },
+        });
+
+        // 6. Deliver captured output to the session's stdio.
+        if !outcome.stdout.is_empty() {
+            let mut sink = io.stdout.open(&state.fs)?;
+            sink.write_chunk(bytes::Bytes::from(outcome.stdout))?;
+            sink.finish()?;
+        }
+        if !outcome.stderr.is_empty() {
+            let mut sink = io.stderr.open(&state.fs)?;
+            sink.write_chunk(bytes::Bytes::from(outcome.stderr))?;
+        }
+        state.last_status = outcome.status;
+        Ok(Some(outcome.status))
+    }
+}
+
+/// Sums the sizes of all files the region reads.
+fn region_input_bytes(state: &ShellState, region: &Region) -> u64 {
+    let mut total = 0;
+    for c in &region.commands {
+        if let Some(p) = &c.stdin_redirect {
+            if let Ok(m) = state.fs.metadata(p) {
+                total += m.size;
+            }
+        }
+        // File operands: a conservative sweep over non-flag args that
+        // exist on the filesystem.
+        for a in &c.args {
+            if a.starts_with('-') {
+                continue;
+            }
+            let p = state.resolve_path(a);
+            if let Ok(m) = state.fs.metadata(&p) {
+                if !m.is_dir {
+                    total += m.size;
+                }
+            }
+        }
+    }
+    total
+}
+
+/// Contiguous split plans: every split gets byte targets proportional to
+/// the region input.
+fn split_plans(
+    dfg: &jash_dataflow::Dfg,
+    total_bytes: u64,
+) -> HashMap<jash_dataflow::NodeId, Vec<u64>> {
+    let mut plans = HashMap::new();
+    for n in dfg.node_ids() {
+        if let NodeKind::Split { width } = dfg.node(n).kind {
+            plans.insert(n, balanced_targets(total_bytes.max(1), width));
+        }
+    }
+    plans
+}

@@ -1,0 +1,281 @@
+//! **Jash** — "Just a shell": the dynamically-triggered optimization
+//! regime proposed by *Unix Shell Programming: The Next 50 Years*
+//! (HotOS '21, §3.2).
+//!
+//! A [`Jash`] session interprets scripts statement by statement. For each
+//! top-level pipeline it attempts, in order:
+//!
+//! 1. **region extraction** — purity-check every word (Smoosh-style
+//!    effect analysis) and expand the pure ones *early*, against live
+//!    shell state;
+//! 2. **dataflow compilation** — resolve each stage against the command
+//!    specification registry and build a graph;
+//! 3. **runtime information** — stat the input files, snapshot the
+//!    machine profile;
+//! 4. **resource-aware planning** — pick a parallelization width whose
+//!    projected makespan clears the no-regression margin;
+//! 5. **rewriting and execution** — split/clone/merge on the threaded
+//!    executor, delivering byte-identical output.
+//!
+//! Any step that fails falls back to the interpreter — soundness first.
+//! The same type also hosts the two baselines of the paper's Figure 1:
+//! [`Engine::Bash`] (never optimize) and [`Engine::PashAot`]
+//! (ahead-of-time: only statically-expandable words, fixed width, disk
+//! buffering, no resource awareness).
+//!
+//! # Examples
+//!
+//! ```
+//! use jash_core::{Engine, Jash};
+//! use jash_cost::MachineProfile;
+//! use jash_expand::ShellState;
+//!
+//! let fs = jash_io::mem_fs();
+//! jash_io::fs::write_file(fs.as_ref(), "/w.txt", b"delta\nalpha\n".repeat(1).as_slice()).unwrap();
+//! let mut state = ShellState::new(fs);
+//! let mut shell = Jash::new(Engine::JashJit, MachineProfile::laptop());
+//! let r = shell.run_script(&mut state, "FILES=/w.txt; cat $FILES | sort | head -n1").unwrap();
+//! assert_eq!(r.stdout, b"alpha\n");
+//! ```
+
+pub mod engine;
+pub mod jit;
+pub mod region;
+
+pub use engine::{Action, Engine, TraceEvent};
+pub use jit::Jash;
+pub use region::{jit_region, static_region, Ineligible};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_cost::MachineProfile;
+    use jash_expand::ShellState;
+    use jash_io::FsHandle;
+
+    fn fs_with(files: &[(&str, &str)]) -> FsHandle {
+        let fs = jash_io::mem_fs();
+        for (p, c) in files {
+            jash_io::fs::write_file(fs.as_ref(), p, c.as_bytes()).unwrap();
+        }
+        fs
+    }
+
+    fn machine() -> MachineProfile {
+        // A fixed profile so tests do not depend on the host's core count
+        // (CI containers may expose a single CPU).
+        MachineProfile {
+            cores: 8,
+            disk: jash_io::DiskProfile::ramdisk(),
+            mem_mb: 8 * 1024,
+        }
+    }
+
+    /// A planner that optimizes eagerly (tiny test inputs would otherwise
+    /// trip the guard — which is itself under test separately).
+    fn eager() -> jash_cost::PlannerOptions {
+        jash_cost::PlannerOptions {
+            min_speedup: 0.0,
+            force_width: Some(4),
+            ..Default::default()
+        }
+    }
+
+    fn run_engine(engine: Engine, fs: FsHandle, src: &str) -> (jash_interp::RunResult, Jash) {
+        let mut state = ShellState::new(fs);
+        let mut shell = Jash::new(engine, machine());
+        shell.planner = eager();
+        let r = shell.run_script(&mut state, src).unwrap();
+        (r, shell)
+    }
+
+    const SPELL: &str = r#"
+DICT=/dict
+FILES="/d/a.txt /d/b.txt"
+cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 $DICT -
+"#;
+
+    fn spell_fs() -> FsHandle {
+        let doc_a = "The Quick brown FOX liked Rust\n".repeat(300);
+        let doc_b = "A lazy dog misspeled wrods here\n".repeat(300);
+        fs_with(&[
+            ("/d/a.txt", &doc_a),
+            ("/d/b.txt", &doc_b),
+            (
+                "/dict",
+                "a\nbrown\ndog\nfox\nhere\nlazy\nliked\nquick\nrust\nthe\n",
+            ),
+        ])
+    }
+
+    #[test]
+    fn all_engines_agree_on_spell_output() {
+        let (bash, _) = run_engine(Engine::Bash, spell_fs(), SPELL);
+        let (pash, _) = run_engine(Engine::PashAot, spell_fs(), SPELL);
+        let (jash, _) = run_engine(Engine::JashJit, spell_fs(), SPELL);
+        assert_eq!(bash.status, 0);
+        assert_eq!(
+            String::from_utf8_lossy(&bash.stdout),
+            String::from_utf8_lossy(&pash.stdout)
+        );
+        assert_eq!(bash.stdout, jash.stdout);
+        assert_eq!(
+            String::from_utf8_lossy(&bash.stdout),
+            "misspeled\nwrods\n"
+        );
+    }
+
+    #[test]
+    fn jit_optimizes_the_dynamic_spell_pipeline_but_aot_cannot() {
+        // The paper's §3.2 example: `$FILES`/`$DICT` are dynamic, so
+        // "neither PaSh nor POSH optimize this script" — but the JIT does.
+        let (_, pash) = run_engine(Engine::PashAot, spell_fs(), SPELL);
+        assert!(
+            !pash.trace.iter().any(TraceEvent::was_optimized),
+            "PashAot must not optimize: {:?}",
+            pash.trace
+        );
+        assert!(pash
+            .trace
+            .iter()
+            .any(|t| matches!(&t.action, Action::Interpreted { reason } if reason.contains("AOT"))));
+
+        let (_, jash) = run_engine(Engine::JashJit, spell_fs(), SPELL);
+        assert!(
+            jash.trace.iter().any(TraceEvent::was_optimized),
+            "JashJit must optimize: {:?}",
+            jash.trace
+        );
+    }
+
+    #[test]
+    fn aot_optimizes_static_pipelines() {
+        let fs = fs_with(&[("/in", &"WORD other\n".repeat(500))]);
+        let (r, shell) = run_engine(Engine::PashAot, fs, "cat /in | tr A-Z a-z | sort");
+        assert_eq!(r.status, 0);
+        assert!(shell.trace.iter().any(TraceEvent::was_optimized));
+        // PashAot plans are buffered at core-count width.
+        let Action::Optimized { width, buffered, .. } = &shell
+            .trace
+            .iter()
+            .find(|t| t.was_optimized())
+            .unwrap()
+            .action
+        else {
+            panic!()
+        };
+        assert_eq!(*width, machine().cores);
+        assert!(buffered);
+    }
+
+    #[test]
+    fn bash_never_optimizes() {
+        let fs = fs_with(&[("/in", "b\na\n")]);
+        let (r, shell) = run_engine(Engine::Bash, fs, "cat /in | sort");
+        assert_eq!(r.stdout, b"a\nb\n");
+        assert!(shell.trace.is_empty());
+    }
+
+    #[test]
+    fn guard_declines_tiny_inputs() {
+        let fs = fs_with(&[("/tiny", "b\na\n")]);
+        let mut state = ShellState::new(fs);
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        // Default planner: real margin.
+        let r = shell.run_script(&mut state, "cat /tiny | sort").unwrap();
+        assert_eq!(r.stdout, b"a\nb\n");
+        assert!(
+            !shell.trace.iter().any(TraceEvent::was_optimized),
+            "{:?}",
+            shell.trace
+        );
+        assert!(shell.trace.iter().any(
+            |t| matches!(&t.action, Action::Interpreted { reason } if reason.contains("declined"))
+        ));
+    }
+
+    #[test]
+    fn optimized_region_writes_file_output() {
+        let fs = fs_with(&[("/in", &"Zebra apple\n".repeat(400))]);
+        let src = "cat /in | tr A-Z a-z | sort > /out";
+        let (r, shell) = run_engine(Engine::JashJit, std::sync::Arc::clone(&fs), src);
+        assert_eq!(r.status, 0);
+        assert!(r.stdout.is_empty());
+        assert!(shell.trace.iter().any(TraceEvent::was_optimized));
+        let out = jash_io::fs::read_to_vec(fs.as_ref(), "/out").unwrap();
+        let (seq, _) = run_engine(Engine::Bash, fs_with(&[("/in", &"Zebra apple\n".repeat(400))]), "cat /in | tr A-Z a-z | sort");
+        assert_eq!(out, seq.stdout);
+    }
+
+    #[test]
+    fn impure_pipelines_fall_back() {
+        let fs = fs_with(&[("/in", "x\n")]);
+        let (r, shell) = run_engine(Engine::JashJit, fs, "cat /in $(echo /in) | sort");
+        assert_eq!(r.status, 0);
+        // Two copies of x (cat ran with both operands) — via interpreter.
+        assert_eq!(r.stdout, b"x\nx\n");
+        assert!(!shell.trace.iter().any(TraceEvent::was_optimized));
+    }
+
+    #[test]
+    fn unknown_commands_fall_back_and_fail_normally() {
+        let fs = fs_with(&[("/in", "x\n")]);
+        let (r, shell) = run_engine(Engine::JashJit, fs, "cat /in | not-a-real-filter");
+        assert_eq!(r.status, 127);
+        assert!(!shell.trace.iter().any(TraceEvent::was_optimized));
+    }
+
+    #[test]
+    fn shell_state_flows_around_optimized_regions() {
+        let fs = fs_with(&[("/in", &"q W e\n".repeat(300))]);
+        let src = "x=1; cat /in | tr A-Z a-z | sort -u; y=$((x+1)); echo $y";
+        let (r, shell) = run_engine(Engine::JashJit, fs, src);
+        assert_eq!(r.status, 0);
+        assert!(shell.trace.iter().any(TraceEvent::was_optimized));
+        assert!(String::from_utf8_lossy(&r.stdout).ends_with("2\n"));
+    }
+
+    #[test]
+    fn exit_status_of_optimized_grep_respected() {
+        let fs = fs_with(&[("/in", &"hay\n".repeat(500))]);
+        let (r, shell) = run_engine(Engine::JashJit, fs, "cat /in | grep needle");
+        assert_eq!(r.status, 1, "{:?}", shell.trace);
+    }
+
+    #[test]
+    fn temperature_pipeline_all_engines() {
+        let mut rec = String::new();
+        for i in 0..400 {
+            let t = (i * 83) % 700;
+            rec.push_str(&"x".repeat(88));
+            rec.push_str(&format!("{t:04}xxxx\n"));
+        }
+        let src = "cut -c 89-92 < /noaa | grep -v 999 | sort -rn | head -n1";
+        let mut outputs = Vec::new();
+        for e in Engine::ALL {
+            let (r, _) = run_engine(e, fs_with(&[("/noaa", &rec)]), src);
+            assert_eq!(r.status, 0);
+            outputs.push(r.stdout);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn control_flow_around_regions_still_works() {
+        let fs = fs_with(&[("/in", &"A b C\n".repeat(200))]);
+        let src = r#"
+for pass in 1 2; do
+    cat /in | tr A-Z a-z | sort -u
+done
+echo passes-done
+"#;
+        let (r, _) = run_engine(Engine::JashJit, fs, src);
+        assert_eq!(r.status, 0);
+        let text = String::from_utf8_lossy(&r.stdout);
+        assert!(text.ends_with("passes-done\n"));
+        // Pipeline inside the loop runs twice (interpreted: not top
+        // level), producing two identical `a b c` lines.
+        assert_eq!(text.matches("a b c\n").count(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Identifying and extracting optimizable regions from the AST.
+//!
+//! A *region* is a top-level pipeline whose stages are simple commands
+//! with no shell-state effects — the "restricted-but-widely-used fragment
+//! of the shell" (paper §1.3) that PaSh/POSH transform. The two entry
+//! points differ in *when* words can be resolved:
+//!
+//! * [`static_region`] resolves only statically-known words — the
+//!   ahead-of-time view PaSh has (no `$FILES`, no `$DICT`);
+//! * [`jit_region`] runs Smoosh-style purity analysis and then expands
+//!   pure words against *live* shell state — the paper's core move.
+
+use jash_ast::{Pipeline, RedirectOp, Word};
+use jash_dataflow::{ExpandedCommand, Region};
+use jash_expand::{expand_word_fields, NoSubst, ShellState};
+
+/// Why a pipeline is not an optimizable region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ineligible {
+    /// A stage is a compound command or function definition.
+    NotSimple,
+    /// A stage carries assignments.
+    HasAssignments,
+    /// A word's expansion has side effects (command substitution,
+    /// `${x:=y}`, …).
+    ImpureWord(String),
+    /// Words contain expansions, so an ahead-of-time system cannot see
+    /// them (PaSh's blind spot).
+    DynamicWords(String),
+    /// An unsupported redirect shape.
+    UnsupportedRedirect,
+    /// A stage resolves to a shell function or builtin, which has no
+    /// command specification.
+    NotAUtility(String),
+    /// Expansion failed outright.
+    ExpansionFailed(String),
+}
+
+impl std::fmt::Display for Ineligible {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Ineligible::NotSimple => write!(f, "stage is not a simple command"),
+            Ineligible::HasAssignments => write!(f, "stage has assignments"),
+            Ineligible::ImpureWord(w) => write!(f, "word `{w}` has effects"),
+            Ineligible::DynamicWords(w) => {
+                write!(f, "word `{w}` needs runtime state (AOT cannot expand it)")
+            }
+            Ineligible::UnsupportedRedirect => write!(f, "unsupported redirect"),
+            Ineligible::NotAUtility(n) => write!(f, "`{n}` is not an external utility"),
+            Ineligible::ExpansionFailed(e) => write!(f, "expansion failed: {e}"),
+        }
+    }
+}
+
+/// Extracts a region the way an ahead-of-time compiler must: every word
+/// has to be fully static.
+pub fn static_region(state: &ShellState, pl: &Pipeline) -> Result<Region, Ineligible> {
+    build_region(pl, |word, for_args| {
+        match word.static_text() {
+            Some(t) => {
+                if for_args && word.has_glob() {
+                    // A static glob still needs the filesystem; PaSh
+                    // handles this case, so we allow it via live expansion
+                    // against the (startup) state.
+                    let mut s = state.clone();
+                    expand_word_fields(&mut s, &mut NoSubst, word)
+                        .map_err(|e| Ineligible::ExpansionFailed(e.to_string()))
+                } else {
+                    Ok(vec![t])
+                }
+            }
+            None => Err(Ineligible::DynamicWords(jash_ast::unparse_word(word))),
+        }
+    })
+    .and_then(|r| reject_non_utilities(state, r))
+}
+
+/// Extracts a region the JIT way: verify every word is *pure*, then
+/// expand it against live state.
+pub fn jit_region(state: &mut ShellState, pl: &Pipeline) -> Result<Region, Ineligible> {
+    // Purity first: early expansion must not have effects (paper §3.2).
+    for cmd in &pl.commands {
+        let jash_ast::CommandKind::Simple(sc) = &cmd.kind else {
+            return Err(Ineligible::NotSimple);
+        };
+        for w in sc
+            .words
+            .iter()
+            .chain(cmd.redirects.iter().map(|r| &r.target))
+        {
+            let effects = jash_expand::word_effects(w);
+            if !effects.is_pure() {
+                return Err(Ineligible::ImpureWord(jash_ast::unparse_word(w)));
+            }
+        }
+    }
+    let region = build_region(pl, |word, _| {
+        expand_word_fields(state, &mut NoSubst, word)
+            .map_err(|e| Ineligible::ExpansionFailed(e.to_string()))
+    })?;
+    reject_non_utilities(state, region)
+}
+
+fn build_region(
+    pl: &Pipeline,
+    mut expand: impl FnMut(&Word, bool) -> Result<Vec<String>, Ineligible>,
+) -> Result<Region, Ineligible> {
+    let mut commands = Vec::new();
+    for cmd in &pl.commands {
+        let jash_ast::CommandKind::Simple(sc) = &cmd.kind else {
+            return Err(Ineligible::NotSimple);
+        };
+        if !sc.assignments.is_empty() {
+            return Err(Ineligible::HasAssignments);
+        }
+        let mut argv: Vec<String> = Vec::new();
+        for w in &sc.words {
+            argv.extend(expand(w, true)?);
+        }
+        if argv.is_empty() {
+            return Err(Ineligible::NotSimple);
+        }
+        let mut stage = ExpandedCommand {
+            name: argv.remove(0),
+            args: argv,
+            stdin_redirect: None,
+            stdout_redirect: None,
+        };
+        for r in &cmd.redirects {
+            let fd = r.effective_fd();
+            let mut target = || -> Result<String, Ineligible> {
+                let fields = expand(&r.target, false)?;
+                match fields.as_slice() {
+                    [one] => Ok(one.clone()),
+                    _ => Err(Ineligible::UnsupportedRedirect),
+                }
+            };
+            match (fd, r.op) {
+                (0, RedirectOp::Read) => stage.stdin_redirect = Some(target()?),
+                (1, RedirectOp::Write) | (1, RedirectOp::Clobber) => {
+                    stage.stdout_redirect = Some((target()?, false));
+                }
+                (1, RedirectOp::Append) => stage.stdout_redirect = Some((target()?, true)),
+                _ => return Err(Ineligible::UnsupportedRedirect),
+            }
+        }
+        commands.push(stage);
+    }
+    Ok(Region { commands })
+}
+
+/// A region must consist purely of utilities: functions and builtins have
+/// shell-visible effects no spec covers.
+fn reject_non_utilities(state: &ShellState, region: Region) -> Result<Region, Ineligible> {
+    for c in &region.commands {
+        if state.get_function(&c.name).is_some() || jash_interp::builtins::is_builtin(&c.name) {
+            return Err(Ineligible::NotAUtility(c.name.clone()));
+        }
+    }
+    Ok(region)
+}
+
+/// Resolves redirect and argument paths against the shell's cwd so the
+/// executor and `metadata` agree. Mutates the region in place.
+pub fn resolve_paths(state: &ShellState, region: &mut Region) {
+    for c in &mut region.commands {
+        if let Some(p) = &c.stdin_redirect {
+            c.stdin_redirect = Some(state.resolve_path(p));
+        }
+        if let Some((p, a)) = &c.stdout_redirect {
+            c.stdout_redirect = Some((state.resolve_path(p), *a));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_ast::CommandKind;
+
+    fn pipeline(src: &str) -> Pipeline {
+        let prog = jash_parser::parse_unwrap(src);
+        prog.items[0].and_or.first.clone()
+    }
+
+    fn state() -> ShellState {
+        ShellState::new(jash_io::mem_fs())
+    }
+
+    #[test]
+    fn static_pipeline_extracts() {
+        let s = state();
+        let r = static_region(&s, &pipeline("cat /a /b | sort -u")).unwrap();
+        assert_eq!(r.commands.len(), 2);
+        assert_eq!(r.commands[0].args, vec!["/a", "/b"]);
+    }
+
+    #[test]
+    fn dynamic_words_block_static_extraction() {
+        let s = state();
+        let err = static_region(&s, &pipeline("cat $FILES | sort")).unwrap_err();
+        assert!(matches!(err, Ineligible::DynamicWords(_)));
+    }
+
+    #[test]
+    fn jit_extraction_expands_live_state() {
+        let mut s = state();
+        s.set_var("FILES", "/a.txt /b.txt");
+        s.set_var("DICT", "/dict");
+        let r = jit_region(
+            &mut s,
+            &pipeline("cat $FILES | tr A-Z a-z | sort -u | comm -13 $DICT -"),
+        )
+        .unwrap();
+        assert_eq!(r.commands[0].args, vec!["/a.txt", "/b.txt"]);
+        assert_eq!(r.commands[3].args, vec!["-13", "/dict", "-"]);
+    }
+
+    #[test]
+    fn impure_words_block_jit_extraction() {
+        let mut s = state();
+        let err = jit_region(&mut s, &pipeline("cat $(ls) | sort")).unwrap_err();
+        assert!(matches!(err, Ineligible::ImpureWord(_)));
+        let err = jit_region(&mut s, &pipeline("cat ${X:=v} | sort")).unwrap_err();
+        assert!(matches!(err, Ineligible::ImpureWord(_)));
+    }
+
+    #[test]
+    fn compound_stage_blocks_extraction() {
+        let mut s = state();
+        let err = jit_region(&mut s, &pipeline("cat /f | { sort; }")).unwrap_err();
+        assert_eq!(err, Ineligible::NotSimple);
+    }
+
+    #[test]
+    fn assignments_block_extraction() {
+        let mut s = state();
+        let err = jit_region(&mut s, &pipeline("X=1 cat /f | sort")).unwrap_err();
+        assert_eq!(err, Ineligible::HasAssignments);
+    }
+
+    #[test]
+    fn functions_block_extraction() {
+        let mut s = state();
+        let body = jash_parser::parse_unwrap("{ :; }").items[0].and_or.first.commands[0].clone();
+        let CommandKind::BraceGroup(_) = &body.kind else {
+            panic!()
+        };
+        s.set_function("sort", body);
+        let err = jit_region(&mut s, &pipeline("cat /f | sort")).unwrap_err();
+        assert!(matches!(err, Ineligible::NotAUtility(_)));
+    }
+
+    #[test]
+    fn redirects_extracted() {
+        let mut s = state();
+        let r = jit_region(&mut s, &pipeline("sort < /in > /out")).unwrap();
+        assert_eq!(r.commands[0].stdin_redirect.as_deref(), Some("/in"));
+        assert_eq!(
+            r.commands[0].stdout_redirect,
+            Some(("/out".to_string(), false))
+        );
+    }
+
+    #[test]
+    fn stderr_redirect_unsupported() {
+        let mut s = state();
+        let err = jit_region(&mut s, &pipeline("sort < /in 2> /err")).unwrap_err();
+        assert_eq!(err, Ineligible::UnsupportedRedirect);
+    }
+
+    #[test]
+    fn resolve_paths_uses_cwd() {
+        let mut s = state();
+        s.cwd = "/work".into();
+        let mut r = jit_region(&mut s, &pipeline("sort < in > out")).unwrap();
+        resolve_paths(&s, &mut r);
+        assert_eq!(r.commands[0].stdin_redirect.as_deref(), Some("/work/in"));
+    }
+}

@@ -1,0 +1,139 @@
+//! `comm` — compare two sorted files line by line.
+//!
+//! Column 1: lines only in file1; column 2: lines only in file2; column 3:
+//! common lines. The spell pipeline's `comm -13 $DICT -` keeps only
+//! column 2 — words not in the dictionary.
+
+use crate::util::{read_all_input, write_stderr};
+use crate::{UtilCtx, UtilIo};
+use bytes::Bytes;
+use std::io;
+
+/// Runs `comm [-123] file1 file2`.
+pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i32> {
+    let (flags, files) = crate::util::split_flags(args);
+    let mut show1 = true;
+    let mut show2 = true;
+    let mut show3 = true;
+    for f in flags {
+        for c in f.chars().skip(1) {
+            match c {
+                '1' => show1 = false,
+                '2' => show2 = false,
+                '3' => show3 = false,
+                other => {
+                    write_stderr(io, &format!("comm: unknown option -{other}\n"))?;
+                    return Ok(2);
+                }
+            }
+        }
+    }
+    if files.len() != 2 {
+        write_stderr(io, "comm: requires exactly two files\n")?;
+        return Ok(2);
+    }
+
+    let a_data = read_all_input(&files[0..1], io, ctx)?;
+    let b_data = read_all_input(&files[1..2], io, ctx)?;
+    let a: Vec<&[u8]> = jash_io::split_lines(&a_data);
+    let b: Vec<&[u8]> = jash_io::split_lines(&b_data);
+
+    // Column indentation: col2 is indented by one tab iff col1 shown, col3
+    // by one tab per shown earlier column.
+    let col2_indent: &[u8] = if show1 { b"\t" } else { b"" };
+    let col3_indent: Vec<u8> = {
+        let mut v = Vec::new();
+        if show1 {
+            v.push(b'\t');
+        }
+        if show2 {
+            v.push(b'\t');
+        }
+        v
+    };
+
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() || j < b.len() {
+        let ord = match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => x.cmp(y),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => break,
+        };
+        match ord {
+            std::cmp::Ordering::Less => {
+                if show1 {
+                    out.extend_from_slice(a[i]);
+                    out.push(b'\n');
+                }
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                if show2 {
+                    out.extend_from_slice(col2_indent);
+                    out.extend_from_slice(b[j]);
+                    out.push(b'\n');
+                }
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if show3 {
+                    out.extend_from_slice(&col3_indent);
+                    out.extend_from_slice(a[i]);
+                    out.push(b'\n');
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    io.stdout.write_chunk(Bytes::from(out))?;
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    fn setup() -> UtilCtx {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/a", b"apple\nbanana\ncherry\n").unwrap();
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/b", b"banana\ndate\n").unwrap();
+        ctx
+    }
+
+    #[test]
+    fn three_columns() {
+        let ctx = setup();
+        let (st, out, _) = run_on_bytes(&ctx, "comm", &["/a", "/b"], b"").unwrap();
+        assert_eq!(st, 0);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "apple\n\t\tbanana\ncherry\n\tdate\n"
+        );
+    }
+
+    #[test]
+    fn suppress_to_spell_style() {
+        // `comm -13`: only lines unique to file2.
+        let ctx = setup();
+        let (_, out, _) = run_on_bytes(&ctx, "comm", &["-13", "/a", "/b"], b"").unwrap();
+        assert_eq!(out, b"date\n");
+    }
+
+    #[test]
+    fn stdin_as_dash() {
+        let ctx = setup();
+        let (_, out, _) = run_on_bytes(&ctx, "comm", &["-13", "/a", "-"], b"banana\nzebra\n")
+            .unwrap();
+        assert_eq!(out, b"zebra\n");
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        let ctx = setup();
+        let (st, _, _) = run_on_bytes(&ctx, "comm", &["/a"], b"").unwrap();
+        assert_eq!(st, 2);
+    }
+}

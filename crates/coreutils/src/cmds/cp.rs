@@ -1,0 +1,75 @@
+//! `cp` — copy files.
+
+use crate::util::write_stderr;
+use crate::{UtilCtx, UtilIo};
+use std::io;
+
+/// Runs `cp src dst` or `cp src... dir`.
+pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i32> {
+    let (_, operands) = crate::util::split_flags(args);
+    if operands.len() < 2 {
+        write_stderr(io, "cp: missing operand\n")?;
+        return Ok(2);
+    }
+    let dst = ctx.resolve(operands.last().expect("checked"));
+    let dst_is_dir = ctx.fs.metadata(&dst).map(|m| m.is_dir).unwrap_or(false);
+    if operands.len() > 2 && !dst_is_dir {
+        write_stderr(io, &format!("cp: {dst}: not a directory\n"))?;
+        return Ok(2);
+    }
+    let mut status = 0;
+    for src in &operands[..operands.len() - 1] {
+        let s = ctx.resolve(src);
+        let target = if dst_is_dir {
+            let base = s.rsplit('/').next().unwrap_or("file");
+            format!("{}/{}", dst.trim_end_matches('/'), base)
+        } else {
+            dst.clone()
+        };
+        match copy_one(ctx, &s, &target) {
+            Ok(()) => {}
+            Err(e) => {
+                write_stderr(io, &format!("cp: {src}: {e}\n"))?;
+                status = 1;
+            }
+        }
+    }
+    Ok(status)
+}
+
+pub(crate) fn copy_one(ctx: &UtilCtx, src: &str, dst: &str) -> io::Result<()> {
+    let mut r = ctx.fs.open_read(src)?;
+    let mut w = ctx.fs.open_write(dst, false)?;
+    while let Some(chunk) = r.read_chunk(jash_io::DEFAULT_CHUNK)? {
+        w.write_all(&chunk)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    #[test]
+    fn copies_contents() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/a", b"data").unwrap();
+        assert_eq!(run_on_bytes(&ctx, "cp", &["/a", "/b"], b"").unwrap().0, 0);
+        assert_eq!(jash_io::fs::read_to_vec(ctx.fs.as_ref(), "/b").unwrap(), b"data");
+    }
+
+    #[test]
+    fn copies_into_directory() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/a", b"1").unwrap();
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/dir/existing", b"x").unwrap();
+        assert_eq!(run_on_bytes(&ctx, "cp", &["/a", "/dir"], b"").unwrap().0, 0);
+        assert!(ctx.fs.exists("/dir/a"));
+    }
+
+    #[test]
+    fn missing_source_errors() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        assert_eq!(run_on_bytes(&ctx, "cp", &["/nope", "/b"], b"").unwrap().0, 1);
+    }
+}

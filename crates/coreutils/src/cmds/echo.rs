@@ -1,0 +1,47 @@
+//! `echo` — write arguments to standard output.
+
+use crate::{UtilCtx, UtilIo};
+use bytes::Bytes;
+use std::io;
+
+/// Runs `echo [-n] args...`. `-n` suppresses the trailing newline;
+/// backslash escapes are not interpreted (POSIX XSI escapes vary wildly
+/// between shells; dash-style `-n` is the behavior scripts rely on most).
+pub fn run(args: &[String], io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    let (no_newline, rest) = match args.first().map(|s| s.as_str()) {
+        Some("-n") => (true, &args[1..]),
+        _ => (false, args),
+    };
+    let mut out = rest.join(" ");
+    if !no_newline {
+        out.push('\n');
+    }
+    io.stdout.write_chunk(Bytes::from(out))?;
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    #[test]
+    fn joins_with_spaces() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        let (_, out, _) = run_on_bytes(&ctx, "echo", &["a", "b c"], b"").unwrap();
+        assert_eq!(out, b"a b c\n");
+    }
+
+    #[test]
+    fn dash_n() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        let (_, out, _) = run_on_bytes(&ctx, "echo", &["-n", "x"], b"").unwrap();
+        assert_eq!(out, b"x");
+    }
+
+    #[test]
+    fn empty() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        let (_, out, _) = run_on_bytes(&ctx, "echo", &[], b"").unwrap();
+        assert_eq!(out, b"\n");
+    }
+}

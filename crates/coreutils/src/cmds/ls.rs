@@ -1,0 +1,98 @@
+//! `ls` — list directory contents (names only; `-1` layout).
+
+use crate::util::write_stderr;
+use crate::{UtilCtx, UtilIo};
+use bytes::Bytes;
+use std::io;
+
+/// Runs `ls [-1a] [dir...]`.
+pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i32> {
+    let (flags, mut dirs) = crate::util::split_flags(args);
+    let all = flags.iter().any(|f| f.contains('a'));
+    if dirs.is_empty() {
+        dirs.push(".".to_string());
+    }
+    let many = dirs.len() > 1;
+    let mut status = 0;
+    for (i, d) in dirs.iter().enumerate() {
+        let path = ctx.resolve(d);
+        match ctx.fs.metadata(&path) {
+            Ok(meta) if !meta.is_dir => {
+                io.stdout.write_chunk(Bytes::from(format!("{d}\n")))?;
+            }
+            Ok(_) => {
+                if many {
+                    if i > 0 {
+                        io.stdout.write_chunk(Bytes::from_static(b"\n"))?;
+                    }
+                    io.stdout.write_chunk(Bytes::from(format!("{d}:\n")))?;
+                }
+                match ctx.fs.list_dir(&path) {
+                    Ok(names) => {
+                        let mut out = String::new();
+                        for n in names {
+                            if !all && n.starts_with('.') {
+                                continue;
+                            }
+                            out.push_str(&n);
+                            out.push('\n');
+                        }
+                        io.stdout.write_chunk(Bytes::from(out))?;
+                    }
+                    Err(e) => {
+                        write_stderr(io, &format!("ls: {d}: {e}\n"))?;
+                        status = 1;
+                    }
+                }
+            }
+            Err(e) => {
+                write_stderr(io, &format!("ls: {d}: {e}\n"))?;
+                status = 1;
+            }
+        }
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    fn setup() -> UtilCtx {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        for f in ["/d/b.txt", "/d/a.txt", "/d/.hidden"] {
+            jash_io::fs::write_file(ctx.fs.as_ref(), f, b"").unwrap();
+        }
+        ctx
+    }
+
+    #[test]
+    fn lists_sorted_without_hidden() {
+        let ctx = setup();
+        let (st, out, _) = run_on_bytes(&ctx, "ls", &["/d"], b"").unwrap();
+        assert_eq!(st, 0);
+        assert_eq!(out, b"a.txt\nb.txt\n");
+    }
+
+    #[test]
+    fn dash_a_shows_hidden() {
+        let ctx = setup();
+        let (_, out, _) = run_on_bytes(&ctx, "ls", &["-a", "/d"], b"").unwrap();
+        assert_eq!(out, b".hidden\na.txt\nb.txt\n");
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        let ctx = setup();
+        let (st, _, err) = run_on_bytes(&ctx, "ls", &["/nope"], b"").unwrap();
+        assert_eq!(st, 1);
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn file_operand_echoes_name() {
+        let ctx = setup();
+        let (_, out, _) = run_on_bytes(&ctx, "ls", &["/d/a.txt"], b"").unwrap();
+        assert_eq!(out, b"/d/a.txt\n");
+    }
+}

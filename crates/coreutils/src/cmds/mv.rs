@@ -1,0 +1,48 @@
+//! `mv` — move (copy + remove) files.
+
+use crate::util::write_stderr;
+use crate::{UtilCtx, UtilIo};
+use std::io;
+
+/// Runs `mv src dst` or `mv src... dir`.
+pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i32> {
+    let (_, operands) = crate::util::split_flags(args);
+    if operands.len() < 2 {
+        write_stderr(io, "mv: missing operand\n")?;
+        return Ok(2);
+    }
+    let dst = ctx.resolve(operands.last().expect("checked"));
+    let dst_is_dir = ctx.fs.metadata(&dst).map(|m| m.is_dir).unwrap_or(false);
+    let mut status = 0;
+    for src in &operands[..operands.len() - 1] {
+        let s = ctx.resolve(src);
+        let target = if dst_is_dir {
+            let base = s.rsplit('/').next().unwrap_or("file");
+            format!("{}/{}", dst.trim_end_matches('/'), base)
+        } else {
+            dst.clone()
+        };
+        match super::cp::copy_one(ctx, &s, &target).and_then(|()| ctx.fs.remove(&s)) {
+            Ok(()) => {}
+            Err(e) => {
+                write_stderr(io, &format!("mv: {src}: {e}\n"))?;
+                status = 1;
+            }
+        }
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    #[test]
+    fn moves_file() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/a", b"data").unwrap();
+        assert_eq!(run_on_bytes(&ctx, "mv", &["/a", "/b"], b"").unwrap().0, 0);
+        assert!(!ctx.fs.exists("/a"));
+        assert_eq!(jash_io::fs::read_to_vec(ctx.fs.as_ref(), "/b").unwrap(), b"data");
+    }
+}

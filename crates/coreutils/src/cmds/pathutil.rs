@@ -1,0 +1,64 @@
+//! `basename` and `dirname`.
+
+use crate::{UtilCtx, UtilIo};
+use bytes::Bytes;
+use std::io;
+
+/// Runs `basename path [suffix]`.
+pub fn basename(args: &[String], io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    let path = args.first().cloned().unwrap_or_default();
+    let trimmed = path.trim_end_matches('/');
+    let mut base = trimmed.rsplit('/').next().unwrap_or("").to_string();
+    if base.is_empty() {
+        base = "/".to_string();
+    }
+    if let Some(suffix) = args.get(1) {
+        if base.len() > suffix.len() {
+            if let Some(stripped) = base.strip_suffix(suffix.as_str()) {
+                base = stripped.to_string();
+            }
+        }
+    }
+    io.stdout.write_chunk(Bytes::from(format!("{base}\n")))?;
+    Ok(0)
+}
+
+/// Runs `dirname path`.
+pub fn dirname(args: &[String], io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    let path = args.first().cloned().unwrap_or_default();
+    let trimmed = path.trim_end_matches('/');
+    let dir = match trimmed.rfind('/') {
+        Some(0) => "/",
+        Some(i) => &trimmed[..i],
+        None => ".",
+    };
+    let dir = if dir.is_empty() { "/" } else { dir };
+    io.stdout.write_chunk(Bytes::from(format!("{dir}\n")))?;
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    fn one(cmd: &str, args: &[&str]) -> String {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        String::from_utf8(run_on_bytes(&ctx, cmd, args, b"").unwrap().1).unwrap()
+    }
+
+    #[test]
+    fn basenames() {
+        assert_eq!(one("basename", &["/usr/bin/tool"]), "tool\n");
+        assert_eq!(one("basename", &["/usr/bin/"]), "bin\n");
+        assert_eq!(one("basename", &["plain"]), "plain\n");
+        assert_eq!(one("basename", &["/"]), "/\n");
+        assert_eq!(one("basename", &["x.tar.gz", ".gz"]), "x.tar\n");
+    }
+
+    #[test]
+    fn dirnames() {
+        assert_eq!(one("dirname", &["/usr/bin/tool"]), "/usr/bin\n");
+        assert_eq!(one("dirname", &["/usr"]), "/\n");
+        assert_eq!(one("dirname", &["plain"]), ".\n");
+    }
+}

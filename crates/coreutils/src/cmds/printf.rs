@@ -1,0 +1,161 @@
+//! `printf` — formatted output (the POSIX subset scripts actually use).
+
+use crate::util::write_stderr;
+use crate::{UtilCtx, UtilIo};
+use bytes::Bytes;
+use std::io;
+
+/// Runs `printf format [args...]`.
+///
+/// Supports `%s`, `%d`/`%i`, `%x`, `%o`, `%c`, `%%`, field width/zero-pad
+/// (`%5d`, `%-8s`, `%05d`), and the escapes `\n \t \r \\ \0`. The format
+/// is reused until all arguments are consumed, per POSIX.
+pub fn run(args: &[String], io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    let Some(format) = args.first() else {
+        write_stderr(io, "printf: missing format\n")?;
+        return Ok(2);
+    };
+    let mut operands = args[1..].iter();
+    let mut out = String::new();
+    let mut status = 0;
+    loop {
+        let mut consumed = false;
+        let mut chars = format.chars().peekable();
+        while let Some(c) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('\\') => out.push('\\'),
+                    Some('0') => out.push('\0'),
+                    Some(other) => {
+                        out.push('\\');
+                        out.push(other);
+                    }
+                    None => out.push('\\'),
+                },
+                '%' => {
+                    if chars.peek() == Some(&'%') {
+                        chars.next();
+                        out.push('%');
+                        continue;
+                    }
+                    // Flags and width.
+                    let mut left = false;
+                    let mut zero = false;
+                    while let Some(&f) = chars.peek() {
+                        match f {
+                            '-' => {
+                                left = true;
+                                chars.next();
+                            }
+                            '0' => {
+                                zero = true;
+                                chars.next();
+                            }
+                            _ => break,
+                        }
+                    }
+                    let mut width = 0usize;
+                    while let Some(&d) = chars.peek() {
+                        if d.is_ascii_digit() {
+                            width = width * 10 + d.to_digit(10).expect("digit") as usize;
+                            chars.next();
+                        } else {
+                            break;
+                        }
+                    }
+                    let conv = chars.next().unwrap_or('s');
+                    let arg = operands.next().map(|s| {
+                        consumed = true;
+                        s.clone()
+                    });
+                    let rendered = match conv {
+                        's' => arg.unwrap_or_default(),
+                        'c' => arg.unwrap_or_default().chars().next().map(String::from).unwrap_or_default(),
+                        'd' | 'i' | 'x' | 'o' | 'u' => {
+                            let n: i64 = arg
+                                .as_deref()
+                                .unwrap_or("0")
+                                .trim()
+                                .parse()
+                                .unwrap_or_else(|_| {
+                                    status = 1;
+                                    0
+                                });
+                            match conv {
+                                'x' => format!("{n:x}"),
+                                'o' => format!("{n:o}"),
+                                _ => n.to_string(),
+                            }
+                        }
+                        other => {
+                            status = 1;
+                            format!("%{other}")
+                        }
+                    };
+                    let pad = width.saturating_sub(rendered.chars().count());
+                    if left {
+                        out.push_str(&rendered);
+                        out.extend(std::iter::repeat_n(' ', pad));
+                    } else {
+                        out.extend(std::iter::repeat_n(if zero { '0' } else { ' ' }, pad));
+                        out.push_str(&rendered);
+                    }
+                }
+                other => out.push(other),
+            }
+        }
+        if operands.len() == 0 || !consumed {
+            break;
+        }
+    }
+    io.stdout.write_chunk(Bytes::from(out))?;
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    fn printf(args: &[&str]) -> String {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        String::from_utf8(run_on_bytes(&ctx, "printf", args, b"").unwrap().1).unwrap()
+    }
+
+    #[test]
+    fn basic_string_and_escape() {
+        assert_eq!(printf(&["%s\\n", "hi"]), "hi\n");
+        assert_eq!(printf(&["a\\tb"]), "a\tb");
+    }
+
+    #[test]
+    fn numeric_conversions() {
+        assert_eq!(printf(&["%d", "42"]), "42");
+        assert_eq!(printf(&["%x", "255"]), "ff");
+        assert_eq!(printf(&["%o", "8"]), "10");
+    }
+
+    #[test]
+    fn widths() {
+        assert_eq!(printf(&["%5d", "42"]), "   42");
+        assert_eq!(printf(&["%-5d|", "42"]), "42   |");
+        assert_eq!(printf(&["%05d", "42"]), "00042");
+    }
+
+    #[test]
+    fn percent_literal() {
+        assert_eq!(printf(&["100%%"]), "100%");
+    }
+
+    #[test]
+    fn format_reuse() {
+        assert_eq!(printf(&["[%s]", "a", "b"]), "[a][b]");
+    }
+
+    #[test]
+    fn missing_args_are_empty() {
+        assert_eq!(printf(&["%s-%s", "only"]), "only-");
+    }
+}

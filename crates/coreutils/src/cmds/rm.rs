@@ -1,0 +1,91 @@
+//! `rm` — remove files.
+
+use crate::util::write_stderr;
+use crate::{UtilCtx, UtilIo};
+use std::io;
+
+/// Runs `rm [-f] [-r] file...`. Directories require `-r` (which removes
+/// every file under the prefix on the virtual filesystem).
+pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i32> {
+    let (flags, files) = crate::util::split_flags(args);
+    let force = flags.iter().any(|f| f.contains('f'));
+    let recursive = flags.iter().any(|f| f.contains('r') || f.contains('R'));
+    if files.is_empty() && !force {
+        write_stderr(io, "rm: missing operand\n")?;
+        return Ok(2);
+    }
+    let mut status = 0;
+    for f in &files {
+        let path = ctx.resolve(f);
+        match ctx.fs.metadata(&path) {
+            Ok(meta) if meta.is_dir => {
+                if recursive {
+                    remove_tree(ctx, &path)?;
+                } else {
+                    write_stderr(io, &format!("rm: {f}: is a directory\n"))?;
+                    status = 1;
+                }
+            }
+            Ok(_) => {
+                if ctx.fs.remove(&path).is_err() && !force {
+                    status = 1;
+                }
+            }
+            Err(e) => {
+                if !force {
+                    write_stderr(io, &format!("rm: {f}: {e}\n"))?;
+                    status = 1;
+                }
+            }
+        }
+    }
+    Ok(status)
+}
+
+fn remove_tree(ctx: &UtilCtx, path: &str) -> io::Result<()> {
+    if let Ok(names) = ctx.fs.list_dir(path) {
+        for n in names {
+            let child = format!("{}/{}", path.trim_end_matches('/'), n);
+            match ctx.fs.metadata(&child) {
+                Ok(m) if m.is_dir => remove_tree(ctx, &child)?,
+                _ => {
+                    let _ = ctx.fs.remove(&child);
+                }
+            }
+        }
+    }
+    let _ = ctx.fs.remove(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    #[test]
+    fn removes_files() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/x", b"1").unwrap();
+        let (st, _, _) = run_on_bytes(&ctx, "rm", &["/x"], b"").unwrap();
+        assert_eq!(st, 0);
+        assert!(!ctx.fs.exists("/x"));
+    }
+
+    #[test]
+    fn missing_file_errors_unless_forced() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        assert_eq!(run_on_bytes(&ctx, "rm", &["/nope"], b"").unwrap().0, 1);
+        assert_eq!(run_on_bytes(&ctx, "rm", &["-f", "/nope"], b"").unwrap().0, 0);
+    }
+
+    #[test]
+    fn directories_need_recursive() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/d/a", b"1").unwrap();
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/d/sub/b", b"2").unwrap();
+        assert_eq!(run_on_bytes(&ctx, "rm", &["/d"], b"").unwrap().0, 1);
+        assert_eq!(run_on_bytes(&ctx, "rm", &["-r", "/d"], b"").unwrap().0, 0);
+        assert!(!ctx.fs.exists("/d/a"));
+        assert!(!ctx.fs.exists("/d/sub/b"));
+    }
+}

@@ -1,0 +1,80 @@
+//! `seq` — print a sequence of numbers.
+
+use crate::util::write_stderr;
+use crate::{UtilCtx, UtilIo};
+use bytes::Bytes;
+use std::io;
+
+/// Runs `seq [first [incr]] last`.
+pub fn run(args: &[String], io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    let nums: Result<Vec<i64>, _> = args.iter().map(|a| a.parse::<i64>()).collect();
+    let Ok(nums) = nums else {
+        write_stderr(io, "seq: invalid numeric argument\n")?;
+        return Ok(2);
+    };
+    let (first, incr, last) = match nums.as_slice() {
+        [last] => (1, 1, *last),
+        [first, last] => (*first, 1, *last),
+        [first, incr, last] => (*first, *incr, *last),
+        _ => {
+            write_stderr(io, "seq: expected 1..3 arguments\n")?;
+            return Ok(2);
+        }
+    };
+    if incr == 0 {
+        write_stderr(io, "seq: increment must not be zero\n")?;
+        return Ok(2);
+    }
+    let mut buf = String::new();
+    let mut x = first;
+    while (incr > 0 && x <= last) || (incr < 0 && x >= last) {
+        buf.push_str(&x.to_string());
+        buf.push('\n');
+        if buf.len() > 64 * 1024 {
+            io.stdout.write_chunk(Bytes::from(std::mem::take(&mut buf)))?;
+        }
+        x += incr;
+    }
+    if !buf.is_empty() {
+        io.stdout.write_chunk(Bytes::from(buf))?;
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    fn seq(args: &[&str]) -> String {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        String::from_utf8(run_on_bytes(&ctx, "seq", args, b"").unwrap().1).unwrap()
+    }
+
+    #[test]
+    fn single_arg() {
+        assert_eq!(seq(&["3"]), "1\n2\n3\n");
+    }
+
+    #[test]
+    fn first_last() {
+        assert_eq!(seq(&["4", "6"]), "4\n5\n6\n");
+    }
+
+    #[test]
+    fn with_increment() {
+        assert_eq!(seq(&["1", "2", "7"]), "1\n3\n5\n7\n");
+        assert_eq!(seq(&["5", "-2", "1"]), "5\n3\n1\n");
+    }
+
+    #[test]
+    fn empty_range() {
+        assert_eq!(seq(&["5", "3"]), "");
+    }
+
+    #[test]
+    fn zero_increment_errors() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        let (st, _, _) = run_on_bytes(&ctx, "seq", &["1", "0", "5"], b"").unwrap();
+        assert_eq!(st, 2);
+    }
+}

@@ -1,0 +1,49 @@
+//! `tee` — copy stdin to stdout and to files.
+
+use crate::{UtilCtx, UtilIo};
+use std::io;
+
+/// Runs `tee [-a] [file...]`.
+pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i32> {
+    let (flags, files) = crate::util::split_flags(args);
+    let append = flags.iter().any(|f| f.contains('a'));
+    let mut handles = Vec::new();
+    for f in &files {
+        handles.push(ctx.fs.open_write(&ctx.resolve(f), append)?);
+    }
+    while let Some(chunk) = io.stdin.next_chunk()? {
+        for h in &mut handles {
+            h.write_all(&chunk)?;
+        }
+        io.stdout.write_chunk(chunk)?;
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    #[test]
+    fn copies_to_stdout_and_file() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        let (st, out, _) = run_on_bytes(&ctx, "tee", &["/copy"], b"data\n").unwrap();
+        assert_eq!(st, 0);
+        assert_eq!(out, b"data\n");
+        assert_eq!(
+            jash_io::fs::read_to_vec(ctx.fs.as_ref(), "/copy").unwrap(),
+            b"data\n"
+        );
+    }
+
+    #[test]
+    fn append_mode() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        jash_io::fs::write_file(ctx.fs.as_ref(), "/log", b"old\n").unwrap();
+        run_on_bytes(&ctx, "tee", &["-a", "/log"], b"new\n").unwrap();
+        assert_eq!(
+            jash_io::fs::read_to_vec(ctx.fs.as_ref(), "/log").unwrap(),
+            b"old\nnew\n"
+        );
+    }
+}

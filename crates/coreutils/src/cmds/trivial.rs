@@ -1,0 +1,52 @@
+//! `true`, `false`, `yes`.
+
+use crate::{UtilCtx, UtilIo};
+use bytes::Bytes;
+use std::io;
+
+/// Runs `true`.
+pub fn run_true(_args: &[String], _io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    Ok(0)
+}
+
+/// Runs `false`.
+pub fn run_false(_args: &[String], _io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    Ok(1)
+}
+
+/// Runs `yes [word]` — bounded here (64 Ki lines) because our pipes cannot
+/// signal SIGPIPE to terminate a truly infinite writer in every context.
+pub fn run_yes(args: &[String], io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i32> {
+    let word = if args.is_empty() {
+        "y".to_string()
+    } else {
+        args.join(" ")
+    };
+    let line = format!("{word}\n");
+    let block: String = line.repeat(1024);
+    for _ in 0..64 {
+        if io.stdout.write_chunk(Bytes::from(block.clone())).is_err() {
+            return Ok(0);
+        }
+    }
+    Ok(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{run_on_bytes, UtilCtx};
+
+    #[test]
+    fn truth_values() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        assert_eq!(run_on_bytes(&ctx, "true", &[], b"").unwrap().0, 0);
+        assert_eq!(run_on_bytes(&ctx, "false", &[], b"").unwrap().0, 1);
+    }
+
+    #[test]
+    fn yes_emits_lines() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        let (_, out, _) = run_on_bytes(&ctx, "yes", &["ok"], b"").unwrap();
+        assert!(out.starts_with(b"ok\nok\n"));
+    }
+}

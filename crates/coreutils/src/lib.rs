@@ -1,0 +1,160 @@
+//! In-process streaming implementations of the Unix utilities the paper's
+//! pipelines compose.
+//!
+//! PaSh/POSH/Jash treat commands as black boxes described by
+//! *specifications* (see `jash-spec`); what the reproduction needs from the
+//! utilities themselves is (a) faithful semantics for the pipelines under
+//! study and (b) realistic streaming behavior — bounded memory, CPU cost
+//! proportional to bytes, order-preserving line processing. Implementing
+//! them in-process over `jash-io` streams keeps the executor portable and
+//! lets the simulated disk meter every byte.
+//!
+//! Each utility is a function `fn(args, &mut UtilIo, &UtilCtx) -> io::Result<i32>`
+//! registered in [`lookup`]. File arguments resolve against `UtilCtx::cwd`
+//! on `UtilCtx::fs`; the conventional `-` means standard input.
+
+pub mod cmds;
+pub mod regex;
+pub mod util;
+
+use jash_io::{ByteStream, FsHandle, Sink};
+use std::io;
+
+/// Execution context for one utility invocation.
+pub struct UtilCtx {
+    /// Filesystem for path arguments.
+    pub fs: FsHandle,
+    /// Directory relative paths resolve against.
+    pub cwd: String,
+}
+
+impl UtilCtx {
+    /// Creates a context rooted at `/`.
+    pub fn new(fs: FsHandle) -> Self {
+        UtilCtx {
+            fs,
+            cwd: "/".to_string(),
+        }
+    }
+
+    /// Resolves a path argument.
+    pub fn resolve(&self, path: &str) -> String {
+        jash_io::fs::normalize(&self.cwd, path)
+    }
+}
+
+/// The stdio triple handed to a utility.
+pub struct UtilIo<'a> {
+    /// Standard input.
+    pub stdin: &'a mut dyn ByteStream,
+    /// Standard output.
+    pub stdout: &'a mut dyn Sink,
+    /// Standard error (diagnostics only; never closed by utilities).
+    pub stderr: &'a mut dyn Sink,
+}
+
+/// The type every utility implements.
+pub type UtilityFn = fn(&[String], &mut UtilIo<'_>, &UtilCtx) -> io::Result<i32>;
+
+/// Looks up a utility implementation by command name.
+pub fn lookup(name: &str) -> Option<UtilityFn> {
+    Some(match name {
+        "cat" => cmds::cat::run,
+        "tr" => cmds::tr::run,
+        "sort" => cmds::sort::run,
+        "uniq" => cmds::uniq::run,
+        "grep" => cmds::grep::run,
+        "cut" => cmds::cut::run,
+        "head" => cmds::head::run,
+        "tail" => cmds::tail::run,
+        "wc" => cmds::wc::run,
+        "comm" => cmds::comm::run,
+        "sed" => cmds::sed::run,
+        "seq" => cmds::seq::run,
+        "tee" => cmds::tee::run,
+        "rev" => cmds::rev::run,
+        "paste" => cmds::paste::run,
+        "join" => cmds::join::run,
+        "shuf" => cmds::shuf::run,
+        "fold" => cmds::fold::run,
+        "nl" => cmds::nl::run,
+        "tac" => cmds::tac::run,
+        "echo" => cmds::echo::run,
+        "printf" => cmds::printf::run,
+        "true" => cmds::trivial::run_true,
+        "false" => cmds::trivial::run_false,
+        "yes" => cmds::trivial::run_yes,
+        "basename" => cmds::pathutil::basename,
+        "dirname" => cmds::pathutil::dirname,
+        "ls" => cmds::ls::run,
+        "mkfifo" => cmds::trivial::run_true,
+        "rm" => cmds::rm::run,
+        "cp" => cmds::cp::run,
+        "mv" => cmds::mv::run,
+        _ => return None,
+    })
+}
+
+/// Whether `name` is a known utility.
+pub fn is_utility(name: &str) -> bool {
+    lookup(name).is_some()
+}
+
+/// Runs a utility by name.
+pub fn run_utility(
+    name: &str,
+    args: &[String],
+    io: &mut UtilIo<'_>,
+    ctx: &UtilCtx,
+) -> io::Result<i32> {
+    match lookup(name) {
+        Some(f) => f(args, io, ctx),
+        None => {
+            util::write_stderr(io, &format!("{name}: command not found\n"))?;
+            Ok(127)
+        }
+    }
+}
+
+/// Convenience for tests and examples: runs a utility over in-memory data
+/// and returns `(status, stdout, stderr)`.
+pub fn run_on_bytes(
+    ctx: &UtilCtx,
+    name: &str,
+    args: &[&str],
+    input: &[u8],
+) -> io::Result<(i32, Vec<u8>, Vec<u8>)> {
+    let mut stdin = jash_io::MemStream::from_bytes(input.to_vec());
+    let mut stdout = jash_io::VecSink::new();
+    let mut stderr = jash_io::VecSink::new();
+    let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+    let status = {
+        let mut io = UtilIo {
+            stdin: &mut stdin,
+            stdout: &mut stdout,
+            stderr: &mut stderr,
+        };
+        run_utility(name, &args, &mut io, ctx)?
+    };
+    Ok((status, stdout.data, stderr.data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_known_and_unknown() {
+        assert!(is_utility("sort"));
+        assert!(is_utility("tr"));
+        assert!(!is_utility("no-such-thing"));
+    }
+
+    #[test]
+    fn unknown_command_is_127() {
+        let ctx = UtilCtx::new(jash_io::mem_fs());
+        let (st, _, err) = run_on_bytes(&ctx, "frobnicate", &[], b"").unwrap();
+        assert_eq!(st, 127);
+        assert!(String::from_utf8_lossy(&err).contains("not found"));
+    }
+}

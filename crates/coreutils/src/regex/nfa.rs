@@ -1,0 +1,342 @@
+//! Thompson NFA construction and simulation.
+
+use super::parse::Node;
+
+/// A byte matcher on one transition.
+#[derive(Debug, Clone)]
+enum Matcher {
+    Byte(u8),
+    Any,
+    Class { negated: bool, ranges: Vec<(u8, u8)> },
+}
+
+impl Matcher {
+    fn matches(&self, b: u8, icase: bool) -> bool {
+        let fold = |x: u8| if icase { x.to_ascii_lowercase() } else { x };
+        match self {
+            Matcher::Byte(m) => fold(*m) == fold(b),
+            Matcher::Any => b != b'\n',
+            Matcher::Class { negated, ranges } => {
+                let hit = ranges.iter().any(|&(lo, hi)| {
+                    (lo..=hi).contains(&b)
+                        || (icase
+                            && ((lo..=hi).contains(&b.to_ascii_lowercase())
+                                || (lo..=hi).contains(&b.to_ascii_uppercase())))
+                });
+                hit != *negated
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct State {
+    trans: Vec<(Matcher, usize)>,
+    eps: Vec<usize>,
+}
+
+/// A compiled NFA with a single start and a single accept state.
+pub struct Nfa {
+    states: Vec<State>,
+    start: usize,
+    accept: usize,
+    icase: bool,
+}
+
+impl Nfa {
+    /// Compiles a syntax tree.
+    pub fn compile(node: &Node, icase: bool) -> Nfa {
+        let mut nfa = Nfa {
+            states: Vec::new(),
+            start: 0,
+            accept: 0,
+            icase,
+        };
+        let start = nfa.new_state();
+        let (frag_in, frag_out) = nfa.build(node);
+        let accept = nfa.new_state();
+        nfa.states[start].eps.push(frag_in);
+        nfa.states[frag_out].eps.push(accept);
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa
+    }
+
+    fn new_state(&mut self) -> usize {
+        self.states.push(State::default());
+        self.states.len() - 1
+    }
+
+    /// Builds a fragment; returns (entry, exit) state indices.
+    fn build(&mut self, node: &Node) -> (usize, usize) {
+        match node {
+            Node::Empty => {
+                let s = self.new_state();
+                (s, s)
+            }
+            Node::Char(c) => {
+                let a = self.new_state();
+                let b = self.new_state();
+                self.states[a].trans.push((Matcher::Byte(*c), b));
+                (a, b)
+            }
+            Node::Any => {
+                let a = self.new_state();
+                let b = self.new_state();
+                self.states[a].trans.push((Matcher::Any, b));
+                (a, b)
+            }
+            Node::Class { negated, ranges } => {
+                let a = self.new_state();
+                let b = self.new_state();
+                self.states[a].trans.push((
+                    Matcher::Class {
+                        negated: *negated,
+                        ranges: ranges.clone(),
+                    },
+                    b,
+                ));
+                (a, b)
+            }
+            Node::Concat(seq) => {
+                let mut entry = None;
+                let mut prev_out = None;
+                for n in seq {
+                    let (i, o) = self.build(n);
+                    if let Some(po) = prev_out {
+                        self.states[po as usize].eps.push(i);
+                    } else {
+                        entry = Some(i);
+                    }
+                    prev_out = Some(o as u32);
+                }
+                match (entry, prev_out) {
+                    (Some(i), Some(o)) => (i, o as usize),
+                    _ => {
+                        let s = self.new_state();
+                        (s, s)
+                    }
+                }
+            }
+            Node::Alt(branches) => {
+                let a = self.new_state();
+                let b = self.new_state();
+                for br in branches {
+                    let (i, o) = self.build(br);
+                    self.states[a].eps.push(i);
+                    self.states[o].eps.push(b);
+                }
+                (a, b)
+            }
+            Node::Star(inner) => {
+                let a = self.new_state();
+                let b = self.new_state();
+                let (i, o) = self.build(inner);
+                self.states[a].eps.push(i);
+                self.states[a].eps.push(b);
+                self.states[o].eps.push(i);
+                self.states[o].eps.push(b);
+                (a, b)
+            }
+            Node::Plus(inner) => {
+                let (i, o) = self.build(inner);
+                let b = self.new_state();
+                self.states[o].eps.push(i);
+                self.states[o].eps.push(b);
+                (i, b)
+            }
+            Node::Opt(inner) => {
+                let a = self.new_state();
+                let b = self.new_state();
+                let (i, o) = self.build(inner);
+                self.states[a].eps.push(i);
+                self.states[a].eps.push(b);
+                self.states[o].eps.push(b);
+                (a, b)
+            }
+            Node::Repeat(inner, m, n) => {
+                // Expand bounded repetition structurally.
+                let mut seq: Vec<Node> = Vec::new();
+                for _ in 0..*m {
+                    seq.push((**inner).clone());
+                }
+                if *n == usize::MAX {
+                    seq.push(Node::Star(inner.clone()));
+                } else {
+                    for _ in *m..*n {
+                        seq.push(Node::Opt(inner.clone()));
+                    }
+                }
+                self.build(&Node::Concat(seq))
+            }
+        }
+    }
+
+    fn eps_closure(&self, set: &mut Vec<bool>, work: &mut Vec<usize>) {
+        while let Some(s) = work.pop() {
+            for &t in &self.states[s].eps {
+                if !set[t] {
+                    set[t] = true;
+                    work.push(t);
+                }
+            }
+        }
+    }
+
+    /// One-pass unanchored containment test: the start state stays live
+    /// at every position (the `.*`-prefix trick), so the whole line is
+    /// scanned once regardless of where a match begins.
+    pub fn contains_match(&self, line: &[u8]) -> bool {
+        let mut cur = vec![false; self.states.len()];
+        cur[self.start] = true;
+        let mut work = vec![self.start];
+        self.eps_closure(&mut cur, &mut work);
+        if cur[self.accept] {
+            return true;
+        }
+        let mut next = vec![false; self.states.len()];
+        for &b in line {
+            next.iter_mut().for_each(|v| *v = false);
+            let mut work = Vec::new();
+            for (s, &active) in cur.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for (m, t) in &self.states[s].trans {
+                    if m.matches(b, self.icase) && !next[*t] {
+                        next[*t] = true;
+                        work.push(*t);
+                    }
+                }
+            }
+            // A match may begin at the next position.
+            if !next[self.start] {
+                next[self.start] = true;
+                work.push(self.start);
+            }
+            self.eps_closure(&mut next, &mut work);
+            std::mem::swap(&mut cur, &mut next);
+            if cur[self.accept] {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Longest match length starting exactly at `begin`; `None` if no
+    /// match starts there.
+    pub fn longest_match(&self, line: &[u8], begin: usize) -> Option<usize> {
+        let mut cur = vec![false; self.states.len()];
+        cur[self.start] = true;
+        let mut work = vec![self.start];
+        self.eps_closure(&mut cur, &mut work);
+
+        let mut best = if cur[self.accept] { Some(begin) } else { None };
+        let mut next = vec![false; self.states.len()];
+        for (i, &b) in line[begin..].iter().enumerate() {
+            next.iter_mut().for_each(|v| *v = false);
+            let mut work = Vec::new();
+            for (s, &active) in cur.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for (m, t) in &self.states[s].trans {
+                    if m.matches(b, self.icase) && !next[*t] {
+                        next[*t] = true;
+                        work.push(*t);
+                    }
+                }
+            }
+            if work.is_empty() {
+                return best;
+            }
+            self.eps_closure(&mut next, &mut work);
+            std::mem::swap(&mut cur, &mut next);
+            if cur[self.accept] {
+                best = Some(begin + i + 1);
+            }
+        }
+        best
+    }
+
+    /// Whether some match starting at `begin` consumes the entire line.
+    pub fn matches_to_end(&self, line: &[u8], begin: usize) -> bool {
+        self.longest_match(line, begin) == Some(line.len())
+            || self.any_match_ends_at(line, begin, line.len())
+    }
+
+    fn any_match_ends_at(&self, line: &[u8], begin: usize, end: usize) -> bool {
+        // The longest match is the only one we track; for end-anchored
+        // matching, rerun and check whether the accept state is live when
+        // the cursor reaches `end`.
+        let mut cur = vec![false; self.states.len()];
+        cur[self.start] = true;
+        let mut work = vec![self.start];
+        self.eps_closure(&mut cur, &mut work);
+        for &b in &line[begin..end] {
+            let mut next = vec![false; self.states.len()];
+            let mut work = Vec::new();
+            for (s, &active) in cur.iter().enumerate() {
+                if !active {
+                    continue;
+                }
+                for (m, t) in &self.states[s].trans {
+                    if m.matches(b, self.icase) && !next[*t] {
+                        next[*t] = true;
+                        work.push(*t);
+                    }
+                }
+            }
+            if work.is_empty() {
+                return false;
+            }
+            self.eps_closure(&mut next, &mut work);
+            cur = next;
+        }
+        cur[self.accept]
+    }
+
+    /// Number of states (diagnostics).
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regex::parse::parse_pattern;
+    use crate::regex::Flavor;
+
+    fn nfa(p: &str) -> Nfa {
+        let (node, ..) = parse_pattern(p, Flavor::Ere).unwrap();
+        Nfa::compile(&node, false)
+    }
+
+    #[test]
+    fn longest_match_lengths() {
+        let n = nfa("ab*");
+        assert_eq!(n.longest_match(b"abbbx", 0), Some(4));
+        assert_eq!(n.longest_match(b"x", 0), None);
+        assert_eq!(n.longest_match(b"a", 0), Some(1));
+    }
+
+    #[test]
+    fn empty_matches_at_position() {
+        let n = nfa("x?");
+        assert_eq!(n.longest_match(b"y", 0), Some(0));
+    }
+
+    #[test]
+    fn repeat_expansion() {
+        let n = nfa("a{2,3}");
+        assert_eq!(n.longest_match(b"aaaa", 0), Some(3));
+        assert_eq!(n.longest_match(b"a", 0), None);
+    }
+
+    #[test]
+    fn state_count_linear() {
+        let n = nfa("(a|b)*c{1,4}");
+        assert!(n.state_count() < 64);
+    }
+}

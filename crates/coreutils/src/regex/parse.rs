@@ -1,0 +1,460 @@
+//! Pattern parsing for BRE and ERE.
+
+use std::fmt;
+
+/// Which POSIX regex dialect to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// Basic regular expressions (`grep`, `sed` default).
+    Bre,
+    /// Extended regular expressions (`grep -E`).
+    Ere,
+}
+
+/// Pattern syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError(pub String);
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regular expression: {}", self.0)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Regex syntax tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// Matches the empty string.
+    Empty,
+    /// A literal byte.
+    Char(u8),
+    /// `.` — any byte except newline.
+    Any,
+    /// `[...]`.
+    Class {
+        /// `[^...]`.
+        negated: bool,
+        /// Accepted byte ranges, inclusive.
+        ranges: Vec<(u8, u8)>,
+    },
+    /// Sequence.
+    Concat(Vec<Node>),
+    /// Alternation.
+    Alt(Vec<Node>),
+    /// Zero or more.
+    Star(Box<Node>),
+    /// One or more.
+    Plus(Box<Node>),
+    /// Zero or one.
+    Opt(Box<Node>),
+    /// Bounded repetition `{m,n}` (`n = usize::MAX` for open).
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Parses `pattern`, returning the tree plus start/end anchor flags.
+pub fn parse_pattern(pattern: &str, flavor: Flavor) -> Result<(Node, bool, bool), RegexError> {
+    let bytes = pattern.as_bytes();
+    let (anchored_start, rest) = match bytes.first() {
+        Some(b'^') => (true, &bytes[1..]),
+        _ => (false, bytes),
+    };
+    let (anchored_end, rest) = match rest.last() {
+        // `$` is an anchor only at the very end (both dialects in practice).
+        Some(b'$') if !ends_with_escape(rest) => (true, &rest[..rest.len() - 1]),
+        _ => (false, rest),
+    };
+    let mut p = P {
+        bytes: rest,
+        pos: 0,
+        flavor,
+    };
+    let node = p.alternation()?;
+    if p.pos != p.bytes.len() {
+        return Err(RegexError(format!(
+            "unexpected `{}`",
+            p.bytes[p.pos] as char
+        )));
+    }
+    Ok((node, anchored_start, anchored_end))
+}
+
+fn ends_with_escape(bytes: &[u8]) -> bool {
+    // `...\$` keeps the dollar literal; count trailing backslashes.
+    let mut n = 0;
+    for &b in bytes[..bytes.len().saturating_sub(1)].iter().rev() {
+        if b == b'\\' {
+            n += 1;
+        } else {
+            break;
+        }
+    }
+    n % 2 == 1
+}
+
+struct P<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    flavor: Flavor,
+}
+
+impl<'a> P<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    /// `alt ::= concat ('|' concat)*` — `|` spelled `\|` in BRE.
+    fn alternation(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.eat_op(b'|') {
+            branches.push(self.concat()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Node::Alt(branches)
+        })
+    }
+
+    /// Consumes the operator `op`, spelled bare in ERE and `\op` in BRE.
+    fn eat_op(&mut self, op: u8) -> bool {
+        match self.flavor {
+            Flavor::Ere => {
+                if self.peek() == Some(op) {
+                    self.pos += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Flavor::Bre => {
+                if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&op) {
+                    self.pos += 2;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    fn at_group_close(&self) -> bool {
+        match self.flavor {
+            Flavor::Ere => self.peek() == Some(b')'),
+            Flavor::Bre => {
+                self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b')')
+            }
+        }
+    }
+
+    fn at_alt(&self) -> bool {
+        match self.flavor {
+            Flavor::Ere => self.peek() == Some(b'|'),
+            Flavor::Bre => {
+                self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'|')
+            }
+        }
+    }
+
+    fn concat(&mut self) -> Result<Node, RegexError> {
+        let mut seq = Vec::new();
+        while self.peek().is_some() && !self.at_group_close() && !self.at_alt() {
+            seq.push(self.repeated()?);
+        }
+        Ok(match seq.len() {
+            0 => Node::Empty,
+            1 => seq.pop().expect("one node"),
+            _ => Node::Concat(seq),
+        })
+    }
+
+    fn repeated(&mut self) -> Result<Node, RegexError> {
+        let atom = self.atom()?;
+        let mut node = atom;
+        loop {
+            if self.peek() == Some(b'*') {
+                self.pos += 1;
+                node = Node::Star(Box::new(node));
+            } else if self.eat_postfix(b'+') {
+                node = Node::Plus(Box::new(node));
+            } else if self.eat_postfix(b'?') {
+                node = Node::Opt(Box::new(node));
+            } else if let Some((m, n)) = self.try_interval()? {
+                node = Node::Repeat(Box::new(node), m, n);
+            } else {
+                return Ok(node);
+            }
+        }
+    }
+
+    /// `+`/`?` are bare in ERE; `\+`/`\?` in BRE (a common extension).
+    fn eat_postfix(&mut self, op: u8) -> bool {
+        self.eat_op(op) && !matches!(self.flavor, Flavor::Ere if false)
+    }
+
+    /// `{m,n}` in ERE, `\{m,n\}` in BRE.
+    fn try_interval(&mut self) -> Result<Option<(usize, usize)>, RegexError> {
+        let save = self.pos;
+        let open = match self.flavor {
+            Flavor::Ere => self.peek() == Some(b'{') && {
+                self.pos += 1;
+                true
+            },
+            Flavor::Bre => self.eat_op(b'{'),
+        };
+        if !open {
+            return Ok(None);
+        }
+        let read_num = |p: &mut Self| -> Option<usize> {
+            let start = p.pos;
+            while p.peek().is_some_and(|b| b.is_ascii_digit()) {
+                p.pos += 1;
+            }
+            if p.pos == start {
+                return None;
+            }
+            std::str::from_utf8(&p.bytes[start..p.pos])
+                .ok()?
+                .parse()
+                .ok()
+        };
+        let Some(m) = read_num(self) else {
+            self.pos = save;
+            return Ok(None);
+        };
+        let n = if self.peek() == Some(b',') {
+            self.pos += 1;
+            match read_num(self) {
+                Some(n) => n,
+                None => usize::MAX,
+            }
+        } else {
+            m
+        };
+        let closed = match self.flavor {
+            Flavor::Ere => {
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Flavor::Bre => self.eat_op(b'}'),
+        };
+        if !closed {
+            self.pos = save;
+            return Ok(None);
+        }
+        if n != usize::MAX && n < m || m > 255 {
+            return Err(RegexError("bad repetition bounds".to_string()));
+        }
+        Ok(Some((m, n)))
+    }
+
+    fn atom(&mut self) -> Result<Node, RegexError> {
+        // Group open?
+        let group_open = match self.flavor {
+            Flavor::Ere => {
+                if self.peek() == Some(b'(') {
+                    self.pos += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            Flavor::Bre => self.eat_op(b'('),
+        };
+        if group_open {
+            let inner = self.alternation()?;
+            if !match self.flavor {
+                Flavor::Ere => {
+                    if self.peek() == Some(b')') {
+                        self.pos += 1;
+                        true
+                    } else {
+                        false
+                    }
+                }
+                Flavor::Bre => self.eat_op(b')'),
+            } {
+                return Err(RegexError("unclosed group".to_string()));
+            }
+            return Ok(inner);
+        }
+
+        match self.bump() {
+            None => Err(RegexError("unexpected end of pattern".to_string())),
+            Some(b'.') => Ok(Node::Any),
+            Some(b'[') => self.bracket(),
+            Some(b'\\') => match self.bump() {
+                None => Err(RegexError("trailing backslash".to_string())),
+                Some(b'n') => Ok(Node::Char(b'\n')),
+                Some(b't') => Ok(Node::Char(b'\t')),
+                Some(c) => Ok(Node::Char(c)),
+            },
+            Some(b'*') => Err(RegexError("repetition with nothing to repeat".to_string())),
+            Some(c @ (b'+' | b'?' | b'{' | b')')) if self.flavor == Flavor::Ere => {
+                if c == b')' {
+                    Err(RegexError("unmatched `)`".to_string()))
+                } else {
+                    Err(RegexError(format!(
+                        "repetition `{}` with nothing to repeat",
+                        c as char
+                    )))
+                }
+            }
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn bracket(&mut self) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some(b'^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut ranges: Vec<(u8, u8)> = Vec::new();
+        let mut first = true;
+        loop {
+            match self.peek() {
+                None => return Err(RegexError("unclosed bracket expression".to_string())),
+                Some(b']') if !first => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'[') if self.bytes.get(self.pos + 1) == Some(&b':') => {
+                    // [:class:]
+                    let end = self.bytes[self.pos + 2..]
+                        .windows(2)
+                        .position(|w| w == b":]")
+                        .ok_or_else(|| RegexError("unclosed [: :]".to_string()))?;
+                    let name = &self.bytes[self.pos + 2..self.pos + 2 + end];
+                    ranges.extend(named_class(name)?);
+                    self.pos += 2 + end + 2;
+                    first = false;
+                }
+                Some(lo) => {
+                    self.pos += 1;
+                    first = false;
+                    if self.peek() == Some(b'-')
+                        && self.bytes.get(self.pos + 1).is_some_and(|&b| b != b']')
+                    {
+                        self.pos += 1;
+                        let hi = self.bump().expect("checked");
+                        if hi < lo {
+                            return Err(RegexError("invalid range".to_string()));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+        Ok(Node::Class { negated, ranges })
+    }
+}
+
+fn named_class(name: &[u8]) -> Result<Vec<(u8, u8)>, RegexError> {
+    Ok(match name {
+        b"alpha" => vec![(b'A', b'Z'), (b'a', b'z')],
+        b"digit" => vec![(b'0', b'9')],
+        b"alnum" => vec![(b'A', b'Z'), (b'a', b'z'), (b'0', b'9')],
+        b"upper" => vec![(b'A', b'Z')],
+        b"lower" => vec![(b'a', b'z')],
+        b"space" => vec![(b' ', b' '), (b'\t', b'\r')],
+        b"blank" => vec![(b' ', b' '), (b'\t', b'\t')],
+        b"punct" => vec![(b'!', b'/'), (b':', b'@'), (b'[', b'`'), (b'{', b'~')],
+        b"xdigit" => vec![(b'0', b'9'), (b'A', b'F'), (b'a', b'f')],
+        b"print" => vec![(b' ', b'~')],
+        b"graph" => vec![(b'!', b'~')],
+        b"cntrl" => vec![(0, 31), (127, 127)],
+        other => {
+            return Err(RegexError(format!(
+                "unknown character class [:{}:]",
+                String::from_utf8_lossy(other)
+            )))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple() {
+        let (node, s, e) = parse_pattern("abc", Flavor::Bre).unwrap();
+        assert!(!s && !e);
+        assert_eq!(
+            node,
+            Node::Concat(vec![Node::Char(b'a'), Node::Char(b'b'), Node::Char(b'c')])
+        );
+    }
+
+    #[test]
+    fn parse_anchors() {
+        let (_, s, e) = parse_pattern("^x$", Flavor::Bre).unwrap();
+        assert!(s && e);
+        let (node, _, e) = parse_pattern(r"x\$", Flavor::Bre).unwrap();
+        assert!(!e);
+        assert_eq!(node, Node::Concat(vec![Node::Char(b'x'), Node::Char(b'$')]));
+    }
+
+    #[test]
+    fn parse_star_and_interval() {
+        let (node, ..) = parse_pattern("a*", Flavor::Bre).unwrap();
+        assert_eq!(node, Node::Star(Box::new(Node::Char(b'a'))));
+        let (node, ..) = parse_pattern("a{2,4}", Flavor::Ere).unwrap();
+        assert_eq!(node, Node::Repeat(Box::new(Node::Char(b'a')), 2, 4));
+        let (node, ..) = parse_pattern(r"a\{2\}", Flavor::Bre).unwrap();
+        assert_eq!(node, Node::Repeat(Box::new(Node::Char(b'a')), 2, 2));
+    }
+
+    #[test]
+    fn ere_braces_literal_in_bre() {
+        // In BRE an unescaped `{` is literal.
+        let (node, ..) = parse_pattern("a{2}", Flavor::Bre).unwrap();
+        assert!(matches!(node, Node::Concat(_)));
+    }
+
+    #[test]
+    fn bracket_parsing() {
+        let (node, ..) = parse_pattern("[a-c5]", Flavor::Bre).unwrap();
+        assert_eq!(
+            node,
+            Node::Class {
+                negated: false,
+                ranges: vec![(b'a', b'c'), (b'5', b'5')]
+            }
+        );
+        let (node, ..) = parse_pattern("[]]", Flavor::Bre).unwrap();
+        assert_eq!(
+            node,
+            Node::Class {
+                negated: false,
+                ranges: vec![(b']', b']')]
+            }
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_pattern("[", Flavor::Bre).is_err());
+        assert!(parse_pattern("(a", Flavor::Ere).is_err());
+        assert!(parse_pattern("*x", Flavor::Bre).is_err());
+        assert!(parse_pattern("[[:bogus:]]", Flavor::Bre).is_err());
+        assert!(parse_pattern("a{4,2}", Flavor::Ere).is_err());
+    }
+}

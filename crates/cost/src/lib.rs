@@ -1,0 +1,41 @@
+//! Cost-aware planning for dataflow regions — the "resource-aware
+//! optimization procedure" of the HotOS '21 paper (§3.2).
+//!
+//! Given a compiled region, a [`MachineProfile`], and the input size
+//! (which the Jash JIT reads off the live filesystem), [`choose_plan`]
+//! selects a parallelization width and buffering strategy whose projected
+//! makespan beats the sequential plan by a safety margin — or refuses to
+//! transform ("performance benefits *and no regressions!*"). The PaSh
+//! baseline's fixed, resource-oblivious plan is exposed as
+//! [`pash_aot_plan`] so benchmarks can reproduce Figure 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use jash_cost::{choose_plan, InputInfo, MachineProfile, PlannerOptions};
+//! use jash_dataflow::{compile, ExpandedCommand, Region};
+//! use jash_spec::Registry;
+//!
+//! let region = Region {
+//!     commands: vec![
+//!         ExpandedCommand::new("cat", &["/words"]),
+//!         ExpandedCommand::new("sort", &[]),
+//!     ],
+//! };
+//! let compiled = compile(&region, &Registry::builtin()).unwrap();
+//! let decision = choose_plan(
+//!     &compiled.dfg,
+//!     &MachineProfile::io_opt_ec2(),
+//!     InputInfo { total_bytes: 3 << 30 },
+//!     &PlannerOptions::default(),
+//! );
+//! assert!(decision.transform());
+//! ```
+
+pub mod estimate;
+pub mod machine;
+pub mod optimize;
+
+pub use estimate::{disk_seconds, estimate, InputInfo, PlanShape};
+pub use machine::{default_cpu_rate, MachineProfile};
+pub use optimize::{choose_plan, pash_aot_plan, Decision, PlannerOptions};

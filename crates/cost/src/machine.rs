@@ -1,0 +1,109 @@
+//! Machine profiles: the resources the optimizer reasons about.
+//!
+//! The paper's §3.2 point is that "the entire population of shell users
+//! ranges from owners of palm-sized computers to administrators of
+//! supercomputers" — so the optimizer is parameterized by an explicit
+//! [`MachineProfile`] rather than baked-in assumptions.
+
+use jash_io::DiskProfile;
+
+/// The resources available to an execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProfile {
+    /// Worker cores usable for data parallelism.
+    pub cores: usize,
+    /// The disk the virtual filesystem models.
+    pub disk: DiskProfile,
+    /// Memory budget in MiB (bounds in-memory buffering).
+    pub mem_mb: u64,
+}
+
+impl MachineProfile {
+    /// The paper's *Standard* instance: c5.2xlarge (8 vCPU) + gp2.
+    pub fn standard_ec2() -> Self {
+        MachineProfile {
+            cores: 8,
+            disk: DiskProfile::gp2_standard(),
+            mem_mb: 16 * 1024,
+        }
+    }
+
+    /// The paper's *IO-opt* instance: c5.2xlarge + gp3 (15 K IOPS).
+    pub fn io_opt_ec2() -> Self {
+        MachineProfile {
+            cores: 8,
+            disk: DiskProfile::gp3_io_opt(),
+            mem_mb: 16 * 1024,
+        }
+    }
+
+    /// A developer laptop with a fast local SSD.
+    pub fn laptop() -> Self {
+        MachineProfile {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            disk: DiskProfile::ramdisk(),
+            mem_mb: 8 * 1024,
+        }
+    }
+
+    /// A resource-constrained single-board computer.
+    pub fn palm_sized() -> Self {
+        MachineProfile {
+            cores: 2,
+            disk: DiskProfile {
+                read_mbps: 40.0,
+                write_mbps: 20.0,
+                base_iops: 500.0,
+                burst_iops: 500.0,
+                burst_credit_ios: 0.0,
+                time_scale: 1.0,
+            },
+            mem_mb: 512,
+        }
+    }
+
+    /// Returns the profile with the disk's time scale replaced (used by
+    /// benchmarks to shrink wall-clock time while preserving ratios).
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        self.disk.time_scale = scale;
+        self
+    }
+}
+
+/// Per-command CPU throughput estimates, bytes/second on one core.
+///
+/// Delegates to [`jash_io::cpu_rate`] so the planner's beliefs and the
+/// CPU simulation (when active) are one table: what the planner predicts
+/// is what the simulated machine delivers, and on real hardware both are
+/// calibration constants whose *relative* magnitudes drive plan choice.
+pub fn default_cpu_rate(command: &str) -> f64 {
+    jash_io::cpu_rate(command)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_differ_where_it_matters() {
+        let std = MachineProfile::standard_ec2();
+        let opt = MachineProfile::io_opt_ec2();
+        assert_eq!(std.cores, opt.cores);
+        assert!(std.disk.base_iops < opt.disk.base_iops / 10.0);
+    }
+
+    #[test]
+    fn relative_rates_sane() {
+        assert!(default_cpu_rate("cat") > default_cpu_rate("grep"));
+        assert!(default_cpu_rate("grep") > default_cpu_rate("sort"));
+        assert!(default_cpu_rate("unknown-thing") > 0.0);
+    }
+
+    #[test]
+    fn time_scale_override() {
+        let m = MachineProfile::standard_ec2().with_time_scale(0.01);
+        assert_eq!(m.disk.time_scale, 0.01);
+    }
+}

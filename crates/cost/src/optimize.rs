@@ -1,0 +1,238 @@
+//! The resource-aware optimization procedure (paper §3.2).
+//!
+//! "An extensible graph rewriting system that applies transformations with
+//! certain performance objectives within a specified cost budget": the
+//! optimizer enumerates candidate plan shapes (widths × buffering),
+//! estimates each against the live [`MachineProfile`] and input size, and
+//! picks the best — refusing to transform at all unless the projected
+//! speedup clears the no-regression margin ("no regressions!").
+
+use crate::estimate::{estimate, InputInfo, PlanShape};
+use crate::machine::MachineProfile;
+use jash_dataflow::Dfg;
+use std::time::Duration;
+
+/// Tunables for a planning session.
+#[derive(Debug, Clone, Copy)]
+pub struct PlannerOptions {
+    /// Maximum candidate evaluations (the paper's "cost budget" for the
+    /// rewriting system itself).
+    pub budget: usize,
+    /// Required estimated speedup before a rewrite is applied; `1.15`
+    /// means at least 15 % projected improvement.
+    pub min_speedup: f64,
+    /// Whether plans may materialize split chunks through the disk.
+    pub allow_buffered: bool,
+    /// Bypass estimation and force this width (benchmark sweeps and
+    /// tests; `None` for normal operation).
+    pub force_width: Option<usize>,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            budget: 16,
+            min_speedup: 1.15,
+            allow_buffered: false,
+            force_width: None,
+        }
+    }
+}
+
+/// The chosen plan and its projections.
+#[derive(Debug, Clone, Copy)]
+pub struct Decision {
+    /// The selected shape (`width == 1` means "leave it sequential").
+    pub shape: PlanShape,
+    /// Projected sequential makespan.
+    pub est_sequential: Duration,
+    /// Projected makespan under the chosen shape.
+    pub est_chosen: Duration,
+    /// Candidates evaluated.
+    pub evaluated: usize,
+}
+
+impl Decision {
+    /// Whether the optimizer decided to transform at all.
+    pub fn transform(&self) -> bool {
+        self.shape.width > 1
+    }
+
+    /// Projected speedup of the chosen plan.
+    pub fn projected_speedup(&self) -> f64 {
+        self.est_sequential.as_secs_f64() / self.est_chosen.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Chooses the best plan for `dfg` on `machine` given `input`.
+pub fn choose_plan(
+    dfg: &Dfg,
+    machine: &MachineProfile,
+    input: InputInfo,
+    opts: &PlannerOptions,
+) -> Decision {
+    let seq_shape = PlanShape {
+        width: 1,
+        buffered: false,
+    };
+    let est_sequential = estimate(dfg, machine, input, seq_shape);
+
+    if let Some(w) = opts.force_width {
+        let shape = PlanShape {
+            width: w,
+            buffered: false,
+        };
+        return Decision {
+            shape,
+            est_sequential,
+            est_chosen: estimate(dfg, machine, input, shape),
+            evaluated: 1,
+        };
+    }
+
+    let mut widths = vec![2usize, 4, 8, 16, 32];
+    widths.retain(|w| *w <= machine.cores.max(2) * 2);
+    if !widths.contains(&machine.cores) && machine.cores > 1 {
+        widths.push(machine.cores);
+    }
+    widths.sort_unstable();
+    widths.dedup();
+
+    let mut best = Decision {
+        shape: seq_shape,
+        est_sequential,
+        est_chosen: est_sequential,
+        evaluated: 1,
+    };
+    for &width in &widths {
+        for buffered in [false, true] {
+            if buffered && !opts.allow_buffered {
+                continue;
+            }
+            if best.evaluated >= opts.budget {
+                return finish(best, opts);
+            }
+            let shape = PlanShape { width, buffered };
+            let est = estimate(dfg, machine, input, shape);
+            best.evaluated += 1;
+            if est < best.est_chosen {
+                best.shape = shape;
+                best.est_chosen = est;
+            }
+        }
+    }
+    finish(best, opts)
+}
+
+/// Applies the no-regression guard.
+fn finish(mut d: Decision, opts: &PlannerOptions) -> Decision {
+    if d.shape.width > 1 && d.projected_speedup() < opts.min_speedup {
+        d.shape = PlanShape {
+            width: 1,
+            buffered: false,
+        };
+        d.est_chosen = d.est_sequential;
+    }
+    d
+}
+
+/// The PaSh-style ahead-of-time decision: always parallelize at the core
+/// count with disk buffering, never consulting machine resources (the
+/// baseline of Figure 1).
+pub fn pash_aot_plan(machine: &MachineProfile) -> PlanShape {
+    PlanShape {
+        width: machine.cores,
+        buffered: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_dataflow::{compile, ExpandedCommand, Region};
+    use jash_spec::Registry;
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    fn dfg() -> Dfg {
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["-cs", "A-Za-z", "\\n"]),
+            ExpandedCommand::new("sort", &[]),
+        ];
+        compile(&Region { commands: cmds }, &Registry::builtin())
+            .unwrap()
+            .dfg
+    }
+
+    #[test]
+    fn chooses_parallel_on_big_input_fast_disk() {
+        let d = choose_plan(
+            &dfg(),
+            &MachineProfile::io_opt_ec2(),
+            InputInfo { total_bytes: 3 * GB },
+            &PlannerOptions::default(),
+        );
+        assert!(d.transform());
+        assert!(d.shape.width >= 4);
+        assert!(!d.shape.buffered, "streaming beats buffering");
+        assert!(d.projected_speedup() > 1.5);
+    }
+
+    #[test]
+    fn declines_tiny_inputs() {
+        let d = choose_plan(
+            &dfg(),
+            &MachineProfile::io_opt_ec2(),
+            InputInfo { total_bytes: 10_000 },
+            &PlannerOptions::default(),
+        );
+        assert!(!d.transform(), "guard must refuse tiny inputs: {d:?}");
+    }
+
+    #[test]
+    fn adapts_width_to_slow_disk() {
+        // On gp2 the disk dominates; the chosen plan must not regress.
+        let d = choose_plan(
+            &dfg(),
+            &MachineProfile::standard_ec2(),
+            InputInfo { total_bytes: 3 * GB },
+            &PlannerOptions::default(),
+        );
+        assert!(d.est_chosen <= d.est_sequential);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let d = choose_plan(
+            &dfg(),
+            &MachineProfile::io_opt_ec2(),
+            InputInfo { total_bytes: GB },
+            &PlannerOptions {
+                budget: 2,
+                ..Default::default()
+            },
+        );
+        assert!(d.evaluated <= 2);
+    }
+
+    #[test]
+    fn pash_plan_is_resource_oblivious() {
+        let std = pash_aot_plan(&MachineProfile::standard_ec2());
+        let opt = pash_aot_plan(&MachineProfile::io_opt_ec2());
+        assert_eq!(std, opt, "same plan regardless of disk");
+        assert!(std.buffered);
+        assert_eq!(std.width, 8);
+    }
+
+    #[test]
+    fn palm_sized_machine_gets_narrow_plans() {
+        let d = choose_plan(
+            &dfg(),
+            &MachineProfile::palm_sized(),
+            InputInfo { total_bytes: GB },
+            &PlannerOptions::default(),
+        );
+        assert!(d.shape.width <= 4);
+    }
+}

@@ -1,0 +1,215 @@
+//! Dataflow-to-shell translation (the inverse of
+//! [`compile()`](crate::compile::compile)).
+//!
+//! Linear graphs translate back to an ordinary pipeline AST — this closes
+//! the parse → compile → optimize → unparse loop the paper inherits from
+//! libdash, and is what makes optimized regions *inspectable*: `jash
+//! --explain` prints both the rewritten graph and the equivalent shell.
+//! Parallelized graphs have no POSIX equivalent (the runtime primitives
+//! are in `jash-exec`), so they render via [`crate::graph::Dfg::to_dot`]
+//! and a textual plan instead.
+
+use crate::graph::{Dfg, NodeId, NodeKind};
+use crate::rewrite::is_live;
+use jash_ast::{
+    AndOrList, Command, CommandKind, ListItem, Pipeline, Program, Redirect, RedirectOp,
+    SimpleCommand, Word,
+};
+
+/// Renders a *linear* graph back to a shell pipeline AST.
+///
+/// Returns `None` when the graph contains splits/merges other than the
+/// `cat`-fusion concat at the head (those have no POSIX spelling).
+pub fn to_shell(dfg: &Dfg) -> Option<Program> {
+    let order = dfg.topo_order().ok()?;
+    let mut stages: Vec<Command> = Vec::new();
+    let mut stdin_path: Option<String> = None;
+    let mut cat_files: Vec<String> = Vec::new();
+    let mut stdout: Option<(String, bool)> = None;
+
+    for n in order {
+        if !is_live(dfg, n) {
+            continue;
+        }
+        match &dfg.node(n).kind {
+            NodeKind::ReadFile { path } => {
+                if is_cat_fusion_read(dfg, n) {
+                    cat_files.push(path.clone());
+                } else if stages.is_empty() && stdin_path.is_none() {
+                    stdin_path = Some(path.clone());
+                } else {
+                    return None;
+                }
+            }
+            NodeKind::Merge { agg } => {
+                // Only the head concat from cat-fusion is expressible.
+                if !matches!(agg, jash_spec::Aggregator::Concat) || !stages.is_empty() {
+                    return None;
+                }
+            }
+            NodeKind::Split { .. } => return None,
+            NodeKind::Discard => {
+                if !dfg.node(n).inputs.is_empty() {
+                    return None;
+                }
+            }
+            NodeKind::WriteFile { path, append } => {
+                stdout = Some((path.clone(), *append));
+            }
+            NodeKind::Command { name, args, .. } => {
+                let mut words = vec![Word::literal(name.clone())];
+                words.extend(args.iter().map(|a| Word::literal(a.clone())));
+                let mut cmd = Command::new(CommandKind::Simple(SimpleCommand {
+                    assignments: vec![],
+                    words,
+                }));
+                if stages.is_empty() {
+                    if !cat_files.is_empty() {
+                        // Re-materialize the fused cat.
+                        let mut cat_words = vec![Word::literal("cat")];
+                        cat_words
+                            .extend(cat_files.drain(..).map(Word::literal));
+                        stages.push(Command::new(CommandKind::Simple(SimpleCommand {
+                            assignments: vec![],
+                            words: cat_words,
+                        })));
+                    } else if let Some(p) = stdin_path.take() {
+                        cmd.redirects
+                            .push(Redirect::new(RedirectOp::Read, Word::literal(p)));
+                    }
+                }
+                stages.push(cmd);
+            }
+        }
+    }
+    // A bare fused cat with no downstream command.
+    if stages.is_empty() && !cat_files.is_empty() {
+        let mut cat_words = vec![Word::literal("cat")];
+        cat_words.extend(cat_files.drain(..).map(Word::literal));
+        stages.push(Command::new(CommandKind::Simple(SimpleCommand {
+            assignments: vec![],
+            words: cat_words,
+        })));
+        if let Some(p) = stdin_path.take() {
+            stages[0]
+                .redirects
+                .push(Redirect::new(RedirectOp::Read, Word::literal(p)));
+        }
+    }
+    if stages.is_empty() {
+        return None;
+    }
+    if let Some((path, append)) = stdout {
+        let op = if append {
+            RedirectOp::Append
+        } else {
+            RedirectOp::Write
+        };
+        stages
+            .last_mut()
+            .expect("nonempty")
+            .redirects
+            .push(Redirect::new(op, Word::literal(path)));
+    }
+    Some(Program {
+        items: vec![ListItem {
+            and_or: AndOrList::single(Pipeline {
+                negated: false,
+                commands: stages,
+            }),
+            background: false,
+        }],
+    })
+}
+
+fn is_cat_fusion_read(dfg: &Dfg, n: NodeId) -> bool {
+    dfg.node(n)
+        .outputs
+        .first()
+        .map(|&e| {
+            matches!(
+                dfg.node(dfg.edge(e).to).kind,
+                NodeKind::Merge {
+                    agg: jash_spec::Aggregator::Concat
+                }
+            )
+        })
+        .unwrap_or(false)
+}
+
+/// A human-readable execution plan (works for parallel graphs too).
+pub fn explain(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let order = dfg.topo_order().unwrap_or_default();
+    for n in order {
+        if !is_live(dfg, n) {
+            continue;
+        }
+        let node = dfg.node(n);
+        out.push_str(&format!(
+            "#{:<3} {:<40} in={} out={}\n",
+            n.0,
+            node.kind.label(),
+            node.inputs.len(),
+            node.outputs.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, ExpandedCommand, Region};
+    use crate::rewrite::parallelize_all;
+    use jash_spec::Registry;
+
+    #[test]
+    fn linear_graph_roundtrips_to_shell() {
+        let mut cut = ExpandedCommand::new("cut", &["-c", "89-92"]);
+        cut.stdin_redirect = Some("/noaa".into());
+        let mut head = ExpandedCommand::new("head", &["-n1"]);
+        head.stdout_redirect = Some(("/max".into(), false));
+        let cmds = vec![
+            cut,
+            ExpandedCommand::new("grep", &["-v", "999"]),
+            ExpandedCommand::new("sort", &["-rn"]),
+            head,
+        ];
+        let c = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        let prog = to_shell(&c.dfg).unwrap();
+        let text = jash_ast::unparse(&prog);
+        assert_eq!(
+            text,
+            "cut -c 89-92 < /noaa | grep -v 999 | sort -rn | head -n1 > /max"
+        );
+        // And the emitted text parses back.
+        jash_parser::parse(&text).unwrap();
+    }
+
+    #[test]
+    fn cat_fusion_rematerializes() {
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/f1", "/f2"]),
+            ExpandedCommand::new("wc", &["-l"]),
+        ];
+        let c = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        let prog = to_shell(&c.dfg).unwrap();
+        assert_eq!(jash_ast::unparse(&prog), "cat /f1 /f2 | wc -l");
+    }
+
+    #[test]
+    fn parallel_graph_not_expressible() {
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/f"]),
+            ExpandedCommand::new("tr", &["a", "b"]),
+        ];
+        let mut c = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        assert!(to_shell(&c.dfg).is_some());
+        parallelize_all(&mut c.dfg, 4);
+        assert!(to_shell(&c.dfg).is_none());
+        let plan = explain(&c.dfg);
+        assert!(plan.contains("split x4"));
+        assert!(plan.contains("merge"));
+    }
+}

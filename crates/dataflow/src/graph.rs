@@ -1,0 +1,372 @@
+//! The dataflow graph IR.
+//!
+//! A [`Dfg`] is a DAG of nodes connected by ordered byte-stream edges.
+//! Ordering is part of the model (this is the *order-aware* dataflow of
+//! Handa et al. that PaSh builds on): a node's input edges form an ordered
+//! list, and every aggregator must reproduce exactly the byte stream the
+//! sequential pipeline would have produced.
+
+use jash_spec::{Aggregator, InstanceSpec};
+
+/// Identifies a node within one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifies an edge within one [`Dfg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EdgeId(pub usize);
+
+/// What a node does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeKind {
+    /// Streams a file's bytes. No inputs, one output.
+    ReadFile {
+        /// Absolute virtual path.
+        path: String,
+    },
+    /// Drains its input to a file. One input, no outputs.
+    WriteFile {
+        /// Absolute virtual path.
+        path: String,
+        /// Append instead of truncate.
+        append: bool,
+    },
+    /// A command invocation (coreutil or user command with a spec).
+    ///
+    /// At most one stdin edge; file arguments in `args` are read directly
+    /// from the filesystem by the command itself.
+    Command {
+        /// Command name.
+        name: String,
+        /// Fully expanded argument vector.
+        args: Vec<String>,
+        /// Resolved specification.
+        spec: InstanceSpec,
+    },
+    /// Distributes its input across `width` outputs on line boundaries.
+    Split {
+        /// Number of output branches.
+        width: usize,
+    },
+    /// Recombines its (ordered) inputs under an aggregator.
+    Merge {
+        /// How partial streams recombine.
+        agg: Aggregator,
+    },
+    /// Discards its input (used for `>/dev/null`-style sinks).
+    Discard,
+}
+
+impl NodeKind {
+    /// A short label for display and DOT output.
+    pub fn label(&self) -> String {
+        match self {
+            NodeKind::ReadFile { path } => format!("read {path}"),
+            NodeKind::WriteFile { path, append } => {
+                format!("write{} {path}", if *append { "+" } else { "" })
+            }
+            NodeKind::Command { name, args, .. } => {
+                if args.is_empty() {
+                    name.clone()
+                } else {
+                    format!("{name} {}", args.join(" "))
+                }
+            }
+            NodeKind::Split { width } => format!("split x{width}"),
+            NodeKind::Merge { agg } => format!("merge {agg:?}"),
+            NodeKind::Discard => "discard".to_string(),
+        }
+    }
+}
+
+/// A node plus its ordered connections.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Behavior.
+    pub kind: NodeKind,
+    /// Incoming edges, in order (order matters for merges and multi-reads).
+    pub inputs: Vec<EdgeId>,
+    /// Outgoing edges, in order (order matters for splits).
+    pub outputs: Vec<EdgeId>,
+}
+
+/// A directed byte-stream edge.
+#[derive(Debug, Clone, Copy)]
+pub struct Edge {
+    /// Producer.
+    pub from: NodeId,
+    /// Consumer.
+    pub to: NodeId,
+}
+
+/// The dataflow graph.
+#[derive(Debug, Clone, Default)]
+pub struct Dfg {
+    /// Node arena.
+    pub nodes: Vec<Node>,
+    /// Edge arena.
+    pub edges: Vec<Edge>,
+}
+
+impl Dfg {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Dfg::default()
+    }
+
+    /// Adds a node.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.nodes.push(Node {
+            kind,
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        });
+        NodeId(self.nodes.len() - 1)
+    }
+
+    /// Connects `from` → `to`, appending to both port lists.
+    pub fn connect(&mut self, from: NodeId, to: NodeId) -> EdgeId {
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { from, to });
+        self.nodes[from.0].outputs.push(id);
+        self.nodes[to.0].inputs.push(id);
+        id
+    }
+
+    /// Accessors.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.0]
+    }
+
+    /// Mutable accessor.
+    pub fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.0]
+    }
+
+    /// The edge record.
+    pub fn edge(&self, id: EdgeId) -> Edge {
+        self.edges[id.0]
+    }
+
+    /// Re-points an existing edge's consumer, preserving the producer.
+    ///
+    /// The edge keeps its position in the producer's output list; it is
+    /// appended to the new consumer's input list.
+    pub fn retarget_consumer(&mut self, e: EdgeId, new_to: NodeId) {
+        let old_to = self.edges[e.0].to;
+        self.nodes[old_to.0].inputs.retain(|&x| x != e);
+        self.edges[e.0].to = new_to;
+        self.nodes[new_to.0].inputs.push(e);
+    }
+
+    /// Re-points an existing edge's producer.
+    pub fn retarget_producer(&mut self, e: EdgeId, new_from: NodeId) {
+        let old_from = self.edges[e.0].from;
+        self.nodes[old_from.0].outputs.retain(|&x| x != e);
+        self.edges[e.0].from = new_from;
+        self.nodes[new_from.0].outputs.push(e);
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Topological order (construction guarantees acyclicity; this is a
+    /// Kahn sort that also detects accidental cycles from bad rewrites).
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, String> {
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.inputs.len()).collect();
+        // FIFO keeps ready nodes in id (construction) order, which the
+        // emitter relies on for stable output.
+        let mut queue: std::collections::VecDeque<NodeId> =
+            self.node_ids().filter(|n| indeg[n.0] == 0).collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(n) = queue.pop_front() {
+            order.push(n);
+            for &e in &self.nodes[n.0].outputs {
+                let to = self.edges[e.0].to;
+                indeg[to.0] -= 1;
+                if indeg[to.0] == 0 {
+                    queue.push_back(to);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err("dataflow graph contains a cycle".to_string());
+        }
+        Ok(order)
+    }
+
+    /// Structural validation: port arities match node kinds.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, n) in self.nodes.iter().enumerate() {
+            let (ins, outs) = (n.inputs.len(), n.outputs.len());
+            let ok = match &n.kind {
+                NodeKind::ReadFile { .. } => ins == 0 && outs == 1,
+                NodeKind::WriteFile { .. } => ins == 1 && outs == 0,
+                // Disconnected discards are rewrite tombstones.
+                NodeKind::Discard => ins <= 1 && outs == 0,
+                NodeKind::Command { spec, .. } => {
+                    let stdin_ok = ins <= 1;
+                    let stdout_ok = outs <= 1;
+                    let _ = spec;
+                    stdin_ok && stdout_ok
+                }
+                NodeKind::Split { width } => ins == 1 && outs == *width && *width >= 2,
+                // A merge may be terminal (its output is the region's
+                // captured stdout).
+                NodeKind::Merge { .. } => ins >= 2 && outs <= 1,
+            };
+            if !ok {
+                return Err(format!(
+                    "node {i} ({}) has bad arity: {ins} in, {outs} out",
+                    n.kind.label()
+                ));
+            }
+            for &e in n.inputs.iter() {
+                if self.edges[e.0].to != NodeId(i) {
+                    return Err(format!("edge {e:?} not consistent with node {i} inputs"));
+                }
+            }
+            for &e in n.outputs.iter() {
+                if self.edges[e.0].from != NodeId(i) {
+                    return Err(format!("edge {e:?} not consistent with node {i} outputs"));
+                }
+            }
+        }
+        self.topo_order().map(|_| ())
+    }
+
+    /// Graphviz DOT rendering for debugging and docs.
+    pub fn to_dot(&self) -> String {
+        let mut s = String::from("digraph dfg {\n  rankdir=LR;\n");
+        for (i, n) in self.nodes.iter().enumerate() {
+            s.push_str(&format!(
+                "  n{i} [label=\"{}\"];\n",
+                n.kind.label().replace('"', "\\\"")
+            ));
+        }
+        for e in &self.edges {
+            s.push_str(&format!("  n{} -> n{};\n", e.from.0, e.to.0));
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// The command nodes, in topological order.
+    pub fn command_nodes(&self) -> Vec<NodeId> {
+        self.topo_order()
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|n| matches!(self.node(*n).kind, NodeKind::Command { .. }))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cat_spec() -> InstanceSpec {
+        jash_spec::resolve_builtin("cat", &[]).unwrap()
+    }
+
+    #[test]
+    fn build_and_validate_linear_graph() {
+        let mut g = Dfg::new();
+        let r = g.add_node(NodeKind::ReadFile {
+            path: "/in".into(),
+        });
+        let c = g.add_node(NodeKind::Command {
+            name: "cat".into(),
+            args: vec![],
+            spec: cat_spec(),
+        });
+        let w = g.add_node(NodeKind::WriteFile {
+            path: "/out".into(),
+            append: false,
+        });
+        g.connect(r, c);
+        g.connect(c, w);
+        g.validate().unwrap();
+        assert_eq!(g.topo_order().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let mut g = Dfg::new();
+        let r = g.add_node(NodeKind::ReadFile {
+            path: "/in".into(),
+        });
+        let w = g.add_node(NodeKind::WriteFile {
+            path: "/out".into(),
+            append: false,
+        });
+        g.connect(r, w);
+        g.connect(r, w); // ReadFile with two outputs: invalid.
+        assert!(g.validate().is_err());
+    }
+
+    #[test]
+    fn retarget_preserves_consistency() {
+        let mut g = Dfg::new();
+        let r = g.add_node(NodeKind::ReadFile {
+            path: "/in".into(),
+        });
+        let c1 = g.add_node(NodeKind::Command {
+            name: "cat".into(),
+            args: vec![],
+            spec: cat_spec(),
+        });
+        let c2 = g.add_node(NodeKind::Command {
+            name: "cat".into(),
+            args: vec![],
+            spec: cat_spec(),
+        });
+        let w = g.add_node(NodeKind::WriteFile {
+            path: "/out".into(),
+            append: false,
+        });
+        let e1 = g.connect(r, c1);
+        g.connect(c1, w);
+        // Splice c2 between r and c1.
+        g.retarget_consumer(e1, c2);
+        g.connect(c2, c1);
+        g.validate().unwrap();
+        let order = g.topo_order().unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(r) < pos(c2));
+        assert!(pos(c2) < pos(c1));
+    }
+
+    #[test]
+    fn dot_output_mentions_nodes() {
+        let mut g = Dfg::new();
+        let r = g.add_node(NodeKind::ReadFile {
+            path: "/data".into(),
+        });
+        let w = g.add_node(NodeKind::Discard);
+        g.connect(r, w);
+        let dot = g.to_dot();
+        assert!(dot.contains("read /data"));
+        assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut g = Dfg::new();
+        let a = g.add_node(NodeKind::Command {
+            name: "cat".into(),
+            args: vec![],
+            spec: cat_spec(),
+        });
+        let b = g.add_node(NodeKind::Command {
+            name: "cat".into(),
+            args: vec![],
+            spec: cat_spec(),
+        });
+        g.connect(a, b);
+        g.connect(b, a);
+        assert!(g.topo_order().is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! The order-aware dataflow model: shell pipelines ⇄ dataflow graphs,
+//! plus the parallelizing rewrite system (paper E2, building on Handa et
+//! al.'s formal model).
+//!
+//! The flow is:
+//!
+//! 1. the JIT expands a pipeline's words against live shell state and
+//!    produces a [`Region`] of [`ExpandedCommand`]s;
+//! 2. [`compile()`](compile::compile) turns the region into a [`Dfg`] (or explains why it
+//!    cannot — unknown spec, side effects, interactive stdin);
+//! 3. rewrites ([`parallelize_node`], [`parallelize_all`],
+//!    [`fuse_merge_split`]) restructure the graph while preserving the
+//!    sequential output byte-for-byte;
+//! 4. `jash-exec` runs the graph; [`emit::to_shell`] renders linear
+//!    graphs back to shell syntax for inspection.
+//!
+//! # Examples
+//!
+//! ```
+//! use jash_dataflow::{compile, ExpandedCommand, Region, parallelize_all};
+//! use jash_spec::Registry;
+//!
+//! let region = Region {
+//!     commands: vec![
+//!         ExpandedCommand::new("cat", &["/a.txt", "/b.txt"]),
+//!         ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+//!         ExpandedCommand::new("sort", &[]),
+//!     ],
+//! };
+//! let mut compiled = compile(&region, &Registry::builtin()).unwrap();
+//! let replicated = parallelize_all(&mut compiled.dfg, 4);
+//! assert_eq!(replicated, 2); // tr and sort
+//! compiled.dfg.validate().unwrap();
+//! ```
+
+pub mod compile;
+pub mod emit;
+pub mod graph;
+pub mod rewrite;
+
+pub use compile::{compile, Compiled, CompileError, ExpandedCommand, Region};
+pub use emit::{explain, to_shell};
+pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind};
+pub use rewrite::{fuse_merge_split, is_live, is_parallelizable, parallelize_all, parallelize_node};

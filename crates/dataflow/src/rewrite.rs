@@ -1,0 +1,297 @@
+//! Graph rewrites: the parallelizing transformations.
+//!
+//! The two core rewrites (both from the PaSh playbook, paper E2):
+//!
+//! * [`parallelize_node`] — replace a splittable command node with
+//!   `split → k clones → merge(agg)`;
+//! * [`fuse_merge_split`] — cancel a `merge(concat)` feeding a `split`,
+//!   wiring the k upstream branches straight into the k downstream
+//!   branches, so a chain of stateless stages parallelizes end-to-end with
+//!   a single split at the head and a single aggregate at the tail.
+//!
+//! Rewrites preserve the order-aware semantics: every aggregator
+//! reconstructs exactly the sequential output.
+
+use crate::graph::{Dfg, NodeId, NodeKind};
+use jash_spec::Aggregator;
+
+/// Whether the node is a command that may be replicated.
+pub fn is_parallelizable(dfg: &Dfg, n: NodeId) -> bool {
+    match &dfg.node(n).kind {
+        NodeKind::Command { spec, .. } => {
+            spec.class.is_splittable()
+                && dfg.node(n).inputs.len() == 1
+                && dfg.node(n).outputs.len() <= 1
+                // Extra declared outputs (tee) would be written k times.
+                && spec.output_files.is_empty()
+        }
+        _ => false,
+    }
+}
+
+/// Replaces command node `n` with `split → width copies → merge`.
+///
+/// Returns the new merge node, or `None` when the node is not
+/// parallelizable or `width < 2`.
+pub fn parallelize_node(dfg: &mut Dfg, n: NodeId, width: usize) -> Option<NodeId> {
+    if width < 2 || !is_parallelizable(dfg, n) {
+        return None;
+    }
+    let (name, args, spec) = match &dfg.node(n).kind {
+        NodeKind::Command { name, args, spec } => (name.clone(), args.clone(), spec.clone()),
+        _ => return None,
+    };
+    let agg = spec.class.aggregator()?;
+
+    let in_edge = dfg.node(n).inputs[0];
+    let out_edge = dfg.node(n).outputs.first().copied();
+
+    let split = dfg.add_node(NodeKind::Split { width });
+    let merge = dfg.add_node(NodeKind::Merge { agg });
+
+    // The old node becomes the first clone (keeps ids stable and the old
+    // edges reusable).
+    dfg.retarget_consumer(in_edge, split);
+    dfg.connect(split, n);
+    if let Some(e) = out_edge {
+        dfg.retarget_producer(e, merge);
+    }
+    dfg.connect(n, merge);
+    for _ in 1..width {
+        let clone = dfg.add_node(NodeKind::Command {
+            name: name.clone(),
+            args: args.clone(),
+            spec: spec.clone(),
+        });
+        dfg.connect(split, clone);
+        dfg.connect(clone, merge);
+    }
+    Some(merge)
+}
+
+/// Fuses every `merge(concat) → split(k)` pair whose widths match,
+/// connecting the merge's inputs directly to the split's consumers in
+/// order. Returns the number of pairs fused.
+pub fn fuse_merge_split(dfg: &mut Dfg) -> usize {
+    let mut fused = 0;
+    loop {
+        let Some((merge, split)) = find_fusable(dfg) else {
+            return fused;
+        };
+        let in_edges: Vec<_> = dfg.node(merge).inputs.clone();
+        let out_edges: Vec<_> = dfg.node(split).outputs.clone();
+        debug_assert_eq!(in_edges.len(), out_edges.len());
+        for (ie, oe) in in_edges.iter().zip(out_edges.iter()) {
+            let consumer = dfg.edge(*oe).to;
+            // Re-point the upstream edge at the downstream consumer and
+            // drop the split's edge from the consumer's input list,
+            // preserving that input's position.
+            let pos = dfg
+                .node(consumer)
+                .inputs
+                .iter()
+                .position(|e| e == oe)
+                .expect("consumer lists the edge");
+            dfg.node_mut(consumer).inputs[pos] = *ie;
+            dfg.edges[ie.0].to = consumer;
+            dfg.node_mut(merge).inputs.clear();
+        }
+        // Detach the merge→split edge and neutralize both nodes (arena
+        // nodes are cheap; leaving tombstones keeps NodeIds stable).
+        dfg.node_mut(merge).inputs.clear();
+        dfg.node_mut(merge).outputs.clear();
+        dfg.node_mut(split).inputs.clear();
+        dfg.node_mut(split).outputs.clear();
+        tombstone(dfg, merge);
+        tombstone(dfg, split);
+        fused += 1;
+    }
+}
+
+fn tombstone(dfg: &mut Dfg, n: NodeId) {
+    dfg.node_mut(n).kind = NodeKind::Discard;
+    // A Discard with no inputs is pruned by the executor; mark it
+    // explicitly disconnected.
+}
+
+fn find_fusable(dfg: &Dfg) -> Option<(NodeId, NodeId)> {
+    for n in dfg.node_ids() {
+        if let NodeKind::Merge {
+            agg: Aggregator::Concat,
+        } = dfg.node(n).kind
+        {
+            if dfg.node(n).outputs.len() != 1 {
+                continue;
+            }
+            let out = dfg.edge(dfg.node(n).outputs[0]).to;
+            if let NodeKind::Split { width } = dfg.node(out).kind {
+                if width == dfg.node(n).inputs.len() {
+                    return Some((n, out));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether the node participates in execution.
+///
+/// Rewrites leave fully disconnected `Discard` tombstones behind (node
+/// ids stay valid); everything else is live — including port-less
+/// commands like a bare `echo`, which produce output without any edges.
+pub fn is_live(dfg: &Dfg, n: NodeId) -> bool {
+    !(matches!(dfg.node(n).kind, NodeKind::Discard)
+        && dfg.node(n).inputs.is_empty()
+        && dfg.node(n).outputs.is_empty())
+}
+
+/// Parallelizes every eligible node in the graph at `width`, then fuses
+/// adjacent merge/split pairs. Returns how many command nodes were
+/// replicated.
+pub fn parallelize_all(dfg: &mut Dfg, width: usize) -> usize {
+    let mut count = 0;
+    for n in dfg.command_nodes() {
+        if parallelize_node(dfg, n, width).is_some() {
+            count += 1;
+        }
+    }
+    if count > 0 {
+        fuse_merge_split(dfg);
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, ExpandedCommand, Region};
+    use jash_spec::Registry;
+
+    fn spell_dfg() -> Dfg {
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/f1", "/f2"]),
+            ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+            ExpandedCommand::new("sort", &["-u"]),
+        ];
+        compile(&Region { commands: cmds }, &Registry::builtin())
+            .unwrap()
+            .dfg
+    }
+
+    #[test]
+    fn parallelize_single_stateless_node() {
+        let mut dfg = spell_dfg();
+        let tr = dfg
+            .command_nodes()
+            .into_iter()
+            .find(|n| matches!(&dfg.node(*n).kind, NodeKind::Command { name, .. } if name == "tr"))
+            .unwrap();
+        let merge = parallelize_node(&mut dfg, tr, 4).unwrap();
+        dfg.validate().unwrap();
+        assert_eq!(dfg.node(merge).inputs.len(), 4);
+        let splits = dfg
+            .node_ids()
+            .filter(|n| matches!(dfg.node(*n).kind, NodeKind::Split { .. }))
+            .count();
+        assert_eq!(splits, 1);
+        // 4 tr clones total.
+        let trs = dfg
+            .node_ids()
+            .filter(
+                |n| matches!(&dfg.node(*n).kind, NodeKind::Command { name, .. } if name == "tr"),
+            )
+            .count();
+        assert_eq!(trs, 4);
+    }
+
+    #[test]
+    fn head_not_parallelizable() {
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/f"]),
+            ExpandedCommand::new("head", &["-n1"]),
+        ];
+        let mut c = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        let head = c.dfg.command_nodes()[0];
+        assert!(parallelize_node(&mut c.dfg, head, 4).is_none());
+    }
+
+    #[test]
+    fn parallelize_all_fuses_chain() {
+        let mut dfg = spell_dfg();
+        let replicated = parallelize_all(&mut dfg, 3);
+        assert_eq!(replicated, 2, "tr and sort both splittable");
+        dfg.validate().unwrap();
+        // After fusion: one split at head, tr/sort chains of width 3, one
+        // merge-sort at the tail, and one concat merge from the cat fusion.
+        let live_splits = dfg
+            .node_ids()
+            .filter(|n| is_live(&dfg, *n) && matches!(dfg.node(*n).kind, NodeKind::Split { .. }))
+            .count();
+        assert_eq!(live_splits, 1);
+        let live_merges: Vec<_> = dfg
+            .node_ids()
+            .filter(|n| is_live(&dfg, *n) && matches!(dfg.node(*n).kind, NodeKind::Merge { .. }))
+            .collect();
+        // cat-concat merge + final sort merge; the tr→sort concat/split
+        // pair fused away.
+        assert_eq!(live_merges.len(), 2);
+    }
+
+    #[test]
+    fn width_one_is_identity() {
+        let mut dfg = spell_dfg();
+        let before = dfg.nodes.len();
+        assert_eq!(parallelize_all(&mut dfg, 1), 0);
+        assert_eq!(dfg.nodes.len(), before);
+    }
+
+    #[test]
+    fn fused_graph_preserves_branch_order() {
+        // Build tr | tr, parallelize both, fuse; the k branches must pair
+        // first-with-first (order preservation).
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["a", "b"]),
+            ExpandedCommand::new("tr", &["b", "c"]),
+        ];
+        let mut c = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        parallelize_all(&mut c.dfg, 2);
+        c.dfg.validate().unwrap();
+        // Find the split; its i-th consumer chain must reach the final
+        // merge as input i.
+        let split = c
+            .dfg
+            .node_ids()
+            .find(|n| {
+                is_live(&c.dfg, *n) && matches!(c.dfg.node(*n).kind, NodeKind::Split { .. })
+            })
+            .unwrap();
+        let final_merge = c
+            .dfg
+            .node_ids()
+            .find(|n| {
+                is_live(&c.dfg, *n) && matches!(c.dfg.node(*n).kind, NodeKind::Merge { .. })
+            })
+            .unwrap();
+        for (i, &out) in c.dfg.node(split).outputs.iter().enumerate() {
+            // Walk the chain from this branch to the merge.
+            let mut cur = c.dfg.edge(out).to;
+            let mut last_edge = out;
+            loop {
+                if cur == final_merge {
+                    break;
+                }
+                last_edge = c.dfg.node(cur).outputs[0];
+                cur = c.dfg.edge(last_edge).to;
+            }
+            let pos = c
+                .dfg
+                .node(final_merge)
+                .inputs
+                .iter()
+                .position(|e| *e == last_edge)
+                .unwrap();
+            assert_eq!(pos, i, "branch {i} arrives at merge position {pos}");
+        }
+    }
+}

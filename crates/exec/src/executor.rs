@@ -1,0 +1,465 @@
+//! Threaded execution of dataflow graphs.
+//!
+//! Every live node becomes a thread; every edge a bounded pipe. This is
+//! the in-process analogue of the process/FIFO runtime PaSh generates:
+//! backpressure comes from the bounded pipes, early termination (`head`)
+//! propagates as broken-pipe errors that upstream nodes treat as the
+//! moral equivalent of `SIGPIPE`.
+
+use crate::merge::run_merge;
+use crate::split::{split_contiguous, split_round_robin, DEFAULT_BLOCK_LINES};
+use bytes::Bytes;
+use jash_coreutils::{UtilCtx, UtilIo};
+use jash_dataflow::{Dfg, NodeId, NodeKind};
+use jash_io::fs::{FileSink, FileStream};
+use jash_io::{ByteStream, FsHandle, MemStream, Sink};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Execution parameters.
+pub struct ExecConfig {
+    /// Filesystem all nodes operate on.
+    pub fs: FsHandle,
+    /// Directory relative paths resolve against.
+    pub cwd: String,
+    /// Chunk slots per pipe.
+    pub pipe_depth: usize,
+    /// Contiguous split plans (byte targets per branch), keyed by split
+    /// node. Splits without a plan use round-robin blocks.
+    pub split_targets: HashMap<NodeId, Vec<u64>>,
+    /// Lines per round-robin block.
+    pub block_lines: usize,
+    /// Optional simulated CPU: command nodes charge modeled per-byte
+    /// compute time as they consume input.
+    pub cpu: Option<Arc<jash_io::CpuModel>>,
+    /// Materialize split chunks through files under this directory instead
+    /// of streaming through memory.
+    ///
+    /// This reproduces the PaSh baseline's resource assumption (paper
+    /// §3.2: "PaSh assumes a machine with high storage throughput and lots
+    /// of available storage space for buffering") — every split byte is
+    /// written to and re-read from the (modeled) disk, which is exactly
+    /// what makes resource-oblivious parallelism regress on the Standard
+    /// instance in Figure 1.
+    pub buffer_splits_in: Option<String>,
+}
+
+impl ExecConfig {
+    /// Defaults over `fs`.
+    pub fn new(fs: FsHandle) -> Self {
+        ExecConfig {
+            fs,
+            cwd: "/".to_string(),
+            pipe_depth: jash_io::pipe::DEFAULT_PIPE_DEPTH,
+            split_targets: HashMap::new(),
+            block_lines: DEFAULT_BLOCK_LINES,
+            cpu: None,
+            buffer_splits_in: None,
+        }
+    }
+}
+
+/// Per-node execution record.
+#[derive(Debug, Clone)]
+pub struct NodeMetric {
+    /// The node.
+    pub node: NodeId,
+    /// Display label.
+    pub label: String,
+    /// Wall time spent in the node's thread.
+    pub wall: Duration,
+    /// Exit status (commands only).
+    pub status: Option<i32>,
+}
+
+/// The result of executing a graph.
+#[derive(Debug, Clone)]
+pub struct ExecOutcome {
+    /// Captured stdout of the region (empty when it ended in a file
+    /// write).
+    pub stdout: Vec<u8>,
+    /// Combined diagnostics of all nodes.
+    pub stderr: Vec<u8>,
+    /// Region exit status (pipeline semantics; see crate docs).
+    pub status: i32,
+    /// Per-node records.
+    pub metrics: Vec<NodeMetric>,
+    /// End-to-end wall time.
+    pub wall: Duration,
+}
+
+/// Validates that every round-robin split only feeds order-insensitive
+/// aggregators. Returns the offending merge label on violation.
+pub fn check_split_safety(dfg: &Dfg, cfg: &ExecConfig) -> Result<(), String> {
+    for n in dfg.node_ids() {
+        if !matches!(dfg.node(n).kind, NodeKind::Split { .. }) {
+            continue;
+        }
+        if cfg.split_targets.contains_key(&n) {
+            continue;
+        }
+        // Walk downstream looking for order-sensitive merges.
+        let mut stack: Vec<NodeId> = dfg
+            .node(n)
+            .outputs
+            .iter()
+            .map(|&e| dfg.edge(e).to)
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(m) = stack.pop() {
+            if !seen.insert(m) {
+                continue;
+            }
+            if let NodeKind::Merge { agg } = &dfg.node(m).kind {
+                let order_sensitive = matches!(
+                    agg,
+                    jash_spec::Aggregator::Concat
+                        | jash_spec::Aggregator::UniqBoundary { .. }
+                        | jash_spec::Aggregator::SqueezeBoundary { .. }
+                        | jash_spec::Aggregator::TakeFirst { .. }
+                );
+                if order_sensitive {
+                    return Err(format!(
+                        "round-robin split feeds order-sensitive {}",
+                        dfg.node(m).kind.label()
+                    ));
+                }
+            }
+            stack.extend(dfg.node(m).outputs.iter().map(|&e| dfg.edge(e).to));
+        }
+    }
+    Ok(())
+}
+
+/// A sink appending into a shared buffer.
+struct SharedSink(Arc<Mutex<Vec<u8>>>);
+
+impl Sink for SharedSink {
+    fn write_chunk(&mut self, chunk: Bytes) -> io::Result<()> {
+        self.0.lock().extend_from_slice(&chunk);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A sink that discards everything.
+struct NullSink;
+
+impl Sink for NullSink {
+    fn write_chunk(&mut self, _chunk: Bytes) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Executes a graph to completion.
+pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
+    check_split_safety(dfg, cfg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    let t0 = Instant::now();
+
+    // Create a pipe per edge, then hand the endpoints to node threads.
+    let mut writers: Vec<Option<Box<dyn Sink>>> = Vec::new();
+    let mut readers: Vec<Option<Box<dyn ByteStream>>> = Vec::new();
+    for _ in &dfg.edges {
+        let (w, r) = jash_io::pipe(cfg.pipe_depth);
+        writers.push(Some(Box::new(w)));
+        readers.push(Some(Box::new(r)));
+    }
+
+    let capture = Arc::new(Mutex::new(Vec::new()));
+    let stderr = Arc::new(Mutex::new(Vec::new()));
+    let metrics: Arc<Mutex<Vec<NodeMetric>>> = Arc::new(Mutex::new(Vec::new()));
+
+    // The terminal node (no outputs, produces data) feeds the capture
+    // buffer.
+    let terminal = dfg.node_ids().find(|&n| {
+        jash_dataflow::is_live(dfg, n)
+            && dfg.node(n).outputs.is_empty()
+            && matches!(
+                dfg.node(n).kind,
+                NodeKind::Command { .. } | NodeKind::Merge { .. } | NodeKind::ReadFile { .. }
+            )
+    });
+
+    std::thread::scope(|scope| -> io::Result<()> {
+        for n in dfg.node_ids() {
+            if !jash_dataflow::is_live(dfg, n) {
+                continue;
+            }
+            let kind = dfg.node(n).kind.clone();
+            let ins: Vec<Box<dyn ByteStream>> = dfg
+                .node(n)
+                .inputs
+                .iter()
+                .map(|e| readers[e.0].take().expect("reader taken once"))
+                .collect();
+            let mut outs: Vec<Box<dyn Sink>> = dfg
+                .node(n)
+                .outputs
+                .iter()
+                .map(|e| writers[e.0].take().expect("writer taken once"))
+                .collect();
+            if terminal == Some(n) {
+                outs.push(Box::new(SharedSink(Arc::clone(&capture))));
+            }
+            let fs = Arc::clone(&cfg.fs);
+            let cwd = cfg.cwd.clone();
+            let stderr = Arc::clone(&stderr);
+            let metrics = Arc::clone(&metrics);
+            let split_plan = cfg.split_targets.get(&n).cloned();
+            let block_lines = cfg.block_lines;
+            let buffer_dir = cfg.buffer_splits_in.clone();
+            let cpu = cfg.cpu.clone();
+
+            scope.spawn(move || {
+                let start = Instant::now();
+                let status = run_node(
+                    &kind, n, ins, outs, fs, &cwd, &stderr, split_plan, block_lines, buffer_dir,
+                    cpu,
+                );
+                let status = match status {
+                    Ok(s) => s,
+                    Err(e) if e.kind() == io::ErrorKind::BrokenPipe => Some(0),
+                    Err(e) => {
+                        stderr
+                            .lock()
+                            .extend_from_slice(format!("jash-exec: {e}\n").as_bytes());
+                        Some(125)
+                    }
+                };
+                metrics.lock().push(NodeMetric {
+                    node: n,
+                    label: kind.label(),
+                    wall: start.elapsed(),
+                    status,
+                });
+            });
+        }
+        Ok(())
+    })?;
+
+    let metrics = Arc::try_unwrap(metrics)
+        .map(|m| m.into_inner())
+        .unwrap_or_default();
+    let status = region_status(dfg, &metrics);
+    Ok(ExecOutcome {
+        stdout: Arc::try_unwrap(capture)
+            .map(|m| m.into_inner())
+            .unwrap_or_default(),
+        stderr: Arc::try_unwrap(stderr)
+            .map(|m| m.into_inner())
+            .unwrap_or_default(),
+        status,
+        metrics,
+        wall: t0.elapsed(),
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_node(
+    kind: &NodeKind,
+    node: NodeId,
+    mut ins: Vec<Box<dyn ByteStream>>,
+    mut outs: Vec<Box<dyn Sink>>,
+    fs: FsHandle,
+    cwd: &str,
+    stderr: &Arc<Mutex<Vec<u8>>>,
+    split_plan: Option<Vec<u64>>,
+    block_lines: usize,
+    buffer_dir: Option<String>,
+    cpu: Option<Arc<jash_io::CpuModel>>,
+) -> io::Result<Option<i32>> {
+    match kind {
+        NodeKind::ReadFile { path } => {
+            let path = jash_io::fs::normalize(cwd, path);
+            let mut stream = FileStream::open(fs.as_ref(), &path)?;
+            let out = outs.first_mut().expect("read has one output");
+            while let Some(chunk) = stream.next_chunk()? {
+                out.write_chunk(chunk)?;
+            }
+            out.finish()?;
+            Ok(None)
+        }
+        NodeKind::WriteFile { path, append } => {
+            let path = jash_io::fs::normalize(cwd, path);
+            let mut sink = FileSink::create(fs.as_ref(), &path, *append)?;
+            let input = ins.first_mut().expect("write has one input");
+            while let Some(chunk) = input.next_chunk()? {
+                sink.write_chunk(chunk)?;
+            }
+            sink.finish()?;
+            Ok(None)
+        }
+        NodeKind::Discard => {
+            if let Some(input) = ins.first_mut() {
+                while input.next_chunk()?.is_some() {}
+            }
+            Ok(None)
+        }
+        NodeKind::Split { width } => {
+            let input = ins.first_mut().expect("split has one input");
+            let block = if block_lines == 0 {
+                DEFAULT_BLOCK_LINES
+            } else {
+                block_lines
+            };
+            if let Some(dir) = buffer_dir {
+                // PaSh-style disk buffering: materialize every chunk to a
+                // temp file, then stream the files into the branches. All
+                // bytes hit the (modeled) disk twice.
+                let paths: Vec<String> = (0..*width)
+                    .map(|b| format!("{}/split-{}-{}", dir.trim_end_matches('/'), node.0, b))
+                    .collect();
+                {
+                    let mut file_sinks: Vec<Box<dyn Sink>> = paths
+                        .iter()
+                        .map(|p| {
+                            FileSink::create(fs.as_ref(), p, false)
+                                .map(|s| Box::new(s) as Box<dyn Sink>)
+                        })
+                        .collect::<io::Result<_>>()?;
+                    match split_plan {
+                        Some(targets) => {
+                            split_contiguous(input.as_mut(), &mut file_sinks, &targets)?
+                        }
+                        None => split_round_robin(input.as_mut(), &mut file_sinks, block)?,
+                    }
+                }
+                // Each branch reads its chunk file on its own feeder
+                // thread — as in PaSh, where every worker opens its chunk
+                // independently. (A single interleaved feeder would
+                // deadlock against order-sequential merges downstream.)
+                std::thread::scope(|scope| -> io::Result<()> {
+                    let mut handles = Vec::new();
+                    for (path, mut out) in paths.iter().zip(outs.drain(..)) {
+                        let fs = Arc::clone(&fs);
+                        handles.push(scope.spawn(move || -> io::Result<()> {
+                            let mut stream = FileStream::open(fs.as_ref(), path)?;
+                            loop {
+                                match stream.next_chunk() {
+                                    Ok(Some(chunk)) => {
+                                        if out.write_chunk(chunk).is_err() {
+                                            break; // Downstream closed early.
+                                        }
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => return Err(e),
+                                }
+                            }
+                            out.finish()?;
+                            let _ = fs.remove(path);
+                            Ok(())
+                        }));
+                    }
+                    for h in handles {
+                        h.join().map_err(|_| {
+                            io::Error::other("split feeder thread panicked")
+                        })??;
+                    }
+                    Ok(())
+                })?;
+            } else {
+                match split_plan {
+                    Some(targets) => split_contiguous(input.as_mut(), &mut outs, &targets)?,
+                    None => split_round_robin(input.as_mut(), &mut outs, block)?,
+                }
+            }
+            Ok(None)
+        }
+        NodeKind::Merge { agg } => {
+            let out = outs.first_mut().expect("merge has an output");
+            run_merge(agg, ins, out.as_mut())?;
+            Ok(None)
+        }
+        NodeKind::Command { name, args, .. } => {
+            let mut stdin: Box<dyn ByteStream> = match ins.pop() {
+                Some(s) => s,
+                None => Box::new(MemStream::empty()),
+            };
+            if let Some(model) = &cpu {
+                stdin = Box::new(jash_io::CpuMeteredStream::new(
+                    stdin,
+                    Arc::clone(model),
+                    jash_io::cpu_rate(name),
+                ));
+            }
+            let stdout_inner: Box<dyn Sink> = match outs.pop() {
+                Some(s) => s,
+                None => Box::new(NullSink),
+            };
+            // Batch line-grained command output into chunk-sized writes.
+            let mut stdout: Box<dyn Sink> =
+                Box::new(jash_io::CoalescingSink::new(stdout_inner));
+            let mut err_sink = SharedSink(Arc::clone(stderr));
+            let ctx = UtilCtx {
+                fs,
+                cwd: cwd.to_string(),
+            };
+            let status = {
+                let mut io = UtilIo {
+                    stdin: stdin.as_mut(),
+                    stdout: stdout.as_mut(),
+                    stderr: &mut err_sink,
+                };
+                jash_coreutils::run_utility(name, args, &mut io, &ctx)
+            };
+            // Close stdout so downstream sees EOF, and drain leftover
+            // stdin so upstream can finish.
+            stdout.finish()?;
+            drop(stdout);
+            drop(stdin);
+            Ok(Some(status?))
+        }
+    }
+}
+
+/// Pipeline-style region status: a real error (≥2) anywhere wins;
+/// otherwise the final stage decides, where a parallelized final stage
+/// succeeds if any clone succeeded (matching `grep`-style predicates).
+fn region_status(dfg: &Dfg, metrics: &[NodeMetric]) -> i32 {
+    let by_node: HashMap<NodeId, i32> = metrics
+        .iter()
+        .filter_map(|m| m.status.map(|s| (m.node, s)))
+        .collect();
+    if let Some(err) = by_node.values().copied().filter(|s| *s >= 2).max() {
+        return err;
+    }
+    // Final stage: command nodes with no downstream command nodes.
+    let mut last_stage: Vec<i32> = Vec::new();
+    for (&n, &s) in &by_node {
+        let mut downstream_cmd = false;
+        let mut stack: Vec<NodeId> = dfg
+            .node(n)
+            .outputs
+            .iter()
+            .map(|&e| dfg.edge(e).to)
+            .collect();
+        while let Some(m) = stack.pop() {
+            if matches!(dfg.node(m).kind, NodeKind::Command { .. }) {
+                downstream_cmd = true;
+                break;
+            }
+            stack.extend(dfg.node(m).outputs.iter().map(|&e| dfg.edge(e).to));
+        }
+        if !downstream_cmd {
+            last_stage.push(s);
+        }
+    }
+    if last_stage.is_empty() {
+        0
+    } else if last_stage.iter().any(|&s| s == 0) {
+        0
+    } else {
+        *last_stage.iter().max().expect("nonempty")
+    }
+}

@@ -1,0 +1,306 @@
+//! Parallel dataflow-graph executor.
+//!
+//! Runs the graphs produced by `jash-dataflow` on threads connected by
+//! bounded in-process pipes — the runtime half of the PaSh-style
+//! transformation story (paper E2), and the machinery behind every
+//! speedup the benchmark suite reports.
+//!
+//! Semantics contract (exercised heavily by the integration tests): for
+//! any graph produced by `compile` + rewrites, the captured stdout equals
+//! byte-for-byte the output of the original sequential pipeline.
+//!
+//! # Examples
+//!
+//! ```
+//! use jash_dataflow::{compile, ExpandedCommand, Region, parallelize_all};
+//! use jash_exec::{execute, ExecConfig};
+//! use jash_spec::Registry;
+//!
+//! let fs = jash_io::mem_fs();
+//! jash_io::fs::write_file(fs.as_ref(), "/in", b"b\na\nb\n").unwrap();
+//!
+//! let region = Region {
+//!     commands: vec![
+//!         ExpandedCommand::new("cat", &["/in"]),
+//!         ExpandedCommand::new("sort", &["-u"]),
+//!     ],
+//! };
+//! let mut compiled = compile(&region, &Registry::builtin()).unwrap();
+//! parallelize_all(&mut compiled.dfg, 2);
+//! let out = jash_exec::execute(&compiled.dfg, &ExecConfig::new(fs)).unwrap();
+//! assert_eq!(out.stdout, b"a\nb\n");
+//! ```
+
+pub mod executor;
+pub mod merge;
+pub mod split;
+
+pub use executor::{check_split_safety, execute, ExecConfig, ExecOutcome, NodeMetric};
+pub use merge::run_merge;
+pub use split::{balanced_targets, split_contiguous, split_round_robin, DEFAULT_BLOCK_LINES};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_dataflow::{compile, parallelize_all, ExpandedCommand, NodeKind, Region};
+    use jash_io::FsHandle;
+    use jash_spec::Registry;
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    fn fs_with(files: &[(&str, &str)]) -> FsHandle {
+        let fs = jash_io::mem_fs();
+        for (p, c) in files {
+            jash_io::fs::write_file(fs.as_ref(), p, c.as_bytes()).unwrap();
+        }
+        fs
+    }
+
+    fn run_region(
+        fs: FsHandle,
+        cmds: Vec<ExpandedCommand>,
+        width: usize,
+    ) -> (ExecOutcome, jash_dataflow::Compiled) {
+        let mut compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        let mut cfg = ExecConfig::new(fs);
+        if width > 1 {
+            parallelize_all(&mut compiled.dfg, width);
+            // Give every split a contiguous plan sized generously, as the
+            // JIT would from file metadata.
+            let mut plans = HashMap::new();
+            for n in compiled.dfg.node_ids() {
+                if let NodeKind::Split { width } = compiled.dfg.node(n).kind {
+                    plans.insert(n, balanced_targets(1 << 16, width));
+                }
+            }
+            cfg.split_targets = plans;
+        }
+        compiled.dfg.validate().unwrap();
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        (out, compiled)
+    }
+
+    #[test]
+    fn sequential_pipeline_runs() {
+        let fs = fs_with(&[("/in", "banana\napple\ncherry\napple\n")]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("sort", &["-u"]),
+        ];
+        let (out, _) = run_region(fs, cmds, 1);
+        assert_eq!(out.status, 0);
+        assert_eq!(out.stdout, b"apple\nbanana\ncherry\n");
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_stateless_chain() {
+        let content: String = (0..5000)
+            .map(|i| format!("Line NUMBER {i} Mixed CASE\n"))
+            .collect();
+        let cmds = || {
+            vec![
+                ExpandedCommand::new("cat", &["/in"]),
+                ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+                ExpandedCommand::new("grep", &["number"]),
+            ]
+        };
+        let (seq, _) = run_region(fs_with(&[("/in", &content)]), cmds(), 1);
+        let (par, compiled) = run_region(fs_with(&[("/in", &content)]), cmds(), 4);
+        assert_eq!(seq.stdout, par.stdout);
+        // The parallel graph really did replicate.
+        let clones = compiled
+            .dfg
+            .node_ids()
+            .filter(|n| {
+                matches!(&compiled.dfg.node(*n).kind, NodeKind::Command { name, .. } if name == "tr")
+            })
+            .count();
+        assert_eq!(clones, 4);
+    }
+
+    #[test]
+    fn parallel_sort_matches_sequential() {
+        let content: String = (0..5000).map(|i| format!("{}\n", (i * 7919) % 1000)).collect();
+        let cmds = || {
+            vec![
+                ExpandedCommand::new("cat", &["/in"]),
+                ExpandedCommand::new("sort", &["-n"]),
+            ]
+        };
+        let (seq, _) = run_region(fs_with(&[("/in", &content)]), cmds(), 1);
+        let (par, _) = run_region(fs_with(&[("/in", &content)]), cmds(), 8);
+        assert_eq!(seq.stdout, par.stdout);
+    }
+
+    #[test]
+    fn the_spell_pipeline_parallel_equivalence() {
+        let doc = "The Quick BROWN fox! jumps; over the lazy dog 42 times\n".repeat(400);
+        let dict = "brown\ndog\nfox\njumps\nlazy\nover\nquick\nthe\n";
+        let cmds = || {
+            vec![
+                ExpandedCommand::new("cat", &["/doc"]),
+                ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+                ExpandedCommand::new("tr", &["-cs", "A-Za-z", "\\n"]),
+                ExpandedCommand::new("sort", &["-u"]),
+                ExpandedCommand::new("comm", &["-13", "/dict", "-"]),
+            ]
+        };
+        let (seq, _) = run_region(fs_with(&[("/doc", &doc), ("/dict", dict)]), cmds(), 1);
+        let (par, _) = run_region(fs_with(&[("/doc", &doc), ("/dict", dict)]), cmds(), 4);
+        assert_eq!(seq.status, 0);
+        assert_eq!(
+            String::from_utf8_lossy(&seq.stdout),
+            String::from_utf8_lossy(&par.stdout)
+        );
+        // "times" is not in the dictionary.
+        assert!(seq.stdout.starts_with(b"times\n"));
+    }
+
+    #[test]
+    fn temperature_pipeline_with_head() {
+        let mut content = String::new();
+        for i in 0..500 {
+            let temp = (i * 37) % 600;
+            content.push_str(&format!("{:088}{temp:04}rest\n", 0));
+        }
+        let fs = fs_with(&[("/noaa", &content)]);
+        let mut cut = ExpandedCommand::new("cut", &["-c", "89-92"]);
+        cut.stdin_redirect = Some("/noaa".into());
+        let cmds = vec![
+            cut,
+            ExpandedCommand::new("grep", &["-v", "999"]),
+            ExpandedCommand::new("sort", &["-rn"]),
+            ExpandedCommand::new("head", &["-n1"]),
+        ];
+        let (out, _) = run_region(fs, cmds, 1);
+        assert_eq!(out.stdout, b"0599\n");
+    }
+
+    #[test]
+    fn write_file_sink() {
+        let fs = fs_with(&[("/in", "c\nb\na\n")]);
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/out".into(), false));
+        let (out, _) = run_region(Arc::clone(&fs), vec![sort], 1);
+        assert!(out.stdout.is_empty());
+        assert_eq!(
+            jash_io::fs::read_to_vec(fs.as_ref(), "/out").unwrap(),
+            b"a\nb\nc\n"
+        );
+    }
+
+    #[test]
+    fn grep_status_propagates() {
+        let fs = fs_with(&[("/in", "nothing here\n")]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("grep", &["absent-pattern"]),
+        ];
+        let (out, _) = run_region(fs, cmds, 1);
+        assert_eq!(out.status, 1);
+        let fs = fs_with(&[("/in", "absent-pattern present\n")]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("grep", &["absent-pattern"]),
+        ];
+        let (out, _) = run_region(fs, cmds, 1);
+        assert_eq!(out.status, 0);
+    }
+
+    #[test]
+    fn parallel_grep_succeeds_if_any_clone_matches() {
+        // The needle lives in one chunk only.
+        let mut content = "hay\n".repeat(2000);
+        content.push_str("needle\n");
+        content.push_str(&"hay\n".repeat(2000));
+        let fs = fs_with(&[("/in", &content)]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("grep", &["needle"]),
+        ];
+        let (out, _) = run_region(fs, cmds, 4);
+        assert_eq!(out.status, 0);
+        assert_eq!(out.stdout, b"needle\n");
+    }
+
+    #[test]
+    fn round_robin_rejected_for_concat_merge() {
+        let fs = fs_with(&[("/in", "x\n")]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["a", "b"]),
+        ];
+        let mut compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        parallelize_all(&mut compiled.dfg, 2);
+        // No split plan: tr merges with Concat → must be refused.
+        let cfg = ExecConfig::new(fs);
+        let err = execute(&compiled.dfg, &cfg).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn round_robin_allowed_for_merge_sort() {
+        let content: String = (0..2000).map(|i| format!("{}\n", 2000 - i)).collect();
+        let fs = fs_with(&[("/in", &content)]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("sort", &["-n"]),
+        ];
+        let mut compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        parallelize_all(&mut compiled.dfg, 4);
+        let mut cfg = ExecConfig::new(fs);
+        cfg.block_lines = 100;
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        let lines: Vec<i64> = String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(|l| l.parse().unwrap())
+            .collect();
+        assert_eq!(lines.len(), 2000);
+        assert!(lines.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn wc_parallel_sums() {
+        let content = "one two\n".repeat(999);
+        let cmds = || {
+            vec![
+                ExpandedCommand::new("cat", &["/in"]),
+                ExpandedCommand::new("wc", &["-l"]),
+            ]
+        };
+        let (seq, _) = run_region(fs_with(&[("/in", &content)]), cmds(), 1);
+        let (par, _) = run_region(fs_with(&[("/in", &content)]), cmds(), 3);
+        assert_eq!(seq.stdout, b"999\n");
+        assert_eq!(par.stdout, b"999\n");
+    }
+
+    #[test]
+    fn missing_input_file_reports_error() {
+        let fs = jash_io::mem_fs();
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/does-not-exist"]),
+            ExpandedCommand::new("wc", &["-l"]),
+        ];
+        let compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        let out = execute(&compiled.dfg, &ExecConfig::new(fs)).unwrap();
+        assert!(out.status >= 1);
+        assert!(!out.stderr.is_empty());
+    }
+
+    #[test]
+    fn metrics_cover_live_nodes() {
+        let fs = fs_with(&[("/in", "a\n")]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("wc", &["-l"]),
+        ];
+        let (out, compiled) = run_region(fs, cmds, 1);
+        let live = compiled
+            .dfg
+            .node_ids()
+            .filter(|n| jash_dataflow::is_live(&compiled.dfg, *n))
+            .count();
+        assert_eq!(out.metrics.len(), live);
+        assert!(out.wall.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,449 @@
+//! Aggregators: recombining partial outputs into the exact sequential
+//! output.
+
+use bytes::Bytes;
+use jash_io::{ByteStream, LineBuffer, Sink};
+use jash_spec::Aggregator;
+use std::io;
+
+/// Runs the aggregator over `inputs` (in branch order), writing to `out`.
+pub fn run_merge(
+    agg: &Aggregator,
+    inputs: Vec<Box<dyn ByteStream>>,
+    out: &mut dyn Sink,
+) -> io::Result<()> {
+    // Line-granular aggregators coalesce output into chunk-sized writes.
+    let mut out = Coalescer::new(out);
+    match agg {
+        Aggregator::Concat => concat(inputs, &mut out),
+        Aggregator::MergeSort { key } => merge_sort(inputs, &mut out, key),
+        Aggregator::SumCounts => sum_counts(inputs, &mut out),
+        Aggregator::UniqBoundary { counted } => uniq_boundary(inputs, &mut out, *counted),
+        Aggregator::TakeFirst { n } => take_first(inputs, &mut out, *n),
+        Aggregator::SqueezeBoundary { set } => squeeze_boundary(inputs, &mut out, set),
+    }?;
+    out.finish()
+}
+
+/// Batches small writes into ~128 KiB chunks before forwarding.
+struct Coalescer<'a> {
+    inner: &'a mut dyn Sink,
+    buf: Vec<u8>,
+}
+
+const COALESCE: usize = 128 * 1024;
+
+impl<'a> Coalescer<'a> {
+    fn new(inner: &'a mut dyn Sink) -> Self {
+        Coalescer {
+            inner,
+            buf: Vec::with_capacity(COALESCE),
+        }
+    }
+}
+
+impl Sink for Coalescer<'_> {
+    fn write_chunk(&mut self, chunk: Bytes) -> io::Result<()> {
+        if chunk.len() >= COALESCE && self.buf.is_empty() {
+            return self.inner.write_chunk(chunk);
+        }
+        self.buf.extend_from_slice(&chunk);
+        if self.buf.len() >= COALESCE {
+            self.inner
+                .write_chunk(Bytes::from(std::mem::take(&mut self.buf)))?;
+        }
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        if !self.buf.is_empty() {
+            self.inner
+                .write_chunk(Bytes::from(std::mem::take(&mut self.buf)))?;
+        }
+        self.inner.finish()
+    }
+}
+
+fn concat(mut inputs: Vec<Box<dyn ByteStream>>, out: &mut dyn Sink) -> io::Result<()> {
+    for input in &mut inputs {
+        while let Some(chunk) = input.next_chunk()? {
+            out.write_chunk(chunk)?;
+        }
+    }
+    Ok(())
+}
+
+/// A line-buffered reader with one-line lookahead.
+struct LineReader {
+    stream: Box<dyn ByteStream>,
+    lb: LineBuffer,
+    eof: bool,
+    current: Option<Bytes>,
+}
+
+impl LineReader {
+    fn new(stream: Box<dyn ByteStream>) -> io::Result<Self> {
+        let mut r = LineReader {
+            stream,
+            lb: LineBuffer::new(),
+            eof: false,
+            current: None,
+        };
+        r.advance()?;
+        Ok(r)
+    }
+
+    /// The current line (with `\n`), if any.
+    fn peek(&self) -> Option<&Bytes> {
+        self.current.as_ref()
+    }
+
+    fn advance(&mut self) -> io::Result<()> {
+        loop {
+            if let Some(line) = self.lb.next_line() {
+                self.current = Some(line);
+                return Ok(());
+            }
+            if self.eof {
+                self.current = self.lb.take_rest().map(|mut rest| {
+                    // Normalize a missing trailing newline so comparisons
+                    // and re-emission stay line-shaped.
+                    let mut v = rest.to_vec();
+                    if !v.ends_with(b"\n") {
+                        v.push(b'\n');
+                    }
+                    rest = Bytes::from(v);
+                    rest
+                });
+                return Ok(());
+            }
+            match self.stream.next_chunk()? {
+                Some(chunk) => {
+                    self.lb.push(&chunk);
+                }
+                None => self.eof = true,
+            }
+        }
+    }
+}
+
+fn merge_sort(
+    inputs: Vec<Box<dyn ByteStream>>,
+    out: &mut dyn Sink,
+    key: &jash_spec::SortKeySpec,
+) -> io::Result<()> {
+    let opts: jash_coreutils::cmds::sort::SortOptions = (*key).into();
+    let mut readers: Vec<LineReader> = inputs
+        .into_iter()
+        .map(LineReader::new)
+        .collect::<io::Result<_>>()?;
+    let mut last: Option<Bytes> = None;
+    loop {
+        // Pick the smallest current line; ties resolve to the earliest
+        // branch (stability).
+        let mut best: Option<usize> = None;
+        for (i, r) in readers.iter().enumerate() {
+            let Some(line) = r.peek() else { continue };
+            match best {
+                None => best = Some(i),
+                Some(b) => {
+                    let bl = readers[b].peek().expect("peeked");
+                    if opts.compare(chomp(line), chomp(bl)) == std::cmp::Ordering::Less {
+                        best = Some(i);
+                    }
+                }
+            }
+        }
+        let Some(i) = best else { return Ok(()) };
+        let line = readers[i].peek().expect("peeked").clone();
+        readers[i].advance()?;
+        if key.unique {
+            if let Some(prev) = &last {
+                if opts.compare(chomp(prev), chomp(&line)) == std::cmp::Ordering::Equal {
+                    continue;
+                }
+            }
+        }
+        out.write_chunk(line.clone())?;
+        last = Some(line);
+    }
+}
+
+fn chomp(b: &Bytes) -> &[u8] {
+    match b.last() {
+        Some(b'\n') => &b[..b.len() - 1],
+        _ => b,
+    }
+}
+
+/// Sums whitespace-separated numeric columns across branches, reproducing
+/// `wc`-style formatting (bare number for one column, `{:>7}`-padded
+/// otherwise).
+fn sum_counts(mut inputs: Vec<Box<dyn ByteStream>>, out: &mut dyn Sink) -> io::Result<()> {
+    let mut sums: Vec<i64> = Vec::new();
+    for input in &mut inputs {
+        let data = jash_io::stream::read_all(input.as_mut())?;
+        let text = String::from_utf8_lossy(&data);
+        let nums: Vec<i64> = text
+            .split_whitespace()
+            .filter_map(|t| t.parse().ok())
+            .collect();
+        if sums.is_empty() {
+            sums = nums;
+        } else {
+            for (s, n) in sums.iter_mut().zip(nums) {
+                *s += n;
+            }
+        }
+    }
+    let line = if sums.len() == 1 {
+        format!("{}\n", sums[0])
+    } else {
+        let cols: Vec<String> = sums.iter().map(|n| format!("{n:>7}")).collect();
+        format!("{}\n", cols.join(" "))
+    };
+    out.write_chunk(Bytes::from(line))
+}
+
+/// Concatenates, collapsing equal lines adjacent across a branch boundary.
+/// With `counted`, partials are `uniq -c` output and boundary counts sum.
+fn uniq_boundary(
+    inputs: Vec<Box<dyn ByteStream>>,
+    out: &mut dyn Sink,
+    counted: bool,
+) -> io::Result<()> {
+    let mut held: Option<Bytes> = None;
+    for input in inputs {
+        let mut r = LineReader::new(input)?;
+        while let Some(line) = r.peek().cloned() {
+            r.advance()?;
+            match held.take() {
+                None => held = Some(line),
+                Some(prev) => {
+                    if counted {
+                        let (pc, pl) = parse_counted(&prev);
+                        let (nc, nl) = parse_counted(&line);
+                        if pl == nl {
+                            held = Some(Bytes::from(format_counted(pc + nc, &pl)));
+                            continue;
+                        }
+                    } else if prev == line {
+                        held = Some(prev);
+                        continue;
+                    }
+                    out.write_chunk(prev)?;
+                    held = Some(line);
+                }
+            }
+        }
+    }
+    if let Some(prev) = held {
+        out.write_chunk(prev)?;
+    }
+    Ok(())
+}
+
+fn parse_counted(line: &Bytes) -> (u64, Vec<u8>) {
+    let body = chomp(line);
+    let text = String::from_utf8_lossy(body);
+    let trimmed = text.trim_start();
+    match trimmed.split_once(' ') {
+        Some((n, rest)) => match n.parse::<u64>() {
+            Ok(c) => (c, rest.as_bytes().to_vec()),
+            Err(_) => (1, body.to_vec()),
+        },
+        None => match trimmed.parse::<u64>() {
+            Ok(c) => (c, Vec::new()),
+            Err(_) => (1, body.to_vec()),
+        },
+    }
+}
+
+fn format_counted(count: u64, body: &[u8]) -> Vec<u8> {
+    let mut v = format!("{count:>7} ").into_bytes();
+    v.extend_from_slice(body);
+    v.push(b'\n');
+    v
+}
+
+fn take_first(
+    inputs: Vec<Box<dyn ByteStream>>,
+    out: &mut dyn Sink,
+    n: u64,
+) -> io::Result<()> {
+    let mut remaining = n;
+    for input in inputs {
+        if remaining == 0 {
+            break;
+        }
+        let mut r = LineReader::new(input)?;
+        while remaining > 0 {
+            let Some(line) = r.peek().cloned() else { break };
+            r.advance()?;
+            out.write_chunk(line)?;
+            remaining -= 1;
+        }
+    }
+    Ok(())
+}
+
+/// Concatenates, collapsing a boundary-spanning run of a squeezed byte.
+fn squeeze_boundary(
+    mut inputs: Vec<Box<dyn ByteStream>>,
+    out: &mut dyn Sink,
+    set: &[u8],
+) -> io::Result<()> {
+    let mut last_byte: Option<u8> = None;
+    for input in &mut inputs {
+        let mut at_start = true;
+        while let Some(chunk) = input.next_chunk()? {
+            let mut chunk = chunk;
+            if at_start {
+                if let Some(lb) = last_byte {
+                    if set.contains(&lb) {
+                        let skip = chunk.iter().take_while(|&&b| b == lb).count();
+                        chunk = chunk.slice(skip..);
+                    }
+                }
+                if !chunk.is_empty() {
+                    at_start = false;
+                }
+            }
+            if !chunk.is_empty() {
+                last_byte = chunk.last().copied();
+                out.write_chunk(chunk)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_io::{MemStream, VecSink};
+    use jash_spec::SortKeySpec;
+
+    fn streams(parts: &[&str]) -> Vec<Box<dyn ByteStream>> {
+        parts
+            .iter()
+            .map(|p| Box::new(MemStream::from_bytes(p.to_string())) as Box<dyn ByteStream>)
+            .collect()
+    }
+
+    fn merge(agg: &Aggregator, parts: &[&str]) -> String {
+        let mut sink = VecSink::new();
+        run_merge(agg, streams(parts), &mut sink).unwrap();
+        String::from_utf8(sink.data).unwrap()
+    }
+
+    #[test]
+    fn concat_in_order() {
+        assert_eq!(
+            merge(&Aggregator::Concat, &["a\n", "b\n", "c\n"]),
+            "a\nb\nc\n"
+        );
+    }
+
+    #[test]
+    fn merge_sort_lexicographic() {
+        let agg = Aggregator::MergeSort {
+            key: SortKeySpec::default(),
+        };
+        assert_eq!(
+            merge(&agg, &["a\nc\ne\n", "b\nd\n"]),
+            "a\nb\nc\nd\ne\n"
+        );
+    }
+
+    #[test]
+    fn merge_sort_numeric_reverse() {
+        let agg = Aggregator::MergeSort {
+            key: SortKeySpec {
+                numeric: true,
+                reverse: true,
+                ..Default::default()
+            },
+        };
+        assert_eq!(merge(&agg, &["9\n5\n1\n", "10\n2\n"]), "10\n9\n5\n2\n1\n");
+    }
+
+    #[test]
+    fn merge_sort_unique() {
+        let agg = Aggregator::MergeSort {
+            key: SortKeySpec {
+                unique: true,
+                ..Default::default()
+            },
+        };
+        assert_eq!(merge(&agg, &["a\nb\n", "b\nc\n"]), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn merge_sort_equals_full_sort_property() {
+        // merge(sort(a), sort(b)) == sort(a ++ b) on random-ish data.
+        let a = "pear\napple\nzebra\n";
+        let b = "mango\napple\nberry\n";
+        let sort = |s: &str| {
+            let mut v: Vec<&str> = s.lines().collect();
+            v.sort();
+            v.iter().map(|l| format!("{l}\n")).collect::<String>()
+        };
+        let agg = Aggregator::MergeSort {
+            key: SortKeySpec::default(),
+        };
+        let merged = merge(&agg, &[&sort(a), &sort(b)]);
+        assert_eq!(merged, sort(&(a.to_string() + b)));
+    }
+
+    #[test]
+    fn sum_counts_single_column() {
+        assert_eq!(merge(&Aggregator::SumCounts, &["3\n", "4\n"]), "7\n");
+    }
+
+    #[test]
+    fn sum_counts_multi_column() {
+        let out = merge(&Aggregator::SumCounts, &["  1  2  3\n", "  4  5  6\n"]);
+        let nums: Vec<&str> = out.split_whitespace().collect();
+        assert_eq!(nums, vec!["5", "7", "9"]);
+    }
+
+    #[test]
+    fn uniq_boundary_collapses_duplicates() {
+        let agg = Aggregator::UniqBoundary { counted: false };
+        assert_eq!(merge(&agg, &["a\nb\n", "b\nc\n"]), "a\nb\nc\n");
+        assert_eq!(merge(&agg, &["a\n", "a\n", "a\n"]), "a\n");
+        assert_eq!(merge(&agg, &["a\nb\n", "c\n"]), "a\nb\nc\n");
+    }
+
+    #[test]
+    fn uniq_boundary_counted_sums() {
+        let agg = Aggregator::UniqBoundary { counted: true };
+        let out = merge(&agg, &["      2 a\n", "      3 a\n      1 b\n"]);
+        assert_eq!(out, "      5 a\n      1 b\n");
+    }
+
+    #[test]
+    fn take_first_limits() {
+        let agg = Aggregator::TakeFirst { n: 3 };
+        assert_eq!(merge(&agg, &["1\n2\n", "3\n4\n"]), "1\n2\n3\n");
+    }
+
+    #[test]
+    fn squeeze_boundary_drops_run() {
+        let agg = Aggregator::SqueezeBoundary { set: vec![b'\n'] };
+        // Chunk 1 ends with \n, chunk 2 starts with \n\n: squeeze to one.
+        assert_eq!(merge(&agg, &["word\n", "\n\nnext\n"]), "word\nnext\n");
+        // Non-squeezed bytes untouched.
+        assert_eq!(merge(&agg, &["ab", "ba"]), "abba");
+    }
+
+    #[test]
+    fn empty_branches_ok() {
+        assert_eq!(merge(&Aggregator::Concat, &["", "x\n", ""]), "x\n");
+        let agg = Aggregator::MergeSort {
+            key: SortKeySpec::default(),
+        };
+        assert_eq!(merge(&agg, &["", ""]), "");
+    }
+}

@@ -1,0 +1,245 @@
+//! Evaluation of arithmetic expressions against shell state.
+
+use crate::error::{ExpandError, Result};
+use crate::state::ShellState;
+use jash_ast::arith::{ArithBinOp, ArithExpr, ArithUnaryOp};
+
+/// Evaluates `$((expr))` semantics: C integer arithmetic over `i64`,
+/// short-circuit logic, lazy ternary, and variable assignment writing back
+/// into `state`.
+pub fn eval_arith(state: &mut ShellState, expr: &ArithExpr) -> Result<i64> {
+    match expr {
+        ArithExpr::Num(n) => Ok(*n),
+        ArithExpr::Var(name) => Ok(var_value(state, name)?),
+        ArithExpr::Unary(op, inner) => {
+            let v = eval_arith(state, inner)?;
+            Ok(match op {
+                ArithUnaryOp::Neg => v.wrapping_neg(),
+                ArithUnaryOp::Pos => v,
+                ArithUnaryOp::LogNot => i64::from(v == 0),
+                ArithUnaryOp::BitNot => !v,
+            })
+        }
+        ArithExpr::Binary(op, a, b) => {
+            // Logical operators short-circuit; everything else is strict.
+            match op {
+                ArithBinOp::LogAnd => {
+                    if eval_arith(state, a)? == 0 {
+                        return Ok(0);
+                    }
+                    return Ok(i64::from(eval_arith(state, b)? != 0));
+                }
+                ArithBinOp::LogOr => {
+                    if eval_arith(state, a)? != 0 {
+                        return Ok(1);
+                    }
+                    return Ok(i64::from(eval_arith(state, b)? != 0));
+                }
+                _ => {}
+            }
+            let x = eval_arith(state, a)?;
+            let y = eval_arith(state, b)?;
+            apply_binop(*op, x, y)
+        }
+        ArithExpr::Ternary(c, t, f) => {
+            if eval_arith(state, c)? != 0 {
+                eval_arith(state, t)
+            } else {
+                eval_arith(state, f)
+            }
+        }
+        ArithExpr::Assign(name, op, rhs) => {
+            let r = eval_arith(state, rhs)?;
+            let new = match op {
+                None => r,
+                Some(op) => {
+                    let cur = var_value(state, name)?;
+                    apply_binop(*op, cur, r)?
+                }
+            };
+            state.set_var(name, new.to_string());
+            Ok(new)
+        }
+    }
+}
+
+fn apply_binop(op: ArithBinOp, x: i64, y: i64) -> Result<i64> {
+    use ArithBinOp::*;
+    Ok(match op {
+        Add => x.wrapping_add(y),
+        Sub => x.wrapping_sub(y),
+        Mul => x.wrapping_mul(y),
+        Div => {
+            if y == 0 {
+                return Err(ExpandError::DivideByZero);
+            }
+            x.wrapping_div(y)
+        }
+        Rem => {
+            if y == 0 {
+                return Err(ExpandError::DivideByZero);
+            }
+            x.wrapping_rem(y)
+        }
+        Shl => x.wrapping_shl(y as u32),
+        Shr => x.wrapping_shr(y as u32),
+        Lt => i64::from(x < y),
+        Le => i64::from(x <= y),
+        Gt => i64::from(x > y),
+        Ge => i64::from(x >= y),
+        Eq => i64::from(x == y),
+        Ne => i64::from(x != y),
+        BitAnd => x & y,
+        BitXor => x ^ y,
+        BitOr => x | y,
+        LogAnd | LogOr => unreachable!("handled by the caller"),
+    })
+}
+
+/// The arithmetic value of a variable: parsed as an integer literal, or —
+/// like bash — recursively evaluated as an expression; unset/empty is 0.
+fn var_value(state: &mut ShellState, name: &str) -> Result<i64> {
+    // Positional and special parameters resolve through the parameter
+    // table, ordinary names through the variable map.
+    let raw = if name.chars().all(|c| c.is_ascii_digit()) {
+        state.lookup_param(name)
+    } else {
+        state.get_var(name).map(str::to_string)
+    };
+    let Some(raw) = raw else {
+        return Ok(0);
+    };
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Ok(0);
+    }
+    if let Ok(n) = parse_int(raw) {
+        return Ok(n);
+    }
+    // One level of recursive evaluation: `x="1+2"; $((x))` is 3.
+    match jash_parser::parse_arith(raw, 0) {
+        Ok(expr) => eval_arith(state, &expr),
+        Err(_) => Err(ExpandError::BadNumber(raw.to_string())),
+    }
+}
+
+fn parse_int(s: &str) -> std::result::Result<i64, std::num::ParseIntError> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s.strip_prefix('+').unwrap_or(s)),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)?
+    } else if body.len() > 1 && body.starts_with('0') {
+        i64::from_str_radix(&body[1..], 8)?
+    } else {
+        body.parse::<i64>()?
+    };
+    Ok(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_parser::parse_arith;
+
+    fn state() -> ShellState {
+        ShellState::new(jash_io::mem_fs())
+    }
+
+    fn eval(s: &mut ShellState, src: &str) -> Result<i64> {
+        eval_arith(s, &parse_arith(src, 0).unwrap())
+    }
+
+    #[test]
+    fn basic_arithmetic() {
+        let mut s = state();
+        assert_eq!(eval(&mut s, "1 + 2 * 3").unwrap(), 7);
+        assert_eq!(eval(&mut s, "(1 + 2) * 3").unwrap(), 9);
+        assert_eq!(eval(&mut s, "7 / 2").unwrap(), 3);
+        assert_eq!(eval(&mut s, "7 % 2").unwrap(), 1);
+        assert_eq!(eval(&mut s, "-7 / 2").unwrap(), -3);
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let mut s = state();
+        assert!(matches!(eval(&mut s, "1 / 0"), Err(ExpandError::DivideByZero)));
+        assert!(matches!(eval(&mut s, "1 % 0"), Err(ExpandError::DivideByZero)));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let mut s = state();
+        assert_eq!(eval(&mut s, "3 < 5").unwrap(), 1);
+        assert_eq!(eval(&mut s, "3 >= 5").unwrap(), 0);
+        assert_eq!(eval(&mut s, "1 && 2").unwrap(), 1);
+        assert_eq!(eval(&mut s, "0 || 0").unwrap(), 0);
+        assert_eq!(eval(&mut s, "!5").unwrap(), 0);
+        assert_eq!(eval(&mut s, "~0").unwrap(), -1);
+    }
+
+    #[test]
+    fn short_circuit_skips_side_effects() {
+        let mut s = state();
+        assert_eq!(eval(&mut s, "0 && (x = 9)").unwrap(), 0);
+        assert_eq!(s.get_var("x"), None);
+        assert_eq!(eval(&mut s, "1 || (x = 9)").unwrap(), 1);
+        assert_eq!(s.get_var("x"), None);
+    }
+
+    #[test]
+    fn variables_default_to_zero() {
+        let mut s = state();
+        assert_eq!(eval(&mut s, "unset_var + 1").unwrap(), 1);
+        s.set_var("n", "41");
+        assert_eq!(eval(&mut s, "n + 1").unwrap(), 42);
+    }
+
+    #[test]
+    fn recursive_variable_evaluation() {
+        let mut s = state();
+        s.set_var("e", "2 + 3");
+        assert_eq!(eval(&mut s, "e * 2").unwrap(), 10);
+    }
+
+    #[test]
+    fn assignment_writes_back() {
+        let mut s = state();
+        assert_eq!(eval(&mut s, "x = 5").unwrap(), 5);
+        assert_eq!(s.get_var("x"), Some("5"));
+        assert_eq!(eval(&mut s, "x += 3").unwrap(), 8);
+        assert_eq!(s.get_var("x"), Some("8"));
+        assert_eq!(eval(&mut s, "x <<= 2").unwrap(), 32);
+    }
+
+    #[test]
+    fn ternary_is_lazy() {
+        let mut s = state();
+        assert_eq!(eval(&mut s, "1 ? 10 : (x = 1)").unwrap(), 10);
+        assert_eq!(s.get_var("x"), None);
+    }
+
+    #[test]
+    fn radix_parsing_of_variables() {
+        let mut s = state();
+        s.set_var("h", "0xff");
+        s.set_var("o", "010");
+        assert_eq!(eval(&mut s, "h").unwrap(), 255);
+        assert_eq!(eval(&mut s, "o").unwrap(), 8);
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let mut s = state();
+        s.set_var("junk", "not a number @");
+        assert!(eval(&mut s, "junk + 1").is_err());
+    }
+
+    #[test]
+    fn wrapping_overflow() {
+        let mut s = state();
+        s.set_var("max", &i64::MAX.to_string());
+        assert_eq!(eval(&mut s, "max + 1").unwrap(), i64::MIN);
+    }
+}

@@ -1,0 +1,69 @@
+//! Expansion errors.
+
+use std::fmt;
+
+/// An error raised during word expansion.
+#[derive(Debug)]
+pub enum ExpandError {
+    /// Filesystem error during globbing or substitution.
+    Io(std::io::Error),
+    /// `${x:?}` fired, or `set -u` hit an unset variable.
+    UnsetParameter {
+        /// Offending parameter.
+        name: String,
+        /// Message (the `?` word, or a default).
+        message: String,
+    },
+    /// Arithmetic division or remainder by zero.
+    DivideByZero,
+    /// A variable used in arithmetic holds a non-numeric value.
+    BadNumber(String),
+    /// Command substitution attempted in a context that forbids it
+    /// (e.g. purity-checked early expansion with [`crate::NoSubst`]).
+    CmdSubstUnsupported,
+    /// A command substitution's body failed.
+    Subst(String),
+}
+
+impl fmt::Display for ExpandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExpandError::Io(e) => write!(f, "io error during expansion: {e}"),
+            ExpandError::UnsetParameter { name, message } => {
+                write!(f, "{name}: {message}")
+            }
+            ExpandError::DivideByZero => write!(f, "division by zero"),
+            ExpandError::BadNumber(v) => write!(f, "arithmetic: invalid number `{v}`"),
+            ExpandError::CmdSubstUnsupported => {
+                write!(f, "command substitution not allowed in this context")
+            }
+            ExpandError::Subst(m) => write!(f, "command substitution failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExpandError {}
+
+impl From<std::io::Error> for ExpandError {
+    fn from(e: std::io::Error) -> Self {
+        ExpandError::Io(e)
+    }
+}
+
+/// Result alias for expansion APIs.
+pub type Result<T> = std::result::Result<T, ExpandError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ExpandError::UnsetParameter {
+            name: "X".into(),
+            message: "unbound variable".into(),
+        };
+        assert_eq!(e.to_string(), "X: unbound variable");
+        assert!(ExpandError::DivideByZero.to_string().contains("zero"));
+    }
+}

@@ -1,0 +1,737 @@
+//! Word expansion: the POSIX pipeline of tilde, parameter, command, and
+//! arithmetic expansion followed by field splitting, pathname expansion,
+//! and quote removal.
+//!
+//! Expansion tracks per-character quoting through every step (the
+//! [`Field`] representation), which is what makes the later steps sound:
+//! field splitting only splits unquoted expansion results, and pathname
+//! expansion only reacts to unquoted metacharacters — the exact properties
+//! Smoosh's semantics nails down and that the Jash JIT relies on when it
+//! expands words early.
+
+use crate::arith_eval::eval_arith;
+use crate::error::{ExpandError, Result};
+use crate::glob::glob_expand;
+use crate::pattern::Pattern;
+use crate::state::ShellState;
+use jash_ast::{ParamExp, ParamOp, Program, Word, WordPart};
+
+/// Executes command substitutions on behalf of the expander.
+///
+/// The interpreter implements this; analysis contexts use [`NoSubst`] to
+/// keep expansion effect-free (any `$( )` then fails expansion, which the
+/// JIT treats as "not early-expandable").
+pub trait SubstRunner {
+    /// Runs `prog` and returns its captured stdout.
+    fn run_capture(&mut self, state: &mut ShellState, prog: &Program) -> Result<String>;
+}
+
+/// A [`SubstRunner`] that refuses to run anything.
+pub struct NoSubst;
+
+impl SubstRunner for NoSubst {
+    fn run_capture(&mut self, _state: &mut ShellState, _prog: &Program) -> Result<String> {
+        Err(ExpandError::CmdSubstUnsupported)
+    }
+}
+
+/// One character of an expanded field with its quoting provenance.
+pub type FieldChar = (char, bool);
+
+/// An expansion field under construction: characters plus a flag that is
+/// set when any quoted (possibly empty) portion contributed, which keeps
+/// quoted-empty fields alive through splitting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Field {
+    /// `(char, quoted)` pairs.
+    pub chars: Vec<FieldChar>,
+    /// True if a quoted region contributed to this field.
+    pub forced: bool,
+}
+
+impl Field {
+    /// The field text after quote removal.
+    pub fn text(&self) -> String {
+        self.chars.iter().map(|(c, _)| *c).collect()
+    }
+
+    /// Whether any unquoted glob metacharacter is present.
+    pub fn has_active_glob(&self) -> bool {
+        self.chars
+            .iter()
+            .any(|(c, q)| !q && matches!(c, '*' | '?' | '['))
+    }
+
+    /// Compiles the field as a pattern (quoted chars literal).
+    pub fn to_pattern(&self) -> Pattern {
+        Pattern::compile(&self.chars)
+    }
+}
+
+/// Field accumulator implementing the POSIX splitting rules.
+#[derive(Default)]
+struct Acc {
+    done: Vec<Field>,
+    cur: Field,
+    /// A pending IFS-whitespace separator from an earlier expansion.
+    ws_pending: bool,
+}
+
+impl Acc {
+    fn push_char(&mut self, c: char, quoted: bool) {
+        self.flush_pending();
+        self.cur.chars.push((c, quoted));
+        if quoted {
+            self.cur.forced = true;
+        }
+    }
+
+    fn push_str(&mut self, s: &str, quoted: bool) {
+        if quoted {
+            self.mark_quoted();
+        }
+        for c in s.chars() {
+            self.push_char(c, quoted);
+        }
+    }
+
+    /// Marks the current field as containing a quoted region (even empty).
+    fn mark_quoted(&mut self) {
+        self.flush_pending();
+        self.cur.forced = true;
+    }
+
+    fn flush_pending(&mut self) {
+        if self.ws_pending {
+            self.ws_pending = false;
+            if !self.cur.chars.is_empty() || self.cur.forced {
+                self.emit();
+            }
+        }
+    }
+
+    /// Unconditionally terminates the current field, emitting it even if
+    /// empty (used by non-whitespace IFS delimiters and `"$@"`).
+    fn emit(&mut self) {
+        self.done.push(std::mem::take(&mut self.cur));
+    }
+
+    /// Inserts expansion-result text subject to field splitting.
+    fn push_split(&mut self, text: &str, ifs: &str) {
+        if ifs.is_empty() {
+            self.push_str(text, false);
+            return;
+        }
+        for c in text.chars() {
+            if ifs.contains(c) {
+                if c == ' ' || c == '\t' || c == '\n' {
+                    self.ws_pending = true;
+                } else {
+                    // Non-whitespace delimiter: terminates the field.
+                    self.ws_pending = false;
+                    self.emit();
+                }
+            } else {
+                self.push_char(c, false);
+            }
+        }
+    }
+
+    fn finish(mut self) -> Vec<Field> {
+        if !self.cur.chars.is_empty() || self.cur.forced {
+            self.done.push(self.cur);
+        }
+        self.done
+    }
+}
+
+/// Fully expands `word` into fields: all expansions, field splitting,
+/// pathname expansion, quote removal.
+pub fn expand_word_fields(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    word: &Word,
+) -> Result<Vec<String>> {
+    let fields = expand_to_fields(state, runner, word, true)?;
+    let mut out = Vec::with_capacity(fields.len());
+    for f in fields {
+        if f.has_active_glob() {
+            match glob_expand(state, &f) {
+                Some(mut paths) => out.append(&mut paths),
+                None => out.push(f.text()),
+            }
+        } else {
+            out.push(f.text());
+        }
+    }
+    Ok(out)
+}
+
+/// Expands a list of words into one argument vector.
+pub fn expand_words(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    words: &[Word],
+) -> Result<Vec<String>> {
+    let mut out = Vec::new();
+    for w in words {
+        out.extend(expand_word_fields(state, runner, w)?);
+    }
+    Ok(out)
+}
+
+/// Expands `word` without field splitting or pathname expansion (the rule
+/// for assignment values, redirect targets, and here-document bodies).
+pub fn expand_word_single(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    word: &Word,
+) -> Result<String> {
+    let field = expand_word_field(state, runner, word)?;
+    Ok(field.text())
+}
+
+/// Expands `word` into a raw [`Field`] (no splitting), preserving per-char
+/// quoting — the input for `case`/parameter-operator pattern compilation.
+pub fn expand_word_field(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    word: &Word,
+) -> Result<Field> {
+    let fields = expand_to_fields(state, runner, word, false)?;
+    let mut merged = Field::default();
+    // Without splitting there is at most one field, except `"$@"` which can
+    // still produce several; POSIX leaves that case unspecified in these
+    // contexts, so join with spaces like bash does.
+    for (i, f) in fields.into_iter().enumerate() {
+        if i > 0 {
+            merged.chars.push((' ', true));
+        }
+        merged.chars.extend(f.chars);
+        merged.forced |= f.forced;
+    }
+    Ok(merged)
+}
+
+fn expand_to_fields(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    word: &Word,
+    split: bool,
+) -> Result<Vec<Field>> {
+    let mut acc = Acc::default();
+    expand_parts(state, runner, &word.parts, false, split, &mut acc)?;
+    Ok(acc.finish())
+}
+
+fn expand_parts(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    parts: &[WordPart],
+    quoted: bool,
+    split: bool,
+    acc: &mut Acc,
+) -> Result<()> {
+    for part in parts {
+        match part {
+            WordPart::Literal(s) => acc.push_str(s, quoted),
+            WordPart::SingleQuoted(s) => acc.push_str(s, true),
+            WordPart::Escaped(c) => acc.push_char(*c, true),
+            WordPart::DoubleQuoted(inner) => {
+                // `"$@"` is the one quoted form that may produce *zero*
+                // fields, so it must not force the current field open.
+                let pure_at = !inner.is_empty()
+                    && inner.iter().all(
+                        |p| matches!(p, WordPart::Param(pe) if pe.name == "@" && pe.op == jash_ast::ParamOp::Plain),
+                    );
+                if !pure_at {
+                    acc.mark_quoted();
+                }
+                expand_parts(state, runner, inner, true, split, acc)?;
+            }
+            WordPart::Tilde(user) => {
+                let home = match user {
+                    None => state
+                        .get_var("HOME")
+                        .map(str::to_string)
+                        .unwrap_or_else(|| "~".to_string()),
+                    Some(u) => format!("/home/{u}"),
+                };
+                // Tilde results are not subject to splitting or globbing.
+                acc.push_str(&home, true);
+            }
+            WordPart::Param(pe) => expand_param(state, runner, pe, quoted, split, acc)?,
+            WordPart::CmdSubst(prog) => {
+                let out = runner.run_capture(state, prog)?;
+                let trimmed = out.trim_end_matches('\n');
+                push_result(acc, trimmed, quoted, split, &state.ifs());
+            }
+            WordPart::Arith(e) => {
+                let v = eval_arith(state, e)?;
+                push_result(acc, &v.to_string(), quoted, split, &state.ifs());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Inserts the result of an expansion, splitting iff unquoted.
+fn push_result(acc: &mut Acc, text: &str, quoted: bool, split: bool, ifs: &str) {
+    if quoted || !split {
+        acc.push_str(text, quoted);
+    } else {
+        acc.push_split(text, ifs);
+    }
+}
+
+fn expand_param(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    pe: &ParamExp,
+    quoted: bool,
+    split: bool,
+    acc: &mut Acc,
+) -> Result<()> {
+    // `$@` / `$*` produce multiple fields and are handled structurally.
+    if pe.name == "@" || pe.name == "*" {
+        return expand_at_star(state, runner, pe, quoted, split, acc);
+    }
+
+    let ifs = state.ifs();
+    let value = state.lookup_param(&pe.name);
+    match &pe.op {
+        ParamOp::Plain => {
+            let v = require_set(state, &pe.name, value)?;
+            if let Some(v) = v {
+                push_result(acc, &v, quoted, split, &ifs);
+            }
+        }
+        ParamOp::Length => {
+            let v = require_set(state, &pe.name, value)?.unwrap_or_default();
+            push_result(acc, &v.chars().count().to_string(), quoted, split, &ifs);
+        }
+        ParamOp::Default { colon, word } => {
+            if use_alternative(&value, *colon) {
+                expand_parts(state, runner, &word.parts, quoted, split, acc)?;
+            } else if let Some(v) = value {
+                push_result(acc, &v, quoted, split, &ifs);
+            }
+        }
+        ParamOp::Assign { colon, word } => {
+            if use_alternative(&value, *colon) {
+                let new = expand_word_single(state, runner, word)?;
+                state.set_var(&pe.name, new.clone());
+                push_result(acc, &new, quoted, split, &ifs);
+            } else if let Some(v) = value {
+                push_result(acc, &v, quoted, split, &ifs);
+            }
+        }
+        ParamOp::Error { colon, word } => {
+            if use_alternative(&value, *colon) {
+                let msg = if word.parts.is_empty() {
+                    "parameter null or not set".to_string()
+                } else {
+                    expand_word_single(state, runner, word)?
+                };
+                return Err(ExpandError::UnsetParameter {
+                    name: pe.name.clone(),
+                    message: msg,
+                });
+            } else if let Some(v) = value {
+                push_result(acc, &v, quoted, split, &ifs);
+            }
+        }
+        ParamOp::Alt { colon, word } => {
+            if !use_alternative(&value, *colon) {
+                expand_parts(state, runner, &word.parts, quoted, split, acc)?;
+            }
+        }
+        ParamOp::RemoveSmallestSuffix(w)
+        | ParamOp::RemoveLargestSuffix(w)
+        | ParamOp::RemoveSmallestPrefix(w)
+        | ParamOp::RemoveLargestPrefix(w) => {
+            let v = require_set(state, &pe.name, value)?.unwrap_or_default();
+            let pat = expand_word_field(state, runner, w)?.to_pattern();
+            let result = match &pe.op {
+                ParamOp::RemoveSmallestSuffix(_) => match pat.match_suffix(&v, false) {
+                    Some(start) => v.chars().take(start).collect(),
+                    None => v,
+                },
+                ParamOp::RemoveLargestSuffix(_) => match pat.match_suffix(&v, true) {
+                    Some(start) => v.chars().take(start).collect(),
+                    None => v,
+                },
+                ParamOp::RemoveSmallestPrefix(_) => match pat.match_prefix(&v, false) {
+                    Some(len) => v.chars().skip(len).collect(),
+                    None => v,
+                },
+                ParamOp::RemoveLargestPrefix(_) => match pat.match_prefix(&v, true) {
+                    Some(len) => v.chars().skip(len).collect(),
+                    None => v,
+                },
+                _ => unreachable!(),
+            };
+            push_result(acc, &result, quoted, split, &ifs);
+        }
+    }
+    Ok(())
+}
+
+/// `set -u` enforcement for plain lookups.
+fn require_set(
+    state: &ShellState,
+    name: &str,
+    value: Option<String>,
+) -> Result<Option<String>> {
+    if value.is_none() && state.nounset && !matches!(name, "@" | "*") {
+        return Err(ExpandError::UnsetParameter {
+            name: name.to_string(),
+            message: "unbound variable".to_string(),
+        });
+    }
+    Ok(value)
+}
+
+/// Decides whether `:-`-family operators take the alternative branch.
+fn use_alternative(value: &Option<String>, colon: bool) -> bool {
+    match value {
+        None => true,
+        Some(v) => colon && v.is_empty(),
+    }
+}
+
+fn expand_at_star(
+    state: &mut ShellState,
+    runner: &mut dyn SubstRunner,
+    pe: &ParamExp,
+    quoted: bool,
+    split: bool,
+    acc: &mut Acc,
+) -> Result<()> {
+    let positional = state.positional.clone();
+    let ifs = state.ifs();
+
+    // Operators other than Plain work on the joined value, like dash.
+    if !matches!(pe.op, ParamOp::Plain) {
+        let joined = positional.join(" ");
+        let mut sub = ParamExp {
+            name: "__args".to_string(),
+            op: pe.op.clone(),
+        };
+        // Evaluate by temporarily binding a synthetic variable.
+        let saved = state.get_var("__args").map(str::to_string);
+        if positional.is_empty() {
+            state.unset_var("__args");
+        } else {
+            state.set_var("__args", joined);
+        }
+        if let ParamOp::Length = pe.op {
+            sub.op = ParamOp::Plain;
+            let n = positional.len().to_string();
+            push_result(acc, &n, quoted, split, &ifs);
+        } else {
+            expand_param(state, runner, &sub, quoted, split, acc)?;
+        }
+        match saved {
+            Some(v) => state.set_var("__args", v),
+            None => state.unset_var("__args"),
+        }
+        return Ok(());
+    }
+
+    if quoted && pe.name == "@" {
+        for (i, p) in positional.iter().enumerate() {
+            if i > 0 {
+                acc.emit();
+            }
+            acc.push_str(p, true);
+        }
+        return Ok(());
+    }
+    if quoted && pe.name == "*" {
+        let sep = ifs.chars().next().map(|c| c.to_string()).unwrap_or_default();
+        acc.push_str(&positional.join(&sep), true);
+        return Ok(());
+    }
+    // Unquoted $@ / $*: each positional expanded and split.
+    for (i, p) in positional.iter().enumerate() {
+        if i > 0 {
+            acc.ws_pending = true;
+        }
+        if split {
+            acc.push_split(p, &ifs);
+        } else {
+            acc.push_str(p, false);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_parser::parse_unwrap;
+
+    fn state() -> ShellState {
+        ShellState::new(jash_io::mem_fs())
+    }
+
+    /// Expands the arguments of `echo <text>` in a one-line script.
+    fn fields(state: &mut ShellState, script: &str) -> Vec<String> {
+        let prog = parse_unwrap(&format!("echo {script}"));
+        let jash_ast::CommandKind::Simple(sc) = &prog.items[0].and_or.first.commands[0].kind
+        else {
+            panic!("not simple");
+        };
+        expand_words(state, &mut NoSubst, &sc.words[1..]).unwrap()
+    }
+
+    #[test]
+    fn literal_words_pass_through() {
+        let mut s = state();
+        assert_eq!(fields(&mut s, "a b 'c d'"), vec!["a", "b", "c d"]);
+    }
+
+    #[test]
+    fn simple_variable_expansion() {
+        let mut s = state();
+        s.set_var("X", "value");
+        assert_eq!(fields(&mut s, "$X"), vec!["value"]);
+        assert_eq!(fields(&mut s, "pre${X}post"), vec!["prevaluepost"]);
+    }
+
+    #[test]
+    fn unset_variable_vanishes() {
+        let mut s = state();
+        assert_eq!(fields(&mut s, "a $UNSET b"), vec!["a", "b"]);
+        assert!(fields(&mut s, "$UNSET").is_empty());
+    }
+
+    #[test]
+    fn quoted_empty_survives() {
+        let mut s = state();
+        assert_eq!(fields(&mut s, "\"\""), vec![""]);
+        assert_eq!(fields(&mut s, "\"$UNSET\""), vec![""]);
+    }
+
+    #[test]
+    fn field_splitting_on_default_ifs() {
+        let mut s = state();
+        s.set_var("X", "  one   two\tthree\n");
+        assert_eq!(fields(&mut s, "$X"), vec!["one", "two", "three"]);
+        assert_eq!(fields(&mut s, "\"$X\""), vec!["  one   two\tthree\n"]);
+    }
+
+    #[test]
+    fn field_splitting_custom_ifs() {
+        let mut s = state();
+        s.set_var("IFS", ":");
+        s.set_var("X", "a::b:");
+        assert_eq!(fields(&mut s, "$X"), vec!["a", "", "b"]);
+        s.set_var("Y", ":a");
+        assert_eq!(fields(&mut s, "$Y"), vec!["", "a"]);
+    }
+
+    #[test]
+    fn splitting_joins_adjacent_literals() {
+        let mut s = state();
+        s.set_var("X", "b c");
+        assert_eq!(fields(&mut s, "a$X"), vec!["ab", "c"]);
+        s.set_var("Y", "a ");
+        assert_eq!(fields(&mut s, "${Y}b"), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn default_operator() {
+        let mut s = state();
+        assert_eq!(fields(&mut s, "${X:-fallback}"), vec!["fallback"]);
+        s.set_var("X", "");
+        assert_eq!(fields(&mut s, "${X:-fallback}"), vec!["fallback"]);
+        assert!(fields(&mut s, "${X-fallback}").is_empty());
+        s.set_var("X", "v");
+        assert_eq!(fields(&mut s, "${X:-fallback}"), vec!["v"]);
+    }
+
+    #[test]
+    fn assign_operator_mutates_state() {
+        let mut s = state();
+        assert_eq!(fields(&mut s, "${X:=set-now}"), vec!["set-now"]);
+        assert_eq!(s.get_var("X"), Some("set-now"));
+    }
+
+    #[test]
+    fn error_operator_raises() {
+        let mut s = state();
+        let prog = parse_unwrap("echo ${X:?custom message}");
+        let jash_ast::CommandKind::Simple(sc) = &prog.items[0].and_or.first.commands[0].kind
+        else {
+            panic!();
+        };
+        let err = expand_words(&mut s, &mut NoSubst, &sc.words[1..]).unwrap_err();
+        match err {
+            ExpandError::UnsetParameter { name, message } => {
+                assert_eq!(name, "X");
+                assert_eq!(message, "custom message");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn alt_operator() {
+        let mut s = state();
+        assert!(fields(&mut s, "${X:+yes}").is_empty());
+        s.set_var("X", "v");
+        assert_eq!(fields(&mut s, "${X:+yes}"), vec!["yes"]);
+    }
+
+    #[test]
+    fn length_operator() {
+        let mut s = state();
+        s.set_var("X", "hello");
+        assert_eq!(fields(&mut s, "${#X}"), vec!["5"]);
+        assert_eq!(fields(&mut s, "${#UNSET}"), vec!["0"]);
+    }
+
+    #[test]
+    fn suffix_prefix_removal() {
+        let mut s = state();
+        s.set_var("F", "archive.tar.gz");
+        assert_eq!(fields(&mut s, "${F%.*}"), vec!["archive.tar"]);
+        assert_eq!(fields(&mut s, "${F%%.*}"), vec!["archive"]);
+        s.set_var("P", "/usr/local/bin/tool");
+        assert_eq!(fields(&mut s, "${P##*/}"), vec!["tool"]);
+        assert_eq!(fields(&mut s, "${P#*/}"), vec!["usr/local/bin/tool"]);
+    }
+
+    #[test]
+    fn removal_pattern_from_variable_is_literal_when_quoted() {
+        let mut s = state();
+        s.set_var("F", "a*b");
+        s.set_var("PAT", "*b");
+        assert_eq!(fields(&mut s, "${F%\"$PAT\"}"), vec!["a"]);
+    }
+
+    #[test]
+    fn positional_at_quoted() {
+        let mut s = state();
+        s.positional = vec!["one".into(), "two words".into(), "".into()];
+        assert_eq!(
+            fields(&mut s, "\"$@\""),
+            vec!["one", "two words", ""]
+        );
+        assert_eq!(fields(&mut s, "$@"), vec!["one", "two", "words"]);
+    }
+
+    #[test]
+    fn positional_star_quoted_joins_with_ifs() {
+        let mut s = state();
+        s.positional = vec!["a".into(), "b".into()];
+        assert_eq!(fields(&mut s, "\"$*\""), vec!["a b"]);
+        s.set_var("IFS", ":x");
+        assert_eq!(fields(&mut s, "\"$*\""), vec!["a:b"]);
+    }
+
+    #[test]
+    fn at_with_no_positionals_produces_nothing() {
+        let mut s = state();
+        s.positional = vec![];
+        assert!(fields(&mut s, "\"$@\"").is_empty());
+    }
+
+    #[test]
+    fn at_adjacent_text_attaches() {
+        let mut s = state();
+        s.positional = vec!["a".into(), "b".into()];
+        assert_eq!(fields(&mut s, "x\"$@\"y"), vec!["xa", "by"]);
+    }
+
+    #[test]
+    fn hash_of_args() {
+        let mut s = state();
+        s.positional = vec!["a".into(), "b".into()];
+        assert_eq!(fields(&mut s, "$#"), vec!["2"]);
+    }
+
+    #[test]
+    fn arithmetic_expansion() {
+        let mut s = state();
+        s.set_var("n", "6");
+        assert_eq!(fields(&mut s, "$((n * 7))"), vec!["42"]);
+    }
+
+    #[test]
+    fn tilde_expansion() {
+        let mut s = state();
+        s.set_var("HOME", "/home/tester");
+        assert_eq!(fields(&mut s, "~"), vec!["/home/tester"]);
+        assert_eq!(fields(&mut s, "~/docs"), vec!["/home/tester/docs"]);
+        assert_eq!(fields(&mut s, "~alice/x"), vec!["/home/alice/x"]);
+    }
+
+    #[test]
+    fn tilde_result_not_split() {
+        let mut s = state();
+        s.set_var("HOME", "/ho me");
+        assert_eq!(fields(&mut s, "~"), vec!["/ho me"]);
+    }
+
+    #[test]
+    fn glob_expansion_against_fs() {
+        let fs = jash_io::MemFs::new();
+        fs.install("/data/a.txt", b"".to_vec());
+        fs.install("/data/b.txt", b"".to_vec());
+        fs.install("/data/c.log", b"".to_vec());
+        let mut s = ShellState::new(std::sync::Arc::new(fs));
+        s.cwd = "/data".into();
+        assert_eq!(fields(&mut s, "*.txt"), vec!["a.txt", "b.txt"]);
+        assert_eq!(fields(&mut s, "/data/*.log"), vec!["/data/c.log"]);
+        // No match: pattern stays as-is.
+        assert_eq!(fields(&mut s, "*.zip"), vec!["*.zip"]);
+        // Quoted glob chars do not expand.
+        assert_eq!(fields(&mut s, "'*.txt'"), vec!["*.txt"]);
+    }
+
+    #[test]
+    fn glob_from_expansion_result_is_active() {
+        let fs = jash_io::MemFs::new();
+        fs.install("/d/x.c", b"".to_vec());
+        let mut s = ShellState::new(std::sync::Arc::new(fs));
+        s.cwd = "/d".into();
+        s.set_var("P", "*.c");
+        assert_eq!(fields(&mut s, "$P"), vec!["x.c"]);
+        assert_eq!(fields(&mut s, "\"$P\""), vec!["*.c"]);
+    }
+
+    #[test]
+    fn nounset_errors_on_unset() {
+        let mut s = state();
+        s.nounset = true;
+        let prog = parse_unwrap("echo $NOPE");
+        let jash_ast::CommandKind::Simple(sc) = &prog.items[0].and_or.first.commands[0].kind
+        else {
+            panic!();
+        };
+        assert!(expand_words(&mut s, &mut NoSubst, &sc.words[1..]).is_err());
+    }
+
+    #[test]
+    fn single_no_split_for_assignments() {
+        let mut s = state();
+        s.set_var("X", "a b  c");
+        let w = parse_word("$X");
+        assert_eq!(
+            expand_word_single(&mut s, &mut NoSubst, &w).unwrap(),
+            "a b  c"
+        );
+    }
+
+    fn parse_word(text: &str) -> Word {
+        let prog = parse_unwrap(&format!("echo {text}"));
+        let jash_ast::CommandKind::Simple(sc) = &prog.items[0].and_or.first.commands[0].kind
+        else {
+            panic!();
+        };
+        sc.words[1].clone()
+    }
+}

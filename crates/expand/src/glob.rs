@@ -1,0 +1,188 @@
+//! Pathname expansion against the virtual filesystem.
+
+use crate::expand::Field;
+use crate::pattern::Pattern;
+use crate::state::ShellState;
+
+/// Expands a field containing active glob characters into matching paths.
+///
+/// Returns `None` when nothing matches (POSIX: the word is then left
+/// unchanged). Matches are sorted. Hidden entries (leading `.`) only match
+/// patterns whose component starts with a literal dot.
+pub fn glob_expand(state: &ShellState, field: &Field) -> Option<Vec<String>> {
+    // Split the field into `/`-separated components, keeping quote flags.
+    let mut components: Vec<Vec<(char, bool)>> = vec![Vec::new()];
+    for &(c, q) in &field.chars {
+        if c == '/' {
+            components.push(Vec::new());
+        } else {
+            components.last_mut().expect("nonempty").push((c, q));
+        }
+    }
+    let absolute = field.chars.first().map(|&(c, _)| c == '/').unwrap_or(false);
+
+    // Candidates are (display, absolute) path pairs.
+    let mut candidates: Vec<(String, String)> = if absolute {
+        vec![(String::new(), "/".to_string())]
+    } else {
+        vec![(String::new(), state.cwd.clone())]
+    };
+
+    // Empty components (leading `/`, `//`, trailing `/`) carry no pattern.
+    let comps: Vec<&Vec<(char, bool)>> = components.iter().filter(|c| !c.is_empty()).collect();
+
+    for comp in comps {
+        let pat = Pattern::compile(comp);
+        let mut next = Vec::new();
+        if let Some(lit) = pat.literal_text() {
+            for (display, abs) in candidates {
+                let display = join_display(&display, &lit);
+                let abs = jash_io::fs::normalize(&abs, &lit);
+                next.push((display, abs));
+            }
+        } else {
+            let starts_with_dot = matches!(comp.first(), Some(('.', _)));
+            for (display, abs) in candidates {
+                let Ok(entries) = state.fs.list_dir(&abs) else {
+                    continue;
+                };
+                for name in entries {
+                    if name.starts_with('.') && !starts_with_dot {
+                        continue;
+                    }
+                    if pat.matches(&name) {
+                        next.push((
+                            join_display(&display, &name),
+                            jash_io::fs::normalize(&abs, &name),
+                        ));
+                    }
+                }
+            }
+        }
+        candidates = next;
+        if candidates.is_empty() {
+            return None;
+        }
+    }
+
+    // Every candidate must exist (literal tails may not).
+    let mut out: Vec<String> = candidates
+        .into_iter()
+        .filter(|(_, abs)| state.fs.exists(abs))
+        .map(|(display, _)| {
+            if absolute {
+                format!("/{display}")
+            } else {
+                display
+            }
+        })
+        .collect();
+    out.sort();
+    out.dedup();
+    if out.is_empty() {
+        None
+    } else {
+        Some(out)
+    }
+}
+
+fn join_display(base: &str, name: &str) -> String {
+    if base.is_empty() {
+        name.to_string()
+    } else {
+        format!("{base}/{name}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn setup() -> ShellState {
+        let fs = jash_io::MemFs::new();
+        for p in [
+            "/proj/src/main.c",
+            "/proj/src/util.c",
+            "/proj/src/util.h",
+            "/proj/docs/readme.md",
+            "/proj/.hidden",
+            "/proj/a1",
+            "/proj/a2",
+            "/proj/b1",
+        ] {
+            fs.install(p, b"".to_vec());
+        }
+        let mut s = ShellState::new(Arc::new(fs));
+        s.cwd = "/proj".into();
+        s
+    }
+
+    fn glob(state: &ShellState, pat: &str) -> Option<Vec<String>> {
+        let field = Field {
+            chars: pat.chars().map(|c| (c, false)).collect(),
+            forced: false,
+        };
+        glob_expand(state, &field)
+    }
+
+    #[test]
+    fn star_in_cwd() {
+        let s = setup();
+        assert_eq!(
+            glob(&s, "a*").unwrap(),
+            vec!["a1", "a2"]
+        );
+    }
+
+    #[test]
+    fn multi_component() {
+        let s = setup();
+        assert_eq!(
+            glob(&s, "src/*.c").unwrap(),
+            vec!["src/main.c", "src/util.c"]
+        );
+        assert_eq!(
+            glob(&s, "*/*.c").unwrap(),
+            vec!["src/main.c", "src/util.c"]
+        );
+    }
+
+    #[test]
+    fn absolute_patterns() {
+        let s = setup();
+        assert_eq!(
+            glob(&s, "/proj/src/*.h").unwrap(),
+            vec!["/proj/src/util.h"]
+        );
+    }
+
+    #[test]
+    fn hidden_files_need_explicit_dot() {
+        let s = setup();
+        assert_eq!(glob(&s, "*").unwrap().contains(&".hidden".to_string()), false);
+        assert_eq!(glob(&s, ".h*").unwrap(), vec![".hidden"]);
+    }
+
+    #[test]
+    fn question_and_class() {
+        let s = setup();
+        assert_eq!(glob(&s, "a?").unwrap(), vec!["a1", "a2"]);
+        assert_eq!(glob(&s, "[ab]1").unwrap(), vec!["a1", "b1"]);
+    }
+
+    #[test]
+    fn no_match_returns_none() {
+        let s = setup();
+        assert!(glob(&s, "*.zip").is_none());
+        assert!(glob(&s, "nodir/*").is_none());
+    }
+
+    #[test]
+    fn literal_tail_must_exist() {
+        let s = setup();
+        // `*/readme.md` — only docs/ has it.
+        assert_eq!(glob(&s, "*/readme.md").unwrap(), vec!["docs/readme.md"]);
+        assert!(glob(&s, "*/missing.md").is_none());
+    }
+}

@@ -1,0 +1,51 @@
+//! Word-expansion semantics for the POSIX shell (the *Smoosh* role,
+//! enabler E1 of the HotOS '21 paper).
+//!
+//! The crate provides:
+//!
+//! * [`ShellState`] — the dynamic context (variables, functions,
+//!   positional parameters, cwd, options) expansion runs against;
+//! * [`expand_word_fields`] / [`expand_words`] — the full POSIX expansion
+//!   pipeline (tilde → parameter/command/arithmetic expansion → field
+//!   splitting → pathname expansion → quote removal);
+//! * [`eval_arith`] — `$((...))` evaluation;
+//! * [`pattern::Pattern`] — `fnmatch`-style matching for `case`, the
+//!   `%`/`#` operators, and globbing;
+//! * [`purity`] — the effect analysis that tells the Jash JIT which words
+//!   are safe to expand *early* (paper §3.2: "early expansions shouldn't
+//!   have side-effects").
+//!
+//! # Examples
+//!
+//! ```
+//! use jash_expand::{expand_word_fields, NoSubst, ShellState};
+//!
+//! let mut state = ShellState::new(jash_io::mem_fs());
+//! state.set_var("FILES", "a.txt b.txt");
+//! let word = {
+//!     let prog = jash_parser::parse("cat $FILES").unwrap();
+//!     let jash_ast::CommandKind::Simple(sc) =
+//!         &prog.items[0].and_or.first.commands[0].kind else { unreachable!() };
+//!     sc.words[1].clone()
+//! };
+//! let fields = expand_word_fields(&mut state, &mut NoSubst, &word).unwrap();
+//! assert_eq!(fields, vec!["a.txt", "b.txt"]);
+//! ```
+
+pub mod arith_eval;
+pub mod error;
+pub mod expand;
+pub mod glob;
+pub mod pattern;
+pub mod purity;
+pub mod state;
+
+pub use arith_eval::eval_arith;
+pub use error::{ExpandError, Result};
+pub use expand::{
+    expand_word_field, expand_word_fields, expand_word_single, expand_words, Field, NoSubst,
+    SubstRunner,
+};
+pub use pattern::Pattern;
+pub use purity::{all_pure, word_effects, words_effects, Effects, Impurity};
+pub use state::{ShellState, Var};

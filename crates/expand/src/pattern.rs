@@ -1,0 +1,316 @@
+//! Shell pattern matching (`fnmatch`-style globs).
+//!
+//! Used by `case`, the `%`/`#` parameter operators, and pathname expansion.
+//! Patterns distinguish *active* metacharacters from quoted literals, so
+//! `"$x"` inside a pattern matches literally even if it contains `*`.
+
+/// One compiled pattern element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pat {
+    /// A literal character.
+    Lit(char),
+    /// `?` — any single character.
+    Any,
+    /// `*` — any (possibly empty) run.
+    Star,
+    /// `[...]` — a bracket class.
+    Class {
+        /// `[!...]` / `[^...]`.
+        negated: bool,
+        /// Accepted characters/ranges.
+        items: Vec<ClassItem>,
+    },
+}
+
+/// A bracket-class member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassItem {
+    /// Single character.
+    Ch(char),
+    /// Inclusive range `a-z`.
+    Range(char, char),
+}
+
+/// A compiled pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pattern {
+    elems: Vec<Pat>,
+}
+
+impl Pattern {
+    /// Compiles from `(char, quoted)` pairs: quoted characters are always
+    /// literal.
+    pub fn compile(chars: &[(char, bool)]) -> Pattern {
+        let mut elems = Vec::with_capacity(chars.len());
+        let mut i = 0;
+        while i < chars.len() {
+            let (c, quoted) = chars[i];
+            if quoted {
+                elems.push(Pat::Lit(c));
+                i += 1;
+                continue;
+            }
+            match c {
+                '?' => elems.push(Pat::Any),
+                '*' => {
+                    // Collapse runs of stars.
+                    if elems.last() != Some(&Pat::Star) {
+                        elems.push(Pat::Star);
+                    }
+                }
+                '[' => {
+                    if let Some((class, consumed)) = parse_class(&chars[i..]) {
+                        elems.push(class);
+                        i += consumed;
+                        continue;
+                    }
+                    elems.push(Pat::Lit('['));
+                }
+                '\\' if i + 1 < chars.len() => {
+                    // Backslash escapes the next character in a pattern.
+                    elems.push(Pat::Lit(chars[i + 1].0));
+                    i += 2;
+                    continue;
+                }
+                other => elems.push(Pat::Lit(other)),
+            }
+            i += 1;
+        }
+        Pattern { elems }
+    }
+
+    /// Compiles a pattern where every character is active.
+    pub fn from_str(s: &str) -> Pattern {
+        let chars: Vec<(char, bool)> = s.chars().map(|c| (c, false)).collect();
+        Pattern::compile(&chars)
+    }
+
+    /// Whether the pattern contains any active metacharacter.
+    pub fn is_literal(&self) -> bool {
+        self.elems.iter().all(|e| matches!(e, Pat::Lit(_)))
+    }
+
+    /// The literal text, when [`Pattern::is_literal`].
+    pub fn literal_text(&self) -> Option<String> {
+        if !self.is_literal() {
+            return None;
+        }
+        Some(
+            self.elems
+                .iter()
+                .map(|e| match e {
+                    Pat::Lit(c) => *c,
+                    _ => unreachable!(),
+                })
+                .collect(),
+        )
+    }
+
+    /// Matches the whole of `text`.
+    pub fn matches(&self, text: &str) -> bool {
+        let chars: Vec<char> = text.chars().collect();
+        self.match_at(&chars, 0, 0)
+    }
+
+    fn match_at(&self, text: &[char], mut ti: usize, mut pi: usize) -> bool {
+        // Iterative glob match with single-star backtracking.
+        let mut star: Option<(usize, usize)> = None;
+        loop {
+            if pi < self.elems.len() {
+                match &self.elems[pi] {
+                    Pat::Star => {
+                        star = Some((pi, ti));
+                        pi += 1;
+                        continue;
+                    }
+                    Pat::Any if ti < text.len() => {
+                        pi += 1;
+                        ti += 1;
+                        continue;
+                    }
+                    Pat::Lit(c) if ti < text.len() && text[ti] == *c => {
+                        pi += 1;
+                        ti += 1;
+                        continue;
+                    }
+                    Pat::Class { negated, items } if ti < text.len() => {
+                        let hit = items.iter().any(|it| match it {
+                            ClassItem::Ch(c) => text[ti] == *c,
+                            ClassItem::Range(a, b) => (*a..=*b).contains(&text[ti]),
+                        });
+                        if hit != *negated {
+                            pi += 1;
+                            ti += 1;
+                            continue;
+                        }
+                    }
+                    _ => {}
+                }
+            } else if ti == text.len() {
+                return true;
+            }
+            // Mismatch: backtrack to the last star, consuming one more char.
+            match star {
+                Some((spi, sti)) if sti < text.len() => {
+                    pi = spi + 1;
+                    ti = sti + 1;
+                    star = Some((spi, sti + 1));
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// Length (in chars) of the shortest prefix of `text` the pattern
+    /// matches, or the longest when `longest`. `None` if no prefix matches.
+    pub fn match_prefix(&self, text: &str, longest: bool) -> Option<usize> {
+        let chars: Vec<char> = text.chars().collect();
+        let range: Vec<usize> = (0..=chars.len()).collect();
+        let iter: Box<dyn Iterator<Item = &usize>> = if longest {
+            Box::new(range.iter().rev())
+        } else {
+            Box::new(range.iter())
+        };
+        for &len in iter {
+            let prefix: String = chars[..len].iter().collect();
+            if self.matches(&prefix) {
+                return Some(len);
+            }
+        }
+        None
+    }
+
+    /// Like [`Pattern::match_prefix`] but for suffixes; returns the char
+    /// index where the matching suffix starts.
+    pub fn match_suffix(&self, text: &str, longest: bool) -> Option<usize> {
+        let chars: Vec<char> = text.chars().collect();
+        let range: Vec<usize> = (0..=chars.len()).collect();
+        let iter: Box<dyn Iterator<Item = &usize>> = if longest {
+            Box::new(range.iter())
+        } else {
+            Box::new(range.iter().rev())
+        };
+        for &start in iter {
+            let suffix: String = chars[start..].iter().collect();
+            if self.matches(&suffix) {
+                return Some(start);
+            }
+        }
+        None
+    }
+}
+
+fn parse_class(chars: &[(char, bool)]) -> Option<(Pat, usize)> {
+    // chars[0] is the unquoted `[`.
+    let mut i = 1;
+    let negated = matches!(chars.get(i), Some(('!', false)) | Some(('^', false)));
+    if negated {
+        i += 1;
+    }
+    let mut items = Vec::new();
+    let mut first = true;
+    loop {
+        let (c, _) = *chars.get(i)?;
+        if c == ']' && !first {
+            return Some((Pat::Class { negated, items }, i + 1));
+        }
+        first = false;
+        // Range `a-z` (a `-` at the edges is literal).
+        if let (Some(('-', _)), Some((hi, _))) = (chars.get(i + 1), chars.get(i + 2)) {
+            if *hi != ']' {
+                items.push(ClassItem::Range(c, *hi));
+                i += 3;
+                continue;
+            }
+        }
+        items.push(ClassItem::Ch(c));
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, text: &str) -> bool {
+        Pattern::from_str(pat).matches(text)
+    }
+
+    #[test]
+    fn literal_match() {
+        assert!(m("abc", "abc"));
+        assert!(!m("abc", "abd"));
+        assert!(!m("abc", "ab"));
+    }
+
+    #[test]
+    fn question_mark() {
+        assert!(m("a?c", "abc"));
+        assert!(!m("a?c", "ac"));
+    }
+
+    #[test]
+    fn star_matching() {
+        assert!(m("*", ""));
+        assert!(m("*", "anything"));
+        assert!(m("a*c", "ac"));
+        assert!(m("a*c", "abbbc"));
+        assert!(!m("a*c", "abd"));
+        assert!(m("*.txt", "file.txt"));
+        assert!(!m("*.txt", "file.txt.bak"));
+        assert!(m("a*b*c", "aXbYc"));
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]", "b"));
+        assert!(!m("[abc]", "d"));
+        assert!(m("[a-z]x", "qx"));
+        assert!(m("[!a-z]", "3"));
+        assert!(!m("[!a-z]", "q"));
+        assert!(m("[]]", "]")); // literal ] first in class
+        assert!(m("[a-]", "-"));
+    }
+
+    #[test]
+    fn unclosed_class_is_literal() {
+        assert!(m("a[b", "a[b"));
+    }
+
+    #[test]
+    fn quoted_chars_are_literal() {
+        let p = Pattern::compile(&[('*', true)]);
+        assert!(p.matches("*"));
+        assert!(!p.matches("x"));
+    }
+
+    #[test]
+    fn literal_text_extraction() {
+        assert_eq!(Pattern::from_str("abc").literal_text().as_deref(), Some("abc"));
+        assert_eq!(Pattern::from_str("a*c").literal_text(), None);
+    }
+
+    #[test]
+    fn prefix_matching_shortest_and_longest() {
+        let p = Pattern::from_str("*/");
+        // text "a/b/c": shortest prefix match "a/" (2), longest "a/b/" (4).
+        assert_eq!(p.match_prefix("a/b/c", false), Some(2));
+        assert_eq!(p.match_prefix("a/b/c", true), Some(4));
+        assert_eq!(p.match_prefix("abc", false), None);
+    }
+
+    #[test]
+    fn suffix_matching_shortest_and_longest() {
+        let p = Pattern::from_str(".*");
+        // text "a.tar.gz": shortest suffix ".gz" starts at 5; longest
+        // ".tar.gz" starts at 1.
+        assert_eq!(p.match_suffix("a.tar.gz", false), Some(5));
+        assert_eq!(p.match_suffix("a.tar.gz", true), Some(1));
+    }
+
+    #[test]
+    fn escaped_star_is_literal() {
+        assert!(m(r"\*", "*"));
+        assert!(!m(r"\*", "x"));
+    }
+}

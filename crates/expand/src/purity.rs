@@ -1,0 +1,254 @@
+//! Effect analysis for words: may expanding this word change shell state?
+//!
+//! This is the Smoosh-derived reasoning the paper leans on in §3.2:
+//! *"Expanding the parameters before running the pipeline must be done with
+//! care; early expansions shouldn't have side-effects."* The Jash JIT calls
+//! [`word_effects`] on every word of a candidate dataflow region; only if
+//! all words are pure does it expand them early and hand the region to the
+//! optimizer.
+
+use jash_ast::{ParamOp, Word, WordPart};
+use std::collections::BTreeSet;
+
+/// The result of analyzing a word.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Effects {
+    /// Parameters the expansion reads (`$x`, `${x:-d}` …).
+    pub reads: BTreeSet<String>,
+    /// Why the word is impure; empty means pure.
+    pub impurities: Vec<Impurity>,
+    /// Whether expansion consults the filesystem (globbing).
+    pub reads_fs: bool,
+}
+
+impl Effects {
+    /// True when early expansion cannot change observable state.
+    ///
+    /// Note that a pure word may still *read* dynamic state (variables,
+    /// the filesystem); purity means re-ordering the expansion earlier in
+    /// the same state is sound.
+    pub fn is_pure(&self) -> bool {
+        self.impurities.is_empty()
+    }
+
+    fn merge(&mut self, other: Effects) {
+        self.reads.extend(other.reads);
+        self.impurities.extend(other.impurities);
+        self.reads_fs |= other.reads_fs;
+    }
+}
+
+/// A reason a word's expansion is effectful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Impurity {
+    /// `$(...)` or backquotes: may run arbitrary commands.
+    CommandSubstitution,
+    /// `${x:=default}` assigns to `x`.
+    AssignsParameter(String),
+    /// `${x:?msg}` may abort the shell.
+    MayAbort(String),
+    /// `$((x = 1))` and friends.
+    ArithmeticAssignment,
+}
+
+impl std::fmt::Display for Impurity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Impurity::CommandSubstitution => write!(f, "command substitution"),
+            Impurity::AssignsParameter(n) => write!(f, "assigns ${n}"),
+            Impurity::MayAbort(n) => write!(f, "may abort on unset ${n}"),
+            Impurity::ArithmeticAssignment => write!(f, "arithmetic assignment"),
+        }
+    }
+}
+
+/// Analyzes a single word.
+pub fn word_effects(word: &Word) -> Effects {
+    let mut e = Effects::default();
+    for p in &word.parts {
+        e.merge(part_effects(p));
+    }
+    if word.has_glob() {
+        e.reads_fs = true;
+    }
+    e
+}
+
+/// Analyzes a slice of words (e.g. a whole simple command).
+pub fn words_effects(words: &[Word]) -> Effects {
+    let mut e = Effects::default();
+    for w in words {
+        e.merge(word_effects(w));
+    }
+    e
+}
+
+/// Convenience: are all the words pure?
+pub fn all_pure(words: &[Word]) -> bool {
+    words.iter().all(|w| word_effects(w).is_pure())
+}
+
+fn part_effects(part: &WordPart) -> Effects {
+    let mut e = Effects::default();
+    match part {
+        WordPart::Literal(_) | WordPart::SingleQuoted(_) | WordPart::Escaped(_) => {}
+        WordPart::Tilde(_) => {
+            e.reads.insert("HOME".to_string());
+        }
+        WordPart::DoubleQuoted(parts) => {
+            for p in parts {
+                e.merge(part_effects(p));
+            }
+        }
+        WordPart::CmdSubst(_) => {
+            e.impurities.push(Impurity::CommandSubstitution);
+        }
+        WordPart::Arith(expr) => {
+            collect_arith_reads(expr, &mut e.reads);
+            if expr.has_side_effects() {
+                e.impurities.push(Impurity::ArithmeticAssignment);
+            }
+        }
+        WordPart::Param(pe) => {
+            e.reads.insert(pe.name.clone());
+            match &pe.op {
+                ParamOp::Plain | ParamOp::Length => {}
+                ParamOp::Default { word, .. } | ParamOp::Alt { word, .. } => {
+                    e.merge(word_effects(word));
+                }
+                ParamOp::Assign { word, .. } => {
+                    e.merge(word_effects(word));
+                    e.impurities.push(Impurity::AssignsParameter(pe.name.clone()));
+                }
+                ParamOp::Error { word, .. } => {
+                    e.merge(word_effects(word));
+                    e.impurities.push(Impurity::MayAbort(pe.name.clone()));
+                }
+                ParamOp::RemoveSmallestSuffix(w)
+                | ParamOp::RemoveLargestSuffix(w)
+                | ParamOp::RemoveSmallestPrefix(w)
+                | ParamOp::RemoveLargestPrefix(w) => {
+                    e.merge(word_effects(w));
+                }
+            }
+        }
+    }
+    e
+}
+
+fn collect_arith_reads(expr: &jash_ast::ArithExpr, reads: &mut BTreeSet<String>) {
+    use jash_ast::ArithExpr::*;
+    match expr {
+        Num(_) => {}
+        Var(v) => {
+            reads.insert(v.clone());
+        }
+        Unary(_, a) => collect_arith_reads(a, reads),
+        Binary(_, a, b) => {
+            collect_arith_reads(a, reads);
+            collect_arith_reads(b, reads);
+        }
+        Ternary(a, b, c) => {
+            collect_arith_reads(a, reads);
+            collect_arith_reads(b, reads);
+            collect_arith_reads(c, reads);
+        }
+        Assign(_, _, rhs) => collect_arith_reads(rhs, reads),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_parser::parse_unwrap;
+
+    fn word(text: &str) -> Word {
+        let prog = parse_unwrap(&format!("echo {text}"));
+        let jash_ast::CommandKind::Simple(sc) = &prog.items[0].and_or.first.commands[0].kind
+        else {
+            panic!();
+        };
+        sc.words[1].clone()
+    }
+
+    #[test]
+    fn literals_are_pure() {
+        assert!(word_effects(&word("plain")).is_pure());
+        assert!(word_effects(&word("'quoted string'")).is_pure());
+    }
+
+    #[test]
+    fn plain_params_are_pure_but_read() {
+        let e = word_effects(&word("$FILES"));
+        assert!(e.is_pure());
+        assert!(e.reads.contains("FILES"));
+    }
+
+    #[test]
+    fn the_spell_script_words_are_pure() {
+        // The paper's key example: `cat $FILES ... comm -13 $DICT -` must be
+        // early-expandable for the JIT to optimize it.
+        for w in ["$FILES", "$DICT", "A-Z", "a-z", "-13", "-"] {
+            assert!(word_effects(&word(w)).is_pure(), "{w} should be pure");
+        }
+    }
+
+    #[test]
+    fn command_substitution_is_impure() {
+        let e = word_effects(&word("$(ls)"));
+        assert!(!e.is_pure());
+        assert_eq!(e.impurities, vec![Impurity::CommandSubstitution]);
+    }
+
+    #[test]
+    fn assign_default_is_impure() {
+        let e = word_effects(&word("${X:=v}"));
+        assert!(!e.is_pure());
+        assert!(matches!(e.impurities[0], Impurity::AssignsParameter(_)));
+    }
+
+    #[test]
+    fn error_op_is_impure() {
+        let e = word_effects(&word("${X:?die}"));
+        assert!(matches!(e.impurities[0], Impurity::MayAbort(_)));
+    }
+
+    #[test]
+    fn default_op_is_pure() {
+        let e = word_effects(&word("${X:-fallback}"));
+        assert!(e.is_pure());
+    }
+
+    #[test]
+    fn arith_assignment_is_impure() {
+        assert!(!word_effects(&word("$((x = 1))")).is_pure());
+        let e = word_effects(&word("$((x + 1))"));
+        assert!(e.is_pure());
+        assert!(e.reads.contains("x"));
+    }
+
+    #[test]
+    fn nested_impurity_found_in_quotes() {
+        let e = word_effects(&word("\"pre $(cmd) post\""));
+        assert!(!e.is_pure());
+    }
+
+    #[test]
+    fn glob_reads_fs() {
+        let e = word_effects(&word("*.txt"));
+        assert!(e.is_pure());
+        assert!(e.reads_fs);
+    }
+
+    #[test]
+    fn tilde_reads_home() {
+        let e = word_effects(&word("~/x"));
+        assert!(e.reads.contains("HOME"));
+    }
+
+    #[test]
+    fn all_pure_helper() {
+        assert!(all_pure(&[word("$A"), word("b")]));
+        assert!(!all_pure(&[word("$A"), word("$(b)")]));
+    }
+}

@@ -1,0 +1,265 @@
+//! Mutable shell state: variables, functions, positional parameters.
+//!
+//! This is the "intricate state of the shell interpreter" (paper §2.2 B3)
+//! factored into one inspectable value. The Jash JIT snapshots and queries
+//! it to expand words early; the interpreter threads it through execution.
+
+use jash_ast::Command;
+use jash_io::FsHandle;
+use std::collections::HashMap;
+
+/// One shell variable.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Var {
+    /// Current value.
+    pub value: String,
+    /// Whether the variable is exported to child environments.
+    pub exported: bool,
+    /// Whether the variable is marked read-only.
+    pub readonly: bool,
+}
+
+/// The full dynamic context of a running shell.
+#[derive(Clone)]
+pub struct ShellState {
+    vars: HashMap<String, Var>,
+    functions: HashMap<String, Command>,
+    /// Current working directory (virtual, absolute).
+    pub cwd: String,
+    /// `$0`.
+    pub shell_name: String,
+    /// `$1..$n`.
+    pub positional: Vec<String>,
+    /// `$?` of the last command.
+    pub last_status: i32,
+    /// Filesystem this shell operates on.
+    pub fs: FsHandle,
+    /// Optional simulated CPU: when set, command execution charges
+    /// modeled per-byte compute time (benchmarking on machines smaller
+    /// than the modeled one).
+    pub cpu: Option<std::sync::Arc<jash_io::CpuModel>>,
+    /// `set -e`.
+    pub errexit: bool,
+    /// `set -u`: expanding an unset variable is an error.
+    pub nounset: bool,
+    /// Nesting depth of loops, for `break`/`continue` validation.
+    pub loop_depth: u32,
+}
+
+impl ShellState {
+    /// Creates a state over `fs` with cwd `/` and default variables.
+    pub fn new(fs: FsHandle) -> Self {
+        let mut s = ShellState {
+            vars: HashMap::new(),
+            functions: HashMap::new(),
+            cwd: "/".to_string(),
+            shell_name: "jash".to_string(),
+            positional: Vec::new(),
+            last_status: 0,
+            fs,
+            cpu: None,
+            errexit: false,
+            nounset: false,
+            loop_depth: 0,
+        };
+        s.set_var("IFS", " \t\n");
+        s.set_var("HOME", "/home/user");
+        s.set_var("PWD", "/");
+        s
+    }
+
+    /// Looks up a variable's value.
+    pub fn get_var(&self, name: &str) -> Option<&str> {
+        self.vars.get(name).map(|v| v.value.as_str())
+    }
+
+    /// Sets (or creates) a variable, preserving its export flag.
+    pub fn set_var(&mut self, name: &str, value: impl Into<String>) {
+        let value = value.into();
+        self.vars
+            .entry(name.to_string())
+            .and_modify(|v| v.value.clone_from(&value))
+            .or_insert(Var {
+                value,
+                exported: false,
+                readonly: false,
+            });
+        if name == "PWD" {
+            // Keep cwd coherent when scripts assign PWD directly.
+        }
+    }
+
+    /// Marks a variable exported, creating it empty if needed.
+    pub fn export_var(&mut self, name: &str) {
+        self.vars
+            .entry(name.to_string())
+            .or_default()
+            .exported = true;
+    }
+
+    /// Removes a variable.
+    pub fn unset_var(&mut self, name: &str) {
+        self.vars.remove(name);
+    }
+
+    /// Whether the variable exists (even if empty).
+    pub fn is_set(&self, name: &str) -> bool {
+        self.vars.contains_key(name)
+    }
+
+    /// All exported variables, for child environments.
+    pub fn exported(&self) -> Vec<(String, String)> {
+        let mut out: Vec<(String, String)> = self
+            .vars
+            .iter()
+            .filter(|(_, v)| v.exported)
+            .map(|(k, v)| (k.clone(), v.value.clone()))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Defines (or replaces) a function.
+    pub fn set_function(&mut self, name: &str, body: Command) {
+        self.functions.insert(name.to_string(), body);
+    }
+
+    /// Looks up a function body.
+    pub fn get_function(&self, name: &str) -> Option<&Command> {
+        self.functions.get(name)
+    }
+
+    /// Removes a function.
+    pub fn unset_function(&mut self, name: &str) {
+        self.functions.remove(name);
+    }
+
+    /// The value of a *special* or ordinary parameter, as `$name` sees it.
+    ///
+    /// Returns `None` for unset ordinary variables (`$@`/`$*` are handled
+    /// by the expander because they produce multiple fields).
+    pub fn lookup_param(&self, name: &str) -> Option<String> {
+        match name {
+            "?" => Some(self.last_status.to_string()),
+            "#" => Some(self.positional.len().to_string()),
+            "0" => Some(self.shell_name.clone()),
+            "$" => Some(std::process::id().to_string()),
+            "-" => Some(self.option_flags()),
+            "!" => Some(String::new()),
+            _ => {
+                if let Ok(n) = name.parse::<usize>() {
+                    return self.positional.get(n - 1).cloned();
+                }
+                self.get_var(name).map(str::to_string)
+            }
+        }
+    }
+
+    fn option_flags(&self) -> String {
+        let mut s = String::new();
+        if self.errexit {
+            s.push('e');
+        }
+        if self.nounset {
+            s.push('u');
+        }
+        s
+    }
+
+    /// The IFS value (defaulting per POSIX when unset).
+    pub fn ifs(&self) -> String {
+        match self.get_var("IFS") {
+            Some(v) => v.to_string(),
+            None => " \t\n".to_string(),
+        }
+    }
+
+    /// Resolves a possibly relative path against the cwd.
+    pub fn resolve_path(&self, path: &str) -> String {
+        jash_io::fs::normalize(&self.cwd, path)
+    }
+
+    /// Creates the state a subshell starts with (a copy; changes do not
+    /// propagate back).
+    pub fn subshell(&self) -> ShellState {
+        self.clone()
+    }
+}
+
+impl std::fmt::Debug for ShellState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShellState")
+            .field("cwd", &self.cwd)
+            .field("vars", &self.vars.len())
+            .field("functions", &self.functions.len())
+            .field("positional", &self.positional)
+            .field("last_status", &self.last_status)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ShellState {
+        ShellState::new(jash_io::mem_fs())
+    }
+
+    #[test]
+    fn var_set_get_unset() {
+        let mut s = state();
+        assert_eq!(s.get_var("X"), None);
+        s.set_var("X", "1");
+        assert_eq!(s.get_var("X"), Some("1"));
+        s.unset_var("X");
+        assert!(!s.is_set("X"));
+    }
+
+    #[test]
+    fn export_preserved_across_set() {
+        let mut s = state();
+        s.set_var("X", "1");
+        s.export_var("X");
+        s.set_var("X", "2");
+        assert!(s.exported().contains(&("X".into(), "2".into())));
+    }
+
+    #[test]
+    fn special_params() {
+        let mut s = state();
+        s.last_status = 42;
+        s.positional = vec!["a".into(), "b".into()];
+        assert_eq!(s.lookup_param("?").as_deref(), Some("42"));
+        assert_eq!(s.lookup_param("#").as_deref(), Some("2"));
+        assert_eq!(s.lookup_param("1").as_deref(), Some("a"));
+        assert_eq!(s.lookup_param("3"), None);
+        assert_eq!(s.lookup_param("0").as_deref(), Some("jash"));
+    }
+
+    #[test]
+    fn subshell_is_isolated() {
+        let mut s = state();
+        s.set_var("X", "outer");
+        let mut sub = s.subshell();
+        sub.set_var("X", "inner");
+        assert_eq!(s.get_var("X"), Some("outer"));
+    }
+
+    #[test]
+    fn ifs_default() {
+        let mut s = state();
+        s.unset_var("IFS");
+        assert_eq!(s.ifs(), " \t\n");
+        s.set_var("IFS", ":");
+        assert_eq!(s.ifs(), ":");
+    }
+
+    #[test]
+    fn resolve_path_uses_cwd() {
+        let mut s = state();
+        s.cwd = "/data".into();
+        assert_eq!(s.resolve_path("x.txt"), "/data/x.txt");
+        assert_eq!(s.resolve_path("/abs"), "/abs");
+    }
+}

@@ -1,0 +1,27 @@
+//! Incremental recomputation for dataflow regions (paper §4,
+//! *Incremental Computation*).
+//!
+//! "PaSh and POSH's command specifications are the missing link, exposing
+//! the necessary information for an incremental computation framework.
+//! For example a command that processes each of its input lines
+//! independently need not be reapplied to the input lines that were
+//! unchanged. The JIT framework can then be used to provide up-to-date
+//! information on the latest state of script inputs."
+//!
+//! Two levels, both content-addressed:
+//!
+//! * **whole-region memoization** — the cache key hashes the region plan
+//!   and every input file's contents; an identical rerun replays the
+//!   stored output without executing anything;
+//! * **append-only suffix reuse** — when every stage is `Stateless` (per
+//!   its specification) and the new input extends the cached input, only
+//!   the appended suffix is processed and its output concatenated onto
+//!   the cached output. This is the common log-processing case the paper
+//!   motivates (U3: "small changes to the input … lead to many hours of
+//!   wasted redundant computation").
+
+pub mod cache;
+pub mod runtime;
+
+pub use cache::{fnv1a, CacheStats, Memo};
+pub use runtime::{CacheOutcome, IncRunner, IncResult};

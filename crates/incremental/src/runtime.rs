@@ -1,0 +1,311 @@
+//! The incremental region runner.
+
+use crate::cache::{fnv1a, CacheStats, Entry, Memo};
+use jash_dataflow::{compile, Region};
+use jash_exec::{execute, ExecConfig};
+use jash_io::FsHandle;
+use jash_spec::{ParallelClass, Registry};
+use std::io;
+use std::sync::Arc;
+
+/// How a region's result was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Replayed entirely from cache.
+    Hit,
+    /// Only the appended input suffix was processed.
+    PartialAppend,
+    /// Fully executed (and cached for next time).
+    Miss,
+}
+
+/// The result of an incremental run.
+#[derive(Debug)]
+pub struct IncResult {
+    /// Region stdout.
+    pub stdout: Vec<u8>,
+    /// Exit status.
+    pub status: i32,
+    /// How the result was produced.
+    pub outcome: CacheOutcome,
+}
+
+/// Executes regions with memoization.
+pub struct IncRunner {
+    fs: FsHandle,
+    registry: Registry,
+    memo: Memo,
+    /// Counters across this runner's lifetime.
+    pub stats: CacheStats,
+}
+
+impl IncRunner {
+    /// Creates a runner caching under `cache_dir` on `fs`.
+    pub fn new(fs: FsHandle, cache_dir: &str) -> Self {
+        IncRunner {
+            memo: Memo::new(Arc::clone(&fs), cache_dir),
+            fs,
+            registry: Registry::builtin(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Runs `region`, reusing cached work where sound.
+    pub fn run(&mut self, region: &Region) -> io::Result<IncResult> {
+        let input = self.read_region_input(region)?;
+        let plan_key = self.plan_key(region);
+        let input_hash = fnv1a(&input);
+
+        if let Some(entry) = self.memo.get(plan_key)? {
+            // Exact match: replay.
+            if entry.input_len == input.len() as u64 && entry.input_hash == input_hash {
+                self.stats.hits += 1;
+                return Ok(IncResult {
+                    stdout: entry.output,
+                    status: 0,
+                    outcome: CacheOutcome::Hit,
+                });
+            }
+            // Append-only extension of a stateless region: process only
+            // the suffix. Sound because for stateless stages
+            // f(a ⧺ b) = f(a) ⧺ f(b) — the specification's own law.
+            if self.all_stateless(region)
+                && (entry.input_len as usize) < input.len()
+                && input.len() > 0
+                && fnv1a(&input[..entry.input_len as usize]) == entry.input_hash
+                && ends_on_line_boundary(&input, entry.input_len as usize)
+            {
+                let suffix = &input[entry.input_len as usize..];
+                let (suffix_out, status) = self.execute_bytes(region, suffix)?;
+                if status == 0 {
+                    let mut output = entry.output.clone();
+                    output.extend_from_slice(&suffix_out);
+                    self.memo.put(
+                        plan_key,
+                        &Entry {
+                            input_len: input.len() as u64,
+                            input_hash,
+                            output: output.clone(),
+                        },
+                    )?;
+                    self.stats.partial_hits += 1;
+                    return Ok(IncResult {
+                        stdout: output,
+                        status,
+                        outcome: CacheOutcome::PartialAppend,
+                    });
+                }
+            }
+        }
+
+        // Full execution.
+        let (stdout, status) = self.execute_bytes(region, &input)?;
+        if status == 0 {
+            self.memo.put(
+                plan_key,
+                &Entry {
+                    input_len: input.len() as u64,
+                    input_hash,
+                    output: stdout.clone(),
+                },
+            )?;
+        }
+        self.stats.misses += 1;
+        Ok(IncResult {
+            stdout,
+            status,
+            outcome: CacheOutcome::Miss,
+        })
+    }
+
+    /// The cache key of a region's *plan*: command names, args, and
+    /// redirect structure (inputs are fingerprinted separately).
+    fn plan_key(&self, region: &Region) -> u64 {
+        let mut repr = Vec::new();
+        for c in &region.commands {
+            repr.extend_from_slice(c.name.as_bytes());
+            repr.push(0);
+            for a in &c.args {
+                repr.extend_from_slice(a.as_bytes());
+                repr.push(1);
+            }
+            repr.push(2);
+        }
+        fnv1a(&repr)
+    }
+
+    fn all_stateless(&self, region: &Region) -> bool {
+        region.commands.iter().all(|c| {
+            if c.name == "cat" {
+                return true;
+            }
+            matches!(
+                self.registry.resolve(&c.name, &c.args).map(|s| s.class),
+                Some(ParallelClass::Stateless)
+            )
+        })
+    }
+
+    /// Concatenated contents of the region's input files (declared stdin
+    /// redirect of the first stage, or `cat` operands).
+    fn read_region_input(&self, region: &Region) -> io::Result<Vec<u8>> {
+        let mut input = Vec::new();
+        let Some(first) = region.commands.first() else {
+            return Ok(input);
+        };
+        if let Some(p) = &first.stdin_redirect {
+            input.extend(jash_io::fs::read_to_vec(self.fs.as_ref(), p)?);
+        }
+        if first.name == "cat" {
+            for a in first.args.iter().filter(|a| !a.starts_with('-')) {
+                input.extend(jash_io::fs::read_to_vec(self.fs.as_ref(), a)?);
+            }
+        }
+        Ok(input)
+    }
+
+    /// Runs the region's *pipeline body* over the given input bytes by
+    /// staging them in a scratch file.
+    fn execute_bytes(&self, region: &Region, input: &[u8]) -> io::Result<(Vec<u8>, i32)> {
+        let scratch = "/.jash-inc-scratch";
+        jash_io::fs::write_file(self.fs.as_ref(), scratch, input)?;
+        let mut body = region.clone();
+        // Rebind the first stage to the scratch file.
+        if let Some(first) = body.commands.first_mut() {
+            if first.name == "cat" {
+                first.args.retain(|a| a.starts_with('-'));
+                first.args.push(scratch.to_string());
+            }
+            first.stdin_redirect = match first.name.as_str() {
+                "cat" => None,
+                _ => Some(scratch.to_string()),
+            };
+        }
+        let compiled = compile(&body, &self.registry)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+        let outcome = execute(&compiled.dfg, &ExecConfig::new(Arc::clone(&self.fs)))?;
+        let _ = self.fs.remove(scratch);
+        Ok((outcome.stdout, outcome.status))
+    }
+}
+
+fn ends_on_line_boundary(input: &[u8], at: usize) -> bool {
+    at == 0 || input.get(at - 1) == Some(&b'\n')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_dataflow::ExpandedCommand;
+
+    fn setup(content: &str) -> (FsHandle, IncRunner) {
+        let fs = jash_io::mem_fs();
+        jash_io::fs::write_file(fs.as_ref(), "/log", content.as_bytes()).unwrap();
+        let runner = IncRunner::new(Arc::clone(&fs), "/.cache");
+        (fs, runner)
+    }
+
+    fn grep_region() -> Region {
+        Region {
+            commands: vec![
+                ExpandedCommand::new("cat", &["/log"]),
+                ExpandedCommand::new("grep", &["ERROR"]),
+            ],
+        }
+    }
+
+    #[test]
+    fn first_run_misses_then_hits() {
+        let (_fs, mut r) = setup("ERROR one\nok\nERROR two\n");
+        let a = r.run(&grep_region()).unwrap();
+        assert_eq!(a.outcome, CacheOutcome::Miss);
+        assert_eq!(a.stdout, b"ERROR one\nERROR two\n");
+        let b = r.run(&grep_region()).unwrap();
+        assert_eq!(b.outcome, CacheOutcome::Hit);
+        assert_eq!(b.stdout, a.stdout);
+        assert_eq!(r.stats.hits, 1);
+        assert_eq!(r.stats.misses, 1);
+    }
+
+    #[test]
+    fn append_only_change_reuses_prefix() {
+        let (fs, mut r) = setup("ERROR one\nok\n");
+        let a = r.run(&grep_region()).unwrap();
+        assert_eq!(a.outcome, CacheOutcome::Miss);
+        // Append new lines (the log-rotation case).
+        let mut h = fs.open_write("/log", true).unwrap();
+        h.write_all(b"ERROR two\nfine\n").unwrap();
+        drop(h);
+        let b = r.run(&grep_region()).unwrap();
+        assert_eq!(b.outcome, CacheOutcome::PartialAppend);
+        assert_eq!(b.stdout, b"ERROR one\nERROR two\n");
+        // And the extended entry serves an exact hit next time.
+        let c = r.run(&grep_region()).unwrap();
+        assert_eq!(c.outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn content_edit_invalidates() {
+        let (fs, mut r) = setup("ERROR one\n");
+        r.run(&grep_region()).unwrap();
+        jash_io::fs::write_file(fs.as_ref(), "/log", b"ERROR changed\n").unwrap();
+        let b = r.run(&grep_region()).unwrap();
+        assert_eq!(b.outcome, CacheOutcome::Miss);
+        assert_eq!(b.stdout, b"ERROR changed\n");
+    }
+
+    #[test]
+    fn non_stateless_regions_never_partially_reuse() {
+        let (fs, mut r) = setup("b\na\n");
+        let region = Region {
+            commands: vec![
+                ExpandedCommand::new("cat", &["/log"]),
+                ExpandedCommand::new("sort", &[]),
+            ],
+        };
+        let a = r.run(&region).unwrap();
+        assert_eq!(a.stdout, b"a\nb\n");
+        let mut h = fs.open_write("/log", true).unwrap();
+        h.write_all(b"0\n").unwrap();
+        drop(h);
+        let b = r.run(&region).unwrap();
+        // sort is blocking: the whole input must be re-sorted.
+        assert_eq!(b.outcome, CacheOutcome::Miss);
+        assert_eq!(b.stdout, b"0\na\nb\n");
+    }
+
+    #[test]
+    fn different_plans_have_distinct_entries() {
+        let (_fs, mut r) = setup("ERROR x\nwarn y\n");
+        let g1 = grep_region();
+        let g2 = Region {
+            commands: vec![
+                ExpandedCommand::new("cat", &["/log"]),
+                ExpandedCommand::new("grep", &["warn"]),
+            ],
+        };
+        assert_eq!(r.run(&g1).unwrap().stdout, b"ERROR x\n");
+        assert_eq!(r.run(&g2).unwrap().stdout, b"warn y\n");
+        assert_eq!(r.run(&g1).unwrap().outcome, CacheOutcome::Hit);
+        assert_eq!(r.run(&g2).unwrap().outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn multi_stage_stateless_chain_appends() {
+        let (fs, mut r) = setup("MIXED Case\n");
+        let region = Region {
+            commands: vec![
+                ExpandedCommand::new("cat", &["/log"]),
+                ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+                ExpandedCommand::new("grep", &["case"]),
+            ],
+        };
+        assert_eq!(r.run(&region).unwrap().stdout, b"mixed case\n");
+        let mut h = fs.open_write("/log", true).unwrap();
+        h.write_all(b"More CASE\n").unwrap();
+        drop(h);
+        let b = r.run(&region).unwrap();
+        assert_eq!(b.outcome, CacheOutcome::PartialAppend);
+        assert_eq!(b.stdout, b"mixed case\nmore case\n");
+    }
+}

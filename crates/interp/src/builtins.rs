@@ -1,0 +1,405 @@
+//! Shell builtins.
+//!
+//! Special builtins (POSIX 2.14) affect the current shell environment and
+//! cannot be shadowed by functions; regular builtins resolve after
+//! functions. `xargs` is implemented here rather than in `jash-coreutils`
+//! because it must call back into command execution.
+
+use crate::errors::{Flow, InterpError, Result};
+use crate::interp::Interpreter;
+use crate::io::{InputBinding, LineStream, ShellIo};
+use crate::test_expr::eval_test;
+use bytes::Bytes;
+use jash_expand::ShellState;
+use jash_io::FsHandle;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// POSIX special builtins we implement.
+pub fn is_special_builtin(name: &str) -> bool {
+    matches!(
+        name,
+        ":" | "." | "break" | "continue" | "eval" | "exit" | "export" | "return" | "set"
+            | "shift" | "unset"
+    )
+}
+
+/// All builtins (special or regular).
+pub fn is_builtin(name: &str) -> bool {
+    is_special_builtin(name)
+        || matches!(
+            name,
+            "cd" | "pwd" | "read" | "test" | "[" | "local" | "wait" | "umask" | "xargs"
+                | "command" | "type"
+        )
+}
+
+/// Runs a builtin; `None` when `argv[0]` is not one.
+pub fn run_builtin(
+    interp: &mut Interpreter,
+    state: &mut ShellState,
+    argv: &[String],
+    io: &ShellIo,
+) -> Option<Result<i32>> {
+    let name = argv[0].as_str();
+    let args = &argv[1..];
+    if !is_builtin(name) {
+        return None;
+    }
+    Some(run_builtin_inner(interp, state, name, args, io))
+}
+
+fn run_builtin_inner(
+    interp: &mut Interpreter,
+    state: &mut ShellState,
+    name: &str,
+    args: &[String],
+    io: &ShellIo,
+) -> Result<i32> {
+    match name {
+        ":" => Ok(0),
+        "true" => Ok(0),
+        "false" => Ok(1),
+        "exit" => {
+            let status = args
+                .first()
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(state.last_status);
+            Err(InterpError::Flow(Flow::Exit(status)))
+        }
+        "return" => {
+            let status = args
+                .first()
+                .and_then(|a| a.parse().ok())
+                .unwrap_or(state.last_status);
+            Err(InterpError::Flow(Flow::Return(status)))
+        }
+        "break" | "continue" => {
+            if state.loop_depth == 0 {
+                return write_err(state, io, &format!("{name}: only meaningful in a loop\n"))
+                    .map(|()| 1);
+            }
+            let n: u32 = args.first().and_then(|a| a.parse().ok()).unwrap_or(1);
+            let n = n.max(1);
+            Err(InterpError::Flow(if name == "break" {
+                Flow::Break(n)
+            } else {
+                Flow::Continue(n)
+            }))
+        }
+        "cd" => {
+            let target = match args.first() {
+                Some(t) => t.clone(),
+                None => state.get_var("HOME").unwrap_or("/").to_string(),
+            };
+            let path = state.resolve_path(&target);
+            match state.fs.metadata(&path) {
+                Ok(m) if m.is_dir => {
+                    state.cwd = path.clone();
+                    state.set_var("PWD", path);
+                    Ok(0)
+                }
+                Ok(_) => write_err(state, io, &format!("cd: {target}: not a directory\n"))
+                    .map(|()| 1),
+                Err(_) => write_err(
+                    state,
+                    io,
+                    &format!("cd: {target}: no such file or directory\n"),
+                )
+                .map(|()| 1),
+            }
+        }
+        "pwd" => {
+            write_out(state, io, &format!("{}\n", state.cwd))?;
+            Ok(0)
+        }
+        "export" => {
+            for a in args {
+                match a.split_once('=') {
+                    Some((n, v)) => {
+                        state.set_var(n, v);
+                        state.export_var(n);
+                    }
+                    None => state.export_var(a),
+                }
+            }
+            Ok(0)
+        }
+        "unset" => {
+            let mut functions = false;
+            for a in args {
+                if a == "-f" {
+                    functions = true;
+                } else if a == "-v" {
+                    functions = false;
+                } else if functions {
+                    state.unset_function(a);
+                } else {
+                    state.unset_var(a);
+                }
+            }
+            Ok(0)
+        }
+        "set" => {
+            let mut positional: Option<Vec<String>> = None;
+            let mut i = 0;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "-e" => state.errexit = true,
+                    "+e" => state.errexit = false,
+                    "-u" => state.nounset = true,
+                    "+u" => state.nounset = false,
+                    "--" => {
+                        positional = Some(args[i + 1..].to_vec());
+                        break;
+                    }
+                    a if !a.starts_with('-') && !a.starts_with('+') => {
+                        positional = Some(args[i..].to_vec());
+                        break;
+                    }
+                    other => {
+                        return write_err(
+                            state,
+                            io,
+                            &format!("set: unsupported option {other}\n"),
+                        )
+                        .map(|()| 2);
+                    }
+                }
+                i += 1;
+            }
+            if let Some(p) = positional {
+                state.positional = p;
+            }
+            Ok(0)
+        }
+        "shift" => {
+            let n: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(1);
+            if n > state.positional.len() {
+                return write_err(state, io, "shift: shift count out of range\n").map(|()| 1);
+            }
+            state.positional.drain(..n);
+            Ok(0)
+        }
+        "read" => run_read(state, args, io),
+        "test" => Ok(eval_test(state, args)),
+        "[" => {
+            if args.last().map(|s| s.as_str()) != Some("]") {
+                return write_err(state, io, "[: missing `]`\n").map(|()| 2);
+            }
+            Ok(eval_test(state, &args[..args.len() - 1]))
+        }
+        "local" => {
+            let Some(frame_idx) = interp.local_frames.len().checked_sub(1) else {
+                return write_err(state, io, "local: can only be used in a function\n")
+                    .map(|()| 1);
+            };
+            for a in args {
+                let (n, v) = match a.split_once('=') {
+                    Some((n, v)) => (n.to_string(), Some(v.to_string())),
+                    None => (a.clone(), None),
+                };
+                let old = state.get_var(&n).map(|value| jash_expand::Var {
+                    value: value.to_string(),
+                    exported: false,
+                    readonly: false,
+                });
+                interp.local_frames[frame_idx].push((n.clone(), old));
+                state.set_var(&n, v.unwrap_or_default());
+            }
+            Ok(0)
+        }
+        "eval" => {
+            let src = args.join(" ");
+            if src.trim().is_empty() {
+                return Ok(0);
+            }
+            let prog = jash_parser::parse(&src)?;
+            interp.run_program(state, &prog, io)
+        }
+        "." => {
+            let Some(path) = args.first() else {
+                return write_err(state, io, ".: missing file operand\n").map(|()| 2);
+            };
+            let full = state.resolve_path(path);
+            let src = jash_io::fs::read_to_string(state.fs.as_ref(), &full)
+                .map_err(InterpError::Io)?;
+            let prog = jash_parser::parse(&src)?;
+            interp.run_program(state, &prog, io)
+        }
+        "wait" | "umask" => Ok(0),
+        "command" => {
+            if args.is_empty() {
+                return Ok(0);
+            }
+            // `command -v name`: resolution query.
+            if args[0] == "-v" {
+                let Some(target) = args.get(1) else { return Ok(1) };
+                let known = is_builtin(target)
+                    || state.get_function(target).is_some()
+                    || jash_coreutils::is_utility(target);
+                if known {
+                    write_out(state, io, &format!("{target}\n"))?;
+                    return Ok(0);
+                }
+                return Ok(1);
+            }
+            interp.dispatch(state, args, io)
+        }
+        "type" => {
+            let Some(target) = args.first() else { return Ok(1) };
+            let kind = if is_builtin(target) {
+                "builtin"
+            } else if state.get_function(target).is_some() {
+                "function"
+            } else if jash_coreutils::is_utility(target) {
+                "utility"
+            } else {
+                write_out(state, io, &format!("{target}: not found\n"))?;
+                return Ok(1);
+            };
+            write_out(state, io, &format!("{target} is a {kind}\n"))?;
+            Ok(0)
+        }
+        "xargs" => run_xargs(interp, state, args, io),
+        _ => unreachable!("is_builtin checked"),
+    }
+}
+
+fn write_out(state: &ShellState, io: &ShellIo, msg: &str) -> Result<()> {
+    let mut out = io.stdout.open(&state.fs)?;
+    out.write_chunk(Bytes::copy_from_slice(msg.as_bytes()))?;
+    out.finish()?;
+    Ok(())
+}
+
+fn write_err(state: &ShellState, io: &ShellIo, msg: &str) -> Result<()> {
+    let mut err = io.stderr.open(&state.fs)?;
+    err.write_chunk(Bytes::copy_from_slice(msg.as_bytes()))?;
+    Ok(())
+}
+
+/// Converts a binding into a persistent stream binding (idempotent).
+pub fn persistent_input(binding: &InputBinding, fs: &FsHandle) -> Result<InputBinding> {
+    match binding {
+        InputBinding::Stream(_) => Ok(binding.clone()),
+        other => {
+            let stream = other.open(fs)?;
+            Ok(InputBinding::Stream(Arc::new(Mutex::new(LineStream::new(
+                stream,
+            )))))
+        }
+    }
+}
+
+fn run_read(state: &mut ShellState, args: &[String], io: &ShellIo) -> Result<i32> {
+    let vars: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
+    if vars.is_empty() {
+        return write_err(state, io, "read: missing variable name\n").map(|()| 2);
+    }
+    let line = match &io.stdin {
+        InputBinding::Stream(shared) => shared.lock().read_line()?,
+        other => {
+            // One-shot: open, take the first line, drop the rest.
+            let stream = other.open(&state.fs)?;
+            let mut ls = LineStream::new(stream);
+            ls.read_line()?
+        }
+    };
+    let Some(line) = line else {
+        // EOF: variables get emptied, status 1.
+        for v in vars {
+            state.set_var(v, "");
+        }
+        return Ok(1);
+    };
+    let text = String::from_utf8_lossy(&line).into_owned();
+    let ifs = state.ifs();
+    let mut fields: Vec<&str> = if ifs.is_empty() {
+        vec![text.as_str()]
+    } else {
+        text.split(|c| ifs.contains(c))
+            .filter(|s| !s.is_empty())
+            .collect()
+    };
+    for (i, v) in vars.iter().enumerate() {
+        let last = i + 1 == vars.len();
+        let value = if last {
+            let joined = fields.split_off(0).join(" ");
+            joined
+        } else if fields.is_empty() {
+            String::new()
+        } else {
+            fields.remove(0).to_string()
+        };
+        state.set_var(v, value);
+    }
+    Ok(0)
+}
+
+fn run_xargs(
+    interp: &mut Interpreter,
+    state: &mut ShellState,
+    args: &[String],
+    io: &ShellIo,
+) -> Result<i32> {
+    let mut batch: Option<usize> = None;
+    let mut rest = args;
+    if rest.first().map(|s| s.as_str()) == Some("-n") {
+        batch = rest.get(1).and_then(|v| v.parse().ok());
+        if batch.is_none() {
+            return write_err(state, io, "xargs: invalid -n\n").map(|()| 2);
+        }
+        rest = &rest[2..];
+    }
+    let command: Vec<String> = if rest.is_empty() {
+        vec!["echo".to_string()]
+    } else {
+        rest.to_vec()
+    };
+
+    // Gather all stdin items (whitespace-separated words).
+    let data = match &io.stdin {
+        InputBinding::Stream(shared) => shared.lock().read_rest()?,
+        other => {
+            let mut s = other.open(&state.fs)?;
+            jash_io::stream::read_all(s.as_mut())?
+        }
+    };
+    let text = String::from_utf8_lossy(&data);
+    let items: Vec<String> = text.split_whitespace().map(str::to_string).collect();
+    if items.is_empty() {
+        return Ok(0);
+    }
+    let batch = batch.unwrap_or(items.len());
+    let inner_io = ShellIo {
+        stdin: InputBinding::Empty,
+        stdout: io.stdout.clone(),
+        stderr: io.stderr.clone(),
+    };
+    let mut status = 0;
+    for chunk in items.chunks(batch.max(1)) {
+        let mut argv = command.clone();
+        argv.extend(chunk.iter().cloned());
+        let s = interp.dispatch(state, &argv, &inner_io)?;
+        if s != 0 {
+            status = 123;
+        }
+    }
+    Ok(status)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_classification() {
+        assert!(is_special_builtin("exit"));
+        assert!(is_special_builtin("export"));
+        assert!(!is_special_builtin("cd"));
+        assert!(is_builtin("cd"));
+        assert!(is_builtin("["));
+        assert!(!is_builtin("grep"));
+    }
+}

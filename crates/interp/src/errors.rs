@@ -1,0 +1,89 @@
+//! Interpreter errors and non-local control flow.
+
+use jash_expand::ExpandError;
+use std::fmt;
+
+/// Non-local control transfers (`break`, `continue`, `return`, `exit`).
+///
+/// These travel the `Err` channel until the construct that handles them
+/// (loops, function calls, the top level) catches them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// `break [n]`.
+    Break(u32),
+    /// `continue [n]`.
+    Continue(u32),
+    /// `return [status]`.
+    Return(i32),
+    /// `exit [status]` (or `set -e` firing).
+    Exit(i32),
+}
+
+/// Anything that can abort evaluation.
+#[derive(Debug)]
+pub enum InterpError {
+    /// Word expansion failed (`${x:?}`, bad arithmetic, `set -u` …).
+    Expand(ExpandError),
+    /// Underlying IO failed.
+    Io(std::io::Error),
+    /// Script syntax error (from `eval` / `.`-sourced text).
+    Parse(jash_parser::ParseError),
+    /// Non-local control flow (not really an error).
+    Flow(Flow),
+    /// Anything else fatal.
+    Fatal(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::Expand(e) => write!(f, "{e}"),
+            InterpError::Io(e) => write!(f, "{e}"),
+            InterpError::Parse(e) => write!(f, "{e}"),
+            InterpError::Flow(flow) => write!(f, "uncaught control flow: {flow:?}"),
+            InterpError::Fatal(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+impl From<ExpandError> for InterpError {
+    fn from(e: ExpandError) -> Self {
+        InterpError::Expand(e)
+    }
+}
+
+impl From<std::io::Error> for InterpError {
+    fn from(e: std::io::Error) -> Self {
+        InterpError::Io(e)
+    }
+}
+
+impl From<jash_parser::ParseError> for InterpError {
+    fn from(e: jash_parser::ParseError) -> Self {
+        InterpError::Parse(e)
+    }
+}
+
+/// Interpreter result alias.
+pub type Result<T> = std::result::Result<T, InterpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flow_displays() {
+        let e = InterpError::Flow(Flow::Break(2));
+        assert!(e.to_string().contains("Break"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: InterpError = ExpandError::DivideByZero.into();
+        assert!(matches!(e, InterpError::Expand(_)));
+        let e: InterpError = std::io::Error::other("x").into();
+        assert!(matches!(e, InterpError::Io(_)));
+    }
+}

@@ -1,0 +1,762 @@
+//! The evaluator: POSIX shell semantics over the virtual substrate.
+//!
+//! This is the "user's original shell" half of the Jash architecture — the
+//! interpreter that handles every dynamic feature (expansion, control
+//! flow, functions, redirections) and that optimized regions fall back to.
+//! Running it over `jash-io`/`jash-coreutils` keeps it byte-comparable
+//! with the optimized executor: the equivalence tests in `tests/` hold
+//! both against each other.
+
+use crate::builtins;
+use crate::errors::{Flow, InterpError, Result};
+use crate::io::{InputBinding, OutputBinding, ShellIo};
+use bytes::Bytes;
+use jash_ast::{
+    AndOrOp, CaseClause, Command, CommandKind, Pipeline, Program, Redirect, RedirectOp,
+};
+use jash_coreutils::{UtilCtx, UtilIo};
+use jash_expand::{
+    expand_word_field, expand_word_single, expand_words, ShellState, SubstRunner,
+};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// The tree-walking interpreter.
+///
+/// Stateless apart from bookkeeping (function-call depth, `local`
+/// frames); the shell's mutable context lives in [`ShellState`].
+#[derive(Default)]
+pub struct Interpreter {
+    /// Frames of saved variables for `local`, one per active function
+    /// call.
+    pub(crate) local_frames: Vec<Vec<(String, Option<jash_expand::Var>)>>,
+    /// Depth of condition contexts, where `set -e` is suspended.
+    condition_depth: u32,
+    /// Stderr binding substitutions inside command substitutions fall
+    /// back to (public so embedding shells like `jash-core` can share it).
+    pub base_stderr: Option<OutputBinding>,
+}
+
+/// Outcome of running a whole script.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Exit status.
+    pub status: i32,
+    /// Captured stdout.
+    pub stdout: Vec<u8>,
+    /// Captured stderr.
+    pub stderr: Vec<u8>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter.
+    pub fn new() -> Self {
+        Interpreter::default()
+    }
+
+    /// Parses and runs `src` with captured stdio.
+    pub fn run_script(&mut self, state: &mut ShellState, src: &str) -> Result<RunResult> {
+        let prog = jash_parser::parse(src)?;
+        self.run_program_captured(state, &prog)
+    }
+
+    /// Runs a parsed program with captured stdio.
+    pub fn run_program_captured(
+        &mut self,
+        state: &mut ShellState,
+        prog: &Program,
+    ) -> Result<RunResult> {
+        let (io, out, err) = ShellIo::captured();
+        self.base_stderr = Some(io.stderr.clone());
+        let status = match self.run_program(state, prog, &io) {
+            Ok(s) => s,
+            Err(InterpError::Flow(Flow::Exit(s))) => s,
+            Err(e) => {
+                err.lock()
+                    .extend_from_slice(format!("jash: {e}\n").as_bytes());
+                match e {
+                    InterpError::Expand(_) => 1,
+                    InterpError::Parse(_) => 2,
+                    _ => 1,
+                }
+            }
+        };
+        state.last_status = status;
+        let stdout = std::mem::take(&mut *out.lock());
+        let stderr = std::mem::take(&mut *err.lock());
+        Ok(RunResult {
+            status,
+            stdout,
+            stderr,
+        })
+    }
+
+    /// Runs a program in the given io context.
+    pub fn run_program(
+        &mut self,
+        state: &mut ShellState,
+        prog: &Program,
+        io: &ShellIo,
+    ) -> Result<i32> {
+        let mut status = state.last_status;
+        for item in &prog.items {
+            if item.background {
+                // No job control: background items run in a subshell whose
+                // effects are discarded; the parent proceeds with status 0.
+                let mut sub = state.subshell();
+                let _ = self.run_and_or(&mut sub, &item.and_or, io);
+                status = 0;
+                state.last_status = 0;
+                continue;
+            }
+            status = self.run_and_or(state, &item.and_or, io)?;
+            state.last_status = status;
+            if status != 0 && state.errexit && self.condition_depth == 0 {
+                return Err(InterpError::Flow(Flow::Exit(status)));
+            }
+        }
+        Ok(status)
+    }
+
+    fn run_and_or(
+        &mut self,
+        state: &mut ShellState,
+        ao: &jash_ast::AndOrList,
+        io: &ShellIo,
+    ) -> Result<i32> {
+        // All but the final pipeline are condition contexts for `set -e`.
+        let has_rest = !ao.rest.is_empty();
+        if has_rest {
+            self.condition_depth += 1;
+        }
+        let status = self.run_pipeline(state, &ao.first, io);
+        if has_rest {
+            self.condition_depth -= 1;
+        }
+        let mut status = status?;
+        for (i, (op, pl)) in ao.rest.iter().enumerate() {
+            let run = match op {
+                AndOrOp::And => status == 0,
+                AndOrOp::Or => status != 0,
+            };
+            if !run {
+                continue;
+            }
+            let last = i + 1 == ao.rest.len();
+            if !last {
+                self.condition_depth += 1;
+            }
+            let r = self.run_pipeline(state, pl, io);
+            if !last {
+                self.condition_depth -= 1;
+            }
+            status = r?;
+            state.last_status = status;
+        }
+        Ok(status)
+    }
+
+    fn run_pipeline(
+        &mut self,
+        state: &mut ShellState,
+        pl: &Pipeline,
+        io: &ShellIo,
+    ) -> Result<i32> {
+        let status = if pl.commands.len() == 1 {
+            self.run_command(state, &pl.commands[0], io)?
+        } else {
+            self.run_multi_pipeline(state, pl, io)?
+        };
+        Ok(if pl.negated {
+            i32::from(status == 0)
+        } else {
+            status
+        })
+    }
+
+    /// A ≥2-stage pipeline. Stages that are all plain utility invocations
+    /// run threaded through real pipes (what bash does with processes);
+    /// anything fancier falls back to buffered stage-at-a-time execution
+    /// in subshells.
+    fn run_multi_pipeline(
+        &mut self,
+        state: &mut ShellState,
+        pl: &Pipeline,
+        io: &ShellIo,
+    ) -> Result<i32> {
+        if let Some(stages) = self.plan_threaded_stages(state, pl, io)? {
+            return run_threaded_stages(state, stages);
+        }
+
+        // Buffered fallback: each stage runs to completion in a subshell,
+        // its output feeding the next stage's memory stdin.
+        let mut prev_in = io.stdin.clone();
+        let mut status = 0;
+        let n = pl.commands.len();
+        for (i, cmd) in pl.commands.iter().enumerate() {
+            let last = i + 1 == n;
+            let capture = Arc::new(Mutex::new(Vec::new()));
+            // Compound stages (loops with `read`) need a persistent stdin
+            // cursor; a plain Memory binding would restart at every open.
+            let stdin = if matches!(cmd.kind, CommandKind::Simple(_)) {
+                prev_in.clone()
+            } else {
+                builtins::persistent_input(&prev_in, &state.fs)?
+            };
+            let stage_io = ShellIo {
+                stdin,
+                stdout: if last {
+                    io.stdout.clone()
+                } else {
+                    OutputBinding::Shared(Arc::clone(&capture))
+                },
+                stderr: io.stderr.clone(),
+            };
+            let mut sub = state.subshell();
+            status = match self.run_command(&mut sub, cmd, &stage_io) {
+                Ok(s) => s,
+                Err(InterpError::Flow(Flow::Exit(s))) => s,
+                Err(e) => return Err(e),
+            };
+            state.last_status = status;
+            prev_in = InputBinding::Memory(Arc::new(std::mem::take(&mut *capture.lock())));
+        }
+        Ok(status)
+    }
+
+    /// Tries to pre-expand a pipeline into plain utility stages.
+    fn plan_threaded_stages(
+        &mut self,
+        state: &mut ShellState,
+        pl: &Pipeline,
+        io: &ShellIo,
+    ) -> Result<Option<Vec<ThreadedStage>>> {
+        // Only pipelines of simple, assignment-free commands qualify.
+        for cmd in &pl.commands {
+            match &cmd.kind {
+                CommandKind::Simple(sc)
+                    if sc.assignments.is_empty() && !sc.words.is_empty() => {}
+                _ => return Ok(None),
+            }
+        }
+        let mut stages = Vec::new();
+        for cmd in &pl.commands {
+            let CommandKind::Simple(sc) = &cmd.kind else {
+                unreachable!("checked above");
+            };
+            let argv = expand_words(state, self, &sc.words)?;
+            let Some(name) = argv.first().cloned() else {
+                return Ok(None);
+            };
+            if !jash_coreutils::is_utility(&name)
+                || state.get_function(&name).is_some()
+                || builtins::is_builtin(&name)
+            {
+                return Ok(None);
+            }
+            let stage_io = self.apply_redirects(
+                state,
+                &ShellIo {
+                    stdin: io.stdin.clone(),
+                    stdout: io.stdout.clone(),
+                    stderr: io.stderr.clone(),
+                },
+                &cmd.redirects,
+                false,
+            )?;
+            stages.push(ThreadedStage {
+                name,
+                args: argv[1..].to_vec(),
+                io: stage_io,
+                explicit_stdin: cmd
+                    .redirects
+                    .iter()
+                    .any(|r| r.effective_fd() == 0),
+                explicit_stdout: cmd
+                    .redirects
+                    .iter()
+                    .any(|r| r.effective_fd() == 1),
+            });
+        }
+        Ok(Some(stages))
+    }
+
+    /// Runs one command (with its redirects).
+    pub fn run_command(
+        &mut self,
+        state: &mut ShellState,
+        cmd: &Command,
+        io: &ShellIo,
+    ) -> Result<i32> {
+        let compound = !matches!(cmd.kind, CommandKind::Simple(_));
+        let io = if cmd.redirects.is_empty() {
+            io.clone()
+        } else {
+            self.apply_redirects(state, io, &cmd.redirects, compound)?
+        };
+        match &cmd.kind {
+            CommandKind::Simple(_) => self.run_simple(state, cmd, &io),
+            CommandKind::BraceGroup(body) => self.run_program(state, body, &io),
+            CommandKind::Subshell(body) => {
+                let mut sub = state.subshell();
+                let status = match self.run_program(&mut sub, body, &io) {
+                    Ok(s) => s,
+                    Err(InterpError::Flow(Flow::Exit(s))) => s,
+                    Err(e) => return Err(e),
+                };
+                state.last_status = status;
+                Ok(status)
+            }
+            CommandKind::If(c) => {
+                self.condition_depth += 1;
+                let cond = self.run_program(state, &c.cond, &io);
+                self.condition_depth -= 1;
+                if cond? == 0 {
+                    return self.run_program(state, &c.then_body, &io);
+                }
+                for (econd, ebody) in &c.elifs {
+                    self.condition_depth += 1;
+                    let ec = self.run_program(state, econd, &io);
+                    self.condition_depth -= 1;
+                    if ec? == 0 {
+                        return self.run_program(state, ebody, &io);
+                    }
+                }
+                match &c.else_body {
+                    Some(e) => self.run_program(state, e, &io),
+                    None => Ok(0),
+                }
+            }
+            CommandKind::While(c) => {
+                let mut status = 0;
+                state.loop_depth += 1;
+                let result = loop {
+                    self.condition_depth += 1;
+                    let cond = self.run_program(state, &c.cond, &io);
+                    self.condition_depth -= 1;
+                    let cond = match cond {
+                        Ok(s) => s,
+                        Err(e) => break Err(e),
+                    };
+                    let proceed = (cond == 0) != c.until;
+                    if !proceed {
+                        break Ok(status);
+                    }
+                    match self.run_program(state, &c.body, &io) {
+                        Ok(s) => status = s,
+                        Err(InterpError::Flow(Flow::Break(n))) => {
+                            if n > 1 {
+                                break Err(InterpError::Flow(Flow::Break(n - 1)));
+                            }
+                            break Ok(status);
+                        }
+                        Err(InterpError::Flow(Flow::Continue(n))) => {
+                            if n > 1 {
+                                break Err(InterpError::Flow(Flow::Continue(n - 1)));
+                            }
+                        }
+                        Err(e) => break Err(e),
+                    }
+                };
+                state.loop_depth -= 1;
+                result
+            }
+            CommandKind::For(c) => {
+                let items = match &c.words {
+                    Some(words) => expand_words(state, self, words)?,
+                    None => state.positional.clone(),
+                };
+                let mut status = 0;
+                state.loop_depth += 1;
+                let mut result = Ok(());
+                'outer: for item in items {
+                    state.set_var(&c.var, item);
+                    match self.run_program(state, &c.body, &io) {
+                        Ok(s) => status = s,
+                        Err(InterpError::Flow(Flow::Break(n))) => {
+                            if n > 1 {
+                                result = Err(InterpError::Flow(Flow::Break(n - 1)));
+                            }
+                            break 'outer;
+                        }
+                        Err(InterpError::Flow(Flow::Continue(n))) => {
+                            if n > 1 {
+                                result = Err(InterpError::Flow(Flow::Continue(n - 1)));
+                                break 'outer;
+                            }
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break 'outer;
+                        }
+                    }
+                }
+                state.loop_depth -= 1;
+                result.map(|()| status)
+            }
+            CommandKind::Case(c) => self.run_case(state, c, &io),
+            CommandKind::FunctionDef { name, body } => {
+                state.set_function(name, (**body).clone());
+                Ok(0)
+            }
+        }
+    }
+
+    fn run_case(
+        &mut self,
+        state: &mut ShellState,
+        c: &CaseClause,
+        io: &ShellIo,
+    ) -> Result<i32> {
+        let subject = expand_word_single(state, self, &c.word)?;
+        for arm in &c.arms {
+            for pattern in &arm.patterns {
+                let field = expand_word_field(state, self, pattern)?;
+                if field.to_pattern().matches(&subject) {
+                    return self.run_program(state, &arm.body, io);
+                }
+            }
+        }
+        Ok(0)
+    }
+
+    fn run_simple(
+        &mut self,
+        state: &mut ShellState,
+        cmd: &Command,
+        io: &ShellIo,
+    ) -> Result<i32> {
+        let CommandKind::Simple(sc) = &cmd.kind else {
+            unreachable!("caller dispatched");
+        };
+        let argv = expand_words(state, self, &sc.words)?;
+
+        if argv.is_empty() {
+            // Pure assignments mutate the current shell.
+            for a in &sc.assignments {
+                let v = expand_word_single(state, self, &a.value)?;
+                state.set_var(&a.name, v);
+            }
+            return Ok(0);
+        }
+
+        // Command-scoped assignments: set, run, restore.
+        let saved: Vec<(String, Option<String>)> = sc
+            .assignments
+            .iter()
+            .map(|a| (a.name.clone(), state.get_var(&a.name).map(str::to_string)))
+            .collect();
+        for a in &sc.assignments {
+            let v = expand_word_single(state, self, &a.value)?;
+            state.set_var(&a.name, v);
+        }
+        let result = self.dispatch(state, &argv, io);
+        for (name, old) in saved {
+            match old {
+                Some(v) => state.set_var(&name, v),
+                None => state.unset_var(&name),
+            }
+        }
+        result
+    }
+
+    /// Name resolution: special builtins → functions → builtins →
+    /// utilities.
+    pub(crate) fn dispatch(
+        &mut self,
+        state: &mut ShellState,
+        argv: &[String],
+        io: &ShellIo,
+    ) -> Result<i32> {
+        let name = argv[0].as_str();
+        if builtins::is_special_builtin(name) {
+            return builtins::run_builtin(self, state, argv, io)
+                .expect("special builtin exists");
+        }
+        if let Some(body) = state.get_function(name).cloned() {
+            return self.call_function(state, &body, argv, io);
+        }
+        if let Some(result) = builtins::run_builtin(self, state, argv, io) {
+            return result;
+        }
+        if jash_coreutils::is_utility(name) {
+            return run_utility_stage(state, name, &argv[1..], io);
+        }
+        let mut err = io.stderr.open(&state.fs)?;
+        err.write_chunk(Bytes::from(format!("jash: {name}: command not found\n")))?;
+        state.last_status = 127;
+        Ok(127)
+    }
+
+    fn call_function(
+        &mut self,
+        state: &mut ShellState,
+        body: &Command,
+        argv: &[String],
+        io: &ShellIo,
+    ) -> Result<i32> {
+        let saved_positional =
+            std::mem::replace(&mut state.positional, argv[1..].to_vec());
+        self.local_frames.push(Vec::new());
+        let result = match self.run_command(state, body, io) {
+            Ok(s) => Ok(s),
+            Err(InterpError::Flow(Flow::Return(s))) => Ok(s),
+            Err(e) => Err(e),
+        };
+        // Restore `local`s.
+        if let Some(frame) = self.local_frames.pop() {
+            for (name, old) in frame.into_iter().rev() {
+                match old {
+                    Some(var) => {
+                        state.set_var(&name, var.value);
+                        if var.exported {
+                            state.export_var(&name);
+                        }
+                    }
+                    None => state.unset_var(&name),
+                }
+            }
+        }
+        state.positional = saved_positional;
+        result
+    }
+
+    /// Expands redirect targets and rebinds stdio.
+    ///
+    /// For compound commands, `<` sources become persistent streams so
+    /// constructs like `while read l; do …; done < file` consume
+    /// incrementally.
+    pub(crate) fn apply_redirects(
+        &mut self,
+        state: &mut ShellState,
+        io: &ShellIo,
+        redirects: &[Redirect],
+        persistent_stdin: bool,
+    ) -> Result<ShellIo> {
+        let mut io = io.clone();
+        for r in redirects {
+            let fd = r.effective_fd();
+            match r.op {
+                RedirectOp::Read | RedirectOp::ReadWrite => {
+                    let target = expand_word_single(state, self, &r.target)?;
+                    let path = state.resolve_path(&target);
+                    if !state.fs.exists(&path) {
+                        return Err(InterpError::Io(std::io::Error::new(
+                            std::io::ErrorKind::NotFound,
+                            format!("{target}: no such file or directory"),
+                        )));
+                    }
+                    io.stdin = if persistent_stdin {
+                        crate::builtins::persistent_input(&InputBinding::File(path), &state.fs)?
+                    } else {
+                        InputBinding::File(path)
+                    };
+                }
+                RedirectOp::Write | RedirectOp::Clobber | RedirectOp::Append => {
+                    let target = expand_word_single(state, self, &r.target)?;
+                    let path = state.resolve_path(&target);
+                    let binding = if target == "/dev/null" {
+                        OutputBinding::Null
+                    } else {
+                        OutputBinding::File {
+                            path,
+                            append: matches!(r.op, RedirectOp::Append),
+                        }
+                    };
+                    match fd {
+                        1 => io.stdout = binding,
+                        2 => io.stderr = binding,
+                        _ => {}
+                    }
+                }
+                RedirectOp::HereDoc { .. } => {
+                    let body = if r.heredoc_quoted {
+                        r.target.static_text().unwrap_or_default()
+                    } else {
+                        expand_word_single(state, self, &r.target)?
+                    };
+                    io.stdin = InputBinding::Memory(Arc::new(body.into_bytes()));
+                }
+                RedirectOp::DupRead => {
+                    let target = expand_word_single(state, self, &r.target)?;
+                    if target == "-" {
+                        io.stdin = InputBinding::Empty;
+                    }
+                    // `n<&m` duplication for n,m∉{0} is not modeled.
+                }
+                RedirectOp::DupWrite => {
+                    let target = expand_word_single(state, self, &r.target)?;
+                    match (fd, target.as_str()) {
+                        (_, "-") => match fd {
+                            1 => io.stdout = OutputBinding::Null,
+                            2 => io.stderr = OutputBinding::Null,
+                            _ => {}
+                        },
+                        (2, "1") => io.stderr = io.stdout.clone(),
+                        (1, "2") => io.stdout = io.stderr.clone(),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(io)
+    }
+}
+
+impl SubstRunner for Interpreter {
+    fn run_capture(
+        &mut self,
+        state: &mut ShellState,
+        prog: &Program,
+    ) -> std::result::Result<String, jash_expand::ExpandError> {
+        // Command substitution runs in a subshell: state changes do not
+        // propagate, but `$?` does.
+        let mut sub = state.subshell();
+        let (io, out, _err) = ShellIo::captured();
+        let io = ShellIo {
+            stderr: self
+                .base_stderr
+                .clone()
+                .unwrap_or(io.stderr.clone()),
+            ..io
+        };
+        let status = match self.run_program(&mut sub, prog, &io) {
+            Ok(s) => s,
+            Err(InterpError::Flow(Flow::Exit(s))) => s,
+            Err(e) => {
+                return Err(jash_expand::ExpandError::Subst(e.to_string()));
+            }
+        };
+        state.last_status = status;
+        let data = std::mem::take(&mut *out.lock());
+        Ok(String::from_utf8_lossy(&data).into_owned())
+    }
+}
+
+/// Wraps a stream in a CPU meter when simulation is active.
+fn meter_cpu(
+    stream: Box<dyn jash_io::ByteStream>,
+    cpu: &Option<Arc<jash_io::CpuModel>>,
+    command: &str,
+) -> Box<dyn jash_io::ByteStream> {
+    match cpu {
+        Some(model) => Box::new(jash_io::CpuMeteredStream::new(
+            stream,
+            Arc::clone(model),
+            jash_io::cpu_rate(command),
+        )),
+        None => stream,
+    }
+}
+
+/// A fully planned pipeline stage ready to run on its own thread.
+pub(crate) struct ThreadedStage {
+    name: String,
+    args: Vec<String>,
+    io: ShellIo,
+    explicit_stdin: bool,
+    explicit_stdout: bool,
+}
+
+fn run_threaded_stages(state: &mut ShellState, mut stages: Vec<ThreadedStage>) -> Result<i32> {
+    // Wire pipes between adjacent stages that did not redirect.
+    for i in 0..stages.len().saturating_sub(1) {
+        let (w, r) = jash_io::pipe(jash_io::pipe::DEFAULT_PIPE_DEPTH);
+        if !stages[i].explicit_stdout {
+            stages[i].io.stdout = OutputBinding::Pipe(Arc::new(Mutex::new(Some(w))));
+        }
+        if !stages[i + 1].explicit_stdin {
+            stages[i + 1].io.stdin = InputBinding::Pipe(Arc::new(Mutex::new(Some(r))));
+        } else {
+            drop(r);
+        }
+    }
+    // First stage keeps the surrounding stdin; middle stages must not
+    // accidentally read it.
+    let fs = Arc::clone(&state.fs);
+    let cwd = state.cwd.clone();
+    let cpu = state.cpu.clone();
+    let statuses: Vec<Result<i32>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = stages
+            .into_iter()
+            .map(|stage| {
+                let fs = Arc::clone(&fs);
+                let cwd = cwd.clone();
+                let cpu = cpu.clone();
+                scope.spawn(move || -> Result<i32> {
+                    let mut stdin = meter_cpu(stage.io.stdin.open(&fs)?, &cpu, &stage.name);
+                    let (stdout_inner, mut stderr) =
+                        OutputBinding::open_pair(&stage.io.stdout, &stage.io.stderr, &fs)?;
+                    let mut stdout: Box<dyn jash_io::Sink> =
+                        Box::new(jash_io::CoalescingSink::new(stdout_inner));
+                    let ctx = UtilCtx {
+                        fs: Arc::clone(&fs),
+                        cwd,
+                    };
+                    let status = {
+                        let mut util_io = UtilIo {
+                            stdin: stdin.as_mut(),
+                            stdout: stdout.as_mut(),
+                            stderr: stderr.as_mut(),
+                        };
+                        jash_coreutils::run_utility(
+                            &stage.name,
+                            &stage.args,
+                            &mut util_io,
+                            &ctx,
+                        )
+                    };
+                    stdout.finish()?;
+                    match status {
+                        Ok(s) => Ok(s),
+                        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(0),
+                        Err(e) => Err(InterpError::Io(e)),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(Ok(125)))
+            .collect()
+    });
+    let mut last = 0;
+    for s in statuses {
+        last = s?;
+    }
+    state.last_status = last;
+    Ok(last)
+}
+
+/// Runs a single utility with the interpreter's io bindings.
+pub(crate) fn run_utility_stage(
+    state: &mut ShellState,
+    name: &str,
+    args: &[String],
+    io: &ShellIo,
+) -> Result<i32> {
+    let fs = Arc::clone(&state.fs);
+    let mut stdin = meter_cpu(io.stdin.open(&fs)?, &state.cpu, name);
+    let (stdout_inner, mut stderr) = OutputBinding::open_pair(&io.stdout, &io.stderr, &fs)?;
+    let mut stdout: Box<dyn jash_io::Sink> = Box::new(jash_io::CoalescingSink::new(stdout_inner));
+    let ctx = UtilCtx {
+        fs: Arc::clone(&fs),
+        cwd: state.cwd.clone(),
+    };
+    let status = {
+        let mut util_io = UtilIo {
+            stdin: stdin.as_mut(),
+            stdout: stdout.as_mut(),
+            stderr: stderr.as_mut(),
+        };
+        jash_coreutils::run_utility(name, args, &mut util_io, &ctx)
+    };
+    stdout.finish()?;
+    let status = match status {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,
+        Err(e) => return Err(InterpError::Io(e)),
+    };
+    state.last_status = status;
+    Ok(status)
+}

@@ -1,0 +1,460 @@
+//! A sequential POSIX shell interpreter over the virtual substrate — the
+//! **bash baseline** of the reproduction, and the dynamic half of the
+//! Jash architecture ("interpretation is provided by the user's original
+//! shell and deals with dynamic features such as parameter expansion",
+//! paper §3.2).
+//!
+//! Supports: simple and compound commands, pipelines (threaded through
+//! real pipes when all stages are plain utilities), `&&`/`||`/`!`,
+//! redirections including here-documents and `2>&1`, functions with
+//! `local` and `return`, `for`/`while`/`until`/`case`/`if`,
+//! `break`/`continue`, command substitution, all POSIX word expansion,
+//! `set -e`/`-u`, and a practical builtin set (`cd`, `read`, `test`/`[`,
+//! `export`, `eval`, `.`, `xargs`, …).
+//!
+//! # Examples
+//!
+//! ```
+//! use jash_interp::Interpreter;
+//! use jash_expand::ShellState;
+//!
+//! let fs = jash_io::mem_fs();
+//! jash_io::fs::write_file(fs.as_ref(), "/data.txt", b"beta\nalpha\n").unwrap();
+//! let mut state = ShellState::new(fs);
+//! let mut interp = Interpreter::new();
+//! let result = interp.run_script(&mut state, "sort /data.txt | head -n1").unwrap();
+//! assert_eq!(result.stdout, b"alpha\n");
+//! ```
+
+pub mod builtins;
+pub mod errors;
+pub mod interp;
+pub mod io;
+pub mod test_expr;
+
+pub use errors::{Flow, InterpError, Result};
+pub use interp::{Interpreter, RunResult};
+pub use io::{InputBinding, LineStream, OutputBinding, ShellIo};
+
+use jash_expand::ShellState;
+
+/// One-call convenience: run `src` on a fresh state over `fs`.
+pub fn run(fs: jash_io::FsHandle, src: &str) -> Result<RunResult> {
+    let mut state = ShellState::new(fs);
+    Interpreter::new().run_script(&mut state, src)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_io::FsHandle;
+
+    fn fs_with(files: &[(&str, &str)]) -> FsHandle {
+        let fs = jash_io::mem_fs();
+        for (p, c) in files {
+            jash_io::fs::write_file(fs.as_ref(), p, c.as_bytes()).unwrap();
+        }
+        fs
+    }
+
+    fn sh(src: &str) -> RunResult {
+        run(jash_io::mem_fs(), src).unwrap()
+    }
+
+    fn out(src: &str) -> String {
+        let r = sh(src);
+        assert_eq!(
+            r.status,
+            0,
+            "script `{src}` failed: {}",
+            String::from_utf8_lossy(&r.stderr)
+        );
+        String::from_utf8(r.stdout).unwrap()
+    }
+
+    #[test]
+    fn echo_and_quoting() {
+        assert_eq!(out("echo hello world"), "hello world\n");
+        assert_eq!(out("echo 'a  b'  c"), "a  b c\n");
+        assert_eq!(out(r#"echo "x${USER_UNSET}-y""#), "x-y\n");
+    }
+
+    #[test]
+    fn variables_and_expansion() {
+        assert_eq!(out("x=41; echo $((x+1))"), "42\n");
+        assert_eq!(out("x='a b'; echo $x"), "a b\n");
+        assert_eq!(out("x='a b'; echo \"$x\""), "a b\n");
+        assert_eq!(out("echo ${UNSET:-default}"), "default\n");
+    }
+
+    #[test]
+    fn command_substitution() {
+        assert_eq!(out("echo $(echo nested)"), "nested\n");
+        assert_eq!(out("x=$(echo a; echo b); echo \"$x\""), "a\nb\n");
+        assert_eq!(out("echo `echo ticks`"), "ticks\n");
+    }
+
+    #[test]
+    fn command_substitution_is_a_subshell() {
+        assert_eq!(out("x=outer; _dummy=$(x=inner; echo $x); echo $x"), "outer\n");
+    }
+
+    #[test]
+    fn exit_status_and_dollar_q() {
+        let r = sh("false");
+        assert_eq!(r.status, 1);
+        assert_eq!(out("false; echo $?"), "1\n");
+        assert_eq!(out("true; echo $?"), "0\n");
+    }
+
+    #[test]
+    fn and_or_chains() {
+        assert_eq!(out("true && echo yes || echo no"), "yes\n");
+        assert_eq!(out("false && echo yes || echo no"), "no\n");
+        assert_eq!(out("! false && echo negated"), "negated\n");
+    }
+
+    #[test]
+    fn pipelines_threaded() {
+        let fs = fs_with(&[("/f", "banana\napple\ncherry\n")]);
+        let r = run(fs, "cat /f | sort | head -n2").unwrap();
+        assert_eq!(r.stdout, b"apple\nbanana\n");
+    }
+
+    #[test]
+    fn pipeline_status_is_last_stage() {
+        let r = sh("echo x | grep absent");
+        assert_eq!(r.status, 1);
+        let r = sh("false | true");
+        assert_eq!(r.status, 0);
+    }
+
+    #[test]
+    fn pipeline_with_builtin_falls_back_buffered() {
+        assert_eq!(
+            out("printf 'b\\na\\n' | sort | while read l; do echo got:$l; done"),
+            "got:a\ngot:b\n"
+        );
+    }
+
+    #[test]
+    fn redirections() {
+        let fs = fs_with(&[]);
+        let r = run(std::sync::Arc::clone(&fs), "echo data > /out; cat /out").unwrap();
+        assert_eq!(r.stdout, b"data\n");
+        let r = run(std::sync::Arc::clone(&fs), "echo more >> /out; cat /out").unwrap();
+        assert_eq!(r.stdout, b"data\nmore\n");
+    }
+
+    #[test]
+    fn stdin_redirect() {
+        let fs = fs_with(&[("/in", "first\nsecond\n")]);
+        let r = run(fs, "head -n1 < /in").unwrap();
+        assert_eq!(r.stdout, b"first\n");
+    }
+
+    #[test]
+    fn missing_input_redirect_fails() {
+        let r = sh("cat < /nope");
+        assert_ne!(r.status, 0);
+        assert!(!r.stderr.is_empty());
+    }
+
+    #[test]
+    fn stderr_redirect_and_dup() {
+        let fs = fs_with(&[]);
+        let r = run(
+            std::sync::Arc::clone(&fs),
+            "frobnicate 2>/err; cat /err",
+        )
+        .unwrap();
+        assert!(String::from_utf8_lossy(&r.stdout).contains("not found"));
+        let r = run(fs, "frobnicate > /both 2>&1; cat /both").unwrap();
+        assert!(String::from_utf8_lossy(&r.stdout).contains("not found"));
+    }
+
+    #[test]
+    fn heredocs() {
+        assert_eq!(out("cat <<EOF\nline one\nEOF"), "line one\n");
+        assert_eq!(out("x=sub; cat <<EOF\ngot $x\nEOF"), "got sub\n");
+        assert_eq!(out("x=sub; cat <<'EOF'\ngot $x\nEOF"), "got $x\n");
+    }
+
+    #[test]
+    fn if_statements() {
+        assert_eq!(out("if true; then echo t; else echo f; fi"), "t\n");
+        assert_eq!(out("if false; then echo t; else echo f; fi"), "f\n");
+        assert_eq!(
+            out("if false; then echo a; elif true; then echo b; fi"),
+            "b\n"
+        );
+        assert_eq!(out("if false; then echo a; fi; echo after"), "after\n");
+    }
+
+    #[test]
+    fn for_loops() {
+        assert_eq!(out("for i in 1 2 3; do echo $i; done"), "1\n2\n3\n");
+        assert_eq!(out("for f in a.c b.c; do echo ${f%.c}; done"), "a\nb\n");
+    }
+
+    #[test]
+    fn while_and_until_loops() {
+        assert_eq!(
+            out("i=0; while [ $i -lt 3 ]; do echo $i; i=$((i+1)); done"),
+            "0\n1\n2\n"
+        );
+        assert_eq!(
+            out("i=0; until [ $i -ge 2 ]; do echo $i; i=$((i+1)); done"),
+            "0\n1\n"
+        );
+    }
+
+    #[test]
+    fn break_and_continue() {
+        assert_eq!(
+            out("for i in 1 2 3 4; do if [ $i = 3 ]; then break; fi; echo $i; done"),
+            "1\n2\n"
+        );
+        assert_eq!(
+            out("for i in 1 2 3; do if [ $i = 2 ]; then continue; fi; echo $i; done"),
+            "1\n3\n"
+        );
+        assert_eq!(
+            out("for i in a b; do for j in x y; do break 2; done; echo inner; done; echo done"),
+            "done\n"
+        );
+    }
+
+    #[test]
+    fn case_statements() {
+        assert_eq!(
+            out("case hello in h*) echo starts-h;; *) echo other;; esac"),
+            "starts-h\n"
+        );
+        assert_eq!(out("case 'a b' in 'a b') echo exact;; esac"), "exact\n");
+        assert_eq!(out("case x in a|x|b) echo alt;; esac"), "alt\n");
+        assert_eq!(out("case nomatch in a) echo a;; esac; echo $?"), "0\n");
+    }
+
+    #[test]
+    fn functions() {
+        assert_eq!(
+            out("greet() { echo hello $1; }; greet world"),
+            "hello world\n"
+        );
+        assert_eq!(out("f() { return 3; }; f; echo $?"), "3\n");
+        assert_eq!(out("f() { echo $#:$1:$2; }; f a b; echo $#"), "2:a:b\n0\n");
+    }
+
+    #[test]
+    fn function_locals() {
+        assert_eq!(
+            out("x=global; f() { local x=local; echo $x; }; f; echo $x"),
+            "local\nglobal\n"
+        );
+    }
+
+    #[test]
+    fn subshell_isolation() {
+        assert_eq!(out("x=outer; (x=inner; echo $x); echo $x"), "inner\nouter\n");
+        assert_eq!(out("(exit 5); echo $?"), "5\n");
+        assert_eq!(out("(cd /; :); pwd"), "/\n");
+    }
+
+    #[test]
+    fn brace_group_shares_state() {
+        assert_eq!(out("{ x=set; }; echo $x"), "set\n");
+    }
+
+    #[test]
+    fn positional_parameters() {
+        assert_eq!(out("set -- one two three; echo $1 $3 $#"), "one three 3\n");
+        assert_eq!(out("set -- a b c; shift; echo $1 $#"), "b 2\n");
+        assert_eq!(
+            out("set -- 'x y' z; for a in \"$@\"; do echo [$a]; done"),
+            "[x y]\n[z]\n"
+        );
+    }
+
+    #[test]
+    fn exit_builtin() {
+        let r = sh("echo before; exit 7; echo after");
+        assert_eq!(r.status, 7);
+        assert_eq!(r.stdout, b"before\n");
+    }
+
+    #[test]
+    fn set_e_aborts() {
+        let r = sh("set -e; false; echo unreachable");
+        assert_eq!(r.status, 1);
+        assert!(r.stdout.is_empty());
+        // Conditions are exempt.
+        let r = sh("set -e; if false; then :; fi; echo ok");
+        assert_eq!(r.stdout, b"ok\n");
+        let r = sh("set -e; false || true; echo ok");
+        assert_eq!(r.stdout, b"ok\n");
+    }
+
+    #[test]
+    fn set_u_errors() {
+        let r = sh("set -u; echo $UNDEFINED_VAR");
+        assert_ne!(r.status, 0);
+    }
+
+    #[test]
+    fn cd_and_pwd() {
+        let fs = fs_with(&[("/proj/src/main.c", "x")]);
+        let r = run(fs, "cd /proj/src; pwd; echo $PWD").unwrap();
+        assert_eq!(r.stdout, b"/proj/src\n/proj/src\n");
+        let r = sh("cd /missing");
+        assert_eq!(r.status, 1);
+    }
+
+    #[test]
+    fn relative_paths_follow_cwd() {
+        let fs = fs_with(&[("/d/file", "content\n")]);
+        let r = run(fs, "cd /d; cat file").unwrap();
+        assert_eq!(r.stdout, b"content\n");
+    }
+
+    #[test]
+    fn export_and_env() {
+        assert_eq!(out("export X=1; echo $X"), "1\n");
+        assert_eq!(out("X=from-prefix echo ok"), "ok\n");
+        assert_eq!(out("X=1; X=2 :; echo $X"), "1\n");
+    }
+
+    #[test]
+    fn read_builtin() {
+        assert_eq!(
+            out("echo 'a b c' | { read x y; echo [$x][$y]; }"),
+            "[a][b c]\n"
+        );
+        let fs = fs_with(&[("/in", "l1\nl2\nl3\n")]);
+        let r = run(fs, "{ read a; read b; echo $b$a; } < /in").unwrap();
+        assert_eq!(r.stdout, b"l2l1\n");
+    }
+
+    #[test]
+    fn while_read_loop() {
+        let fs = fs_with(&[("/in", "x\ny\nz\n")]);
+        let r = run(fs, "while read l; do echo got:$l; done < /in").unwrap();
+        assert_eq!(r.stdout, b"got:x\ngot:y\ngot:z\n");
+    }
+
+    #[test]
+    fn test_and_brackets() {
+        assert_eq!(out("[ 1 -lt 2 ] && echo yes"), "yes\n");
+        assert_eq!(out("test abc = abc && echo eq"), "eq\n");
+        let fs = fs_with(&[("/f", "x")]);
+        let r = run(fs, "[ -f /f ] && echo file").unwrap();
+        assert_eq!(r.stdout, b"file\n");
+    }
+
+    #[test]
+    fn eval_builtin() {
+        assert_eq!(out("c='echo evaled'; eval $c"), "evaled\n");
+        assert_eq!(out("eval 'x=5'; echo $x"), "5\n");
+    }
+
+    #[test]
+    fn dot_sourcing() {
+        let fs = fs_with(&[("/lib.sh", "sourced_var=yes\nsourced_fn() { echo fn; }\n")]);
+        let r = run(fs, ". /lib.sh; echo $sourced_var; sourced_fn").unwrap();
+        assert_eq!(r.stdout, b"yes\nfn\n");
+    }
+
+    #[test]
+    fn xargs_builtin() {
+        assert_eq!(out("echo 'a b c' | xargs echo got"), "got a b c\n");
+        assert_eq!(out("printf '1 2 3 4' | xargs -n 2 echo p"), "p 1 2\np 3 4\n");
+    }
+
+    #[test]
+    fn globbing_in_commands() {
+        let fs = fs_with(&[("/d/a.txt", "1\n"), ("/d/b.txt", "2\n"), ("/d/c.md", "3\n")]);
+        let r = run(fs, "cd /d; cat *.txt").unwrap();
+        assert_eq!(r.stdout, b"1\n2\n");
+    }
+
+    #[test]
+    fn command_not_found_is_127() {
+        let r = sh("definitely-not-a-command");
+        assert_eq!(r.status, 127);
+    }
+
+    #[test]
+    fn background_runs_isolated() {
+        assert_eq!(out("x=1 & echo $?"), "0\n");
+    }
+
+    #[test]
+    fn tilde_in_command_line() {
+        assert_eq!(out("echo ~"), "/home/user\n");
+    }
+
+    #[test]
+    fn command_v_and_type() {
+        assert_eq!(out("command -v sort"), "sort\n");
+        let r = sh("command -v no-such-cmd");
+        assert_eq!(r.status, 1);
+        assert!(out("type cd").contains("builtin"));
+    }
+
+    #[test]
+    fn the_spell_script_runs_sequentially() {
+        let doc = "The quick BROWN fox\nJumps Over the LAZY dog\n";
+        let dict = "brown\ndog\nfox\njumps\nlazy\nover\nquick\nthe\n";
+        let fs = fs_with(&[("/a.txt", doc), ("/usr/dict", dict)]);
+        let script = r#"
+DICT=/usr/dict
+FILES="/a.txt"
+cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 $DICT -
+"#;
+        let r = run(fs, script).unwrap();
+        assert_eq!(r.status, 0);
+        assert_eq!(r.stdout, b"");
+    }
+
+    #[test]
+    fn the_temperature_pipeline_runs() {
+        let mut rec = String::new();
+        for t in [100, 450, 9990, 275] {
+            let mut line = "x".repeat(88);
+            line.push_str(&format!("{t:04}"));
+            line.push_str("trail\n");
+            rec.push_str(&line);
+        }
+        let fs = fs_with(&[("/noaa", &rec)]);
+        let r = run(
+            fs,
+            "cut -c 89-92 < /noaa | grep -v 999 | sort -rn | head -n1",
+        )
+        .unwrap();
+        assert_eq!(r.stdout, b"0450\n");
+    }
+
+    #[test]
+    fn nested_functions_and_recursion() {
+        assert_eq!(
+            out(
+                "fact() { if [ $1 -le 1 ]; then echo 1; else \
+                 prev=$(fact $(($1 - 1))); echo $(($1 * prev)); fi; }; fact 5"
+            ),
+            "120\n"
+        );
+    }
+
+    #[test]
+    fn unknown_pipeline_stage_is_error_status() {
+        let r = sh("echo x | definitely-not-here | cat");
+        // Last stage (cat) decides: it succeeds with empty input.
+        assert_eq!(r.status, 0);
+        assert!(String::from_utf8_lossy(&r.stderr).contains("not found"));
+    }
+
+    #[test]
+    fn dev_null_redirect() {
+        assert_eq!(out("echo noisy > /dev/null; echo quiet"), "quiet\n");
+    }
+}

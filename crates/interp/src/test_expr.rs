@@ -1,0 +1,239 @@
+//! The `test` / `[` expression language.
+
+use jash_expand::ShellState;
+
+/// Evaluates a `test` argument vector. Returns the exit status
+/// (0 = true, 1 = false, 2 = usage error).
+pub fn eval_test(state: &ShellState, args: &[String]) -> i32 {
+    let mut p = TestParser { state, args, pos: 0 };
+    match p.or_expr() {
+        Some(v) if p.pos == args.len() => {
+            if v {
+                0
+            } else {
+                1
+            }
+        }
+        _ => {
+            // POSIX special cases by argument count.
+            match args.len() {
+                0 => 1,
+                1 => {
+                    if args[0].is_empty() {
+                        1
+                    } else {
+                        0
+                    }
+                }
+                _ => 2,
+            }
+        }
+    }
+}
+
+struct TestParser<'a> {
+    state: &'a ShellState,
+    args: &'a [String],
+    pos: usize,
+}
+
+impl<'a> TestParser<'a> {
+    fn peek(&self) -> Option<&str> {
+        self.args.get(self.pos).map(|s| s.as_str())
+    }
+
+    fn bump(&mut self) -> Option<&'a str> {
+        let v = self.args.get(self.pos).map(|s| s.as_str());
+        if v.is_some() {
+            self.pos += 1;
+        }
+        v
+    }
+
+    fn or_expr(&mut self) -> Option<bool> {
+        let mut v = self.and_expr()?;
+        while self.peek() == Some("-o") {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            v = v || rhs;
+        }
+        Some(v)
+    }
+
+    fn and_expr(&mut self) -> Option<bool> {
+        let mut v = self.unary_expr()?;
+        while self.peek() == Some("-a") {
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            v = v && rhs;
+        }
+        Some(v)
+    }
+
+    fn unary_expr(&mut self) -> Option<bool> {
+        match self.peek() {
+            Some("!") => {
+                self.pos += 1;
+                Some(!self.unary_expr()?)
+            }
+            Some("(") => {
+                self.pos += 1;
+                let v = self.or_expr()?;
+                if self.bump() != Some(")") {
+                    return None;
+                }
+                Some(v)
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Option<bool> {
+        let first = self.bump()?;
+        // Unary operators.
+        if first.starts_with('-') && first.len() == 2 && self.peek().is_some() {
+            // Binary op could also start with '-': look ahead.
+            let is_unary = matches!(
+                first,
+                "-e" | "-f" | "-d" | "-s" | "-r" | "-w" | "-x" | "-z" | "-n" | "-t"
+            );
+            if is_unary {
+                let operand = self.bump()?;
+                return Some(self.unary_op(first, operand));
+            }
+        }
+        // Binary operators.
+        if let Some(op) = self.peek() {
+            let is_binary = matches!(
+                op,
+                "=" | "!=" | "-eq" | "-ne" | "-lt" | "-le" | "-gt" | "-ge"
+            );
+            if is_binary {
+                let op = self.bump()?;
+                let rhs = self.bump()?;
+                return self.binary_op(first, op, rhs);
+            }
+        }
+        // Bare string: true iff nonempty.
+        Some(!first.is_empty())
+    }
+
+    fn unary_op(&self, op: &str, operand: &str) -> bool {
+        let path = self.state.resolve_path(operand);
+        match op {
+            "-e" => self.state.fs.exists(&path),
+            "-f" => self
+                .state
+                .fs
+                .metadata(&path)
+                .map(|m| !m.is_dir)
+                .unwrap_or(false),
+            "-d" => self
+                .state
+                .fs
+                .metadata(&path)
+                .map(|m| m.is_dir)
+                .unwrap_or(false),
+            "-s" => self
+                .state
+                .fs
+                .metadata(&path)
+                .map(|m| m.size > 0)
+                .unwrap_or(false),
+            // Permission bits are not modeled; existence approximates.
+            "-r" | "-w" | "-x" => self.state.fs.exists(&path),
+            "-z" => operand.is_empty(),
+            "-n" => !operand.is_empty(),
+            "-t" => false,
+            _ => false,
+        }
+    }
+
+    fn binary_op(&self, lhs: &str, op: &str, rhs: &str) -> Option<bool> {
+        match op {
+            "=" => Some(lhs == rhs),
+            "!=" => Some(lhs != rhs),
+            _ => {
+                let a: i64 = lhs.trim().parse().ok()?;
+                let b: i64 = rhs.trim().parse().ok()?;
+                Some(match op {
+                    "-eq" => a == b,
+                    "-ne" => a != b,
+                    "-lt" => a < b,
+                    "-le" => a <= b,
+                    "-gt" => a > b,
+                    "-ge" => a >= b,
+                    _ => return None,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ShellState {
+        let fs = jash_io::MemFs::new();
+        fs.install("/file.txt", b"content".to_vec());
+        fs.install("/dir/inner", b"".to_vec());
+        fs.install("/empty", b"".to_vec());
+        ShellState::new(std::sync::Arc::new(fs))
+    }
+
+    fn t(args: &[&str]) -> i32 {
+        let s = state();
+        let v: Vec<String> = args.iter().map(|a| a.to_string()).collect();
+        eval_test(&s, &v)
+    }
+
+    #[test]
+    fn string_tests() {
+        assert_eq!(t(&["-z", ""]), 0);
+        assert_eq!(t(&["-z", "x"]), 1);
+        assert_eq!(t(&["-n", "x"]), 0);
+        assert_eq!(t(&["abc", "=", "abc"]), 0);
+        assert_eq!(t(&["abc", "!=", "abc"]), 1);
+    }
+
+    #[test]
+    fn numeric_tests() {
+        assert_eq!(t(&["3", "-lt", "5"]), 0);
+        assert_eq!(t(&["5", "-le", "5"]), 0);
+        assert_eq!(t(&["5", "-gt", "5"]), 1);
+        assert_eq!(t(&["-1", "-ne", "1"]), 0);
+    }
+
+    #[test]
+    fn file_tests() {
+        assert_eq!(t(&["-e", "/file.txt"]), 0);
+        assert_eq!(t(&["-f", "/file.txt"]), 0);
+        assert_eq!(t(&["-d", "/file.txt"]), 1);
+        assert_eq!(t(&["-d", "/dir"]), 0);
+        assert_eq!(t(&["-s", "/file.txt"]), 0);
+        assert_eq!(t(&["-s", "/empty"]), 1);
+        assert_eq!(t(&["-e", "/missing"]), 1);
+    }
+
+    #[test]
+    fn connectives_and_negation() {
+        assert_eq!(t(&["!", "-e", "/missing"]), 0);
+        assert_eq!(t(&["x", "-a", "y"]), 0);
+        assert_eq!(t(&["x", "-a", ""]), 1);
+        assert_eq!(t(&["", "-o", "y"]), 0);
+        assert_eq!(t(&["(", "x", ")"]), 0);
+    }
+
+    #[test]
+    fn bare_and_empty() {
+        assert_eq!(t(&[]), 1);
+        assert_eq!(t(&[""]), 1);
+        assert_eq!(t(&["nonempty"]), 0);
+    }
+
+    #[test]
+    fn bad_usage_is_2() {
+        assert_eq!(t(&["1", "-eq", "not-a-number"]), 2);
+    }
+}

@@ -1,0 +1,185 @@
+//! Simulated multi-core CPU model.
+//!
+//! Companion to [`crate::disk`]: where the disk model makes one device's
+//! contention visible, the CPU model makes *N cores'* parallelism visible
+//! — even when the host has fewer physical cores than the machine being
+//! modeled (the paper's c5.2xlarge has 8 vCPUs; CI containers often have
+//! one).
+//!
+//! Each virtual core is a completion horizon. A charge picks the earliest
+//! free core, advances it by the modeled duration, and sleeps until that
+//! completion. Concurrent streams (parallel clones, pipeline stages) land
+//! on different cores and overlap; more streams than cores queue — so
+//! measured wall time scales the way the modeled machine would, as long
+//! as the modeled durations dominate the host's real compute time (pick
+//! `time_scale` accordingly).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Modeled per-command processing rates, bytes/second on one modeled core.
+///
+/// Relative magnitudes are what matter (`sort` ≪ `cat`); see the cost
+/// model in `jash-cost`, which uses the same table for its estimates —
+/// keeping the planner's beliefs and the simulation consistent.
+pub fn cpu_rate(command: &str) -> f64 {
+    const MB: f64 = 1024.0 * 1024.0;
+    match command {
+        "cat" | "tee" => 2000.0 * MB,
+        "wc" => 800.0 * MB,
+        "cut" => 400.0 * MB,
+        "tr" => 300.0 * MB,
+        "grep" => 120.0 * MB,
+        "uniq" => 500.0 * MB,
+        "comm" | "join" => 300.0 * MB,
+        "sort" => 60.0 * MB,
+        "sed" => 80.0 * MB,
+        "rev" | "fold" | "nl" | "paste" => 250.0 * MB,
+        "head" | "tail" => 1500.0 * MB,
+        _ => 100.0 * MB,
+    }
+}
+
+/// An N-core virtual CPU.
+pub struct CpuModel {
+    cores: Mutex<Vec<Duration>>,
+    epoch: Instant,
+    time_scale: f64,
+    busy_ns: std::sync::atomic::AtomicU64,
+}
+
+impl CpuModel {
+    /// A model with `cores` virtual cores; all modeled durations are
+    /// multiplied by `time_scale`.
+    pub fn new(cores: usize, time_scale: f64) -> Arc<Self> {
+        Arc::new(CpuModel {
+            cores: Mutex::new(vec![Duration::ZERO; cores.max(1)]),
+            epoch: Instant::now(),
+            time_scale,
+            busy_ns: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Charges `seconds` of modeled single-core work and blocks until the
+    /// modeled completion instant.
+    pub fn charge(&self, seconds: f64) {
+        if seconds <= 0.0 {
+            return;
+        }
+        self.busy_ns.fetch_add(
+            (seconds * 1e9) as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
+        let service = Duration::from_secs_f64(seconds * self.time_scale);
+        let wait = {
+            let mut cores = self.cores.lock();
+            let now = self.epoch.elapsed();
+            // Earliest-free core takes the work.
+            let (idx, _) = cores
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, h)| **h)
+                .expect("at least one core");
+            let start = cores[idx].max(now);
+            cores[idx] = start + service;
+            cores[idx].saturating_sub(now)
+        };
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// Total modeled busy seconds across all cores (unscaled).
+    pub fn busy_seconds(&self) -> f64 {
+        self.busy_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Number of modeled cores.
+    pub fn cores(&self) -> usize {
+        self.cores.lock().len()
+    }
+}
+
+/// Wraps a stream so consuming it charges modeled CPU time.
+pub struct CpuMeteredStream<S> {
+    inner: S,
+    model: Arc<CpuModel>,
+    seconds_per_byte: f64,
+}
+
+impl<S> CpuMeteredStream<S> {
+    /// Meters `inner` at `rate` bytes/second.
+    pub fn new(inner: S, model: Arc<CpuModel>, rate: f64) -> Self {
+        CpuMeteredStream {
+            inner,
+            model,
+            seconds_per_byte: 1.0 / rate.max(1.0),
+        }
+    }
+}
+
+impl<S: crate::ByteStream> crate::ByteStream for CpuMeteredStream<S> {
+    fn next_chunk(&mut self) -> std::io::Result<Option<bytes::Bytes>> {
+        let chunk = self.inner.next_chunk()?;
+        if let Some(c) = &chunk {
+            self.model.charge(c.len() as f64 * self.seconds_per_byte);
+        }
+        Ok(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{read_all, MemStream};
+
+    #[test]
+    fn rates_relative_order() {
+        assert!(cpu_rate("cat") > cpu_rate("grep"));
+        assert!(cpu_rate("grep") > cpu_rate("sort"));
+    }
+
+    #[test]
+    fn parallel_charges_overlap_across_cores() {
+        // 4 threads × 20ms of modeled work on 4 cores ≈ 20ms; on 1 core
+        // ≈ 80ms.
+        let elapsed = |cores: usize| {
+            let m = CpuModel::new(cores, 1.0);
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let m = Arc::clone(&m);
+                    s.spawn(move || m.charge(0.02));
+                }
+            });
+            t0.elapsed()
+        };
+        let wide = elapsed(4);
+        let narrow = elapsed(1);
+        assert!(
+            narrow.as_secs_f64() > wide.as_secs_f64() * 2.0,
+            "narrow {narrow:?} vs wide {wide:?}"
+        );
+    }
+
+    #[test]
+    fn metered_stream_charges_per_byte() {
+        let m = CpuModel::new(1, 1.0);
+        let inner = MemStream::from_bytes(vec![0u8; 1024 * 1024]);
+        // 1 MiB at 32 MiB/s ≈ 31ms.
+        let mut s = CpuMeteredStream::new(inner, Arc::clone(&m), 32.0 * 1024.0 * 1024.0);
+        let t0 = Instant::now();
+        let data = read_all(&mut s).unwrap();
+        assert_eq!(data.len(), 1024 * 1024);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+        assert!(m.busy_seconds() > 0.02);
+    }
+
+    #[test]
+    fn zero_charge_is_free() {
+        let m = CpuModel::new(2, 1.0);
+        m.charge(0.0);
+        assert_eq!(m.busy_seconds(), 0.0);
+    }
+}

@@ -1,0 +1,329 @@
+//! Simulated block-device performance model.
+//!
+//! This module substitutes for the EC2 EBS volumes in the paper's Figure 1.
+//! A [`DiskModel`] is shared by every file handle on a [`crate::MemFs`];
+//! each read/write *charges* the model, which computes when the request
+//! would complete on the modeled device and sleeps until then. Because the
+//! completion horizon is shared, N concurrent streams each see roughly
+//! 1/N-th of the device — precisely the contention that makes
+//! resource-oblivious parallelization (PaSh on the "Standard" instance)
+//! regress behind sequential bash.
+//!
+//! The model captures the two gp2-vs-gp3 axes the paper names:
+//! * **throughput** (`read_mbps` / `write_mbps`), and
+//! * **IOPS** with a **burst bucket** (gp2: 100 IOPS baseline bursting to
+//!   3000 until the bucket drains; gp3: a flat 15000).
+//!
+//! A `time_scale` shrinks all sleeps proportionally so benchmarks finish in
+//! seconds while preserving every ratio.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Bytes covered by one modeled IO request.
+pub const IO_REQUEST_BYTES: u64 = 256 * 1024;
+
+/// Static description of a block device.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiskProfile {
+    /// Sequential read throughput, MiB/s.
+    pub read_mbps: f64,
+    /// Sequential write throughput, MiB/s.
+    pub write_mbps: f64,
+    /// Sustained IOPS once burst credit is exhausted.
+    pub base_iops: f64,
+    /// Burst IOPS while credit remains.
+    pub burst_iops: f64,
+    /// Number of requests servable at burst rate before falling back to
+    /// `base_iops` (the gp2 IO-credit bucket).
+    pub burst_credit_ios: f64,
+    /// Multiplier applied to all modeled durations (`0.1` = 10x faster than
+    /// real time). Ratios between engines are unaffected.
+    pub time_scale: f64,
+}
+
+impl DiskProfile {
+    /// The paper's *Standard* instance disk: gp2, 100 IOPS bursting to 3 K.
+    ///
+    /// Throughput numbers follow the gp2 spec for a small volume (128 MiB/s
+    /// ceiling, IOPS-bound in practice).
+    pub fn gp2_standard() -> Self {
+        DiskProfile {
+            read_mbps: 128.0,
+            write_mbps: 128.0,
+            base_iops: 100.0,
+            burst_iops: 3000.0,
+            burst_credit_ios: 5_400.0,
+            time_scale: 1.0,
+        }
+    }
+
+    /// The paper's *IO-opt* instance disk: gp3 with 15 K IOPS.
+    pub fn gp3_io_opt() -> Self {
+        DiskProfile {
+            read_mbps: 350.0,
+            write_mbps: 350.0,
+            base_iops: 15_000.0,
+            burst_iops: 15_000.0,
+            burst_credit_ios: 0.0,
+            time_scale: 1.0,
+        }
+    }
+
+    /// An effectively unconstrained device (RAM-backed).
+    pub fn ramdisk() -> Self {
+        DiskProfile {
+            read_mbps: 20_000.0,
+            write_mbps: 20_000.0,
+            base_iops: 10_000_000.0,
+            burst_iops: 10_000_000.0,
+            burst_credit_ios: 0.0,
+            time_scale: 1.0,
+        }
+    }
+
+    /// Returns the profile with all modeled durations multiplied by
+    /// `scale`.
+    pub fn scaled(mut self, scale: f64) -> Self {
+        self.time_scale = scale;
+        self
+    }
+}
+
+/// Aggregate counters, readable at any time.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    /// Total bytes read.
+    pub bytes_read: u64,
+    /// Total bytes written.
+    pub bytes_written: u64,
+    /// Total modeled IO requests.
+    pub requests: u64,
+    /// Total modeled busy time, nanoseconds (unscaled).
+    pub busy_ns: u64,
+}
+
+struct BucketState {
+    /// Completion horizon: the modeled time at which the device becomes
+    /// free again, expressed as an offset from `epoch`.
+    next_free: Duration,
+    /// Remaining burst credit, in IO requests.
+    burst_remaining: f64,
+}
+
+/// A shared, contention-aware device model.
+pub struct DiskModel {
+    profile: DiskProfile,
+    epoch: Instant,
+    state: Mutex<BucketState>,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+    requests: AtomicU64,
+    busy_ns: AtomicU64,
+}
+
+impl DiskModel {
+    /// Creates a model for `profile`.
+    pub fn new(profile: DiskProfile) -> Self {
+        DiskModel {
+            epoch: Instant::now(),
+            state: Mutex::new(BucketState {
+                next_free: Duration::ZERO,
+                burst_remaining: profile.burst_credit_ios,
+            }),
+            profile,
+            bytes_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// The profile this model was built from.
+    pub fn profile(&self) -> DiskProfile {
+        self.profile
+    }
+
+    /// Charges a read of `bytes` and blocks until the modeled completion.
+    pub fn charge_read(&self, bytes: u64) {
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.charge(bytes, self.profile.read_mbps);
+    }
+
+    /// Charges a write of `bytes` and blocks until the modeled completion.
+    pub fn charge_write(&self, bytes: u64) {
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.charge(bytes, self.profile.write_mbps);
+    }
+
+    fn charge(&self, bytes: u64, mbps: f64) {
+        // Fractional request accounting: the model targets streaming IO,
+        // where small writes coalesce in the page cache — charging a full
+        // request per tiny write would bill a line-oriented writer
+        // thousands of IOPS it would never issue.
+        let ios = bytes as f64 / IO_REQUEST_BYTES as f64;
+        self.requests
+            .fetch_add(bytes.div_ceil(IO_REQUEST_BYTES).max(1), Ordering::Relaxed);
+
+        let throughput_s = bytes as f64 / (mbps * 1024.0 * 1024.0);
+        let wait = {
+            let mut st = self.state.lock();
+            let burst_ios = st.burst_remaining.min(ios);
+            st.burst_remaining -= burst_ios;
+            let base_ios = ios - burst_ios;
+            let iops_s = burst_ios / self.profile.burst_iops + base_ios / self.profile.base_iops;
+            // The device pipelines transfers and seeks; the slower of the
+            // two gates completion.
+            let service_s = throughput_s.max(iops_s);
+            let service = Duration::from_secs_f64(service_s * self.profile.time_scale);
+            self.busy_ns
+                .fetch_add((service_s * 1e9) as u64, Ordering::Relaxed);
+            let now = self.epoch.elapsed();
+            // Requests queue behind the shared completion horizon.
+            let start = st.next_free.max(now);
+            st.next_free = start + service;
+            st.next_free.saturating_sub(now)
+        };
+        if !wait.is_zero() {
+            std::thread::sleep(wait);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> DiskStats {
+        DiskStats {
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            busy_ns: self.busy_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets the completion horizon and burst credit (not the counters).
+    ///
+    /// Benchmarks call this between runs so one engine's queue does not
+    /// penalize the next.
+    pub fn reset(&self) {
+        let mut st = self.state.lock();
+        st.next_free = self.epoch.elapsed();
+        st.burst_remaining = self.profile.burst_credit_ios;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn fast(profile: DiskProfile) -> DiskProfile {
+        // Keep test sleeps in the low milliseconds.
+        profile.scaled(1e-4)
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let m = DiskModel::new(fast(DiskProfile::gp3_io_opt()));
+        m.charge_read(1024);
+        m.charge_write(2048);
+        let s = m.stats();
+        assert_eq!(s.bytes_read, 1024);
+        assert_eq!(s.bytes_written, 2048);
+        assert!(s.requests >= 2);
+    }
+
+    #[test]
+    fn slow_disk_takes_longer_than_fast_disk() {
+        let slow = DiskModel::new(DiskProfile::gp2_standard().scaled(1e-2));
+        let fast_disk = DiskModel::new(DiskProfile::gp3_io_opt().scaled(1e-2));
+        let mb = 64 * 1024 * 1024;
+
+        // Exhaust gp2 burst credit first so the baseline rate applies.
+        let burst = DiskProfile::gp2_standard().burst_credit_ios as u64 * IO_REQUEST_BYTES;
+        slow.charge_read(burst);
+
+        let t0 = Instant::now();
+        slow.charge_read(mb);
+        let slow_t = t0.elapsed();
+        let t0 = Instant::now();
+        fast_disk.charge_read(mb);
+        let fast_t = t0.elapsed();
+        assert!(
+            slow_t > fast_t * 3,
+            "expected gp2 post-burst to be much slower: {slow_t:?} vs {fast_t:?}"
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_contend() {
+        // Two threads each reading X should take about twice as long as
+        // one thread reading X, because the horizon is shared.
+        let profile = DiskProfile {
+            read_mbps: 100.0,
+            write_mbps: 100.0,
+            base_iops: 1e9,
+            burst_iops: 1e9,
+            burst_credit_ios: 0.0,
+            time_scale: 1e-2,
+        };
+        let chunk = 10 * 1024 * 1024;
+
+        let solo = DiskModel::new(profile);
+        let t0 = Instant::now();
+        solo.charge_read(chunk);
+        let solo_t = t0.elapsed();
+
+        let shared = Arc::new(DiskModel::new(profile));
+        let t0 = Instant::now();
+        let hs: Vec<_> = (0..2)
+            .map(|_| {
+                let m = Arc::clone(&shared);
+                std::thread::spawn(move || m.charge_read(chunk))
+            })
+            .collect();
+        for h in hs {
+            h.join().unwrap();
+        }
+        let dual_t = t0.elapsed();
+        assert!(
+            dual_t.as_secs_f64() > solo_t.as_secs_f64() * 1.5,
+            "contention missing: solo {solo_t:?}, dual {dual_t:?}"
+        );
+    }
+
+    #[test]
+    fn burst_credit_drains() {
+        let profile = DiskProfile {
+            read_mbps: 1e9,
+            write_mbps: 1e9,
+            base_iops: 100.0,
+            burst_iops: 100_000.0,
+            burst_credit_ios: 4.0,
+            time_scale: 1.0,
+        };
+        let m = DiskModel::new(profile);
+        // First 4 requests ride the burst rate.
+        let t0 = Instant::now();
+        m.charge_read(4 * IO_REQUEST_BYTES);
+        let burst_t = t0.elapsed();
+        // Next 4 fall back to base_iops (1000x slower per IO).
+        let t0 = Instant::now();
+        m.charge_read(4 * IO_REQUEST_BYTES);
+        let base_t = t0.elapsed();
+        assert!(
+            base_t.as_secs_f64() > burst_t.as_secs_f64() * 10.0,
+            "burst {burst_t:?} vs base {base_t:?}"
+        );
+    }
+
+    #[test]
+    fn reset_clears_queue() {
+        let m = DiskModel::new(DiskProfile::gp2_standard().scaled(1e-3));
+        m.charge_read(64 * IO_REQUEST_BYTES);
+        m.reset();
+        let t0 = Instant::now();
+        m.charge_read(1024);
+        // After reset a tiny read must not wait behind the old horizon.
+        assert!(t0.elapsed() < Duration::from_millis(250));
+    }
+}

@@ -1,0 +1,527 @@
+//! Virtual filesystem abstraction.
+//!
+//! All shell-visible file IO goes through [`Fs`], so the same script can
+//! run against the host filesystem ([`RealFs`]) or a hermetic in-memory
+//! tree ([`MemFs`]) whose transfers are charged to a [`DiskModel`]. Paths
+//! are absolute, `/`-separated strings; [`normalize`] resolves `.`, `..`,
+//! and duplicate separators.
+
+use crate::disk::DiskModel;
+use crate::stream::{ByteStream, DEFAULT_CHUNK};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::io;
+use std::sync::Arc;
+
+/// Metadata for a filesystem entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileMeta {
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// Whether the entry is a directory.
+    pub is_dir: bool,
+}
+
+/// A readable file handle.
+pub trait ReadHandle: Send {
+    /// Reads up to `max` bytes; `None` at end of file.
+    fn read_chunk(&mut self, max: usize) -> io::Result<Option<Bytes>>;
+}
+
+/// A writable file handle. Contents become visible as they are written.
+pub trait WriteHandle: Send {
+    /// Appends `data` to the file.
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()>;
+}
+
+/// The filesystem interface used by the interpreter, the coreutils, and
+/// the dataflow executor.
+pub trait Fs: Send + Sync {
+    /// Opens a file for reading.
+    fn open_read(&self, path: &str) -> io::Result<Box<dyn ReadHandle>>;
+    /// Opens a file for writing, truncating unless `append`.
+    fn open_write(&self, path: &str, append: bool) -> io::Result<Box<dyn WriteHandle>>;
+    /// Stats a path.
+    fn metadata(&self, path: &str) -> io::Result<FileMeta>;
+    /// Lists directory entry names (not full paths), sorted.
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>>;
+    /// Removes a file.
+    fn remove(&self, path: &str) -> io::Result<()>;
+    /// Whether the path exists.
+    fn exists(&self, path: &str) -> bool {
+        self.metadata(path).is_ok()
+    }
+    /// The disk model charging this filesystem's transfers, if any.
+    fn disk(&self) -> Option<Arc<DiskModel>> {
+        None
+    }
+}
+
+/// Resolves `.`/`..`/`//` in an absolute or `cwd`-relative path.
+pub fn normalize(cwd: &str, path: &str) -> String {
+    let joined = if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("{}/{}", cwd.trim_end_matches('/'), path)
+    };
+    let mut parts: Vec<&str> = Vec::new();
+    for seg in joined.split('/') {
+        match seg {
+            "" | "." => {}
+            ".." => {
+                parts.pop();
+            }
+            s => parts.push(s),
+        }
+    }
+    let mut out = String::from("/");
+    out.push_str(&parts.join("/"));
+    out
+}
+
+/// Convenience: reads a whole file.
+pub fn read_to_vec(fs: &dyn Fs, path: &str) -> io::Result<Vec<u8>> {
+    let mut h = fs.open_read(path)?;
+    let mut out = Vec::new();
+    while let Some(chunk) = h.read_chunk(DEFAULT_CHUNK)? {
+        out.extend_from_slice(&chunk);
+    }
+    Ok(out)
+}
+
+/// Convenience: reads a whole file as UTF-8 (lossy).
+pub fn read_to_string(fs: &dyn Fs, path: &str) -> io::Result<String> {
+    Ok(String::from_utf8_lossy(&read_to_vec(fs, path)?).into_owned())
+}
+
+/// Convenience: writes a whole file.
+pub fn write_file(fs: &dyn Fs, path: &str, data: &[u8]) -> io::Result<()> {
+    let mut h = fs.open_write(path, false)?;
+    h.write_all(data)
+}
+
+/// A [`ByteStream`] over a [`ReadHandle`].
+pub struct FileStream {
+    handle: Box<dyn ReadHandle>,
+    chunk: usize,
+}
+
+impl FileStream {
+    /// Opens `path` on `fs` as a stream.
+    pub fn open(fs: &dyn Fs, path: &str) -> io::Result<Self> {
+        Ok(FileStream {
+            handle: fs.open_read(path)?,
+            chunk: DEFAULT_CHUNK,
+        })
+    }
+}
+
+impl ByteStream for FileStream {
+    fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
+        self.handle.read_chunk(self.chunk)
+    }
+}
+
+/// A [`crate::Sink`] over a [`WriteHandle`].
+pub struct FileSink {
+    handle: Box<dyn WriteHandle>,
+}
+
+impl FileSink {
+    /// Opens `path` for writing on `fs`.
+    pub fn create(fs: &dyn Fs, path: &str, append: bool) -> io::Result<Self> {
+        Ok(FileSink {
+            handle: fs.open_write(path, append)?,
+        })
+    }
+}
+
+impl crate::Sink for FileSink {
+    fn write_chunk(&mut self, chunk: Bytes) -> io::Result<()> {
+        self.handle.write_all(&chunk)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// MemFs
+// ---------------------------------------------------------------------
+
+type FileCell = Arc<RwLock<Vec<u8>>>;
+
+/// An in-memory filesystem, optionally throttled by a [`DiskModel`].
+///
+/// Directories are implicit: any path prefix of an existing file "exists"
+/// as a directory.
+pub struct MemFs {
+    files: RwLock<HashMap<String, FileCell>>,
+    disk: Option<Arc<DiskModel>>,
+}
+
+impl Default for MemFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemFs {
+    /// An unthrottled in-memory filesystem.
+    pub fn new() -> Self {
+        MemFs {
+            files: RwLock::new(HashMap::new()),
+            disk: None,
+        }
+    }
+
+    /// A filesystem whose IO is charged to `model`.
+    pub fn with_disk(model: DiskModel) -> Self {
+        MemFs {
+            files: RwLock::new(HashMap::new()),
+            disk: Some(Arc::new(model)),
+        }
+    }
+
+    /// Installs `data` at `path` without charging the disk model.
+    ///
+    /// Used by workload generators to stage inputs for free.
+    pub fn install(&self, path: &str, data: impl Into<Vec<u8>>) {
+        let path = normalize("/", path);
+        self.files
+            .write()
+            .insert(path, Arc::new(RwLock::new(data.into())));
+    }
+
+    fn lookup(&self, path: &str) -> Option<FileCell> {
+        self.files.read().get(path).cloned()
+    }
+}
+
+impl Fs for MemFs {
+    fn open_read(&self, path: &str) -> io::Result<Box<dyn ReadHandle>> {
+        let path = normalize("/", path);
+        let cell = self.lookup(&path).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("{path}: no such file"))
+        })?;
+        Ok(Box::new(MemReadHandle {
+            cell,
+            pos: 0,
+            disk: self.disk.clone(),
+        }))
+    }
+
+    fn open_write(&self, path: &str, append: bool) -> io::Result<Box<dyn WriteHandle>> {
+        let path = normalize("/", path);
+        let mut files = self.files.write();
+        let cell = files
+            .entry(path)
+            .or_insert_with(|| Arc::new(RwLock::new(Vec::new())))
+            .clone();
+        if !append {
+            cell.write().clear();
+        }
+        Ok(Box::new(MemWriteHandle {
+            cell,
+            disk: self.disk.clone(),
+        }))
+    }
+
+    fn metadata(&self, path: &str) -> io::Result<FileMeta> {
+        let path = normalize("/", path);
+        if let Some(cell) = self.lookup(&path) {
+            return Ok(FileMeta {
+                size: cell.read().len() as u64,
+                is_dir: false,
+            });
+        }
+        // Implicit directory: some file lives beneath this prefix.
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        if path == "/" || self.files.read().keys().any(|k| k.starts_with(&prefix)) {
+            return Ok(FileMeta {
+                size: 0,
+                is_dir: true,
+            });
+        }
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{path}: no such file or directory"),
+        ))
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        let path = normalize("/", path);
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let mut names: Vec<String> = self
+            .files
+            .read()
+            .keys()
+            .filter_map(|k| k.strip_prefix(&prefix))
+            .map(|rest| match rest.find('/') {
+                Some(i) => rest[..i].to_string(),
+                None => rest.to_string(),
+            })
+            .collect();
+        names.sort();
+        names.dedup();
+        if names.is_empty() && !self.exists(&path) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{path}: no such directory"),
+            ));
+        }
+        Ok(names)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        let path = normalize("/", path);
+        self.files.write().remove(&path).map(|_| ()).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("{path}: no such file"))
+        })
+    }
+
+    fn disk(&self) -> Option<Arc<DiskModel>> {
+        self.disk.clone()
+    }
+}
+
+struct MemReadHandle {
+    cell: FileCell,
+    pos: usize,
+    disk: Option<Arc<DiskModel>>,
+}
+
+impl ReadHandle for MemReadHandle {
+    fn read_chunk(&mut self, max: usize) -> io::Result<Option<Bytes>> {
+        let data = self.cell.read();
+        if self.pos >= data.len() {
+            return Ok(None);
+        }
+        let end = (self.pos + max).min(data.len());
+        let chunk = Bytes::copy_from_slice(&data[self.pos..end]);
+        drop(data);
+        self.pos = end;
+        if let Some(disk) = &self.disk {
+            disk.charge_read(chunk.len() as u64);
+        }
+        Ok(Some(chunk))
+    }
+}
+
+struct MemWriteHandle {
+    cell: FileCell,
+    disk: Option<Arc<DiskModel>>,
+}
+
+impl WriteHandle for MemWriteHandle {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.cell.write().extend_from_slice(data);
+        if let Some(disk) = &self.disk {
+            disk.charge_write(data.len() as u64);
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// RealFs
+// ---------------------------------------------------------------------
+
+/// A passthrough to the host filesystem, rooted at a base directory.
+///
+/// Virtual path `/a/b` maps to `<root>/a/b`. Used by the examples so the
+/// library is usable on real data; benchmarks use [`MemFs`].
+pub struct RealFs {
+    root: std::path::PathBuf,
+}
+
+impl RealFs {
+    /// Creates a view rooted at `root`.
+    pub fn new(root: impl Into<std::path::PathBuf>) -> Self {
+        RealFs { root: root.into() }
+    }
+
+    fn host_path(&self, path: &str) -> std::path::PathBuf {
+        let norm = normalize("/", path);
+        self.root.join(norm.trim_start_matches('/'))
+    }
+}
+
+impl Fs for RealFs {
+    fn open_read(&self, path: &str) -> io::Result<Box<dyn ReadHandle>> {
+        let f = std::fs::File::open(self.host_path(path))?;
+        Ok(Box::new(RealReadHandle { file: f }))
+    }
+
+    fn open_write(&self, path: &str, append: bool) -> io::Result<Box<dyn WriteHandle>> {
+        let p = self.host_path(path);
+        if let Some(parent) = p.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .append(append)
+            .truncate(!append)
+            .open(p)?;
+        Ok(Box::new(RealWriteHandle { file: f }))
+    }
+
+    fn metadata(&self, path: &str) -> io::Result<FileMeta> {
+        let m = std::fs::metadata(self.host_path(path))?;
+        Ok(FileMeta {
+            size: m.len(),
+            is_dir: m.is_dir(),
+        })
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(self.host_path(path))? {
+            names.push(entry?.file_name().to_string_lossy().into_owned());
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        std::fs::remove_file(self.host_path(path))
+    }
+}
+
+struct RealReadHandle {
+    file: std::fs::File,
+}
+
+impl ReadHandle for RealReadHandle {
+    fn read_chunk(&mut self, max: usize) -> io::Result<Option<Bytes>> {
+        use std::io::Read;
+        let mut buf = vec![0u8; max];
+        let n = self.file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        buf.truncate(n);
+        Ok(Some(Bytes::from(buf)))
+    }
+}
+
+struct RealWriteHandle {
+    file: std::fs::File,
+}
+
+impl WriteHandle for RealWriteHandle {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        self.file.write_all(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_paths() {
+        assert_eq!(normalize("/", "a/b"), "/a/b");
+        assert_eq!(normalize("/x", "a"), "/x/a");
+        assert_eq!(normalize("/x", "/a"), "/a");
+        assert_eq!(normalize("/x/y", ".."), "/x");
+        assert_eq!(normalize("/", "a//b/./c/../d"), "/a/b/d");
+        assert_eq!(normalize("/", "../.."), "/");
+    }
+
+    #[test]
+    fn memfs_write_then_read() {
+        let fs = MemFs::new();
+        write_file(&fs, "/f.txt", b"hello").unwrap();
+        assert_eq!(read_to_vec(&fs, "/f.txt").unwrap(), b"hello");
+        assert_eq!(fs.metadata("/f.txt").unwrap().size, 5);
+    }
+
+    #[test]
+    fn memfs_append() {
+        let fs = MemFs::new();
+        write_file(&fs, "/f", b"ab").unwrap();
+        let mut h = fs.open_write("/f", true).unwrap();
+        h.write_all(b"cd").unwrap();
+        assert_eq!(read_to_vec(&fs, "/f").unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn memfs_truncate_on_rewrite() {
+        let fs = MemFs::new();
+        write_file(&fs, "/f", b"long content").unwrap();
+        write_file(&fs, "/f", b"x").unwrap();
+        assert_eq!(read_to_vec(&fs, "/f").unwrap(), b"x");
+    }
+
+    #[test]
+    fn memfs_missing_file_errors() {
+        let fs = MemFs::new();
+        assert!(fs.open_read("/nope").is_err());
+        assert!(fs.metadata("/nope").is_err());
+        assert!(fs.remove("/nope").is_err());
+    }
+
+    #[test]
+    fn memfs_implicit_directories() {
+        let fs = MemFs::new();
+        fs.install("/dir/a.txt", b"1".to_vec());
+        fs.install("/dir/sub/b.txt", b"2".to_vec());
+        let meta = fs.metadata("/dir").unwrap();
+        assert!(meta.is_dir);
+        assert_eq!(fs.list_dir("/dir").unwrap(), vec!["a.txt", "sub"]);
+    }
+
+    #[test]
+    fn memfs_remove() {
+        let fs = MemFs::new();
+        fs.install("/f", b"x".to_vec());
+        fs.remove("/f").unwrap();
+        assert!(!fs.exists("/f"));
+    }
+
+    #[test]
+    fn file_stream_reads_in_chunks() {
+        let fs = MemFs::new();
+        let payload: Vec<u8> = (0..300_000u32).map(|i| (i % 251) as u8).collect();
+        fs.install("/big", payload.clone());
+        let mut s = FileStream::open(&fs, "/big").unwrap();
+        let got = crate::stream::read_all(&mut s).unwrap();
+        assert_eq!(got, payload);
+    }
+
+    #[test]
+    fn memfs_reads_are_charged() {
+        let fs = MemFs::with_disk(DiskModel::new(
+            crate::DiskProfile::ramdisk().scaled(0.0),
+        ));
+        fs.install("/f", vec![0u8; 1000]);
+        let _ = read_to_vec(&fs, "/f").unwrap();
+        let stats = fs.disk().unwrap().stats();
+        assert_eq!(stats.bytes_read, 1000);
+    }
+
+    #[test]
+    fn realfs_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("jash-io-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fs = RealFs::new(&dir);
+        write_file(&fs, "/sub/file.txt", b"real").unwrap();
+        assert_eq!(read_to_vec(&fs, "/sub/file.txt").unwrap(), b"real");
+        assert!(fs.list_dir("/sub").unwrap().contains(&"file.txt".to_string()));
+        fs.remove("/sub/file.txt").unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

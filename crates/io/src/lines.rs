@@ -1,0 +1,170 @@
+//! Newline framing over chunked byte streams.
+//!
+//! Coreutils operators are line-oriented but streams are chunk-oriented;
+//! [`LineBuffer`] converts between the two incrementally, without ever
+//! buffering more than one partial line.
+
+use crate::stream::ByteStream;
+use bytes::{Bytes, BytesMut};
+use std::io;
+
+/// Incremental newline framer.
+///
+/// Push chunks with [`LineBuffer::push`], pop complete lines (including the
+/// trailing `\n`) with [`LineBuffer::next_line`], and flush any final
+/// unterminated line with [`LineBuffer::take_rest`].
+#[derive(Default)]
+pub struct LineBuffer {
+    buf: BytesMut,
+    scan_from: usize,
+}
+
+impl LineBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        LineBuffer::default()
+    }
+
+    /// Appends a chunk.
+    pub fn push(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Pops the next complete line (including `\n`), if one is buffered.
+    pub fn next_line(&mut self) -> Option<Bytes> {
+        let idx = self.buf[self.scan_from..]
+            .iter()
+            .position(|&b| b == b'\n')?;
+        let line = self.buf.split_to(self.scan_from + idx + 1).freeze();
+        self.scan_from = 0;
+        Some(line)
+    }
+
+    /// Returns the final unterminated line, if any, consuming it.
+    pub fn take_rest(&mut self) -> Option<Bytes> {
+        self.scan_from = 0;
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.buf.split().freeze())
+        }
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Marks the current buffer as scanned (no newline found), so the next
+    /// [`LineBuffer::next_line`] only scans newly pushed bytes.
+    pub fn mark_scanned(&mut self) {
+        self.scan_from = self.buf.len();
+    }
+}
+
+/// Splits a byte slice into lines (without trailing `\n`).
+pub fn split_lines(data: &[u8]) -> Vec<&[u8]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            out.push(&data[start..i]);
+            start = i + 1;
+        }
+    }
+    if start < data.len() {
+        out.push(&data[start..]);
+    }
+    out
+}
+
+/// Calls `f` for every line of `stream` (lines include the trailing `\n`
+/// except possibly the last). Stops early if `f` returns `Ok(false)`.
+pub fn for_each_line(
+    stream: &mut dyn ByteStream,
+    mut f: impl FnMut(&[u8]) -> io::Result<bool>,
+) -> io::Result<()> {
+    let mut lb = LineBuffer::new();
+    while let Some(chunk) = stream.next_chunk()? {
+        lb.push(&chunk);
+        while let Some(line) = lb.next_line() {
+            if !f(&line)? {
+                return Ok(());
+            }
+        }
+        lb.mark_scanned();
+    }
+    if let Some(rest) = lb.take_rest() {
+        f(&rest)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::MemStream;
+
+    #[test]
+    fn frames_lines_across_chunks() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"hel");
+        assert!(lb.next_line().is_none());
+        lb.push(b"lo\nwor");
+        assert_eq!(lb.next_line().unwrap(), Bytes::from_static(b"hello\n"));
+        assert!(lb.next_line().is_none());
+        lb.push(b"ld");
+        assert_eq!(lb.take_rest().unwrap(), Bytes::from_static(b"world"));
+    }
+
+    #[test]
+    fn split_lines_handles_edges() {
+        assert_eq!(split_lines(b""), Vec::<&[u8]>::new());
+        assert_eq!(split_lines(b"a"), vec![b"a" as &[u8]]);
+        assert_eq!(split_lines(b"a\n"), vec![b"a" as &[u8]]);
+        assert_eq!(split_lines(b"a\nb"), vec![b"a" as &[u8], b"b"]);
+        assert_eq!(split_lines(b"\n\n"), vec![b"" as &[u8], b""]);
+    }
+
+    #[test]
+    fn for_each_line_iterates_all() {
+        let mut s = MemStream::from_chunks(vec![
+            Bytes::from_static(b"one\ntw"),
+            Bytes::from_static(b"o\nthree"),
+        ]);
+        let mut lines = Vec::new();
+        for_each_line(&mut s, |l| {
+            lines.push(String::from_utf8_lossy(l).into_owned());
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(lines, vec!["one\n", "two\n", "three"]);
+    }
+
+    #[test]
+    fn for_each_line_early_stop() {
+        let mut s = MemStream::from_bytes("1\n2\n3\n");
+        let mut n = 0;
+        for_each_line(&mut s, |_| {
+            n += 1;
+            Ok(n < 2)
+        })
+        .unwrap();
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn mark_scanned_avoids_rescans_correctly() {
+        let mut lb = LineBuffer::new();
+        lb.push(b"abc");
+        assert!(lb.next_line().is_none());
+        lb.mark_scanned();
+        lb.push(b"\n");
+        assert_eq!(lb.next_line().unwrap(), Bytes::from_static(b"abc\n"));
+    }
+}

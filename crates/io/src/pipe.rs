@@ -1,0 +1,128 @@
+//! Bounded in-process pipes.
+//!
+//! The executor connects dataflow nodes with these: a bounded channel of
+//! [`Bytes`] chunks gives the same backpressure behavior as a Unix pipe's
+//! fixed-size kernel buffer — a fast producer blocks until the consumer
+//! catches up, which is what makes shell pipelines memory-safe on inputs
+//! far larger than RAM (the paper's G2).
+
+use crate::stream::{ByteStream, Sink};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use std::io;
+
+/// Default number of in-flight chunks per pipe.
+pub const DEFAULT_PIPE_DEPTH: usize = 16;
+
+/// Creates a connected (writer, reader) pair with `depth` chunk slots.
+pub fn pipe(depth: usize) -> (PipeWriter, PipeReader) {
+    let (tx, rx) = bounded(depth.max(1));
+    (
+        PipeWriter { tx: Some(tx) },
+        PipeReader { rx },
+    )
+}
+
+/// The write end of a pipe. Dropping it (or calling `finish`) closes the
+/// stream for the reader.
+pub struct PipeWriter {
+    tx: Option<Sender<Bytes>>,
+}
+
+impl Sink for PipeWriter {
+    fn write_chunk(&mut self, chunk: Bytes) -> io::Result<()> {
+        if chunk.is_empty() {
+            return Ok(());
+        }
+        match &self.tx {
+            Some(tx) => tx.send(chunk).map_err(|_| {
+                io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader disconnected")
+            }),
+            None => Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "pipe already finished",
+            )),
+        }
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.tx = None;
+        Ok(())
+    }
+}
+
+/// The read end of a pipe.
+pub struct PipeReader {
+    rx: Receiver<Bytes>,
+}
+
+impl ByteStream for PipeReader {
+    fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
+        match self.rx.recv() {
+            Ok(chunk) => Ok(Some(chunk)),
+            Err(_) => Ok(None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::read_all;
+
+    #[test]
+    fn pipe_transfers_in_order() {
+        let (mut w, mut r) = pipe(4);
+        let h = std::thread::spawn(move || {
+            for i in 0..10u8 {
+                w.write_chunk(Bytes::from(vec![i])).unwrap();
+            }
+            w.finish().unwrap();
+        });
+        let got = read_all(&mut r).unwrap();
+        h.join().unwrap();
+        assert_eq!(got, (0..10u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn reader_sees_eof_after_finish() {
+        let (mut w, mut r) = pipe(2);
+        w.write_chunk(Bytes::from_static(b"x")).unwrap();
+        w.finish().unwrap();
+        assert_eq!(r.next_chunk().unwrap().unwrap(), Bytes::from_static(b"x"));
+        assert!(r.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn dropped_reader_breaks_pipe() {
+        let (mut w, r) = pipe(1);
+        drop(r);
+        assert!(w.write_chunk(Bytes::from_static(b"x")).is_err());
+    }
+
+    #[test]
+    fn empty_chunks_are_skipped() {
+        let (mut w, mut r) = pipe(1);
+        w.write_chunk(Bytes::new()).unwrap();
+        w.finish().unwrap();
+        assert!(r.next_chunk().unwrap().is_none());
+    }
+
+    #[test]
+    fn bounded_pipe_applies_backpressure() {
+        let (mut w, mut r) = pipe(1);
+        w.write_chunk(Bytes::from_static(b"1")).unwrap();
+        // The second write must block until the reader drains one chunk.
+        let h = std::thread::spawn(move || {
+            let t0 = std::time::Instant::now();
+            w.write_chunk(Bytes::from_static(b"2")).unwrap();
+            w.finish().unwrap();
+            t0.elapsed()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let _ = r.next_chunk().unwrap();
+        let blocked = h.join().unwrap();
+        assert!(blocked >= std::time::Duration::from_millis(30));
+        let _ = read_all(&mut r).unwrap();
+    }
+}

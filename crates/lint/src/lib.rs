@@ -1,0 +1,22 @@
+//! Heuristic support: ShellCheck-style static analyses and a runtime
+//! misuse guard (paper §4, *Heuristic support*: "identifying errors and
+//! command misuse in a shell script" and "a sound JIT analysis that
+//! detects command misuse at runtime (but still before it occurs)").
+//!
+//! Static rules walk the AST; the runtime guard inspects a fully expanded
+//! argv right before execution — the place where the JIT architecture
+//! makes "before it occurs" possible, because expansion has resolved the
+//! dangerous values.
+//!
+//! # Examples
+//!
+//! ```
+//! let findings = jash_lint::lint_script("rm -rf $PREFIX/").unwrap();
+//! assert!(findings.iter().any(|f| f.rule == "rm-unchecked-expansion"));
+//! ```
+
+pub mod rules;
+pub mod runtime_guard;
+
+pub use rules::{lint_program, lint_script, Finding, Severity};
+pub use runtime_guard::{guard_argv, GuardVerdict};

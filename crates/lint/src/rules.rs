@@ -1,0 +1,355 @@
+//! Static lint rules over the AST.
+
+use jash_ast::span::LineMap;
+use jash_ast::{visit, Command, CommandKind, Program, Span, Word, WordPart};
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Style or modernization hint.
+    Info,
+    /// Probably a latent bug.
+    Warning,
+    /// Very likely destructive or wrong.
+    Error,
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Finding {
+    /// Renders with line/column against the original source.
+    pub fn display(&self, source: &str) -> String {
+        let (line, col) = LineMap::new(source).position(self.span.start.min(source.len()));
+        format!(
+            "{}:{}: [{}] {:?}: {}",
+            line, col, self.rule, self.severity, self.message
+        )
+    }
+}
+
+/// Parses and lints a script.
+pub fn lint_script(src: &str) -> Result<Vec<Finding>, jash_parser::ParseError> {
+    let prog = jash_parser::parse(src)?;
+    let mut findings = lint_program(&prog);
+    // Source-level rules the AST cannot see (backquotes normalize away).
+    findings.extend(backtick_style(src));
+    findings.sort_by_key(|f| f.span.start);
+    Ok(findings)
+}
+
+/// Lints a parsed program.
+pub fn lint_program(prog: &Program) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    visit::walk_commands(prog, &mut |cmd| {
+        lint_command(cmd, &mut findings);
+    });
+    lint_top_level(prog, &mut findings);
+    findings
+}
+
+fn lint_command(cmd: &Command, findings: &mut Vec<Finding>) {
+    let CommandKind::Simple(sc) = &cmd.kind else {
+        if let CommandKind::For(f) = &cmd.kind {
+            lint_for_clause(cmd, f, findings);
+        }
+        return;
+    };
+    let Some(name) = sc.words.first().and_then(Word::as_literal) else {
+        return;
+    };
+
+    match name {
+        "rm" => lint_rm(cmd, sc, findings),
+        "read" => {
+            if !sc.words.iter().any(|w| w.as_literal() == Some("-r")) {
+                findings.push(Finding {
+                    rule: "read-without-r",
+                    severity: Severity::Info,
+                    message: "read without -r mangles backslashes".to_string(),
+                    span: cmd.span,
+                });
+            }
+        }
+        "test" | "[" => {
+            for w in &sc.words[1..] {
+                if bare_unquoted_param(w) {
+                    findings.push(Finding {
+                        rule: "unquoted-test-operand",
+                        severity: Severity::Warning,
+                        message: format!(
+                            "unquoted `{}` in test: an empty value breaks the expression",
+                            jash_ast::unparse_word(w)
+                        ),
+                        span: cmd.span,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Unquoted expansions in argument position split and glob.
+    for w in sc.words.iter().skip(1) {
+        if bare_unquoted_param(w) && !matches!(name, "test" | "[" | "echo" | "printf" | "export")
+        {
+            findings.push(Finding {
+                rule: "unquoted-expansion",
+                severity: Severity::Info,
+                message: format!(
+                    "`{}` is subject to word splitting and globbing; quote it unless splitting is intended",
+                    jash_ast::unparse_word(w)
+                ),
+                span: cmd.span,
+            });
+        }
+    }
+}
+
+fn lint_rm(cmd: &Command, sc: &jash_ast::SimpleCommand, findings: &mut Vec<Finding>) {
+    let recursive = sc.words.iter().any(|w| {
+        w.as_literal()
+            .map(|l| l.starts_with('-') && (l.contains('r') || l.contains('R')))
+            .unwrap_or(false)
+    });
+    for w in sc.words.iter().skip(1) {
+        if w.as_literal().map(|l| l.starts_with('-')).unwrap_or(false) {
+            continue;
+        }
+        // `rm -rf /$VAR` or `rm -rf $VAR/...`: an unset VAR turns this
+        // into `rm -rf /` — the paper's "single typo could erase entire
+        // hard drives".
+        let has_plain_param = w.parts.iter().any(|p| {
+            matches!(
+                p,
+                WordPart::Param(pe) if matches!(pe.op, jash_ast::ParamOp::Plain)
+            )
+        });
+        if recursive && has_plain_param {
+            findings.push(Finding {
+                rule: "rm-unchecked-expansion",
+                severity: Severity::Error,
+                message: format!(
+                    "`rm -r {}`: if the variable is unset or empty this can delete far more than intended; use ${{var:?}} or quote and validate",
+                    jash_ast::unparse_word(w)
+                ),
+                span: cmd.span,
+            });
+        }
+        if w.as_literal() == Some("/") && recursive {
+            findings.push(Finding {
+                rule: "rm-root",
+                severity: Severity::Error,
+                message: "`rm -r /` deletes the entire filesystem".to_string(),
+                span: cmd.span,
+            });
+        }
+    }
+}
+
+fn lint_for_clause(cmd: &Command, f: &jash_ast::ForClause, findings: &mut Vec<Finding>) {
+    let Some(words) = &f.words else { return };
+    for w in words {
+        let ls_subst = w.parts.iter().any(|p| match p {
+            WordPart::CmdSubst(prog) => {
+                let mut found = false;
+                visit::walk_commands(prog, &mut |c| {
+                    if let CommandKind::Simple(sc) = &c.kind {
+                        if sc.words.first().and_then(Word::as_literal) == Some("ls") {
+                            found = true;
+                        }
+                    }
+                });
+                found
+            }
+            _ => false,
+        });
+        if ls_subst {
+            findings.push(Finding {
+                rule: "for-over-ls",
+                severity: Severity::Warning,
+                message: "iterating $(ls ...) breaks on whitespace in names; iterate a glob instead"
+                    .to_string(),
+                span: cmd.span,
+            });
+        }
+    }
+}
+
+fn lint_top_level(prog: &Program, findings: &mut Vec<Finding>) {
+    for item in &prog.items {
+        let pl = &item.and_or.first;
+        // Useless cat: `cat onefile | cmd` (and the item has more stages).
+        if pl.commands.len() >= 2 {
+            if let CommandKind::Simple(sc) = &pl.commands[0].kind {
+                if sc.words.first().and_then(Word::as_literal) == Some("cat")
+                    && sc.words.len() == 2
+                    && pl.commands[0].redirects.is_empty()
+                    && sc.words[1].as_literal().map(|l| l != "-").unwrap_or(false)
+                {
+                    findings.push(Finding {
+                        rule: "useless-cat",
+                        severity: Severity::Info,
+                        message: "cat of a single file piped onward; `cmd < file` avoids a copy"
+                            .to_string(),
+                        span: pl.commands[0].span,
+                    });
+                }
+            }
+        }
+        // Unchecked cd: a lone `cd` whose failure the script ignores.
+        if item.and_or.rest.is_empty() && pl.commands.len() == 1 {
+            if let CommandKind::Simple(sc) = &pl.commands[0].kind {
+                if sc.words.first().and_then(Word::as_literal) == Some("cd") {
+                    findings.push(Finding {
+                        rule: "unchecked-cd",
+                        severity: Severity::Warning,
+                        message:
+                            "cd can fail; `cd ... || exit` (or set -e) prevents running in the wrong directory"
+                                .to_string(),
+                        span: pl.commands[0].span,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A word that is a bare `$x` / `${x}` with no quoting.
+fn bare_unquoted_param(w: &Word) -> bool {
+    w.parts.iter().any(|p| {
+        matches!(p, WordPart::Param(pe) if matches!(pe.op, jash_ast::ParamOp::Plain))
+    }) && !w
+        .parts
+        .iter()
+        .any(|p| matches!(p, WordPart::DoubleQuoted(_) | WordPart::SingleQuoted(_)))
+}
+
+fn backtick_style(src: &str) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let mut in_single = false;
+    let mut escaped = false;
+    for (i, c) in src.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' => escaped = true,
+            '\'' => in_single = !in_single,
+            '`' if !in_single => {
+                findings.push(Finding {
+                    rule: "backtick-substitution",
+                    severity: Severity::Info,
+                    message: "prefer $(...) over backticks: it nests and reads better".to_string(),
+                    span: Span::new(i, i + 1),
+                });
+                // Skip to the closing backtick.
+                return findings;
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(src: &str) -> Vec<&'static str> {
+        lint_script(src).unwrap().iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn clean_scripts_are_clean() {
+        assert!(rules("sort < /in > /out").is_empty());
+        assert!(rules("grep -v 999 /data | head -n1").is_empty());
+    }
+
+    #[test]
+    fn rm_with_unchecked_expansion() {
+        let f = lint_script("rm -rf $PREFIX/build").unwrap();
+        assert_eq!(f[0].rule, "rm-unchecked-expansion");
+        assert_eq!(f[0].severity, Severity::Error);
+        // Guarded spellings do not fire.
+        assert!(!rules("rm -rf ${PREFIX:?}/build").contains(&"rm-unchecked-expansion"));
+        assert!(!rules("rm -rf /tmp/fixed").contains(&"rm-unchecked-expansion"));
+    }
+
+    #[test]
+    fn rm_root_detected() {
+        assert!(rules("rm -rf /").contains(&"rm-root"));
+        assert!(!rules("rm /tmp/file").contains(&"rm-root"));
+    }
+
+    #[test]
+    fn useless_cat() {
+        assert!(rules("cat /file | wc -l").contains(&"useless-cat"));
+        assert!(!rules("cat /a /b | wc -l").contains(&"useless-cat"));
+        assert!(!rules("cat /file").contains(&"useless-cat"));
+    }
+
+    #[test]
+    fn unchecked_cd() {
+        assert!(rules("cd /somewhere").contains(&"unchecked-cd"));
+        assert!(!rules("cd /somewhere || exit 1").contains(&"unchecked-cd"));
+        assert!(!rules("cd /somewhere && make").contains(&"unchecked-cd"));
+    }
+
+    #[test]
+    fn read_without_r() {
+        assert!(rules("read line").contains(&"read-without-r"));
+        assert!(!rules("read -r line").contains(&"read-without-r"));
+    }
+
+    #[test]
+    fn unquoted_test_operand() {
+        assert!(rules("[ $x = y ]").contains(&"unquoted-test-operand"));
+        assert!(!rules("[ \"$x\" = y ]").contains(&"unquoted-test-operand"));
+    }
+
+    #[test]
+    fn for_over_ls() {
+        assert!(rules("for f in $(ls /d); do echo $f; done").contains(&"for-over-ls"));
+        assert!(!rules("for f in /d/*; do echo \"$f\"; done").contains(&"for-over-ls"));
+    }
+
+    #[test]
+    fn backticks_flagged() {
+        assert!(rules("x=`date`").contains(&"backtick-substitution"));
+        assert!(!rules("x=$(date)").contains(&"backtick-substitution"));
+        assert!(!rules("echo 'not a `tick`'").contains(&"backtick-substitution"));
+    }
+
+    #[test]
+    fn unquoted_expansion_info() {
+        assert!(rules("wc -l $files").contains(&"unquoted-expansion"));
+        assert!(!rules("wc -l \"$files\"").contains(&"unquoted-expansion"));
+        // echo is exempt (splitting is almost always intended there).
+        assert!(!rules("echo $files").contains(&"unquoted-expansion"));
+    }
+
+    #[test]
+    fn findings_render_with_position() {
+        let src = "true\nrm -rf $X";
+        let f = lint_script(src).unwrap();
+        let text = f[0].display(src);
+        assert!(text.starts_with("2:"), "{text}");
+    }
+
+    #[test]
+    fn rules_reach_nested_commands() {
+        assert!(rules("if true; then rm -rf $X; fi").contains(&"rm-unchecked-expansion"));
+    }
+}

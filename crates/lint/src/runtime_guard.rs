@@ -1,0 +1,146 @@
+//! The JIT-time misuse guard.
+//!
+//! Static rules see `rm -rf $PREFIX/` and can only warn. The JIT sees the
+//! *expanded* argv — `rm -rf /` — right before execution, where a sound
+//! verdict is possible ("detects command misuse at runtime (but still
+//! before it occurs)", paper §4).
+
+/// The guard's verdict on an expanded argv.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuardVerdict {
+    /// Nothing suspicious.
+    Allow,
+    /// Suspicious but plausible; run only if the user opted in.
+    Confirm(String),
+    /// Refuse to run.
+    Deny(String),
+}
+
+/// Critical paths no recursive delete should ever target.
+const PROTECTED: &[&str] = &["/", "/bin", "/etc", "/home", "/usr", "/var", "/dev"];
+
+/// Inspects a fully expanded argv (resolved against `cwd`).
+pub fn guard_argv(argv: &[String], cwd: &str) -> GuardVerdict {
+    let Some(name) = argv.first() else {
+        return GuardVerdict::Allow;
+    };
+    match name.as_str() {
+        "rm" => guard_rm(&argv[1..], cwd),
+        "mv" | "cp" => {
+            // Overwriting a protected path wholesale.
+            if let Some(dst) = argv.last() {
+                let dst = jash_io::fs::normalize(cwd, dst);
+                if PROTECTED.contains(&dst.as_str()) && argv.len() > 2 {
+                    return GuardVerdict::Confirm(format!(
+                        "{name} writes into protected path {dst}"
+                    ));
+                }
+            }
+            GuardVerdict::Allow
+        }
+        _ => GuardVerdict::Allow,
+    }
+}
+
+fn guard_rm(args: &[String], cwd: &str) -> GuardVerdict {
+    let recursive = args
+        .iter()
+        .take_while(|a| a.starts_with('-'))
+        .any(|a| a.contains('r') || a.contains('R'));
+    let force = args
+        .iter()
+        .take_while(|a| a.starts_with('-'))
+        .any(|a| a.contains('f'));
+    for a in args.iter().filter(|a| !a.starts_with('-')) {
+        if a.is_empty() {
+            return GuardVerdict::Deny(
+                "rm with an empty operand (an unset variable expanded to nothing?)".to_string(),
+            );
+        }
+        let path = jash_io::fs::normalize(cwd, a);
+        if recursive && PROTECTED.contains(&path.as_str()) {
+            return GuardVerdict::Deny(format!("recursive rm of protected path {path}"));
+        }
+        if recursive && force && path == jash_io::fs::normalize(cwd, "..") {
+            return GuardVerdict::Confirm(format!("rm -rf of the parent directory {path}"));
+        }
+    }
+    // `rm -rf` with zero path operands usually means every operand
+    // expanded away.
+    if recursive && force && args.iter().all(|a| a.starts_with('-')) {
+        return GuardVerdict::Confirm("rm -rf with no path operands".to_string());
+    }
+    GuardVerdict::Allow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn ordinary_commands_allowed() {
+        assert_eq!(guard_argv(&argv(&["sort", "/data"]), "/"), GuardVerdict::Allow);
+        assert_eq!(guard_argv(&argv(&["rm", "/tmp/scratch"]), "/"), GuardVerdict::Allow);
+        assert_eq!(guard_argv(&[], "/"), GuardVerdict::Allow);
+    }
+
+    #[test]
+    fn rm_rf_root_denied() {
+        // The scenario the static rule can only guess at: `rm -rf $X/`
+        // where X expanded empty.
+        assert!(matches!(
+            guard_argv(&argv(&["rm", "-rf", "/"]), "/"),
+            GuardVerdict::Deny(_)
+        ));
+        assert!(matches!(
+            guard_argv(&argv(&["rm", "-r", "/usr"]), "/"),
+            GuardVerdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn empty_operand_denied() {
+        assert!(matches!(
+            guard_argv(&argv(&["rm", "-rf", ""]), "/"),
+            GuardVerdict::Deny(_)
+        ));
+    }
+
+    #[test]
+    fn relative_paths_resolved_against_cwd() {
+        // In /usr, `rm -rf .` is a protected-path delete.
+        assert!(matches!(
+            guard_argv(&argv(&["rm", "-r", "."]), "/usr"),
+            GuardVerdict::Deny(_)
+        ));
+        // In /home/user/project it is fine.
+        assert_eq!(
+            guard_argv(&argv(&["rm", "-r", "."]), "/home/user/project"),
+            GuardVerdict::Allow
+        );
+    }
+
+    #[test]
+    fn no_operand_rm_rf_needs_confirmation() {
+        assert!(matches!(
+            guard_argv(&argv(&["rm", "-rf"]), "/"),
+            GuardVerdict::Confirm(_)
+        ));
+    }
+
+    #[test]
+    fn cp_into_protected_path_flagged() {
+        assert!(matches!(
+            guard_argv(&argv(&["cp", "x", "/etc"]), "/"),
+            GuardVerdict::Confirm(_)
+        ));
+        assert_eq!(
+            guard_argv(&argv(&["cp", "x", "/etc/app.conf"]), "/"),
+            GuardVerdict::Allow
+        );
+    }
+}

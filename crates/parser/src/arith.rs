@@ -1,0 +1,394 @@
+//! Parser for `$((...))` arithmetic expressions.
+//!
+//! Implements the POSIX-required subset of C expression syntax over `i64`:
+//! decimal/octal/hex literals, variables, unary `+ - ! ~`, the full binary
+//! operator ladder, the ternary conditional, and (compound) assignment.
+//! Precedence follows C; parsing is Pratt-style precedence climbing.
+
+use crate::error::{ParseError, Result};
+use jash_ast::arith::{ArithBinOp, ArithExpr, ArithUnaryOp};
+
+/// Parses the text between `$((` and `))` into an expression tree.
+///
+/// `base_offset` is the byte offset of `text` within the enclosing script,
+/// used to report error positions in script coordinates.
+pub fn parse_arith(text: &str, base_offset: usize) -> Result<ArithExpr> {
+    let mut p = ArithParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        base: base_offset,
+    };
+    let e = p.ternary()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters in arithmetic expression"));
+    }
+    Ok(e)
+}
+
+struct ArithParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    base: usize,
+}
+
+impl<'a> ArithParser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError::new(msg, self.base + self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos + 1).copied()
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(s.as_bytes()) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Lowest level: assignment and ternary (right-associative).
+    fn ternary(&mut self) -> Result<ArithExpr> {
+        // Try assignment first: `name [op]= expr` where the `=` is not `==`.
+        if let Some(save) = self.try_assignment_start() {
+            let (name, op) = save;
+            let rhs = self.ternary()?;
+            return Ok(ArithExpr::Assign(name, op, Box::new(rhs)));
+        }
+        let cond = self.binary(1)?;
+        if self.eat("?") {
+            let then = self.ternary()?;
+            if !self.eat(":") {
+                return Err(self.err("expected `:` in ternary expression"));
+            }
+            let els = self.ternary()?;
+            return Ok(ArithExpr::Ternary(
+                Box::new(cond),
+                Box::new(then),
+                Box::new(els),
+            ));
+        }
+        Ok(cond)
+    }
+
+    /// If the input starts with `name [op]=` (not `==`), consumes it and
+    /// returns the name and compound operator; otherwise leaves the cursor
+    /// untouched and returns `None`.
+    fn try_assignment_start(&mut self) -> Option<(String, Option<ArithBinOp>)> {
+        let start = self.pos;
+        self.skip_ws();
+        let name_start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == name_start
+            || self.bytes[name_start].is_ascii_digit()
+        {
+            self.pos = start;
+            return None;
+        }
+        let name = std::str::from_utf8(&self.bytes[name_start..self.pos])
+            .unwrap_or_default()
+            .to_string();
+        self.skip_ws();
+        let ops: &[(&str, Option<ArithBinOp>)] = &[
+            ("<<=", Some(ArithBinOp::Shl)),
+            (">>=", Some(ArithBinOp::Shr)),
+            ("+=", Some(ArithBinOp::Add)),
+            ("-=", Some(ArithBinOp::Sub)),
+            ("*=", Some(ArithBinOp::Mul)),
+            ("/=", Some(ArithBinOp::Div)),
+            ("%=", Some(ArithBinOp::Rem)),
+            ("&=", Some(ArithBinOp::BitAnd)),
+            ("^=", Some(ArithBinOp::BitXor)),
+            ("|=", Some(ArithBinOp::BitOr)),
+        ];
+        for (sym, op) in ops {
+            if self.bytes[self.pos..].starts_with(sym.as_bytes()) {
+                self.pos += sym.len();
+                return Some((name, *op));
+            }
+        }
+        if self.bytes.get(self.pos) == Some(&b'=') && self.peek2() != Some(b'=') {
+            self.pos += 1;
+            return Some((name, None));
+        }
+        self.pos = start;
+        None
+    }
+
+    /// Precedence climbing over the binary-operator ladder.
+    fn binary(&mut self, min_prec: u8) -> Result<ArithExpr> {
+        let mut lhs = self.unary()?;
+        loop {
+            self.skip_ws();
+            let Some((op, len)) = self.peek_binop() else {
+                return Ok(lhs);
+            };
+            let prec = op.precedence();
+            if prec < min_prec {
+                return Ok(lhs);
+            }
+            self.pos += len;
+            let rhs = self.binary(prec + 1)?;
+            lhs = ArithExpr::bin(op, lhs, rhs);
+        }
+    }
+
+    fn peek_binop(&self) -> Option<(ArithBinOp, usize)> {
+        let rest = &self.bytes[self.pos..];
+        let table: &[(&str, ArithBinOp)] = &[
+            ("<<", ArithBinOp::Shl),
+            (">>", ArithBinOp::Shr),
+            ("<=", ArithBinOp::Le),
+            (">=", ArithBinOp::Ge),
+            ("==", ArithBinOp::Eq),
+            ("!=", ArithBinOp::Ne),
+            ("&&", ArithBinOp::LogAnd),
+            ("||", ArithBinOp::LogOr),
+            ("+", ArithBinOp::Add),
+            ("-", ArithBinOp::Sub),
+            ("*", ArithBinOp::Mul),
+            ("/", ArithBinOp::Div),
+            ("%", ArithBinOp::Rem),
+            ("<", ArithBinOp::Lt),
+            (">", ArithBinOp::Gt),
+            ("&", ArithBinOp::BitAnd),
+            ("^", ArithBinOp::BitXor),
+            ("|", ArithBinOp::BitOr),
+        ];
+        for (sym, op) in table {
+            if rest.starts_with(sym.as_bytes()) {
+                // Reject `=`-suffixed forms: they are assignments.
+                if rest.get(sym.len()) == Some(&b'=')
+                    && matches!(
+                        op,
+                        ArithBinOp::Add
+                            | ArithBinOp::Sub
+                            | ArithBinOp::Mul
+                            | ArithBinOp::Div
+                            | ArithBinOp::Rem
+                            | ArithBinOp::BitAnd
+                            | ArithBinOp::BitXor
+                            | ArithBinOp::BitOr
+                            | ArithBinOp::Shl
+                            | ArithBinOp::Shr
+                    )
+                {
+                    return None;
+                }
+                return Some((*op, sym.len()));
+            }
+        }
+        None
+    }
+
+    fn unary(&mut self) -> Result<ArithExpr> {
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(ArithExpr::Unary(
+                    ArithUnaryOp::Neg,
+                    Box::new(self.unary()?),
+                ))
+            }
+            Some(b'+') => {
+                self.pos += 1;
+                Ok(ArithExpr::Unary(
+                    ArithUnaryOp::Pos,
+                    Box::new(self.unary()?),
+                ))
+            }
+            Some(b'!') => {
+                self.pos += 1;
+                Ok(ArithExpr::Unary(
+                    ArithUnaryOp::LogNot,
+                    Box::new(self.unary()?),
+                ))
+            }
+            Some(b'~') => {
+                self.pos += 1;
+                Ok(ArithExpr::Unary(
+                    ArithUnaryOp::BitNot,
+                    Box::new(self.unary()?),
+                ))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<ArithExpr> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.ternary()?;
+                if !self.eat(")") {
+                    return Err(self.err("expected `)` in arithmetic expression"));
+                }
+                Ok(e)
+            }
+            Some(b) if b.is_ascii_digit() => self.number(),
+            Some(b) if b.is_ascii_alphabetic() || b == b'_' => {
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .unwrap_or_default()
+                    .to_string();
+                Ok(ArithExpr::Var(name))
+            }
+            // `$x` inside arithmetic: accept and treat as a variable, which
+            // matches the common-shell behavior of expanding then parsing.
+            Some(b'$') => {
+                self.pos += 1;
+                let braced = self.bytes.get(self.pos) == Some(&b'{');
+                if braced {
+                    self.pos += 1;
+                }
+                let start = self.pos;
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+                {
+                    self.pos += 1;
+                }
+                if self.pos == start {
+                    return Err(self.err("expected variable name after `$`"));
+                }
+                let name = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .unwrap_or_default()
+                    .to_string();
+                if braced && !self.eat("}") {
+                    return Err(self.err("expected `}`"));
+                }
+                Ok(ArithExpr::Var(name))
+            }
+            _ => Err(self.err("expected arithmetic operand")),
+        }
+    }
+
+    fn number(&mut self) -> Result<ArithExpr> {
+        let start = self.pos;
+        let rest = &self.bytes[self.pos..];
+        let (radix, skip) = if rest.starts_with(b"0x") || rest.starts_with(b"0X") {
+            (16, 2)
+        } else if rest.len() > 1 && rest[0] == b'0' && rest[1].is_ascii_digit() {
+            (8, 1)
+        } else {
+            (10, 0)
+        };
+        self.pos += skip;
+        let digits_start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_alphanumeric())
+        {
+            self.pos += 1;
+        }
+        let digits = std::str::from_utf8(&self.bytes[digits_start..self.pos]).unwrap_or_default();
+        match i64::from_str_radix(digits, radix) {
+            Ok(n) => Ok(ArithExpr::Num(n)),
+            Err(_) => {
+                self.pos = start;
+                Err(self.err("invalid numeric literal"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_ast::unparse::unparse_arith;
+
+    fn parse(s: &str) -> ArithExpr {
+        parse_arith(s, 0).unwrap_or_else(|e| panic!("parse `{s}`: {e}"))
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        assert_eq!(unparse_arith(&parse("1+2*3")), "1 + 2 * 3");
+        assert_eq!(unparse_arith(&parse("(1+2)*3")), "(1 + 2) * 3");
+    }
+
+    #[test]
+    fn comparison_and_logic() {
+        assert_eq!(unparse_arith(&parse("a<b&&c>=d")), "a < b && c >= d");
+    }
+
+    #[test]
+    fn ternary_nests_right() {
+        assert_eq!(unparse_arith(&parse("a?b:c?d:e")), "a ? b : c ? d : e");
+    }
+
+    #[test]
+    fn assignment_and_compound() {
+        assert_eq!(unparse_arith(&parse("x=1+2")), "x = 1 + 2");
+        assert_eq!(unparse_arith(&parse("x+=5")), "x += 5");
+        assert_eq!(unparse_arith(&parse("x<<=2")), "x <<= 2");
+    }
+
+    #[test]
+    fn equality_is_not_assignment() {
+        assert_eq!(unparse_arith(&parse("x==1")), "x == 1");
+    }
+
+    #[test]
+    fn radix_literals() {
+        assert_eq!(parse("0x10"), ArithExpr::Num(16));
+        assert_eq!(parse("010"), ArithExpr::Num(8));
+        assert_eq!(parse("10"), ArithExpr::Num(10));
+    }
+
+    #[test]
+    fn unary_chain() {
+        assert_eq!(unparse_arith(&parse("!~-x")), "!~-x");
+        assert_eq!(unparse_arith(&parse("- - 3")), "-(-3)");
+    }
+
+    #[test]
+    fn dollar_variables_accepted() {
+        assert_eq!(unparse_arith(&parse("$x + ${y}")), "x + y");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse_arith("1 + 2 )", 0).is_err());
+        assert!(parse_arith("", 0).is_err());
+    }
+
+    #[test]
+    fn shifts_vs_comparisons() {
+        assert_eq!(unparse_arith(&parse("1<<2<3")), "1 << 2 < 3");
+    }
+}

@@ -1,0 +1,60 @@
+//! Parse errors with source positions.
+
+use jash_ast::span::LineMap;
+use std::fmt;
+
+/// A syntax error produced by the lexer or parser.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset into the source where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates an error at `offset`.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+
+    /// Formats the error with 1-based line/column resolved against `source`.
+    pub fn display_with_source(&self, source: &str) -> String {
+        let (line, col) = LineMap::new(source).position(self.offset.min(source.len()));
+        format!("syntax error at line {line}, column {col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Result alias for parser APIs.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new("unexpected `)`", 7);
+        assert!(e.to_string().contains("byte 7"));
+        assert!(e.to_string().contains("unexpected `)`"));
+    }
+
+    #[test]
+    fn display_with_source_resolves_line() {
+        let src = "echo a\necho )";
+        let e = ParseError::new("unexpected `)`", 12);
+        let s = e.display_with_source(src);
+        assert!(s.contains("line 2"), "{s}");
+    }
+}

@@ -1,0 +1,680 @@
+//! Character-level lexing: operators, structured words, expansions,
+//! here-document bodies.
+//!
+//! The lexer lives on the same [`Parser`](crate::parser::Parser) struct as
+//! the grammar because shell lexing is not context-free: command
+//! substitutions re-enter the full parser, and here-document bodies are
+//! consumed when a newline token is produced.
+
+use crate::arith::parse_arith;
+use crate::error::{ParseError, Result};
+use crate::parser::{Parser, PendingHeredoc};
+use crate::token::{Tok, Token};
+use jash_ast::{ParamExp, ParamOp, Span, Word, WordPart};
+
+/// How a word scan terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordCtx {
+    /// Normal token context: metacharacters end the word.
+    Normal,
+    /// Inside `${name<op>...}`: only an unquoted `}` ends the word.
+    Param,
+    /// An unquoted here-document body: scan to end of input; quotes are
+    /// not special; backslash only escapes `$`, `` ` ``, `\` and newline.
+    Heredoc,
+}
+
+impl<'a> Parser<'a> {
+    pub(crate) fn peek_char(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    pub(crate) fn char_at(&self, i: usize) -> Option<u8> {
+        self.bytes().get(i).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek_char();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes()[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn err_here(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, self.pos)
+    }
+
+    /// Skips spaces, tabs, line continuations, and comments.
+    fn skip_blanks(&mut self) {
+        loop {
+            match self.peek_char() {
+                Some(b' ') | Some(b'\t') => {
+                    self.pos += 1;
+                }
+                Some(b'\\') if self.char_at(self.pos + 1) == Some(b'\n') => {
+                    self.pos += 2;
+                }
+                Some(b'#') => {
+                    while let Some(c) = self.peek_char() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Lexes the next token from the character stream.
+    pub(crate) fn lex_token(&mut self) -> Result<Token> {
+        self.skip_blanks();
+        let start = self.pos;
+        let tok = match self.peek_char() {
+            None => {
+                if !self.pending_heredocs.is_empty() {
+                    return Err(self.err_here("unterminated here-document"));
+                }
+                Tok::Eof
+            }
+            Some(b'\n') => {
+                self.pos += 1;
+                self.read_pending_heredocs()?;
+                Tok::Newline
+            }
+            Some(b'&') => {
+                self.pos += 1;
+                if self.peek_char() == Some(b'&') {
+                    self.pos += 1;
+                    Tok::AndIf
+                } else {
+                    Tok::Amp
+                }
+            }
+            Some(b'|') => {
+                self.pos += 1;
+                if self.peek_char() == Some(b'|') {
+                    self.pos += 1;
+                    Tok::OrIf
+                } else {
+                    Tok::Pipe
+                }
+            }
+            Some(b';') => {
+                self.pos += 1;
+                if self.peek_char() == Some(b';') {
+                    self.pos += 1;
+                    Tok::DSemi
+                } else {
+                    Tok::Semi
+                }
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                Tok::LParen
+            }
+            Some(b')') => {
+                self.pos += 1;
+                Tok::RParen
+            }
+            Some(b'<') => {
+                self.pos += 1;
+                if self.starts_with("<-") {
+                    self.pos += 2;
+                    Tok::DLessDash
+                } else if self.peek_char() == Some(b'<') {
+                    self.pos += 1;
+                    Tok::DLess
+                } else if self.peek_char() == Some(b'&') {
+                    self.pos += 1;
+                    Tok::LessAnd
+                } else if self.peek_char() == Some(b'>') {
+                    self.pos += 1;
+                    Tok::LessGreat
+                } else {
+                    Tok::Less
+                }
+            }
+            Some(b'>') => {
+                self.pos += 1;
+                if self.peek_char() == Some(b'>') {
+                    self.pos += 1;
+                    Tok::DGreat
+                } else if self.peek_char() == Some(b'&') {
+                    self.pos += 1;
+                    Tok::GreatAnd
+                } else if self.peek_char() == Some(b'|') {
+                    self.pos += 1;
+                    Tok::Clobber
+                } else {
+                    Tok::Great
+                }
+            }
+            Some(c) if c.is_ascii_digit() => {
+                // Look ahead: a pure digit run directly followed by `<`/`>`
+                // is an io-number; otherwise it is an ordinary word.
+                let mut i = self.pos;
+                while self.char_at(i).is_some_and(|b| b.is_ascii_digit()) {
+                    i += 1;
+                }
+                if matches!(self.char_at(i), Some(b'<') | Some(b'>')) {
+                    let text = &self.src[self.pos..i];
+                    let n: u32 = text
+                        .parse()
+                        .map_err(|_| self.err_here("file descriptor number too large"))?;
+                    self.pos = i;
+                    Tok::IoNumber(n)
+                } else {
+                    Tok::Word(self.read_word(WordCtx::Normal)?)
+                }
+            }
+            Some(_) => Tok::Word(self.read_word(WordCtx::Normal)?),
+        };
+        Ok(Token {
+            tok,
+            span: Span::new(start, self.pos),
+        })
+    }
+
+    /// Scans one structured word in the given context.
+    pub(crate) fn read_word(&mut self, ctx: WordCtx) -> Result<Word> {
+        let mut parts: Vec<WordPart> = Vec::new();
+        let mut lit = String::new();
+        let word_start = self.pos;
+
+        macro_rules! flush {
+            () => {
+                if !lit.is_empty() {
+                    parts.push(WordPart::Literal(std::mem::take(&mut lit)));
+                }
+            };
+        }
+
+        loop {
+            let Some(c) = self.peek_char() else { break };
+            match c {
+                // Metacharacters end a normal-context word.
+                b' ' | b'\t' | b'\n' | b'|' | b'&' | b';' | b'<' | b'>' | b'(' | b')'
+                    if ctx == WordCtx::Normal =>
+                {
+                    break;
+                }
+                b'}' if ctx == WordCtx::Param => break,
+                b'\\' => {
+                    self.pos += 1;
+                    match self.peek_char() {
+                        Some(b'\n') => {
+                            // Line continuation: both characters vanish.
+                            self.pos += 1;
+                        }
+                        Some(e) => {
+                            if ctx == WordCtx::Heredoc {
+                                // Only \$ \` \\ are escapes in heredoc bodies.
+                                if matches!(e, b'$' | b'`' | b'\\') {
+                                    self.pos += 1;
+                                    lit.push(e as char);
+                                } else {
+                                    lit.push('\\');
+                                }
+                            } else {
+                                self.pos += 1;
+                                flush!();
+                                // Multi-byte UTF-8: take the full char.
+                                let ch = self.full_char_ending_before(self.pos, e);
+                                parts.push(WordPart::Escaped(ch));
+                            }
+                        }
+                        None => {
+                            // Trailing backslash: keep it literally.
+                            lit.push('\\');
+                        }
+                    }
+                }
+                b'\'' if ctx != WordCtx::Heredoc => {
+                    self.pos += 1;
+                    let start = self.pos;
+                    loop {
+                        match self.peek_char() {
+                            Some(b'\'') => break,
+                            Some(_) => self.pos += 1,
+                            None => return Err(ParseError::new("unterminated single quote", start)),
+                        }
+                    }
+                    flush!();
+                    parts.push(WordPart::SingleQuoted(self.src[start..self.pos].to_string()));
+                    self.pos += 1;
+                }
+                b'"' if ctx != WordCtx::Heredoc => {
+                    self.pos += 1;
+                    flush!();
+                    parts.push(WordPart::DoubleQuoted(self.read_dquoted_parts()?));
+                }
+                b'$' => {
+                    flush!();
+                    match self.read_dollar(false)? {
+                        Some(p) => parts.push(p),
+                        None => lit.push('$'),
+                    }
+                }
+                b'`' => {
+                    flush!();
+                    parts.push(self.read_backquote()?);
+                }
+                b'~' if ctx == WordCtx::Normal && parts.is_empty() && lit.is_empty() => {
+                    // Possible tilde-prefix at the very start of the word.
+                    let tilde_pos = self.pos;
+                    self.pos += 1;
+                    let name_start = self.pos;
+                    while self
+                        .peek_char()
+                        .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
+                    {
+                        self.pos += 1;
+                    }
+                    let boundary = matches!(
+                        self.peek_char(),
+                        None | Some(b'/') | Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'|')
+                            | Some(b'&') | Some(b';') | Some(b'<') | Some(b'>') | Some(b'(')
+                            | Some(b')')
+                    );
+                    if boundary {
+                        let user = &self.src[name_start..self.pos];
+                        parts.push(WordPart::Tilde(if user.is_empty() {
+                            None
+                        } else {
+                            Some(user.to_string())
+                        }));
+                    } else {
+                        // Not a tilde-prefix after all; keep the text.
+                        self.pos = tilde_pos;
+                        self.pos += 1;
+                        lit.push('~');
+                    }
+                }
+                _ => {
+                    // Copy one full (possibly multi-byte) character.
+                    let ch_len = utf8_len(c);
+                    lit.push_str(&self.src[self.pos..self.pos + ch_len]);
+                    self.pos += ch_len;
+                }
+            }
+        }
+        if !lit.is_empty() {
+            parts.push(WordPart::Literal(lit));
+        }
+        if parts.is_empty() && self.pos == word_start && ctx == WordCtx::Normal {
+            return Err(self.err_here("expected a word"));
+        }
+        Ok(Word { parts })
+    }
+
+    /// Returns the char whose encoding starts at `end - 1` when its first
+    /// byte is `first`; advances the cursor over continuation bytes.
+    fn full_char_ending_before(&mut self, end: usize, first: u8) -> char {
+        let len = utf8_len(first);
+        if len == 1 {
+            return first as char;
+        }
+        let start = end - 1;
+        let s = &self.src[start..start + len];
+        self.pos = start + len;
+        s.chars().next().unwrap_or('\u{FFFD}')
+    }
+
+    /// Scans the inside of a double-quoted string, up to and including the
+    /// closing quote.
+    fn read_dquoted_parts(&mut self) -> Result<Vec<WordPart>> {
+        let mut parts = Vec::new();
+        let mut lit = String::new();
+        macro_rules! flush {
+            () => {
+                if !lit.is_empty() {
+                    parts.push(WordPart::Literal(std::mem::take(&mut lit)));
+                }
+            };
+        }
+        loop {
+            match self.peek_char() {
+                None => return Err(self.err_here("unterminated double quote")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match self.char_at(self.pos + 1) {
+                        Some(b'\n') => {
+                            self.pos += 2;
+                        }
+                        Some(e @ (b'$' | b'`' | b'"' | b'\\')) => {
+                            self.pos += 2;
+                            lit.push(e as char);
+                        }
+                        _ => {
+                            self.pos += 1;
+                            lit.push('\\');
+                        }
+                    }
+                }
+                Some(b'$') => {
+                    flush!();
+                    match self.read_dollar(true)? {
+                        Some(p) => parts.push(p),
+                        None => lit.push('$'),
+                    }
+                }
+                Some(b'`') => {
+                    flush!();
+                    parts.push(self.read_backquote()?);
+                }
+                Some(c) => {
+                    let ch_len = utf8_len(c);
+                    lit.push_str(&self.src[self.pos..self.pos + ch_len]);
+                    self.pos += ch_len;
+                }
+            }
+        }
+        flush!();
+        Ok(parts)
+    }
+
+    /// Parses a `$`-introduced expansion. The cursor is on the `$`.
+    ///
+    /// Returns `None` when the `$` is just a literal dollar sign (cursor
+    /// advanced past it).
+    fn read_dollar(&mut self, _in_dquotes: bool) -> Result<Option<WordPart>> {
+        debug_assert_eq!(self.peek_char(), Some(b'$'));
+        self.pos += 1;
+        match self.peek_char() {
+            Some(b'(') => {
+                if self.char_at(self.pos + 1) == Some(b'(') {
+                    // Try arithmetic first; fall back to a command
+                    // substitution that begins with a subshell.
+                    if let Some(part) = self.try_arith()? {
+                        return Ok(Some(part));
+                    }
+                }
+                self.pos += 1; // consume `(`
+                let prog = self.parse_cmdsubst()?;
+                Ok(Some(WordPart::CmdSubst(prog)))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                Ok(Some(WordPart::Param(self.read_braced_param()?)))
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self
+                    .peek_char()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(Some(WordPart::Param(ParamExp::plain(
+                    &self.src[start..self.pos],
+                ))))
+            }
+            Some(c) if c.is_ascii_digit() => {
+                // Unbraced positionals take exactly one digit: `$12` is
+                // `${1}2`.
+                self.pos += 1;
+                Ok(Some(WordPart::Param(ParamExp::plain(
+                    (c as char).to_string(),
+                ))))
+            }
+            Some(c @ (b'@' | b'*' | b'#' | b'?' | b'-' | b'$' | b'!')) => {
+                self.pos += 1;
+                Ok(Some(WordPart::Param(ParamExp::plain(
+                    (c as char).to_string(),
+                ))))
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Attempts to lex `$((expr))` starting with the cursor on the first
+    /// `(`. On success the cursor is past the closing `))`.
+    fn try_arith(&mut self) -> Result<Option<WordPart>> {
+        let body_start = self.pos + 2;
+        let mut depth = 0usize;
+        let mut i = body_start;
+        loop {
+            match self.char_at(i) {
+                None => return Ok(None),
+                Some(b'(') => depth += 1,
+                Some(b')') => {
+                    if depth > 0 {
+                        depth -= 1;
+                    } else if self.char_at(i + 1) == Some(b')') {
+                        let text = &self.src[body_start..i];
+                        return match parse_arith(text, body_start) {
+                            Ok(e) => {
+                                self.pos = i + 2;
+                                Ok(Some(WordPart::Arith(e)))
+                            }
+                            Err(_) => Ok(None),
+                        };
+                    } else {
+                        return Ok(None);
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+
+    /// Parses `${name}`, `${#name}`, and all operator forms. Cursor is just
+    /// past the `{`.
+    fn read_braced_param(&mut self) -> Result<ParamExp> {
+        // `${#}` is the special parameter `#`; `${#x}` is length-of-x.
+        if self.peek_char() == Some(b'#') && self.char_at(self.pos + 1) != Some(b'}') {
+            self.pos += 1;
+            let name = self.read_param_name()?;
+            if self.peek_char() != Some(b'}') {
+                return Err(self.err_here("expected `}` after ${#name}"));
+            }
+            self.pos += 1;
+            return Ok(ParamExp {
+                name,
+                op: ParamOp::Length,
+            });
+        }
+        let name = self.read_param_name()?;
+        let op = match self.peek_char() {
+            Some(b'}') => {
+                self.pos += 1;
+                return Ok(ParamExp {
+                    name,
+                    op: ParamOp::Plain,
+                });
+            }
+            Some(b':') => {
+                self.pos += 1;
+                let kind = self.bump().ok_or_else(|| self.err_here("unterminated ${}"))?;
+                let word = self.read_word(WordCtx::Param)?;
+                match kind {
+                    b'-' => ParamOp::Default { colon: true, word },
+                    b'=' => ParamOp::Assign { colon: true, word },
+                    b'?' => ParamOp::Error { colon: true, word },
+                    b'+' => ParamOp::Alt { colon: true, word },
+                    _ => return Err(self.err_here("bad substitution operator after `:`")),
+                }
+            }
+            Some(k @ (b'-' | b'=' | b'?' | b'+')) => {
+                self.pos += 1;
+                let word = self.read_word(WordCtx::Param)?;
+                match k {
+                    b'-' => ParamOp::Default { colon: false, word },
+                    b'=' => ParamOp::Assign { colon: false, word },
+                    b'?' => ParamOp::Error { colon: false, word },
+                    _ => ParamOp::Alt { colon: false, word },
+                }
+            }
+            Some(b'%') => {
+                self.pos += 1;
+                let largest = self.peek_char() == Some(b'%');
+                if largest {
+                    self.pos += 1;
+                }
+                let word = self.read_word(WordCtx::Param)?;
+                if largest {
+                    ParamOp::RemoveLargestSuffix(word)
+                } else {
+                    ParamOp::RemoveSmallestSuffix(word)
+                }
+            }
+            Some(b'#') => {
+                self.pos += 1;
+                let largest = self.peek_char() == Some(b'#');
+                if largest {
+                    self.pos += 1;
+                }
+                let word = self.read_word(WordCtx::Param)?;
+                if largest {
+                    ParamOp::RemoveLargestPrefix(word)
+                } else {
+                    ParamOp::RemoveSmallestPrefix(word)
+                }
+            }
+            _ => return Err(self.err_here("bad substitution")),
+        };
+        if self.peek_char() != Some(b'}') {
+            return Err(self.err_here("expected `}` to close parameter expansion"));
+        }
+        self.pos += 1;
+        Ok(ParamExp { name, op })
+    }
+
+    fn read_param_name(&mut self) -> Result<String> {
+        match self.peek_char() {
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self
+                    .peek_char()
+                    .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_')
+                {
+                    self.pos += 1;
+                }
+                Ok(self.src[start..self.pos].to_string())
+            }
+            Some(c) if c.is_ascii_digit() => {
+                let start = self.pos;
+                while self.peek_char().is_some_and(|b| b.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+                Ok(self.src[start..self.pos].to_string())
+            }
+            Some(c @ (b'@' | b'*' | b'#' | b'?' | b'-' | b'$' | b'!')) => {
+                self.pos += 1;
+                Ok((c as char).to_string())
+            }
+            _ => Err(self.err_here("expected parameter name")),
+        }
+    }
+
+    /// Lexes a backquoted command substitution. Cursor is on the backquote.
+    fn read_backquote(&mut self) -> Result<WordPart> {
+        let start = self.pos;
+        self.pos += 1;
+        let mut inner = String::new();
+        loop {
+            match self.peek_char() {
+                None => return Err(ParseError::new("unterminated backquote", start)),
+                Some(b'`') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => match self.char_at(self.pos + 1) {
+                    Some(e @ (b'`' | b'\\' | b'$')) => {
+                        self.pos += 2;
+                        inner.push(e as char);
+                    }
+                    _ => {
+                        self.pos += 1;
+                        inner.push('\\');
+                    }
+                },
+                Some(c) => {
+                    let ch_len = utf8_len(c);
+                    inner.push_str(&self.src[self.pos..self.pos + ch_len]);
+                    self.pos += ch_len;
+                }
+            }
+        }
+        let prog = crate::parse(&inner).map_err(|e| {
+            ParseError::new(
+                format!("inside backquote substitution: {}", e.message),
+                start,
+            )
+        })?;
+        Ok(WordPart::CmdSubst(prog))
+    }
+
+    /// Reads the bodies of all pending here-documents. Called by the lexer
+    /// immediately after consuming a newline.
+    fn read_pending_heredocs(&mut self) -> Result<()> {
+        let pending: Vec<PendingHeredoc> = std::mem::take(&mut self.pending_heredocs);
+        for hd in pending {
+            let mut body = String::new();
+            loop {
+                if self.pos >= self.bytes().len() {
+                    return Err(ParseError::new(
+                        format!("here-document delimited by `{}` not terminated", hd.delim),
+                        self.pos,
+                    ));
+                }
+                let line_start = self.pos;
+                let nl = self.bytes()[self.pos..]
+                    .iter()
+                    .position(|&b| b == b'\n')
+                    .map(|i| self.pos + i);
+                let line_end = nl.unwrap_or(self.bytes().len());
+                let raw_line = &self.src[line_start..line_end];
+                let line = if hd.strip_tabs {
+                    raw_line.trim_start_matches('\t')
+                } else {
+                    raw_line
+                };
+                self.pos = match nl {
+                    Some(n) => n + 1,
+                    None => line_end,
+                };
+                if line == hd.delim {
+                    break;
+                }
+                body.push_str(line);
+                body.push('\n');
+            }
+            let word = if hd.quoted {
+                Word {
+                    parts: if body.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![WordPart::Literal(body)]
+                    },
+                }
+            } else {
+                let mut sub = Parser::new(&body);
+                let w = sub.read_word(WordCtx::Heredoc)?;
+                w
+            };
+            self.heredoc_bodies.push_back(word);
+        }
+        Ok(())
+    }
+}
+
+pub(crate) fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}

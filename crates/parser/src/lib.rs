@@ -1,0 +1,655 @@
+//! POSIX shell parser: script text to [`jash_ast::Program`] and back.
+//!
+//! This crate is the reproduction's *libdash* (enabler E1 in the HotOS '21
+//! paper): a linkable parsing library supporting both parsing shell scripts
+//! to ASTs and — together with [`jash_ast::unparse`] — unparsing those ASTs
+//! back to scripts. The grammar follows POSIX.1-2017 §2 (Shell Command
+//! Language): quoting, all parameter-expansion operators, command and
+//! arithmetic substitution, here-documents, compound commands, and function
+//! definitions.
+//!
+//! # Examples
+//!
+//! ```
+//! let prog = jash_parser::parse("cut -c 89-92 | grep -v 999 | sort -rn | head -n1").unwrap();
+//! assert_eq!(prog.items.len(), 1);
+//! assert_eq!(prog.items[0].and_or.first.commands.len(), 4);
+//! let text = jash_ast::unparse(&prog);
+//! let again = jash_parser::parse(&text).unwrap();
+//! assert_eq!(jash_ast::unparse(&again), text);
+//! ```
+
+mod arith;
+mod error;
+mod lex;
+mod parser;
+mod token;
+
+pub use arith::parse_arith;
+pub use error::{ParseError, Result};
+pub use parser::Parser;
+
+use jash_ast::Program;
+
+/// Parses a complete shell script.
+pub fn parse(src: &str) -> Result<Program> {
+    Parser::new(src).parse_program()
+}
+
+/// Parses a script and panics with a readable message on error.
+///
+/// Intended for tests and examples where the script is a trusted constant.
+pub fn parse_unwrap(src: &str) -> Program {
+    match parse(src) {
+        Ok(p) => p,
+        Err(e) => panic!("{}", e.display_with_source(src)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_ast::*;
+
+    fn first_simple(prog: &Program) -> &SimpleCommand {
+        match &prog.items[0].and_or.first.commands[0].kind {
+            CommandKind::Simple(sc) => sc,
+            other => panic!("expected simple command, got {other:?}"),
+        }
+    }
+
+    fn roundtrip(src: &str) -> String {
+        let p1 = parse_unwrap(src);
+        let text = unparse(&p1);
+        let p2 = match parse(&text) {
+            Ok(p) => p,
+            Err(e) => panic!("reparse of `{text}` failed: {e}"),
+        };
+        let (mut a, mut b) = (p1, p2);
+        visit::strip_spans(&mut a);
+        visit::strip_spans(&mut b);
+        assert_eq!(a, b, "roundtrip mismatch for `{src}` via `{text}`");
+        text
+    }
+
+    #[test]
+    fn empty_and_blank_programs() {
+        assert!(parse("").unwrap().items.is_empty());
+        assert!(parse("\n\n  \n").unwrap().items.is_empty());
+        assert!(parse("# just a comment\n").unwrap().items.is_empty());
+    }
+
+    #[test]
+    fn simple_command_words() {
+        let p = parse_unwrap("echo hello world");
+        let sc = first_simple(&p);
+        assert_eq!(sc.words.len(), 3);
+        assert_eq!(sc.words[0].as_literal(), Some("echo"));
+    }
+
+    #[test]
+    fn pipeline_stages() {
+        let p = parse_unwrap("cat f | tr a b | sort | uniq -c");
+        assert_eq!(p.items[0].and_or.first.commands.len(), 4);
+        roundtrip("cat f | tr a b | sort | uniq -c");
+    }
+
+    #[test]
+    fn and_or_chain() {
+        let p = parse_unwrap("a && b || c");
+        let ao = &p.items[0].and_or;
+        assert_eq!(ao.rest.len(), 2);
+        assert_eq!(ao.rest[0].0, AndOrOp::And);
+        assert_eq!(ao.rest[1].0, AndOrOp::Or);
+    }
+
+    #[test]
+    fn background_and_sequence() {
+        let p = parse_unwrap("a & b; c");
+        assert_eq!(p.items.len(), 3);
+        assert!(p.items[0].background);
+        assert!(!p.items[1].background);
+    }
+
+    #[test]
+    fn negated_pipeline() {
+        let p = parse_unwrap("! grep -q x f");
+        assert!(p.items[0].and_or.first.negated);
+        let p = parse_unwrap("! ! true");
+        assert!(!p.items[0].and_or.first.negated);
+    }
+
+    #[test]
+    fn newlines_separate_commands() {
+        let p = parse_unwrap("echo a\necho b\n\necho c\n");
+        assert_eq!(p.items.len(), 3);
+    }
+
+    #[test]
+    fn assignments_before_words() {
+        let p = parse_unwrap("FOO=1 BAR=two env");
+        let sc = first_simple(&p);
+        assert_eq!(sc.assignments.len(), 2);
+        assert_eq!(sc.assignments[1].name, "BAR");
+        assert_eq!(sc.words.len(), 1);
+    }
+
+    #[test]
+    fn assignment_after_command_word_is_a_word() {
+        let p = parse_unwrap("env FOO=1");
+        let sc = first_simple(&p);
+        assert!(sc.assignments.is_empty());
+        assert_eq!(sc.words.len(), 2);
+    }
+
+    #[test]
+    fn quoting_forms() {
+        let p = parse_unwrap(r#"echo 'single' "double" back\slash"#);
+        let sc = first_simple(&p);
+        assert!(matches!(sc.words[1].parts[0], WordPart::SingleQuoted(_)));
+        assert!(matches!(sc.words[2].parts[0], WordPart::DoubleQuoted(_)));
+        assert!(sc.words[3]
+            .parts
+            .iter()
+            .any(|p| matches!(p, WordPart::Escaped('s'))));
+    }
+
+    #[test]
+    fn dollar_variants() {
+        let p = parse_unwrap("echo $FOO ${BAR} $1 $12 $@ $# $?");
+        let sc = first_simple(&p);
+        let name = |i: usize| match &sc.words[i].parts[0] {
+            WordPart::Param(pe) => pe.name.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(name(1), "FOO");
+        assert_eq!(name(2), "BAR");
+        assert_eq!(name(3), "1");
+        // `$12` is `${1}2`.
+        assert_eq!(name(4), "1");
+        assert_eq!(sc.words[4].parts.len(), 2);
+        assert_eq!(name(5), "@");
+        assert_eq!(name(6), "#");
+        assert_eq!(name(7), "?");
+    }
+
+    #[test]
+    fn param_operators() {
+        let p =
+            parse_unwrap("echo ${x:-def} ${y:=set} ${z:?msg} ${w:+alt} ${#v} ${a%.txt} ${b##*/}");
+        let sc = first_simple(&p);
+        let op = |i: usize| match &sc.words[i].parts[0] {
+            WordPart::Param(pe) => pe.op.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(op(1), ParamOp::Default { colon: true, .. }));
+        assert!(matches!(op(2), ParamOp::Assign { colon: true, .. }));
+        assert!(matches!(op(3), ParamOp::Error { colon: true, .. }));
+        assert!(matches!(op(4), ParamOp::Alt { colon: true, .. }));
+        assert!(matches!(op(5), ParamOp::Length));
+        assert!(matches!(op(6), ParamOp::RemoveSmallestSuffix(_)));
+        assert!(matches!(op(7), ParamOp::RemoveLargestPrefix(_)));
+    }
+
+    #[test]
+    fn param_operators_without_colon() {
+        let p = parse_unwrap("echo ${x-d} ${y+a}");
+        let sc = first_simple(&p);
+        assert!(matches!(
+            &sc.words[1].parts[0],
+            WordPart::Param(ParamExp {
+                op: ParamOp::Default { colon: false, .. },
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn special_braced_params() {
+        let p = parse_unwrap("echo ${#} ${10} ${#x}");
+        let sc = first_simple(&p);
+        match &sc.words[1].parts[0] {
+            WordPart::Param(pe) => {
+                assert_eq!(pe.name, "#");
+                assert!(matches!(pe.op, ParamOp::Plain));
+            }
+            other => panic!("{other:?}"),
+        }
+        match &sc.words[2].parts[0] {
+            WordPart::Param(pe) => assert_eq!(pe.name, "10"),
+            other => panic!("{other:?}"),
+        }
+        match &sc.words[3].parts[0] {
+            WordPart::Param(pe) => assert!(matches!(pe.op, ParamOp::Length)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn command_substitution() {
+        let p = parse_unwrap("echo $(ls -l | wc -l)");
+        let sc = first_simple(&p);
+        match &sc.words[1].parts[0] {
+            WordPart::CmdSubst(prog) => {
+                assert_eq!(prog.items[0].and_or.first.commands.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_command_substitution() {
+        let p = parse_unwrap("echo $(echo $(echo hi))");
+        assert_eq!(p.command_count(), 3);
+    }
+
+    #[test]
+    fn backquote_substitution() {
+        let p = parse_unwrap("echo `ls -l`");
+        let sc = first_simple(&p);
+        assert!(matches!(sc.words[1].parts[0], WordPart::CmdSubst(_)));
+    }
+
+    #[test]
+    fn backquote_with_escapes() {
+        let p = parse_unwrap(r"echo `echo \`echo hi\``");
+        assert_eq!(p.command_count(), 3);
+    }
+
+    #[test]
+    fn arithmetic_expansion() {
+        let p = parse_unwrap("echo $((1 + 2 * x))");
+        let sc = first_simple(&p);
+        assert!(matches!(sc.words[1].parts[0], WordPart::Arith(_)));
+    }
+
+    #[test]
+    fn arith_with_inner_parens() {
+        let p = parse_unwrap("echo $(( (1+2) * 3 ))");
+        let sc = first_simple(&p);
+        assert!(matches!(sc.words[1].parts[0], WordPart::Arith(_)));
+    }
+
+    #[test]
+    fn dollar_paren_paren_subshell_fallback() {
+        // Not arithmetic: a command substitution that starts with a subshell.
+        let p = parse_unwrap("echo $( (echo a) )");
+        let sc = first_simple(&p);
+        assert!(matches!(sc.words[1].parts[0], WordPart::CmdSubst(_)));
+    }
+
+    #[test]
+    fn redirections() {
+        let p = parse_unwrap("sort <in >out 2>>err 3<&1 2>&- <>rw");
+        let cmd = &p.items[0].and_or.first.commands[0];
+        assert_eq!(cmd.redirects.len(), 6);
+        assert_eq!(cmd.redirects[0].op, RedirectOp::Read);
+        assert_eq!(cmd.redirects[1].op, RedirectOp::Write);
+        assert_eq!(cmd.redirects[2].op, RedirectOp::Append);
+        assert_eq!(cmd.redirects[2].fd, Some(2));
+        assert_eq!(cmd.redirects[3].op, RedirectOp::DupRead);
+        assert_eq!(cmd.redirects[3].fd, Some(3));
+        assert_eq!(cmd.redirects[4].op, RedirectOp::DupWrite);
+        assert_eq!(cmd.redirects[5].op, RedirectOp::ReadWrite);
+    }
+
+    #[test]
+    fn clobber_redirect() {
+        let p = parse_unwrap("echo x >|f");
+        let cmd = &p.items[0].and_or.first.commands[0];
+        assert_eq!(cmd.redirects[0].op, RedirectOp::Clobber);
+    }
+
+    #[test]
+    fn io_number_vs_word() {
+        // `2>x` is fd 2; `2 >x` is the word `2` then a redirect.
+        let p = parse_unwrap("echo 2>x");
+        let sc = first_simple(&p);
+        assert_eq!(sc.words.len(), 1);
+        let p = parse_unwrap("echo 2 >x");
+        let sc = first_simple(&p);
+        assert_eq!(sc.words.len(), 2);
+    }
+
+    #[test]
+    fn heredoc_basic() {
+        let p = parse_unwrap("cat <<EOF\nhello $USER\nEOF\n");
+        let cmd = &p.items[0].and_or.first.commands[0];
+        let r = &cmd.redirects[0];
+        assert!(matches!(r.op, RedirectOp::HereDoc { strip_tabs: false }));
+        assert!(!r.heredoc_quoted);
+        assert!(r.target.has_expansion());
+    }
+
+    #[test]
+    fn heredoc_quoted_is_inert() {
+        let p = parse_unwrap("cat <<'EOF'\nhello $USER\nEOF\n");
+        let r = &p.items[0].and_or.first.commands[0].redirects[0];
+        assert!(r.heredoc_quoted);
+        assert!(!r.target.has_expansion());
+        assert_eq!(r.target.static_text().as_deref(), Some("hello $USER\n"));
+    }
+
+    #[test]
+    fn heredoc_strip_tabs() {
+        let p = parse_unwrap("cat <<-END\n\t\tindented\n\tEND\n");
+        let r = &p.items[0].and_or.first.commands[0].redirects[0];
+        assert_eq!(r.target.static_text().as_deref(), Some("indented\n"));
+    }
+
+    #[test]
+    fn two_heredocs_one_line() {
+        let p = parse_unwrap("cat <<A <<B\nbody-a\nA\nbody-b\nB\n");
+        let cmd = &p.items[0].and_or.first.commands[0];
+        assert_eq!(
+            cmd.redirects[0].target.static_text().as_deref(),
+            Some("body-a\n")
+        );
+        assert_eq!(
+            cmd.redirects[1].target.static_text().as_deref(),
+            Some("body-b\n")
+        );
+    }
+
+    #[test]
+    fn heredocs_across_pipeline() {
+        let p = parse_unwrap("cat <<A | rev <<B\naaa\nA\nbbb\nB\n");
+        let cmds = &p.items[0].and_or.first.commands;
+        assert_eq!(
+            cmds[0].redirects[0].target.static_text().as_deref(),
+            Some("aaa\n")
+        );
+        assert_eq!(
+            cmds[1].redirects[0].target.static_text().as_deref(),
+            Some("bbb\n")
+        );
+    }
+
+    #[test]
+    fn unterminated_heredoc_errors() {
+        assert!(parse("cat <<EOF\nno end").is_err());
+        assert!(parse("cat <<EOF").is_err());
+    }
+
+    #[test]
+    fn if_clause_full() {
+        let p = parse_unwrap("if a; then b; elif c; then d; else e; fi");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::If(c) => {
+                assert_eq!(c.elifs.len(), 1);
+                assert!(c.else_body.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+        roundtrip("if a; then b; elif c; then d; else e; fi");
+    }
+
+    #[test]
+    fn while_and_until() {
+        let p = parse_unwrap("while test -f x; do sleep 1; done");
+        assert!(matches!(
+            &p.items[0].and_or.first.commands[0].kind,
+            CommandKind::While(WhileClause { until: false, .. })
+        ));
+        let p = parse_unwrap("until test -f x; do sleep 1; done");
+        assert!(matches!(
+            &p.items[0].and_or.first.commands[0].kind,
+            CommandKind::While(WhileClause { until: true, .. })
+        ));
+    }
+
+    #[test]
+    fn for_with_words() {
+        let p = parse_unwrap("for f in a b c; do echo $f; done");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::For(c) => {
+                assert_eq!(c.var, "f");
+                assert_eq!(c.words.as_ref().unwrap().len(), 3);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn for_without_in_uses_positional() {
+        let p = parse_unwrap("for f; do echo $f; done");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::For(c) => assert!(c.words.is_none()),
+            other => panic!("{other:?}"),
+        }
+        let p = parse_unwrap("for f\ndo echo $f; done");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::For(c) => assert!(c.words.is_none()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_clause() {
+        let p = parse_unwrap("case $x in a|b) echo ab;; *) echo other;; esac");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::Case(c) => {
+                assert_eq!(c.arms.len(), 2);
+                assert_eq!(c.arms[0].patterns.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        roundtrip("case $x in a|b) echo ab;; *) echo other;; esac");
+    }
+
+    #[test]
+    fn case_with_paren_patterns_and_no_trailing_dsemi() {
+        let p = parse_unwrap("case x in (a) echo a;; (b) echo b\nesac");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::Case(c) => assert_eq!(c.arms.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_empty_arm() {
+        let p = parse_unwrap("case x in a) ;; esac");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::Case(c) => assert!(c.arms[0].body.items.is_empty()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn subshell_and_brace_group() {
+        let p = parse_unwrap("(cd /tmp; ls)");
+        assert!(matches!(
+            &p.items[0].and_or.first.commands[0].kind,
+            CommandKind::Subshell(_)
+        ));
+        let p = parse_unwrap("{ cd /tmp; ls; }");
+        assert!(matches!(
+            &p.items[0].and_or.first.commands[0].kind,
+            CommandKind::BraceGroup(_)
+        ));
+    }
+
+    #[test]
+    fn function_definition() {
+        let p = parse_unwrap("greet() { echo hi; }");
+        match &p.items[0].and_or.first.commands[0].kind {
+            CommandKind::FunctionDef { name, body } => {
+                assert_eq!(name, "greet");
+                assert!(matches!(body.kind, CommandKind::BraceGroup(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        roundtrip("greet() { echo hi; }");
+    }
+
+    #[test]
+    fn compound_redirects() {
+        let p = parse_unwrap("while read l; do echo $l; done <input >output");
+        let cmd = &p.items[0].and_or.first.commands[0];
+        assert_eq!(cmd.redirects.len(), 2);
+    }
+
+    #[test]
+    fn tilde_words() {
+        let p = parse_unwrap("ls ~ ~/src ~alice/doc x~y");
+        let sc = first_simple(&p);
+        assert!(matches!(sc.words[1].parts[0], WordPart::Tilde(None)));
+        assert!(matches!(sc.words[2].parts[0], WordPart::Tilde(None)));
+        assert!(matches!(sc.words[3].parts[0], WordPart::Tilde(Some(_))));
+        assert!(sc.words[4].as_literal() == Some("x~y"));
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let p = parse_unwrap("echo a # trailing comment\necho b");
+        assert_eq!(p.items.len(), 2);
+        // `#` mid-word is not a comment.
+        let p = parse_unwrap("echo a#b");
+        assert_eq!(first_simple(&p).words[1].as_literal(), Some("a#b"));
+    }
+
+    #[test]
+    fn line_continuation() {
+        let p = parse_unwrap("echo a \\\n b");
+        assert_eq!(first_simple(&p).words.len(), 3);
+        let p = parse_unwrap("echo ab\\\ncd");
+        assert_eq!(first_simple(&p).words[1].as_literal(), Some("abcd"));
+    }
+
+    #[test]
+    fn reserved_words_only_in_command_position() {
+        let p = parse_unwrap("echo if then fi");
+        assert_eq!(first_simple(&p).words.len(), 4);
+    }
+
+    #[test]
+    fn quoted_reserved_word_is_not_reserved() {
+        let p = parse_unwrap(r"\if x");
+        let sc = first_simple(&p);
+        assert_eq!(sc.words.len(), 2);
+    }
+
+    #[test]
+    fn the_spell_pipeline_parses() {
+        let src = "cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\\n' | sort -u | comm -13 $DICT -";
+        let p = parse_unwrap(src);
+        assert_eq!(p.items[0].and_or.first.commands.len(), 5);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn the_temperature_pipeline_parses() {
+        let src = "cut -c 89-92 | grep -v 999 | sort -rn | head -n1";
+        let p = parse_unwrap(src);
+        assert_eq!(p.items[0].and_or.first.commands.len(), 4);
+        roundtrip(src);
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        for bad in [
+            "echo )",
+            "|",
+            "a | | b",
+            "if x; then y",
+            "while x do done",
+            "case x in a) b",
+            "'unterminated",
+            "\"unterminated",
+            "echo ${x",
+            "a &&",
+            "( echo a",
+        ] {
+            assert!(parse(bad).is_err(), "expected error for `{bad}`");
+        }
+    }
+
+    #[test]
+    fn error_positions_are_plausible() {
+        let err = parse("echo hi\necho )").unwrap_err();
+        let msg = err.display_with_source("echo hi\necho )");
+        assert!(msg.contains("line 2"), "{msg}");
+    }
+
+    #[test]
+    fn roundtrip_corpus() {
+        for src in [
+            "echo hello",
+            "a=1 b=2 cmd x y",
+            "cat <f | sort >g 2>&1",
+            "if true; then echo y; else echo n; fi",
+            "for i in 1 2 3; do echo $i; done",
+            "while :; do break; done",
+            "case $1 in -v) v=1;; --*) echo long;; *) usage;; esac",
+            "f() ( cd /; ls )",
+            "echo \"a $b c\" 'd e' f\\ g",
+            "x=$(date) y=`hostname` echo $x$y",
+            "echo $((x * (y + 1)))",
+            "echo ${PATH:+nonempty} ${HOME:-/root} ${0##*/}",
+            "! grep x f && echo absent || echo present",
+            "(a; b) & { c; d; }",
+            "cmd ~alice/file ~/other",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn unparse_fixpoint() {
+        for src in [
+            "echo a | tee f &",
+            "if a; then b; fi >log",
+            "cat <<X\nbody $v\nX\n",
+            "for x in \"$@\"; do echo \"$x\"; done",
+        ] {
+            let once = unparse(&parse_unwrap(src));
+            let twice = unparse(&parse_unwrap(&once));
+            assert_eq!(once, twice, "fixpoint failed for `{src}`");
+        }
+    }
+
+    #[test]
+    fn spans_cover_source() {
+        let src = "echo first; echo second";
+        let p = parse_unwrap(src);
+        let mut spans = Vec::new();
+        visit::walk_commands(&p, &mut |c| spans.push(c.span));
+        assert_eq!(spans.len(), 2);
+        assert_eq!(&src[spans[0].start..spans[0].end], "echo first");
+        assert_eq!(&src[spans[1].start..spans[1].end], "echo second");
+    }
+
+    #[test]
+    fn double_quoted_internal_structure() {
+        let p = parse_unwrap(r#"echo "pre $x $(cmd) $((1+1)) post""#);
+        let sc = first_simple(&p);
+        match &sc.words[1].parts[0] {
+            WordPart::DoubleQuoted(parts) => {
+                assert!(parts.iter().any(|p| matches!(p, WordPart::Param(_))));
+                assert!(parts.iter().any(|p| matches!(p, WordPart::CmdSubst(_))));
+                assert!(parts.iter().any(|p| matches!(p, WordPart::Arith(_))));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn escaped_dollar_in_double_quotes() {
+        let p = parse_unwrap(r#"echo "\$HOME""#);
+        let sc = first_simple(&p);
+        assert!(!sc.words[1].has_expansion());
+    }
+
+    #[test]
+    fn multiline_script() {
+        let src = "\
+FILES=\"$@\"
+cat $FILES | tr A-Z a-z |
+tr -cs A-Za-z '\\n' | sort -u | comm -13 $DICT -
+";
+        let p = parse_unwrap(src);
+        assert_eq!(p.items.len(), 2);
+        // Pipe at end of line continues the pipeline.
+        assert_eq!(p.items[1].and_or.first.commands.len(), 5);
+    }
+}

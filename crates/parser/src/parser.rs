@@ -1,0 +1,813 @@
+//! Recursive-descent parser for the POSIX.1-2017 shell grammar.
+
+use crate::error::{ParseError, Result};
+use crate::token::{Tok, Token};
+use jash_ast::{
+    AndOrList, AndOrOp, Assignment, CaseArm, CaseClause, Command, CommandKind, ForClause,
+    IfClause, ListItem, Pipeline, Program, Redirect, RedirectOp, SimpleCommand, Span, WhileClause,
+    Word, WordPart,
+};
+use std::collections::VecDeque;
+
+/// Reserved words recognized in command position.
+const RESERVED: &[&str] = &[
+    "if", "then", "else", "elif", "fi", "do", "done", "case", "esac", "while", "until", "for",
+    "in", "{", "}", "!",
+];
+
+/// A here-document whose body has not been read yet.
+pub(crate) struct PendingHeredoc {
+    /// Delimiter after quote removal.
+    pub delim: String,
+    /// `<<-` strips leading tabs.
+    pub strip_tabs: bool,
+    /// Whether any part of the delimiter was quoted (inert body).
+    pub quoted: bool,
+}
+
+/// Terminators for a compound list.
+#[derive(Clone, Copy)]
+struct Stops {
+    words: &'static [&'static str],
+    rparen: bool,
+    dsemi: bool,
+}
+
+impl Stops {
+    fn top() -> Self {
+        Stops {
+            words: &[],
+            rparen: false,
+            dsemi: false,
+        }
+    }
+    fn words(words: &'static [&'static str]) -> Self {
+        Stops {
+            words,
+            rparen: false,
+            dsemi: false,
+        }
+    }
+    fn rparen() -> Self {
+        Stops {
+            words: &[],
+            rparen: true,
+            dsemi: false,
+        }
+    }
+    fn case_body() -> Self {
+        Stops {
+            words: &["esac"],
+            rparen: false,
+            dsemi: true,
+        }
+    }
+}
+
+/// The combined lexer/parser.
+///
+/// Lexing methods live in the `lex` module; the grammar lives here. The two
+/// are one struct because shell lexing re-enters the parser (command
+/// substitution) and the parser steers the lexer (here-document bodies).
+pub struct Parser<'a> {
+    pub(crate) src: &'a str,
+    pub(crate) pos: usize,
+    buf: VecDeque<Token>,
+    pub(crate) pending_heredocs: Vec<PendingHeredoc>,
+    pub(crate) heredoc_bodies: VecDeque<Word>,
+    last_end: usize,
+}
+
+impl<'a> Parser<'a> {
+    /// Creates a parser over `src`.
+    pub fn new(src: &'a str) -> Self {
+        Parser {
+            src,
+            pos: 0,
+            buf: VecDeque::new(),
+            pending_heredocs: Vec::new(),
+            heredoc_bodies: VecDeque::new(),
+            last_end: 0,
+        }
+    }
+
+    fn new_at(src: &'a str, pos: usize) -> Self {
+        let mut p = Parser::new(src);
+        p.pos = pos;
+        p
+    }
+
+    pub(crate) fn bytes(&self) -> &'a [u8] {
+        self.src.as_bytes()
+    }
+
+    /// Parses a complete program; the entry point behind [`crate::parse`].
+    pub fn parse_program(mut self) -> Result<Program> {
+        let mut prog = self.compound_list(Stops::top())?;
+        let t = self.peek()?.clone();
+        if t.tok != Tok::Eof {
+            return Err(ParseError::new(
+                format!("unexpected {}", t.tok.describe()),
+                t.span.start,
+            ));
+        }
+        self.fixup_heredocs(&mut prog)?;
+        Ok(prog)
+    }
+
+    /// Parses `$( ... )` content starting at the current cursor (just past
+    /// the opening paren); consumes the closing paren.
+    pub(crate) fn parse_cmdsubst(&mut self) -> Result<Program> {
+        let mut sub = Parser::new_at(self.src, self.pos);
+        let mut prog = sub.compound_list(Stops::rparen())?;
+        let t = sub.next()?;
+        if t.tok != Tok::RParen {
+            return Err(ParseError::new(
+                format!(
+                    "expected `)` to close command substitution, found {}",
+                    t.tok.describe()
+                ),
+                t.span.start,
+            ));
+        }
+        sub.fixup_heredocs(&mut prog)?;
+        self.pos = sub.pos;
+        Ok(prog)
+    }
+
+    // ------------------------------------------------------------------
+    // Token plumbing
+    // ------------------------------------------------------------------
+
+    fn fill(&mut self, n: usize) -> Result<()> {
+        while self.buf.len() <= n {
+            let t = self.lex_token()?;
+            self.buf.push_back(t);
+        }
+        Ok(())
+    }
+
+    fn peek(&mut self) -> Result<&Token> {
+        self.fill(0)?;
+        Ok(&self.buf[0])
+    }
+
+    fn peek2(&mut self) -> Result<&Token> {
+        self.fill(1)?;
+        Ok(&self.buf[1])
+    }
+
+    fn next(&mut self) -> Result<Token> {
+        self.fill(0)?;
+        let t = self.buf.pop_front().expect("buffer filled");
+        self.last_end = t.span.end;
+        Ok(t)
+    }
+
+    fn skip_newlines(&mut self) -> Result<()> {
+        while self.peek()?.tok == Tok::Newline {
+            self.next()?;
+        }
+        Ok(())
+    }
+
+    fn unexpected<T>(&mut self, what: &str) -> Result<T> {
+        let t = self.peek()?.clone();
+        Err(ParseError::new(
+            format!("expected {what}, found {}", t.tok.describe()),
+            t.span.start,
+        ))
+    }
+
+    fn expect_reserved(&mut self, kw: &str) -> Result<()> {
+        let t = self.next()?;
+        if word_literal(&t) == Some(kw) {
+            Ok(())
+        } else {
+            Err(ParseError::new(
+                format!("expected `{kw}`, found {}", t.tok.describe()),
+                t.span.start,
+            ))
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Grammar
+    // ------------------------------------------------------------------
+
+    fn at_stop(&mut self, stops: Stops) -> Result<bool> {
+        let t = self.peek()?;
+        Ok(match &t.tok {
+            Tok::Eof => true,
+            Tok::RParen => stops.rparen,
+            Tok::DSemi => stops.dsemi,
+            Tok::Word(w) => match w.as_literal() {
+                Some(lit) => stops.words.contains(&lit),
+                None => false,
+            },
+            _ => false,
+        })
+    }
+
+    fn compound_list(&mut self, stops: Stops) -> Result<Program> {
+        let mut items = Vec::new();
+        loop {
+            self.skip_newlines()?;
+            if self.at_stop(stops)? {
+                break;
+            }
+            let and_or = self.parse_and_or()?;
+            let mut background = false;
+            match self.peek()?.tok {
+                Tok::Amp => {
+                    self.next()?;
+                    background = true;
+                }
+                Tok::Semi => {
+                    self.next()?;
+                }
+                Tok::Newline => {
+                    // Consumed at the top of the loop.
+                }
+                _ => {
+                    if !self.at_stop(stops)? {
+                        return self.unexpected("`;`, `&`, or newline after command");
+                    }
+                }
+            }
+            items.push(ListItem { and_or, background });
+        }
+        Ok(Program { items })
+    }
+
+    fn parse_and_or(&mut self) -> Result<AndOrList> {
+        let first = self.parse_pipeline()?;
+        let mut rest = Vec::new();
+        loop {
+            let op = match self.peek()?.tok {
+                Tok::AndIf => AndOrOp::And,
+                Tok::OrIf => AndOrOp::Or,
+                _ => break,
+            };
+            self.next()?;
+            self.skip_newlines()?;
+            rest.push((op, self.parse_pipeline()?));
+        }
+        Ok(AndOrList { first, rest })
+    }
+
+    fn parse_pipeline(&mut self) -> Result<Pipeline> {
+        let mut negated = false;
+        while word_literal(self.peek()?) == Some("!") {
+            self.next()?;
+            negated = !negated;
+        }
+        let mut commands = vec![self.parse_command()?];
+        while self.peek()?.tok == Tok::Pipe {
+            self.next()?;
+            self.skip_newlines()?;
+            commands.push(self.parse_command()?);
+        }
+        Ok(Pipeline { negated, commands })
+    }
+
+    fn parse_command(&mut self) -> Result<Command> {
+        let start = self.peek()?.span.start;
+        let mut cmd = match &self.peek()?.tok {
+            Tok::LParen => {
+                self.next()?;
+                let body = self.compound_list(Stops::rparen())?;
+                let t = self.next()?;
+                if t.tok != Tok::RParen {
+                    return Err(ParseError::new(
+                        format!("expected `)`, found {}", t.tok.describe()),
+                        t.span.start,
+                    ));
+                }
+                Command::new(CommandKind::Subshell(body))
+            }
+            Tok::Word(w) => match w.as_literal() {
+                Some("if") => self.parse_if()?,
+                Some("while") => self.parse_while(false)?,
+                Some("until") => self.parse_while(true)?,
+                Some("for") => self.parse_for()?,
+                Some("case") => self.parse_case()?,
+                Some("{") => self.parse_brace_group()?,
+                Some(kw) if RESERVED.contains(&kw) && kw != "!" => {
+                    return self.unexpected("a command");
+                }
+                _ => {
+                    // Function definition: `name ( ) body`.
+                    let is_funcdef = w
+                        .as_literal()
+                        .is_some_and(is_valid_name)
+                        .then(|| self.peek2().map(|t| t.tok == Tok::LParen))
+                        .transpose()?
+                        .unwrap_or(false);
+                    if is_funcdef {
+                        self.parse_funcdef()?
+                    } else {
+                        self.parse_simple()?
+                    }
+                }
+            },
+            Tok::IoNumber(_) => self.parse_simple()?,
+            t if t.is_redirect_op() => self.parse_simple()?,
+            _ => return self.unexpected("a command"),
+        };
+        // Redirects following compound commands.
+        if !matches!(cmd.kind, CommandKind::Simple(_)) {
+            loop {
+                let t = self.peek()?;
+                match &t.tok {
+                    Tok::IoNumber(n) => {
+                        let n = *n;
+                        self.next()?;
+                        let r = self.parse_redirect(Some(n))?;
+                        cmd.redirects.push(r);
+                    }
+                    t if t.is_redirect_op() => {
+                        let r = self.parse_redirect(None)?;
+                        cmd.redirects.push(r);
+                    }
+                    _ => break,
+                }
+            }
+        }
+        cmd.span = Span::new(start, self.last_end);
+        Ok(cmd)
+    }
+
+    fn parse_simple(&mut self) -> Result<Command> {
+        let mut assignments = Vec::new();
+        let mut words: Vec<Word> = Vec::new();
+        let mut redirects = Vec::new();
+        loop {
+            let t = self.peek()?;
+            match &t.tok {
+                Tok::IoNumber(n) => {
+                    let n = *n;
+                    self.next()?;
+                    redirects.push(self.parse_redirect(Some(n))?);
+                }
+                tok if tok.is_redirect_op() => {
+                    redirects.push(self.parse_redirect(None)?);
+                }
+                Tok::Word(w) => {
+                    if words.is_empty() {
+                        if let Some(asg) = split_assignment(w) {
+                            self.next()?;
+                            assignments.push(asg);
+                            continue;
+                        }
+                    }
+                    let w = w.clone();
+                    self.next()?;
+                    words.push(w);
+                }
+                _ => break,
+            }
+        }
+        if assignments.is_empty() && words.is_empty() && redirects.is_empty() {
+            return self.unexpected("a command");
+        }
+        let mut cmd = Command::new(CommandKind::Simple(SimpleCommand { assignments, words }));
+        cmd.redirects = redirects;
+        Ok(cmd)
+    }
+
+    fn parse_redirect(&mut self, fd: Option<u32>) -> Result<Redirect> {
+        let t = self.next()?;
+        let op = match t.tok {
+            Tok::Less => RedirectOp::Read,
+            Tok::Great => RedirectOp::Write,
+            Tok::DGreat => RedirectOp::Append,
+            Tok::Clobber => RedirectOp::Clobber,
+            Tok::LessGreat => RedirectOp::ReadWrite,
+            Tok::LessAnd => RedirectOp::DupRead,
+            Tok::GreatAnd => RedirectOp::DupWrite,
+            Tok::DLess => RedirectOp::HereDoc { strip_tabs: false },
+            Tok::DLessDash => RedirectOp::HereDoc { strip_tabs: true },
+            other => {
+                return Err(ParseError::new(
+                    format!("expected a redirection operator, found {}", other.describe()),
+                    t.span.start,
+                ))
+            }
+        };
+        let target_tok = self.next()?;
+        let Tok::Word(target) = target_tok.tok else {
+            return Err(ParseError::new(
+                format!(
+                    "expected a redirection target, found {}",
+                    target_tok.tok.describe()
+                ),
+                target_tok.span.start,
+            ));
+        };
+        if let RedirectOp::HereDoc { strip_tabs } = op {
+            let quoted = target.parts.iter().any(|p| {
+                matches!(
+                    p,
+                    WordPart::SingleQuoted(_) | WordPart::DoubleQuoted(_) | WordPart::Escaped(_)
+                )
+            });
+            let Some(delim) = target.static_text() else {
+                return Err(ParseError::new(
+                    "here-document delimiter must not contain expansions",
+                    target_tok.span.start,
+                ));
+            };
+            self.pending_heredocs.push(PendingHeredoc {
+                delim,
+                strip_tabs,
+                quoted,
+            });
+            return Ok(Redirect {
+                fd,
+                op,
+                target: Word::empty(),
+                heredoc_quoted: quoted,
+            });
+        }
+        Ok(Redirect {
+            fd,
+            op,
+            target,
+            heredoc_quoted: false,
+        })
+    }
+
+    fn parse_if(&mut self) -> Result<Command> {
+        self.expect_reserved("if")?;
+        let cond = self.compound_list(Stops::words(&["then"]))?;
+        self.expect_reserved("then")?;
+        let then_body = self.compound_list(Stops::words(&["elif", "else", "fi"]))?;
+        let mut elifs = Vec::new();
+        let mut else_body = None;
+        loop {
+            let t = self.peek()?;
+            match word_literal(t) {
+                Some("elif") => {
+                    self.next()?;
+                    let c = self.compound_list(Stops::words(&["then"]))?;
+                    self.expect_reserved("then")?;
+                    let b = self.compound_list(Stops::words(&["elif", "else", "fi"]))?;
+                    elifs.push((c, b));
+                }
+                Some("else") => {
+                    self.next()?;
+                    else_body = Some(self.compound_list(Stops::words(&["fi"]))?);
+                    self.expect_reserved("fi")?;
+                    break;
+                }
+                Some("fi") => {
+                    self.next()?;
+                    break;
+                }
+                _ => return self.unexpected("`elif`, `else`, or `fi`"),
+            }
+        }
+        Ok(Command::new(CommandKind::If(IfClause {
+            cond,
+            then_body,
+            elifs,
+            else_body,
+        })))
+    }
+
+    fn parse_while(&mut self, until: bool) -> Result<Command> {
+        self.expect_reserved(if until { "until" } else { "while" })?;
+        let cond = self.compound_list(Stops::words(&["do"]))?;
+        self.expect_reserved("do")?;
+        let body = self.compound_list(Stops::words(&["done"]))?;
+        self.expect_reserved("done")?;
+        Ok(Command::new(CommandKind::While(WhileClause {
+            until,
+            cond,
+            body,
+        })))
+    }
+
+    fn parse_for(&mut self) -> Result<Command> {
+        self.expect_reserved("for")?;
+        let name_tok = self.next()?;
+        let var = match word_literal(&name_tok) {
+            Some(n) if is_valid_name(n) => n.to_string(),
+            _ => {
+                return Err(ParseError::new(
+                    "expected a variable name after `for`",
+                    name_tok.span.start,
+                ))
+            }
+        };
+        self.skip_newlines()?;
+        let mut words = None;
+        if word_literal(self.peek()?) == Some("in") {
+            self.next()?;
+            let mut list = Vec::new();
+            loop {
+                match &self.peek()?.tok {
+                    Tok::Word(w) => {
+                        let w = w.clone();
+                        self.next()?;
+                        list.push(w);
+                    }
+                    Tok::Semi | Tok::Newline => {
+                        self.next()?;
+                        break;
+                    }
+                    _ => return self.unexpected("a word, `;`, or newline in `for` list"),
+                }
+            }
+            words = Some(list);
+        } else if self.peek()?.tok == Tok::Semi {
+            // `for x; do ...` — implicit "$@".
+            self.next()?;
+        }
+        self.skip_newlines()?;
+        self.expect_reserved("do")?;
+        let body = self.compound_list(Stops::words(&["done"]))?;
+        self.expect_reserved("done")?;
+        Ok(Command::new(CommandKind::For(ForClause {
+            var,
+            words,
+            body,
+        })))
+    }
+
+    fn parse_case(&mut self) -> Result<Command> {
+        self.expect_reserved("case")?;
+        let word_tok = self.next()?;
+        let Tok::Word(word) = word_tok.tok else {
+            return Err(ParseError::new(
+                "expected a word after `case`",
+                word_tok.span.start,
+            ));
+        };
+        self.skip_newlines()?;
+        self.expect_reserved("in")?;
+        self.skip_newlines()?;
+        let mut arms = Vec::new();
+        loop {
+            if word_literal(self.peek()?) == Some("esac") {
+                self.next()?;
+                break;
+            }
+            if self.peek()?.tok == Tok::LParen {
+                self.next()?;
+            }
+            let mut patterns = Vec::new();
+            loop {
+                let t = self.next()?;
+                let Tok::Word(p) = t.tok else {
+                    return Err(ParseError::new(
+                        format!("expected a case pattern, found {}", t.tok.describe()),
+                        t.span.start,
+                    ));
+                };
+                patterns.push(p);
+                if self.peek()?.tok == Tok::Pipe {
+                    self.next()?;
+                } else {
+                    break;
+                }
+            }
+            let t = self.next()?;
+            if t.tok != Tok::RParen {
+                return Err(ParseError::new(
+                    format!("expected `)` after case pattern, found {}", t.tok.describe()),
+                    t.span.start,
+                ));
+            }
+            let body = self.compound_list(Stops::case_body())?;
+            arms.push(CaseArm { patterns, body });
+            if self.peek()?.tok == Tok::DSemi {
+                self.next()?;
+                self.skip_newlines()?;
+            } else {
+                self.skip_newlines()?;
+                self.expect_reserved("esac")?;
+                break;
+            }
+        }
+        Ok(Command::new(CommandKind::Case(CaseClause { word, arms })))
+    }
+
+    fn parse_brace_group(&mut self) -> Result<Command> {
+        self.expect_reserved("{")?;
+        let body = self.compound_list(Stops::words(&["}"]))?;
+        self.expect_reserved("}")?;
+        Ok(Command::new(CommandKind::BraceGroup(body)))
+    }
+
+    fn parse_funcdef(&mut self) -> Result<Command> {
+        let name_tok = self.next()?;
+        let name = word_literal(&name_tok)
+            .expect("checked by caller")
+            .to_string();
+        let lp = self.next()?;
+        debug_assert_eq!(lp.tok, Tok::LParen);
+        let rp = self.next()?;
+        if rp.tok != Tok::RParen {
+            return Err(ParseError::new(
+                format!("expected `)` in function definition, found {}", rp.tok.describe()),
+                rp.span.start,
+            ));
+        }
+        self.skip_newlines()?;
+        let body = self.parse_command()?;
+        Ok(Command::new(CommandKind::FunctionDef {
+            name,
+            body: Box::new(body),
+        }))
+    }
+
+    // ------------------------------------------------------------------
+    // Here-document fixup
+    // ------------------------------------------------------------------
+
+    /// Replaces here-document sentinel targets with the bodies collected by
+    /// the lexer, in source order.
+    fn fixup_heredocs(&mut self, prog: &mut Program) -> Result<()> {
+        fn prog_walk(p: &mut Program, bodies: &mut VecDeque<Word>) -> std::result::Result<(), ()> {
+            for item in &mut p.items {
+                pipe_walk(&mut item.and_or.first, bodies)?;
+                for (_, pl) in &mut item.and_or.rest {
+                    pipe_walk(pl, bodies)?;
+                }
+            }
+            Ok(())
+        }
+        fn pipe_walk(
+            pl: &mut Pipeline,
+            bodies: &mut VecDeque<Word>,
+        ) -> std::result::Result<(), ()> {
+            for c in &mut pl.commands {
+                cmd_walk(c, bodies)?;
+            }
+            Ok(())
+        }
+        fn cmd_walk(c: &mut Command, bodies: &mut VecDeque<Word>) -> std::result::Result<(), ()> {
+            // Command substitutions resolve their own here-documents, so
+            // words are deliberately not visited here.
+            match &mut c.kind {
+                CommandKind::Simple(_) => {}
+                CommandKind::BraceGroup(p) | CommandKind::Subshell(p) => prog_walk(p, bodies)?,
+                CommandKind::If(cl) => {
+                    prog_walk(&mut cl.cond, bodies)?;
+                    prog_walk(&mut cl.then_body, bodies)?;
+                    for (a, b) in &mut cl.elifs {
+                        prog_walk(a, bodies)?;
+                        prog_walk(b, bodies)?;
+                    }
+                    if let Some(e) = &mut cl.else_body {
+                        prog_walk(e, bodies)?;
+                    }
+                }
+                CommandKind::For(cl) => prog_walk(&mut cl.body, bodies)?,
+                CommandKind::While(cl) => {
+                    prog_walk(&mut cl.cond, bodies)?;
+                    prog_walk(&mut cl.body, bodies)?;
+                }
+                CommandKind::Case(cl) => {
+                    for arm in &mut cl.arms {
+                        prog_walk(&mut arm.body, bodies)?;
+                    }
+                }
+                CommandKind::FunctionDef { body, .. } => cmd_walk(body, bodies)?,
+            }
+            for r in &mut c.redirects {
+                if matches!(r.op, RedirectOp::HereDoc { .. }) {
+                    match bodies.pop_front() {
+                        Some(w) => r.target = w,
+                        None => return Err(()),
+                    }
+                }
+            }
+            Ok(())
+        }
+        // NOTE: redirects are visited after the body walk above because
+        // compound redirects lex after the compound body in source order.
+        prog_walk(prog, &mut self.heredoc_bodies).map_err(|()| {
+            ParseError::new("here-document not terminated before end of input", self.pos)
+        })?;
+        if !self.heredoc_bodies.is_empty() {
+            return Err(ParseError::new(
+                "internal error: unattached here-document body",
+                self.pos,
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Returns the word text if the token is a plain unquoted literal word.
+fn word_literal(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Word(w) => w.as_literal(),
+        _ => None,
+    }
+}
+
+/// Checks `[A-Za-z_][A-Za-z0-9_]*`.
+pub(crate) fn is_valid_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// If `w` looks like `name=value`, splits it into an [`Assignment`].
+fn split_assignment(w: &Word) -> Option<Assignment> {
+    let WordPart::Literal(first) = w.parts.first()? else {
+        return None;
+    };
+    let eq = first.find('=')?;
+    let name = &first[..eq];
+    if !is_valid_name(name) {
+        return None;
+    }
+    let rest = &first[eq + 1..];
+    let mut parts = Vec::new();
+    if !rest.is_empty() {
+        // Tilde expansion applies at the start of an assignment value.
+        if let Some(stripped) = rest.strip_prefix('~') {
+            let (user, tail) = match stripped.find('/') {
+                Some(i) => (&stripped[..i], &stripped[i..]),
+                None => (stripped, ""),
+            };
+            if user.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+            {
+                parts.push(WordPart::Tilde(if user.is_empty() {
+                    None
+                } else {
+                    Some(user.to_string())
+                }));
+                if !tail.is_empty() {
+                    parts.push(WordPart::Literal(tail.to_string()));
+                }
+            } else {
+                parts.push(WordPart::Literal(rest.to_string()));
+            }
+        } else {
+            parts.push(WordPart::Literal(rest.to_string()));
+        }
+    }
+    parts.extend(w.parts[1..].iter().cloned());
+    Some(Assignment {
+        name: name.to_string(),
+        value: Word { parts },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_names() {
+        assert!(is_valid_name("_x1"));
+        assert!(is_valid_name("PATH"));
+        assert!(!is_valid_name("1x"));
+        assert!(!is_valid_name(""));
+        assert!(!is_valid_name("a-b"));
+    }
+
+    #[test]
+    fn assignment_split_basic() {
+        let w = Word::literal("FOO=bar");
+        let a = split_assignment(&w).unwrap();
+        assert_eq!(a.name, "FOO");
+        assert_eq!(a.value.as_literal(), Some("bar"));
+    }
+
+    #[test]
+    fn assignment_split_with_expansion_tail() {
+        let w = Word {
+            parts: vec![
+                WordPart::Literal("FOO=".into()),
+                WordPart::Param(jash_ast::ParamExp::plain("x")),
+            ],
+        };
+        let a = split_assignment(&w).unwrap();
+        assert_eq!(a.name, "FOO");
+        assert!(a.value.has_expansion());
+    }
+
+    #[test]
+    fn assignment_split_tilde_value() {
+        let w = Word::literal("HOMEDIR=~/src");
+        let a = split_assignment(&w).unwrap();
+        assert!(matches!(a.value.parts[0], WordPart::Tilde(None)));
+    }
+
+    #[test]
+    fn non_assignment_not_split() {
+        assert!(split_assignment(&Word::literal("=x")).is_none());
+        assert!(split_assignment(&Word::literal("1a=x")).is_none());
+        assert!(split_assignment(&Word::literal("noeq")).is_none());
+    }
+}

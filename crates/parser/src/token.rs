@@ -1,0 +1,126 @@
+//! Token kinds produced by the lexer.
+
+use jash_ast::{Span, Word};
+
+/// A lexical token of the shell command language.
+///
+/// Word-internal structure (quoting, expansions) is resolved during lexing,
+/// so `Word` carries a fully structured [`Word`] value rather than raw text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// A (possibly structured) word.
+    Word(Word),
+    /// A digit string immediately preceding `<` or `>` (`2>file`).
+    IoNumber(u32),
+    /// `&&`
+    AndIf,
+    /// `||`
+    OrIf,
+    /// `;;`
+    DSemi,
+    /// `;`
+    Semi,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<`
+    Less,
+    /// `>`
+    Great,
+    /// `<<`
+    DLess,
+    /// `<<-`
+    DLessDash,
+    /// `>>`
+    DGreat,
+    /// `<&`
+    LessAnd,
+    /// `>&`
+    GreatAnd,
+    /// `<>`
+    LessGreat,
+    /// `>|`
+    Clobber,
+    /// A significant line break.
+    Newline,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Short display name for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Word(w) => format!("word `{}`", jash_ast::unparse_word(w)),
+            Tok::IoNumber(n) => format!("io number `{n}`"),
+            Tok::AndIf => "`&&`".into(),
+            Tok::OrIf => "`||`".into(),
+            Tok::DSemi => "`;;`".into(),
+            Tok::Semi => "`;`".into(),
+            Tok::Amp => "`&`".into(),
+            Tok::Pipe => "`|`".into(),
+            Tok::LParen => "`(`".into(),
+            Tok::RParen => "`)`".into(),
+            Tok::Less => "`<`".into(),
+            Tok::Great => "`>`".into(),
+            Tok::DLess => "`<<`".into(),
+            Tok::DLessDash => "`<<-`".into(),
+            Tok::DGreat => "`>>`".into(),
+            Tok::LessAnd => "`<&`".into(),
+            Tok::GreatAnd => "`>&`".into(),
+            Tok::LessGreat => "`<>`".into(),
+            Tok::Clobber => "`>|`".into(),
+            Tok::Newline => "newline".into(),
+            Tok::Eof => "end of input".into(),
+        }
+    }
+
+    /// True for tokens that start a redirection.
+    pub fn is_redirect_op(&self) -> bool {
+        matches!(
+            self,
+            Tok::Less
+                | Tok::Great
+                | Tok::DLess
+                | Tok::DLessDash
+                | Tok::DGreat
+                | Tok::LessAnd
+                | Tok::GreatAnd
+                | Tok::LessGreat
+                | Tok::Clobber
+        )
+    }
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind/payload.
+    pub tok: Tok,
+    /// Source range the token was lexed from.
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redirect_ops_classified() {
+        assert!(Tok::DLess.is_redirect_op());
+        assert!(Tok::Clobber.is_redirect_op());
+        assert!(!Tok::Pipe.is_redirect_op());
+        assert!(!Tok::Word(Word::literal("x")).is_redirect_op());
+    }
+
+    #[test]
+    fn describe_is_humane() {
+        assert_eq!(Tok::AndIf.describe(), "`&&`");
+        assert!(Tok::Word(Word::literal("ls")).describe().contains("ls"));
+    }
+}

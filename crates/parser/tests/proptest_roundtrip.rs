@@ -1,0 +1,217 @@
+//! Property tests for the parse/unparse contract (the libdash guarantee).
+//!
+//! Strategy: generate random ASTs whose literals avoid shell
+//! metacharacters, unparse them, reparse, and require structural equality
+//! modulo spans. A second property checks the unparse fixpoint on the
+//! reparsed tree for arbitrary trees.
+
+use jash_ast::{
+    AndOrList, AndOrOp, Assignment, Command, CommandKind, ForClause, IfClause, ListItem, ParamExp,
+    ParamOp, Pipeline, Program, Redirect, RedirectOp, SimpleCommand, WhileClause, Word, WordPart,
+};
+use proptest::prelude::*;
+
+fn literal_text() -> impl Strategy<Value = String> {
+    // Reserved words would change meaning in command position when
+    // unparsed bare; the parser quite correctly treats them specially,
+    // so keep them out of generated literals.
+    "[a-z0-9_./:-]{1,12}".prop_filter("not a reserved word", |s| {
+        !matches!(
+            s.as_str(),
+            "if" | "then" | "else" | "elif" | "fi" | "do" | "done" | "case" | "esac" | "while"
+                | "until" | "for" | "in"
+        )
+    })
+}
+
+fn name() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,8}"
+}
+
+fn flat_word() -> impl Strategy<Value = Word> {
+    literal_text().prop_map(Word::literal)
+}
+
+/// Merges adjacent `Literal` parts so the generated tree matches the
+/// parser's canonical form (the parser never emits two literals in a row).
+fn merge_literals(parts: Vec<WordPart>) -> Vec<WordPart> {
+    let mut out: Vec<WordPart> = Vec::with_capacity(parts.len());
+    for p in parts {
+        match (out.last_mut(), p) {
+            (Some(WordPart::Literal(prev)), WordPart::Literal(next)) => prev.push_str(&next),
+            (_, p) => out.push(p),
+        }
+    }
+    out
+}
+
+fn word_part(depth: u32) -> BoxedStrategy<WordPart> {
+    let leaf = prop_oneof![
+        literal_text().prop_map(WordPart::Literal),
+        "[ -&(-~]{0,10}".prop_map(WordPart::SingleQuoted),
+        name().prop_map(|n| WordPart::Param(ParamExp::plain(n))),
+        (name(), any::<bool>(), flat_word()).prop_map(|(n, colon, w)| {
+            WordPart::Param(ParamExp {
+                name: n,
+                op: ParamOp::Default { colon, word: w },
+            })
+        }),
+        name().prop_map(|n| WordPart::Param(ParamExp {
+            name: n,
+            op: ParamOp::Length,
+        })),
+    ];
+    if depth == 0 {
+        leaf.boxed()
+    } else {
+        // Inside double quotes only literals and expansions may occur (the
+        // parser never nests quoting parts there).
+        let dq_inner = prop_oneof![
+            literal_text().prop_map(WordPart::Literal),
+            name().prop_map(|n| WordPart::Param(ParamExp::plain(n))),
+        ];
+        prop_oneof![
+            leaf,
+            prop::collection::vec(dq_inner, 1..3)
+                .prop_map(|ps| WordPart::DoubleQuoted(merge_literals(ps))),
+            program(depth - 1).prop_map(WordPart::CmdSubst),
+        ]
+        .boxed()
+    }
+}
+
+fn word(depth: u32) -> BoxedStrategy<Word> {
+    prop::collection::vec(word_part(depth), 1..3)
+        .prop_map(|parts| Word {
+            parts: merge_literals(parts),
+        })
+        .boxed()
+}
+
+fn simple_command(depth: u32) -> BoxedStrategy<Command> {
+    (
+        prop::collection::vec((name(), word(depth.min(1))), 0..2),
+        prop::collection::vec(word(depth), 1..4),
+        prop::collection::vec(
+            (
+                prop_oneof![
+                    Just(RedirectOp::Read),
+                    Just(RedirectOp::Write),
+                    Just(RedirectOp::Append),
+                ],
+                literal_text(),
+            ),
+            0..2,
+        ),
+    )
+        .prop_map(|(asgs, words, redirs)| {
+            let mut cmd = Command::new(CommandKind::Simple(SimpleCommand {
+                assignments: asgs
+                    .into_iter()
+                    .map(|(n, v)| Assignment { name: n, value: v })
+                    .collect(),
+                words,
+            }));
+            cmd.redirects = redirs
+                .into_iter()
+                .map(|(op, t)| Redirect::new(op, Word::literal(t)))
+                .collect();
+            cmd
+        })
+        .boxed()
+}
+
+fn command(depth: u32) -> BoxedStrategy<Command> {
+    if depth == 0 {
+        return simple_command(0);
+    }
+    prop_oneof![
+        4 => simple_command(depth),
+        1 => program(depth - 1).prop_map(|p| Command::new(CommandKind::Subshell(p))),
+        1 => program(depth - 1).prop_map(|p| Command::new(CommandKind::BraceGroup(p))),
+        1 => (program(depth - 1), program(depth - 1)).prop_map(|(c, t)| {
+            Command::new(CommandKind::If(IfClause {
+                cond: c,
+                then_body: t,
+                elifs: vec![],
+                else_body: None,
+            }))
+        }),
+        1 => (name(), prop::collection::vec(word(0), 1..3), program(depth - 1)).prop_map(
+            |(var, words, body)| Command::new(CommandKind::For(ForClause {
+                var,
+                words: Some(words),
+                body,
+            }))
+        ),
+        1 => (any::<bool>(), program(depth - 1), program(depth - 1)).prop_map(
+            |(until, cond, body)| Command::new(CommandKind::While(WhileClause {
+                until,
+                cond,
+                body
+            }))
+        ),
+    ]
+    .boxed()
+}
+
+fn pipeline(depth: u32) -> BoxedStrategy<Pipeline> {
+    (any::<bool>(), prop::collection::vec(command(depth), 1..3))
+        .prop_map(|(negated, commands)| Pipeline { negated, commands })
+        .boxed()
+}
+
+fn program(depth: u32) -> BoxedStrategy<Program> {
+    prop::collection::vec(
+        (
+            pipeline(depth),
+            prop::collection::vec(
+                (
+                    prop_oneof![Just(AndOrOp::And), Just(AndOrOp::Or)],
+                    pipeline(depth),
+                ),
+                0..2,
+            ),
+            any::<bool>(),
+        ),
+        1..3,
+    )
+    .prop_map(|items| Program {
+        items: items
+            .into_iter()
+            .map(|(first, rest, background)| ListItem {
+                and_or: AndOrList { first, rest },
+                background,
+            })
+            .collect(),
+    })
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn generated_ast_roundtrips(prog in program(2)) {
+        let text = jash_ast::unparse(&prog);
+        let mut reparsed = jash_parser::parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed for `{text}`: {e}"));
+        jash_ast::visit::strip_spans(&mut reparsed);
+        let mut orig = prog.clone();
+        jash_ast::visit::strip_spans(&mut orig);
+        prop_assert_eq!(orig, reparsed, "text was `{}`", text);
+    }
+
+    #[test]
+    fn unparse_is_a_fixpoint(prog in program(2)) {
+        let once = jash_ast::unparse(&prog);
+        let reparsed = jash_parser::parse(&once).unwrap();
+        let twice = jash_ast::unparse(&reparsed);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics_on_ascii(src in "[ -~\n]{0,80}") {
+        let _ = jash_parser::parse(&src);
+    }
+}

@@ -1,0 +1,182 @@
+//! Parallelizability classes and aggregators.
+//!
+//! This is the heart of the PaSh/POSH annotation model (paper §3.1 E2):
+//! each command invocation is assigned a class describing how its work can
+//! be decomposed, and — when decomposable — an [`Aggregator`] describing
+//! how partial outputs recombine into exactly the output the sequential
+//! command would have produced.
+
+use serde::{Deserialize, Serialize};
+
+/// How a command invocation's work decomposes over a split input.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "kebab-case")]
+pub enum ParallelClass {
+    /// A pure per-line function: `f(a ⧺ b) = f(a) ⧺ f(b)`. Split anywhere
+    /// on a line boundary, run copies, concatenate in order.
+    Stateless,
+    /// Pure and decomposable, but partial outputs need an aggregator
+    /// (e.g. `sort`: merge; `wc`: sum).
+    Parallelizable {
+        /// How to recombine partial outputs.
+        agg: Aggregator,
+    },
+    /// Pure (a function of its input only) but not decomposable — it must
+    /// see the whole input in order (e.g. `head`, stateful `sed` ranges).
+    NonParallelizable,
+    /// Interacts with state beyond its declared inputs/outputs; excluded
+    /// from dataflow regions entirely.
+    SideEffectful,
+}
+
+impl ParallelClass {
+    /// Whether the node can be replicated over input splits.
+    pub fn is_splittable(&self) -> bool {
+        matches!(
+            self,
+            ParallelClass::Stateless | ParallelClass::Parallelizable { .. }
+        )
+    }
+
+    /// The aggregator used when splitting (concat for stateless).
+    pub fn aggregator(&self) -> Option<Aggregator> {
+        match self {
+            ParallelClass::Stateless => Some(Aggregator::Concat),
+            ParallelClass::Parallelizable { agg } => Some(agg.clone()),
+            _ => None,
+        }
+    }
+}
+
+/// Recombination strategies for partial outputs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "kebab-case")]
+pub enum Aggregator {
+    /// Concatenate partial outputs in input order.
+    Concat,
+    /// Merge sorted partial outputs under a sort key.
+    MergeSort {
+        /// Key/order description.
+        key: SortKeySpec,
+    },
+    /// Sum whitespace-separated numeric columns (for `wc` family).
+    SumCounts,
+    /// Concatenate, then collapse duplicate lines adjacent across chunk
+    /// boundaries (for `uniq` over contiguous splits).
+    UniqBoundary {
+        /// Whether partials carry `uniq -c` count prefixes to be summed.
+        counted: bool,
+    },
+    /// Keep only the first N lines of the concatenation (for `head` when
+    /// it is forced into a parallel region).
+    TakeFirst {
+        /// Line budget.
+        n: u64,
+    },
+    /// Concatenate, collapsing a run of the previous chunk's final byte at
+    /// each boundary (for `tr -s`, whose squeezing is byte-level).
+    SqueezeBoundary {
+        /// Bytes subject to squeezing.
+        set: Vec<u8>,
+    },
+}
+
+/// Serializable mirror of a sort ordering (see
+/// `jash_coreutils::cmds::sort::SortOptions`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SortKeySpec {
+    /// `-r`.
+    #[serde(default)]
+    pub reverse: bool,
+    /// `-n`.
+    #[serde(default)]
+    pub numeric: bool,
+    /// `-u`.
+    #[serde(default)]
+    pub unique: bool,
+    /// `-k N` (0 = whole line).
+    #[serde(default)]
+    pub key_field: usize,
+    /// `-t C`.
+    #[serde(default)]
+    pub separator: Option<u8>,
+}
+
+impl From<jash_coreutils::cmds::sort::SortOptions> for SortKeySpec {
+    fn from(o: jash_coreutils::cmds::sort::SortOptions) -> Self {
+        SortKeySpec {
+            reverse: o.reverse,
+            numeric: o.numeric,
+            unique: o.unique,
+            key_field: o.key_field,
+            separator: o.separator,
+        }
+    }
+}
+
+impl From<SortKeySpec> for jash_coreutils::cmds::sort::SortOptions {
+    fn from(k: SortKeySpec) -> Self {
+        jash_coreutils::cmds::sort::SortOptions {
+            reverse: k.reverse,
+            numeric: k.numeric,
+            unique: k.unique,
+            key_field: k.key_field,
+            separator: k.separator,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splittable_classes() {
+        assert!(ParallelClass::Stateless.is_splittable());
+        assert!(ParallelClass::Parallelizable {
+            agg: Aggregator::Concat
+        }
+        .is_splittable());
+        assert!(!ParallelClass::NonParallelizable.is_splittable());
+        assert!(!ParallelClass::SideEffectful.is_splittable());
+    }
+
+    #[test]
+    fn stateless_aggregates_by_concat() {
+        assert_eq!(
+            ParallelClass::Stateless.aggregator(),
+            Some(Aggregator::Concat)
+        );
+        assert_eq!(ParallelClass::NonParallelizable.aggregator(), None);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = ParallelClass::Parallelizable {
+            agg: Aggregator::MergeSort {
+                key: SortKeySpec {
+                    reverse: true,
+                    numeric: true,
+                    ..Default::default()
+                },
+            },
+        };
+        let json = serde_json::to_string(&c).unwrap();
+        let back: ParallelClass = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn sort_key_conversion() {
+        let opts = jash_coreutils::cmds::sort::SortOptions {
+            reverse: true,
+            numeric: true,
+            unique: false,
+            key_field: 2,
+            separator: Some(b':'),
+        };
+        let key: SortKeySpec = opts.into();
+        let back: jash_coreutils::cmds::sort::SortOptions = key.into();
+        assert_eq!(back, opts);
+    }
+}

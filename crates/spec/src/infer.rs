@@ -1,0 +1,356 @@
+//! Specification inference by black-box testing (paper §4, "Heuristic
+//! support": *"fuzz testing … could (i) test that a command conforms to
+//! its specification or even (ii) learn important aspects of a command's
+//! specification by inspecting its behavior"*).
+//!
+//! The inferencer treats the command as a function from stdin bytes to
+//! stdout bytes (the caller supplies the runner) and probes algebraic
+//! properties on generated inputs:
+//!
+//! * **stateless**: `f(a ⧺ b) = f(a) ⧺ f(b)` for every split point tried;
+//! * **merge-aggregatable**: `f(a ⧺ b) = merge(f(a), f(b))` under a
+//!   candidate sort key;
+//! * **sum-aggregatable**: numeric columns of `f(a ⧺ b)` equal the column
+//!   sums of `f(a)` and `f(b)`.
+//!
+//! A property that fails on any probe is definitively *not* part of the
+//! spec; a property that survives all probes is reported with the usual
+//! testing caveat (it is evidence, not proof — exactly how the paper
+//! frames learned specs).
+
+use crate::class::{Aggregator, ParallelClass, SortKeySpec};
+
+/// A black-box view of a command: bytes in, bytes out.
+pub type Runner<'a> = dyn Fn(&[u8]) -> Vec<u8> + 'a;
+
+/// The outcome of an inference session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Inference {
+    /// The strongest class all probes are consistent with.
+    pub class: ParallelClass,
+    /// Number of probe inputs exercised.
+    pub probes: usize,
+}
+
+/// Deterministic pseudo-random line generator (xorshift; no external
+/// entropy so inference is reproducible).
+fn gen_corpus(seed: u64, docs: usize) -> Vec<Vec<u8>> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let words = [
+        "alpha", "beta", "Gamma", "DELTA", "42", "007", "x", "zebra", "apple", "apple",
+    ];
+    (0..docs)
+        .map(|_| {
+            let lines = (next() % 12) as usize + 1;
+            let mut doc = Vec::new();
+            for _ in 0..lines {
+                let w1 = words[(next() % words.len() as u64) as usize];
+                let w2 = words[(next() % words.len() as u64) as usize];
+                doc.extend_from_slice(w1.as_bytes());
+                doc.push(b' ');
+                doc.extend_from_slice(w2.as_bytes());
+                doc.push(b'\n');
+            }
+            doc
+        })
+        .collect()
+}
+
+/// Splits `doc` at a line boundary roughly in the middle.
+fn split_doc(doc: &[u8]) -> Option<(Vec<u8>, Vec<u8>)> {
+    let mid = doc.len() / 2;
+    let split = doc[mid..].iter().position(|&b| b == b'\n')? + mid + 1;
+    if split >= doc.len() {
+        return None;
+    }
+    Some((doc[..split].to_vec(), doc[split..].to_vec()))
+}
+
+/// Infers the strongest parallelizability class consistent with observed
+/// behavior.
+pub fn infer_class(run: &Runner<'_>) -> Inference {
+    let corpus = gen_corpus(0x9E37_79B9_7F4A_7C15, 24);
+    let mut stateless = true;
+    let mut mergeable_keys: Vec<SortKeySpec> = vec![
+        SortKeySpec::default(),
+        SortKeySpec {
+            numeric: true,
+            ..Default::default()
+        },
+        SortKeySpec {
+            reverse: true,
+            ..Default::default()
+        },
+        SortKeySpec {
+            reverse: true,
+            numeric: true,
+            ..Default::default()
+        },
+        SortKeySpec {
+            unique: true,
+            ..Default::default()
+        },
+    ];
+    let mut summable = true;
+    let mut probes = 0;
+
+    for doc in &corpus {
+        let Some((a, b)) = split_doc(doc) else {
+            continue;
+        };
+        probes += 1;
+        let whole = run(doc);
+        let fa = run(&a);
+        let fb = run(&b);
+
+        // Stateless: concatenation law.
+        let mut concat = fa.clone();
+        concat.extend_from_slice(&fb);
+        if concat != whole {
+            stateless = false;
+        }
+
+        // Merge-aggregatable under each candidate key.
+        mergeable_keys.retain(|key| merge_under(key, &fa, &fb) == whole);
+
+        // Sum-aggregatable.
+        if !sums_match(&whole, &fa, &fb) {
+            summable = false;
+        }
+    }
+
+    let class = if stateless {
+        ParallelClass::Stateless
+    } else if let Some(key) = mergeable_keys.first() {
+        ParallelClass::Parallelizable {
+            agg: Aggregator::MergeSort { key: *key },
+        }
+    } else if summable {
+        ParallelClass::Parallelizable {
+            agg: Aggregator::SumCounts,
+        }
+    } else {
+        ParallelClass::NonParallelizable
+    };
+    Inference { class, probes }
+}
+
+/// Checks that a claimed class is consistent with observed behavior.
+///
+/// Returns `Ok(probes)` when every probe satisfied the claim, or a
+/// description of the first violated law.
+pub fn check_conformance(run: &Runner<'_>, claimed: &ParallelClass) -> Result<usize, String> {
+    let inferred = infer_class(run);
+    let ok = match claimed {
+        ParallelClass::Stateless => inferred.class == ParallelClass::Stateless,
+        ParallelClass::Parallelizable { agg } => match (&inferred.class, agg) {
+            (ParallelClass::Stateless, _) => true,
+            (
+                ParallelClass::Parallelizable {
+                    agg: Aggregator::MergeSort { key: ik },
+                },
+                Aggregator::MergeSort { key: ck },
+            ) => ik == ck || verify_key(run, ck),
+            (_, Aggregator::MergeSort { key }) => verify_key(run, key),
+            (
+                ParallelClass::Parallelizable {
+                    agg: Aggregator::SumCounts,
+                },
+                Aggregator::SumCounts,
+            ) => true,
+            (_, Aggregator::SumCounts) => verify_sums(run),
+            _ => true, // Weaker or untestable aggregators pass by default.
+        },
+        // Claims of non-parallelizability and side effects are always safe.
+        ParallelClass::NonParallelizable | ParallelClass::SideEffectful => true,
+    };
+    if ok {
+        Ok(inferred.probes)
+    } else {
+        Err(format!(
+            "claimed {claimed:?} but observed behavior consistent only with {:?}",
+            inferred.class
+        ))
+    }
+}
+
+fn verify_key(run: &Runner<'_>, key: &SortKeySpec) -> bool {
+    let corpus = gen_corpus(0xDEAD_BEEF, 12);
+    for doc in &corpus {
+        if let Some((a, b)) = split_doc(doc) {
+            let whole = run(doc);
+            if merge_under(key, &run(&a), &run(&b)) != whole {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn verify_sums(run: &Runner<'_>) -> bool {
+    let corpus = gen_corpus(0xFEED_FACE, 12);
+    for doc in &corpus {
+        if let Some((a, b)) = split_doc(doc) {
+            if !sums_match(&run(doc), &run(&a), &run(&b)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn merge_under(key: &SortKeySpec, a: &[u8], b: &[u8]) -> Vec<u8> {
+    let opts: jash_coreutils::cmds::sort::SortOptions = (*key).into();
+    let mut lines: Vec<&[u8]> = Vec::new();
+    lines.extend(jash_io::split_lines(a));
+    lines.extend(jash_io::split_lines(b));
+    lines.sort_by(|x, y| opts.compare(x, y));
+    let mut out = Vec::new();
+    let mut prev: Option<&[u8]> = None;
+    for l in lines {
+        if key.unique {
+            if let Some(p) = prev {
+                if opts.compare(p, l) == std::cmp::Ordering::Equal {
+                    continue;
+                }
+            }
+        }
+        out.extend_from_slice(l);
+        out.push(b'\n');
+        prev = Some(l);
+    }
+    out
+}
+
+fn sums_match(whole: &[u8], a: &[u8], b: &[u8]) -> bool {
+    let parse = |data: &[u8]| -> Option<Vec<i64>> {
+        let text = std::str::from_utf8(data).ok()?;
+        let nums: Vec<i64> = text
+            .split_whitespace()
+            .map(|t| t.parse::<i64>())
+            .collect::<Result<_, _>>()
+            .ok()?;
+        if nums.is_empty() {
+            None
+        } else {
+            Some(nums)
+        }
+    };
+    match (parse(whole), parse(a), parse(b)) {
+        (Some(w), Some(x), Some(y)) if w.len() == x.len() && x.len() == y.len() => w
+            .iter()
+            .zip(x.iter().zip(y.iter()))
+            .all(|(w, (x, y))| *w == x + y),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jash_coreutils::{run_on_bytes, UtilCtx};
+
+    fn util_runner(name: &'static str, args: &'static [&'static str]) -> impl Fn(&[u8]) -> Vec<u8> {
+        move |input: &[u8]| {
+            let ctx = UtilCtx::new(jash_io::mem_fs());
+            run_on_bytes(&ctx, name, args, input).expect("runner").1
+        }
+    }
+
+    #[test]
+    fn cat_inferred_stateless() {
+        let r = util_runner("cat", &[]);
+        assert_eq!(infer_class(&r).class, ParallelClass::Stateless);
+    }
+
+    #[test]
+    fn tr_inferred_stateless() {
+        let r = util_runner("tr", &["A-Z", "a-z"]);
+        assert_eq!(infer_class(&r).class, ParallelClass::Stateless);
+    }
+
+    #[test]
+    fn grep_inferred_stateless() {
+        let r = util_runner("grep", &["a"]);
+        assert_eq!(infer_class(&r).class, ParallelClass::Stateless);
+    }
+
+    #[test]
+    fn sort_inferred_mergeable() {
+        let r = util_runner("sort", &[]);
+        match infer_class(&r).class {
+            ParallelClass::Parallelizable {
+                agg: Aggregator::MergeSort { key },
+            } => assert!(!key.numeric && !key.reverse),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sort_rn_inferred_with_matching_key() {
+        let r = util_runner("sort", &["-rn"]);
+        match infer_class(&r).class {
+            ParallelClass::Parallelizable {
+                agg: Aggregator::MergeSort { key },
+            } => assert!(key.numeric && key.reverse),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn wc_inferred_summable() {
+        let r = util_runner("wc", &["-lw"]);
+        assert_eq!(
+            infer_class(&r).class,
+            ParallelClass::Parallelizable {
+                agg: Aggregator::SumCounts
+            }
+        );
+    }
+
+    #[test]
+    fn head_inferred_non_parallelizable() {
+        let r = util_runner("head", &["-n3"]);
+        assert_eq!(infer_class(&r).class, ParallelClass::NonParallelizable);
+    }
+
+    #[test]
+    fn conformance_of_builtin_registry_specs() {
+        // The headline check: every splittable builtin spec survives
+        // black-box probing (the paper's "test that a command conforms to
+        // its specification").
+        let cases: &[(&str, &[&str])] = &[
+            ("cat", &[]),
+            ("tr", &["A-Z", "a-z"]),
+            ("grep", &["a"]),
+            ("cut", &["-c", "1-3"]),
+            ("sort", &[]),
+            ("sort", &["-rn"]),
+            ("wc", &["-l"]),
+            ("sed", &["s/a/X/g"]),
+        ];
+        for (name, args) in cases {
+            let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+            let spec = crate::resolve_builtin(name, &argv).unwrap();
+            let r = move |input: &[u8]| {
+                let ctx = UtilCtx::new(jash_io::mem_fs());
+                run_on_bytes(&ctx, name, args, input).expect("runner").1
+            };
+            check_conformance(&r, &spec.class)
+                .unwrap_or_else(|e| panic!("{name} {args:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn conformance_rejects_wrong_claim() {
+        // Claiming `head -n3` is stateless must fail.
+        let r = util_runner("head", &["-n3"]);
+        assert!(check_conformance(&r, &ParallelClass::Stateless).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! Command specifications — the PaSh/POSH annotation framework
+//! (enabler E2 of the HotOS '21 paper).
+//!
+//! Specifications characterize "important properties about commands —
+//! e.g., their interaction with state and their inputs and outputs — and
+//! can be used as abstract models of the command behaviors": every
+//! invocation resolves to an [`InstanceSpec`] carrying a
+//! [`ParallelClass`], the input/output shape, and streaming hints the
+//! cost model consumes.
+//!
+//! Three pieces:
+//! * [`resolve_builtin`] — hand-written specs for the bundled coreutils
+//!   (flag-sensitive, like the paper's per-version annotations);
+//! * [`Registry`] — user-extensible spec libraries with a JSON
+//!   interchange format ("shared between users, not unlike completion
+//!   libraries");
+//! * [`infer`] — black-box specification inference and conformance
+//!   testing (paper §4, *Heuristic support*).
+//!
+//! # Examples
+//!
+//! ```
+//! use jash_spec::{Registry, ParallelClass, Aggregator};
+//!
+//! let reg = Registry::builtin();
+//! let args: Vec<String> = vec!["-rn".into()];
+//! let spec = reg.resolve("sort", &args).unwrap();
+//! assert!(matches!(spec.class, ParallelClass::Parallelizable { agg: Aggregator::MergeSort { .. } }));
+//! assert!(spec.blocking);
+//! ```
+
+pub mod class;
+pub mod infer;
+pub mod registry;
+pub mod spec;
+
+pub use class::{Aggregator, ParallelClass, SortKeySpec};
+pub use infer::{check_conformance, infer_class, Inference};
+pub use registry::{FlagRule, Registry, UserSpec};
+pub use spec::{resolve_builtin, InstanceSpec};

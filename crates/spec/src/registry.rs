@@ -1,0 +1,196 @@
+//! The specification registry: built-ins plus user-supplied libraries.
+//!
+//! The paper (E2) envisions specification libraries "shared between users,
+//! not unlike completion libraries"; [`Registry::load_json`] implements
+//! that interchange: a JSON document describing default classes and
+//! flag-conditional overrides for commands the built-in table doesn't
+//! know.
+
+use crate::class::ParallelClass;
+use crate::spec::{resolve_builtin, InstanceSpec};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A user-provided specification for one command, as serialized in a
+/// specification library file.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct UserSpec {
+    /// Command name the spec applies to.
+    pub name: String,
+    /// Spec version (commands change behavior across versions; specs are
+    /// written per version, like man pages).
+    #[serde(default)]
+    pub version: String,
+    /// Class when no overriding rule matches.
+    pub default_class: ParallelClass,
+    /// First matching rule wins.
+    #[serde(default)]
+    pub rules: Vec<FlagRule>,
+    /// Whether the command reads stdin when it has no file operands.
+    #[serde(default = "default_true")]
+    pub reads_stdin: bool,
+    /// Whether it buffers all input before emitting (cost model hint).
+    #[serde(default)]
+    pub blocking: bool,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+/// A conditional class override keyed on a present flag.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlagRule {
+    /// Flag that triggers the rule (exact argument match, e.g. `-z`).
+    pub when_flag: String,
+    /// Class to use when the flag is present.
+    pub class: ParallelClass,
+}
+
+/// A resolvable collection of command specifications.
+#[derive(Default)]
+pub struct Registry {
+    user: HashMap<String, UserSpec>,
+}
+
+impl Registry {
+    /// A registry with only the built-in specifications.
+    pub fn builtin() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) a user specification.
+    pub fn register(&mut self, spec: UserSpec) {
+        self.user.insert(spec.name.clone(), spec);
+    }
+
+    /// Loads a JSON specification library (an array of [`UserSpec`]).
+    pub fn load_json(&mut self, json: &str) -> Result<usize, serde_json::Error> {
+        let specs: Vec<UserSpec> = serde_json::from_str(json)?;
+        let n = specs.len();
+        for s in specs {
+            self.register(s);
+        }
+        Ok(n)
+    }
+
+    /// Serializes the user-registered specs back to JSON.
+    pub fn to_json(&self) -> String {
+        let mut specs: Vec<&UserSpec> = self.user.values().collect();
+        specs.sort_by(|a, b| a.name.cmp(&b.name));
+        serde_json::to_string_pretty(&specs).unwrap_or_else(|_| "[]".to_string())
+    }
+
+    /// Resolves a command invocation: user specs take precedence over
+    /// built-ins (a user may correct or shadow a built-in model).
+    pub fn resolve(&self, name: &str, args: &[String]) -> Option<InstanceSpec> {
+        if let Some(user) = self.user.get(name) {
+            let mut class = user.default_class.clone();
+            for rule in &user.rules {
+                if args.iter().any(|a| a == &rule.when_flag) {
+                    class = rule.class.clone();
+                    break;
+                }
+            }
+            let input_args = args
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.starts_with('-') || a.as_str() == "-")
+                .map(|(i, _)| i)
+                .collect::<Vec<_>>();
+            return Some(InstanceSpec {
+                class,
+                reads_stdin: user.reads_stdin && input_args.is_empty(),
+                input_args,
+                output_files: Vec::new(),
+                blocking: user.blocking,
+                prefix_only: false,
+            });
+        }
+        resolve_builtin(name, args)
+    }
+
+    /// Names of all user-registered commands.
+    pub fn user_commands(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.user.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Aggregator;
+
+    fn args(a: &[&str]) -> Vec<String> {
+        a.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn builtin_resolution_passthrough() {
+        let r = Registry::builtin();
+        assert!(r.resolve("sort", &args(&["-n"])).is_some());
+        assert!(r.resolve("unknown-cmd", &args(&[])).is_none());
+    }
+
+    #[test]
+    fn user_spec_for_unknown_command() {
+        let mut r = Registry::builtin();
+        r.load_json(
+            r#"[{
+                "name": "my-filter",
+                "version": "1.0",
+                "default_class": {"kind": "stateless"},
+                "rules": [
+                    {"when_flag": "-g", "class": {"kind": "non-parallelizable"}}
+                ]
+            }]"#,
+        )
+        .unwrap();
+        let s = r.resolve("my-filter", &args(&["-x"])).unwrap();
+        assert_eq!(s.class, ParallelClass::Stateless);
+        let s = r.resolve("my-filter", &args(&["-g"])).unwrap();
+        assert_eq!(s.class, ParallelClass::NonParallelizable);
+    }
+
+    #[test]
+    fn user_spec_shadows_builtin() {
+        let mut r = Registry::builtin();
+        r.register(UserSpec {
+            name: "sort".into(),
+            version: "weird".into(),
+            default_class: ParallelClass::NonParallelizable,
+            rules: vec![],
+            reads_stdin: true,
+            blocking: true,
+        });
+        let s = r.resolve("sort", &args(&[])).unwrap();
+        assert_eq!(s.class, ParallelClass::NonParallelizable);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let mut r = Registry::builtin();
+        r.register(UserSpec {
+            name: "tool".into(),
+            version: "2".into(),
+            default_class: ParallelClass::Parallelizable {
+                agg: Aggregator::SumCounts,
+            },
+            rules: vec![],
+            reads_stdin: false,
+            blocking: false,
+        });
+        let json = r.to_json();
+        let mut r2 = Registry::builtin();
+        assert_eq!(r2.load_json(&json).unwrap(), 1);
+        assert_eq!(r2.user_commands(), vec!["tool"]);
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        let mut r = Registry::builtin();
+        assert!(r.load_json("not json").is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Incremental computation over a growing log (paper §4, U3): "small
+//! changes to the input [cause] a complete re-execution, leading to many
+//! hours of wasted redundant computation".
+//!
+//! ```sh
+//! cargo run --release --example incremental_logs
+//! ```
+
+use jash::dataflow::{ExpandedCommand, Region};
+use jash::incremental::IncRunner;
+use std::sync::Arc;
+
+fn main() {
+    let fs = jash::io::mem_fs();
+    let mut log = String::new();
+    for i in 0..200_000 {
+        let status = if i % 37 == 0 { 500 } else { 200 };
+        log.push_str(&format!("10.0.0.{} GET /item/{i} {status}\n", i % 256));
+    }
+    jash::io::fs::write_file(fs.as_ref(), "/var/log/access.log", log.as_bytes()).unwrap();
+
+    // The region: errors in the access log (stateless per line, so the
+    // specification framework licenses suffix reuse).
+    let region = Region {
+        commands: vec![
+            ExpandedCommand::new("cat", &["/var/log/access.log"]),
+            ExpandedCommand::new("grep", &[" 500"]),
+        ],
+    };
+
+    let mut runner = IncRunner::new(Arc::clone(&fs), "/.jash-cache");
+
+    let t = std::time::Instant::now();
+    let cold = runner.run(&region).expect("cold run");
+    println!(
+        "cold run : {:>8.1} ms  ({:?}, {} error lines)",
+        t.elapsed().as_secs_f64() * 1e3,
+        cold.outcome,
+        cold.stdout.iter().filter(|&&b| b == b'\n').count()
+    );
+
+    let t = std::time::Instant::now();
+    let warm = runner.run(&region).expect("warm run");
+    println!(
+        "warm run : {:>8.1} ms  ({:?})",
+        t.elapsed().as_secs_f64() * 1e3,
+        warm.outcome
+    );
+
+    // The log grows (the everyday case).
+    let mut h = fs.open_write("/var/log/access.log", true).unwrap();
+    for i in 0..1000 {
+        h.write_all(format!("10.0.0.9 GET /new/{i} 500\n").as_bytes())
+            .unwrap();
+    }
+    drop(h);
+
+    let t = std::time::Instant::now();
+    let grown = runner.run(&region).expect("append run");
+    println!(
+        "after 0.5% append: {:>8.1} ms  ({:?}, {} error lines)",
+        t.elapsed().as_secs_f64() * 1e3,
+        grown.outcome,
+        grown.stdout.iter().filter(|&&b| b == b'\n').count()
+    );
+
+    println!("\ncache stats: {:?}", runner.stats);
+    assert_eq!(warm.stdout, cold.stdout);
+    assert!(grown.stdout.len() > cold.stdout.len());
+}

@@ -1,0 +1,57 @@
+//! Heuristic support (paper §4): static lints plus the JIT-time misuse
+//! guard that sees *expanded* values.
+//!
+//! ```sh
+//! cargo run --example lint_and_guard
+//! ```
+
+use jash::lint::{guard_argv, lint_script, GuardVerdict};
+
+const SCRIPT: &str = r#"
+# deploy.sh -- riddled with classics
+cd /opt/app
+BUILD_DIR=$1
+rm -rf $BUILD_DIR/
+for f in $(ls releases); do
+    cat release-notes.txt | grep $f
+done
+read version
+x=`date`
+[ $version = latest ] && echo deploying
+"#;
+
+fn main() {
+    println!("--- static findings (ShellCheck-style) ---");
+    let findings = lint_script(SCRIPT).expect("script parses");
+    for f in &findings {
+        println!("{}", f.display(SCRIPT));
+    }
+    assert!(!findings.is_empty());
+
+    // The static rule can only warn about `rm -rf $BUILD_DIR/`. At
+    // runtime the JIT expands words first, so the guard sees the real
+    // argv — and can refuse *before* execution.
+    println!("\n--- runtime guard (post-expansion) ---");
+    for (desc, argv, cwd) in [
+        (
+            "BUILD_DIR=staging (fine)",
+            vec!["rm", "-rf", "staging/"],
+            "/opt/app",
+        ),
+        (
+            "BUILD_DIR unset → `rm -rf /`",
+            vec!["rm", "-rf", "/"],
+            "/opt/app",
+        ),
+        ("empty operand", vec!["rm", "-rf", ""], "/opt/app"),
+    ] {
+        let argv: Vec<String> = argv.iter().map(|s| s.to_string()).collect();
+        let verdict = guard_argv(&argv, cwd);
+        println!("{desc:<34} -> {verdict:?}");
+        if desc.contains("fine") {
+            assert_eq!(verdict, GuardVerdict::Allow);
+        } else {
+            assert!(!matches!(verdict, GuardVerdict::Allow));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Specification inference and conformance testing (paper §4, Heuristic
+//! support): "fuzz testing … could (i) test that a command conforms to
+//! its specification or even (ii) learn important aspects of a command's
+//! specification by inspecting its behavior".
+//!
+//! ```sh
+//! cargo run --release --example spec_inference
+//! ```
+
+use jash::coreutils::{run_on_bytes, UtilCtx};
+use jash::spec::{check_conformance, infer_class, Registry, UserSpec};
+
+fn main() {
+    println!("--- inferring classes by black-box probing ---");
+    let cases: &[(&str, &[&str])] = &[
+        ("cat", &[]),
+        ("tr", &["A-Z", "a-z"]),
+        ("grep", &["o"]),
+        ("sort", &[]),
+        ("sort", &["-rn"]),
+        ("wc", &["-l"]),
+        ("head", &["-n2"]),
+        ("tac", &[]),
+    ];
+    for (name, args) in cases {
+        let runner = move |input: &[u8]| {
+            let ctx = UtilCtx::new(jash::io::mem_fs());
+            run_on_bytes(&ctx, name, args, input).expect("probe").1
+        };
+        let inferred = infer_class(&runner);
+        println!(
+            "{name} {args:?}: {:?} ({} probes)",
+            inferred.class, inferred.probes
+        );
+        // Cross-check against the hand-written registry spec.
+        let argv: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        if let Some(spec) = Registry::builtin().resolve(name, &argv) {
+            check_conformance(&runner, &spec.class)
+                .unwrap_or_else(|e| panic!("{name}: registry spec refuted: {e}"));
+        }
+    }
+
+    println!("\n--- a shareable specification library (JSON) ---");
+    let mut registry = Registry::builtin();
+    registry
+        .load_json(
+            r#"[{
+                "name": "my-anonymizer",
+                "version": "2.1",
+                "default_class": {"kind": "stateless"},
+                "rules": [
+                    {"when_flag": "--dedup", "class": {"kind": "non-parallelizable"}}
+                ]
+            }]"#,
+        )
+        .expect("valid spec library");
+    let argv: Vec<String> = vec!["--fast".into()];
+    let spec = registry.resolve("my-anonymizer", &argv).expect("registered");
+    println!("my-anonymizer --fast resolves to {:?}", spec.class);
+    let _ = UserSpec {
+        name: "doc-example".into(),
+        version: "1".into(),
+        default_class: jash::spec::ParallelClass::Stateless,
+        rules: vec![],
+        reads_stdin: true,
+        blocking: false,
+    };
+    println!("\nexported library:\n{}", registry.to_json());
+}

@@ -1,0 +1,139 @@
+//! The `jash` command-line shell runner.
+//!
+//! ```text
+//! jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR]
+//!      (-c SCRIPT | FILE [args...])
+//! ```
+//!
+//! Runs a POSIX shell script under the chosen engine against a real
+//! directory tree (`--root`, default the current directory), printing the
+//! script's stdout/stderr and exiting with its status. `--explain` dumps
+//! the JIT trace afterwards; `--lint` reports findings and exits without
+//! executing.
+
+use jash::core::{Engine, Jash};
+use jash::cost::MachineProfile;
+use jash::expand::ShellState;
+use std::io::{Read, Write};
+use std::sync::Arc;
+
+struct Options {
+    engine: Engine,
+    explain: bool,
+    lint: bool,
+    root: String,
+    script: String,
+    args: Vec<String>,
+    script_name: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR] \
+         (-c SCRIPT | FILE [args...])"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut engine = Engine::JashJit;
+    let mut explain = false;
+    let mut lint = false;
+    let mut root = ".".to_string();
+    let mut script: Option<String> = None;
+    let mut script_name = "jash".to_string();
+    let mut rest: Vec<String> = Vec::new();
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--engine" => {
+                engine = match argv.next().as_deref() {
+                    Some("bash") => Engine::Bash,
+                    Some("pash") => Engine::PashAot,
+                    Some("jash") => Engine::JashJit,
+                    _ => usage(),
+                };
+            }
+            "--explain" => explain = true,
+            "--lint" => lint = true,
+            "--root" => root = argv.next().unwrap_or_else(|| usage()),
+            "-c" => {
+                script = Some(argv.next().unwrap_or_else(|| usage()));
+                rest.extend(argv.by_ref());
+            }
+            "-h" | "--help" => usage(),
+            file => {
+                script_name = file.to_string();
+                let mut buf = String::new();
+                match std::fs::File::open(file) {
+                    Ok(mut f) => {
+                        f.read_to_string(&mut buf).unwrap_or_else(|e| {
+                            eprintln!("jash: {file}: {e}");
+                            std::process::exit(1);
+                        });
+                    }
+                    Err(e) => {
+                        eprintln!("jash: {file}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+                script = Some(buf);
+                rest.extend(argv.by_ref());
+            }
+        }
+    }
+    let Some(script) = script else { usage() };
+    Options {
+        engine,
+        explain,
+        lint,
+        root,
+        script,
+        args: rest,
+        script_name,
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+
+    if opts.lint {
+        match jash::lint::lint_script(&opts.script) {
+            Ok(findings) => {
+                for f in &findings {
+                    println!("{}", f.display(&opts.script));
+                }
+                std::process::exit(if findings.is_empty() { 0 } else { 1 });
+            }
+            Err(e) => {
+                eprintln!("jash: {}", e.display_with_source(&opts.script));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let fs: jash::io::FsHandle = Arc::new(jash::io::RealFs::new(&opts.root));
+    let mut state = ShellState::new(fs);
+    state.shell_name = opts.script_name;
+    state.positional = opts.args;
+    let mut shell = Jash::new(opts.engine, MachineProfile::laptop());
+
+    let result = match shell.run_script(&mut state, &opts.script) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("jash: {e}");
+            std::process::exit(2);
+        }
+    };
+    std::io::stdout().write_all(&result.stdout).ok();
+    std::io::stderr().write_all(&result.stderr).ok();
+
+    if opts.explain {
+        eprintln!("--- jit trace ({} engine) ---", opts.engine);
+        for event in &shell.trace {
+            eprintln!("{:60} -> {:?}", event.pipeline, event.action);
+        }
+    }
+    std::process::exit(result.status);
+}

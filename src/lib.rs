@@ -1,0 +1,18 @@
+//! Jash — a JIT-optimizing POSIX shell runtime.
+//!
+//! Umbrella crate re-exporting the workspace members. See the README for
+//! the architecture overview and `DESIGN.md` for the paper mapping.
+
+pub use jash_ast as ast;
+pub use jash_core as core;
+pub use jash_coreutils as coreutils;
+pub use jash_cost as cost;
+pub use jash_dataflow as dataflow;
+pub use jash_exec as exec;
+pub use jash_expand as expand;
+pub use jash_incremental as incremental;
+pub use jash_interp as interp;
+pub use jash_io as io;
+pub use jash_lint as lint;
+pub use jash_parser as parser;
+pub use jash_spec as spec;

@@ -1,0 +1,144 @@
+//! The reproduction's soundness claim, end to end: for every script in a
+//! corpus, the three engines (plain interpretation, PaSh-style AOT, Jash
+//! JIT — the latter two with forced-aggressive planning so rewrites
+//! actually fire) produce byte-identical stdout and equal exit status.
+
+use jash::core::{Engine, Jash};
+use jash::cost::{MachineProfile, PlannerOptions};
+use jash::expand::ShellState;
+use jash::io::FsHandle;
+use std::sync::Arc;
+
+fn machine() -> MachineProfile {
+    MachineProfile {
+        cores: 8,
+        disk: jash::io::DiskProfile::ramdisk(),
+        mem_mb: 8 * 1024,
+    }
+}
+
+fn staged_fs() -> FsHandle {
+    let fs = jash::io::mem_fs();
+    let mixed: String = (0..3000)
+        .map(|i| format!("Word{} mIxEd {} shell pipeline {}\n", i % 71, (i * 37) % 900, i))
+        .collect();
+    let nums: String = (0..2000).map(|i| format!("{}\n", (i * 7919) % 500)).collect();
+    let dict = "alpha\nbeta\ngamma\nmixed\npipeline\nshell\nword\n";
+    jash::io::fs::write_file(fs.as_ref(), "/data/mixed.txt", mixed.as_bytes()).unwrap();
+    jash::io::fs::write_file(fs.as_ref(), "/data/nums.txt", nums.as_bytes()).unwrap();
+    jash::io::fs::write_file(fs.as_ref(), "/data/dict.txt", dict.as_bytes()).unwrap();
+    fs
+}
+
+fn run(engine: Engine, src: &str, aggressive: bool) -> (i32, Vec<u8>) {
+    let fs = staged_fs();
+    let mut state = ShellState::new(fs);
+    let mut shell = Jash::new(engine, machine());
+    if aggressive {
+        shell.planner = PlannerOptions {
+            min_speedup: 0.0,
+            force_width: Some(4),
+            ..Default::default()
+        };
+    }
+    let r = shell.run_script(&mut state, src).expect("script runs");
+    (r.status, r.stdout)
+}
+
+/// Scripts spanning the optimizable fragment and its boundaries.
+const CORPUS: &[&str] = &[
+    "cat /data/mixed.txt | tr A-Z a-z | sort | head -n5",
+    "cat /data/mixed.txt | tr -cs A-Za-z '\\n' | sort -u | comm -13 /data/dict.txt -",
+    "sort -n /data/nums.txt | uniq -c | sort -rn | head -n3",
+    "grep -c shell /data/mixed.txt",
+    "cat /data/nums.txt /data/nums.txt | sort -n | uniq | wc -l",
+    "cut -c 1-6 /data/mixed.txt | sort -u | head -n4",
+    "F=/data/mixed.txt; cat $F | grep -v Word3 | wc -l",
+    "sed s/Word/W/g /data/mixed.txt | head -n2",
+    "cat /data/mixed.txt | rev | rev | head -n3",
+    "X=shell; grep $X /data/mixed.txt | wc -l",
+    // Boundary cases: fall back to interpretation, must still agree.
+    "cat /data/mixed.txt | head -n2 | tr a-z A-Z",
+    "echo one; echo two | tr a-z A-Z; echo three",
+    "if grep -q shell /data/mixed.txt; then echo found; fi",
+    "for w in alpha beta; do grep -c $w /data/dict.txt; done",
+    "cat /data/nums.txt | sort -n > /tmp/sorted; head -n1 /tmp/sorted",
+];
+
+#[test]
+fn engines_agree_on_stdout_and_status() {
+    for src in CORPUS {
+        let (bash_st, bash_out) = run(Engine::Bash, src, false);
+        for engine in [Engine::PashAot, Engine::JashJit] {
+            let (st, out) = run(engine, src, true);
+            assert_eq!(
+                bash_st, st,
+                "status diverged for `{src}` under {engine}"
+            );
+            assert_eq!(
+                String::from_utf8_lossy(&bash_out),
+                String::from_utf8_lossy(&out),
+                "stdout diverged for `{src}` under {engine}"
+            );
+        }
+    }
+}
+
+#[test]
+fn jit_actually_optimizes_most_of_the_corpus() {
+    let mut optimized = 0;
+    let mut total = 0;
+    for src in CORPUS {
+        let fs = staged_fs();
+        let mut state = ShellState::new(fs);
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner = PlannerOptions {
+            min_speedup: 0.0,
+            force_width: Some(4),
+            ..Default::default()
+        };
+        shell.run_script(&mut state, src).unwrap();
+        total += 1;
+        if shell.trace.iter().any(jash::core::TraceEvent::was_optimized) {
+            optimized += 1;
+        }
+    }
+    assert!(
+        optimized * 2 >= total,
+        "only {optimized}/{total} scripts optimized — the fragment shrank"
+    );
+}
+
+#[test]
+fn widths_do_not_change_output() {
+    let src = "cat /data/mixed.txt | tr A-Z a-z | sort -u";
+    let (_, reference) = run(Engine::Bash, src, false);
+    for width in [2, 3, 5, 8, 16] {
+        let fs = staged_fs();
+        let mut state = ShellState::new(fs);
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner.force_width = Some(width);
+        let r = shell.run_script(&mut state, src).unwrap();
+        assert_eq!(r.stdout, reference, "width {width} diverged");
+    }
+}
+
+#[test]
+fn optimized_file_writes_match_interpreted_ones() {
+    let src = "cat /data/mixed.txt | tr A-Z a-z | sort > /out.txt";
+    let fs_a = staged_fs();
+    let mut state = ShellState::new(Arc::clone(&fs_a));
+    Jash::new(Engine::Bash, machine())
+        .run_script(&mut state, src)
+        .unwrap();
+    let expected = jash::io::fs::read_to_vec(fs_a.as_ref(), "/out.txt").unwrap();
+
+    let fs_b = staged_fs();
+    let mut state = ShellState::new(Arc::clone(&fs_b));
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner.force_width = Some(4);
+    shell.run_script(&mut state, src).unwrap();
+    assert!(shell.trace.iter().any(jash::core::TraceEvent::was_optimized));
+    let got = jash::io::fs::read_to_vec(fs_b.as_ref(), "/out.txt").unwrap();
+    assert_eq!(expected, got);
+}
