@@ -66,7 +66,7 @@ fn main() {
     let mut pipeline_time = f64::MAX;
     for engine in Engine::ALL {
         let sim = sim_machine(profile, records.len() as u64);
-        let script = format!("cut -c 89-92 < /noaa.dat | grep -v 999 | sort -rn | head -n1");
+        let script = "cut -c 89-92 < /noaa.dat | grep -v 999 | sort -rn | head -n1".to_string();
         stage(&sim, "/noaa.dat", &records);
         let (wall, result, _) = run_engine(engine, &sim, &script);
         assert_eq!(result.status, 0);

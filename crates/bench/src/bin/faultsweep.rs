@@ -1,0 +1,40 @@
+//! Standalone fault-sweep runner:
+//! `cargo run --release -p jash-bench --bin faultsweep`
+//! (knobs: `JASH_BENCH_MB`, `JASH_FAULT_SEED`).
+//!
+//! Exits nonzero if any engine diverged from the sequential baseline
+//! under any injected fault, or if a transactional staging file leaked.
+
+use jash_bench::faults::{default_sweep, render, run_sweep, sweep_holds};
+use jash_cost::MachineProfile;
+use jash_io::FsHandle;
+
+fn main() {
+    let bytes = jash_bench::bench_input_bytes().min(8 * 1024 * 1024);
+    let seed: u64 = std::env::var("JASH_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let docs = jash_bench::documents(bytes, seed);
+    let dict = jash_bench::dictionary();
+    let len = docs.len() as u64;
+    let stage = move |fs: &FsHandle| {
+        jash_io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs).unwrap();
+        jash_io::fs::write_file(fs.as_ref(), "/data/dict.txt", &dict).unwrap();
+    };
+    let script = "cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u | comm -13 /data/dict.txt - > /out";
+    let machine = MachineProfile {
+        cores: 8,
+        disk: jash_io::DiskProfile::ramdisk(),
+        mem_mb: 8 * 1024,
+    };
+    println!("fault sweep: {len} input bytes, seed {seed}\nscript: {script}\n");
+    let rows = run_sweep(script, &stage, &default_sweep("/data/docs.txt", len, seed), machine);
+    print!("{}", render(&rows));
+    if sweep_holds(&rows) {
+        println!("\ncrash-equivalence holds across {} runs", rows.len());
+    } else {
+        println!("\nCRASH-EQUIVALENCE VIOLATED");
+        std::process::exit(1);
+    }
+}

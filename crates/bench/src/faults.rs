@@ -1,0 +1,225 @@
+//! Fault-sweep harness: crash-equivalence measurement.
+//!
+//! Where `fig1` measures *speed*, this harness measures *soundness under
+//! failure*: it runs one script under a family of deterministic fault
+//! plans on all three engines and checks, per fault, that the optimizing
+//! engines degrade to exactly the sequential baseline — same exit
+//! status, byte-identical stdout, same surviving files, and no
+//! transactional staging debris. It is the measurement instrument for
+//! the tentpole claim that optimized execution is crash-equivalent to
+//! sequential execution.
+//!
+//! Run it with `cargo run --release -p jash-bench --bin faultsweep`
+//! (knobs: `JASH_BENCH_MB`, `JASH_FAULT_SEED`).
+
+use jash_core::{Engine, Jash, TraceEvent};
+use jash_cost::{MachineProfile, PlannerOptions};
+use jash_expand::ShellState;
+use jash_io::{FaultFs, FaultPlan, FsHandle};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One fault scenario in a sweep.
+pub struct FaultCase {
+    /// Display name.
+    pub name: String,
+    /// The injected plan (empty for the baseline case).
+    pub plan: FaultPlan,
+}
+
+/// The default sweep over a single input file of `input_len` bytes:
+/// a clean control, read errors at the head / middle / tail (the tail
+/// lands in the last parallel branch of a contiguous split), mid-stream
+/// truncation, an open failure, benign short reads, and a seeded
+/// probabilistic error mix.
+pub fn default_sweep(path: &str, input_len: u64, seed: u64) -> Vec<FaultCase> {
+    let mk = |name: &str, plan: FaultPlan| FaultCase {
+        name: name.to_string(),
+        plan,
+    };
+    vec![
+        mk("clean (control)", FaultPlan::new()),
+        mk(
+            "read error @ head",
+            FaultPlan::new().read_error_at(path, input_len / 100, "disk surface error"),
+        ),
+        mk(
+            "read error @ middle",
+            FaultPlan::new().read_error_at(path, input_len / 2, "disk surface error"),
+        ),
+        mk(
+            "read error @ tail",
+            FaultPlan::new().read_error_at(path, input_len - input_len / 100, "disk surface error"),
+        ),
+        mk(
+            "truncation @ middle",
+            FaultPlan::new().truncate_at(path, input_len / 2),
+        ),
+        mk(
+            "open failure",
+            FaultPlan::new().open_error(path, "permission denied"),
+        ),
+        mk(
+            "short reads (benign)",
+            FaultPlan::new().short_reads(path, 101),
+        ),
+        mk(
+            "probabilistic read errors",
+            FaultPlan::new().with_seed(seed).rule(jash_io::fault::FaultRule {
+                path: Some(path.to_string()),
+                op: jash_io::fault::FaultOp::Read,
+                trigger: jash_io::fault::Trigger::Probability(0.02),
+                kind: jash_io::fault::FaultKind::Error {
+                    kind: std::io::ErrorKind::Other,
+                    msg: "injected: probabilistic read error".to_string(),
+                },
+                once: false,
+            }),
+        ),
+    ]
+}
+
+/// One engine's behavior under one fault case.
+pub struct SweepRow {
+    /// Fault case name.
+    pub case: String,
+    /// Engine measured.
+    pub engine: Engine,
+    /// Exit status of the session.
+    pub status: i32,
+    /// Whether an optimized region faulted and fell back.
+    pub failed_over: bool,
+    /// Wall time of the run.
+    pub wall: Duration,
+    /// Status and stdout both equal to the Bash baseline under the same
+    /// fault.
+    pub matches_baseline: bool,
+    /// Whether any `.jash-stage-*` file survived (must never happen).
+    pub staging_debris: bool,
+}
+
+fn debris(fs: &FsHandle) -> bool {
+    for dir in ["/", "/tmp", "/data"] {
+        for name in fs.list_dir(dir).unwrap_or_default() {
+            if name.contains(".jash-stage-") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Runs `script` on every engine under every case. `stage` is called
+/// with a fresh in-memory fs per run so each run sees identical inputs.
+pub fn run_sweep(
+    script: &str,
+    stage: &dyn Fn(&FsHandle),
+    cases: &[FaultCase],
+    machine: MachineProfile,
+) -> Vec<SweepRow> {
+    let mut rows = Vec::new();
+    for case in cases {
+        let mut baseline: Option<(i32, Vec<u8>)> = None;
+        for engine in Engine::ALL {
+            let inner = jash_io::mem_fs();
+            stage(&inner);
+            let fs: FsHandle = if case.plan.is_empty() {
+                Arc::clone(&inner)
+            } else {
+                FaultFs::wrap(Arc::clone(&inner), case.plan.clone())
+            };
+            let mut state = ShellState::new(fs);
+            let mut shell = Jash::new(engine, machine);
+            shell.planner = PlannerOptions {
+                min_speedup: 0.0,
+                force_width: Some(machine.cores.min(4)),
+                ..Default::default()
+            };
+            let t0 = Instant::now();
+            let result = match shell.run_script(&mut state, script) {
+                Ok(r) => r,
+                Err(e) => jash_interp::RunResult {
+                    status: 2,
+                    stdout: Vec::new(),
+                    stderr: format!("jash: {e}\n").into_bytes(),
+                },
+            };
+            let wall = t0.elapsed();
+            let matches_baseline = match &baseline {
+                None => {
+                    baseline = Some((result.status, result.stdout.clone()));
+                    true
+                }
+                Some((st, out)) => *st == result.status && *out == result.stdout,
+            };
+            rows.push(SweepRow {
+                case: case.name.clone(),
+                engine,
+                status: result.status,
+                failed_over: shell.trace.iter().any(TraceEvent::failed_over),
+                wall,
+                matches_baseline,
+                staging_debris: debris(&inner),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the sweep as an aligned text table.
+pub fn render(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:<6} {:>6} {:>10} {:>9} {:>8} {:>7}\n",
+        "fault", "engine", "status", "failover", "equal", "debris", "ms"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:<6} {:>6} {:>10} {:>9} {:>8} {:>7}\n",
+            r.case,
+            r.engine.to_string(),
+            r.status,
+            if r.failed_over { "yes" } else { "-" },
+            if r.matches_baseline { "ok" } else { "DIVERGED" },
+            if r.staging_debris { "LEAKED" } else { "-" },
+            r.wall.as_millis(),
+        ));
+    }
+    out
+}
+
+/// Whether the sweep upholds crash-equivalence: every row matches the
+/// baseline and no row leaked staging files.
+pub fn sweep_holds(rows: &[SweepRow]) -> bool {
+    rows.iter().all(|r| r.matches_baseline && !r.staging_debris)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_sweep_is_crash_equivalent() {
+        let docs = crate::documents(64 * 1024, 11);
+        let dict = crate::dictionary();
+        let len = docs.len() as u64;
+        let stage = move |fs: &FsHandle| {
+            jash_io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs).unwrap();
+            jash_io::fs::write_file(fs.as_ref(), "/data/dict.txt", &dict).unwrap();
+        };
+        let script =
+            "cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u | comm -13 /data/dict.txt - > /out";
+        let machine = MachineProfile {
+            cores: 4,
+            disk: jash_io::DiskProfile::ramdisk(),
+            mem_mb: 4 * 1024,
+        };
+        let rows = run_sweep(script, &stage, &default_sweep("/data/docs.txt", len, 7), machine);
+        assert_eq!(rows.len(), 8 * Engine::ALL.len());
+        assert!(sweep_holds(&rows), "\n{}", render(&rows));
+        // The injected faults actually made the JIT fail over somewhere.
+        assert!(rows
+            .iter()
+            .any(|r| r.engine == Engine::JashJit && r.failed_over));
+    }
+}

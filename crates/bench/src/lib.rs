@@ -16,6 +16,7 @@
 
 use jash_core::{Engine, Jash, TraceEvent};
 
+pub mod faults;
 pub mod fig1;
 use jash_cost::MachineProfile;
 use jash_expand::ShellState;
@@ -174,7 +175,7 @@ pub fn noaa_max_valid(records: &[u8]) -> u32 {
 
 /// A small English dictionary, sorted, for the spell workload.
 pub fn dictionary() -> Vec<u8> {
-    let mut words: Vec<&str> = VOCAB.iter().map(|w| *w).collect();
+    let mut words: Vec<&str> = VOCAB.to_vec();
     let mut lower: Vec<String> = words.drain(..).map(|w| w.to_lowercase()).collect();
     lower.sort();
     lower.dedup();

@@ -56,6 +56,39 @@ pub enum Action {
         /// estimate).
         projected_speedup: f64,
     },
+    /// Optimized execution faulted mid-flight; staged output was
+    /// discarded and the region re-ran sequentially under the
+    /// interpreter (the correctness half of the no-regression guard).
+    FailedOver {
+        /// Width the failed optimized attempt ran at.
+        width: usize,
+        /// The region failures that triggered the fallback.
+        failures: Vec<String>,
+    },
+}
+
+/// Live runtime information a session accumulates while executing —
+/// the record the JIT consults (and extends) each time a region runs.
+/// The failure side of the no-regression guard lives here: every
+/// optimized region that faulted and fell back is on the books, so
+/// tooling (and tests) can audit that no fault was silently swallowed.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeInfo {
+    /// Regions that ran to completion through the dataflow executor.
+    pub regions_optimized: u64,
+    /// Regions whose optimized run faulted and re-ran sequentially.
+    pub regions_failed_over: u64,
+    /// One record per failed-over region, in session order.
+    pub failures: Vec<RegionFailure>,
+}
+
+/// Why one optimized region was rolled back.
+#[derive(Debug, Clone)]
+pub struct RegionFailure {
+    /// The pipeline, unparsed.
+    pub pipeline: String,
+    /// Node and commit failures reported by the executor.
+    pub failures: Vec<String>,
 }
 
 /// One traced decision.
@@ -71,6 +104,11 @@ impl TraceEvent {
     /// True when the region ran through the dataflow executor.
     pub fn was_optimized(&self) -> bool {
         matches!(self.action, Action::Optimized { .. })
+    }
+
+    /// True when the optimized run faulted and fell back.
+    pub fn failed_over(&self) -> bool {
+        matches!(self.action, Action::FailedOver { .. })
     }
 }
 

@@ -9,7 +9,7 @@
 //! and execute a dataflow region with live information (variable values,
 //! file sizes, machine resources).
 
-use crate::engine::{Action, Engine, TraceEvent};
+use crate::engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
 use crate::region::{jit_region, resolve_paths, static_region, Ineligible};
 use jash_ast::{ListItem, Program};
 use jash_cost::{choose_plan, pash_aot_plan, InputInfo, MachineProfile, PlannerOptions};
@@ -32,6 +32,17 @@ pub struct Jash {
     pub planner: PlannerOptions,
     /// Decisions taken this session, in order.
     pub trace: Vec<TraceEvent>,
+    /// Live runtime record: optimized/failed-over region counts and the
+    /// failure ledger the no-regression guard appends to.
+    pub runtime: RuntimeInfo,
+    /// Abort an optimized region whose pipes stop moving for this long
+    /// (then fall back to the interpreter). `None` disables the watchdog.
+    pub node_timeout: Option<std::time::Duration>,
+    /// Cancellation token shared with optimized regions. The stall
+    /// watchdog cancels it, so wiring the same token into blocking I/O
+    /// layers (e.g. `FaultFs::wrap_with_cancel`) lets an abort interrupt
+    /// reads that are stuck inside the filesystem, not just pipe waits.
+    pub cancel: Option<jash_io::CancelToken>,
     interp: Interpreter,
 }
 
@@ -44,6 +55,9 @@ impl Jash {
             registry: jash_spec::Registry::builtin(),
             planner: PlannerOptions::default(),
             trace: Vec::new(),
+            runtime: RuntimeInfo::default(),
+            node_timeout: None,
+            cancel: None,
             interp: Interpreter::new(),
         }
     }
@@ -218,6 +232,8 @@ impl Jash {
             cfg.buffer_splits_in = Some("/tmp/jash-buffers".to_string());
         }
         cfg.split_targets = split_plans(&compiled.dfg, input.total_bytes);
+        cfg.node_timeout = self.node_timeout;
+        cfg.cancel = self.cancel.clone();
         let outcome = match execute(&compiled.dfg, &cfg) {
             Ok(o) => o,
             Err(e) => {
@@ -226,6 +242,30 @@ impl Jash {
                 return Ok(None);
             }
         };
+
+        // The correctness half of the no-regression guard: if any node
+        // faulted (IO error, panic, stall) or the commit failed, the
+        // transactional executor has already discarded staged file output;
+        // drop the captured streams too, book the failure, and re-execute
+        // the region sequentially under the interpreter, which reproduces
+        // exactly what an unoptimized shell would have done.
+        if !outcome.is_clean() {
+            self.runtime.regions_failed_over += 1;
+            self.runtime.failures.push(RegionFailure {
+                pipeline: pipeline_text.clone(),
+                failures: outcome.failures.clone(),
+            });
+            self.trace.push(TraceEvent {
+                pipeline: pipeline_text,
+                action: Action::FailedOver {
+                    width: shape.width,
+                    failures: outcome.failures,
+                },
+            });
+            return Ok(None);
+        }
+
+        self.runtime.regions_optimized += 1;
         self.trace.push(TraceEvent {
             pipeline: pipeline_text,
             action: Action::Optimized {

@@ -42,7 +42,7 @@ pub mod engine;
 pub mod jit;
 pub mod region;
 
-pub use engine::{Action, Engine, TraceEvent};
+pub use engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
 pub use jit::Jash;
 pub use region::{jit_region, static_region, Ineligible};
 
@@ -259,6 +259,138 @@ cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 $DICT -
         }
         assert_eq!(outputs[0], outputs[1]);
         assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn sticky_fault_falls_back_and_matches_bash() {
+        // A sticky read fault fires in the optimized attempt *and* in the
+        // sequential rerun, so JashJit must degrade to exactly what the
+        // Bash engine reports — status and bytes.
+        let src = "cat /in | tr A-Z a-z | sort -u";
+        let make_fs = || {
+            let fs = fs_with(&[("/in", &"Delta Alpha Bravo\n".repeat(300))]);
+            let plan =
+                jash_io::FaultPlan::new().read_error_at("/in", 256, "disk surface error");
+            jash_io::FaultFs::wrap(fs, plan) as FsHandle
+        };
+        let (bash, _) = run_engine(Engine::Bash, make_fs(), src);
+        let (jash, shell) = run_engine(Engine::JashJit, make_fs(), src);
+        assert_eq!(jash.status, bash.status, "jash trace: {:?}", shell.trace);
+        assert_eq!(jash.stdout, bash.stdout);
+        assert!(
+            shell.trace.iter().any(TraceEvent::failed_over),
+            "{:?}",
+            shell.trace
+        );
+        assert_eq!(shell.runtime.regions_failed_over, 1);
+        assert_eq!(shell.runtime.failures.len(), 1);
+        assert!(shell.runtime.failures[0]
+            .failures
+            .iter()
+            .any(|f| f.contains("injected")));
+    }
+
+    #[test]
+    fn shared_cancel_token_lets_watchdog_interrupt_stalled_reads() {
+        // `Jash::cancel` is handed to optimized regions as
+        // `ExecConfig::cancel`; the stall watchdog cancels it, which must
+        // wake a read blocked *inside* the filesystem layer (FaultFs polls
+        // the same token) — end to end, a stalled region aborts in
+        // milliseconds instead of sleeping out the stall.
+        let fs = fs_with(&[("/in", &"Delta Alpha Bravo\n".repeat(300))]);
+        let plan = jash_io::FaultPlan::new()
+            .stall_reads("/in", std::time::Duration::from_secs(300));
+        let token = jash_io::CancelToken::new();
+        let faulted = jash_io::FaultFs::wrap_with_cancel(fs, plan, token.clone()) as FsHandle;
+
+        let mut state = ShellState::new(faulted);
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner = eager();
+        shell.node_timeout = Some(std::time::Duration::from_millis(100));
+        shell.cancel = Some(token);
+
+        let start = std::time::Instant::now();
+        let r = shell
+            .run_script(&mut state, "cat /in | tr A-Z a-z | sort -u")
+            .unwrap();
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "stalled region should abort fast, took {:?}",
+            start.elapsed()
+        );
+        assert_ne!(r.status, 0);
+        assert_eq!(shell.runtime.regions_failed_over, 1);
+        assert!(
+            shell.runtime.failures[0]
+                .failures
+                .iter()
+                .any(|f| f.contains("watchdog")),
+            "{:?}",
+            shell.runtime.failures
+        );
+    }
+
+    #[test]
+    fn transient_fault_recovers_via_sequential_rerun() {
+        // A `once` fault hits only the optimized attempt; the interpreter
+        // rerun succeeds, so the session's observable output is the clean
+        // sequential result — the fault is invisible except in the trace.
+        let content = "Delta Alpha Bravo\n".repeat(300);
+        let src = "cat /in | tr A-Z a-z | sort -u";
+        let fs = fs_with(&[("/in", &content)]);
+        let plan = jash_io::FaultPlan::new().rule(jash_io::fault::FaultRule {
+            path: Some("/in".into()),
+            op: jash_io::fault::FaultOp::Read,
+            trigger: jash_io::fault::Trigger::AtByte(128),
+            kind: jash_io::fault::FaultKind::Error {
+                kind: std::io::ErrorKind::Other,
+                msg: "injected: transient controller reset".into(),
+            },
+            once: true,
+        });
+        let faulty = jash_io::FaultFs::wrap(fs, plan) as FsHandle;
+        let (jash, shell) = run_engine(Engine::JashJit, faulty, src);
+        let (clean, _) = run_engine(Engine::Bash, fs_with(&[("/in", &content)]), src);
+        assert_eq!(jash.status, 0, "trace: {:?}", shell.trace);
+        assert_eq!(jash.stdout, clean.stdout);
+        assert!(shell.trace.iter().any(TraceEvent::failed_over));
+        assert_eq!(shell.runtime.regions_failed_over, 1);
+    }
+
+    #[test]
+    fn faulted_file_write_leaves_no_partial_output() {
+        // The transactional sink plus fallback: a fault mid-region must
+        // not leave /out (or any staging file) behind unless the
+        // sequential rerun also produced it.
+        let content = "Zebra apple\n".repeat(400);
+        let make_fs = || {
+            let fs = fs_with(&[("/in", &content)]);
+            let plan =
+                jash_io::FaultPlan::new().read_error_at("/in", 512, "disk surface error");
+            (
+                std::sync::Arc::clone(&fs),
+                jash_io::FaultFs::wrap(fs, plan) as FsHandle,
+            )
+        };
+        let src = "cat /in | tr A-Z a-z | sort > /out";
+        let (bash_inner, bash_fs) = make_fs();
+        let (bash, _) = run_engine(Engine::Bash, bash_fs, src);
+        let (jash_inner, jash_fs) = make_fs();
+        let (jash, shell) = run_engine(Engine::JashJit, jash_fs, src);
+        assert_eq!(jash.status, bash.status, "trace: {:?}", shell.trace);
+        assert!(shell.trace.iter().any(TraceEvent::failed_over));
+        // Whatever the sequential engines left behind, the JIT left the
+        // same — and never a staging file.
+        assert_eq!(
+            jash_io::fs::read_to_vec(bash_inner.as_ref(), "/out").ok(),
+            jash_io::fs::read_to_vec(jash_inner.as_ref(), "/out").ok()
+        );
+        for f in jash_inner.list_dir("/").unwrap() {
+            assert!(
+                !f.contains(".jash-stage-"),
+                "staging debris left behind: {f}"
+            );
+        }
     }
 
     #[test]

@@ -56,16 +56,16 @@ pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i3
                 // Emit the cross product of equal-key runs.
                 let ai_end = (i..a.len()).take_while(|&x| key(&a[x], key1) == ka).last().unwrap() + 1;
                 let bj_end = (j..b.len()).take_while(|&x| key(&b[x], key2) == kb).last().unwrap() + 1;
-                for x in i..ai_end {
-                    for y in j..bj_end {
+                for row_a in &a[i..ai_end] {
+                    for row_b in &b[j..bj_end] {
                         out.extend_from_slice(&ka);
-                        for (fi, f) in a[x].iter().enumerate() {
+                        for (fi, f) in row_a.iter().enumerate() {
                             if fi + 1 != key1 {
                                 out.push(out_sep);
                                 out.extend_from_slice(f);
                             }
                         }
-                        for (fi, f) in b[y].iter().enumerate() {
+                        for (fi, f) in row_b.iter().enumerate() {
                             if fi + 1 != key2 {
                                 out.push(out_sep);
                                 out.extend_from_slice(f);

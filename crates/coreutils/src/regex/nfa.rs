@@ -172,7 +172,7 @@ impl Nfa {
         }
     }
 
-    fn eps_closure(&self, set: &mut Vec<bool>, work: &mut Vec<usize>) {
+    fn eps_closure(&self, set: &mut [bool], work: &mut Vec<usize>) {
         while let Some(s) = work.pop() {
             for &t in &self.states[s].eps {
                 if !set[t] {

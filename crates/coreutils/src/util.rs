@@ -237,7 +237,7 @@ pub fn parse_ranges(list: &str) -> Option<Vec<(usize, usize)>> {
             if start == 0 || (end != usize::MAX && end < start) {
                 return None;
             }
-            out.push((start - 1, if end == usize::MAX { end } else { end }));
+            out.push((start - 1, end));
         } else {
             let n = part.parse::<usize>().ok()?;
             if n == 0 {

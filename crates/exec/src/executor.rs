@@ -5,6 +5,29 @@
 //! backpressure comes from the bounded pipes, early termination (`head`)
 //! propagates as broken-pipe errors that upstream nodes treat as the
 //! moral equivalent of `SIGPIPE`.
+//!
+//! # Failure semantics
+//!
+//! Optimized execution must never be *less* safe than the sequential
+//! interpretation it replaces, so the executor is transactional and
+//! self-diagnosing:
+//!
+//! * **No panics across threads** — endpoint wiring errors surface as
+//!   [`io::Error`]s before any thread spawns, and a node thread that does
+//!   panic is caught ([`std::panic::catch_unwind`]) and recorded in its
+//!   [`NodeMetric::failure`] instead of poisoning the scope.
+//! * **Benign vs real faults** — a broken pipe is normal dataflow
+//!   shutdown (`head` exiting early) and maps to status 0; every other IO
+//!   error marks the node failed (status 125, `failure` recorded).
+//! * **Transactional sinks** — `WriteFile` nodes write to a private
+//!   staging path and are renamed over the target only when the whole
+//!   region succeeded; a failed region removes its staging files and
+//!   leaves prior file contents untouched, so a JIT can fall back to
+//!   sequential re-execution without observable side effects.
+//! * **Stall watchdog** — when [`ExecConfig::node_timeout`] is set, a
+//!   watchdog cancels the region (waking every blocked pipe endpoint
+//!   with a descriptive error) if no chunk moves across any pipe for the
+//!   configured duration.
 
 use crate::merge::run_merge;
 use crate::split::{split_contiguous, split_round_robin, DEFAULT_BLOCK_LINES};
@@ -12,10 +35,12 @@ use bytes::Bytes;
 use jash_coreutils::{UtilCtx, UtilIo};
 use jash_dataflow::{Dfg, NodeId, NodeKind};
 use jash_io::fs::{FileSink, FileStream};
-use jash_io::{ByteStream, FsHandle, MemStream, Sink};
+use jash_io::{ByteStream, CancelToken, FsHandle, MemStream, PipeHooks, Sink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -45,6 +70,13 @@ pub struct ExecConfig {
     /// what makes resource-oblivious parallelism regress on the Standard
     /// instance in Figure 1.
     pub buffer_splits_in: Option<String>,
+    /// Abort the region if no pipe moves a chunk for this long. `None`
+    /// disables the watchdog.
+    pub node_timeout: Option<Duration>,
+    /// Cancellation token shared with the region. Supplying one lets
+    /// callers (and fault harnesses) interrupt blocked nodes; the
+    /// executor creates a private token when absent.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExecConfig {
@@ -58,6 +90,8 @@ impl ExecConfig {
             block_lines: DEFAULT_BLOCK_LINES,
             cpu: None,
             buffer_splits_in: None,
+            node_timeout: None,
+            cancel: None,
         }
     }
 }
@@ -73,6 +107,10 @@ pub struct NodeMetric {
     pub wall: Duration,
     /// Exit status (commands only).
     pub status: Option<i32>,
+    /// Why the node failed, when it did: the IO error, the cancellation
+    /// reason, or a captured panic message. `None` for clean completion
+    /// (including benign broken-pipe shutdown).
+    pub failure: Option<String>,
 }
 
 /// The result of executing a graph.
@@ -81,7 +119,9 @@ pub struct ExecOutcome {
     /// Captured stdout of the region (empty when it ended in a file
     /// write).
     pub stdout: Vec<u8>,
-    /// Combined diagnostics of all nodes.
+    /// Combined diagnostics of all nodes, grouped per node (each node's
+    /// lines are flushed together, prefixed with its label) so the
+    /// interleaving is deterministic.
     pub stderr: Vec<u8>,
     /// Region exit status (pipeline semantics; see crate docs).
     pub status: i32,
@@ -89,6 +129,19 @@ pub struct ExecOutcome {
     pub metrics: Vec<NodeMetric>,
     /// End-to-end wall time.
     pub wall: Duration,
+    /// Region-level failures: every node failure plus any commit
+    /// failure. Empty means the region ran (and committed) cleanly —
+    /// nonzero command statuses such as `grep` finding nothing are not
+    /// failures.
+    pub failures: Vec<String>,
+}
+
+impl ExecOutcome {
+    /// Whether the region completed without faults (IO errors, panics,
+    /// stalls, or commit failures).
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty()
+    }
 }
 
 /// Validates that every round-robin split only feeds order-insensitive
@@ -148,6 +201,20 @@ impl Sink for SharedSink {
     }
 }
 
+/// A sink appending into a thread-local buffer.
+struct BufSink<'a>(&'a mut Vec<u8>);
+
+impl Sink for BufSink<'_> {
+    fn write_chunk(&mut self, chunk: Bytes) -> io::Result<()> {
+        self.0.extend_from_slice(&chunk);
+        Ok(())
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
 /// A sink that discards everything.
 struct NullSink;
 
@@ -161,17 +228,69 @@ impl Sink for NullSink {
     }
 }
 
+/// The staging path for a transactional `WriteFile` at `node` targeting
+/// `final_path`.
+pub fn staging_path(final_path: &str, node: NodeId) -> String {
+    format!("{final_path}.jash-stage-{}", node.0)
+}
+
+fn wiring_error(edge: usize, end: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidInput,
+        format!("dataflow wiring: {end} endpoint of edge {edge} requested twice (malformed graph)"),
+    )
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Appends `lines` to the shared stderr buffer under one lock, each line
+/// prefixed with the node's label, so concurrent nodes can never
+/// interleave mid-message.
+fn flush_node_stderr(shared: &Arc<Mutex<Vec<u8>>>, label: &str, lines: &[u8]) {
+    if lines.is_empty() {
+        return;
+    }
+    let mut out = shared.lock();
+    for line in lines.split_inclusive(|&b| b == b'\n') {
+        out.extend_from_slice(label.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(line);
+    }
+    if !lines.ends_with(b"\n") {
+        out.push(b'\n');
+    }
+}
+
 /// Executes a graph to completion.
+///
+/// `WriteFile` sinks are transactional: they write to a staging path and
+/// commit (atomic rename) only if no node failed; otherwise staging files
+/// are removed and the error is reported through
+/// [`ExecOutcome::failures`].
 pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
-    check_split_safety(dfg, cfg)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+    check_split_safety(dfg, cfg).map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
     let t0 = Instant::now();
+
+    let cancel = cfg.cancel.clone().unwrap_or_default();
+    let progress = Arc::new(AtomicU64::new(0));
+    let hooks = PipeHooks {
+        cancel: Some(cancel.clone()),
+        progress: Some(Arc::clone(&progress)),
+    };
 
     // Create a pipe per edge, then hand the endpoints to node threads.
     let mut writers: Vec<Option<Box<dyn Sink>>> = Vec::new();
     let mut readers: Vec<Option<Box<dyn ByteStream>>> = Vec::new();
     for _ in &dfg.edges {
-        let (w, r) = jash_io::pipe(cfg.pipe_depth);
+        let (w, r) = jash_io::pipe_with(cfg.pipe_depth, hooks.clone());
         writers.push(Some(Box::new(w)));
         readers.push(Some(Box::new(r)));
     }
@@ -191,78 +310,257 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
             )
     });
 
-    std::thread::scope(|scope| -> io::Result<()> {
-        for n in dfg.node_ids() {
-            if !jash_dataflow::is_live(dfg, n) {
-                continue;
-            }
-            let kind = dfg.node(n).kind.clone();
-            let ins: Vec<Box<dyn ByteStream>> = dfg
-                .node(n)
-                .inputs
-                .iter()
-                .map(|e| readers[e.0].take().expect("reader taken once"))
-                .collect();
-            let mut outs: Vec<Box<dyn Sink>> = dfg
-                .node(n)
-                .outputs
-                .iter()
-                .map(|e| writers[e.0].take().expect("writer taken once"))
-                .collect();
-            if terminal == Some(n) {
-                outs.push(Box::new(SharedSink(Arc::clone(&capture))));
-            }
-            let fs = Arc::clone(&cfg.fs);
-            let cwd = cfg.cwd.clone();
-            let stderr = Arc::clone(&stderr);
-            let metrics = Arc::clone(&metrics);
-            let split_plan = cfg.split_targets.get(&n).cloned();
-            let block_lines = cfg.block_lines;
-            let buffer_dir = cfg.buffer_splits_in.clone();
-            let cpu = cfg.cpu.clone();
-
-            scope.spawn(move || {
-                let start = Instant::now();
-                let status = run_node(
-                    &kind, n, ins, outs, fs, &cwd, &stderr, split_plan, block_lines, buffer_dir,
-                    cpu,
-                );
-                let status = match status {
-                    Ok(s) => s,
-                    Err(e) if e.kind() == io::ErrorKind::BrokenPipe => Some(0),
-                    Err(e) => {
-                        stderr
-                            .lock()
-                            .extend_from_slice(format!("jash-exec: {e}\n").as_bytes());
-                        Some(125)
-                    }
-                };
-                metrics.lock().push(NodeMetric {
-                    node: n,
-                    label: kind.label(),
-                    wall: start.elapsed(),
-                    status,
-                });
-            });
+    // Wire every live node's endpoints up front — errors here surface
+    // before any thread starts, and the whole wiring is validated (each
+    // edge endpoint is consumed exactly once).
+    struct Wired {
+        node: NodeId,
+        kind: NodeKind,
+        ins: Vec<Box<dyn ByteStream>>,
+        outs: Vec<Box<dyn Sink>>,
+        staging: Option<String>,
+    }
+    let mut wired: Vec<Wired> = Vec::new();
+    // (final path, staging path) for every transactional sink.
+    let mut staged_files: Vec<(String, String)> = Vec::new();
+    for n in dfg.node_ids() {
+        if !jash_dataflow::is_live(dfg, n) {
+            continue;
         }
-        Ok(())
-    })?;
+        let kind = dfg.node(n).kind.clone();
+        let mut ins: Vec<Box<dyn ByteStream>> = Vec::new();
+        for e in &dfg.node(n).inputs {
+            ins.push(
+                readers
+                    .get_mut(e.0)
+                    .and_then(Option::take)
+                    .ok_or_else(|| wiring_error(e.0, "read"))?,
+            );
+        }
+        let mut outs: Vec<Box<dyn Sink>> = Vec::new();
+        for e in &dfg.node(n).outputs {
+            outs.push(
+                writers
+                    .get_mut(e.0)
+                    .and_then(Option::take)
+                    .ok_or_else(|| wiring_error(e.0, "write"))?,
+            );
+        }
+        if terminal == Some(n) {
+            outs.push(Box::new(SharedSink(Arc::clone(&capture))));
+        }
+        let staging = if let NodeKind::WriteFile { path, .. } = &kind {
+            let final_path = jash_io::fs::normalize(&cfg.cwd, path);
+            let stage = staging_path(&final_path, n);
+            staged_files.push((final_path, stage.clone()));
+            Some(stage)
+        } else {
+            None
+        };
+        wired.push(Wired {
+            node: n,
+            kind,
+            ins,
+            outs,
+            staging,
+        });
+    }
+    // Drop unconsumed endpoints (edges touching dead nodes) so their
+    // peers see EOF/broken-pipe instead of blocking forever.
+    drop(readers);
+    drop(writers);
 
-    let metrics = Arc::try_unwrap(metrics)
+    std::thread::scope(|scope| {
+        // The watchdog lives in the outer scope; node threads run in an
+        // inner scope so their collective completion is observable.
+        let done = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        if let Some(timeout) = cfg.node_timeout {
+            let done = Arc::clone(&done);
+            let progress = Arc::clone(&progress);
+            let cancel = cancel.clone();
+            scope.spawn(move || watchdog(timeout, &done, &progress, &cancel));
+        }
+
+        std::thread::scope(|inner| {
+            for w in wired.drain(..) {
+                let fs = Arc::clone(&cfg.fs);
+                let cwd = cfg.cwd.clone();
+                let stderr = Arc::clone(&stderr);
+                let metrics = Arc::clone(&metrics);
+                let split_plan = cfg.split_targets.get(&w.node).cloned();
+                let block_lines = cfg.block_lines;
+                let buffer_dir = cfg.buffer_splits_in.clone();
+                let cpu = cfg.cpu.clone();
+
+                inner.spawn(move || {
+                    let start = Instant::now();
+                    let label = w.kind.label();
+                    let mut local_err: Vec<u8> = Vec::new();
+                    let Wired {
+                        node,
+                        kind,
+                        ins,
+                        outs,
+                        staging,
+                    } = w;
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                        run_node(
+                            &kind,
+                            node,
+                            ins,
+                            outs,
+                            fs,
+                            &cwd,
+                            &mut local_err,
+                            split_plan,
+                            block_lines,
+                            buffer_dir,
+                            cpu,
+                            staging,
+                        )
+                    }));
+                    let (status, failure) = match result {
+                        Ok(Ok(s)) => (s, None),
+                        // Benign: downstream stopped reading (`head`
+                        // semantics) — the Unix equivalent of SIGPIPE.
+                        Ok(Err(e)) if e.kind() == io::ErrorKind::BrokenPipe => (Some(0), None),
+                        Ok(Err(e)) => {
+                            local_err.extend_from_slice(format!("jash-exec: {e}\n").as_bytes());
+                            (Some(125), Some(e.to_string()))
+                        }
+                        Err(payload) => {
+                            let msg = panic_message(payload);
+                            local_err.extend_from_slice(
+                                format!("jash-exec: node panicked: {msg}\n").as_bytes(),
+                            );
+                            (Some(125), Some(format!("panic: {msg}")))
+                        }
+                    };
+                    flush_node_stderr(&stderr, &label, &local_err);
+                    metrics.lock().push(NodeMetric {
+                        node,
+                        label,
+                        wall: start.elapsed(),
+                        status,
+                        failure,
+                    });
+                });
+            }
+        });
+
+        let (lock, cvar) = &*done;
+        if let Ok(mut d) = lock.lock() {
+            *d = true;
+            cvar.notify_all();
+        };
+    });
+
+    let mut metrics = Arc::try_unwrap(metrics)
         .map(|m| m.into_inner())
         .unwrap_or_default();
-    let status = region_status(dfg, &metrics);
+    metrics.sort_by_key(|m| m.node.0);
+    let mut failures: Vec<String> = metrics
+        .iter()
+        .filter_map(|m| {
+            m.failure
+                .as_ref()
+                .map(|f| format!("{}: {}", m.label, f))
+        })
+        .collect();
+
+    // Transactional commit: rename staging files into place only when
+    // every node finished cleanly; otherwise discard staged output.
+    let clean = failures.is_empty();
+    for (final_path, stage) in &staged_files {
+        if clean {
+            if cfg.fs.exists(stage) {
+                if let Err(e) = cfg.fs.rename(stage, final_path) {
+                    failures.push(format!("commit {final_path}: {e}"));
+                    let _ = cfg.fs.remove(stage);
+                }
+            }
+        } else {
+            let _ = cfg.fs.remove(stage);
+        }
+    }
+    // A failed region also sweeps any split buffer files its feeders did
+    // not get to delete.
+    if !failures.is_empty() {
+        if let Some(dir) = &cfg.buffer_splits_in {
+            for n in dfg.node_ids() {
+                if let NodeKind::Split { width } = dfg.node(n).kind {
+                    for b in 0..width {
+                        let _ = cfg
+                            .fs
+                            .remove(&format!("{}/split-{}-{}", dir.trim_end_matches('/'), n.0, b));
+                    }
+                }
+            }
+        }
+    }
+
+    let status = if failures.iter().any(|f| f.starts_with("commit ")) {
+        125
+    } else {
+        region_status(dfg, &metrics)
+    };
+    let mut stderr = Arc::try_unwrap(stderr)
+        .map(|m| m.into_inner())
+        .unwrap_or_default();
+    // Node failures were already flushed with their label; commit
+    // failures happen after the nodes are gone, so report them here.
+    for f in failures.iter().filter(|f| f.starts_with("commit ")) {
+        stderr.extend_from_slice(format!("jash-exec: {f}\n").as_bytes());
+    }
     Ok(ExecOutcome {
         stdout: Arc::try_unwrap(capture)
             .map(|m| m.into_inner())
             .unwrap_or_default(),
-        stderr: Arc::try_unwrap(stderr)
-            .map(|m| m.into_inner())
-            .unwrap_or_default(),
+        stderr,
         status,
         metrics,
         wall: t0.elapsed(),
+        failures,
     })
+}
+
+/// Cancels the region when the pipe-progress counter stops moving for
+/// `timeout` while node threads are still running.
+fn watchdog(
+    timeout: Duration,
+    done: &(std::sync::Mutex<bool>, std::sync::Condvar),
+    progress: &AtomicU64,
+    cancel: &CancelToken,
+) {
+    let poll = (timeout / 8).clamp(Duration::from_millis(5), Duration::from_millis(100));
+    let (lock, cvar) = done;
+    let mut last = progress.load(Ordering::Relaxed);
+    let mut last_change = Instant::now();
+    let Ok(mut guard) = lock.lock() else { return };
+    loop {
+        if *guard {
+            return;
+        }
+        let (g, _) = match cvar.wait_timeout(guard, poll) {
+            Ok(r) => r,
+            Err(_) => return,
+        };
+        guard = g;
+        if *guard {
+            return;
+        }
+        let now = progress.load(Ordering::Relaxed);
+        if now != last {
+            last = now;
+            last_change = Instant::now();
+        } else if last_change.elapsed() >= timeout {
+            cancel.cancel(format!(
+                "watchdog: region stalled — no pipe progress for {:?} (node_timeout)",
+                timeout
+            ));
+            return;
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -273,17 +571,26 @@ fn run_node(
     mut outs: Vec<Box<dyn Sink>>,
     fs: FsHandle,
     cwd: &str,
-    stderr: &Arc<Mutex<Vec<u8>>>,
+    stderr: &mut Vec<u8>,
     split_plan: Option<Vec<u64>>,
     block_lines: usize,
     buffer_dir: Option<String>,
     cpu: Option<Arc<jash_io::CpuModel>>,
+    staging: Option<String>,
 ) -> io::Result<Option<i32>> {
+    let one_output = |outs: &mut Vec<Box<dyn Sink>>| -> io::Result<Box<dyn Sink>> {
+        outs.pop()
+            .ok_or_else(|| io::Error::other(format!("{}: missing output edge", kind.label())))
+    };
+    let one_input = |ins: &mut Vec<Box<dyn ByteStream>>| -> io::Result<Box<dyn ByteStream>> {
+        ins.pop()
+            .ok_or_else(|| io::Error::other(format!("{}: missing input edge", kind.label())))
+    };
     match kind {
         NodeKind::ReadFile { path } => {
             let path = jash_io::fs::normalize(cwd, path);
             let mut stream = FileStream::open(fs.as_ref(), &path)?;
-            let out = outs.first_mut().expect("read has one output");
+            let mut out = one_output(&mut outs)?;
             while let Some(chunk) = stream.next_chunk()? {
                 out.write_chunk(chunk)?;
             }
@@ -291,9 +598,21 @@ fn run_node(
             Ok(None)
         }
         NodeKind::WriteFile { path, append } => {
-            let path = jash_io::fs::normalize(cwd, path);
-            let mut sink = FileSink::create(fs.as_ref(), &path, *append)?;
-            let input = ins.first_mut().expect("write has one input");
+            let final_path = jash_io::fs::normalize(cwd, path);
+            let target = staging.unwrap_or_else(|| final_path.clone());
+            // Transactional append: seed the staging file with the
+            // current contents, append there, commit by rename.
+            let append_mode = if target == final_path {
+                *append
+            } else if *append && fs.exists(&final_path) {
+                let existing = jash_io::fs::read_to_vec(fs.as_ref(), &final_path)?;
+                jash_io::fs::write_file(fs.as_ref(), &target, &existing)?;
+                true
+            } else {
+                false
+            };
+            let mut sink = FileSink::create(fs.as_ref(), &target, append_mode)?;
+            let mut input = one_input(&mut ins)?;
             while let Some(chunk) = input.next_chunk()? {
                 sink.write_chunk(chunk)?;
             }
@@ -307,7 +626,7 @@ fn run_node(
             Ok(None)
         }
         NodeKind::Split { width } => {
-            let input = ins.first_mut().expect("split has one input");
+            let mut input = one_input(&mut ins)?;
             let block = if block_lines == 0 {
                 DEFAULT_BLOCK_LINES
             } else {
@@ -362,9 +681,8 @@ fn run_node(
                         }));
                     }
                     for h in handles {
-                        h.join().map_err(|_| {
-                            io::Error::other("split feeder thread panicked")
-                        })??;
+                        h.join()
+                            .map_err(|_| io::Error::other("split feeder thread panicked"))??;
                     }
                     Ok(())
                 })?;
@@ -377,7 +695,7 @@ fn run_node(
             Ok(None)
         }
         NodeKind::Merge { agg } => {
-            let out = outs.first_mut().expect("merge has an output");
+            let mut out = one_output(&mut outs)?;
             run_merge(agg, ins, out.as_mut())?;
             Ok(None)
         }
@@ -398,9 +716,8 @@ fn run_node(
                 None => Box::new(NullSink),
             };
             // Batch line-grained command output into chunk-sized writes.
-            let mut stdout: Box<dyn Sink> =
-                Box::new(jash_io::CoalescingSink::new(stdout_inner));
-            let mut err_sink = SharedSink(Arc::clone(stderr));
+            let mut stdout: Box<dyn Sink> = Box::new(jash_io::CoalescingSink::new(stdout_inner));
+            let mut err_sink = BufSink(stderr);
             let ctx = UtilCtx {
                 fs,
                 cwd: cwd.to_string(),
@@ -455,11 +772,9 @@ fn region_status(dfg: &Dfg, metrics: &[NodeMetric]) -> i32 {
             last_stage.push(s);
         }
     }
-    if last_stage.is_empty() {
-        0
-    } else if last_stage.iter().any(|&s| s == 0) {
+    if last_stage.is_empty() || last_stage.contains(&0) {
         0
     } else {
-        *last_stage.iter().max().expect("nonempty")
+        last_stage.iter().copied().max().unwrap_or(0)
     }
 }

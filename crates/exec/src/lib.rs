@@ -288,6 +288,177 @@ mod tests {
     }
 
     #[test]
+    fn clean_region_commits_staging_atomically() {
+        let fs = fs_with(&[("/in", "c\nb\na\n"), ("/out", "old contents\n")]);
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/out".into(), false));
+        let (out, compiled) = run_region(Arc::clone(&fs), vec![sort], 1);
+        assert!(out.is_clean(), "failures: {:?}", out.failures);
+        assert_eq!(
+            jash_io::fs::read_to_vec(fs.as_ref(), "/out").unwrap(),
+            b"a\nb\nc\n"
+        );
+        // The staging file was renamed away, not left behind.
+        for n in compiled.dfg.node_ids() {
+            assert!(!fs.exists(&executor::staging_path("/out", n)));
+        }
+    }
+
+    #[test]
+    fn failed_region_discards_staged_output() {
+        let fs = fs_with(&[("/in", "c\nb\na\n"), ("/out", "old contents\n")]);
+        let plan = jash_io::FaultPlan::new().read_error_at("/in", 2, "disk gone");
+        let faulty: FsHandle = jash_io::FaultFs::wrap(Arc::clone(&fs), plan);
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/out".into(), false));
+        let compiled = compile(&Region { commands: vec![sort] }, &Registry::builtin()).unwrap();
+        let out = execute(&compiled.dfg, &ExecConfig::new(faulty)).unwrap();
+        assert!(!out.is_clean());
+        assert_eq!(out.status, 125);
+        assert!(out.failures.iter().any(|f| f.contains("injected")));
+        // Prior contents survive and no staging debris remains.
+        assert_eq!(
+            jash_io::fs::read_to_vec(fs.as_ref(), "/out").unwrap(),
+            b"old contents\n"
+        );
+        for n in compiled.dfg.node_ids() {
+            assert!(!fs.exists(&executor::staging_path("/out", n)));
+        }
+    }
+
+    #[test]
+    fn append_sink_is_transactional_too() {
+        // Clean append: staged copy of the old contents, new data after.
+        let fs = fs_with(&[("/in", "b\na\n"), ("/log", "keep\n")]);
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/log".into(), true));
+        let (out, _) = run_region(Arc::clone(&fs), vec![sort], 1);
+        assert!(out.is_clean());
+        assert_eq!(
+            jash_io::fs::read_to_vec(fs.as_ref(), "/log").unwrap(),
+            b"keep\na\nb\n"
+        );
+
+        // Faulted append: the target keeps exactly its old contents.
+        let fs = fs_with(&[("/in", "b\na\n"), ("/log", "keep\n")]);
+        let plan = jash_io::FaultPlan::new().read_error_at("/in", 1, "disk gone");
+        let faulty: FsHandle = jash_io::FaultFs::wrap(Arc::clone(&fs), plan);
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/log".into(), true));
+        let compiled = compile(&Region { commands: vec![sort] }, &Registry::builtin()).unwrap();
+        let out = execute(&compiled.dfg, &ExecConfig::new(faulty)).unwrap();
+        assert!(!out.is_clean());
+        assert_eq!(
+            jash_io::fs::read_to_vec(fs.as_ref(), "/log").unwrap(),
+            b"keep\n"
+        );
+    }
+
+    #[test]
+    fn commit_failure_surfaces_as_region_failure() {
+        let fs = fs_with(&[("/in", "b\na\n")]);
+        let plan = jash_io::FaultPlan::new().rename_error("/out", "cross-device link");
+        let faulty: FsHandle = jash_io::FaultFs::wrap(Arc::clone(&fs), plan);
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/out".into(), false));
+        let compiled = compile(&Region { commands: vec![sort] }, &Registry::builtin()).unwrap();
+        let out = execute(&compiled.dfg, &ExecConfig::new(faulty)).unwrap();
+        assert_eq!(out.status, 125);
+        assert!(out.failures.iter().any(|f| f.starts_with("commit /out")));
+        // The staged file was cleaned up and the target never appeared.
+        assert!(!fs.exists("/out"));
+        for n in compiled.dfg.node_ids() {
+            assert!(!fs.exists(&executor::staging_path("/out", n)));
+        }
+    }
+
+    #[test]
+    fn watchdog_aborts_stalled_region() {
+        let content = "a\n".repeat(64);
+        let fs = fs_with(&[("/in", &content)]);
+        let token = jash_io::CancelToken::new();
+        let plan =
+            jash_io::FaultPlan::new().stall_reads("/in", std::time::Duration::from_secs(300));
+        let faulty: FsHandle = jash_io::FaultFs::wrap_with_cancel(fs, plan, token.clone());
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("wc", &["-l"]),
+        ];
+        let compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        let mut cfg = ExecConfig::new(faulty);
+        cfg.node_timeout = Some(std::time::Duration::from_millis(150));
+        cfg.cancel = Some(token);
+        let t = std::time::Instant::now();
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        // The 300-second stall was interrupted by the watchdog, quickly.
+        assert!(t.elapsed() < std::time::Duration::from_secs(30));
+        assert!(!out.is_clean());
+        assert!(
+            out.failures.iter().any(|f| f.contains("watchdog")),
+            "failures: {:?}",
+            out.failures
+        );
+        assert_eq!(out.status, 125);
+    }
+
+    #[test]
+    fn stderr_lines_are_label_prefixed() {
+        let fs = jash_io::mem_fs();
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/missing"]),
+            ExpandedCommand::new("wc", &["-l"]),
+        ];
+        let compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        let out = execute(&compiled.dfg, &ExecConfig::new(fs)).unwrap();
+        let text = String::from_utf8_lossy(&out.stderr);
+        assert!(!text.is_empty());
+        // `cat file` compiles to a ReadFile node, whose label is the
+        // prefix on every diagnostic line.
+        assert!(
+            text.lines().all(|l| l.starts_with("read /missing: ")),
+            "stderr was: {text}"
+        );
+    }
+
+    #[test]
+    fn malformed_wiring_is_an_error_not_a_panic() {
+        let mut g = jash_dataflow::Dfg::new();
+        let r = g.add_node(NodeKind::ReadFile { path: "/in".into() });
+        let d1 = g.add_node(NodeKind::Discard);
+        let d2 = g.add_node(NodeKind::Discard);
+        let e = g.connect(r, d1);
+        // Corrupt the graph: both discards claim the same input edge.
+        g.node_mut(d2).inputs.push(e);
+        let fs = fs_with(&[("/in", "x\n")]);
+        let err = execute(&g, &ExecConfig::new(fs)).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(err.to_string().contains("requested twice"));
+    }
+
+    #[test]
+    fn node_panic_is_captured_as_failure() {
+        // A split whose plan disagrees with its port count panics inside
+        // the node thread; the executor must record it, not unwind.
+        let mut g = jash_dataflow::Dfg::new();
+        let r = g.add_node(NodeKind::ReadFile { path: "/in".into() });
+        let s = g.add_node(NodeKind::Split { width: 2 });
+        let d = g.add_node(NodeKind::Discard);
+        g.connect(r, s);
+        g.connect(s, d);
+        let fs = fs_with(&[("/in", &"line\n".repeat(64))]);
+        let mut cfg = ExecConfig::new(fs);
+        cfg.split_targets.insert(s, vec![1, 1 << 20]);
+        let out = execute(&g, &cfg).unwrap();
+        assert!(!out.is_clean());
+        assert!(
+            out.failures.iter().any(|f| f.contains("panic")),
+            "failures: {:?}",
+            out.failures
+        );
+        assert_eq!(out.status, 125);
+    }
+
+    #[test]
     fn metrics_cover_live_nodes() {
         let fs = fs_with(&[("/in", "a\n")]);
         let cmds = vec![

@@ -141,21 +141,18 @@ fn merge_sort(
     loop {
         // Pick the smallest current line; ties resolve to the earliest
         // branch (stability).
-        let mut best: Option<usize> = None;
+        let mut best: Option<(usize, &Bytes)> = None;
         for (i, r) in readers.iter().enumerate() {
             let Some(line) = r.peek() else { continue };
-            match best {
-                None => best = Some(i),
-                Some(b) => {
-                    let bl = readers[b].peek().expect("peeked");
-                    if opts.compare(chomp(line), chomp(bl)) == std::cmp::Ordering::Less {
-                        best = Some(i);
-                    }
+            best = match best {
+                Some((b, bl)) if opts.compare(chomp(line), chomp(bl)) != std::cmp::Ordering::Less => {
+                    Some((b, bl))
                 }
-            }
+                _ => Some((i, line)),
+            };
         }
-        let Some(i) = best else { return Ok(()) };
-        let line = readers[i].peek().expect("peeked").clone();
+        let Some((i, line)) = best else { return Ok(()) };
+        let line = line.clone();
         readers[i].advance()?;
         if key.unique {
             if let Some(prev) = &last {

@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn wrapping_overflow() {
         let mut s = state();
-        s.set_var("max", &i64::MAX.to_string());
+        s.set_var("max", i64::MAX.to_string());
         assert_eq!(eval(&mut s, "max + 1").unwrap(), i64::MIN);
     }
 }

@@ -160,7 +160,7 @@ mod tests {
     #[test]
     fn hidden_files_need_explicit_dot() {
         let s = setup();
-        assert_eq!(glob(&s, "*").unwrap().contains(&".hidden".to_string()), false);
+        assert!(!glob(&s, "*").unwrap().contains(&".hidden".to_string()));
         assert_eq!(glob(&s, ".h*").unwrap(), vec![".hidden"]);
     }
 

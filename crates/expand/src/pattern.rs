@@ -80,7 +80,7 @@ impl Pattern {
     }
 
     /// Compiles a pattern where every character is active.
-    pub fn from_str(s: &str) -> Pattern {
+    pub fn from_glob(s: &str) -> Pattern {
         let chars: Vec<(char, bool)> = s.chars().map(|c| (c, false)).collect();
         Pattern::compile(&chars)
     }
@@ -233,7 +233,7 @@ mod tests {
     use super::*;
 
     fn m(pat: &str, text: &str) -> bool {
-        Pattern::from_str(pat).matches(text)
+        Pattern::from_glob(pat).matches(text)
     }
 
     #[test]
@@ -286,13 +286,13 @@ mod tests {
 
     #[test]
     fn literal_text_extraction() {
-        assert_eq!(Pattern::from_str("abc").literal_text().as_deref(), Some("abc"));
-        assert_eq!(Pattern::from_str("a*c").literal_text(), None);
+        assert_eq!(Pattern::from_glob("abc").literal_text().as_deref(), Some("abc"));
+        assert_eq!(Pattern::from_glob("a*c").literal_text(), None);
     }
 
     #[test]
     fn prefix_matching_shortest_and_longest() {
-        let p = Pattern::from_str("*/");
+        let p = Pattern::from_glob("*/");
         // text "a/b/c": shortest prefix match "a/" (2), longest "a/b/" (4).
         assert_eq!(p.match_prefix("a/b/c", false), Some(2));
         assert_eq!(p.match_prefix("a/b/c", true), Some(4));
@@ -301,7 +301,7 @@ mod tests {
 
     #[test]
     fn suffix_matching_shortest_and_longest() {
-        let p = Pattern::from_str(".*");
+        let p = Pattern::from_glob(".*");
         // text "a.tar.gz": shortest suffix ".gz" starts at 5; longest
         // ".tar.gz" starts at 1.
         assert_eq!(p.match_suffix("a.tar.gz", false), Some(5));

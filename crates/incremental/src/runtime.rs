@@ -71,7 +71,7 @@ impl IncRunner {
             // f(a ⧺ b) = f(a) ⧺ f(b) — the specification's own law.
             if self.all_stateless(region)
                 && (entry.input_len as usize) < input.len()
-                && input.len() > 0
+                && !input.is_empty()
                 && fnv1a(&input[..entry.input_len as usize]) == entry.input_hash
                 && ends_on_line_boundary(&input, entry.input_len as usize)
             {

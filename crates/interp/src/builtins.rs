@@ -325,8 +325,7 @@ fn run_read(state: &mut ShellState, args: &[String], io: &ShellIo) -> Result<i32
     for (i, v) in vars.iter().enumerate() {
         let last = i + 1 == vars.len();
         let value = if last {
-            let joined = fields.split_off(0).join(" ");
-            joined
+            fields.split_off(0).join(" ")
         } else if fields.is_empty() {
             String::new()
         } else {

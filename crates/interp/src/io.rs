@@ -191,10 +191,13 @@ pub struct ShellIo {
     pub stderr: OutputBinding,
 }
 
+/// A shared capture buffer (stdout or stderr of a captured session).
+pub type SharedBuf = Arc<Mutex<Vec<u8>>>;
+
 impl ShellIo {
     /// Captured stdio: fresh buffers for stdout/stderr, empty stdin.
     /// Returns the io and the two buffers.
-    pub fn captured() -> (Self, Arc<Mutex<Vec<u8>>>, Arc<Mutex<Vec<u8>>>) {
+    pub fn captured() -> (Self, SharedBuf, SharedBuf) {
         let out = Arc::new(Mutex::new(Vec::new()));
         let err = Arc::new(Mutex::new(Vec::new()));
         (

@@ -1,0 +1,149 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is shared by everything participating in one
+//! execution region: pipes ([`crate::pipe::pipe_with`]), injected fault
+//! stalls ([`crate::fault`]), and the executor's watchdog. Cancelling the
+//! token wakes every blocked participant with a descriptive
+//! [`io::Error`], which is what lets a wedged region abort instead of
+//! hanging the session.
+
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
+
+struct Inner {
+    cancelled: AtomicBool,
+    reason: Mutex<Option<String>>,
+    // Sleepers park on this pair so `cancel` can wake them immediately.
+    gate: StdMutex<()>,
+    wake: Condvar,
+}
+
+/// A cloneable cancellation handle.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(Inner {
+                cancelled: AtomicBool::new(false),
+                reason: Mutex::new(None),
+                gate: StdMutex::new(()),
+                wake: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Cancels the token with `reason`. The first reason wins; later
+    /// calls are no-ops. Wakes all cooperative sleepers.
+    pub fn cancel(&self, reason: impl Into<String>) {
+        {
+            let mut r = self.inner.reason.lock();
+            if r.is_none() {
+                *r = Some(reason.into());
+            }
+        }
+        self.inner.cancelled.store(true, Ordering::SeqCst);
+        self.inner.wake.notify_all();
+    }
+
+    /// Whether the token has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.inner.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// The cancellation reason, if cancelled.
+    pub fn reason(&self) -> Option<String> {
+        self.inner.reason.lock().clone()
+    }
+
+    /// An [`io::Error`] describing the cancellation.
+    pub fn error(&self) -> io::Error {
+        let why = self
+            .reason()
+            .unwrap_or_else(|| "region cancelled".to_string());
+        io::Error::new(io::ErrorKind::Interrupted, why)
+    }
+
+    /// Sleeps for `dur` unless cancelled first. Returns `Ok(())` after a
+    /// full sleep, or the cancellation error if woken by [`cancel`].
+    ///
+    /// [`cancel`]: CancelToken::cancel
+    pub fn sleep(&self, dur: Duration) -> io::Result<()> {
+        let deadline = std::time::Instant::now() + dur;
+        let mut guard = self
+            .inner
+            .gate
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if self.is_cancelled() {
+                return Err(self.error());
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Ok(());
+            }
+            let (g, _timeout) = self
+                .inner
+                .wake
+                .wait_timeout(guard, deadline - now)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard = g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn first_reason_wins() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel("first");
+        t.cancel("second");
+        assert!(t.is_cancelled());
+        assert_eq!(t.reason().as_deref(), Some("first"));
+        assert_eq!(t.error().kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn sleep_completes_when_not_cancelled() {
+        let t = CancelToken::new();
+        let t0 = Instant::now();
+        t.sleep(Duration::from_millis(20)).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn cancel_interrupts_sleep() {
+        let t = CancelToken::new();
+        let t2 = t.clone();
+        let h = std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let r = t2.sleep(Duration::from_secs(30));
+            (r, t0.elapsed())
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        t.cancel("watchdog fired");
+        let (r, waited) = h.join().unwrap();
+        assert!(r.is_err());
+        assert!(waited < Duration::from_secs(5), "sleep was not interrupted");
+        assert!(r.unwrap_err().to_string().contains("watchdog fired"));
+    }
+}

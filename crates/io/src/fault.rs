@@ -1,0 +1,816 @@
+//! Deterministic fault injection for the virtual filesystem.
+//!
+//! The paper's soundness promise — "optimize only when safe — no
+//! regressions!" (§3.2) — has to hold when commands *fail*, not just when
+//! they are slow. This module provides the measurement instrument: a
+//! [`FaultPlan`] describes, deterministically and seedably, which IO
+//! operations misbehave and how; [`FaultFs`] decorates any [`Fs`] so the
+//! same script can run under the same faults on every engine; and
+//! [`FaultStream`] decorates a single [`ByteStream`] for unit-level
+//! testing of operators.
+//!
+//! Faults are *sticky by default*: a rule keyed on a byte offset fires on
+//! every handle that crosses that offset, so an optimized execution, its
+//! sequential fallback, and a plain interpreted baseline all observe the
+//! identical failure — which is exactly what the engine-equivalence fault
+//! matrix needs. One-shot rules (`once`) model transient faults instead.
+//!
+//! # Example
+//!
+//! ```
+//! use jash_io::fault::{FaultFs, FaultPlan};
+//! use jash_io::Fs;
+//!
+//! let fs = jash_io::mem_fs();
+//! jash_io::fs::write_file(fs.as_ref(), "/in", &vec![b'x'; 4096]).unwrap();
+//! let plan = FaultPlan::new().read_error_at("/in", 1024, "injected: disk surface error");
+//! let faulty = FaultFs::wrap(fs, plan);
+//! let mut h = faulty.open_read("/in").unwrap();
+//! let first = h.read_chunk(4096).unwrap();      // clean prefix released
+//! assert_eq!(first.unwrap().len(), 1024);
+//! assert!(h.read_chunk(4096).is_err());         // at byte 1024: injected
+//! ```
+
+use crate::cancel::CancelToken;
+use crate::fs::{FileMeta, Fs, ReadHandle, WriteHandle};
+use crate::FsHandle;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which filesystem operation a rule applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Chunk reads through a read handle.
+    Read,
+    /// Writes through a write handle.
+    Write,
+    /// Opening for read or write.
+    Open,
+    /// Renames (the transactional commit step).
+    Rename,
+    /// Removals.
+    Remove,
+}
+
+/// What happens when a rule fires.
+#[derive(Debug, Clone)]
+pub enum FaultKind {
+    /// The operation fails with an [`io::Error`] of this kind/message.
+    Error {
+        /// Error kind to inject.
+        kind: io::ErrorKind,
+        /// Human-readable message (prefixed with `injected:` by the
+        /// convenience constructors so diagnostics are attributable).
+        msg: String,
+    },
+    /// Reads return at most this many bytes per call (exercises chunking
+    /// assumptions; never fails).
+    ShortRead {
+        /// Per-call byte cap.
+        max: usize,
+    },
+    /// The stream ends early: reads at or past the trigger report EOF even
+    /// though data remains (models mid-stream truncation / a dropped
+    /// connection).
+    Truncate,
+    /// The operation blocks for this long before proceeding (models a
+    /// wedged device). Interruptible via the plan's [`CancelToken`].
+    Stall {
+        /// Modeled delay.
+        dur: Duration,
+    },
+}
+
+/// When a matching rule fires.
+#[derive(Debug, Clone, Copy)]
+pub enum Trigger {
+    /// Every matching operation.
+    Always,
+    /// Once the handle's byte position reaches this offset (reads report
+    /// bytes below the offset normally first, so the failure point is
+    /// byte-exact and chunk-size independent).
+    AtByte(u64),
+    /// On the Nth matching operation (1-based), counted plan-wide.
+    AtOp(u64),
+    /// Each matching operation fires with this probability, sampled from
+    /// the plan's seeded generator — deterministic per seed.
+    Probability(f64),
+}
+
+/// One injection rule.
+#[derive(Debug, Clone)]
+pub struct FaultRule {
+    /// Path the rule applies to (exact virtual path), or `None` for all.
+    pub path: Option<String>,
+    /// Operation class.
+    pub op: FaultOp,
+    /// Firing condition.
+    pub trigger: Trigger,
+    /// Effect.
+    pub kind: FaultKind,
+    /// Fire at most once, then disarm (transient fault). Sticky when
+    /// false.
+    pub once: bool,
+}
+
+/// A deterministic, seedable fault schedule.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+    seed: u64,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Sets the seed for probabilistic triggers.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Adds an arbitrary rule.
+    pub fn rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Reads of `path` fail once the handle position reaches `offset`.
+    pub fn read_error_at(self, path: &str, offset: u64, msg: &str) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Read,
+            trigger: Trigger::AtByte(offset),
+            kind: FaultKind::Error {
+                kind: io::ErrorKind::Other,
+                msg: format!("injected: {msg}"),
+            },
+            once: false,
+        })
+    }
+
+    /// Writes to `path` fail once the handle has written `offset` bytes.
+    pub fn write_error_at(self, path: &str, offset: u64, msg: &str) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Write,
+            trigger: Trigger::AtByte(offset),
+            kind: FaultKind::Error {
+                kind: io::ErrorKind::Other,
+                msg: format!("injected: {msg}"),
+            },
+            once: false,
+        })
+    }
+
+    /// Reads of `path` report EOF once the handle position reaches
+    /// `offset` (mid-stream truncation).
+    pub fn truncate_at(self, path: &str, offset: u64) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Read,
+            trigger: Trigger::AtByte(offset),
+            kind: FaultKind::Truncate,
+            once: false,
+        })
+    }
+
+    /// Reads of `path` return at most `max` bytes per call.
+    pub fn short_reads(self, path: &str, max: usize) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Read,
+            trigger: Trigger::Always,
+            kind: FaultKind::ShortRead { max: max.max(1) },
+            once: false,
+        })
+    }
+
+    /// Every read of `path` stalls for `dur` before returning.
+    pub fn stall_reads(self, path: &str, dur: Duration) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Read,
+            trigger: Trigger::Always,
+            kind: FaultKind::Stall { dur },
+            once: false,
+        })
+    }
+
+    /// Opening `path` fails outright.
+    pub fn open_error(self, path: &str, msg: &str) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Open,
+            trigger: Trigger::Always,
+            kind: FaultKind::Error {
+                kind: io::ErrorKind::Other,
+                msg: format!("injected: {msg}"),
+            },
+            once: false,
+        })
+    }
+
+    /// Renaming onto (or from) `path` fails (breaks the commit step).
+    pub fn rename_error(self, path: &str, msg: &str) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Rename,
+            trigger: Trigger::Always,
+            kind: FaultKind::Error {
+                kind: io::ErrorKind::Other,
+                msg: format!("injected: {msg}"),
+            },
+            once: false,
+        })
+    }
+
+    /// Whether the plan has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+}
+
+/// Strips the executor's transactional staging suffix (`.jash-stage-N`)
+/// so fault rules aimed at a final path also govern its staged writes —
+/// otherwise an optimized (staged) run and its sequential rerun would see
+/// different faults and the engine-equivalence guarantee would not hold.
+fn logical_path(path: &str) -> &str {
+    const MARK: &str = ".jash-stage-";
+    match path.rfind(MARK) {
+        Some(i)
+            if path.len() > i + MARK.len()
+                && path[i + MARK.len()..].bytes().all(|b| b.is_ascii_digit()) =>
+        {
+            &path[..i]
+        }
+        _ => path,
+    }
+}
+
+/// Shared runtime state of an armed plan.
+struct PlanState {
+    rules: Vec<FaultRule>,
+    /// Per-rule state: op counter (for `AtOp`) and a fired flag (for
+    /// `once`). A fired `once` rule stays disarmed forever.
+    op_counts: Vec<AtomicU64>,
+    fired: Vec<AtomicU64>,
+    rng: Mutex<u64>,
+    cancel: Option<CancelToken>,
+    /// Total faults injected so far (for reporting).
+    injected: AtomicU64,
+}
+
+impl PlanState {
+    fn new(plan: FaultPlan, cancel: Option<CancelToken>) -> Self {
+        let n = plan.rules.len();
+        PlanState {
+            op_counts: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            fired: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            rng: Mutex::new(plan.seed | 1),
+            rules: plan.rules,
+            cancel,
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    fn next_random_unit(&self) -> f64 {
+        // xorshift64*; good enough for fault sampling, fully deterministic.
+        let mut s = self.rng.lock();
+        let mut x = *s;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *s = x;
+        (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decides whether `rule_idx` fires for an op at byte `pos` reading
+    /// `len` bytes. Returns the number of clean bytes before the fault
+    /// (for byte triggers), or `None` when the rule does not fire.
+    fn fires(&self, rule_idx: usize, pos: u64) -> Option<u64> {
+        let rule = &self.rules[rule_idx];
+        if rule.once && self.fired[rule_idx].load(Ordering::SeqCst) > 0 {
+            return None;
+        }
+        let hit = match rule.trigger {
+            Trigger::Always => Some(u64::MAX),
+            Trigger::AtByte(off) => {
+                if pos >= off {
+                    Some(0)
+                } else {
+                    Some(off - pos)
+                }
+            }
+            Trigger::AtOp(n) => {
+                let seen = self.op_counts[rule_idx].fetch_add(1, Ordering::SeqCst) + 1;
+                if seen == n || (!rule.once && seen >= n) {
+                    Some(u64::MAX)
+                } else {
+                    None
+                }
+            }
+            Trigger::Probability(p) => {
+                if self.next_random_unit() < p {
+                    Some(u64::MAX)
+                } else {
+                    None
+                }
+            }
+        };
+        match hit {
+            Some(u64::MAX) => Some(0),
+            other => other,
+        }
+    }
+
+    fn mark_fired(&self, rule_idx: usize) {
+        self.fired[rule_idx].fetch_add(1, Ordering::SeqCst);
+        self.injected.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn matching(&self, path: &str, op: FaultOp) -> Vec<usize> {
+        let path = logical_path(path);
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.op == op && r.path.as_deref().is_none_or(|p| p == path))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn stall(&self, dur: Duration) -> io::Result<()> {
+        match &self.cancel {
+            Some(tok) => tok.sleep(dur),
+            None => {
+                std::thread::sleep(dur);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// An [`Fs`] decorator injecting the plan's faults.
+///
+/// Wraps any filesystem handle; every engine that takes an [`FsHandle`]
+/// can therefore run under faults with no further plumbing.
+pub struct FaultFs {
+    inner: FsHandle,
+    state: Arc<PlanState>,
+}
+
+impl FaultFs {
+    /// Wraps `inner` under `plan`, returning a new handle.
+    pub fn wrap(inner: FsHandle, plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultFs {
+            inner,
+            state: Arc::new(PlanState::new(plan, None)),
+        })
+    }
+
+    /// Like [`FaultFs::wrap`], with stalls interruptible through `cancel`.
+    pub fn wrap_with_cancel(inner: FsHandle, plan: FaultPlan, cancel: CancelToken) -> Arc<Self> {
+        Arc::new(FaultFs {
+            inner,
+            state: Arc::new(PlanState::new(plan, Some(cancel))),
+        })
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.state.injected.load(Ordering::SeqCst)
+    }
+
+    /// The wrapped filesystem.
+    pub fn inner(&self) -> &FsHandle {
+        &self.inner
+    }
+
+    /// Checks `Always`-style faults for a whole-operation class (open,
+    /// rename, remove).
+    fn check_op(&self, path: &str, op: FaultOp) -> io::Result<()> {
+        for i in self.state.matching(path, op) {
+            if self.state.fires(i, 0) == Some(0) {
+                match &self.state.rules[i].kind {
+                    FaultKind::Error { kind, msg } => {
+                        self.state.mark_fired(i);
+                        return Err(io::Error::new(*kind, format!("{path}: {msg}")));
+                    }
+                    FaultKind::Stall { dur } => {
+                        self.state.mark_fired(i);
+                        self.state.stall(*dur)?;
+                    }
+                    // Short reads / truncation are stream-level effects.
+                    FaultKind::ShortRead { .. } | FaultKind::Truncate => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Fs for FaultFs {
+    fn open_read(&self, path: &str) -> io::Result<Box<dyn ReadHandle>> {
+        let path = crate::fs::normalize("/", path);
+        self.check_op(&path, FaultOp::Open)?;
+        let inner = self.inner.open_read(&path)?;
+        Ok(Box::new(FaultReadHandle {
+            inner,
+            path,
+            pos: 0,
+            pending: None,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn open_write(&self, path: &str, append: bool) -> io::Result<Box<dyn WriteHandle>> {
+        let path = crate::fs::normalize("/", path);
+        self.check_op(&path, FaultOp::Open)?;
+        let inner = self.inner.open_write(&path, append)?;
+        Ok(Box::new(FaultWriteHandle {
+            inner,
+            path,
+            pos: 0,
+            state: Arc::clone(&self.state),
+        }))
+    }
+
+    fn metadata(&self, path: &str) -> io::Result<FileMeta> {
+        self.inner.metadata(path)
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.inner.list_dir(path)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        let path = crate::fs::normalize("/", path);
+        self.check_op(&path, FaultOp::Remove)?;
+        self.inner.remove(&path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let from = crate::fs::normalize("/", from);
+        let to = crate::fs::normalize("/", to);
+        self.check_op(&from, FaultOp::Rename)?;
+        self.check_op(&to, FaultOp::Rename)?;
+        self.inner.rename(&from, &to)
+    }
+
+    fn disk(&self) -> Option<Arc<crate::disk::DiskModel>> {
+        self.inner.disk()
+    }
+}
+
+struct FaultReadHandle {
+    inner: Box<dyn ReadHandle>,
+    path: String,
+    pos: u64,
+    /// A chunk already pulled from the inner handle but only partially
+    /// released (the clean prefix before a byte-triggered fault).
+    pending: Option<Bytes>,
+    state: Arc<PlanState>,
+}
+
+impl ReadHandle for FaultReadHandle {
+    fn read_chunk(&mut self, max: usize) -> io::Result<Option<Bytes>> {
+        let mut max = max.max(1);
+
+        // Pre-read effects: stalls, short-read caps, and faults whose
+        // trigger point is at or before the current position.
+        let mut clean_limit = u64::MAX;
+        for i in self.state.matching(&self.path, FaultOp::Read) {
+            let Some(clean) = self.state.fires(i, self.pos) else {
+                continue;
+            };
+            match &self.state.rules[i].kind {
+                FaultKind::Stall { dur } => {
+                    if clean == 0 {
+                        self.state.mark_fired(i);
+                        self.state.stall(*dur)?;
+                    }
+                }
+                FaultKind::ShortRead { max: cap } => {
+                    if clean == 0 {
+                        max = max.min(*cap);
+                    }
+                }
+                FaultKind::Error { kind, msg } => {
+                    if clean == 0 {
+                        self.state.mark_fired(i);
+                        return Err(io::Error::new(
+                            *kind,
+                            format!("{}: {msg} (at byte {})", self.path, self.pos),
+                        ));
+                    }
+                    clean_limit = clean_limit.min(clean);
+                }
+                FaultKind::Truncate => {
+                    if clean == 0 {
+                        self.state.mark_fired(i);
+                        return Ok(None);
+                    }
+                    clean_limit = clean_limit.min(clean);
+                }
+            }
+        }
+
+        // Release only the clean prefix, so the fault lands byte-exactly
+        // on the next call regardless of the caller's chunk size.
+        max = max.min(clean_limit.min(usize::MAX as u64) as usize);
+        let chunk = match self.pending.take() {
+            Some(p) => Some(p),
+            None => self.inner.read_chunk(max)?,
+        };
+        let Some(chunk) = chunk else { return Ok(None) };
+        if chunk.len() > max {
+            self.pending = Some(chunk.slice(max..));
+            let head = chunk.slice(..max);
+            self.pos += head.len() as u64;
+            return Ok(Some(head));
+        }
+        self.pos += chunk.len() as u64;
+        Ok(Some(chunk))
+    }
+}
+
+struct FaultWriteHandle {
+    inner: Box<dyn WriteHandle>,
+    path: String,
+    pos: u64,
+    state: Arc<PlanState>,
+}
+
+impl WriteHandle for FaultWriteHandle {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        for i in self.state.matching(&self.path, FaultOp::Write) {
+            let Some(clean) = self.state.fires(i, self.pos) else {
+                continue;
+            };
+            match &self.state.rules[i].kind {
+                FaultKind::Error { kind, msg } => {
+                    // Cross-call byte precision: write the clean prefix,
+                    // then fail.
+                    if (clean as usize) < data.len() {
+                        if clean > 0 {
+                            self.inner.write_all(&data[..clean as usize])?;
+                            self.pos += clean;
+                        }
+                        self.state.mark_fired(i);
+                        return Err(io::Error::new(
+                            *kind,
+                            format!("{}: {msg} (at byte {})", self.path, self.pos),
+                        ));
+                    }
+                }
+                FaultKind::Stall { dur } => {
+                    if clean == 0 {
+                        self.state.mark_fired(i);
+                        self.state.stall(*dur)?;
+                    }
+                }
+                FaultKind::ShortRead { .. } | FaultKind::Truncate => {}
+            }
+        }
+        self.inner.write_all(data)?;
+        self.pos += data.len() as u64;
+        Ok(())
+    }
+}
+
+/// A [`ByteStream`] decorator applying read-class faults to one stream.
+///
+/// For operator-level tests that have no filesystem in play (pipes,
+/// merges, splits).
+pub struct FaultStream {
+    inner: Box<dyn crate::ByteStream>,
+    handle: FaultReadHandle,
+}
+
+impl FaultStream {
+    /// Wraps `inner` under `plan`; rules match the pseudo-path
+    /// `"<stream>"` or `None`.
+    pub fn new(inner: Box<dyn crate::ByteStream>, plan: FaultPlan) -> Self {
+        FaultStream {
+            inner,
+            handle: FaultReadHandle {
+                inner: Box::new(NullRead),
+                path: "<stream>".to_string(),
+                pos: 0,
+                pending: None,
+                state: Arc::new(PlanState::new(plan, None)),
+            },
+        }
+    }
+}
+
+struct NullRead;
+
+impl ReadHandle for NullRead {
+    fn read_chunk(&mut self, _max: usize) -> io::Result<Option<Bytes>> {
+        Ok(None)
+    }
+}
+
+impl crate::ByteStream for FaultStream {
+    fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
+        // Feed the inner stream through the handle's fault logic: stage
+        // the next chunk as `pending`, then let the handle release it.
+        if self.handle.pending.is_none() {
+            self.handle.pending = self.inner.next_chunk()?;
+            if self.handle.pending.is_none() {
+                // Still consult rules (an Always error must fire at EOF
+                // boundaries too), then report end of stream.
+                return self.handle.read_chunk(crate::DEFAULT_CHUNK);
+            }
+        }
+        self.handle.read_chunk(crate::DEFAULT_CHUNK)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{read_to_vec, write_file};
+    use crate::MemStream;
+
+    fn staged(path: &str, len: usize) -> FsHandle {
+        let fs = crate::mem_fs();
+        let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+        write_file(fs.as_ref(), path, &data).unwrap();
+        fs
+    }
+
+    #[test]
+    fn read_error_fires_byte_exactly() {
+        let fs = staged("/f", 10_000);
+        let faulty = FaultFs::wrap(fs, FaultPlan::new().read_error_at("/f", 4096, "boom"));
+        let mut h = faulty.open_read("/f").unwrap();
+        let mut got = 0usize;
+        let err = loop {
+            match h.read_chunk(1000) {
+                Ok(Some(c)) => got += c.len(),
+                Ok(None) => panic!("hit EOF before the injected error"),
+                Err(e) => break e,
+            }
+        };
+        assert_eq!(got, 4096, "clean prefix must be byte-exact");
+        assert!(err.to_string().contains("injected: boom"));
+        assert_eq!(faulty.injected(), 1);
+    }
+
+    #[test]
+    fn truncation_ends_the_stream_early() {
+        let fs = staged("/f", 10_000);
+        let faulty = FaultFs::wrap(fs, FaultPlan::new().truncate_at("/f", 1234));
+        let got = read_to_vec(faulty.as_ref(), "/f").unwrap();
+        assert_eq!(got.len(), 1234);
+    }
+
+    #[test]
+    fn short_reads_cap_chunk_size() {
+        let fs = staged("/f", 5_000);
+        let faulty = FaultFs::wrap(fs, FaultPlan::new().short_reads("/f", 7));
+        let mut h = faulty.open_read("/f").unwrap();
+        let mut total = 0;
+        while let Some(c) = h.read_chunk(4096).unwrap() {
+            assert!(c.len() <= 7);
+            total += c.len();
+        }
+        assert_eq!(total, 5_000, "short reads must not lose data");
+    }
+
+    #[test]
+    fn write_error_keeps_clean_prefix() {
+        let fs = staged("/seed", 1);
+        let faulty = FaultFs::wrap(
+            Arc::clone(&fs),
+            FaultPlan::new().write_error_at("/out", 100, "disk full"),
+        );
+        let mut h = faulty.open_write("/out", false).unwrap();
+        let err = h.write_all(&[b'a'; 300]).unwrap_err();
+        assert!(err.to_string().contains("disk full"));
+        assert_eq!(fs.metadata("/out").unwrap().size, 100);
+    }
+
+    #[test]
+    fn open_error_fires_for_reads_and_writes() {
+        let fs = staged("/f", 10);
+        let faulty = FaultFs::wrap(fs, FaultPlan::new().open_error("/f", "gone"));
+        assert!(faulty.open_read("/f").is_err());
+        assert!(faulty.open_write("/f", false).is_err());
+    }
+
+    #[test]
+    fn unrelated_paths_are_untouched() {
+        let fs = staged("/f", 100);
+        write_file(fs.as_ref(), "/other", b"fine").unwrap();
+        let faulty = FaultFs::wrap(fs, FaultPlan::new().read_error_at("/f", 0, "x"));
+        assert_eq!(read_to_vec(faulty.as_ref(), "/other").unwrap(), b"fine");
+        assert!(faulty.open_read("/f").unwrap().read_chunk(10).is_err());
+    }
+
+    #[test]
+    fn probability_rules_are_deterministic_per_seed() {
+        let count_failures = |seed: u64| {
+            let fs = staged("/f", 100);
+            let plan = FaultPlan::new().with_seed(seed).rule(FaultRule {
+                path: Some("/f".to_string()),
+                op: FaultOp::Open,
+                trigger: Trigger::Probability(0.5),
+                kind: FaultKind::Error {
+                    kind: io::ErrorKind::Other,
+                    msg: "injected: flaky".to_string(),
+                },
+                once: false,
+            });
+            let faulty = FaultFs::wrap(fs, plan);
+            (0..100)
+                .filter(|_| faulty.open_read("/f").is_err())
+                .count()
+        };
+        let a = count_failures(42);
+        let b = count_failures(42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a > 10 && a < 90, "p=0.5 should fire sometimes ({a}/100)");
+    }
+
+    #[test]
+    fn once_rules_disarm_after_firing() {
+        let fs = staged("/f", 100);
+        let plan = FaultPlan::new().rule(FaultRule {
+            path: Some("/f".to_string()),
+            op: FaultOp::Open,
+            trigger: Trigger::AtOp(1),
+            kind: FaultKind::Error {
+                kind: io::ErrorKind::Other,
+                msg: "injected: transient".to_string(),
+            },
+            once: true,
+        });
+        let faulty = FaultFs::wrap(fs, plan);
+        assert!(faulty.open_read("/f").is_err());
+        assert!(faulty.open_read("/f").is_ok(), "transient fault must clear");
+    }
+
+    #[test]
+    fn stall_is_interruptible_via_cancel() {
+        let fs = staged("/f", 100);
+        let token = CancelToken::new();
+        let faulty = FaultFs::wrap_with_cancel(
+            fs,
+            FaultPlan::new().stall_reads("/f", Duration::from_secs(60)),
+            token.clone(),
+        );
+        let h = std::thread::spawn(move || {
+            let mut r = faulty.open_read("/f").unwrap();
+            r.read_chunk(10)
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel("watchdog: node stalled");
+        let err = h.join().unwrap().unwrap_err();
+        assert!(err.to_string().contains("watchdog"));
+    }
+
+    #[test]
+    fn fault_stream_decorates_plain_streams() {
+        let chunks = vec![Bytes::from(vec![b'a'; 600]), Bytes::from(vec![b'b'; 600])];
+        let inner = Box::new(MemStream::from_chunks(chunks));
+        let plan = FaultPlan::new().truncate_at("<stream>", 700);
+        let mut s = FaultStream::new(inner, plan);
+        let got = crate::stream::read_all(&mut s).unwrap();
+        assert_eq!(got.len(), 700);
+    }
+
+    #[test]
+    fn staging_paths_inherit_final_path_rules() {
+        let fs = staged("/seed", 1);
+        let faulty = FaultFs::wrap(
+            Arc::clone(&fs),
+            FaultPlan::new().write_error_at("/out", 10, "dying disk"),
+        );
+        // The executor stages transactional writes at `<path>.jash-stage-N`;
+        // rules on the final path must fire there too.
+        let mut h = faulty.open_write("/out.jash-stage-3", false).unwrap();
+        assert!(h.write_all(&[b'z'; 64]).is_err());
+        // But an unrelated path that merely contains the marker pattern
+        // with a non-numeric tail is matched verbatim.
+        let mut h = faulty.open_write("/out.jash-stage-x", false).unwrap();
+        assert!(h.write_all(&[b'z'; 64]).is_ok());
+    }
+
+    #[test]
+    fn rename_faults_break_commits() {
+        let fs = staged("/stage", 10);
+        let faulty = FaultFs::wrap(fs, FaultPlan::new().rename_error("/final", "commit torn"));
+        let err = faulty.rename("/stage", "/final").unwrap_err();
+        assert!(err.to_string().contains("commit torn"));
+    }
+}

@@ -48,6 +48,12 @@ pub trait Fs: Send + Sync {
     fn list_dir(&self, path: &str) -> io::Result<Vec<String>>;
     /// Removes a file.
     fn remove(&self, path: &str) -> io::Result<()>;
+    /// Atomically renames `from` to `to`, replacing any existing file.
+    ///
+    /// This is the commit step of transactional region execution: sinks
+    /// write to a staging path and are renamed into place only if the
+    /// whole region succeeded.
+    fn rename(&self, from: &str, to: &str) -> io::Result<()>;
     /// Whether the path exists.
     fn exists(&self, path: &str) -> bool {
         self.metadata(path).is_ok()
@@ -290,6 +296,19 @@ impl Fs for MemFs {
         })
     }
 
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let from = normalize("/", from);
+        let to = normalize("/", to);
+        let mut files = self.files.write();
+        let cell = files.remove(&from).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, format!("{from}: no such file"))
+        })?;
+        // Single map operation under one write lock: readers see either
+        // the old file or the new one, never a half-moved state.
+        files.insert(to, cell);
+        Ok(())
+    }
+
     fn disk(&self) -> Option<Arc<DiskModel>> {
         self.disk.clone()
     }
@@ -397,6 +416,14 @@ impl Fs for RealFs {
     fn remove(&self, path: &str) -> io::Result<()> {
         std::fs::remove_file(self.host_path(path))
     }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        let to = self.host_path(to);
+        if let Some(parent) = to.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::rename(self.host_path(from), to)
+    }
 }
 
 struct RealReadHandle {
@@ -490,6 +517,17 @@ mod tests {
         fs.install("/f", b"x".to_vec());
         fs.remove("/f").unwrap();
         assert!(!fs.exists("/f"));
+    }
+
+    #[test]
+    fn memfs_rename_moves_atomically() {
+        let fs = MemFs::new();
+        fs.install("/out.stage", b"staged".to_vec());
+        fs.install("/out", b"old".to_vec());
+        fs.rename("/out.stage", "/out").unwrap();
+        assert_eq!(read_to_vec(&fs, "/out").unwrap(), b"staged");
+        assert!(!fs.exists("/out.stage"));
+        assert!(fs.rename("/missing", "/x").is_err());
     }
 
     #[test]

@@ -10,18 +10,22 @@
 //! bandwidth/IOPS contention that makes resource-oblivious parallelism
 //! backfire on slow disks.
 
+pub mod cancel;
 pub mod cpu;
 pub mod disk;
+pub mod fault;
 pub mod fs;
 pub mod lines;
 pub mod pipe;
 pub mod stream;
 
+pub use cancel::CancelToken;
 pub use cpu::{cpu_rate, CpuMeteredStream, CpuModel};
 pub use disk::{DiskModel, DiskProfile, DiskStats};
+pub use fault::{FaultFs, FaultPlan, FaultStream};
 pub use fs::{FileMeta, Fs, MemFs, RealFs};
 pub use lines::{split_lines, LineBuffer};
-pub use pipe::{pipe, PipeReader, PipeWriter};
+pub use pipe::{pipe, pipe_with, PipeHooks, PipeReader, PipeWriter, DEFAULT_PIPE_DEPTH};
 pub use stream::{ByteStream, CoalescingSink, MemStream, Sink, VecSink, DEFAULT_CHUNK};
 
 use std::sync::Arc;

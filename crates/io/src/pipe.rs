@@ -1,32 +1,122 @@
 //! Bounded in-process pipes.
 //!
-//! The executor connects dataflow nodes with these: a bounded channel of
+//! The executor connects dataflow nodes with these: a bounded queue of
 //! [`Bytes`] chunks gives the same backpressure behavior as a Unix pipe's
 //! fixed-size kernel buffer — a fast producer blocks until the consumer
 //! catches up, which is what makes shell pipelines memory-safe on inputs
 //! far larger than RAM (the paper's G2).
+//!
+//! Pipes built with [`pipe_with`] additionally observe a
+//! [`CancelToken`] — a cancelled region wakes every blocked endpoint with
+//! an error instead of deadlocking — and bump a shared progress counter
+//! on every transfer, which is what the executor's stall watchdog reads.
 
+use crate::cancel::CancelToken;
 use crate::stream::{ByteStream, Sink};
 use bytes::Bytes;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::VecDeque;
 use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Duration;
 
 /// Default number of in-flight chunks per pipe.
 pub const DEFAULT_PIPE_DEPTH: usize = 16;
 
+/// How long a blocked endpoint waits between cancellation checks.
+const CANCEL_POLL: Duration = Duration::from_millis(20);
+
+/// Optional observers attached to a pipe.
+#[derive(Default, Clone)]
+pub struct PipeHooks {
+    /// Cancelling this token errors out all blocked operations.
+    pub cancel: Option<CancelToken>,
+    /// Incremented once per successful chunk transfer (send and receive),
+    /// so a watchdog can detect a region that stopped moving data.
+    pub progress: Option<Arc<AtomicU64>>,
+}
+
+struct Shared {
+    state: Mutex<PipeState>,
+    // One condvar for both directions keeps the state machine simple; a
+    // pipe has exactly one producer and one consumer, so spurious wakeups
+    // are cheap.
+    cond: Condvar,
+    hooks: PipeHooks,
+    depth: usize,
+}
+
+struct PipeState {
+    queue: VecDeque<Bytes>,
+    writer_closed: bool,
+    reader_closed: bool,
+}
+
+impl Shared {
+    fn lock(&self) -> std::sync::MutexGuard<'_, PipeState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn check_cancel(&self) -> io::Result<()> {
+        if let Some(tok) = &self.hooks.cancel {
+            if tok.is_cancelled() {
+                return Err(tok.error());
+            }
+        }
+        Ok(())
+    }
+
+    fn bump_progress(&self) {
+        if let Some(p) = &self.hooks.progress {
+            p.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
 /// Creates a connected (writer, reader) pair with `depth` chunk slots.
 pub fn pipe(depth: usize) -> (PipeWriter, PipeReader) {
-    let (tx, rx) = bounded(depth.max(1));
+    pipe_with(depth, PipeHooks::default())
+}
+
+/// Creates a pipe observing `hooks` (cancellation, progress counting).
+pub fn pipe_with(depth: usize, hooks: PipeHooks) -> (PipeWriter, PipeReader) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(PipeState {
+            queue: VecDeque::new(),
+            writer_closed: false,
+            reader_closed: false,
+        }),
+        cond: Condvar::new(),
+        hooks,
+        depth: depth.max(1),
+    });
     (
-        PipeWriter { tx: Some(tx) },
-        PipeReader { rx },
+        PipeWriter {
+            shared: Arc::clone(&shared),
+            closed: false,
+        },
+        PipeReader {
+            shared,
+            closed: false,
+        },
     )
 }
 
 /// The write end of a pipe. Dropping it (or calling `finish`) closes the
 /// stream for the reader.
 pub struct PipeWriter {
-    tx: Option<Sender<Bytes>>,
+    shared: Arc<Shared>,
+    closed: bool,
+}
+
+impl PipeWriter {
+    fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.shared.lock().writer_closed = true;
+            self.shared.cond.notify_all();
+        }
+    }
 }
 
 impl Sink for PipeWriter {
@@ -34,33 +124,85 @@ impl Sink for PipeWriter {
         if chunk.is_empty() {
             return Ok(());
         }
-        match &self.tx {
-            Some(tx) => tx.send(chunk).map_err(|_| {
-                io::Error::new(io::ErrorKind::BrokenPipe, "pipe reader disconnected")
-            }),
-            None => Err(io::Error::new(
+        if self.closed {
+            return Err(io::Error::new(
                 io::ErrorKind::BrokenPipe,
                 "pipe already finished",
-            )),
+            ));
+        }
+        let mut state = self.shared.lock();
+        loop {
+            self.shared.check_cancel()?;
+            if state.reader_closed {
+                return Err(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "pipe reader disconnected",
+                ));
+            }
+            if state.queue.len() < self.shared.depth {
+                state.queue.push_back(chunk);
+                self.shared.cond.notify_all();
+                drop(state);
+                self.shared.bump_progress();
+                return Ok(());
+            }
+            let (s, _) = self
+                .shared
+                .cond
+                .wait_timeout(state, CANCEL_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = s;
         }
     }
 
     fn finish(&mut self) -> io::Result<()> {
-        self.tx = None;
+        self.close();
         Ok(())
+    }
+}
+
+impl Drop for PipeWriter {
+    fn drop(&mut self) {
+        self.close();
     }
 }
 
 /// The read end of a pipe.
 pub struct PipeReader {
-    rx: Receiver<Bytes>,
+    shared: Arc<Shared>,
+    closed: bool,
 }
 
 impl ByteStream for PipeReader {
     fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
-        match self.rx.recv() {
-            Ok(chunk) => Ok(Some(chunk)),
-            Err(_) => Ok(None),
+        let mut state = self.shared.lock();
+        loop {
+            self.shared.check_cancel()?;
+            if let Some(chunk) = state.queue.pop_front() {
+                self.shared.cond.notify_all();
+                drop(state);
+                self.shared.bump_progress();
+                return Ok(Some(chunk));
+            }
+            if state.writer_closed {
+                return Ok(None);
+            }
+            let (s, _) = self
+                .shared
+                .cond
+                .wait_timeout(state, CANCEL_POLL)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = s;
+        }
+    }
+}
+
+impl Drop for PipeReader {
+    fn drop(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.shared.lock().reader_closed = true;
+            self.shared.cond.notify_all();
         }
     }
 }
@@ -124,5 +266,54 @@ mod tests {
         let blocked = h.join().unwrap();
         assert!(blocked >= std::time::Duration::from_millis(30));
         let _ = read_all(&mut r).unwrap();
+    }
+
+    #[test]
+    fn cancel_unblocks_a_full_pipe_writer() {
+        let token = CancelToken::new();
+        let hooks = PipeHooks {
+            cancel: Some(token.clone()),
+            progress: None,
+        };
+        let (mut w, _r) = pipe_with(1, hooks);
+        w.write_chunk(Bytes::from_static(b"1")).unwrap();
+        let h = std::thread::spawn(move || w.write_chunk(Bytes::from_static(b"2")));
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel("test abort");
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+        assert!(err.to_string().contains("test abort"));
+    }
+
+    #[test]
+    fn cancel_unblocks_a_waiting_reader() {
+        let token = CancelToken::new();
+        let hooks = PipeHooks {
+            cancel: Some(token.clone()),
+            progress: None,
+        };
+        let (_w, mut r) = pipe_with(1, hooks);
+        let h = std::thread::spawn(move || r.next_chunk());
+        std::thread::sleep(Duration::from_millis(30));
+        token.cancel("reader abort");
+        // The writer is still open, so the only way out is the token.
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Interrupted);
+    }
+
+    #[test]
+    fn progress_counter_counts_transfers() {
+        let progress = Arc::new(AtomicU64::new(0));
+        let hooks = PipeHooks {
+            cancel: None,
+            progress: Some(Arc::clone(&progress)),
+        };
+        let (mut w, mut r) = pipe_with(4, hooks);
+        w.write_chunk(Bytes::from_static(b"a")).unwrap();
+        w.write_chunk(Bytes::from_static(b"b")).unwrap();
+        w.finish().unwrap();
+        let _ = read_all(&mut r).unwrap();
+        // 2 sends + 2 receives.
+        assert_eq!(progress.load(Ordering::Relaxed), 4);
     }
 }

@@ -71,15 +71,13 @@ fn lint_command(cmd: &Command, findings: &mut Vec<Finding>) {
 
     match name {
         "rm" => lint_rm(cmd, sc, findings),
-        "read" => {
-            if !sc.words.iter().any(|w| w.as_literal() == Some("-r")) {
-                findings.push(Finding {
-                    rule: "read-without-r",
-                    severity: Severity::Info,
-                    message: "read without -r mangles backslashes".to_string(),
-                    span: cmd.span,
-                });
-            }
+        "read" if !sc.words.iter().any(|w| w.as_literal() == Some("-r")) => {
+            findings.push(Finding {
+                rule: "read-without-r",
+                severity: Severity::Info,
+                message: "read without -r mangles backslashes".to_string(),
+                span: cmd.span,
+            });
         }
         "test" | "[" => {
             for w in &sc.words[1..] {

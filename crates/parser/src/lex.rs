@@ -196,8 +196,7 @@ impl<'a> Parser<'a> {
             };
         }
 
-        loop {
-            let Some(c) = self.peek_char() else { break };
+        while let Some(c) = self.peek_char() {
             match c {
                 // Metacharacters end a normal-context word.
                 b' ' | b'\t' | b'\n' | b'|' | b'&' | b';' | b'<' | b'>' | b'(' | b')'
@@ -660,9 +659,7 @@ impl<'a> Parser<'a> {
                     },
                 }
             } else {
-                let mut sub = Parser::new(&body);
-                let w = sub.read_word(WordCtx::Heredoc)?;
-                w
+                Parser::new(&body).read_word(WordCtx::Heredoc)?
             };
             self.heredoc_bodies.push_back(word);
         }

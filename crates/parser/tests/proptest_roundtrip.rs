@@ -1,35 +1,71 @@
-//! Property tests for the parse/unparse contract (the libdash guarantee).
+//! Randomized tests for the parse/unparse contract (the libdash
+//! guarantee).
 //!
-//! Strategy: generate random ASTs whose literals avoid shell
-//! metacharacters, unparse them, reparse, and require structural equality
-//! modulo spans. A second property checks the unparse fixpoint on the
-//! reparsed tree for arbitrary trees.
+//! Strategy: generate random ASTs from a seeded generator whose literals
+//! avoid shell metacharacters, unparse them, reparse, and require
+//! structural equality modulo spans. A second property checks the unparse
+//! fixpoint on the reparsed tree; a third feeds random ASCII soup to the
+//! parser and requires it not to panic. Seeds are fixed, so failures are
+//! reproducible: the failing case prints its seed and source text.
 
 use jash_ast::{
     AndOrList, AndOrOp, Assignment, Command, CommandKind, ForClause, IfClause, ListItem, ParamExp,
     ParamOp, Pipeline, Program, Redirect, RedirectOp, SimpleCommand, WhileClause, Word, WordPart,
 };
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-fn literal_text() -> impl Strategy<Value = String> {
-    // Reserved words would change meaning in command position when
-    // unparsed bare; the parser quite correctly treats them specially,
-    // so keep them out of generated literals.
-    "[a-z0-9_./:-]{1,12}".prop_filter("not a reserved word", |s| {
-        !matches!(
+const CASES: u64 = 256;
+
+fn pick<'a, T>(rng: &mut StdRng, items: &'a [T]) -> &'a T {
+    &items[rng.random_range(0..items.len())]
+}
+
+fn coin(rng: &mut StdRng) -> bool {
+    rng.random_range(0..2u32) == 0
+}
+
+/// A literal that is not a reserved word and contains no metacharacters.
+fn literal_text(rng: &mut StdRng) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_./:-";
+    loop {
+        let len = rng.random_range(1..13usize);
+        let s: String = (0..len)
+            .map(|_| CHARS[rng.random_range(0..CHARS.len())] as char)
+            .collect();
+        let reserved = matches!(
             s.as_str(),
             "if" | "then" | "else" | "elif" | "fi" | "do" | "done" | "case" | "esac" | "while"
                 | "until" | "for" | "in"
-        )
-    })
+        );
+        if !reserved {
+            return s;
+        }
+    }
 }
 
-fn name() -> impl Strategy<Value = String> {
-    "[a-z_][a-z0-9_]{0,8}"
+fn name(rng: &mut StdRng) -> String {
+    const FIRST: &[u8] = b"abcdefghijklmnopqrstuvwxyz_";
+    const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+    let mut s = String::new();
+    s.push(FIRST[rng.random_range(0..FIRST.len())] as char);
+    for _ in 0..rng.random_range(0..9usize) {
+        s.push(REST[rng.random_range(0..REST.len())] as char);
+    }
+    s
 }
 
-fn flat_word() -> impl Strategy<Value = Word> {
-    literal_text().prop_map(Word::literal)
+fn single_quoted_text(rng: &mut StdRng) -> String {
+    // Printable ASCII minus the single quote.
+    let len = rng.random_range(0..11usize);
+    (0..len)
+        .map(|_| loop {
+            let c = rng.random_range(0x20u32..0x7f) as u8 as char;
+            if c != '\'' {
+                break c;
+            }
+        })
+        .collect()
 }
 
 /// Merges adjacent `Literal` parts so the generated tree matches the
@@ -45,173 +81,177 @@ fn merge_literals(parts: Vec<WordPart>) -> Vec<WordPart> {
     out
 }
 
-fn word_part(depth: u32) -> BoxedStrategy<WordPart> {
-    let leaf = prop_oneof![
-        literal_text().prop_map(WordPart::Literal),
-        "[ -&(-~]{0,10}".prop_map(WordPart::SingleQuoted),
-        name().prop_map(|n| WordPart::Param(ParamExp::plain(n))),
-        (name(), any::<bool>(), flat_word()).prop_map(|(n, colon, w)| {
-            WordPart::Param(ParamExp {
-                name: n,
-                op: ParamOp::Default { colon, word: w },
-            })
+fn word_part(rng: &mut StdRng, depth: u32) -> WordPart {
+    let leaf = |rng: &mut StdRng| match rng.random_range(0..5u32) {
+        0 => WordPart::Literal(literal_text(rng)),
+        1 => WordPart::SingleQuoted(single_quoted_text(rng)),
+        2 => WordPart::Param(ParamExp::plain(name(rng))),
+        3 => WordPart::Param(ParamExp {
+            name: name(rng),
+            op: ParamOp::Default {
+                colon: coin(rng),
+                word: Word::literal(literal_text(rng)),
+            },
         }),
-        name().prop_map(|n| WordPart::Param(ParamExp {
-            name: n,
+        _ => WordPart::Param(ParamExp {
+            name: name(rng),
             op: ParamOp::Length,
-        })),
-    ];
-    if depth == 0 {
-        leaf.boxed()
-    } else {
-        // Inside double quotes only literals and expansions may occur (the
-        // parser never nests quoting parts there).
-        let dq_inner = prop_oneof![
-            literal_text().prop_map(WordPart::Literal),
-            name().prop_map(|n| WordPart::Param(ParamExp::plain(n))),
-        ];
-        prop_oneof![
-            leaf,
-            prop::collection::vec(dq_inner, 1..3)
-                .prop_map(|ps| WordPart::DoubleQuoted(merge_literals(ps))),
-            program(depth - 1).prop_map(WordPart::CmdSubst),
-        ]
-        .boxed()
-    }
-}
-
-fn word(depth: u32) -> BoxedStrategy<Word> {
-    prop::collection::vec(word_part(depth), 1..3)
-        .prop_map(|parts| Word {
-            parts: merge_literals(parts),
-        })
-        .boxed()
-}
-
-fn simple_command(depth: u32) -> BoxedStrategy<Command> {
-    (
-        prop::collection::vec((name(), word(depth.min(1))), 0..2),
-        prop::collection::vec(word(depth), 1..4),
-        prop::collection::vec(
-            (
-                prop_oneof![
-                    Just(RedirectOp::Read),
-                    Just(RedirectOp::Write),
-                    Just(RedirectOp::Append),
-                ],
-                literal_text(),
-            ),
-            0..2,
-        ),
-    )
-        .prop_map(|(asgs, words, redirs)| {
-            let mut cmd = Command::new(CommandKind::Simple(SimpleCommand {
-                assignments: asgs
-                    .into_iter()
-                    .map(|(n, v)| Assignment { name: n, value: v })
-                    .collect(),
-                words,
-            }));
-            cmd.redirects = redirs
-                .into_iter()
-                .map(|(op, t)| Redirect::new(op, Word::literal(t)))
-                .collect();
-            cmd
-        })
-        .boxed()
-}
-
-fn command(depth: u32) -> BoxedStrategy<Command> {
-    if depth == 0 {
-        return simple_command(0);
-    }
-    prop_oneof![
-        4 => simple_command(depth),
-        1 => program(depth - 1).prop_map(|p| Command::new(CommandKind::Subshell(p))),
-        1 => program(depth - 1).prop_map(|p| Command::new(CommandKind::BraceGroup(p))),
-        1 => (program(depth - 1), program(depth - 1)).prop_map(|(c, t)| {
-            Command::new(CommandKind::If(IfClause {
-                cond: c,
-                then_body: t,
-                elifs: vec![],
-                else_body: None,
-            }))
         }),
-        1 => (name(), prop::collection::vec(word(0), 1..3), program(depth - 1)).prop_map(
-            |(var, words, body)| Command::new(CommandKind::For(ForClause {
-                var,
+    };
+    if depth == 0 {
+        return leaf(rng);
+    }
+    match rng.random_range(0..7u32) {
+        0 => {
+            // Inside double quotes only literals and expansions occur (the
+            // parser never nests quoting parts there).
+            let n = rng.random_range(1..3usize);
+            let inner = (0..n)
+                .map(|_| {
+                    if coin(rng) {
+                        WordPart::Literal(literal_text(rng))
+                    } else {
+                        WordPart::Param(ParamExp::plain(name(rng)))
+                    }
+                })
+                .collect();
+            WordPart::DoubleQuoted(merge_literals(inner))
+        }
+        1 => WordPart::CmdSubst(program(rng, depth - 1)),
+        _ => leaf(rng),
+    }
+}
+
+fn word(rng: &mut StdRng, depth: u32) -> Word {
+    let n = rng.random_range(1..3usize);
+    Word {
+        parts: merge_literals((0..n).map(|_| word_part(rng, depth)).collect()),
+    }
+}
+
+fn simple_command(rng: &mut StdRng, depth: u32) -> Command {
+    let assignments = (0..rng.random_range(0..2usize))
+        .map(|_| Assignment {
+            name: name(rng),
+            value: word(rng, depth.min(1)),
+        })
+        .collect();
+    let words = (0..rng.random_range(1..4usize))
+        .map(|_| word(rng, depth))
+        .collect();
+    let mut cmd = Command::new(CommandKind::Simple(SimpleCommand { assignments, words }));
+    cmd.redirects = (0..rng.random_range(0..2usize))
+        .map(|_| {
+            let op = *pick(
+                rng,
+                &[RedirectOp::Read, RedirectOp::Write, RedirectOp::Append],
+            );
+            Redirect::new(op, Word::literal(literal_text(rng)))
+        })
+        .collect();
+    cmd
+}
+
+fn command(rng: &mut StdRng, depth: u32) -> Command {
+    if depth == 0 {
+        return simple_command(rng, 0);
+    }
+    match rng.random_range(0..9u32) {
+        0 => Command::new(CommandKind::Subshell(program(rng, depth - 1))),
+        1 => Command::new(CommandKind::BraceGroup(program(rng, depth - 1))),
+        2 => Command::new(CommandKind::If(IfClause {
+            cond: program(rng, depth - 1),
+            then_body: program(rng, depth - 1),
+            elifs: vec![],
+            else_body: None,
+        })),
+        3 => {
+            let words = (0..rng.random_range(1..3usize))
+                .map(|_| word(rng, 0))
+                .collect();
+            Command::new(CommandKind::For(ForClause {
+                var: name(rng),
                 words: Some(words),
-                body,
+                body: program(rng, depth - 1),
             }))
-        ),
-        1 => (any::<bool>(), program(depth - 1), program(depth - 1)).prop_map(
-            |(until, cond, body)| Command::new(CommandKind::While(WhileClause {
-                until,
-                cond,
-                body
-            }))
-        ),
-    ]
-    .boxed()
+        }
+        4 => Command::new(CommandKind::While(WhileClause {
+            until: coin(rng),
+            cond: program(rng, depth - 1),
+            body: program(rng, depth - 1),
+        })),
+        _ => simple_command(rng, depth),
+    }
 }
 
-fn pipeline(depth: u32) -> BoxedStrategy<Pipeline> {
-    (any::<bool>(), prop::collection::vec(command(depth), 1..3))
-        .prop_map(|(negated, commands)| Pipeline { negated, commands })
-        .boxed()
+fn pipeline(rng: &mut StdRng, depth: u32) -> Pipeline {
+    Pipeline {
+        negated: coin(rng),
+        commands: (0..rng.random_range(1..3usize))
+            .map(|_| command(rng, depth))
+            .collect(),
+    }
 }
 
-fn program(depth: u32) -> BoxedStrategy<Program> {
-    prop::collection::vec(
-        (
-            pipeline(depth),
-            prop::collection::vec(
-                (
-                    prop_oneof![Just(AndOrOp::And), Just(AndOrOp::Or)],
-                    pipeline(depth),
-                ),
-                0..2,
-            ),
-            any::<bool>(),
-        ),
-        1..3,
-    )
-    .prop_map(|items| Program {
-        items: items
-            .into_iter()
-            .map(|(first, rest, background)| ListItem {
-                and_or: AndOrList { first, rest },
-                background,
+fn program(rng: &mut StdRng, depth: u32) -> Program {
+    Program {
+        items: (0..rng.random_range(1..3usize))
+            .map(|_| {
+                let first = pipeline(rng, depth);
+                let rest = (0..rng.random_range(0..2usize))
+                    .map(|_| {
+                        let op = if coin(rng) { AndOrOp::And } else { AndOrOp::Or };
+                        (op, pipeline(rng, depth))
+                    })
+                    .collect();
+                ListItem {
+                    and_or: AndOrList { first, rest },
+                    background: coin(rng),
+                }
             })
             .collect(),
-    })
-    .boxed()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn generated_ast_roundtrips(prog in program(2)) {
+#[test]
+fn generated_ast_roundtrips() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prog = program(&mut rng, 2);
         let text = jash_ast::unparse(&prog);
         let mut reparsed = jash_parser::parse(&text)
-            .unwrap_or_else(|e| panic!("reparse failed for `{text}`: {e}"));
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed for `{text}`: {e}"));
         jash_ast::visit::strip_spans(&mut reparsed);
         let mut orig = prog.clone();
         jash_ast::visit::strip_spans(&mut orig);
-        prop_assert_eq!(orig, reparsed, "text was `{}`", text);
+        assert_eq!(orig, reparsed, "seed {seed}: text was `{text}`");
     }
+}
 
-    #[test]
-    fn unparse_is_a_fixpoint(prog in program(2)) {
+#[test]
+fn unparse_is_a_fixpoint() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(1_000_000 + seed);
+        let prog = program(&mut rng, 2);
         let once = jash_ast::unparse(&prog);
-        let reparsed = jash_parser::parse(&once).unwrap();
+        let reparsed = jash_parser::parse(&once)
+            .unwrap_or_else(|e| panic!("seed {seed}: reparse failed for `{once}`: {e}"));
         let twice = jash_ast::unparse(&reparsed);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "seed {seed}");
     }
+}
 
-    #[test]
-    fn parser_never_panics_on_ascii(src in "[ -~\n]{0,80}") {
+#[test]
+fn parser_never_panics_on_ascii() {
+    for seed in 0..CASES * 4 {
+        let mut rng = StdRng::seed_from_u64(2_000_000 + seed);
+        let len = rng.random_range(0..81usize);
+        let src: String = (0..len)
+            .map(|_| match rng.random_range(0..20u32) {
+                0 => '\n',
+                _ => rng.random_range(0x20u32..0x7f) as u8 as char,
+            })
+            .collect();
         let _ = jash_parser::parse(&src);
     }
 }

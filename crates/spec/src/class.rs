@@ -6,11 +6,14 @@
 //! how partial outputs recombine into exactly the output the sequential
 //! command would have produced.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{JsonError, Value};
 
 /// How a command invocation's work decomposes over a split input.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "kebab-case")]
+///
+/// Wire format (spec libraries): internally tagged on `"kind"` with
+/// kebab-case tags, e.g. `{"kind": "stateless"}`,
+/// `{"kind": "parallelizable", "agg": {...}}`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum ParallelClass {
     /// A pure per-line function: `f(a ⧺ b) = f(a) ⧺ f(b)`. Split anywhere
     /// on a line boundary, run copies, concatenate in order.
@@ -49,8 +52,10 @@ impl ParallelClass {
 }
 
 /// Recombination strategies for partial outputs.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "op", rename_all = "kebab-case")]
+///
+/// Wire format: internally tagged on `"op"` with kebab-case tags, e.g.
+/// `{"op": "merge-sort", "key": {...}}`.
+#[derive(Debug, Clone, PartialEq)]
 pub enum Aggregator {
     /// Concatenate partial outputs in input order.
     Concat,
@@ -82,24 +87,172 @@ pub enum Aggregator {
 }
 
 /// Serializable mirror of a sort ordering (see
-/// `jash_coreutils::cmds::sort::SortOptions`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+/// `jash_coreutils::cmds::sort::SortOptions`). Every field defaults when
+/// absent from a spec file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct SortKeySpec {
     /// `-r`.
-    #[serde(default)]
     pub reverse: bool,
     /// `-n`.
-    #[serde(default)]
     pub numeric: bool,
     /// `-u`.
-    #[serde(default)]
     pub unique: bool,
     /// `-k N` (0 = whole line).
-    #[serde(default)]
     pub key_field: usize,
     /// `-t C`.
-    #[serde(default)]
     pub separator: Option<u8>,
+}
+
+impl ParallelClass {
+    /// Serializes to the spec-library wire format.
+    pub fn to_value(&self) -> Value {
+        let kind = |k: &str| ("kind".to_string(), Value::Str(k.to_string()));
+        match self {
+            ParallelClass::Stateless => Value::Obj(vec![kind("stateless")]),
+            ParallelClass::Parallelizable { agg } => Value::Obj(vec![
+                kind("parallelizable"),
+                ("agg".to_string(), agg.to_value()),
+            ]),
+            ParallelClass::NonParallelizable => Value::Obj(vec![kind("non-parallelizable")]),
+            ParallelClass::SideEffectful => Value::Obj(vec![kind("side-effectful")]),
+        }
+    }
+
+    /// Parses the spec-library wire format.
+    pub fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let tag = v
+            .get("kind")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError("class object needs a \"kind\" tag".into()))?;
+        match tag {
+            "stateless" => Ok(ParallelClass::Stateless),
+            "parallelizable" => {
+                let agg = v
+                    .get("agg")
+                    .ok_or_else(|| JsonError("parallelizable class needs \"agg\"".into()))?;
+                Ok(ParallelClass::Parallelizable {
+                    agg: Aggregator::from_value(agg)?,
+                })
+            }
+            "non-parallelizable" => Ok(ParallelClass::NonParallelizable),
+            "side-effectful" => Ok(ParallelClass::SideEffectful),
+            other => Err(JsonError(format!("unknown class kind {other:?}"))),
+        }
+    }
+}
+
+impl Aggregator {
+    /// Serializes to the spec-library wire format.
+    pub fn to_value(&self) -> Value {
+        let op = |o: &str| ("op".to_string(), Value::Str(o.to_string()));
+        match self {
+            Aggregator::Concat => Value::Obj(vec![op("concat")]),
+            Aggregator::MergeSort { key } => {
+                Value::Obj(vec![op("merge-sort"), ("key".to_string(), key.to_value())])
+            }
+            Aggregator::SumCounts => Value::Obj(vec![op("sum-counts")]),
+            Aggregator::UniqBoundary { counted } => Value::Obj(vec![
+                op("uniq-boundary"),
+                ("counted".to_string(), Value::Bool(*counted)),
+            ]),
+            Aggregator::TakeFirst { n } => Value::Obj(vec![
+                op("take-first"),
+                ("n".to_string(), Value::Num(*n as f64)),
+            ]),
+            Aggregator::SqueezeBoundary { set } => Value::Obj(vec![
+                op("squeeze-boundary"),
+                (
+                    "set".to_string(),
+                    Value::Arr(set.iter().map(|b| Value::Num(*b as f64)).collect()),
+                ),
+            ]),
+        }
+    }
+
+    /// Parses the spec-library wire format.
+    pub fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let tag = v
+            .get("op")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError("aggregator object needs an \"op\" tag".into()))?;
+        match tag {
+            "concat" => Ok(Aggregator::Concat),
+            "merge-sort" => {
+                let key = v
+                    .get("key")
+                    .map(SortKeySpec::from_value)
+                    .transpose()?
+                    .unwrap_or_default();
+                Ok(Aggregator::MergeSort { key })
+            }
+            "sum-counts" => Ok(Aggregator::SumCounts),
+            "uniq-boundary" => Ok(Aggregator::UniqBoundary {
+                counted: v.get("counted").and_then(Value::as_bool).unwrap_or(false),
+            }),
+            "take-first" => Ok(Aggregator::TakeFirst {
+                n: v.get("n")
+                    .and_then(Value::as_u64)
+                    .ok_or_else(|| JsonError("take-first needs integer \"n\"".into()))?,
+            }),
+            "squeeze-boundary" => {
+                let set = v
+                    .get("set")
+                    .and_then(Value::as_arr)
+                    .unwrap_or(&[])
+                    .iter()
+                    .map(|b| {
+                        b.as_u64()
+                            .filter(|n| *n <= u8::MAX as u64)
+                            .map(|n| n as u8)
+                            .ok_or_else(|| JsonError("squeeze-boundary set must be bytes".into()))
+                    })
+                    .collect::<Result<Vec<u8>, _>>()?;
+                Ok(Aggregator::SqueezeBoundary { set })
+            }
+            other => Err(JsonError(format!("unknown aggregator op {other:?}"))),
+        }
+    }
+}
+
+impl SortKeySpec {
+    /// Serializes to the spec-library wire format.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("reverse".to_string(), Value::Bool(self.reverse)),
+            ("numeric".to_string(), Value::Bool(self.numeric)),
+            ("unique".to_string(), Value::Bool(self.unique)),
+            ("key_field".to_string(), Value::Num(self.key_field as f64)),
+            (
+                "separator".to_string(),
+                match self.separator {
+                    Some(b) => Value::Num(b as f64),
+                    None => Value::Null,
+                },
+            ),
+        ])
+    }
+
+    /// Parses the spec-library wire format; missing fields default.
+    pub fn from_value(v: &Value) -> Result<Self, JsonError> {
+        Ok(SortKeySpec {
+            reverse: v.get("reverse").and_then(Value::as_bool).unwrap_or(false),
+            numeric: v.get("numeric").and_then(Value::as_bool).unwrap_or(false),
+            unique: v.get("unique").and_then(Value::as_bool).unwrap_or(false),
+            key_field: v
+                .get("key_field")
+                .and_then(Value::as_u64)
+                .unwrap_or(0) as usize,
+            separator: match v.get("separator") {
+                None | Some(Value::Null) => None,
+                Some(b) => Some(
+                    b.as_u64()
+                        .filter(|n| *n <= u8::MAX as u64)
+                        .map(|n| n as u8)
+                        .ok_or_else(|| JsonError("separator must be a byte".into()))?,
+                ),
+            },
+        })
+    }
 }
 
 impl From<jash_coreutils::cmds::sort::SortOptions> for SortKeySpec {
@@ -151,7 +304,7 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
         let c = ParallelClass::Parallelizable {
             agg: Aggregator::MergeSort {
                 key: SortKeySpec {
@@ -161,9 +314,25 @@ mod tests {
                 },
             },
         };
-        let json = serde_json::to_string(&c).unwrap();
-        let back: ParallelClass = serde_json::from_str(&json).unwrap();
+        let json = c.to_value().to_compact();
+        assert!(json.contains(r#""kind":"parallelizable""#), "{json}");
+        assert!(json.contains(r#""op":"merge-sort""#), "{json}");
+        let back = ParallelClass::from_value(&crate::json::parse(&json).unwrap()).unwrap();
         assert_eq!(c, back);
+    }
+
+    #[test]
+    fn json_roundtrip_all_aggregators() {
+        for agg in [
+            Aggregator::Concat,
+            Aggregator::SumCounts,
+            Aggregator::UniqBoundary { counted: true },
+            Aggregator::TakeFirst { n: 7 },
+            Aggregator::SqueezeBoundary { set: vec![b'\n', b' '] },
+        ] {
+            let v = agg.to_value();
+            assert_eq!(Aggregator::from_value(&v).unwrap(), agg);
+        }
     }
 
     #[test]

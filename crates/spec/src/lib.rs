@@ -31,10 +31,12 @@
 
 pub mod class;
 pub mod infer;
+pub mod json;
 pub mod registry;
 pub mod spec;
 
 pub use class::{Aggregator, ParallelClass, SortKeySpec};
+pub use json::JsonError;
 pub use infer::{check_conformance, infer_class, Inference};
 pub use registry::{FlagRule, Registry, UserSpec};
 pub use spec::{resolve_builtin, InstanceSpec};

@@ -7,44 +7,109 @@
 //! know.
 
 use crate::class::ParallelClass;
+use crate::json::{self, JsonError, Value};
 use crate::spec::{resolve_builtin, InstanceSpec};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A user-provided specification for one command, as serialized in a
 /// specification library file.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct UserSpec {
     /// Command name the spec applies to.
     pub name: String,
     /// Spec version (commands change behavior across versions; specs are
-    /// written per version, like man pages).
-    #[serde(default)]
+    /// written per version, like man pages). Defaults to empty.
     pub version: String,
     /// Class when no overriding rule matches.
     pub default_class: ParallelClass,
-    /// First matching rule wins.
-    #[serde(default)]
+    /// First matching rule wins. Defaults to empty.
     pub rules: Vec<FlagRule>,
     /// Whether the command reads stdin when it has no file operands.
-    #[serde(default = "default_true")]
+    /// Defaults to true.
     pub reads_stdin: bool,
     /// Whether it buffers all input before emitting (cost model hint).
-    #[serde(default)]
+    /// Defaults to false.
     pub blocking: bool,
 }
 
-fn default_true() -> bool {
-    true
-}
-
 /// A conditional class override keyed on a present flag.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FlagRule {
     /// Flag that triggers the rule (exact argument match, e.g. `-z`).
     pub when_flag: String,
     /// Class to use when the flag is present.
     pub class: ParallelClass,
+}
+
+impl UserSpec {
+    /// Serializes to the spec-library wire format.
+    pub fn to_value(&self) -> Value {
+        Value::Obj(vec![
+            ("name".to_string(), Value::Str(self.name.clone())),
+            ("version".to_string(), Value::Str(self.version.clone())),
+            ("default_class".to_string(), self.default_class.to_value()),
+            (
+                "rules".to_string(),
+                Value::Arr(
+                    self.rules
+                        .iter()
+                        .map(|r| {
+                            Value::Obj(vec![
+                                ("when_flag".to_string(), Value::Str(r.when_flag.clone())),
+                                ("class".to_string(), r.class.to_value()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("reads_stdin".to_string(), Value::Bool(self.reads_stdin)),
+            ("blocking".to_string(), Value::Bool(self.blocking)),
+        ])
+    }
+
+    /// Parses the spec-library wire format; optional fields default.
+    pub fn from_value(v: &Value) -> Result<Self, JsonError> {
+        let name = v
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| JsonError("spec needs a \"name\"".into()))?
+            .to_string();
+        let default_class = v
+            .get("default_class")
+            .ok_or_else(|| JsonError(format!("spec {name:?} needs \"default_class\"")))
+            .and_then(ParallelClass::from_value)?;
+        let rules = v
+            .get("rules")
+            .and_then(Value::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .map(|r| {
+                Ok(FlagRule {
+                    when_flag: r
+                        .get("when_flag")
+                        .and_then(Value::as_str)
+                        .ok_or_else(|| JsonError("rule needs \"when_flag\"".into()))?
+                        .to_string(),
+                    class: r
+                        .get("class")
+                        .ok_or_else(|| JsonError("rule needs \"class\"".into()))
+                        .and_then(ParallelClass::from_value)?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(UserSpec {
+            name,
+            version: v
+                .get("version")
+                .and_then(Value::as_str)
+                .unwrap_or("")
+                .to_string(),
+            default_class,
+            rules,
+            reads_stdin: v.get("reads_stdin").and_then(Value::as_bool).unwrap_or(true),
+            blocking: v.get("blocking").and_then(Value::as_bool).unwrap_or(false),
+        })
+    }
 }
 
 /// A resolvable collection of command specifications.
@@ -65,8 +130,15 @@ impl Registry {
     }
 
     /// Loads a JSON specification library (an array of [`UserSpec`]).
-    pub fn load_json(&mut self, json: &str) -> Result<usize, serde_json::Error> {
-        let specs: Vec<UserSpec> = serde_json::from_str(json)?;
+    pub fn load_json(&mut self, json: &str) -> Result<usize, JsonError> {
+        let doc = json::parse(json)?;
+        let items = doc
+            .as_arr()
+            .ok_or_else(|| JsonError("a spec library is a JSON array".into()))?;
+        let specs = items
+            .iter()
+            .map(UserSpec::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
         let n = specs.len();
         for s in specs {
             self.register(s);
@@ -78,7 +150,7 @@ impl Registry {
     pub fn to_json(&self) -> String {
         let mut specs: Vec<&UserSpec> = self.user.values().collect();
         specs.sort_by(|a, b| a.name.cmp(&b.name));
-        serde_json::to_string_pretty(&specs).unwrap_or_else(|_| "[]".to_string())
+        Value::Arr(specs.iter().map(|s| s.to_value()).collect()).to_pretty()
     }
 
     /// Resolves a command invocation: user specs take precedence over

@@ -7,10 +7,9 @@
 //! stops consuming input early, `tee` writes extra files.
 
 use crate::class::{Aggregator, ParallelClass, SortKeySpec};
-use serde::{Deserialize, Serialize};
 
 /// The specification of one concrete command invocation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InstanceSpec {
     /// Parallelizability classification.
     pub class: ParallelClass,

@@ -30,7 +30,7 @@ fn main() {
     // Run the 48-character pipeline through the shell.
     let pipeline = "cut -c 89-92 | grep -v 999 | sort -rn | head -n1";
     println!("pipeline ({} chars): {pipeline}", pipeline.len());
-    let script = format!("cut -c 89-92 < /noaa.dat | grep -v 999 | sort -rn | head -n1");
+    let script = "cut -c 89-92 < /noaa.dat | grep -v 999 | sort -rn | head -n1".to_string();
     let result = jash::interp::run(Arc::clone(&fs), &script).expect("pipeline runs");
     println!("maximum valid temperature: {}", String::from_utf8_lossy(&result.stdout).trim());
 

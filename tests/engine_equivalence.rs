@@ -123,6 +123,134 @@ fn widths_do_not_change_output() {
     }
 }
 
+/// Runs `src` under `engine` with `plan` injected over the staged fs.
+/// Returns status, stdout, and the *inner* fs for post-mortem inspection.
+fn run_faulted(engine: Engine, src: &str, plan: jash::io::FaultPlan) -> (i32, Vec<u8>, FsHandle) {
+    let inner = staged_fs();
+    let faulty: FsHandle = jash::io::FaultFs::wrap(Arc::clone(&inner), plan);
+    let mut state = ShellState::new(faulty);
+    let mut shell = Jash::new(engine, machine());
+    shell.planner = PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    };
+    let r = shell.run_script(&mut state, src).expect("script runs");
+    (r.status, r.stdout, inner)
+}
+
+/// Asserts no transactional staging file survived anywhere the scripts
+/// write (the fs root and /tmp).
+fn assert_no_staging_debris(fs: &FsHandle, ctx: &str) {
+    for dir in ["/", "/tmp", "/data"] {
+        for name in fs.list_dir(dir).unwrap_or_default() {
+            assert!(
+                !name.contains(".jash-stage-"),
+                "{ctx}: staging debris {dir}/{name}"
+            );
+        }
+    }
+}
+
+/// The fault matrix (satellite of the robustness tentpole): scripts from
+/// the Figure 1 / `spell` family run under injected read errors,
+/// mid-stream truncation, and open failures. All three engines must
+/// report the same exit status and byte-identical stdout — the JIT by
+/// discarding its optimized attempt and re-running sequentially — and no
+/// partial or staging files may remain.
+#[test]
+fn engines_agree_under_injected_faults() {
+    let scripts: &[&str] = &[
+        // Figure 1's spell, dynamically expanded (the paper's headline).
+        "F=/data/mixed.txt; cat $F | tr -cs A-Za-z '\\n' | sort -u | comm -13 /data/dict.txt -",
+        "cat /data/mixed.txt | tr A-Z a-z | sort | head -n5",
+        "cat /data/nums.txt | sort -n | uniq -c | sort -rn | head -n3",
+        "cat /data/mixed.txt | tr A-Z a-z | sort > /fault-out.txt",
+    ];
+    type PlanFn = fn() -> jash::io::FaultPlan;
+    let plans: &[(&str, PlanFn)] = &[
+        ("read error mid-stream", || {
+            jash::io::FaultPlan::new().read_error_at("/data/mixed.txt", 1024, "disk surface error")
+        }),
+        ("read error late (parallel-branch territory)", || {
+            jash::io::FaultPlan::new().read_error_at("/data/mixed.txt", 60_000, "disk surface error")
+        }),
+        ("mid-stream truncation", || {
+            jash::io::FaultPlan::new().truncate_at("/data/mixed.txt", 2048)
+        }),
+        ("open failure on the dictionary", || {
+            jash::io::FaultPlan::new().open_error("/data/dict.txt", "permission denied")
+        }),
+        ("short reads (benign)", || {
+            jash::io::FaultPlan::new().short_reads("/data/mixed.txt", 7)
+        }),
+    ];
+    for src in scripts {
+        for (fault_name, plan) in plans {
+            let (bash_st, bash_out, bash_fs) = run_faulted(Engine::Bash, src, plan());
+            for engine in [Engine::PashAot, Engine::JashJit] {
+                let (st, out, fs) = run_faulted(engine, src, plan());
+                assert_eq!(
+                    bash_st, st,
+                    "status diverged for `{src}` under {engine} with {fault_name}"
+                );
+                assert_eq!(
+                    String::from_utf8_lossy(&bash_out),
+                    String::from_utf8_lossy(&out),
+                    "stdout diverged for `{src}` under {engine} with {fault_name}"
+                );
+                // Files written (or not written) must agree with the
+                // sequential baseline, with no staging debris.
+                assert_eq!(
+                    jash::io::fs::read_to_vec(bash_fs.as_ref(), "/fault-out.txt").ok(),
+                    jash::io::fs::read_to_vec(fs.as_ref(), "/fault-out.txt").ok(),
+                    "file contents diverged for `{src}` under {engine} with {fault_name}"
+                );
+                assert_no_staging_debris(&fs, &format!("`{src}` under {engine} with {fault_name}"));
+            }
+        }
+    }
+}
+
+/// The acceptance scenario, pinned explicitly: a read error in the
+/// middle of the (parallelized) Figure 1 pipeline makes JashJit fall
+/// back, and its observable behavior is byte-identical to the Bash
+/// engine's.
+#[test]
+fn jit_fallback_is_byte_identical_to_bash_under_read_fault() {
+    let src = "F=/data/mixed.txt; cat $F | tr A-Z a-z | sort -u > /spell.out";
+    let plan =
+        || jash::io::FaultPlan::new().read_error_at("/data/mixed.txt", 40_000, "disk surface error");
+    let (bash_st, bash_out, bash_fs) = run_faulted(Engine::Bash, src, plan());
+
+    let inner = staged_fs();
+    let faulty: FsHandle = jash::io::FaultFs::wrap(Arc::clone(&inner), plan());
+    let mut state = ShellState::new(faulty);
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner = PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    };
+    let r = shell.run_script(&mut state, src).unwrap();
+
+    // The optimized attempt really ran and really failed over.
+    assert!(
+        shell.trace.iter().any(jash::core::TraceEvent::failed_over),
+        "expected a failover, trace: {:?}",
+        shell.trace
+    );
+    assert_eq!(shell.runtime.regions_failed_over, 1);
+    // Byte-identical observable behavior.
+    assert_eq!(r.status, bash_st);
+    assert_eq!(r.stdout, bash_out);
+    assert_eq!(
+        jash::io::fs::read_to_vec(bash_fs.as_ref(), "/spell.out").ok(),
+        jash::io::fs::read_to_vec(inner.as_ref(), "/spell.out").ok()
+    );
+    assert_no_staging_debris(&inner, "acceptance scenario");
+}
+
 #[test]
 fn optimized_file_writes_match_interpreted_ones() {
     let src = "cat /data/mixed.txt | tr A-Z a-z | sort > /out.txt";

@@ -1,0 +1,235 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! Implements the API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros — with a simple
+//! warm-up + timed-samples loop and a one-line median report per
+//! benchmark. No statistics beyond median/min/max, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-per-iteration declaration, used to report throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Samples to record per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up period before sampling.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Parses CLI arguments (accepted and ignored in this subset).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self, id, None, &mut f);
+        self
+    }
+
+    /// Prints the final summary (no-op in this subset).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.c, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_budget: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per batch of iterations.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..self.sample_budget {
+            let t0 = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed() / self.iters_per_sample.max(1) as u32;
+            self.samples.push(dt);
+        }
+    }
+}
+
+fn run_bench(
+    c: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up: run once (ignoring time) so lazy setup does not skew the
+    // first sample, then calibrate iterations per sample to roughly fill
+    // the measurement budget.
+    let t0 = Instant::now();
+    let mut calib = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+        sample_budget: 1,
+    };
+    f(&mut calib);
+    let once = calib
+        .samples
+        .first()
+        .copied()
+        .unwrap_or(Duration::from_nanos(1))
+        .max(Duration::from_nanos(1));
+    let _ = c.warm_up_time;
+    let budget = c.measurement_time.max(t0.elapsed());
+    let per_sample = budget / c.sample_size.max(1) as u32;
+    let iters = (per_sample.as_nanos() / once.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u64;
+
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+        sample_budget: c.sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let max = b.samples[b.samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let mbps = n as f64 / median.as_secs_f64() / (1024.0 * 1024.0);
+            format!("  {mbps:10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let eps = n as f64 / median.as_secs_f64();
+            format!("  {eps:10.0} elem/s")
+        }
+        _ => String::new(),
+    };
+    println!("{id:<40} median {median:>10.2?}  [{min:.2?} .. {max:.2?}]{rate}");
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(20));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+        let mut g = c.benchmark_group("group");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_function("inner", |b| b.iter(|| black_box(2 + 2)));
+        g.finish();
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline drop-in subset of the `rand` crate (0.9-style API).
+//!
+//! Provides exactly what the workspace uses: a seedable [`rngs::StdRng`]
+//! (xoshiro256++ core), [`Rng::random_range`] over integer ranges,
+//! [`seq::SliceRandom::shuffle`], and a process-entropy [`random`]. The
+//! generator is deterministic per seed, which is what `shuf --seed` and
+//! the benchmark corpora rely on; it is *not* the same stream as the real
+//! `rand` crate's `StdRng`.
+
+use std::ops::Range;
+
+/// Types constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Derives a generator state from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait RangeInt: Copy {
+    /// Widens to u64 for sampling arithmetic.
+    fn to_u64(self) -> u64;
+    /// Narrows from u64 after sampling.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! range_int {
+    ($($t:ty),*) => {$(
+        impl RangeInt for $t {
+            fn to_u64(self) -> u64 {
+                self as u64
+            }
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+range_int!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The subset of the `Rng` trait the workspace uses.
+pub trait Rng {
+    /// The next 64 raw bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range` (half-open, must be non-empty).
+    fn random_range<T: RangeInt>(&mut self, range: Range<T>) -> T {
+        let lo = range.start.to_u64();
+        let hi = range.end.to_u64();
+        assert!(lo < hi, "random_range called with an empty range");
+        let span = hi - lo;
+        // Multiply-shift rejection-free mapping; bias is negligible for
+        // the corpus-generation spans used here (< 2^32).
+        let sample = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        T::from_u64(lo + sample)
+    }
+}
+
+pub mod rngs {
+    //! Named generator types.
+
+    use super::{Rng, SeedableRng};
+
+    /// A deterministic xoshiro256++ generator.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence-related helpers.
+
+    use super::Rng;
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Shuffles the slice in place using `rng`.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..(i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Values producible by [`random`].
+pub trait Random {
+    /// A process-entropy value.
+    fn random() -> Self;
+}
+
+impl Random for u64 {
+    fn random() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        // Mix in the address of a stack local for per-call variation.
+        let local = 0u8;
+        let addr = &local as *const u8 as u64;
+        let mut rng = rngs::StdRng::seed_from_u64(nanos ^ addr.rotate_left(32));
+        Rng::next_u64(&mut rng)
+    }
+}
+
+/// A non-deterministic value (used by `shuf --seed random`).
+pub fn random<T: Random>() -> T {
+    T::random()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}
