@@ -4,12 +4,23 @@
 //!
 //! Exits nonzero if any engine diverged from the sequential baseline
 //! under any injected fault, or if a transactional staging file leaked.
+//!
+//! With `--transient`, runs the supervised-recovery sweep instead: three
+//! fault scenarios that must each recover through a *different*
+//! mechanism (retry with backoff, width degradation, circuit-breaker
+//! routing), with the full supervision event log printed per case. Exits
+//! nonzero on baseline divergence, staging debris, or a missing recovery
+//! mechanism.
 
-use jash_bench::faults::{default_sweep, render, run_sweep, sweep_holds};
+use jash_bench::faults::{
+    default_supervision_sweep, default_sweep, render, render_supervision, run_supervision_sweep,
+    run_sweep, supervision_holds, sweep_holds,
+};
 use jash_cost::MachineProfile;
 use jash_io::FsHandle;
 
 fn main() {
+    let transient = std::env::args().any(|a| a == "--transient");
     let bytes = jash_bench::bench_input_bytes().min(8 * 1024 * 1024);
     let seed: u64 = std::env::var("JASH_FAULT_SEED")
         .ok()
@@ -22,12 +33,27 @@ fn main() {
         jash_io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs).unwrap();
         jash_io::fs::write_file(fs.as_ref(), "/data/dict.txt", &dict).unwrap();
     };
-    let script = "cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u | comm -13 /data/dict.txt - > /out";
     let machine = MachineProfile {
         cores: 8,
         disk: jash_io::DiskProfile::ramdisk(),
         mem_mb: 8 * 1024,
     };
+
+    if transient {
+        println!("supervised-recovery sweep: {len} input bytes\n");
+        let cases = default_supervision_sweep("/data/docs.txt", len);
+        let rows = run_supervision_sweep(&stage, &cases, machine);
+        print!("{}", render_supervision(&rows));
+        if supervision_holds(&rows) {
+            println!("\nsupervised recovery holds across {} cases", rows.len());
+        } else {
+            println!("\nSUPERVISED RECOVERY VIOLATED");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let script = "cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u | comm -13 /data/dict.txt - > /out";
     println!("fault sweep: {len} input bytes, seed {seed}\nscript: {script}\n");
     let rows = run_sweep(script, &stage, &default_sweep("/data/docs.txt", len, seed), machine);
     print!("{}", render(&rows));

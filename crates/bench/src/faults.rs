@@ -12,7 +12,7 @@
 //! Run it with `cargo run --release -p jash-bench --bin faultsweep`
 //! (knobs: `JASH_BENCH_MB`, `JASH_FAULT_SEED`).
 
-use jash_core::{Engine, Jash, TraceEvent};
+use jash_core::{Engine, Jash, RuntimeInfo, TraceEvent};
 use jash_cost::{MachineProfile, PlannerOptions};
 use jash_expand::ShellState;
 use jash_io::{FaultFs, FaultPlan, FsHandle};
@@ -194,6 +194,224 @@ pub fn sweep_holds(rows: &[SweepRow]) -> bool {
     rows.iter().all(|r| r.matches_baseline && !r.staging_debris)
 }
 
+/// Which recovery mechanism a supervision case is expected to exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Recovery {
+    /// Transient fault absorbed by retry-with-backoff: no failover, no
+    /// width change.
+    Retry,
+    /// Resource fault absorbed by stepping down the width ladder: the
+    /// region still optimizes, at reduced width.
+    Degrade,
+    /// Permanent fault repeated until the circuit breaker opens: later
+    /// matching regions route straight to the interpreter.
+    Breaker,
+}
+
+impl std::fmt::Display for Recovery {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Recovery::Retry => write!(f, "retry"),
+            Recovery::Degrade => write!(f, "degrade"),
+            Recovery::Breaker => write!(f, "breaker"),
+        }
+    }
+}
+
+/// One supervised-recovery scenario.
+pub struct SupervisionCase {
+    /// Display name.
+    pub name: String,
+    /// The script (cases differ: the breaker needs a repeated shape).
+    pub script: String,
+    /// The injected plan.
+    pub plan: FaultPlan,
+    /// The recovery mechanism that must be visible in the log.
+    pub expect: Recovery,
+    /// Whether the Bash baseline runs under the same fault. Transient
+    /// and resource faults are consumed by the retrying JIT, so its
+    /// output must equal the *clean* run; sticky faults are visible to
+    /// every engine, so the baseline runs faulted.
+    pub baseline_faulted: bool,
+}
+
+/// The default supervised-recovery sweep: one case per rung of the
+/// degradation ladder (retry at full width, width degradation, breaker
+/// routing to the interpreter).
+pub fn default_supervision_sweep(path: &str, input_len: u64) -> Vec<SupervisionCase> {
+    let single = format!("cat {path} | tr A-Z a-z | tr -cs a-z '\\n' | sort -u > /out");
+    vec![
+        SupervisionCase {
+            name: "transient read fault -> retry".to_string(),
+            script: single.clone(),
+            plan: FaultPlan::new().rule(jash_io::fault::FaultRule {
+                path: Some(path.to_string()),
+                op: jash_io::fault::FaultOp::Read,
+                trigger: jash_io::fault::Trigger::AtByte(input_len / 2),
+                kind: jash_io::fault::FaultKind::Error {
+                    kind: std::io::ErrorKind::Other,
+                    msg: "injected: transient controller reset".to_string(),
+                },
+                once: true,
+            }),
+            expect: Recovery::Retry,
+            baseline_faulted: false,
+        },
+        SupervisionCase {
+            name: "resource open faults -> width degradation".to_string(),
+            script: single,
+            plan: FaultPlan::new().resource_open_errors(path, 2),
+            expect: Recovery::Degrade,
+            baseline_faulted: false,
+        },
+        SupervisionCase {
+            name: "sticky commit fault -> breaker".to_string(),
+            // The same shape five times: fail-overs 1-3 open the breaker,
+            // statements 4-5 route to the interpreter.
+            script: format!("cat {path} | tr A-Z a-z | sort -u > /out\n").repeat(5),
+            plan: FaultPlan::new().rename_error("/out", "media failure on commit"),
+            expect: Recovery::Breaker,
+            baseline_faulted: true,
+        },
+    ]
+}
+
+/// The JIT's behavior under one supervision case.
+pub struct SupervisionRow {
+    /// Case name.
+    pub case: String,
+    /// Expected mechanism.
+    pub expect: Recovery,
+    /// Session exit status.
+    pub status: i32,
+    /// Status, stdout, and `/out` all equal to the baseline run.
+    pub matches_baseline: bool,
+    /// Whether any `.jash-stage-*` file survived (must never happen).
+    pub staging_debris: bool,
+    /// Whether the supervision log shows the expected recovery events.
+    pub expected_behavior: bool,
+    /// The runtime record of the JashJit run (counters + event log).
+    pub runtime: RuntimeInfo,
+}
+
+/// Runs the supervision sweep: each case on JashJit under the fault,
+/// compared against a Bash baseline (faulted or clean per the case).
+pub fn run_supervision_sweep(
+    stage: &dyn Fn(&FsHandle),
+    cases: &[SupervisionCase],
+    machine: MachineProfile,
+) -> Vec<SupervisionRow> {
+    let planner = PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(machine.cores.min(4)),
+        ..Default::default()
+    };
+    let run = |engine: Engine, plan: Option<FaultPlan>, script: &str| {
+        let inner = jash_io::mem_fs();
+        stage(&inner);
+        let fs: FsHandle = match plan {
+            Some(p) if !p.is_empty() => FaultFs::wrap(Arc::clone(&inner), p),
+            _ => Arc::clone(&inner),
+        };
+        let mut state = ShellState::new(fs);
+        let mut shell = Jash::new(engine, machine);
+        shell.planner = planner;
+        let result = match shell.run_script(&mut state, script) {
+            Ok(r) => r,
+            Err(e) => jash_interp::RunResult {
+                status: 2,
+                stdout: Vec::new(),
+                stderr: format!("jash: {e}\n").into_bytes(),
+            },
+        };
+        let out_file = jash_io::fs::read_to_vec(inner.as_ref(), "/out").ok();
+        (result, out_file, debris(&inner), shell.runtime)
+    };
+
+    cases
+        .iter()
+        .map(|case| {
+            let baseline_plan = case.baseline_faulted.then(|| case.plan.clone());
+            let (base, base_out, _, _) = run(Engine::Bash, baseline_plan, &case.script);
+            let (jit, jit_out, jit_debris, runtime) =
+                run(Engine::JashJit, Some(case.plan.clone()), &case.script);
+            let log = &runtime.supervision;
+            let expected_behavior = match case.expect {
+                Recovery::Retry => {
+                    runtime.regions_failed_over == 0
+                        && log.recoveries() >= 1
+                        && log.degradations() == 0
+                        && log
+                            .events
+                            .iter()
+                            .any(|e| matches!(e, jash_core::SupervisionEvent::Backoff { .. }))
+                }
+                Recovery::Degrade => {
+                    runtime.regions_failed_over == 0
+                        && log.recoveries() >= 1
+                        && log.degradations() >= 1
+                }
+                Recovery::Breaker => log.breaker_opens() >= 1 && log.breaker_routed() >= 1,
+            };
+            SupervisionRow {
+                case: case.name.clone(),
+                expect: case.expect,
+                status: jit.status,
+                matches_baseline: jit.status == base.status
+                    && jit.stdout == base.stdout
+                    && jit_out == base_out,
+                staging_debris: jit_debris,
+                expected_behavior,
+                runtime,
+            }
+        })
+        .collect()
+}
+
+/// Renders the supervision sweep: one summary line per case, followed by
+/// that case's full supervision event log (the recovery story, step by
+/// step).
+pub fn render_supervision(rows: &[SupervisionRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<44} {:<8} {:>6} {:>9} {:>8} {:>9}\n",
+        "case", "expect", "status", "equal", "debris", "behavior"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<44} {:<8} {:>6} {:>9} {:>8} {:>9}\n",
+            r.case,
+            r.expect.to_string(),
+            r.status,
+            if r.matches_baseline { "ok" } else { "DIVERGED" },
+            if r.staging_debris { "LEAKED" } else { "-" },
+            if r.expected_behavior { "ok" } else { "MISSING" },
+        ));
+    }
+    for r in rows {
+        out.push_str(&format!(
+            "\n[{}] optimized={} recovered={} failed_over={}\n",
+            r.case,
+            r.runtime.regions_optimized,
+            r.runtime.regions_recovered,
+            r.runtime.regions_failed_over
+        ));
+        for line in r.runtime.supervision.render().lines() {
+            out.push_str("  ");
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Whether the supervision sweep holds: every case matches its baseline,
+/// leaked nothing, and showed the expected recovery mechanism.
+pub fn supervision_holds(rows: &[SupervisionRow]) -> bool {
+    rows.iter()
+        .all(|r| r.matches_baseline && !r.staging_debris && r.expected_behavior)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,5 +439,33 @@ mod tests {
         assert!(rows
             .iter()
             .any(|r| r.engine == Engine::JashJit && r.failed_over));
+    }
+
+    #[test]
+    fn supervision_sweep_demonstrates_the_ladder() {
+        let docs = crate::documents(64 * 1024, 11);
+        let dict = crate::dictionary();
+        let len = docs.len() as u64;
+        let stage = move |fs: &FsHandle| {
+            jash_io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs).unwrap();
+            jash_io::fs::write_file(fs.as_ref(), "/data/dict.txt", &dict).unwrap();
+        };
+        let machine = MachineProfile {
+            cores: 4,
+            disk: jash_io::DiskProfile::ramdisk(),
+            mem_mb: 4 * 1024,
+        };
+        let cases = default_supervision_sweep("/data/docs.txt", len);
+        let rows = run_supervision_sweep(&stage, &cases, machine);
+        assert_eq!(rows.len(), 3);
+        assert!(
+            supervision_holds(&rows),
+            "\n{}",
+            render_supervision(&rows)
+        );
+        // Each case exercised a *different* mechanism.
+        assert_eq!(rows[0].expect, Recovery::Retry);
+        assert_eq!(rows[1].expect, Recovery::Degrade);
+        assert_eq!(rows[2].expect, Recovery::Breaker);
     }
 }

@@ -78,8 +78,17 @@ pub struct RuntimeInfo {
     pub regions_optimized: u64,
     /// Regions whose optimized run faulted and re-ran sequentially.
     pub regions_failed_over: u64,
+    /// Regions that faulted but recovered *inside* the supervisor — by
+    /// retry, width degradation, or both — and still delivered optimized
+    /// output (counted in `regions_optimized` too).
+    pub regions_recovered: u64,
     /// One record per failed-over region, in session order.
     pub failures: Vec<RegionFailure>,
+    /// The ordered supervision event log: every attempt, backoff,
+    /// degradation, failover, and breaker transition this session took.
+    /// Wall-clock-free, so two runs with the same fault plan and retry
+    /// seed produce logs that compare equal.
+    pub supervision: jash_exec::SupervisionLog,
 }
 
 /// Why one optimized region was rolled back.

@@ -11,10 +11,14 @@
 
 use crate::engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
 use crate::region::{jit_region, resolve_paths, static_region, Ineligible};
+use crate::supervise::{degradation_ladder, resource_pressure, CircuitBreaker, Route};
 use jash_ast::{ListItem, Program};
-use jash_cost::{choose_plan, pash_aot_plan, InputInfo, MachineProfile, PlannerOptions};
-use jash_dataflow::{compile, parallelize_all, NodeKind, Region};
-use jash_exec::{balanced_targets, execute, ExecConfig};
+use jash_cost::{choose_plan, pash_aot_plan, InputInfo, MachineProfile, PlanShape, PlannerOptions};
+use jash_dataflow::{compile, parallelize_all, Dfg, NodeKind, Region};
+use jash_exec::{
+    balanced_targets, execute, execute_with_retry, ErrorClass, ExecConfig, ExecOutcome,
+    RetryPolicy, SupervisionEvent,
+};
 use jash_expand::ShellState;
 use jash_interp::{Flow, InterpError, Interpreter, RunResult, ShellIo};
 use std::collections::HashMap;
@@ -43,6 +47,13 @@ pub struct Jash {
     /// layers (e.g. `FaultFs::wrap_with_cancel`) lets an abort interrupt
     /// reads that are stuck inside the filesystem, not just pipe waits.
     pub cancel: Option<jash_io::CancelToken>,
+    /// Per-rung retry behavior for transient faults (JashJit only).
+    /// Deterministic: the seed keys the backoff jitter stream.
+    pub retry_policy: RetryPolicy,
+    /// Circuit breaker over region shapes (JashJit only): shapes that
+    /// keep failing over are routed straight to the interpreter for a
+    /// cool-down window. Tune via `breaker.config`.
+    pub breaker: CircuitBreaker,
     interp: Interpreter,
 }
 
@@ -58,6 +69,8 @@ impl Jash {
             runtime: RuntimeInfo::default(),
             node_timeout: None,
             cancel: None,
+            retry_policy: RetryPolicy::default(),
+            breaker: CircuitBreaker::default(),
             interp: Interpreter::new(),
         }
     }
@@ -223,17 +236,24 @@ impl Jash {
             return Ok(None);
         }
 
-        // 5. Rewrite and execute.
-        parallelize_all(&mut compiled.dfg, shape.width);
-        let mut cfg = ExecConfig::new(Arc::clone(&state.fs));
-        cfg.cwd = state.cwd.clone();
-        cfg.cpu = state.cpu.clone();
-        if shape.buffered {
-            cfg.buffer_splits_in = Some("/tmp/jash-buffers".to_string());
+        // 5. Rewrite and execute. JashJit regions run supervised (retry,
+        // width degradation, circuit breaker); PashAot keeps the original
+        // single-shot execute-or-fail-over, because a static transformer
+        // has no runtime to supervise with.
+        if self.engine == Engine::JashJit {
+            return self.execute_supervised(
+                state,
+                io,
+                pipeline_text,
+                &compiled.dfg,
+                shape,
+                projected,
+                input.total_bytes,
+            );
         }
-        cfg.split_targets = split_plans(&compiled.dfg, input.total_bytes);
-        cfg.node_timeout = self.node_timeout;
-        cfg.cancel = self.cancel.clone();
+
+        parallelize_all(&mut compiled.dfg, shape.width);
+        let cfg = self.region_config(state, shape.buffered, &compiled.dfg, input.total_bytes);
         let outcome = match execute(&compiled.dfg, &cfg) {
             Ok(o) => o,
             Err(e) => {
@@ -250,18 +270,7 @@ impl Jash {
         // the region sequentially under the interpreter, which reproduces
         // exactly what an unoptimized shell would have done.
         if !outcome.is_clean() {
-            self.runtime.regions_failed_over += 1;
-            self.runtime.failures.push(RegionFailure {
-                pipeline: pipeline_text.clone(),
-                failures: outcome.failures.clone(),
-            });
-            self.trace.push(TraceEvent {
-                pipeline: pipeline_text,
-                action: Action::FailedOver {
-                    width: shape.width,
-                    failures: outcome.failures,
-                },
-            });
+            self.book_failover(pipeline_text, shape.width, &outcome);
             return Ok(None);
         }
 
@@ -274,8 +283,216 @@ impl Jash {
                 projected_speedup: projected,
             },
         });
+        self.deliver(state, io, outcome).map(Some)
+    }
 
-        // 6. Deliver captured output to the session's stdio.
+    /// The supervised execution path (JashJit): breaker routing, then a
+    /// width-degradation ladder where each rung retries transient faults
+    /// with deterministic backoff.
+    #[allow(clippy::too_many_arguments)]
+    fn execute_supervised(
+        &mut self,
+        state: &mut ShellState,
+        io: &ShellIo,
+        pipeline_text: String,
+        base_dfg: &Dfg,
+        shape: PlanShape,
+        projected: f64,
+        total_bytes: u64,
+    ) -> jash_interp::Result<Option<i32>> {
+        // One logical tick per region that reaches the supervisor; the
+        // breaker's cool-down counts these, never wall time, so routing
+        // decisions replay identically.
+        let region = self.breaker.tick();
+        // Fingerprint the *pre-parallelization* graph: the shape key must
+        // not depend on the width chosen this time around.
+        let fp = base_dfg.fingerprint();
+        match self.breaker.route(fp) {
+            Route::Interpret => {
+                self.runtime
+                    .supervision
+                    .push(SupervisionEvent::BreakerRouted {
+                        region,
+                        fingerprint: fp,
+                    });
+                self.trace.push(TraceEvent {
+                    pipeline: pipeline_text,
+                    action: Action::Interpreted {
+                        reason: format!("circuit breaker open for shape {fp:08x}"),
+                    },
+                });
+                return Ok(None);
+            }
+            Route::HalfOpenTrial => {
+                self.runtime
+                    .supervision
+                    .push(SupervisionEvent::BreakerHalfOpen { fingerprint: fp });
+            }
+            Route::Try => {}
+        }
+
+        // The ladder: planned width first, then halves down to 1. Width 1
+        // still runs through the dataflow executor (fused, unsplit) — the
+        // interpreter is only reached by failing off the last rung.
+        let mut widths = vec![shape.width];
+        widths.extend(degradation_ladder(shape.width));
+
+        let mut total_attempts = 0u32;
+        let mut last_failure: Option<(ExecOutcome, ErrorClass)> = None;
+        for (i, &width) in widths.iter().enumerate() {
+            let mut dfg = base_dfg.clone();
+            if width > 1 {
+                parallelize_all(&mut dfg, width);
+            }
+            let cfg = self.region_config(state, shape.buffered, &dfg, total_bytes);
+            let wall = std::time::Instant::now();
+            let result = match execute_with_retry(
+                &dfg,
+                &cfg,
+                &self.retry_policy,
+                region,
+                width,
+                &mut self.runtime.supervision,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    // Execution-layer refusals (unsafe split) fall back.
+                    self.trace.push(TraceEvent {
+                        pipeline: pipeline_text,
+                        action: Action::Interpreted {
+                            reason: format!("executor refused: {e}"),
+                        },
+                    });
+                    return Ok(None);
+                }
+            };
+            total_attempts += result.attempts;
+
+            if result.outcome.is_clean() {
+                if self.breaker.record_success(fp) {
+                    self.runtime
+                        .supervision
+                        .push(SupervisionEvent::BreakerClosed { fingerprint: fp });
+                }
+                if total_attempts > 1 || width < shape.width {
+                    self.runtime.supervision.push(SupervisionEvent::Recovered {
+                        region,
+                        attempts: total_attempts,
+                        width,
+                    });
+                    self.runtime.regions_recovered += 1;
+                }
+                self.runtime.regions_optimized += 1;
+                self.trace.push(TraceEvent {
+                    pipeline: pipeline_text,
+                    action: Action::Optimized {
+                        width,
+                        buffered: shape.buffered,
+                        projected_speedup: projected,
+                    },
+                });
+                return self.deliver(state, io, result.outcome).map(Some);
+            }
+
+            let class = result.outcome.fault_class.unwrap_or(ErrorClass::Permanent);
+            let next = widths.get(i + 1).copied();
+            // Resource starvation steps down the ladder instead of
+            // burning retry budget against the same wall. A transient
+            // fault that exhausted its retries gets the same treatment
+            // when the machine models read as saturated — under pressure
+            // "try the same thing again, harder" is the wrong move.
+            let pressure =
+                resource_pressure(None, state.cpu.as_ref(), wall.elapsed().as_secs_f64());
+            let degrade = !result.cancelled
+                && next.is_some()
+                && (class == ErrorClass::Resource
+                    || (class == ErrorClass::Transient && pressure > 0.9));
+            last_failure = Some((result.outcome, class));
+            if let (true, Some(to)) = (degrade, next) {
+                self.runtime
+                    .supervision
+                    .push(SupervisionEvent::WidthDegraded {
+                        region,
+                        from: width,
+                        to,
+                        class,
+                    });
+                continue;
+            }
+            break;
+        }
+
+        // Every rung failed (or the fault class ruled the ladder out):
+        // fail over to the interpreter, PR 1's original safety valve.
+        let Some((outcome, class)) = last_failure else {
+            // Unreachable (the loop always records a failure before
+            // exiting unclean), but degrade gracefully if it ever isn't.
+            self.trace.push(TraceEvent {
+                pipeline: pipeline_text,
+                action: Action::Interpreted {
+                    reason: "supervisor produced no outcome".to_string(),
+                },
+            });
+            return Ok(None);
+        };
+        self.runtime
+            .supervision
+            .push(SupervisionEvent::FailedOver { region, class });
+        if self.breaker.record_failure(fp) {
+            self.runtime
+                .supervision
+                .push(SupervisionEvent::BreakerOpened {
+                    fingerprint: fp,
+                    failures: self.breaker.failures(fp),
+                });
+        }
+        self.book_failover(pipeline_text, shape.width, &outcome);
+        Ok(None)
+    }
+
+    /// Builds the per-rung executor configuration.
+    fn region_config(
+        &self,
+        state: &ShellState,
+        buffered: bool,
+        dfg: &Dfg,
+        total_bytes: u64,
+    ) -> ExecConfig {
+        let mut cfg = ExecConfig::new(Arc::clone(&state.fs));
+        cfg.cwd = state.cwd.clone();
+        cfg.cpu = state.cpu.clone();
+        if buffered {
+            cfg.buffer_splits_in = Some("/tmp/jash-buffers".to_string());
+        }
+        cfg.split_targets = split_plans(dfg, total_bytes);
+        cfg.node_timeout = self.node_timeout;
+        cfg.cancel = self.cancel.clone();
+        cfg
+    }
+
+    /// Books a fail-over in the runtime ledger and trace.
+    fn book_failover(&mut self, pipeline_text: String, width: usize, outcome: &ExecOutcome) {
+        self.runtime.regions_failed_over += 1;
+        self.runtime.failures.push(RegionFailure {
+            pipeline: pipeline_text.clone(),
+            failures: outcome.failures.clone(),
+        });
+        self.trace.push(TraceEvent {
+            pipeline: pipeline_text,
+            action: Action::FailedOver {
+                width,
+                failures: outcome.failures.clone(),
+            },
+        });
+    }
+
+    /// Delivers captured optimized output to the session's stdio.
+    fn deliver(
+        &mut self,
+        state: &mut ShellState,
+        io: &ShellIo,
+        outcome: ExecOutcome,
+    ) -> jash_interp::Result<i32> {
         if !outcome.stdout.is_empty() {
             let mut sink = io.stdout.open(&state.fs)?;
             sink.write_chunk(bytes::Bytes::from(outcome.stdout))?;
@@ -286,7 +503,7 @@ impl Jash {
             sink.write_chunk(bytes::Bytes::from(outcome.stderr))?;
         }
         state.last_status = outcome.status;
-        Ok(Some(outcome.status))
+        Ok(outcome.status)
     }
 }
 

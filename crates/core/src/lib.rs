@@ -41,10 +41,17 @@
 pub mod engine;
 pub mod jit;
 pub mod region;
+pub mod supervise;
 
 pub use engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
+pub use jash_exec::{
+    classify, ErrorClass, RetryPolicy, SupervisionEvent, SupervisionLog,
+};
 pub use jit::Jash;
 pub use region::{jit_region, static_region, Ineligible};
+pub use supervise::{
+    degradation_ladder, resource_pressure, BreakerConfig, CircuitBreaker, Route,
+};
 
 #[cfg(test)]
 mod tests {
@@ -331,10 +338,12 @@ cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 $DICT -
     }
 
     #[test]
-    fn transient_fault_recovers_via_sequential_rerun() {
-        // A `once` fault hits only the optimized attempt; the interpreter
-        // rerun succeeds, so the session's observable output is the clean
-        // sequential result — the fault is invisible except in the trace.
+    fn transient_fault_recovers_via_retry_without_failover() {
+        // A `once` transient fault hits only the first optimized attempt;
+        // the supervisor classifies it transient, backs off, and re-runs
+        // the *optimized* region — which succeeds. No interpreter
+        // failover, output identical to a clean run, and the supervision
+        // log shows the retry.
         let content = "Delta Alpha Bravo\n".repeat(300);
         let src = "cat /in | tr A-Z a-z | sort -u";
         let fs = fs_with(&[("/in", &content)]);
@@ -353,8 +362,123 @@ cat $FILES | tr A-Z a-z | tr -cs A-Za-z '\n' | sort -u | comm -13 $DICT -
         let (clean, _) = run_engine(Engine::Bash, fs_with(&[("/in", &content)]), src);
         assert_eq!(jash.status, 0, "trace: {:?}", shell.trace);
         assert_eq!(jash.stdout, clean.stdout);
-        assert!(shell.trace.iter().any(TraceEvent::failed_over));
-        assert_eq!(shell.runtime.regions_failed_over, 1);
+        assert!(
+            !shell.trace.iter().any(TraceEvent::failed_over),
+            "transient fault must be absorbed by retry, not failover: {}",
+            shell.runtime.supervision.render()
+        );
+        assert_eq!(shell.runtime.regions_failed_over, 0);
+        assert_eq!(shell.runtime.regions_recovered, 1);
+        assert_eq!(shell.runtime.supervision.recoveries(), 1);
+        let log = &shell.runtime.supervision.events;
+        assert!(
+            log.iter()
+                .any(|e| matches!(e, SupervisionEvent::Backoff { class: ErrorClass::Transient, .. })),
+            "expected a transient backoff event: {}",
+            shell.runtime.supervision.render()
+        );
+        assert!(
+            log.iter().any(
+                |e| matches!(e, SupervisionEvent::Recovered { attempts: 2, .. })
+            ),
+            "expected recovery on the second attempt: {}",
+            shell.runtime.supervision.render()
+        );
+    }
+
+    #[test]
+    fn resource_fault_recovers_via_width_degradation() {
+        // A resource-class fault that keeps firing for the first few
+        // opens: the planned width-4 attempt fails, the supervisor steps
+        // down the ladder instead of retrying (resource faults don't get
+        // backoff), and a narrower rung succeeds — optimized output at
+        // reduced width, no failover.
+        let content = "Delta Alpha Bravo\n".repeat(300);
+        let src = "cat /in | tr A-Z a-z | sort -u";
+        let fs = fs_with(&[("/in", &content)]);
+        let plan = jash_io::FaultPlan::new().resource_open_errors("/in", 2);
+        let faulty = jash_io::FaultFs::wrap(fs, plan) as FsHandle;
+        let (jash, shell) = run_engine(Engine::JashJit, faulty, src);
+        let (clean, _) = run_engine(Engine::Bash, fs_with(&[("/in", &content)]), src);
+        assert_eq!(jash.status, 0, "log: {}", shell.runtime.supervision.render());
+        assert_eq!(jash.stdout, clean.stdout);
+        assert_eq!(shell.runtime.regions_failed_over, 0);
+        assert_eq!(shell.runtime.regions_recovered, 1);
+        assert!(
+            shell.runtime.supervision.degradations() >= 1,
+            "expected width degradation: {}",
+            shell.runtime.supervision.render()
+        );
+        assert!(
+            shell
+                .runtime
+                .supervision
+                .events
+                .iter()
+                .any(|e| matches!(
+                    e,
+                    SupervisionEvent::WidthDegraded { class: ErrorClass::Resource, .. }
+                )),
+            "degradations must be resource-classed: {}",
+            shell.runtime.supervision.render()
+        );
+        // The recovery happened at a width below the planned one.
+        assert!(
+            shell.runtime.supervision.events.iter().any(|e| matches!(
+                e,
+                SupervisionEvent::Recovered { width, .. } if *width < 4
+            )),
+            "recovery should land at reduced width: {}",
+            shell.runtime.supervision.render()
+        );
+    }
+
+    #[test]
+    fn breaker_quarantines_repeatedly_failing_shape() {
+        // A sticky rename fault breaks the optimized path's transactional
+        // commit on every attempt — but the interpreter writes /out
+        // directly (no rename), so each statement still succeeds after
+        // failover and the session keeps going. Statements 1-3 fail over
+        // (opening the breaker at the default threshold of 3); statements
+        // 4-5 route straight to the interpreter without burning an
+        // optimized attempt. Output must match bash under the same fault.
+        let content = "Zebra apple\n".repeat(300);
+        let src = "cat /in | tr A-Z a-z | sort -u > /out\n".repeat(5);
+        let make_fs = || {
+            let fs = fs_with(&[("/in", &content)]);
+            let plan = jash_io::FaultPlan::new().rename_error("/out", "media failure on commit");
+            (
+                std::sync::Arc::clone(&fs),
+                jash_io::FaultFs::wrap(fs, plan) as FsHandle,
+            )
+        };
+        let (jash_inner, jash_fs) = make_fs();
+        let (jash, shell) = run_engine(Engine::JashJit, jash_fs, &src);
+        let (bash_inner, bash_fs) = make_fs();
+        let (bash, _) = run_engine(Engine::Bash, bash_fs, &src);
+        assert_eq!(jash.status, bash.status, "log: {}", shell.runtime.supervision.render());
+        assert_eq!(jash.stdout, bash.stdout);
+        assert_eq!(
+            jash_io::fs::read_to_vec(jash_inner.as_ref(), "/out").ok(),
+            jash_io::fs::read_to_vec(bash_inner.as_ref(), "/out").ok(),
+            "failover and breaker routing must both produce bash's /out"
+        );
+        assert_eq!(
+            shell.runtime.regions_failed_over, 3,
+            "log: {}",
+            shell.runtime.supervision.render()
+        );
+        assert_eq!(shell.runtime.supervision.breaker_opens(), 1);
+        assert_eq!(
+            shell.runtime.supervision.breaker_routed(),
+            2,
+            "statements 4-5 must be routed, not attempted: {}",
+            shell.runtime.supervision.render()
+        );
+        // No staging debris anywhere.
+        for f in jash_inner.list_dir("/").unwrap() {
+            assert!(!f.contains(".jash-stage-"), "debris: {f}");
+        }
     }
 
     #[test]

@@ -1,0 +1,300 @@
+//! Session-level supervision: the JIT circuit breaker and the
+//! width-degradation ladder.
+//!
+//! The executor-side half (`jash_exec::supervise`) classifies faults and
+//! retries transient ones. This half decides what the *session* does with
+//! shapes that keep failing: a [`CircuitBreaker`] keyed by normalized DFG
+//! fingerprint quarantines region shapes whose optimized runs repeatedly
+//! fail over, routing them straight to the interpreter for a cool-down
+//! window and re-probing with a half-open trial; and
+//! [`degradation_ladder`] computes the width steps (width → width/2 → …
+//! → 1) a resource-starved region walks down before giving up on
+//! optimization entirely.
+//!
+//! Determinism: the breaker's cool-down is measured in *logical region
+//! ticks* (the count of optimizable regions the session has seen), never
+//! wall time, so the same script under the same fault plan opens, routes,
+//! probes, and closes at exactly the same statements on every run.
+
+use jash_io::{CpuModel, DiskModel};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Breaker tunables.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive fail-overs of one shape that open its breaker.
+    pub failure_threshold: u32,
+    /// How many logical region ticks an open breaker routes matching
+    /// regions to the interpreter before allowing a half-open trial.
+    pub cooldown_regions: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_regions: 4,
+        }
+    }
+}
+
+/// What the breaker tells the JIT to do with a region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Closed (or unknown shape): optimize normally.
+    Try,
+    /// Open and cooling down: go straight to the interpreter.
+    Interpret,
+    /// Cool-down elapsed: run one optimization trial; its result decides
+    /// whether the breaker closes or re-opens.
+    HalfOpenTrial,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BreakerState {
+    Closed,
+    Open { until_tick: u64 },
+    HalfOpen,
+}
+
+#[derive(Debug, Clone)]
+struct ShapeRecord {
+    state: BreakerState,
+    consecutive_failures: u32,
+}
+
+/// A per-shape circuit breaker over region fingerprints.
+///
+/// Shapes start closed. Each fail-over of a shape increments its
+/// consecutive-failure count; reaching [`BreakerConfig::failure_threshold`]
+/// opens the breaker for [`BreakerConfig::cooldown_regions`] logical
+/// ticks, during which [`CircuitBreaker::route`] answers
+/// [`Route::Interpret`]. After the cool-down the next matching region is
+/// a [`Route::HalfOpenTrial`]: success closes the breaker (count reset),
+/// failure re-opens it for a fresh cool-down.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBreaker {
+    /// Tunables.
+    pub config: BreakerConfig,
+    shapes: HashMap<u64, ShapeRecord>,
+    ticks: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker with custom tunables.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            ..CircuitBreaker::default()
+        }
+    }
+
+    /// Advances the logical clock by one optimizable region and returns
+    /// the new tick. Call exactly once per region the JIT considers.
+    pub fn tick(&mut self) -> u64 {
+        self.ticks += 1;
+        self.ticks
+    }
+
+    /// The current logical tick.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Routing decision for a region of shape `fingerprint` at the
+    /// current tick. Transitions Open → HalfOpen when the cool-down has
+    /// elapsed.
+    pub fn route(&mut self, fingerprint: u64) -> Route {
+        let ticks = self.ticks;
+        let Some(rec) = self.shapes.get_mut(&fingerprint) else {
+            return Route::Try;
+        };
+        match rec.state {
+            BreakerState::Closed => Route::Try,
+            // `until_tick` is inclusive: a failure at tick T with
+            // cool-down C routes ticks T+1 ..= T+C, trial at T+C+1.
+            BreakerState::Open { until_tick } if ticks <= until_tick => Route::Interpret,
+            BreakerState::Open { .. } | BreakerState::HalfOpen => {
+                rec.state = BreakerState::HalfOpen;
+                Route::HalfOpenTrial
+            }
+        }
+    }
+
+    /// Records a fail-over of `fingerprint`. Returns `true` when this
+    /// failure newly opened (or re-opened) the breaker.
+    pub fn record_failure(&mut self, fingerprint: u64) -> bool {
+        let ticks = self.ticks;
+        let threshold = self.config.failure_threshold.max(1);
+        let cooldown = self.config.cooldown_regions;
+        let rec = self.shapes.entry(fingerprint).or_insert(ShapeRecord {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+        });
+        rec.consecutive_failures += 1;
+        let should_open = match rec.state {
+            // A failed half-open trial re-opens immediately.
+            BreakerState::HalfOpen => true,
+            BreakerState::Closed => rec.consecutive_failures >= threshold,
+            BreakerState::Open { .. } => false,
+        };
+        if should_open {
+            rec.state = BreakerState::Open {
+                until_tick: ticks + cooldown,
+            };
+        }
+        should_open
+    }
+
+    /// Records a clean optimized run of `fingerprint`. Returns `true`
+    /// when this closed a half-open breaker.
+    pub fn record_success(&mut self, fingerprint: u64) -> bool {
+        let Some(rec) = self.shapes.get_mut(&fingerprint) else {
+            return false;
+        };
+        let was_half_open = rec.state == BreakerState::HalfOpen;
+        rec.state = BreakerState::Closed;
+        rec.consecutive_failures = 0;
+        was_half_open
+    }
+
+    /// Consecutive fail-overs currently on the books for `fingerprint`.
+    pub fn failures(&self, fingerprint: u64) -> u32 {
+        self.shapes
+            .get(&fingerprint)
+            .map_or(0, |r| r.consecutive_failures)
+    }
+}
+
+/// The width rungs a degrading region steps through, starting *below*
+/// `width`: halve until 1. `degradation_ladder(8)` is `[4, 2, 1]`;
+/// anything ≤ 1 has nowhere to go (`[]`).
+pub fn degradation_ladder(width: usize) -> Vec<usize> {
+    let mut rungs = Vec::new();
+    let mut w = width;
+    while w > 1 {
+        w /= 2;
+        rungs.push(w.max(1));
+    }
+    rungs
+}
+
+/// A coarse resource-pressure reading off the machine models, in
+/// `[0, 1]`: the larger of the modeled disk's busy fraction and the
+/// modeled CPU's per-core utilization. Returns 0 when no model is
+/// attached (pressure then never influences supervision, keeping
+/// model-free runs deterministic).
+///
+/// The supervisor consults this when a *transient* fault exhausts its
+/// retry budget: under high pressure the fault is treated like resource
+/// starvation (shrink width) rather than escalated straight to failover —
+/// a wedged device or saturated CPU makes "try the same thing again,
+/// harder" the wrong move.
+pub fn resource_pressure(
+    disk: Option<&Arc<DiskModel>>,
+    cpu: Option<&Arc<CpuModel>>,
+    wall_seconds: f64,
+) -> f64 {
+    if wall_seconds <= 0.0 {
+        return 0.0;
+    }
+    let disk_busy = disk.map_or(0.0, |d| {
+        d.stats().busy_ns as f64 / 1e9 / wall_seconds
+    });
+    let cpu_busy = cpu.map_or(0.0, |c| {
+        c.busy_seconds() / (c.cores().max(1) as f64) / wall_seconds
+    });
+    disk_busy.max(cpu_busy).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_halves_to_one() {
+        assert_eq!(degradation_ladder(8), vec![4, 2, 1]);
+        assert_eq!(degradation_ladder(4), vec![2, 1]);
+        assert_eq!(degradation_ladder(3), vec![1]);
+        assert_eq!(degradation_ladder(2), vec![1]);
+        assert!(degradation_ladder(1).is_empty());
+        assert!(degradation_ladder(0).is_empty());
+    }
+
+    #[test]
+    fn breaker_full_cycle() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            cooldown_regions: 3,
+        });
+        let fp = 0xabcd;
+        // Two consecutive failures open it.
+        b.tick();
+        assert_eq!(b.route(fp), Route::Try);
+        assert!(!b.record_failure(fp));
+        b.tick();
+        assert_eq!(b.route(fp), Route::Try);
+        assert!(b.record_failure(fp), "threshold reached must open");
+        // Cooling down: routed to the interpreter for 3 ticks.
+        for _ in 0..3 {
+            b.tick();
+            assert_eq!(b.route(fp), Route::Interpret);
+        }
+        // Cool-down over: half-open trial.
+        b.tick();
+        assert_eq!(b.route(fp), Route::HalfOpenTrial);
+        // Trial succeeds → closed, counters reset.
+        assert!(b.record_success(fp));
+        b.tick();
+        assert_eq!(b.route(fp), Route::Try);
+        assert_eq!(b.failures(fp), 0);
+    }
+
+    #[test]
+    fn failed_half_open_trial_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_regions: 2,
+        });
+        let fp = 7;
+        b.tick();
+        assert!(b.record_failure(fp));
+        b.tick();
+        b.tick();
+        assert_eq!(b.route(fp), Route::Interpret);
+        b.tick();
+        assert_eq!(b.route(fp), Route::HalfOpenTrial);
+        assert!(b.record_failure(fp), "failed trial re-opens");
+        b.tick();
+        assert_eq!(b.route(fp), Route::Interpret);
+    }
+
+    #[test]
+    fn shapes_are_independent() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            cooldown_regions: 10,
+        });
+        b.tick();
+        assert!(b.record_failure(1));
+        b.tick();
+        assert_eq!(b.route(1), Route::Interpret);
+        assert_eq!(b.route(2), Route::Try, "other shapes unaffected");
+    }
+
+    #[test]
+    fn pressure_reads_zero_without_models() {
+        assert_eq!(resource_pressure(None, None, 1.0), 0.0);
+        assert_eq!(resource_pressure(None, None, 0.0), 0.0);
+    }
+
+    #[test]
+    fn pressure_reflects_cpu_model() {
+        let cpu = CpuModel::new(2, 0.0); // time_scale 0: charges don't sleep
+        cpu.charge(3.0);
+        let p = resource_pressure(None, Some(&cpu), 2.0);
+        // 3 busy seconds over 2 cores over 2 wall seconds = 0.75.
+        assert!((p - 0.75).abs() < 0.05, "pressure {p}");
+    }
+}

@@ -7,18 +7,22 @@ use std::io;
 /// Runs `cp src dst` or `cp src... dir`.
 pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i32> {
     let (_, operands) = crate::util::split_flags(args);
-    if operands.len() < 2 {
+    let Some((dst_op, srcs)) = operands.split_last() else {
         write_stderr(io, "cp: missing operand\n")?;
         return Ok(2);
+    };
+    if srcs.is_empty() {
+        write_stderr(io, &format!("cp: missing destination operand after '{dst_op}'\n"))?;
+        return Ok(2);
     }
-    let dst = ctx.resolve(operands.last().expect("checked"));
+    let dst = ctx.resolve(dst_op);
     let dst_is_dir = ctx.fs.metadata(&dst).map(|m| m.is_dir).unwrap_or(false);
-    if operands.len() > 2 && !dst_is_dir {
+    if srcs.len() > 1 && !dst_is_dir {
         write_stderr(io, &format!("cp: {dst}: not a directory\n"))?;
         return Ok(2);
     }
     let mut status = 0;
-    for src in &operands[..operands.len() - 1] {
+    for src in srcs {
         let s = ctx.resolve(src);
         let target = if dst_is_dir {
             let base = s.rsplit('/').next().unwrap_or("file");

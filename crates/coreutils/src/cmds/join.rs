@@ -54,8 +54,10 @@ pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i3
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 // Emit the cross product of equal-key runs.
-                let ai_end = (i..a.len()).take_while(|&x| key(&a[x], key1) == ka).last().unwrap() + 1;
-                let bj_end = (j..b.len()).take_while(|&x| key(&b[x], key2) == kb).last().unwrap() + 1;
+                // The first range element matches by construction, so the
+                // run is never empty — but never panic on data.
+                let ai_end = (i..a.len()).take_while(|&x| key(&a[x], key1) == ka).last().unwrap_or(i) + 1;
+                let bj_end = (j..b.len()).take_while(|&x| key(&b[x], key2) == kb).last().unwrap_or(j) + 1;
                 for row_a in &a[i..ai_end] {
                     for row_b in &b[j..bj_end] {
                         out.extend_from_slice(&ka);

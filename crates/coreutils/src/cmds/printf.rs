@@ -60,7 +60,7 @@ pub fn run(args: &[String], io: &mut UtilIo<'_>, _ctx: &UtilCtx) -> io::Result<i
                     let mut width = 0usize;
                     while let Some(&d) = chars.peek() {
                         if d.is_ascii_digit() {
-                            width = width * 10 + d.to_digit(10).expect("digit") as usize;
+                            width = width * 10 + d.to_digit(10).unwrap_or(0) as usize;
                             chars.next();
                         } else {
                             break;

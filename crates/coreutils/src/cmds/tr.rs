@@ -53,14 +53,13 @@ pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i3
     // Translation table.
     let mut xlate: [u8; 256] = std::array::from_fn(|i| i as u8);
     if let (Some(set2), false) = (&set2, delete) {
-        if set2.is_empty() {
+        let Some(&last) = set2.last() else {
             write_stderr(io, "tr: SET2 must not be empty\n")?;
             return Ok(2);
-        }
+        };
         if complement {
             // POSIX: with -c, every complemented byte maps to the last
             // element of SET2 (the common `tr -cs A-Za-z '\n'` case).
-            let last = *set2.last().expect("nonempty");
             for (i, m) in member.iter().enumerate() {
                 if *m {
                     xlate[i] = last;
@@ -68,7 +67,8 @@ pub fn run(args: &[String], io: &mut UtilIo<'_>, ctx: &UtilCtx) -> io::Result<i3
             }
         } else {
             for (i, &from) in set1.iter().enumerate() {
-                let to = *set2.get(i).unwrap_or(set2.last().expect("nonempty"));
+                // SET2 shorter than SET1 extends with its last element.
+                let to = set2.get(i).copied().unwrap_or(last);
                 xlate[from as usize] = to;
             }
         }

@@ -261,6 +261,43 @@ impl Dfg {
             .filter(|n| matches!(self.node(*n).kind, NodeKind::Command { .. }))
             .collect()
     }
+
+    /// A normalized structural fingerprint of the graph's *shape*.
+    ///
+    /// Two regions that compile to the same pipeline — same commands,
+    /// arguments, and file endpoints, in the same topological order —
+    /// share a fingerprint regardless of parallelization width: `Split`
+    /// nodes hash without their width and `Command`/`Merge` clones
+    /// introduced by `parallelize_all` collapse via deduplication of
+    /// identical labels at the same depth. In practice callers fingerprint
+    /// the *pre-parallelization* graph, which makes the width-invariance
+    /// trivially exact; the normalization here keeps the key stable even
+    /// if a rewritten graph is fingerprinted by mistake. The supervision
+    /// layer's circuit breaker uses this as its per-shape key.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over deduplicated, width-normalized labels in topo order.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut write = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        let mut last: Option<String> = None;
+        for n in self.topo_order().unwrap_or_default() {
+            let label = match &self.node(n).kind {
+                NodeKind::Split { .. } => "split".to_string(),
+                other => other.label(),
+            };
+            if last.as_deref() == Some(label.as_str()) {
+                continue; // Parallel clones of one stage collapse.
+            }
+            write(label.as_bytes());
+            write(&[0]);
+            last = Some(label);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -350,6 +387,36 @@ mod tests {
         let dot = g.to_dot();
         assert!(dot.contains("read /data"));
         assert!(dot.contains("n0 -> n1"));
+    }
+
+    #[test]
+    fn fingerprint_keys_shape_not_width() {
+        let linear = |args: &[&str]| {
+            let mut g = Dfg::new();
+            let r = g.add_node(NodeKind::ReadFile { path: "/in".into() });
+            let c = g.add_node(NodeKind::Command {
+                name: "grep".into(),
+                args: args.iter().map(|s| s.to_string()).collect(),
+                spec: jash_spec::resolve_builtin("grep", &["x".into()]).unwrap(),
+            });
+            g.connect(r, c);
+            g
+        };
+        assert_eq!(linear(&["x"]).fingerprint(), linear(&["x"]).fingerprint());
+        assert_ne!(linear(&["x"]).fingerprint(), linear(&["y"]).fingerprint());
+        // Split width does not enter the key.
+        let with_split = |w: usize| {
+            let mut g = Dfg::new();
+            let r = g.add_node(NodeKind::ReadFile { path: "/in".into() });
+            let s = g.add_node(NodeKind::Split { width: w });
+            g.connect(r, s);
+            for _ in 0..w {
+                let d = g.add_node(NodeKind::Discard);
+                g.connect(s, d);
+            }
+            g.fingerprint()
+        };
+        assert_eq!(with_split(2), with_split(4));
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use crate::merge::run_merge;
 use crate::split::{split_contiguous, split_round_robin, DEFAULT_BLOCK_LINES};
+use crate::supervise::{classify, ErrorClass};
 use bytes::Bytes;
 use jash_coreutils::{UtilCtx, UtilIo};
 use jash_dataflow::{Dfg, NodeId, NodeKind};
@@ -111,6 +112,8 @@ pub struct NodeMetric {
     /// reason, or a captured panic message. `None` for clean completion
     /// (including benign broken-pipe shutdown).
     pub failure: Option<String>,
+    /// Supervision classification of the failure (`None` when clean).
+    pub class: Option<ErrorClass>,
 }
 
 /// The result of executing a graph.
@@ -134,6 +137,10 @@ pub struct ExecOutcome {
     /// nonzero command statuses such as `grep` finding nothing are not
     /// failures.
     pub failures: Vec<String>,
+    /// Worst-severity classification across all failures (`None` when the
+    /// region is clean) — what the supervision layer keys retry vs
+    /// degrade vs failover decisions off.
+    pub fault_class: Option<ErrorClass>,
 }
 
 impl ExecOutcome {
@@ -419,21 +426,26 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                             staging,
                         )
                     }));
-                    let (status, failure) = match result {
-                        Ok(Ok(s)) => (s, None),
+                    let (status, failure, class) = match result {
+                        Ok(Ok(s)) => (s, None, None),
                         // Benign: downstream stopped reading (`head`
                         // semantics) — the Unix equivalent of SIGPIPE.
-                        Ok(Err(e)) if e.kind() == io::ErrorKind::BrokenPipe => (Some(0), None),
+                        Ok(Err(e)) if e.kind() == io::ErrorKind::BrokenPipe => (Some(0), None, None),
                         Ok(Err(e)) => {
                             local_err.extend_from_slice(format!("jash-exec: {e}\n").as_bytes());
-                            (Some(125), Some(e.to_string()))
+                            let class = classify(e.kind(), &e.to_string());
+                            (Some(125), Some(e.to_string()), Some(class))
                         }
                         Err(payload) => {
                             let msg = panic_message(payload);
                             local_err.extend_from_slice(
                                 format!("jash-exec: node panicked: {msg}\n").as_bytes(),
                             );
-                            (Some(125), Some(format!("panic: {msg}")))
+                            (
+                                Some(125),
+                                Some(format!("panic: {msg}")),
+                                Some(ErrorClass::Permanent),
+                            )
                         }
                     };
                     flush_node_stderr(&stderr, &label, &local_err);
@@ -443,6 +455,7 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                         wall: start.elapsed(),
                         status,
                         failure,
+                        class,
                     });
                 });
             }
@@ -467,6 +480,7 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                 .map(|f| format!("{}: {}", m.label, f))
         })
         .collect();
+    let mut fault_class: Option<ErrorClass> = metrics.iter().filter_map(|m| m.class).max();
 
     // Transactional commit: rename staging files into place only when
     // every node finished cleanly; otherwise discard staged output.
@@ -476,6 +490,8 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
             if cfg.fs.exists(stage) {
                 if let Err(e) = cfg.fs.rename(stage, final_path) {
                     failures.push(format!("commit {final_path}: {e}"));
+                    fault_class =
+                        fault_class.max(Some(classify(e.kind(), &e.to_string())));
                     let _ = cfg.fs.remove(stage);
                 }
             }
@@ -521,6 +537,7 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
         metrics,
         wall: t0.elapsed(),
         failures,
+        fault_class,
     })
 }
 

@@ -34,10 +34,15 @@
 pub mod executor;
 pub mod merge;
 pub mod split;
+pub mod supervise;
 
 pub use executor::{check_split_safety, execute, ExecConfig, ExecOutcome, NodeMetric};
 pub use merge::run_merge;
 pub use split::{balanced_targets, split_contiguous, split_round_robin, DEFAULT_BLOCK_LINES};
+pub use supervise::{
+    classify, execute_with_retry, ErrorClass, RetryPolicy, RetryResult, SupervisionEvent,
+    SupervisionLog,
+};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,512 @@
+//! Execution supervision: fault taxonomy, retry policy, and the
+//! structured event log.
+//!
+//! PR 1 gave optimized execution a binary safety valve — any fault
+//! discards the region and re-runs it under the interpreter. This module
+//! provides the machinery for something a production runtime actually
+//! does: *classify* the fault ([`ErrorClass`]), *retry* the ones that are
+//! transient ([`RetryPolicy`], [`execute_with_retry`]) — which is safe
+//! because PR 1's transactional staging means a failed attempt has no
+//! observable side effects — and *record* every decision in a
+//! [`SupervisionLog`] so tests and the bench harness can audit recovery
+//! behavior, not just final status.
+//!
+//! Everything here is deterministic: backoff jitter comes from a seeded
+//! splitmix64 stream keyed by `(seed, region, attempt)`, and no event
+//! carries wall-clock data — the same fault schedule plus the same retry
+//! seed produces the identical event sequence on every run (the
+//! determinism contract `tests/supervision.rs` pins).
+
+use crate::executor::{execute, ExecConfig, ExecOutcome};
+use jash_dataflow::Dfg;
+use std::fmt;
+use std::io;
+use std::time::Duration;
+
+/// The transient-vs-permanent fault taxonomy, ordered by severity.
+///
+/// Classification refines the executor's existing benign/real split: a
+/// *real* fault (anything that lands in [`ExecOutcome::failures`]) is
+/// further sorted into one of three buckets that determine the
+/// supervisor's response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ErrorClass {
+    /// Likely to succeed on a plain re-run: interrupted/timed-out
+    /// operations, controller resets, watchdog cancellations. The
+    /// supervisor retries these at the same width, with backoff.
+    Transient,
+    /// Resource starvation: allocation pressure, descriptor or space
+    /// exhaustion, "resource temporarily unavailable". Retrying at the
+    /// same width would burn the retry budget against the same wall, so
+    /// the supervisor shrinks parallelism width instead.
+    Resource,
+    /// Everything else — bad input, permission problems, media errors.
+    /// Retrying cannot help; the supervisor fails over immediately.
+    Permanent,
+}
+
+impl fmt::Display for ErrorClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorClass::Transient => write!(f, "transient"),
+            ErrorClass::Resource => write!(f, "resource"),
+            ErrorClass::Permanent => write!(f, "permanent"),
+        }
+    }
+}
+
+/// Classifies one IO failure by kind and message.
+///
+/// The message heuristics matter because the virtual filesystem (and the
+/// fault injector) surface most errors as [`io::ErrorKind::Other`] with a
+/// descriptive message — mirroring how real errno strings are what
+/// operators actually grep for.
+pub fn classify(kind: io::ErrorKind, msg: &str) -> ErrorClass {
+    let m = msg.to_ascii_lowercase();
+    if matches!(kind, io::ErrorKind::OutOfMemory | io::ErrorKind::WouldBlock)
+        || m.contains("resource temporarily unavailable")
+        || m.contains("too many open")
+        || m.contains("no space")
+        || m.contains("disk full")
+        || m.contains("device full")
+        || m.contains("cannot allocate")
+    {
+        return ErrorClass::Resource;
+    }
+    if matches!(kind, io::ErrorKind::Interrupted | io::ErrorKind::TimedOut)
+        || m.contains("transient")
+        || m.contains("reset")
+        || m.contains("timeout")
+        || m.contains("timed out")
+        || m.contains("try again")
+    {
+        return ErrorClass::Transient;
+    }
+    ErrorClass::Permanent
+}
+
+/// Classifies a recorded failure string (label-prefixed, as stored in
+/// [`ExecOutcome::failures`]) — the kind is gone by then, so this is the
+/// message-only half of [`classify`]. Panics are always permanent.
+pub fn classify_failure(failure: &str) -> ErrorClass {
+    if failure.contains("panic") {
+        return ErrorClass::Permanent;
+    }
+    classify(io::ErrorKind::Other, failure)
+}
+
+/// Retry knobs: attempts, exponential backoff, deterministic jitter.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per width rung, including the first (so `3` means
+    /// one initial try plus up to two retries). `1` disables retry.
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Multiplier applied per further retry.
+    pub multiplier: f64,
+    /// Cap on any single backoff.
+    pub max_backoff: Duration,
+    /// Jitter width as a fraction of the computed backoff (`0.5` means
+    /// the delay is scaled by a factor drawn from `[0.75, 1.25)`).
+    pub jitter: f64,
+    /// Seed for the jitter stream. Same seed ⇒ same delays, always.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(10),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(500),
+            jitter: 0.5,
+            seed: 0x6a61_7368, // "jash"
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based: the delay
+    /// between the first failure and the second attempt is
+    /// `backoff(region, 1)`). Deterministic in `(seed, region, attempt)`.
+    pub fn backoff(&self, region: u64, attempt: u32) -> Duration {
+        let exp = self.base_backoff.as_secs_f64() * self.multiplier.powi(attempt.max(1) as i32 - 1);
+        let capped = exp.min(self.max_backoff.as_secs_f64());
+        let unit = splitmix64(
+            self.seed
+                .wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(region.wrapping_mul(7919))
+                .wrapping_add(attempt as u64),
+        ) as f64
+            / u64::MAX as f64;
+        // Scale factor in [1 - jitter/2, 1 + jitter/2).
+        let factor = 1.0 - self.jitter / 2.0 + self.jitter * unit;
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+/// One supervision decision. Events are wall-clock-free by construction:
+/// attempt numbers, widths, classes, fingerprints, and *modeled* backoff
+/// delays only — so logs compare with `==` across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisionEvent {
+    /// An optimized execution attempt started.
+    Attempt {
+        /// Logical region number (session-wide tick).
+        region: u64,
+        /// 1-based attempt number within the current width rung.
+        attempt: u32,
+        /// Parallelism width of this attempt (1 = sequential dataflow).
+        width: usize,
+    },
+    /// A transient fault was absorbed; the supervisor backed off before
+    /// re-attempting.
+    Backoff {
+        /// Logical region number.
+        region: u64,
+        /// The attempt that failed.
+        attempt: u32,
+        /// The deterministic, jittered delay slept (via the cancellable
+        /// token) before the next attempt.
+        delay: Duration,
+        /// Classification of the absorbed fault.
+        class: ErrorClass,
+    },
+    /// The region recovered inside the supervisor — by retry, by width
+    /// degradation, or both — and delivered optimized output.
+    Recovered {
+        /// Logical region number.
+        region: u64,
+        /// Total attempts across all width rungs.
+        attempts: u32,
+        /// The width that finally succeeded.
+        width: usize,
+    },
+    /// A resource-class fault (or retry exhaustion under pressure) shrank
+    /// the parallelism width instead of burning retry budget.
+    WidthDegraded {
+        /// Logical region number.
+        region: u64,
+        /// Width of the failed rung.
+        from: usize,
+        /// Width the next rung will run at.
+        to: usize,
+        /// Classification of the fault that forced the step down.
+        class: ErrorClass,
+    },
+    /// The supervisor gave up on optimization; the region re-ran under
+    /// the interpreter (PR 1's original safety valve).
+    FailedOver {
+        /// Logical region number.
+        region: u64,
+        /// Worst fault class observed on the final attempt.
+        class: ErrorClass,
+    },
+    /// A region shape crossed the failure threshold; matching regions now
+    /// route straight to the interpreter.
+    BreakerOpened {
+        /// Normalized DFG fingerprint of the shape.
+        fingerprint: u64,
+        /// Consecutive fail-overs that tripped the breaker.
+        failures: u32,
+    },
+    /// A region was routed to the interpreter without an optimization
+    /// attempt because its shape's breaker is open.
+    BreakerRouted {
+        /// Logical region number.
+        region: u64,
+        /// The open shape.
+        fingerprint: u64,
+    },
+    /// The cool-down elapsed; one trial execution is allowed through.
+    BreakerHalfOpen {
+        /// The probing shape.
+        fingerprint: u64,
+    },
+    /// The half-open trial succeeded; the shape optimizes normally again.
+    BreakerClosed {
+        /// The recovered shape.
+        fingerprint: u64,
+    },
+}
+
+impl fmt::Display for SupervisionEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SupervisionEvent::Attempt {
+                region,
+                attempt,
+                width,
+            } => write!(f, "r{region} attempt#{attempt} w{width}"),
+            SupervisionEvent::Backoff {
+                region,
+                attempt,
+                delay,
+                class,
+            } => write!(
+                f,
+                "r{region} backoff {}ms after #{attempt} ({class})",
+                delay.as_millis()
+            ),
+            SupervisionEvent::Recovered {
+                region,
+                attempts,
+                width,
+            } => write!(f, "r{region} recovered after {attempts} attempts at w{width}"),
+            SupervisionEvent::WidthDegraded {
+                region,
+                from,
+                to,
+                class,
+            } => write!(f, "r{region} degrade w{from}->w{to} ({class})"),
+            SupervisionEvent::FailedOver { region, class } => {
+                write!(f, "r{region} failover ({class})")
+            }
+            SupervisionEvent::BreakerOpened {
+                fingerprint,
+                failures,
+            } => write!(f, "breaker-open fp={fingerprint:08x} after {failures} failures"),
+            SupervisionEvent::BreakerRouted {
+                region,
+                fingerprint,
+            } => write!(f, "r{region} breaker-routed fp={fingerprint:08x}"),
+            SupervisionEvent::BreakerHalfOpen { fingerprint } => {
+                write!(f, "breaker-half-open fp={fingerprint:08x}")
+            }
+            SupervisionEvent::BreakerClosed { fingerprint } => {
+                write!(f, "breaker-closed fp={fingerprint:08x}")
+            }
+        }
+    }
+}
+
+/// The ordered record of every supervision decision in a session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SupervisionLog {
+    /// Events, in decision order.
+    pub events: Vec<SupervisionEvent>,
+}
+
+impl SupervisionLog {
+    /// Appends one event.
+    pub fn push(&mut self, event: SupervisionEvent) {
+        self.events.push(event);
+    }
+
+    /// Regions that recovered inside the supervisor (no failover).
+    pub fn recoveries(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SupervisionEvent::Recovered { .. }))
+            .count()
+    }
+
+    /// Width-degradation steps taken.
+    pub fn degradations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SupervisionEvent::WidthDegraded { .. }))
+            .count()
+    }
+
+    /// Breaker-open transitions.
+    pub fn breaker_opens(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SupervisionEvent::BreakerOpened { .. }))
+            .count()
+    }
+
+    /// Regions routed to the interpreter by an open breaker.
+    pub fn breaker_routed(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SupervisionEvent::BreakerRouted { .. }))
+            .count()
+    }
+
+    /// One event per line, for reports and debugging.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// What one supervised rung produced.
+pub struct RetryResult {
+    /// The final outcome (clean, or the last failed attempt's outcome).
+    pub outcome: ExecOutcome,
+    /// Attempts consumed at this rung.
+    pub attempts: u32,
+    /// Whether retrying stopped because the region's cancel token fired
+    /// (e.g. the stall watchdog) — further attempts would fail instantly,
+    /// so the caller should fail over rather than degrade.
+    pub cancelled: bool,
+}
+
+/// Executes `dfg` under `cfg` up to `policy.max_attempts` times at one
+/// width, retrying only transient-class faults with deterministic
+/// backoff.
+///
+/// Retry is safe because every attempt is transactional (staged sinks of
+/// a failed attempt are discarded by the executor before this function
+/// sees the outcome) and capture buffers are per-attempt. Backoff sleeps
+/// run through the region's [`jash_io::CancelToken`] when one is
+/// configured, so a cancelled region stops retrying immediately instead
+/// of sleeping out its budget.
+///
+/// `region` is the caller's logical region number, used only to key the
+/// jitter stream and label events. Resource- and permanent-class faults
+/// return after the first failure — degradation and failover are the
+/// caller's decisions, not this function's.
+pub fn execute_with_retry(
+    dfg: &Dfg,
+    cfg: &ExecConfig,
+    policy: &RetryPolicy,
+    region: u64,
+    width: usize,
+    log: &mut SupervisionLog,
+) -> io::Result<RetryResult> {
+    let max = policy.max_attempts.max(1);
+    let mut attempt = 1u32;
+    loop {
+        log.push(SupervisionEvent::Attempt {
+            region,
+            attempt,
+            width,
+        });
+        let outcome = execute(dfg, cfg)?;
+        if outcome.is_clean() {
+            return Ok(RetryResult {
+                outcome,
+                attempts: attempt,
+                cancelled: false,
+            });
+        }
+        let class = outcome.fault_class.unwrap_or(ErrorClass::Permanent);
+        let cancelled = cfg
+            .cancel
+            .as_ref()
+            .is_some_and(jash_io::CancelToken::is_cancelled);
+        if class != ErrorClass::Transient || attempt >= max || cancelled {
+            return Ok(RetryResult {
+                outcome,
+                attempts: attempt,
+                cancelled,
+            });
+        }
+        let delay = policy.backoff(region, attempt);
+        log.push(SupervisionEvent::Backoff {
+            region,
+            attempt,
+            delay,
+            class,
+        });
+        let token = cfg.cancel.clone().unwrap_or_default();
+        if token.sleep(delay).is_err() {
+            // Cancelled mid-backoff: report the failed outcome as-is.
+            return Ok(RetryResult {
+                outcome,
+                attempts: attempt,
+                cancelled: true,
+            });
+        }
+        attempt += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_taxonomy() {
+        assert_eq!(
+            classify(io::ErrorKind::Interrupted, "watchdog: region stalled"),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify(io::ErrorKind::Other, "injected: transient controller reset"),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            classify(io::ErrorKind::Other, "injected: resource temporarily unavailable"),
+            ErrorClass::Resource
+        );
+        assert_eq!(
+            classify(io::ErrorKind::Other, "no space left on device"),
+            ErrorClass::Resource
+        );
+        assert_eq!(
+            classify(io::ErrorKind::Other, "injected: disk surface error"),
+            ErrorClass::Permanent
+        );
+        assert_eq!(classify_failure("node: panic: index out of range"), ErrorClass::Permanent);
+        // Severity order backs `max()` aggregation.
+        assert!(ErrorClass::Permanent > ErrorClass::Resource);
+        assert!(ErrorClass::Resource > ErrorClass::Transient);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.backoff(3, 1), p.backoff(3, 1));
+        assert_ne!(p.backoff(3, 1), p.backoff(4, 1), "region keys the jitter");
+        let mut prev = Duration::ZERO;
+        for attempt in 1..=8 {
+            let d = p.backoff(0, attempt);
+            assert!(d <= p.max_backoff.mul_f64(1.0 + p.jitter));
+            if attempt <= 3 {
+                assert!(d > prev / 3, "backoff should grow roughly exponentially");
+            }
+            prev = d;
+        }
+        let seeded = RetryPolicy {
+            seed: 99,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(seeded.backoff(3, 1), p.backoff(3, 1));
+    }
+
+    #[test]
+    fn log_counts_and_rendering() {
+        let mut log = SupervisionLog::default();
+        log.push(SupervisionEvent::Attempt {
+            region: 1,
+            attempt: 1,
+            width: 4,
+        });
+        log.push(SupervisionEvent::WidthDegraded {
+            region: 1,
+            from: 4,
+            to: 2,
+            class: ErrorClass::Resource,
+        });
+        log.push(SupervisionEvent::Recovered {
+            region: 1,
+            attempts: 2,
+            width: 2,
+        });
+        assert_eq!(log.recoveries(), 1);
+        assert_eq!(log.degradations(), 1);
+        assert_eq!(log.breaker_opens(), 0);
+        let text = log.render();
+        assert!(text.contains("degrade w4->w2 (resource)"));
+        assert!(text.contains("recovered after 2 attempts"));
+        // Logs are comparable across runs.
+        assert_eq!(log.clone(), log);
+    }
+}

@@ -76,8 +76,8 @@ impl IncRunner {
                 && ends_on_line_boundary(&input, entry.input_len as usize)
             {
                 let suffix = &input[entry.input_len as usize..];
-                let (suffix_out, status) = self.execute_bytes(region, suffix)?;
-                if status == 0 {
+                let (suffix_out, status, clean) = self.execute_bytes(region, suffix)?;
+                if status == 0 && clean {
                     let mut output = entry.output.clone();
                     output.extend_from_slice(&suffix_out);
                     self.memo.put(
@@ -98,9 +98,13 @@ impl IncRunner {
             }
         }
 
-        // Full execution.
-        let (stdout, status) = self.execute_bytes(region, &input)?;
-        if status == 0 {
+        // Full execution. Memoize only clean runs: a nonzero status can
+        // be legitimate command semantics (grep with no matches), but a
+        // faulted run (injected error, panic, stall — anything on the
+        // outcome's failure ledger) may have produced truncated output
+        // that must never be replayed as truth.
+        let (stdout, status, clean) = self.execute_bytes(region, &input)?;
+        if status == 0 && clean {
             self.memo.put(
                 plan_key,
                 &Entry {
@@ -165,8 +169,10 @@ impl IncRunner {
     }
 
     /// Runs the region's *pipeline body* over the given input bytes by
-    /// staging them in a scratch file.
-    fn execute_bytes(&self, region: &Region, input: &[u8]) -> io::Result<(Vec<u8>, i32)> {
+    /// staging them in a scratch file. The third element reports whether
+    /// the run was fault-free ([`jash_exec::ExecOutcome::is_clean`]) —
+    /// memo commits are gated on it.
+    fn execute_bytes(&self, region: &Region, input: &[u8]) -> io::Result<(Vec<u8>, i32, bool)> {
         let scratch = "/.jash-inc-scratch";
         jash_io::fs::write_file(self.fs.as_ref(), scratch, input)?;
         let mut body = region.clone();
@@ -185,7 +191,8 @@ impl IncRunner {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
         let outcome = execute(&compiled.dfg, &ExecConfig::new(Arc::clone(&self.fs)))?;
         let _ = self.fs.remove(scratch);
-        Ok((outcome.stdout, outcome.status))
+        let clean = outcome.is_clean();
+        Ok((outcome.stdout, outcome.status, clean))
     }
 }
 
@@ -288,6 +295,38 @@ mod tests {
         assert_eq!(r.run(&g2).unwrap().stdout, b"warn y\n");
         assert_eq!(r.run(&g1).unwrap().outcome, CacheOutcome::Hit);
         assert_eq!(r.run(&g2).unwrap().outcome, CacheOutcome::Hit);
+    }
+
+    #[test]
+    fn faulted_run_is_never_memoized() {
+        // A transient fault on the scratch file truncates the first run
+        // mid-stream; its (possibly partial) output must not enter the
+        // memo. The second run — fault cleared — must re-execute (Miss,
+        // not a Hit replaying the damaged entry) and produce the truth.
+        let fs = jash_io::mem_fs();
+        let content = format!("ERROR head\n{}ERROR tail\n", "filler line\n".repeat(200));
+        jash_io::fs::write_file(fs.as_ref(), "/log", content.as_bytes()).unwrap();
+        let plan = jash_io::FaultPlan::new().rule(jash_io::fault::FaultRule {
+            path: Some("/.jash-inc-scratch".into()),
+            op: jash_io::fault::FaultOp::Read,
+            trigger: jash_io::fault::Trigger::AtByte(64),
+            kind: jash_io::fault::FaultKind::Error {
+                kind: std::io::ErrorKind::Other,
+                msg: "injected: transient controller reset".into(),
+            },
+            once: true,
+        });
+        let faulty = jash_io::FaultFs::wrap(fs, plan) as FsHandle;
+        let mut r = IncRunner::new(faulty, "/.cache");
+        let a = r.run(&grep_region()).unwrap();
+        assert_eq!(a.outcome, CacheOutcome::Miss);
+        assert_ne!(a.status, 0, "faulted run must not report success");
+        let b = r.run(&grep_region()).unwrap();
+        assert_eq!(b.outcome, CacheOutcome::Miss, "damaged run must not have been cached");
+        assert_eq!(b.status, 0);
+        assert_eq!(b.stdout, b"ERROR head\nERROR tail\n");
+        let c = r.run(&grep_region()).unwrap();
+        assert_eq!(c.outcome, CacheOutcome::Hit, "clean run memoizes normally");
     }
 
     #[test]

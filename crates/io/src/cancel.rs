@@ -22,12 +22,28 @@ struct Inner {
 }
 
 /// A cloneable cancellation handle.
+///
+/// # Guarantees
+///
+/// - **First reason wins.** [`CancelToken::cancel`] is idempotent: the
+///   first call's reason is the one [`CancelToken::reason`] and
+///   [`CancelToken::error`] report forever after; later calls only
+///   re-notify sleepers and never overwrite it. Concurrent cancellers
+///   (say, the stall watchdog and a user abort racing) therefore produce
+///   one stable diagnosis, not a last-writer-wins scramble.
+/// - **Cancellation is permanent.** There is no reset; a region that
+///   observes `is_cancelled()` can cache that answer.
+/// - **`Default` is `new`.** `CancelToken::default()` is a fresh,
+///   un-cancelled, unshared token — callers holding an
+///   `Option<CancelToken>` can `unwrap_or_default()` and get a token
+///   that simply never fires.
 #[derive(Clone)]
 pub struct CancelToken {
     inner: Arc<Inner>,
 }
 
 impl Default for CancelToken {
+    /// Equivalent to [`CancelToken::new`]: fresh and un-cancelled.
     fn default() -> Self {
         CancelToken::new()
     }
@@ -46,8 +62,12 @@ impl CancelToken {
         }
     }
 
-    /// Cancels the token with `reason`. The first reason wins; later
-    /// calls are no-ops. Wakes all cooperative sleepers.
+    /// Cancels the token with `reason`, waking all cooperative sleepers.
+    ///
+    /// Idempotent: the *first* reason wins. A later call never replaces
+    /// the stored reason — it only re-notifies sleepers — so every
+    /// participant that asks "why was I cancelled?" gets the same answer
+    /// regardless of how many cancellers raced.
     pub fn cancel(&self, reason: impl Into<String>) {
         {
             let mut r = self.inner.reason.lock();

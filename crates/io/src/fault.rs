@@ -96,6 +96,10 @@ pub enum Trigger {
     AtByte(u64),
     /// On the Nth matching operation (1-based), counted plan-wide.
     AtOp(u64),
+    /// On each of the first N matching operations, then disarms — a
+    /// bounded burst (models a resource that is exhausted for a while and
+    /// then frees up, e.g. a descriptor table under pressure).
+    FirstOps(u64),
     /// Each matching operation fires with this probability, sampled from
     /// the plan's seeded generator — deterministic per seed.
     Probability(f64),
@@ -218,6 +222,23 @@ impl FaultPlan {
         })
     }
 
+    /// The first `n` opens of `path` fail with a resource-exhaustion
+    /// error ("resource temporarily unavailable"), then the resource
+    /// frees up. Classified `Resource` by the supervision taxonomy, so
+    /// this is the canonical way to exercise width degradation.
+    pub fn resource_open_errors(self, path: &str, n: u64) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Open,
+            trigger: Trigger::FirstOps(n),
+            kind: FaultKind::Error {
+                kind: io::ErrorKind::Other,
+                msg: "injected: resource temporarily unavailable".to_string(),
+            },
+            once: false,
+        })
+    }
+
     /// Renaming onto (or from) `path` fails (breaks the commit step).
     pub fn rename_error(self, path: &str, msg: &str) -> Self {
         self.rule(FaultRule {
@@ -312,6 +333,14 @@ impl PlanState {
             Trigger::AtOp(n) => {
                 let seen = self.op_counts[rule_idx].fetch_add(1, Ordering::SeqCst) + 1;
                 if seen == n || (!rule.once && seen >= n) {
+                    Some(u64::MAX)
+                } else {
+                    None
+                }
+            }
+            Trigger::FirstOps(n) => {
+                let seen = self.op_counts[rule_idx].fetch_add(1, Ordering::SeqCst) + 1;
+                if seen <= n {
                     Some(u64::MAX)
                 } else {
                     None
@@ -758,6 +787,24 @@ mod tests {
         let faulty = FaultFs::wrap(fs, plan);
         assert!(faulty.open_read("/f").is_err());
         assert!(faulty.open_read("/f").is_ok(), "transient fault must clear");
+    }
+
+    #[test]
+    fn first_ops_trigger_fires_then_frees_up() {
+        let fs = staged("/f", 100);
+        let faulty = FaultFs::wrap(fs, FaultPlan::new().resource_open_errors("/f", 2));
+        let e1 = match faulty.open_read("/f") {
+            Err(e) => e,
+            Ok(_) => panic!("first open must fail"),
+        };
+        assert!(e1.to_string().contains("resource temporarily unavailable"));
+        assert!(faulty.open_read("/f").is_err());
+        assert!(
+            faulty.open_read("/f").is_ok(),
+            "the resource must free up after n ops"
+        );
+        assert!(faulty.open_read("/f").is_ok());
+        assert_eq!(faulty.injected(), 2);
     }
 
     #[test]

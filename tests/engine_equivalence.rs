@@ -251,6 +251,89 @@ fn jit_fallback_is_byte_identical_to_bash_under_read_fault() {
     assert_no_staging_debris(&inner, "acceptance scenario");
 }
 
+/// Transient (succeeds-on-retry) extension of the fault matrix: a fault
+/// that clears on re-run must be absorbed *inside* the supervisor — the
+/// JIT retries the optimized region with backoff and never falls over.
+/// The faulted JIT run is compared against the CLEAN sequential baseline
+/// (a once-fault consumed by the Bash engine surfaces as an error there,
+/// so faulted-vs-faulted equality is not the interesting property; full
+/// recovery to clean output is).
+#[test]
+fn jit_absorbs_transient_faults_without_failover() {
+    let scripts: &[&str] = &[
+        "cat /data/mixed.txt | tr A-Z a-z | sort | head -n5",
+        "F=/data/mixed.txt; cat $F | tr -cs A-Za-z '\\n' | sort -u | comm -13 /data/dict.txt -",
+        "cat /data/mixed.txt | tr A-Z a-z | sort -u > /fault-out.txt",
+    ];
+    let transient_at = |offset: u64| {
+        jash::io::FaultPlan::new().rule(jash::io::fault::FaultRule {
+            path: Some("/data/mixed.txt".into()),
+            op: jash::io::fault::FaultOp::Read,
+            trigger: jash::io::fault::Trigger::AtByte(offset),
+            kind: jash::io::fault::FaultKind::Error {
+                kind: std::io::ErrorKind::Other,
+                msg: "injected: transient controller reset".into(),
+            },
+            once: true,
+        })
+    };
+    for src in scripts {
+        // Clean sequential baseline: the recovery target.
+        let clean_fs = staged_fs();
+        let mut state = ShellState::new(Arc::clone(&clean_fs));
+        let clean = Jash::new(Engine::Bash, machine())
+            .run_script(&mut state, src)
+            .unwrap();
+        for offset in [512u64, 40_000] {
+            let inner = staged_fs();
+            let faulty: FsHandle = jash::io::FaultFs::wrap(Arc::clone(&inner), transient_at(offset));
+            let mut state = ShellState::new(faulty);
+            let mut shell = Jash::new(Engine::JashJit, machine());
+            shell.planner = PlannerOptions {
+                min_speedup: 0.0,
+                force_width: Some(4),
+                ..Default::default()
+            };
+            let r = shell.run_script(&mut state, src).unwrap();
+            let ctx = format!("`{src}` with transient read fault at byte {offset}");
+            assert!(
+                !shell.trace.iter().any(jash::core::TraceEvent::failed_over),
+                "{ctx}: transient fault must be retried, not failed over:\n{}",
+                shell.runtime.supervision.render()
+            );
+            assert_eq!(shell.runtime.regions_failed_over, 0, "{ctx}");
+            assert!(
+                shell.runtime.supervision.recoveries() >= 1,
+                "{ctx}: expected an in-supervisor recovery:\n{}",
+                shell.runtime.supervision.render()
+            );
+            assert!(
+                shell.runtime.supervision.events.iter().any(|e| matches!(
+                    e,
+                    jash::core::SupervisionEvent::Backoff {
+                        class: jash::core::ErrorClass::Transient,
+                        ..
+                    }
+                )),
+                "{ctx}: expected a transient backoff event:\n{}",
+                shell.runtime.supervision.render()
+            );
+            assert_eq!(r.status, clean.status, "{ctx}: status");
+            assert_eq!(
+                String::from_utf8_lossy(&clean.stdout),
+                String::from_utf8_lossy(&r.stdout),
+                "{ctx}: stdout"
+            );
+            assert_eq!(
+                jash::io::fs::read_to_vec(clean_fs.as_ref(), "/fault-out.txt").ok(),
+                jash::io::fs::read_to_vec(inner.as_ref(), "/fault-out.txt").ok(),
+                "{ctx}: file contents"
+            );
+            assert_no_staging_debris(&inner, &ctx);
+        }
+    }
+}
+
 #[test]
 fn optimized_file_writes_match_interpreted_ones() {
     let src = "cat /data/mixed.txt | tr A-Z a-z | sort > /out.txt";

@@ -1,0 +1,259 @@
+//! Integration tests for the supervision layer: deterministic recovery,
+//! the width-degradation ladder, and the circuit breaker's full
+//! open → routed → half-open → closed cycle — all through the public
+//! umbrella API, the way an embedder would drive it.
+
+use jash::core::{Engine, ErrorClass, Jash, SupervisionEvent, TraceEvent};
+use jash::cost::{MachineProfile, PlannerOptions};
+use jash::expand::ShellState;
+use jash::interp::RunResult;
+use jash::io::fault::{FaultKind, FaultOp, FaultRule, Trigger};
+use jash::io::{FaultPlan, FsHandle};
+use std::sync::Arc;
+
+fn machine() -> MachineProfile {
+    MachineProfile {
+        cores: 8,
+        disk: jash::io::DiskProfile::ramdisk(),
+        mem_mb: 8 * 1024,
+    }
+}
+
+fn staged_fs() -> FsHandle {
+    let fs = jash::io::mem_fs();
+    let content: String = (0..2000)
+        .map(|i| format!("Word{} MiXeD case line {}\n", i % 53, i))
+        .collect();
+    jash::io::fs::write_file(fs.as_ref(), "/in", content.as_bytes()).unwrap();
+    fs
+}
+
+/// Runs `src` under the JIT with aggressive planning and `plan` injected
+/// over a freshly staged fs. Returns the result, the shell (for trace
+/// and supervision-log inspection), and the inner fs.
+fn run_supervised(src: &str, plan: FaultPlan) -> (RunResult, Jash, FsHandle) {
+    let inner = staged_fs();
+    let faulty: FsHandle = jash::io::FaultFs::wrap(Arc::clone(&inner), plan);
+    let mut state = ShellState::new(faulty);
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner = PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    };
+    let r = shell.run_script(&mut state, src).expect("script runs");
+    (r, shell, inner)
+}
+
+fn transient_once_at(offset: u64) -> FaultRule {
+    FaultRule {
+        path: Some("/in".into()),
+        op: FaultOp::Read,
+        trigger: Trigger::AtByte(offset),
+        kind: FaultKind::Error {
+            kind: std::io::ErrorKind::Other,
+            msg: "injected: transient controller reset".into(),
+        },
+        once: true,
+    }
+}
+
+fn assert_no_staging_debris(fs: &FsHandle, ctx: &str) {
+    for dir in ["/", "/tmp"] {
+        for name in fs.list_dir(dir).unwrap_or_default() {
+            assert!(
+                !name.contains(".jash-stage-"),
+                "{ctx}: staging debris {dir}/{name}"
+            );
+        }
+    }
+}
+
+/// The determinism satellite: same fault-plan seed plus same retry-policy
+/// seed must mean byte-identical output AND an identical supervision
+/// event sequence across two independent runs. The scenario is made
+/// deliberately rich — two resource-class open faults force the ladder
+/// down to width 1, then a once-transient read fault forces a retry — so
+/// the equality covers backoff delays, degradation steps, and recovery
+/// records, not just a trivial empty log.
+#[test]
+fn recovery_is_deterministic_across_runs() {
+    let src = "cat /in | tr A-Z a-z | sort -u > /out";
+    let plan = || {
+        FaultPlan::new()
+            .resource_open_errors("/in", 2)
+            .rule(transient_once_at(256))
+    };
+    let (r1, shell1, fs1) = run_supervised(src, plan());
+    let (r2, shell2, fs2) = run_supervised(src, plan());
+
+    assert_eq!(r1.status, r2.status);
+    assert_eq!(r1.stdout, r2.stdout, "stdout must be byte-identical");
+    assert_eq!(
+        jash::io::fs::read_to_vec(fs1.as_ref(), "/out").unwrap(),
+        jash::io::fs::read_to_vec(fs2.as_ref(), "/out").unwrap(),
+        "file output must be byte-identical"
+    );
+    assert_eq!(
+        shell1.runtime.supervision, shell2.runtime.supervision,
+        "supervision logs must match event-for-event:\nrun1:\n{}\nrun2:\n{}",
+        shell1.runtime.supervision.render(),
+        shell2.runtime.supervision.render()
+    );
+    // The log really exercised the machinery (degradations and a
+    // jittered backoff), so the equality above is meaningful.
+    assert!(
+        shell1.runtime.supervision.degradations() >= 1,
+        "scenario must include a width degradation:\n{}",
+        shell1.runtime.supervision.render()
+    );
+    assert!(
+        shell1
+            .runtime
+            .supervision
+            .events
+            .iter()
+            .any(|e| matches!(e, SupervisionEvent::Backoff { .. })),
+        "scenario must include a backoff:\n{}",
+        shell1.runtime.supervision.render()
+    );
+
+    // And the recovered run is byte-identical to a clean interpreter run.
+    let clean_fs = staged_fs();
+    let mut state = ShellState::new(Arc::clone(&clean_fs));
+    let clean = Jash::new(Engine::Bash, machine())
+        .run_script(&mut state, src)
+        .unwrap();
+    assert_eq!(r1.status, clean.status);
+    assert_eq!(r1.stdout, clean.stdout);
+    assert_eq!(
+        jash::io::fs::read_to_vec(fs1.as_ref(), "/out").unwrap(),
+        jash::io::fs::read_to_vec(clean_fs.as_ref(), "/out").unwrap()
+    );
+    assert_no_staging_debris(&fs1, "deterministic recovery");
+}
+
+/// The degradation ladder, end to end: two resource-class open faults
+/// knock out the width-4 and width-2 rungs; the width-1 rung succeeds.
+/// The event sequence must show exactly 4 → 2 → 1 in order, and the
+/// region still counts as recovered-without-failover.
+#[test]
+fn resource_pressure_walks_the_width_ladder() {
+    let src = "cat /in | tr A-Z a-z | sort -u";
+    let plan = FaultPlan::new().resource_open_errors("/in", 2);
+    let (r, shell, fs) = run_supervised(src, plan);
+
+    assert_eq!(r.status, 0, "trace: {:?}", shell.trace);
+    assert!(
+        !shell.trace.iter().any(TraceEvent::failed_over),
+        "resource faults must degrade, not fail over:\n{}",
+        shell.runtime.supervision.render()
+    );
+    let steps: Vec<(usize, usize)> = shell
+        .runtime
+        .supervision
+        .events
+        .iter()
+        .filter_map(|e| match e {
+            SupervisionEvent::WidthDegraded {
+                from,
+                to,
+                class: ErrorClass::Resource,
+                ..
+            } => Some((*from, *to)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        steps,
+        vec![(4, 2), (2, 1)],
+        "ladder must step 4 → 2 → 1:\n{}",
+        shell.runtime.supervision.render()
+    );
+    assert!(
+        shell
+            .runtime
+            .supervision
+            .events
+            .iter()
+            .any(|e| matches!(e, SupervisionEvent::Recovered { width: 1, .. })),
+        "expected recovery at width 1:\n{}",
+        shell.runtime.supervision.render()
+    );
+    assert_eq!(shell.runtime.regions_recovered, 1);
+    assert_no_staging_debris(&fs, "width ladder");
+}
+
+/// The breaker's full life cycle in one script. A rename fault on the
+/// output file hits only the optimized path (the interpreter writes the
+/// file directly, so every statement still completes after failover):
+/// three permanent commit failures trip the breaker (threshold 3), the
+/// next four matching statements route straight to the interpreter
+/// (cool-down 4), the eighth is the half-open trial — by then the fault
+/// has disarmed, so it succeeds and closes the breaker — and the ninth
+/// optimizes normally again.
+#[test]
+fn breaker_opens_routes_probes_and_closes() {
+    let src = "cat /in | tr A-Z a-z | sort -u > /out\n".repeat(9);
+    let commit_faults_3 = || {
+        FaultPlan::new().rule(FaultRule {
+            path: Some("/out".into()),
+            op: FaultOp::Rename,
+            trigger: Trigger::FirstOps(3),
+            kind: FaultKind::Error {
+                kind: std::io::ErrorKind::Other,
+                msg: "injected: media failure on commit".into(),
+            },
+            once: false,
+        })
+    };
+    let (r, shell, fs) = run_supervised(&src, commit_faults_3());
+
+    // Sequential baseline under the same fault: the interpreter never
+    // renames, so it is oblivious to it — which is exactly why the
+    // routed statements recover.
+    let bash_inner = staged_fs();
+    let bash_faulty: FsHandle = jash::io::FaultFs::wrap(Arc::clone(&bash_inner), commit_faults_3());
+    let mut state = ShellState::new(bash_faulty);
+    let bash = Jash::new(Engine::Bash, machine())
+        .run_script(&mut state, &src)
+        .unwrap();
+    assert_eq!(r.status, bash.status);
+    assert_eq!(r.stdout, bash.stdout);
+    assert_eq!(
+        jash::io::fs::read_to_vec(fs.as_ref(), "/out").unwrap(),
+        jash::io::fs::read_to_vec(bash_inner.as_ref(), "/out").unwrap()
+    );
+
+    let log = &shell.runtime.supervision;
+    assert_eq!(
+        shell.runtime.regions_failed_over, 3,
+        "three commit failures before the breaker trips:\n{}",
+        log.render()
+    );
+    assert_eq!(log.breaker_opens(), 1, "{}", log.render());
+    assert_eq!(
+        log.breaker_routed(),
+        4,
+        "cool-down of 4 regions routed without an attempt:\n{}",
+        log.render()
+    );
+    assert!(
+        log.events
+            .iter()
+            .any(|e| matches!(e, SupervisionEvent::BreakerHalfOpen { .. })),
+        "expected a half-open probe:\n{}",
+        log.render()
+    );
+    assert!(
+        log.events
+            .iter()
+            .any(|e| matches!(e, SupervisionEvent::BreakerClosed { .. })),
+        "expected the probe to close the breaker:\n{}",
+        log.render()
+    );
+    // The trial (tick 8) and the post-recovery statement (tick 9) both
+    // delivered optimized output.
+    assert_eq!(shell.runtime.regions_optimized, 2, "{}", log.render());
+    assert_no_staging_debris(&fs, "breaker cycle");
+}
