@@ -11,6 +11,12 @@
 //! routing), with the full supervision event log printed per case. Exits
 //! nonzero on baseline divergence, staging debris, or a missing recovery
 //! mechanism.
+//!
+//! With `--crash`, runs the crash-recovery sweep: a real `jash` child is
+//! SIGKILLed mid-pipeline at every kill point, re-run with `--resume`,
+//! and audited for byte-identical output, zero staging debris, and no
+//! re-execution of journaled-clean regions. Requires the `jash` binary
+//! to be built (`JASH_BIN` overrides its location).
 
 use jash_bench::faults::{
     default_supervision_sweep, default_sweep, render, render_supervision, run_supervision_sweep,
@@ -21,7 +27,28 @@ use jash_io::FsHandle;
 
 fn main() {
     let transient = std::env::args().any(|a| a == "--transient");
+    let crash = std::env::args().any(|a| a == "--crash");
     let bytes = jash_bench::bench_input_bytes().min(8 * 1024 * 1024);
+
+    if crash {
+        let seed: u64 = std::env::var("JASH_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7);
+        println!(
+            "crash-recovery sweep: {bytes} input bytes, binary {}\n",
+            jash_bench::crash::jash_binary().display()
+        );
+        let rows = jash_bench::crash::run_crash_sweep(bytes, seed);
+        print!("{}", jash_bench::crash::render_crash(&rows));
+        if jash_bench::crash::crash_holds(&rows) {
+            println!("\ncrash recovery holds across {} kill points", rows.len());
+        } else {
+            println!("\nCRASH RECOVERY VIOLATED");
+            std::process::exit(1);
+        }
+        return;
+    }
     let seed: u64 = std::env::var("JASH_FAULT_SEED")
         .ok()
         .and_then(|v| v.parse().ok())

@@ -1,0 +1,251 @@
+//! Crash-recovery sweep: SIGKILL a real `jash` child mid-pipeline, then
+//! `--resume` and prove the journal's promise — byte-identical output,
+//! zero staging debris, and no re-execution of journaled-clean regions.
+//!
+//! Unlike the in-process sweeps in [`crate::faults`], these crashes are
+//! real: a child process is killed with SIGKILL (uncatchable, no
+//! destructors) while a region's output file is mid-write, exactly the
+//! failure the write-ahead journal exists for. The kill window is made
+//! deterministic with the binary's `JASH_TEST_STALL_WRITE` hook, which
+//! wedges the staged write at a byte offset until the sweep delivers the
+//! kill.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// How one kill-point scenario went.
+#[derive(Debug)]
+pub struct CrashRow {
+    /// Regions the child completed before the SIGKILL landed.
+    pub kill_after: usize,
+    /// `regions_resumed` reported by the resumed run.
+    pub resumed: u64,
+    /// `regions_optimized` reported by the resumed run.
+    pub optimized: u64,
+    /// Resumed run's exit status.
+    pub exit: Option<i32>,
+    /// All output files byte-identical to the uninterrupted baseline.
+    pub identical: bool,
+    /// `.jash-stage-*` files left anywhere after the resume.
+    pub debris: usize,
+    /// Failure annotation, empty when the scenario held.
+    pub note: String,
+}
+
+const REGIONS: usize = 3;
+
+fn script() -> String {
+    (0..REGIONS)
+        .map(|k| format!("cat /in{k} | tr A-Z a-z | sort > /out{k}\n"))
+        .collect()
+}
+
+/// The `jash` binary under test: `JASH_BIN` when set, else the build
+/// sibling of the currently-running benchmark binary.
+pub fn jash_binary() -> PathBuf {
+    if let Ok(p) = std::env::var("JASH_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current_exe");
+    p.set_file_name("jash");
+    p
+}
+
+fn stage_root(root: &Path, bytes: u64, seed: u64) {
+    fs::create_dir_all(root).expect("create crash root");
+    for k in 0..REGIONS {
+        // At least 128 KiB per region, so the staged write always
+        // reaches the 64 KiB stall offset and the kill window opens.
+        let per_region = (bytes / REGIONS as u64).max(128 * 1024);
+        let docs = crate::documents(per_region, seed + k as u64);
+        fs::write(root.join(format!("in{k}")), docs).expect("stage input");
+    }
+}
+
+fn jash_cmd(root: &Path) -> Command {
+    let mut cmd = Command::new(jash_binary());
+    cmd.arg("--root")
+        .arg(root)
+        .env("JASH_TEST_EAGER", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    cmd
+}
+
+fn read_outputs(root: &Path) -> Vec<Option<Vec<u8>>> {
+    (0..REGIONS)
+        .map(|k| fs::read(root.join(format!("out{k}"))).ok())
+        .collect()
+}
+
+fn count_debris(root: &Path) -> usize {
+    let mut n = 0;
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for e in entries.flatten() {
+            let path = e.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".jash-stage-"))
+            {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Waits until the child's journal shows `kill_after` completed regions
+/// and a live (k+1)-th region with its staging file on disk — the
+/// deterministic kill window — then returns. Gives up after `timeout`.
+fn wait_for_kill_window(root: &Path, kill_after: usize, timeout: Duration) -> bool {
+    let journal = root.join(".jash/journal");
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        let text = fs::read_to_string(&journal).unwrap_or_default();
+        let done = text.lines().filter(|l| l.contains(" region-done ")).count();
+        let started = text
+            .lines()
+            .filter(|l| l.contains(" region-start "))
+            .count();
+        if done >= kill_after && started > kill_after && count_debris(root) > 0 {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+fn summary_counter(stderr: &str, key: &str) -> Option<u64> {
+    let line = stderr.lines().find(|l| l.starts_with("jit summary:"))?;
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Runs the crash sweep: an uninterrupted baseline, then one scenario
+/// per kill point k — SIGKILL the child after it has journaled k clean
+/// regions (mid-write of region k+1), `--resume`, and audit the result.
+pub fn run_crash_sweep(bytes: u64, seed: u64) -> Vec<CrashRow> {
+    let scratch = std::env::temp_dir().join(format!("jash-crash-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&scratch);
+
+    // Baseline: the same script, never interrupted.
+    let base_root = scratch.join("baseline");
+    stage_root(&base_root, bytes, seed);
+    let status = jash_cmd(&base_root)
+        .args(["-c", &script()])
+        .status()
+        .expect("run baseline jash");
+    assert!(status.success(), "baseline run failed: {status:?}");
+    let baseline = read_outputs(&base_root);
+
+    let mut rows = Vec::new();
+    for kill_after in 0..REGIONS {
+        let root = scratch.join(format!("kill{kill_after}"));
+        stage_root(&root, bytes, seed);
+        // Wedge the (kill_after+1)-th region's staged output write after
+        // its first chunk, leaving the child stalled inside the region
+        // with its intent journaled and a staging file on disk.
+        let mut child = jash_cmd(&root)
+            .args(["-c", &script()])
+            .env(
+                "JASH_TEST_STALL_WRITE",
+                format!("/out{kill_after}:65536:600000"),
+            )
+            .spawn()
+            .expect("spawn jash child");
+        let windowed = wait_for_kill_window(&root, kill_after, Duration::from_secs(60));
+        child.kill().expect("SIGKILL jash child"); // SIGKILL: no cleanup runs
+        let _ = child.wait();
+        if !windowed {
+            rows.push(CrashRow {
+                kill_after,
+                resumed: 0,
+                optimized: 0,
+                exit: None,
+                identical: false,
+                debris: count_debris(&root),
+                note: "kill window never opened".into(),
+            });
+            continue;
+        }
+
+        let resumed_out = jash_cmd(&root)
+            .args(["--resume", "--explain", "-c", &script()])
+            .output()
+            .expect("run resume jash");
+        let exit = resumed_out.status;
+        let stderr = String::from_utf8_lossy(&resumed_out.stderr).into_owned();
+
+        let outputs = read_outputs(&root);
+        let identical = outputs == baseline;
+        let debris = count_debris(&root);
+        let resumed = summary_counter(&stderr, "resumed").unwrap_or(0);
+        let optimized = summary_counter(&stderr, "optimized").unwrap_or(0);
+        let mut notes = Vec::new();
+        if !exit.success() {
+            notes.push(format!("resume exit {exit:?}"));
+        }
+        if !identical {
+            notes.push("output diverged from baseline".into());
+        }
+        if debris > 0 {
+            notes.push(format!("{debris} staging file(s) leaked"));
+        }
+        if resumed != kill_after as u64 {
+            notes.push(format!("resumed {resumed}, expected {kill_after}"));
+        }
+        if optimized != (REGIONS - kill_after) as u64 {
+            notes.push(format!(
+                "optimized {optimized}, expected {}",
+                REGIONS - kill_after
+            ));
+        }
+        rows.push(CrashRow {
+            kill_after,
+            resumed,
+            optimized,
+            exit: exit.code(),
+            identical,
+            debris,
+            note: notes.join("; "),
+        });
+    }
+    let _ = fs::remove_dir_all(&scratch);
+    rows
+}
+
+/// Renders the sweep as a fixed-width table.
+pub fn render_crash(rows: &[CrashRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>8} {:>10} {:>6} {:>10} {:>7}  note\n",
+        "kill-after", "resumed", "optimized", "exit", "identical", "debris"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>8} {:>10} {:>6} {:>10} {:>7}  {}\n",
+            r.kill_after,
+            r.resumed,
+            r.optimized,
+            r.exit.map_or("?".into(), |c| c.to_string()),
+            if r.identical { "yes" } else { "NO" },
+            r.debris,
+            r.note,
+        ));
+    }
+    out
+}
+
+/// Whether every scenario recovered perfectly: exit 0, byte-identical
+/// outputs, zero debris, and exactly the journaled regions resumed.
+pub fn crash_holds(rows: &[CrashRow]) -> bool {
+    rows.len() == REGIONS && rows.iter().all(|r| r.note.is_empty())
+}

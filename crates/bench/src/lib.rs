@@ -16,6 +16,7 @@
 
 use jash_core::{Engine, Jash, TraceEvent};
 
+pub mod crash;
 pub mod faults;
 pub mod fig1;
 use jash_cost::MachineProfile;

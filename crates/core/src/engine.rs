@@ -65,6 +65,21 @@ pub enum Action {
         /// The region failures that triggered the fallback.
         failures: Vec<String>,
     },
+    /// Satisfied from the crash-recovery journal: a previous interrupted
+    /// run completed this region cleanly, the durable memo still holds
+    /// its verified output, so the region was replayed instead of
+    /// re-executed.
+    Resumed {
+        /// The region's width-insensitive dataflow fingerprint.
+        fingerprint: u64,
+    },
+    /// Aborted by a graceful shutdown (SIGINT/SIGTERM): the region was
+    /// cancelled mid-flight and deliberately *not* failed over, so a
+    /// later `--resume` can pick up where the signal landed.
+    Aborted {
+        /// The cancellation reason, e.g. `shutdown: SIGTERM (15) received`.
+        reason: String,
+    },
 }
 
 /// Live runtime information a session accumulates while executing —
@@ -82,6 +97,9 @@ pub struct RuntimeInfo {
     /// retry, width degradation, or both — and still delivered optimized
     /// output (counted in `regions_optimized` too).
     pub regions_recovered: u64,
+    /// Regions satisfied from the crash-recovery journal + memo instead
+    /// of executing (not counted in `regions_optimized`).
+    pub regions_resumed: u64,
     /// One record per failed-over region, in session order.
     pub failures: Vec<RegionFailure>,
     /// The ordered supervision event log: every attempt, backoff,
@@ -118,6 +136,11 @@ impl TraceEvent {
     /// True when the optimized run faulted and fell back.
     pub fn failed_over(&self) -> bool {
         matches!(self.action, Action::FailedOver { .. })
+    }
+
+    /// True when the region was satisfied from the journal + memo.
+    pub fn was_resumed(&self) -> bool {
+        matches!(self.action, Action::Resumed { .. })
     }
 }
 

@@ -10,6 +10,7 @@
 //! file sizes, machine resources).
 
 use crate::engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
+use crate::recovery::{self, RecoveryReport, ResumePlan};
 use crate::region::{jit_region, resolve_paths, static_region, Ineligible};
 use crate::supervise::{degradation_ladder, resource_pressure, CircuitBreaker, Route};
 use jash_ast::{ListItem, Program};
@@ -21,7 +22,11 @@ use jash_exec::{
 };
 use jash_expand::ShellState;
 use jash_interp::{Flow, InterpError, Interpreter, RunResult, ShellIo};
+use jash_io::journal::JournalRecord;
+use jash_io::memo::Entry;
+use jash_io::{fnv1a, FsHandle, Journal, Memo};
 use std::collections::HashMap;
+use std::io;
 use std::sync::Arc;
 
 /// A Jash shell session.
@@ -54,6 +59,19 @@ pub struct Jash {
     /// keep failing over are routed straight to the interpreter for a
     /// cool-down window. Tune via `breaker.config`.
     pub breaker: CircuitBreaker,
+    /// Whether optimized commits run the full durability protocol
+    /// (fsync staged bytes, rename, fsync the directory) and journal
+    /// appends fsync. On by default; `--no-durable` turns it off for
+    /// throwaway runs.
+    pub durable: bool,
+    /// Write-ahead execution journal, attached via
+    /// [`Jash::attach_journal`]. `None` = journaling disabled.
+    journal: Option<Arc<Journal>>,
+    /// Durable memo the journal's resume path replays from.
+    memo: Option<Memo>,
+    /// Clean completions of an interrupted run still waiting to be
+    /// claimed by matching regions this session.
+    resume: Option<ResumePlan>,
     interp: Interpreter,
 }
 
@@ -71,8 +89,56 @@ impl Jash {
             cancel: None,
             retry_policy: RetryPolicy::default(),
             breaker: CircuitBreaker::default(),
+            durable: true,
+            journal: None,
+            memo: None,
+            resume: None,
             interp: Interpreter::new(),
         }
+    }
+
+    /// Attaches the crash-recovery journal rooted at `dir` (typically
+    /// `/.jash`): replays `dir/journal`, sweeps staging debris if the
+    /// previous run died mid-flight, opens a fresh epoch, and — when
+    /// `resume` is set and the previous run was interrupted — arms the
+    /// resume plan so journaled-clean regions replay from the durable
+    /// memo at `dir/memo` instead of re-executing.
+    ///
+    /// Call once, before `run_script`. Returns what recovery found.
+    pub fn attach_journal(
+        &mut self,
+        fs: &FsHandle,
+        dir: &str,
+        resume: bool,
+    ) -> io::Result<RecoveryReport> {
+        let journal_path = format!("{dir}/journal");
+        let replay = Journal::replay(fs.as_ref(), &journal_path)?;
+        let (mut report, plan) = recovery::scan_journal(&replay);
+        if report.interrupted {
+            report.swept = recovery::sweep_stage_debris(fs.as_ref());
+        } else if fs.exists(&journal_path) {
+            // Previous run completed: its history is dead weight. Reset
+            // the journal so it never grows across healthy sessions.
+            fs.remove(&journal_path)?;
+        }
+        if resume && report.interrupted {
+            self.resume = plan;
+        }
+        let journal = Journal::open(Arc::clone(fs), &journal_path, self.durable);
+        journal.append(&JournalRecord::RunStart {
+            epoch: report.epoch,
+        })?;
+        self.journal = Some(Arc::new(journal));
+        self.memo =
+            Some(Memo::new(Arc::clone(fs), format!("{dir}/memo")).with_durable(self.durable));
+        Ok(report)
+    }
+
+    /// The exit status a pending graceful shutdown dictates, if the
+    /// session's cancel token was tripped by a signal (128 + signum).
+    pub fn shutdown_status(&self) -> Option<i32> {
+        let reason = self.cancel.as_ref()?.reason()?;
+        recovery::shutdown_code(&reason)
     }
 
     /// Parses and runs a script, returning captured stdio and status.
@@ -95,7 +161,16 @@ impl Jash {
         self.interp.base_stderr = Some(io.stderr.clone());
         let mut status = 0;
         let mut flow_exit = None;
+        let mut shut_down = false;
         for item in &prog.items {
+            // Graceful shutdown: a signal tripped the session token
+            // between statements. Stop here — the journal keeps the run
+            // marked interrupted so `--resume` picks up from this point.
+            if let Some(code) = self.shutdown_status() {
+                status = code;
+                shut_down = true;
+                break;
+            }
             match self.run_item(state, item, &io) {
                 Ok(s) => status = s,
                 Err(InterpError::Flow(Flow::Exit(s))) => {
@@ -120,6 +195,14 @@ impl Jash {
             }
         }
         let _ = flow_exit;
+        // A shutdown mid-script may have been raised *inside* run_item
+        // (region aborted); catch that too so the journal stays open.
+        shut_down = shut_down || self.shutdown_status().is_some();
+        if !shut_down {
+            if let Some(journal) = &self.journal {
+                let _ = journal.append(&JournalRecord::RunComplete);
+            }
+        }
         state.last_status = status;
         let stdout = std::mem::take(&mut *out.lock());
         let stderr = std::mem::take(&mut *err.lock());
@@ -211,6 +294,20 @@ impl Jash {
             }
         };
 
+        // 2b. Resume: an interrupted predecessor may have completed this
+        // very region cleanly. If the journal says so and the durable
+        // memo still verifies against the *current* input bytes, replay
+        // the remembered outcome instead of re-executing. This runs
+        // before planning on purpose: the dead run already paid for the
+        // work, so the planner has no veto.
+        if self.engine == Engine::JashJit && self.resume.is_some() {
+            if let Some(status) =
+                self.try_resume(state, io, &pipeline_text, &region, &compiled.dfg)?
+            {
+                return Ok(Some(status));
+            }
+        }
+
         // 3. Gather runtime information: input sizes from the live fs.
         let input = InputInfo {
             total_bytes: region_input_bytes(state, &region),
@@ -245,6 +342,7 @@ impl Jash {
                 state,
                 io,
                 pipeline_text,
+                &region,
                 &compiled.dfg,
                 shape,
                 projected,
@@ -295,6 +393,7 @@ impl Jash {
         state: &mut ShellState,
         io: &ShellIo,
         pipeline_text: String,
+        src_region: &Region,
         base_dfg: &Dfg,
         shape: PlanShape,
         projected: f64,
@@ -329,6 +428,16 @@ impl Jash {
                     .push(SupervisionEvent::BreakerHalfOpen { fingerprint: fp });
             }
             Route::Try => {}
+        }
+
+        // Write-ahead intent: the journal learns the region is live
+        // before any of its bytes move, so a hard crash anywhere past
+        // this point is recognizable on replay.
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&JournalRecord::RegionStart {
+                fingerprint: fp,
+                inputs: recovery::region_input_paths(src_region),
+            });
         }
 
         // The ladder: planned width first, then halves down to 1. Width 1
@@ -383,6 +492,7 @@ impl Jash {
                     self.runtime.regions_recovered += 1;
                 }
                 self.runtime.regions_optimized += 1;
+                self.checkpoint_clean(state, src_region, fp, &result.outcome);
                 self.trace.push(TraceEvent {
                     pipeline: pipeline_text,
                     action: Action::Optimized {
@@ -392,6 +502,33 @@ impl Jash {
                     },
                 });
                 return self.deliver(state, io, result.outcome).map(Some);
+            }
+
+            // Graceful shutdown: the cancel came from a signal, not a
+            // fault. Do NOT fail over — re-running the region under the
+            // interpreter is exactly what the user interrupted. Journal
+            // the abort (the epoch stays incomplete, so `--resume` works)
+            // and surface 128+signum.
+            if result.cancelled {
+                if let Some(code) = self.shutdown_status() {
+                    let reason = self
+                        .cancel
+                        .as_ref()
+                        .and_then(|t| t.reason())
+                        .unwrap_or_else(|| "shutdown".to_string());
+                    if let Some(journal) = &self.journal {
+                        let _ = journal.append(&JournalRecord::RegionAborted {
+                            fingerprint: fp,
+                            reason: reason.clone(),
+                        });
+                    }
+                    self.trace.push(TraceEvent {
+                        pipeline: pipeline_text,
+                        action: Action::Aborted { reason },
+                    });
+                    state.last_status = code;
+                    return Ok(Some(code));
+                }
             }
 
             let class = result.outcome.fault_class.unwrap_or(ErrorClass::Permanent);
@@ -435,6 +572,13 @@ impl Jash {
             });
             return Ok(None);
         };
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&JournalRecord::RegionDone {
+                fingerprint: fp,
+                status: outcome.status,
+                clean: false,
+            });
+        }
         self.runtime
             .supervision
             .push(SupervisionEvent::FailedOver { region, class });
@@ -448,6 +592,108 @@ impl Jash {
         }
         self.book_failover(pipeline_text, shape.width, &outcome);
         Ok(None)
+    }
+
+    /// Checkpoints a cleanly-completed region: memoize its output keyed
+    /// by fingerprint (so resume can replay it) and journal `RegionDone`.
+    /// Both are best-effort — a full memo disk must not fail the region.
+    fn checkpoint_clean(
+        &mut self,
+        state: &ShellState,
+        src_region: &Region,
+        fp: u64,
+        outcome: &ExecOutcome,
+    ) {
+        if outcome.status == 0 {
+            if let Some(memo) = &self.memo {
+                if let Ok(input) = recovery::read_region_input(&state.fs, src_region) {
+                    let _ = memo.put(
+                        fp,
+                        &Entry {
+                            input_len: input.len() as u64,
+                            input_hash: fnv1a(&input),
+                            output: outcome.stdout.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&JournalRecord::RegionDone {
+                fingerprint: fp,
+                status: outcome.status,
+                clean: true,
+            });
+        }
+    }
+
+    /// Attempts to satisfy a region from the interrupted run's journal:
+    /// consume the next completion of this shape from the resume plan,
+    /// verify the memo entry against the current input bytes, and — when
+    /// everything checks out — deliver the remembered output without
+    /// executing anything. `Ok(None)` means "execute normally".
+    fn try_resume(
+        &mut self,
+        state: &mut ShellState,
+        io: &ShellIo,
+        pipeline_text: &str,
+        src_region: &Region,
+        dfg: &Dfg,
+    ) -> jash_interp::Result<Option<i32>> {
+        let fp = dfg.fingerprint();
+        let claimed = match self.resume.as_mut() {
+            Some(plan) => plan.take(fp),
+            None => None,
+        };
+        let Some(done) = claimed else {
+            return Ok(None);
+        };
+        // The journal says the dead run finished this region cleanly.
+        // Trust, but verify: the memo entry must exist and its input
+        // fingerprint must match what is on disk *now* — inputs edited
+        // between the crash and the resume force a re-execution.
+        let Some(entry) = self
+            .memo
+            .as_ref()
+            .and_then(|m| m.get(fp).ok())
+            .flatten()
+        else {
+            return Ok(None);
+        };
+        let Ok(input) = recovery::read_region_input(&state.fs, src_region) else {
+            return Ok(None);
+        };
+        if entry.input_len != input.len() as u64 || entry.input_hash != fnv1a(&input) {
+            return Ok(None);
+        }
+        // Re-journal the completion in this epoch, so a crash *during*
+        // the resumed run leaves a journal that still resumes correctly.
+        if let Some(journal) = &self.journal {
+            let _ = journal.append(&JournalRecord::RegionStart {
+                fingerprint: fp,
+                inputs: recovery::region_input_paths(src_region),
+            });
+            let _ = journal.append(&JournalRecord::RegionDone {
+                fingerprint: fp,
+                status: done.status,
+                clean: true,
+            });
+        }
+        self.runtime.regions_resumed += 1;
+        self.trace.push(TraceEvent {
+            pipeline: pipeline_text.to_string(),
+            action: Action::Resumed { fingerprint: fp },
+        });
+        let outcome = ExecOutcome {
+            stdout: entry.output,
+            stderr: Vec::new(),
+            status: done.status,
+            metrics: Vec::new(),
+            wall: std::time::Duration::ZERO,
+            failures: Vec::new(),
+            fault_class: None,
+        };
+        self.deliver(state, io, outcome).map(Some)
     }
 
     /// Builds the per-rung executor configuration.
@@ -467,6 +713,8 @@ impl Jash {
         cfg.split_targets = split_plans(dfg, total_bytes);
         cfg.node_timeout = self.node_timeout;
         cfg.cancel = self.cancel.clone();
+        cfg.durable = self.durable;
+        cfg.journal = self.journal.clone();
         cfg
     }
 

@@ -40,10 +40,14 @@
 
 pub mod engine;
 pub mod jit;
+pub mod recovery;
 pub mod region;
 pub mod supervise;
 
 pub use engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
+pub use recovery::{
+    shutdown_code, shutdown_reason, sweep_stage_debris, RecoveryReport, ResumePlan,
+};
 pub use jash_exec::{
     classify, ErrorClass, RetryPolicy, SupervisionEvent, SupervisionLog,
 };

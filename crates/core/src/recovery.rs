@@ -1,0 +1,337 @@
+//! Crash recovery: journal scanning, the resume plan, the startup
+//! janitor, and graceful-shutdown status codes.
+//!
+//! A [`crate::Jash`] session with a journal attached
+//! ([`crate::Jash::attach_journal`]) records every optimized region it
+//! runs. When a run is killed hard (`kill -9`, OOM, power loss), the next
+//! launch replays the journal, finds the interrupted epoch, sweeps the
+//! staging debris the crash stranded, and — when resuming — builds a
+//! [`ResumePlan`]: each region the dead run completed cleanly is
+//! satisfied from the durable memo instead of re-executing, and live
+//! execution restarts at the first incomplete region.
+//!
+//! Regions are keyed by the width-insensitive [`jash_dataflow::Dfg::fingerprint`].
+//! A script may run the same shape several times, so the plan keeps an
+//! *ordered* queue of completions per fingerprint and consumes them in
+//! encounter order — the Nth occurrence in the resumed run lines up with
+//! the Nth occurrence the dead run journaled, which is sound because the
+//! statement loop replays statements in the same order.
+
+use jash_dataflow::Region;
+use jash_io::journal::{JournalRecord, Replay};
+use jash_io::{Fs, FsHandle};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io;
+
+/// Reason prefix a graceful shutdown writes into the shared
+/// [`jash_io::CancelToken`]; the session recognizes it and aborts rather
+/// than failing over to the interpreter.
+pub const SHUTDOWN_PREFIX: &str = "shutdown:";
+
+/// The cancellation reason for signal number `sig`.
+pub fn shutdown_reason(sig: i32) -> String {
+    let name = match sig {
+        2 => "SIGINT",
+        15 => "SIGTERM",
+        _ => "signal",
+    };
+    format!("{SHUTDOWN_PREFIX} {name} ({sig}) received")
+}
+
+/// Parses a cancellation reason back into a shell exit code (128 + signal
+/// number, the convention every POSIX shell follows). `None` when the
+/// reason is not a graceful shutdown (e.g. a watchdog cancel).
+pub fn shutdown_code(reason: &str) -> Option<i32> {
+    let rest = reason.strip_prefix(SHUTDOWN_PREFIX)?;
+    let sig: i32 = rest
+        .split(['(', ')'])
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+    Some(128 + sig)
+}
+
+/// What one journaled-clean region finished with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DoneRegion {
+    /// Exit status the region delivered.
+    pub status: i32,
+}
+
+/// Clean completions of an interrupted run, consumable in encounter
+/// order.
+#[derive(Debug, Default)]
+pub struct ResumePlan {
+    done: HashMap<u64, VecDeque<DoneRegion>>,
+    total: usize,
+}
+
+impl ResumePlan {
+    /// Builds the plan from an interrupted run's records. Only regions
+    /// journaled `RegionDone` with a clean, zero-status outcome are
+    /// resumable — those are exactly the ones the memo stored.
+    pub fn from_records(records: &[JournalRecord]) -> ResumePlan {
+        let mut plan = ResumePlan::default();
+        for r in records {
+            if let JournalRecord::RegionDone {
+                fingerprint,
+                status,
+                clean: true,
+            } = r
+            {
+                if *status == 0 {
+                    plan.done
+                        .entry(*fingerprint)
+                        .or_default()
+                        .push_back(DoneRegion { status: *status });
+                    plan.total += 1;
+                }
+            }
+        }
+        plan
+    }
+
+    /// Consumes the next journaled completion of shape `fingerprint`, if
+    /// the dead run got that far.
+    pub fn take(&mut self, fingerprint: u64) -> Option<DoneRegion> {
+        self.done.get_mut(&fingerprint)?.pop_front()
+    }
+
+    /// How many journaled completions remain unclaimed.
+    pub fn remaining(&self) -> usize {
+        self.done.values().map(|q| q.len()).sum()
+    }
+
+    /// How many completions the plan started with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+}
+
+/// What [`crate::Jash::attach_journal`] found at startup.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Whether the previous run on this journal was interrupted (no
+    /// `RunComplete`, possibly a torn tail).
+    pub interrupted: bool,
+    /// Whether the journal ended in a torn (half-written) record.
+    pub torn_tail: bool,
+    /// Clean region completions available for resume.
+    pub resumable: usize,
+    /// Orphaned staging files the janitor removed.
+    pub swept: Vec<String>,
+    /// Epoch number this session will journal under.
+    pub epoch: u64,
+}
+
+/// Whether `name` is a transactional staging file
+/// (`<target>.jash-stage-<digits>`).
+fn is_stage_debris(name: &str) -> bool {
+    const MARK: &str = ".jash-stage-";
+    match name.rfind(MARK) {
+        Some(i) => {
+            let tail = &name[i + MARK.len()..];
+            !tail.is_empty() && tail.bytes().all(|b| b.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+/// The startup janitor: walks the filesystem and removes orphaned
+/// `.jash-stage-*` files a crashed run stranded. (A live run never leaves
+/// any: commit renames them away and failure paths remove them — only a
+/// hard kill mid-region can orphan one.) Returns the removed paths.
+pub fn sweep_stage_debris(fs: &dyn Fs) -> Vec<String> {
+    let mut swept = Vec::new();
+    let mut stack = vec!["/".to_string()];
+    // Breadth bound: a shell root can be huge; debris lives where sinks
+    // write, never deeper than a few levels of output tree.
+    let mut visited = 0usize;
+    while let Some(dir) = stack.pop() {
+        visited += 1;
+        if visited > 4096 {
+            break;
+        }
+        let Ok(names) = fs.list_dir(&dir) else { continue };
+        for name in names {
+            let path = if dir == "/" {
+                format!("/{name}")
+            } else {
+                format!("{dir}/{name}")
+            };
+            let Ok(meta) = fs.metadata(&path) else { continue };
+            if meta.is_dir {
+                stack.push(path);
+            } else if is_stage_debris(&name) && fs.remove(&path).is_ok() {
+                swept.push(path);
+            }
+        }
+    }
+    swept.sort();
+    swept
+}
+
+/// Scans `replay` and decides what recovery is needed: epoch to run
+/// under, whether the last run was interrupted, and (when it was) the
+/// resume plan.
+pub fn scan_journal(replay: &Replay) -> (RecoveryReport, Option<ResumePlan>) {
+    let mut report = RecoveryReport {
+        torn_tail: replay.torn_tail,
+        epoch: replay.last_epoch + 1,
+        ..RecoveryReport::default()
+    };
+    let plan = match replay.interrupted_run() {
+        Some(records) => {
+            report.interrupted = true;
+            let plan = ResumePlan::from_records(records);
+            report.resumable = plan.total();
+            Some(plan)
+        }
+        None => {
+            report.interrupted = replay.torn_tail;
+            None
+        }
+    };
+    (report, plan)
+}
+
+/// Concatenated contents of the region's input files: the declared stdin
+/// redirect of the first stage, then `cat` operands. This is the byte
+/// stream the memo's `input_hash` fingerprints — shared between the
+/// incremental runner and resume verification so the two can never
+/// disagree about what "the input" is.
+pub fn read_region_input(fs: &FsHandle, region: &Region) -> io::Result<Vec<u8>> {
+    let mut input = Vec::new();
+    let Some(first) = region.commands.first() else {
+        return Ok(input);
+    };
+    if let Some(p) = &first.stdin_redirect {
+        input.extend(jash_io::fs::read_to_vec(fs.as_ref(), p)?);
+    }
+    if first.name == "cat" {
+        for a in first.args.iter().filter(|a| !a.starts_with('-')) {
+            input.extend(jash_io::fs::read_to_vec(fs.as_ref(), a)?);
+        }
+    }
+    Ok(input)
+}
+
+/// The input paths a region reads, for the `RegionStart` journal record.
+pub fn region_input_paths(region: &Region) -> Vec<String> {
+    let mut paths = Vec::new();
+    let Some(first) = region.commands.first() else {
+        return paths;
+    };
+    if let Some(p) = &first.stdin_redirect {
+        paths.push(p.clone());
+    }
+    if first.name == "cat" {
+        for a in first.args.iter().filter(|a| !a.starts_with('-')) {
+            paths.push(a.clone());
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_codes_follow_the_128_plus_sig_convention() {
+        assert_eq!(shutdown_code(&shutdown_reason(2)), Some(130));
+        assert_eq!(shutdown_code(&shutdown_reason(15)), Some(143));
+        assert_eq!(shutdown_code("watchdog: region stalled"), None);
+        assert_eq!(shutdown_code("injected: disk gone"), None);
+    }
+
+    #[test]
+    fn resume_plan_consumes_duplicate_shapes_in_order() {
+        let records = vec![
+            JournalRecord::RegionDone {
+                fingerprint: 7,
+                status: 0,
+                clean: true,
+            },
+            JournalRecord::RegionDone {
+                fingerprint: 7,
+                status: 0,
+                clean: true,
+            },
+            // Unclean and nonzero completions are not resumable.
+            JournalRecord::RegionDone {
+                fingerprint: 8,
+                status: 0,
+                clean: false,
+            },
+            JournalRecord::RegionDone {
+                fingerprint: 9,
+                status: 1,
+                clean: true,
+            },
+        ];
+        let mut plan = ResumePlan::from_records(&records);
+        assert_eq!(plan.total(), 2);
+        assert!(plan.take(7).is_some());
+        assert!(plan.take(7).is_some());
+        assert!(plan.take(7).is_none(), "third occurrence must re-execute");
+        assert!(plan.take(8).is_none());
+        assert!(plan.take(9).is_none());
+        assert_eq!(plan.remaining(), 0);
+    }
+
+    #[test]
+    fn janitor_sweeps_planted_debris_only() {
+        let fs = jash_io::mem_fs();
+        for (p, c) in [
+            ("/out.jash-stage-3", "stranded"),
+            ("/data/deep/out.txt.jash-stage-11", "stranded"),
+            ("/data/out.txt", "keep"),
+            ("/notes.jash-stage-x", "keep: non-numeric tail"),
+            ("/.jash/journal", "keep"),
+        ] {
+            jash_io::fs::write_file(fs.as_ref(), p, c.as_bytes()).unwrap();
+        }
+        let swept = sweep_stage_debris(fs.as_ref());
+        assert_eq!(
+            swept,
+            vec![
+                "/data/deep/out.txt.jash-stage-11".to_string(),
+                "/out.jash-stage-3".to_string()
+            ]
+        );
+        assert!(!fs.exists("/out.jash-stage-3"));
+        assert!(fs.exists("/data/out.txt"));
+        assert!(fs.exists("/notes.jash-stage-x"));
+        assert!(fs.exists("/.jash/journal"));
+    }
+
+    #[test]
+    fn scan_flags_interruption_and_next_epoch() {
+        let mut replay = Replay {
+            records: vec![
+                JournalRecord::RunStart { epoch: 1 },
+                JournalRecord::RunComplete,
+                JournalRecord::RunStart { epoch: 2 },
+                JournalRecord::RegionDone {
+                    fingerprint: 1,
+                    status: 0,
+                    clean: true,
+                },
+            ],
+            torn_tail: false,
+            last_epoch: 2,
+        };
+        let (report, plan) = scan_journal(&replay);
+        assert!(report.interrupted);
+        assert_eq!(report.resumable, 1);
+        assert_eq!(report.epoch, 3);
+        assert!(plan.is_some());
+
+        replay.records.push(JournalRecord::RunComplete);
+        let (report, plan) = scan_journal(&replay);
+        assert!(!report.interrupted);
+        assert!(plan.is_none());
+    }
+}

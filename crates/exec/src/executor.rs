@@ -78,6 +78,15 @@ pub struct ExecConfig {
     /// callers (and fault harnesses) interrupt blocked nodes; the
     /// executor creates a private token when absent.
     pub cancel: Option<CancelToken>,
+    /// Durable commits (default on): fsync each staged file before its
+    /// atomic rename and the parent directory after, so a "committed"
+    /// region survives a crash or power loss. Disable for scratch runs
+    /// where throughput beats durability.
+    pub durable: bool,
+    /// Execution journal to notify of committed sinks
+    /// ([`jash_io::JournalRecord::StageCommitted`]), when the session
+    /// keeps one.
+    pub journal: Option<Arc<jash_io::Journal>>,
 }
 
 impl ExecConfig {
@@ -93,6 +102,8 @@ impl ExecConfig {
             buffer_splits_in: None,
             node_timeout: None,
             cancel: None,
+            durable: true,
+            journal: None,
         }
     }
 }
@@ -484,15 +495,43 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
 
     // Transactional commit: rename staging files into place only when
     // every node finished cleanly; otherwise discard staged output.
+    // Durable commits bracket the rename with fsyncs — staged file
+    // before (so the renamed-in contents are on stable storage), parent
+    // directory after (so the rename itself is). A failed barrier is a
+    // commit failure: an output that merely *looks* committed is exactly
+    // the lie crash recovery exists to rule out.
     let clean = failures.is_empty();
     for (final_path, stage) in &staged_files {
         if clean {
             if cfg.fs.exists(stage) {
-                if let Err(e) = cfg.fs.rename(stage, final_path) {
-                    failures.push(format!("commit {final_path}: {e}"));
-                    fault_class =
-                        fault_class.max(Some(classify(e.kind(), &e.to_string())));
-                    let _ = cfg.fs.remove(stage);
+                let committed = (|| -> io::Result<()> {
+                    if cfg.durable {
+                        cfg.fs.sync(stage)?;
+                    }
+                    cfg.fs.rename(stage, final_path)?;
+                    if cfg.durable {
+                        cfg.fs
+                            .sync_dir(jash_io::journal::parent_dir(final_path))?;
+                    }
+                    Ok(())
+                })();
+                match committed {
+                    Ok(()) => {
+                        if let Some(journal) = &cfg.journal {
+                            // Best-effort bookkeeping: a journal append
+                            // failure costs resume precision, not
+                            // correctness of the committed file.
+                            let _ = journal.append(&jash_io::JournalRecord::StageCommitted {
+                                path: final_path.clone(),
+                            });
+                        }
+                    }
+                    Err(e) => {
+                        failures.push(format!("commit {final_path}: {e}"));
+                        fault_class =
+                            fault_class.max(Some(classify(e.kind(), &e.to_string())));
+                        let _ = cfg.fs.remove(stage);
+                    }
                 }
             }
         } else {

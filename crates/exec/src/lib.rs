@@ -360,6 +360,78 @@ mod tests {
     }
 
     #[test]
+    fn durable_commit_syncs_stage_then_directory() {
+        let mem = Arc::new(jash_io::MemFs::new());
+        mem.install("/in", b"c\nb\na\n".to_vec());
+        let fs: FsHandle = Arc::clone(&mem) as FsHandle;
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/out".into(), false));
+        let compiled = compile(&Region { commands: vec![sort] }, &Registry::builtin()).unwrap();
+
+        let out = execute(&compiled.dfg, &ExecConfig::new(Arc::clone(&fs))).unwrap();
+        assert!(out.is_clean());
+        assert!(
+            mem.sync_count() >= 2,
+            "durable default: staged file + parent dir fsync"
+        );
+
+        let before = mem.sync_count();
+        let mut cfg = ExecConfig::new(fs);
+        cfg.durable = false;
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        assert!(out.is_clean());
+        assert_eq!(mem.sync_count(), before, "--no-durable commits never sync");
+    }
+
+    #[test]
+    fn sync_failure_is_a_commit_failure() {
+        let fs = fs_with(&[("/in", "b\na\n"), ("/out", "old contents\n")]);
+        // The staging suffix is stripped by the fault harness, so a sync
+        // rule on the final path fires on the staged file's pre-rename
+        // fsync.
+        let plan = jash_io::FaultPlan::new().sync_error("/out", "flush failed");
+        let faulty: FsHandle = jash_io::FaultFs::wrap(Arc::clone(&fs), plan);
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/out".into(), false));
+        let compiled = compile(&Region { commands: vec![sort] }, &Registry::builtin()).unwrap();
+        let out = execute(&compiled.dfg, &ExecConfig::new(faulty)).unwrap();
+        assert_eq!(out.status, 125);
+        assert!(out.failures.iter().any(|f| f.starts_with("commit /out")));
+        // Old contents survive; staging was cleaned up.
+        assert_eq!(
+            jash_io::fs::read_to_vec(fs.as_ref(), "/out").unwrap(),
+            b"old contents\n"
+        );
+        for n in compiled.dfg.node_ids() {
+            assert!(!fs.exists(&executor::staging_path("/out", n)));
+        }
+    }
+
+    #[test]
+    fn clean_commit_journals_stage_committed() {
+        let fs = fs_with(&[("/in", "b\na\n")]);
+        let journal = Arc::new(jash_io::Journal::open(
+            Arc::clone(&fs),
+            "/.jash/journal",
+            true,
+        ));
+        let mut sort = ExpandedCommand::new("sort", &["/in"]);
+        sort.stdout_redirect = Some(("/out".into(), false));
+        let compiled = compile(&Region { commands: vec![sort] }, &Registry::builtin()).unwrap();
+        let mut cfg = ExecConfig::new(Arc::clone(&fs));
+        cfg.journal = Some(journal);
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        assert!(out.is_clean());
+        let replay = jash_io::Journal::replay(fs.as_ref(), "/.jash/journal").unwrap();
+        assert_eq!(
+            replay.records,
+            vec![jash_io::JournalRecord::StageCommitted {
+                path: "/out".into()
+            }]
+        );
+    }
+
+    #[test]
     fn commit_failure_surfaces_as_region_failure() {
         let fs = fs_with(&[("/in", "b\na\n")]);
         let plan = jash_io::FaultPlan::new().rename_error("/out", "cross-device link");

@@ -1,105 +1,14 @@
-//! Content-addressed memo table stored on the virtual filesystem.
+//! Content-addressed memo table — re-exported from [`jash_io::memo`].
+//!
+//! The implementation moved down to `jash-io` when the crash-recovery
+//! journal landed: resume satisfies journaled-clean regions from this
+//! same memo, and `jash-core` (which drives resume) sits *below*
+//! `jash-incremental` in the dependency order, so the table has to live
+//! in the shared substrate. This module keeps the original paths
+//! (`jash_incremental::cache::Memo`, `::fnv1a`, …) working and pins the
+//! compatibility with its own tests.
 
-use jash_io::FsHandle;
-use std::io;
-
-/// 64-bit FNV-1a — small, dependency-free, adequate for cache addressing
-/// (keys also embed lengths, so accidental collisions need both a hash
-/// and a length match).
-pub fn fnv1a(data: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in data {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
-/// Hit/miss counters.
-#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
-pub struct CacheStats {
-    /// Full replays from cache.
-    pub hits: u64,
-    /// Partial (suffix) reuses.
-    pub partial_hits: u64,
-    /// Complete executions.
-    pub misses: u64,
-}
-
-/// A memo table rooted at a directory on the shell's filesystem.
-pub struct Memo {
-    fs: FsHandle,
-    dir: String,
-}
-
-/// One cached entry: the input fingerprint it was computed from plus the
-/// output.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Entry {
-    /// Byte length of the input the output corresponds to.
-    pub input_len: u64,
-    /// FNV-1a of that input.
-    pub input_hash: u64,
-    /// Cached stdout.
-    pub output: Vec<u8>,
-}
-
-impl Memo {
-    /// Opens (or implicitly creates) a memo table under `dir`.
-    pub fn new(fs: FsHandle, dir: impl Into<String>) -> Self {
-        Memo {
-            fs,
-            dir: dir.into(),
-        }
-    }
-
-    fn meta_path(&self, key: u64) -> String {
-        format!("{}/{key:016x}.meta", self.dir.trim_end_matches('/'))
-    }
-
-    fn data_path(&self, key: u64) -> String {
-        format!("{}/{key:016x}.out", self.dir.trim_end_matches('/'))
-    }
-
-    /// Looks up an entry by plan key.
-    pub fn get(&self, key: u64) -> io::Result<Option<Entry>> {
-        if !self.fs.exists(&self.meta_path(key)) {
-            return Ok(None);
-        }
-        let meta = jash_io::fs::read_to_string(self.fs.as_ref(), &self.meta_path(key))?;
-        let mut parts = meta.split_whitespace();
-        let (Some(len), Some(hash)) = (parts.next(), parts.next()) else {
-            return Ok(None);
-        };
-        let (Ok(input_len), Ok(input_hash)) = (len.parse(), u64::from_str_radix(hash, 16))
-        else {
-            return Ok(None);
-        };
-        let output = jash_io::fs::read_to_vec(self.fs.as_ref(), &self.data_path(key))?;
-        Ok(Some(Entry {
-            input_len,
-            input_hash,
-            output,
-        }))
-    }
-
-    /// Stores an entry.
-    pub fn put(&self, key: u64, entry: &Entry) -> io::Result<()> {
-        jash_io::fs::write_file(
-            self.fs.as_ref(),
-            &self.meta_path(key),
-            format!("{} {:016x}\n", entry.input_len, entry.input_hash).as_bytes(),
-        )?;
-        jash_io::fs::write_file(self.fs.as_ref(), &self.data_path(key), &entry.output)
-    }
-
-    /// Drops an entry (used when an execution supersedes it).
-    pub fn invalidate(&self, key: u64) -> io::Result<()> {
-        let _ = self.fs.remove(&self.meta_path(key));
-        let _ = self.fs.remove(&self.data_path(key));
-        Ok(())
-    }
-}
+pub use jash_io::memo::{fnv1a, CacheStats, Entry, Memo};
 
 #[cfg(test)]
 mod tests {
@@ -113,7 +22,7 @@ mod tests {
     }
 
     #[test]
-    fn memo_roundtrip() {
+    fn memo_roundtrip_through_reexport() {
         let fs = jash_io::mem_fs();
         let memo = Memo::new(fs, "/.cache");
         assert!(memo.get(42).unwrap().is_none());

@@ -54,6 +54,9 @@ pub enum FaultOp {
     Rename,
     /// Removals.
     Remove,
+    /// fsyncs of files or directories (the durability barriers around
+    /// commit).
+    Sync,
 }
 
 /// What happens when a rule fires.
@@ -234,6 +237,35 @@ impl FaultPlan {
             kind: FaultKind::Error {
                 kind: io::ErrorKind::Other,
                 msg: "injected: resource temporarily unavailable".to_string(),
+            },
+            once: false,
+        })
+    }
+
+    /// Writes to `path` stall for `dur` once the handle has written
+    /// `offset` bytes. With the staging-suffix stripping below, a rule on
+    /// a final output path holds its *staged* write mid-flight — the
+    /// deterministic crash window the kill/resume sweep SIGKILLs into.
+    pub fn stall_writes_at(self, path: &str, offset: u64, dur: Duration) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Write,
+            trigger: Trigger::AtByte(offset),
+            kind: FaultKind::Stall { dur },
+            once: false,
+        })
+    }
+
+    /// fsyncing `path` fails (a dying device acknowledges writes but
+    /// cannot flush them).
+    pub fn sync_error(self, path: &str, msg: &str) -> Self {
+        self.rule(FaultRule {
+            path: Some(path.to_string()),
+            op: FaultOp::Sync,
+            trigger: Trigger::Always,
+            kind: FaultKind::Error {
+                kind: io::ErrorKind::Other,
+                msg: format!("injected: {msg}"),
             },
             once: false,
         })
@@ -495,6 +527,18 @@ impl Fs for FaultFs {
 
     fn disk(&self) -> Option<Arc<crate::disk::DiskModel>> {
         self.inner.disk()
+    }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        let path = crate::fs::normalize("/", path);
+        self.check_op(&path, FaultOp::Sync)?;
+        self.inner.sync(&path)
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        let path = crate::fs::normalize("/", path);
+        self.check_op(&path, FaultOp::Sync)?;
+        self.inner.sync_dir(&path)
     }
 }
 

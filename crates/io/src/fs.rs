@@ -58,6 +58,21 @@ pub trait Fs: Send + Sync {
     fn exists(&self, path: &str) -> bool {
         self.metadata(path).is_ok()
     }
+    /// Flushes a file's contents to stable storage (`fsync`). The
+    /// durability half of transactional commit: staged sinks are synced
+    /// *before* the atomic rename, so the renamed-in file can never be an
+    /// empty or partial shell of itself after a power loss. Default
+    /// no-op for filesystems with no durability story.
+    fn sync(&self, path: &str) -> io::Result<()> {
+        let _ = path;
+        Ok(())
+    }
+    /// Flushes a directory's entry table to stable storage, making a
+    /// preceding rename within it durable. Default no-op.
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        let _ = path;
+        Ok(())
+    }
     /// The disk model charging this filesystem's transfers, if any.
     fn disk(&self) -> Option<Arc<DiskModel>> {
         None
@@ -166,6 +181,7 @@ type FileCell = Arc<RwLock<Vec<u8>>>;
 pub struct MemFs {
     files: RwLock<HashMap<String, FileCell>>,
     disk: Option<Arc<DiskModel>>,
+    syncs: std::sync::atomic::AtomicU64,
 }
 
 impl Default for MemFs {
@@ -180,6 +196,7 @@ impl MemFs {
         MemFs {
             files: RwLock::new(HashMap::new()),
             disk: None,
+            syncs: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -188,7 +205,15 @@ impl MemFs {
         MemFs {
             files: RwLock::new(HashMap::new()),
             disk: Some(Arc::new(model)),
+            syncs: std::sync::atomic::AtomicU64::new(0),
         }
+    }
+
+    /// How many [`Fs::sync`]/[`Fs::sync_dir`] calls this filesystem has
+    /// absorbed. Memory needs no fsync, so the counter exists purely so
+    /// tests can observe the durability protocol's barrier points.
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(std::sync::atomic::Ordering::SeqCst)
     }
 
     /// Installs `data` at `path` without charging the disk model.
@@ -312,6 +337,26 @@ impl Fs for MemFs {
     fn disk(&self) -> Option<Arc<DiskModel>> {
         self.disk.clone()
     }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        let path = normalize("/", path);
+        if !self.exists(&path) {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("{path}: no such file"),
+            ));
+        }
+        self.syncs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Ok(())
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        // Implicit directories always "exist" once a file lives beneath
+        // them; counting the call is all an in-memory tree can do.
+        let _ = path;
+        self.syncs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Ok(())
+    }
 }
 
 struct MemReadHandle {
@@ -423,6 +468,16 @@ impl Fs for RealFs {
             std::fs::create_dir_all(parent)?;
         }
         std::fs::rename(self.host_path(from), to)
+    }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        std::fs::File::open(self.host_path(path))?.sync_all()
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        // On Unix a directory opened read-only accepts fsync, which is
+        // what makes a completed rename inside it durable.
+        std::fs::File::open(self.host_path(path))?.sync_all()
     }
 }
 

@@ -1,0 +1,416 @@
+//! Crash-safe write-ahead execution journal.
+//!
+//! PRs 1–2 made optimized regions survive *in-process* faults; this
+//! module is the substrate for surviving a hard crash (`kill -9`, OOM
+//! kill, power loss). A [`Journal`] is an append-only, checksummed,
+//! fsync'd record stream on the shell's virtual filesystem: before an
+//! optimized region runs the session appends [`JournalRecord::RegionStart`],
+//! after its staged sinks commit the executor appends
+//! [`JournalRecord::StageCommitted`], and a completed region appends
+//! [`JournalRecord::RegionDone`] with its outcome. Replay
+//! ([`Journal::replay`]) parses the stream back, verifying the per-record
+//! FNV-1a checksum and detecting a torn tail — the half-written final
+//! record a crash mid-append leaves behind — which is dropped rather than
+//! trusted.
+//!
+//! The record layout is line-oriented text (one record per line:
+//! `<fnv1a-of-payload:016x> <payload>`) so a journal is inspectable with
+//! `cat` — in a shell runtime, being shell-debuggable is a feature.
+
+use crate::fs::Fs;
+use crate::memo::fnv1a;
+use crate::FsHandle;
+use std::io;
+
+/// One journal record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JournalRecord {
+    /// A new shell run began; `epoch` increments across runs on the same
+    /// journal, so replay can separate an interrupted run's records from
+    /// earlier history.
+    RunStart {
+        /// Monotonic run counter.
+        epoch: u64,
+    },
+    /// An optimized region is about to execute.
+    RegionStart {
+        /// Width-insensitive [`Dfg::fingerprint`]-style shape key.
+        fingerprint: u64,
+        /// The input files the region reads, resolved.
+        inputs: Vec<String>,
+    },
+    /// A transactional sink was fsync'd and renamed into place.
+    StageCommitted {
+        /// Final (virtual) path of the committed file.
+        path: String,
+    },
+    /// A region finished executing.
+    RegionDone {
+        /// Shape key, matching the preceding `RegionStart`.
+        fingerprint: u64,
+        /// Region exit status.
+        status: i32,
+        /// Whether the run was fault-free (only clean, zero-status
+        /// regions are resumable).
+        clean: bool,
+    },
+    /// A region was abandoned mid-flight by a graceful shutdown
+    /// (SIGINT/SIGTERM); its staged sinks were discarded.
+    RegionAborted {
+        /// Shape key.
+        fingerprint: u64,
+        /// The cancellation reason.
+        reason: String,
+    },
+    /// The run's statement loop finished; a journal whose last epoch ends
+    /// with this record needs no recovery.
+    RunComplete,
+}
+
+impl JournalRecord {
+    fn encode(&self) -> String {
+        match self {
+            JournalRecord::RunStart { epoch } => format!("run-start {epoch}"),
+            JournalRecord::RegionStart {
+                fingerprint,
+                inputs,
+            } => {
+                let mut s = format!("region-start {fingerprint:016x}");
+                for p in inputs {
+                    s.push(' ');
+                    s.push_str(&escape(p));
+                }
+                s
+            }
+            JournalRecord::StageCommitted { path } => {
+                format!("stage-committed {}", escape(path))
+            }
+            JournalRecord::RegionDone {
+                fingerprint,
+                status,
+                clean,
+            } => format!(
+                "region-done {fingerprint:016x} {status} {}",
+                if *clean { 1 } else { 0 }
+            ),
+            JournalRecord::RegionAborted {
+                fingerprint,
+                reason,
+            } => format!("region-aborted {fingerprint:016x} {}", escape(reason)),
+            JournalRecord::RunComplete => "run-complete".to_string(),
+        }
+    }
+
+    fn decode(payload: &str) -> Option<JournalRecord> {
+        let mut parts = payload.split(' ');
+        match parts.next()? {
+            "run-start" => Some(JournalRecord::RunStart {
+                epoch: parts.next()?.parse().ok()?,
+            }),
+            "region-start" => {
+                let fingerprint = u64::from_str_radix(parts.next()?, 16).ok()?;
+                Some(JournalRecord::RegionStart {
+                    fingerprint,
+                    inputs: parts.map(unescape).collect(),
+                })
+            }
+            "stage-committed" => Some(JournalRecord::StageCommitted {
+                path: unescape(parts.next()?),
+            }),
+            "region-done" => Some(JournalRecord::RegionDone {
+                fingerprint: u64::from_str_radix(parts.next()?, 16).ok()?,
+                status: parts.next()?.parse().ok()?,
+                clean: parts.next()? == "1",
+            }),
+            "region-aborted" => Some(JournalRecord::RegionAborted {
+                fingerprint: u64::from_str_radix(parts.next()?, 16).ok()?,
+                reason: unescape(&parts.collect::<Vec<_>>().join(" ")),
+            }),
+            "run-complete" => Some(JournalRecord::RunComplete),
+            _ => None,
+        }
+    }
+}
+
+/// Percent-encodes the bytes that would break the line/field framing.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b' ' => out.push_str("%20"),
+            b'\n' => out.push_str("%0A"),
+            b'%' => out.push_str("%25"),
+            _ => out.push(b as char),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' && i + 3 <= bytes.len() {
+            if let Ok(v) = u8::from_str_radix(&s[i + 1..i + 3], 16) {
+                out.push(v as char);
+                i += 3;
+                continue;
+            }
+        }
+        out.push(bytes[i] as char);
+        i += 1;
+    }
+    out
+}
+
+/// The result of replaying a journal file.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// All intact records, in append order.
+    pub records: Vec<JournalRecord>,
+    /// Whether the file ended in a torn (half-written or
+    /// checksum-corrupt) record, which was dropped.
+    pub torn_tail: bool,
+    /// Highest `RunStart` epoch seen (0 when the journal is empty).
+    pub last_epoch: u64,
+}
+
+impl Replay {
+    /// The records of the last run, when that run never reached
+    /// [`JournalRecord::RunComplete`] — i.e. the shell crashed or was
+    /// killed. `None` when the journal is empty or the last run finished.
+    pub fn interrupted_run(&self) -> Option<&[JournalRecord]> {
+        let start = self
+            .records
+            .iter()
+            .rposition(|r| matches!(r, JournalRecord::RunStart { .. }))?;
+        let tail = &self.records[start..];
+        if tail.iter().any(|r| matches!(r, JournalRecord::RunComplete)) {
+            return None;
+        }
+        Some(tail)
+    }
+}
+
+/// An append-only, checksummed record stream on a virtual filesystem.
+///
+/// Every append writes one framed record and — when `durable` — fsyncs
+/// the journal file and its parent directory, so a record that replay
+/// returns was really on stable storage before the execution it gates.
+pub struct Journal {
+    fs: FsHandle,
+    path: String,
+    durable: bool,
+}
+
+impl Journal {
+    /// Opens (or creates on first append) a journal at `path`.
+    pub fn open(fs: FsHandle, path: impl Into<String>, durable: bool) -> Self {
+        Journal {
+            fs,
+            path: path.into(),
+            durable,
+        }
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Appends one record, durably when the journal is durable.
+    pub fn append(&self, record: &JournalRecord) -> io::Result<()> {
+        let payload = record.encode();
+        let line = format!("{:016x} {payload}\n", fnv1a(payload.as_bytes()));
+        let mut h = self.fs.open_write(&self.path, true)?;
+        h.write_all(line.as_bytes())?;
+        drop(h);
+        if self.durable {
+            self.fs.sync(&self.path)?;
+            self.fs.sync_dir(parent_dir(&self.path))?;
+        }
+        Ok(())
+    }
+
+    /// Replays the journal at `path` on `fs`. A missing file is an empty
+    /// replay, not an error. Parsing stops at the first torn record: a
+    /// line without a trailing newline, with a checksum mismatch, or
+    /// otherwise unparsable — everything from there on is untrusted.
+    pub fn replay(fs: &dyn Fs, path: &str) -> io::Result<Replay> {
+        let mut replay = Replay::default();
+        if !fs.exists(path) {
+            return Ok(replay);
+        }
+        let raw = crate::fs::read_to_vec(fs, path)?;
+        let text = String::from_utf8_lossy(&raw);
+        let mut rest = text.as_ref();
+        while !rest.is_empty() {
+            let Some(nl) = rest.find('\n') else {
+                // A crash mid-append leaves a final line with no newline.
+                replay.torn_tail = true;
+                break;
+            };
+            let line = &rest[..nl];
+            rest = &rest[nl + 1..];
+            let parsed = line.split_once(' ').and_then(|(crc, payload)| {
+                let crc = u64::from_str_radix(crc, 16).ok()?;
+                if crc != fnv1a(payload.as_bytes()) {
+                    return None;
+                }
+                JournalRecord::decode(payload)
+            });
+            match parsed {
+                Some(r) => {
+                    if let JournalRecord::RunStart { epoch } = r {
+                        replay.last_epoch = replay.last_epoch.max(epoch);
+                    }
+                    replay.records.push(r);
+                }
+                None => {
+                    replay.torn_tail = true;
+                    break;
+                }
+            }
+        }
+        Ok(replay)
+    }
+}
+
+/// The parent directory of a normalized virtual path.
+pub fn parent_dir(path: &str) -> &str {
+    match path.trim_end_matches('/').rfind('/') {
+        Some(0) | None => "/",
+        Some(i) => &path[..i],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::write_file;
+
+    fn roundtrip(records: &[JournalRecord]) -> Replay {
+        let fs = crate::mem_fs();
+        let j = Journal::open(std::sync::Arc::clone(&fs), "/.jash/journal", true);
+        for r in records {
+            j.append(r).unwrap();
+        }
+        Journal::replay(fs.as_ref(), "/.jash/journal").unwrap()
+    }
+
+    #[test]
+    fn empty_journal_replays_empty() {
+        let fs = crate::mem_fs();
+        let r = Journal::replay(fs.as_ref(), "/.jash/journal").unwrap();
+        assert!(r.records.is_empty());
+        assert!(!r.torn_tail);
+        assert!(r.interrupted_run().is_none());
+    }
+
+    #[test]
+    fn records_roundtrip_exactly() {
+        let records = vec![
+            JournalRecord::RunStart { epoch: 3 },
+            JournalRecord::RegionStart {
+                fingerprint: 0xdead_beef,
+                inputs: vec!["/in a.txt".into(), "/data/b%.txt".into()],
+            },
+            JournalRecord::StageCommitted {
+                path: "/out dir/x".into(),
+            },
+            JournalRecord::RegionDone {
+                fingerprint: 0xdead_beef,
+                status: 0,
+                clean: true,
+            },
+            JournalRecord::RegionAborted {
+                fingerprint: 7,
+                reason: "shutdown: SIGTERM received".into(),
+            },
+            JournalRecord::RunComplete,
+        ];
+        let r = roundtrip(&records);
+        assert_eq!(r.records, records);
+        assert!(!r.torn_tail);
+        assert_eq!(r.last_epoch, 3);
+        assert!(r.interrupted_run().is_none(), "run completed");
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_dropped() {
+        let fs = crate::mem_fs();
+        let j = Journal::open(std::sync::Arc::clone(&fs), "/j", true);
+        j.append(&JournalRecord::RunStart { epoch: 1 }).unwrap();
+        j.append(&JournalRecord::RegionDone {
+            fingerprint: 1,
+            status: 0,
+            clean: true,
+        })
+        .unwrap();
+        // A crash mid-append: half a record, no trailing newline.
+        let mut h = fs.open_write("/j", true).unwrap();
+        h.write_all(b"0123456789abcdef region-do").unwrap();
+        drop(h);
+        let r = Journal::replay(fs.as_ref(), "/j").unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.records.len(), 2, "intact prefix survives");
+    }
+
+    #[test]
+    fn checksum_corruption_truncates_replay() {
+        let fs = crate::mem_fs();
+        let j = Journal::open(std::sync::Arc::clone(&fs), "/j", true);
+        j.append(&JournalRecord::RunStart { epoch: 1 }).unwrap();
+        j.append(&JournalRecord::RunComplete).unwrap();
+        // Flip a byte in the second record's payload.
+        let mut raw = crate::fs::read_to_vec(fs.as_ref(), "/j").unwrap();
+        let off = raw.len() - 3;
+        raw[off] ^= 0x20;
+        write_file(fs.as_ref(), "/j", &raw).unwrap();
+        let r = Journal::replay(fs.as_ref(), "/j").unwrap();
+        assert!(r.torn_tail);
+        assert_eq!(r.records, vec![JournalRecord::RunStart { epoch: 1 }]);
+        // With the RunComplete gone, the run reads as interrupted.
+        assert!(r.interrupted_run().is_some());
+    }
+
+    #[test]
+    fn interrupted_run_is_the_last_epoch_tail() {
+        let r = roundtrip(&[
+            JournalRecord::RunStart { epoch: 1 },
+            JournalRecord::RunComplete,
+            JournalRecord::RunStart { epoch: 2 },
+            JournalRecord::RegionDone {
+                fingerprint: 42,
+                status: 0,
+                clean: true,
+            },
+        ]);
+        let tail = r.interrupted_run().expect("run 2 never completed");
+        assert_eq!(tail.len(), 2);
+        assert_eq!(r.last_epoch, 2);
+    }
+
+    #[test]
+    fn durable_appends_sync_file_and_directory() {
+        let mem = std::sync::Arc::new(crate::MemFs::new());
+        let fs: FsHandle = std::sync::Arc::clone(&mem) as FsHandle;
+        Journal::open(std::sync::Arc::clone(&fs), "/.jash/journal", true)
+            .append(&JournalRecord::RunComplete)
+            .unwrap();
+        assert!(mem.sync_count() >= 2, "file + parent dir fsync");
+        let before = mem.sync_count();
+        Journal::open(fs, "/.jash/journal", false)
+            .append(&JournalRecord::RunComplete)
+            .unwrap();
+        assert_eq!(mem.sync_count(), before, "non-durable journal never syncs");
+    }
+
+    #[test]
+    fn parent_dirs() {
+        assert_eq!(parent_dir("/a/b/c"), "/a/b");
+        assert_eq!(parent_dir("/a"), "/");
+        assert_eq!(parent_dir("/"), "/");
+    }
+}

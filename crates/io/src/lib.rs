@@ -15,7 +15,9 @@ pub mod cpu;
 pub mod disk;
 pub mod fault;
 pub mod fs;
+pub mod journal;
 pub mod lines;
+pub mod memo;
 pub mod pipe;
 pub mod stream;
 
@@ -24,6 +26,8 @@ pub use cpu::{cpu_rate, CpuMeteredStream, CpuModel};
 pub use disk::{DiskModel, DiskProfile, DiskStats};
 pub use fault::{FaultFs, FaultPlan, FaultStream};
 pub use fs::{FileMeta, Fs, MemFs, RealFs};
+pub use journal::{Journal, JournalRecord, Replay};
+pub use memo::{fnv1a, Memo};
 pub use lines::{split_lines, LineBuffer};
 pub use pipe::{pipe, pipe_with, PipeHooks, PipeReader, PipeWriter, DEFAULT_PIPE_DEPTH};
 pub use stream::{ByteStream, CoalescingSink, MemStream, Sink, VecSink, DEFAULT_CHUNK};

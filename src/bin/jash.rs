@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR]
+//!      [--journal DIR] [--no-journal] [--no-durable] [--resume]
 //!      (-c SCRIPT | FILE [args...])
 //! ```
 //!
@@ -10,6 +11,14 @@
 //! script's stdout/stderr and exiting with its status. `--explain` dumps
 //! the JIT trace afterwards; `--lint` reports findings and exits without
 //! executing.
+//!
+//! Crash safety: unless `--no-journal` is given, the session keeps a
+//! write-ahead execution journal under `--journal` (default `/.jash`
+//! inside the root). After a hard crash, `--resume` replays regions the
+//! dead run completed from the durable memo instead of re-executing
+//! them. SIGINT/SIGTERM shut the session down gracefully (exit 130/143,
+//! run left resumable). `--no-durable` skips the fsync barriers for
+//! throwaway runs.
 
 use jash::core::{Engine, Jash};
 use jash::cost::MachineProfile;
@@ -17,11 +26,49 @@ use jash::expand::ShellState;
 use std::io::{Read, Write};
 use std::sync::Arc;
 
+/// POSIX signal trapping without a libc crate: every Rust binary on this
+/// target already links the C runtime, so declaring the one symbol we
+/// need is enough. The handler only stores to an atomic (async-signal
+/// safe); a watcher thread translates that into a cancellation.
+mod sig {
+    use std::sync::atomic::{AtomicI32, Ordering};
+
+    static PENDING: AtomicI32 = AtomicI32::new(0);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(signum: i32) {
+        PENDING.store(signum, Ordering::SeqCst);
+    }
+
+    /// Installs handlers for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, on_signal);
+            signal(15, on_signal);
+        }
+    }
+
+    /// The signal number received, if any.
+    pub fn pending() -> Option<i32> {
+        match PENDING.load(Ordering::SeqCst) {
+            0 => None,
+            s => Some(s),
+        }
+    }
+}
+
 struct Options {
     engine: Engine,
     explain: bool,
     lint: bool,
     root: String,
+    journal_dir: String,
+    journal: bool,
+    durable: bool,
+    resume: bool,
     script: String,
     args: Vec<String>,
     script_name: String,
@@ -30,6 +77,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR] \
+         [--journal DIR] [--no-journal] [--no-durable] [--resume] \
          (-c SCRIPT | FILE [args...])"
     );
     std::process::exit(2);
@@ -40,6 +88,10 @@ fn parse_args() -> Options {
     let mut explain = false;
     let mut lint = false;
     let mut root = ".".to_string();
+    let mut journal_dir = "/.jash".to_string();
+    let mut journal = true;
+    let mut durable = true;
+    let mut resume = false;
     let mut script: Option<String> = None;
     let mut script_name = "jash".to_string();
     let mut rest: Vec<String> = Vec::new();
@@ -58,6 +110,10 @@ fn parse_args() -> Options {
             "--explain" => explain = true,
             "--lint" => lint = true,
             "--root" => root = argv.next().unwrap_or_else(|| usage()),
+            "--journal" => journal_dir = argv.next().unwrap_or_else(|| usage()),
+            "--no-journal" => journal = false,
+            "--no-durable" => durable = false,
+            "--resume" => resume = true,
             "-c" => {
                 script = Some(argv.next().unwrap_or_else(|| usage()));
                 rest.extend(argv.by_ref());
@@ -89,10 +145,31 @@ fn parse_args() -> Options {
         explain,
         lint,
         root,
+        journal_dir,
+        journal,
+        durable,
+        resume,
         script,
         args: rest,
         script_name,
     }
+}
+
+/// Test hook: `JASH_TEST_STALL_WRITE=path:offset:millis` wedges the
+/// first write to `path` that reaches `offset`, giving crash tests a
+/// deterministic window to SIGKILL the process mid-region.
+fn test_stall_plan() -> Option<(jash::io::FaultPlan, String)> {
+    let spec = std::env::var("JASH_TEST_STALL_WRITE").ok()?;
+    let mut it = spec.rsplitn(3, ':');
+    let ms: u64 = it.next()?.parse().ok()?;
+    let offset: u64 = it.next()?.parse().ok()?;
+    let path = it.next()?.to_string();
+    let plan = jash::io::FaultPlan::new().stall_writes_at(
+        &path,
+        offset,
+        std::time::Duration::from_millis(ms),
+    );
+    Some((plan, path))
 }
 
 fn main() {
@@ -113,11 +190,53 @@ fn main() {
         }
     }
 
-    let fs: jash::io::FsHandle = Arc::new(jash::io::RealFs::new(&opts.root));
-    let mut state = ShellState::new(fs);
+    // Graceful shutdown: trap SIGINT/SIGTERM, translate into a
+    // cooperative cancel so a running region aborts (and journals the
+    // abort) instead of dying mid-write.
+    let cancel = jash::io::CancelToken::new();
+    sig::install();
+    {
+        let cancel = cancel.clone();
+        std::thread::spawn(move || loop {
+            if let Some(s) = sig::pending() {
+                cancel.cancel(jash::core::shutdown_reason(s));
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+    }
+
+    let mut fs: jash::io::FsHandle = Arc::new(jash::io::RealFs::new(&opts.root));
+    if let Some((plan, _path)) = test_stall_plan() {
+        fs = jash::io::FaultFs::wrap_with_cancel(fs, plan, cancel.clone());
+    }
+
+    let mut state = ShellState::new(Arc::clone(&fs));
     state.shell_name = opts.script_name;
     state.positional = opts.args;
     let mut shell = Jash::new(opts.engine, MachineProfile::laptop());
+    shell.cancel = Some(cancel);
+    shell.durable = opts.durable;
+    if std::env::var("JASH_TEST_EAGER").as_deref() == Ok("1") {
+        shell.planner.min_speedup = 0.0;
+        shell.planner.force_width = Some(4);
+    }
+
+    if opts.journal && opts.engine == Engine::JashJit {
+        match shell.attach_journal(&fs, &opts.journal_dir, opts.resume) {
+            Ok(report) => {
+                if report.interrupted {
+                    eprintln!(
+                        "jash: previous run interrupted{} ({} region(s) resumable, {} stage file(s) swept)",
+                        if report.torn_tail { ", torn journal tail dropped" } else { "" },
+                        report.resumable,
+                        report.swept.len(),
+                    );
+                }
+            }
+            Err(e) => eprintln!("jash: journal disabled: {e}"),
+        }
+    }
 
     let result = match shell.run_script(&mut state, &opts.script) {
         Ok(r) => r,
@@ -134,6 +253,13 @@ fn main() {
         for event in &shell.trace {
             eprintln!("{:60} -> {:?}", event.pipeline, event.action);
         }
+        eprintln!(
+            "jit summary: optimized={} resumed={} recovered={} failed_over={}",
+            shell.runtime.regions_optimized,
+            shell.runtime.regions_resumed,
+            shell.runtime.regions_recovered,
+            shell.runtime.regions_failed_over,
+        );
     }
     std::process::exit(result.status);
 }

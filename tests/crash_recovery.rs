@@ -1,0 +1,321 @@
+//! Crash-recovery integration tests: a real `jash` child process is
+//! SIGKILLed mid-region (no destructors, no flushes — the genuine
+//! article), then re-run with `--resume`, and the journal's guarantees
+//! are audited end to end. Graceful-shutdown behavior (SIGINT/SIGTERM)
+//! and torn-journal replay ride the same harness.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const JASH: &str = env!("CARGO_BIN_EXE_jash");
+
+/// A deterministic, sort-shuffling input: enough bytes that the staged
+/// output write crosses the 64 KiB stall offset used by the kill window.
+fn input(seed: u64, bytes: usize) -> Vec<u8> {
+    let words = ["alpha", "Bravo", "CHARLIE", "delta", "Echo", "Foxtrot"];
+    let mut out = Vec::with_capacity(bytes + 64);
+    let mut x = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    while out.len() < bytes {
+        for _ in 0..8 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.extend_from_slice(words[(x % words.len() as u64) as usize].as_bytes());
+            out.push(b' ');
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+fn script(regions: usize) -> String {
+    (0..regions)
+        .map(|k| format!("cat /in{k} | tr A-Z a-z | sort > /out{k}\n"))
+        .collect()
+}
+
+fn stage(root: &Path, regions: usize) {
+    fs::create_dir_all(root).unwrap();
+    for k in 0..regions {
+        fs::write(root.join(format!("in{k}")), input(k as u64 + 1, 256 * 1024)).unwrap();
+    }
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("jash-it-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn jash(root: &Path) -> Command {
+    let mut cmd = Command::new(JASH);
+    cmd.arg("--root")
+        .arg(root)
+        .env("JASH_TEST_EAGER", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped());
+    cmd
+}
+
+fn outputs(root: &Path, regions: usize) -> Vec<Option<Vec<u8>>> {
+    (0..regions)
+        .map(|k| fs::read(root.join(format!("out{k}"))).ok())
+        .collect()
+}
+
+fn debris(root: &Path) -> Vec<String> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".jash-stage-"))
+            {
+                found.push(p.display().to_string());
+            }
+        }
+    }
+    found
+}
+
+/// Blocks until the child has journaled `done` region completions, is
+/// inside the next region, and its staging file is visible.
+fn wait_for_kill_window(root: &Path, done: usize) {
+    let journal = root.join(".jash/journal");
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        let text = fs::read_to_string(&journal).unwrap_or_default();
+        let finished = text.lines().filter(|l| l.contains(" region-done ")).count();
+        let started = text
+            .lines()
+            .filter(|l| l.contains(" region-start "))
+            .count();
+        if finished >= done && started > done && !debris(root).is_empty() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("kill window never opened in {}", root.display());
+}
+
+/// Spawns a run wedged mid-region `stall_region`, waits for the window,
+/// and delivers `signal` ("KILL", "TERM", "INT"). Returns the exit code
+/// observed, if the child exited rather than being killed.
+fn crash_run(root: &Path, regions: usize, stall_region: usize, signal: &str) -> Option<i32> {
+    let mut child = jash(root)
+        .args(["-c", &script(regions)])
+        .env(
+            "JASH_TEST_STALL_WRITE",
+            format!("/out{stall_region}:65536:600000"),
+        )
+        .spawn()
+        .unwrap();
+    wait_for_kill_window(root, stall_region);
+    if signal == "KILL" {
+        child.kill().unwrap();
+    } else {
+        let ok = Command::new("kill")
+            .args([format!("-{signal}"), child.id().to_string()])
+            .status()
+            .unwrap();
+        assert!(ok.success(), "kill -{signal} failed");
+    }
+    child.wait().unwrap().code()
+}
+
+fn summary_counter(stderr: &str, key: &str) -> u64 {
+    stderr
+        .lines()
+        .find(|l| l.starts_with("jit summary:"))
+        .and_then(|l| {
+            l.split_whitespace()
+                .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        })
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("no `{key}` in jit summary: {stderr}"))
+}
+
+#[test]
+fn sigkill_mid_region_then_resume_is_byte_identical() {
+    let regions = 3;
+    // Uninterrupted baseline.
+    let base = scratch("baseline");
+    stage(&base, regions);
+    assert!(jash(&base).args(["-c", &script(regions)]).status().unwrap().success());
+
+    // Crash after one clean region, mid-write of the second.
+    let root = scratch("sigkill");
+    stage(&root, regions);
+    crash_run(&root, regions, 1, "KILL");
+    assert!(!debris(&root).is_empty(), "crash should strand a staging file");
+
+    let out = jash(&root)
+        .args(["--resume", "--explain", "-c", &script(regions)])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "resume failed: {stderr}");
+    assert_eq!(outputs(&root, regions), outputs(&base, regions), "resume must be byte-identical");
+    assert_eq!(debris(&root), Vec::<String>::new(), "janitor must sweep staging debris");
+    // The journaled-clean region replays from the memo; the rest execute.
+    assert_eq!(summary_counter(&stderr, "resumed"), 1, "{stderr}");
+    assert_eq!(summary_counter(&stderr, "optimized"), (regions - 1) as u64, "{stderr}");
+    assert!(stderr.contains("previous run interrupted"), "{stderr}");
+    let _ = fs::remove_dir_all(&base);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn torn_final_journal_record_is_dropped_on_replay() {
+    let regions = 2;
+    let base = scratch("torn-base");
+    stage(&base, regions);
+    assert!(jash(&base).args(["-c", &script(regions)]).status().unwrap().success());
+
+    let root = scratch("torn");
+    stage(&root, regions);
+    crash_run(&root, regions, 1, "KILL");
+
+    // Simulate the crash tearing the tail record: a half-written line
+    // with no newline and a bogus checksum. Replay must drop it (and
+    // only it) rather than refuse the journal.
+    let journal = root.join(".jash/journal");
+    let mut text = fs::read_to_string(&journal).unwrap();
+    text.push_str("00000000deadbeef region-done 3f770c");
+    fs::write(&journal, text).unwrap();
+
+    let out = jash(&root)
+        .args(["--resume", "--explain", "-c", &script(regions)])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "resume failed: {stderr}");
+    assert!(stderr.contains("torn journal tail dropped"), "{stderr}");
+    assert_eq!(outputs(&root, regions), outputs(&base, regions));
+    assert_eq!(summary_counter(&stderr, "resumed"), 1, "{stderr}");
+    let _ = fs::remove_dir_all(&base);
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sigterm_shuts_down_gracefully_with_status_143() {
+    let regions = 2;
+    let root = scratch("sigterm");
+    stage(&root, regions);
+    let code = crash_run(&root, regions, 0, "TERM");
+    assert_eq!(code, Some(143), "SIGTERM must exit 128+15");
+    let journal = fs::read_to_string(root.join(".jash/journal")).unwrap();
+    assert!(journal.contains(" region-aborted "), "abort must be journaled: {journal}");
+    assert!(!journal.contains(" run-complete"), "run must stay resumable: {journal}");
+    assert_eq!(debris(&root), Vec::<String>::new(), "graceful shutdown must not strand staging files");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sigint_shuts_down_gracefully_with_status_130() {
+    let regions = 2;
+    let root = scratch("sigint");
+    stage(&root, regions);
+    let code = crash_run(&root, regions, 0, "INT");
+    assert_eq!(code, Some(130), "SIGINT must exit 128+2");
+    let journal = fs::read_to_string(root.join(".jash/journal")).unwrap();
+    assert!(journal.contains(" region-aborted "), "{journal}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn edited_input_defeats_resume_and_reexecutes() {
+    // The memo check: a region journaled clean resumes only if its input
+    // still hashes the same. Editing the input between crash and resume
+    // must force a re-execution with the new bytes.
+    let regions = 2;
+    let root = scratch("edited");
+    stage(&root, regions);
+    crash_run(&root, regions, 1, "KILL");
+
+    // Region 0 completed; now rewrite its input.
+    fs::write(root.join("in0"), input(99, 256 * 1024)).unwrap();
+    let out = jash(&root)
+        .args(["--resume", "--explain", "-c", &script(regions)])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert_eq!(summary_counter(&stderr, "resumed"), 0, "stale memo must not resume: {stderr}");
+    assert_eq!(summary_counter(&stderr, "optimized"), regions as u64, "{stderr}");
+
+    // And the re-executed output reflects the *new* input.
+    let fresh = scratch("edited-fresh");
+    fs::create_dir_all(&fresh).unwrap();
+    fs::write(fresh.join("in0"), input(99, 256 * 1024)).unwrap();
+    fs::write(fresh.join("in1"), input(2, 256 * 1024)).unwrap();
+    assert!(jash(&fresh).args(["-c", &script(regions)]).status().unwrap().success());
+    assert_eq!(outputs(&root, regions), outputs(&fresh, regions));
+    let _ = fs::remove_dir_all(&root);
+    let _ = fs::remove_dir_all(&fresh);
+}
+
+#[test]
+fn in_process_resume_replays_from_memo_without_reexecution() {
+    // The same machinery exercised in-process on a MemFs: a completed
+    // run's journal is doctored to look interrupted (RunComplete
+    // stripped), and a second session must satisfy every region from the
+    // memo — zero optimized executions.
+    use jash::core::{Engine, Jash};
+    use jash::cost::MachineProfile;
+    use jash::expand::ShellState;
+    use std::sync::Arc;
+
+    let fs = jash::io::mem_fs();
+    let doc = input(5, 128 * 1024);
+    jash::io::fs::write_file(fs.as_ref(), "/in0", &doc).unwrap();
+    let machine = MachineProfile {
+        cores: 4,
+        disk: jash::io::DiskProfile::ramdisk(),
+        mem_mb: 4 * 1024,
+    };
+    let eager = jash::cost::PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    };
+    let src = "cat /in0 | tr A-Z a-z | sort";
+
+    let mut shell = Jash::new(Engine::JashJit, machine);
+    shell.planner = eager;
+    shell.attach_journal(&fs, "/.jash", false).unwrap();
+    let mut state = ShellState::new(Arc::clone(&fs));
+    let first = shell.run_script(&mut state, src).unwrap();
+    assert_eq!(first.status, 0);
+    assert_eq!(shell.runtime.regions_optimized, 1);
+
+    // Strip RunComplete: the journal now reads as an interrupted run.
+    let journal = jash::io::fs::read_to_vec(fs.as_ref(), "/.jash/journal").unwrap();
+    let doctored: String = String::from_utf8(journal)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("run-complete"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    jash::io::fs::write_file(fs.as_ref(), "/.jash/journal", doctored.as_bytes()).unwrap();
+
+    let mut shell2 = Jash::new(Engine::JashJit, machine);
+    shell2.planner = eager;
+    let report = shell2.attach_journal(&fs, "/.jash", true).unwrap();
+    assert!(report.interrupted);
+    assert_eq!(report.resumable, 1);
+    let mut state2 = ShellState::new(Arc::clone(&fs));
+    let second = shell2.run_script(&mut state2, src).unwrap();
+    assert_eq!(second.status, 0);
+    assert_eq!(second.stdout, first.stdout, "replayed stdout must match");
+    assert_eq!(shell2.runtime.regions_resumed, 1);
+    assert_eq!(shell2.runtime.regions_optimized, 0, "resume must not re-execute");
+}
