@@ -1,0 +1,56 @@
+//! Trace-overhead gate binary:
+//! `cargo run --release -p jash-bench --bin traceover [-- TRACE_OUT.jsonl]`
+//!
+//! Measures the cost of `--trace` on the Figure 1 JIT run, writes the
+//! traced run's JSONL to `TRACE_OUT` (when given) as the CI artifact,
+//! prints the recorded trace's per-region summary, and exits nonzero if
+//! the median overhead exceeds the gate (`JASH_TRACE_GATE`, default
+//! 0.05). `JASH_TRACE_TRIALS` (default 5) sets the trial count;
+//! `JASH_BENCH_MB` / `JASH_TIME_SCALE` shape the run as usual.
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let out = std::env::args().nth(1);
+    let trials: usize = env_parse("JASH_TRACE_TRIALS", 5);
+    let gate: f64 = env_parse("JASH_TRACE_GATE", 0.05);
+
+    let report = jash_bench::traceover::run_trace_overhead(trials);
+    println!(
+        "fig1 (jash engine), {trials} trials: untraced {:.3}s, traced {:.3}s, overhead {:+.2}%",
+        report.untraced.as_secs_f64(),
+        report.traced.as_secs_f64(),
+        report.overhead * 100.0,
+    );
+
+    match jash_trace::parse_jsonl(&report.jsonl) {
+        Ok(records) => print!("\n{}", jash_trace::summarize(&records)),
+        Err(e) => {
+            eprintln!("traceover: emitted trace failed to parse: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, &report.jsonl) {
+            eprintln!("traceover: write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("\ntrace artifact written to {path}");
+    }
+
+    if report.overhead > gate {
+        eprintln!(
+            "traceover: FAIL — overhead {:.2}% exceeds the {:.0}% gate",
+            report.overhead * 100.0,
+            gate * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("traceover: PASS (gate {:.0}%)", gate * 100.0);
+}

@@ -133,11 +133,12 @@ fn summary_counter(stderr: &str, key: &str) -> Option<u64> {
 /// per kill point k — SIGKILL the child after it has journaled k clean
 /// regions (mid-write of region k+1), `--resume`, and audit the result.
 pub fn run_crash_sweep(bytes: u64, seed: u64) -> Vec<CrashRow> {
-    let scratch = std::env::temp_dir().join(format!("jash-crash-{}", std::process::id()));
-    let _ = fs::remove_dir_all(&scratch);
+    // RAII scratch: removed when the sweep returns — or panics, so an
+    // aborted sweep can't seed the next one with stale journals.
+    let scratch = jash_io::TempDir::new("jash-crash");
 
     // Baseline: the same script, never interrupted.
-    let base_root = scratch.join("baseline");
+    let base_root = scratch.path().join("baseline");
     stage_root(&base_root, bytes, seed);
     let status = jash_cmd(&base_root)
         .args(["-c", &script()])
@@ -148,7 +149,7 @@ pub fn run_crash_sweep(bytes: u64, seed: u64) -> Vec<CrashRow> {
 
     let mut rows = Vec::new();
     for kill_after in 0..REGIONS {
-        let root = scratch.join(format!("kill{kill_after}"));
+        let root = scratch.path().join(format!("kill{kill_after}"));
         stage_root(&root, bytes, seed);
         // Wedge the (kill_after+1)-th region's staged output write after
         // its first chunk, leaving the child stalled inside the region
@@ -218,7 +219,6 @@ pub fn run_crash_sweep(bytes: u64, seed: u64) -> Vec<CrashRow> {
             note: notes.join("; "),
         });
     }
-    let _ = fs::remove_dir_all(&scratch);
     rows
 }
 

@@ -19,6 +19,7 @@ use jash_core::{Engine, Jash, TraceEvent};
 pub mod crash;
 pub mod faults;
 pub mod fig1;
+pub mod traceover;
 use jash_cost::MachineProfile;
 use jash_expand::ShellState;
 use jash_io::{CpuModel, DiskModel, DiskProfile, FsHandle, MemFs};
@@ -99,9 +100,21 @@ pub fn run_engine(
     sim: &SimMachine,
     script: &str,
 ) -> (Duration, jash_interp::RunResult, Vec<TraceEvent>) {
+    run_engine_traced(engine, sim, script, None)
+}
+
+/// [`run_engine`] with an optional structured tracer attached — the
+/// probe the trace-overhead gate measures against the untraced run.
+pub fn run_engine_traced(
+    engine: Engine,
+    sim: &SimMachine,
+    script: &str,
+    tracer: Option<Arc<jash_trace::Tracer>>,
+) -> (Duration, jash_interp::RunResult, Vec<TraceEvent>) {
     let mut state = ShellState::new(Arc::clone(&sim.fs));
     state.cpu = Some(Arc::clone(&sim.cpu));
     let mut shell = Jash::new(engine, sim.profile);
+    shell.tracer = tracer;
     let t0 = Instant::now();
     let result = shell
         .run_script(&mut state, script)

@@ -1,0 +1,89 @@
+//! Trace-overhead gate: the observability layer must be close to free.
+//!
+//! Runs the Figure 1 pipeline under the JIT engine with and without a
+//! structured tracer attached, interleaving trials so host noise lands
+//! on both sides evenly, and compares median wall time. The modeled
+//! machine sleeps dominate each run, so the tracing cost (span
+//! bookkeeping, attribute writes, metric updates) has to show up as a
+//! genuine slowdown to move the ratio — which is exactly the promise
+//! being enforced: `--trace` on a production run costs less than 5%.
+
+use crate::{bench_input_bytes, fig1, run_engine, run_engine_traced, sim_machine, stage, word_corpus};
+use jash_core::Engine;
+use jash_cost::MachineProfile;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Measured overhead of tracing the Figure 1 run.
+#[derive(Debug)]
+pub struct OverheadReport {
+    /// Median wall time without a tracer.
+    pub untraced: Duration,
+    /// Median wall time with a tracer attached.
+    pub traced: Duration,
+    /// Fractional overhead: `traced / untraced - 1` (may be negative
+    /// under noise).
+    pub overhead: f64,
+    /// The last traced trial's full JSONL trace — the CI artifact.
+    pub jsonl: String,
+}
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort();
+    xs[xs.len() / 2]
+}
+
+/// Runs `trials` interleaved traced/untraced Figure 1 cells on the
+/// IO-optimized profile and reports the median overhead.
+///
+/// # Panics
+/// Panics if a trial fails, emits an empty trace, or `trials` is zero.
+pub fn run_trace_overhead(trials: usize) -> OverheadReport {
+    assert!(trials > 0, "need at least one trial");
+    let bytes = bench_input_bytes();
+    let corpus = word_corpus(bytes, 42);
+    let profile = MachineProfile::io_opt_ec2();
+
+    let mut untraced = Vec::with_capacity(trials);
+    let mut traced = Vec::with_capacity(trials);
+    let mut jsonl = String::new();
+    for _ in 0..trials {
+        let sim = sim_machine(profile, bytes);
+        stage(&sim, "/in.txt", &corpus);
+        let (wall, result, _) = run_engine(Engine::JashJit, &sim, fig1::SCRIPT);
+        assert_eq!(result.status, 0, "untraced fig1 trial failed");
+        untraced.push(wall);
+
+        let sim = sim_machine(profile, bytes);
+        stage(&sim, "/in.txt", &corpus);
+        let tracer = Arc::new(jash_trace::Tracer::new());
+        let (wall, result, _) =
+            run_engine_traced(Engine::JashJit, &sim, fig1::SCRIPT, Some(Arc::clone(&tracer)));
+        assert_eq!(result.status, 0, "traced fig1 trial failed");
+        traced.push(wall);
+        jsonl = tracer.to_jsonl();
+    }
+    assert!(!jsonl.is_empty(), "traced run must emit a trace");
+
+    let untraced = median(untraced);
+    let traced = median(traced);
+    let overhead = traced.as_secs_f64() / untraced.as_secs_f64() - 1.0;
+    OverheadReport {
+        untraced,
+        traced,
+        overhead,
+        jsonl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive() {
+        let d = |ms| Duration::from_millis(ms);
+        assert_eq!(median(vec![d(9), d(1), d(5)]), d(5));
+        assert_eq!(median(vec![d(1)]), d(1));
+    }
+}

@@ -14,7 +14,9 @@ use crate::recovery::{self, RecoveryReport, ResumePlan};
 use crate::region::{jit_region, resolve_paths, static_region, Ineligible};
 use crate::supervise::{degradation_ladder, resource_pressure, CircuitBreaker, Route};
 use jash_ast::{ListItem, Program};
-use jash_cost::{choose_plan, pash_aot_plan, InputInfo, MachineProfile, PlanShape, PlannerOptions};
+use jash_cost::{
+    choose_plan_with, pash_aot_plan, InputInfo, MachineProfile, PlanShape, PlannerOptions,
+};
 use jash_dataflow::{compile, parallelize_all, Dfg, NodeKind, Region};
 use jash_exec::{
     balanced_targets, execute, execute_with_retry, ErrorClass, ExecConfig, ExecOutcome,
@@ -25,9 +27,11 @@ use jash_interp::{Flow, InterpError, Interpreter, RunResult, ShellIo};
 use jash_io::journal::JournalRecord;
 use jash_io::memo::Entry;
 use jash_io::{fnv1a, FsHandle, Journal, Memo};
+use jash_trace::{AttrValue, SpanId, Tracer, DEFAULT_TIME_BOUNDS_US};
 use std::collections::HashMap;
 use std::io;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A Jash shell session.
 pub struct Jash {
@@ -64,6 +68,16 @@ pub struct Jash {
     /// appends fsync. On by default; `--no-durable` turns it off for
     /// throwaway runs.
     pub durable: bool,
+    /// Structured trace collector (`--trace` / `JASH_TRACE`). When set,
+    /// the session records a `run` span, one `region` span per top-level
+    /// statement, `node` spans for every dataflow node the executor ran,
+    /// supervision events, and the timing/memo/journal metrics — all
+    /// drained to schema-v1 JSONL at the end of the run.
+    pub tracer: Option<Arc<Tracer>>,
+    /// Profile-fed planner calibration: per-command throughput recorded
+    /// by a previous run's trace (`--calibrate FILE`). `None` = the
+    /// planner uses its static machine-profile rates.
+    pub calibration: Option<jash_cost::Calibration>,
     /// Write-ahead execution journal, attached via
     /// [`Jash::attach_journal`]. `None` = journaling disabled.
     journal: Option<Arc<Journal>>,
@@ -72,6 +86,10 @@ pub struct Jash {
     /// Clean completions of an interrupted run still waiting to be
     /// claimed by matching regions this session.
     resume: Option<ResumePlan>,
+    /// Open `run` span while `run_program` is on the stack.
+    current_run: Option<SpanId>,
+    /// Open `region` span while `run_item` is on the stack.
+    current_region: Option<SpanId>,
     interp: Interpreter,
 }
 
@@ -90,9 +108,13 @@ impl Jash {
             retry_policy: RetryPolicy::default(),
             breaker: CircuitBreaker::default(),
             durable: true,
+            tracer: None,
+            calibration: None,
             journal: None,
             memo: None,
             resume: None,
+            current_run: None,
+            current_region: None,
             interp: Interpreter::new(),
         }
     }
@@ -147,7 +169,9 @@ impl Jash {
         state: &mut ShellState,
         src: &str,
     ) -> jash_interp::Result<RunResult> {
+        let parse_start = Instant::now();
         let prog = jash_parser::parse(src)?;
+        self.trace_hist("jit.parse_us", parse_start.elapsed());
         self.run_program(state, &prog)
     }
 
@@ -159,6 +183,13 @@ impl Jash {
     ) -> jash_interp::Result<RunResult> {
         let (io, out, err) = ShellIo::captured();
         self.interp.base_stderr = Some(io.stderr.clone());
+        let run_span = self.tracer.as_ref().map(|t| {
+            let s = t.start("run", "run", None);
+            t.set_attr(s, "engine", self.engine.to_string());
+            t.set_attr(s, "items", prog.items.len() as u64);
+            s
+        });
+        self.current_run = run_span;
         let mut status = 0;
         let mut flow_exit = None;
         let mut shut_down = false;
@@ -204,6 +235,16 @@ impl Jash {
             }
         }
         state.last_status = status;
+        if let (Some(t), Some(s)) = (&self.tracer, run_span) {
+            t.set_attr(s, "status", i64::from(status));
+            if let Some(journal) = &self.journal {
+                t.metrics()
+                    .gauge("journal.fsyncs")
+                    .set(journal.fsyncs() as i64);
+            }
+            t.end(s);
+        }
+        self.current_run = None;
         let stdout = std::mem::take(&mut *out.lock());
         let stderr = std::mem::take(&mut *err.lock());
         Ok(RunResult {
@@ -214,6 +255,42 @@ impl Jash {
     }
 
     fn run_item(
+        &mut self,
+        state: &mut ShellState,
+        item: &ListItem,
+        io: &ShellIo,
+    ) -> jash_interp::Result<i32> {
+        // One region span per top-level statement, whatever path it takes.
+        // The attrs start pessimistic (interpreted, width 1, no bytes) and
+        // the optimize/resume/failover paths overwrite them — last write
+        // wins, so the committed span reflects what actually happened.
+        let span = self.tracer.as_ref().map(|t| {
+            let name = jash_ast::unparse(&Program {
+                items: vec![item.clone()],
+            });
+            let s = t.start("region", &name, self.current_run);
+            t.set_attr(s, "action", "interpreted");
+            t.set_attr(s, "width", 1u64);
+            t.set_attr(s, "bytes_in", 0u64);
+            t.set_attr(s, "bytes_out", 0u64);
+            s
+        });
+        let prev_region = self.current_region;
+        self.current_region = span;
+        let sup_mark = self.runtime.supervision.events.len();
+        let result = self.run_item_inner(state, item, io);
+        self.mirror_supervision(sup_mark);
+        if let (Some(t), Some(s)) = (&self.tracer, span) {
+            if let Ok(status) = &result {
+                t.set_attr(s, "status", i64::from(*status));
+            }
+            t.end(s);
+        }
+        self.current_region = prev_region;
+        result
+    }
+
+    fn run_item_inner(
         &mut self,
         state: &mut ShellState,
         item: &ListItem,
@@ -258,6 +335,7 @@ impl Jash {
             items: vec![item.clone()],
         });
         let fallback = |this: &mut Self, reason: String| {
+            this.trace_region_attr("reason", reason.as_str());
             this.trace.push(TraceEvent {
                 pipeline: pipeline_text.clone(),
                 action: Action::Interpreted { reason },
@@ -265,11 +343,13 @@ impl Jash {
         };
 
         // 1. Extract the region the way the engine can.
+        let expand_start = Instant::now();
         let region = match self.engine {
             Engine::PashAot => static_region(state, &item.and_or.first),
             Engine::JashJit => jit_region(state, &item.and_or.first),
             Engine::Bash => unreachable!("caller filtered"),
         };
+        self.trace_hist("jit.expand_us", expand_start.elapsed());
         let mut region = match region {
             Ok(r) => r,
             Err(e @ Ineligible::ExpansionFailed(_)) => {
@@ -286,7 +366,10 @@ impl Jash {
         resolve_paths(state, &mut region);
 
         // 2. Compile to a dataflow graph.
-        let mut compiled = match compile(&region, &self.registry) {
+        let compile_start = Instant::now();
+        let compiled = compile(&region, &self.registry);
+        self.trace_hist("jit.compile_us", compile_start.elapsed());
+        let mut compiled = match compiled {
             Ok(c) => c,
             Err(e) => {
                 fallback(self, e.to_string());
@@ -312,12 +395,21 @@ impl Jash {
         let input = InputInfo {
             total_bytes: region_input_bytes(state, &region),
         };
+        self.trace_region_attr("bytes_in", input.total_bytes);
 
         // 4. Plan.
         let (shape, projected) = match self.engine {
             Engine::PashAot => (pash_aot_plan(&self.machine), 1.0),
             Engine::JashJit => {
-                let d = choose_plan(&compiled.dfg, &self.machine, input, &self.planner);
+                let plan_start = Instant::now();
+                let d = choose_plan_with(
+                    &compiled.dfg,
+                    &self.machine,
+                    input,
+                    &self.planner,
+                    self.calibration.as_ref(),
+                );
+                self.trace_hist("jit.plan_us", plan_start.elapsed());
                 (d.shape, d.projected_speedup())
             }
             Engine::Bash => unreachable!(),
@@ -352,6 +444,7 @@ impl Jash {
 
         parallelize_all(&mut compiled.dfg, shape.width);
         let cfg = self.region_config(state, shape.buffered, &compiled.dfg, input.total_bytes);
+        let exec_start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
         let outcome = match execute(&compiled.dfg, &cfg) {
             Ok(o) => o,
             Err(e) => {
@@ -367,12 +460,14 @@ impl Jash {
         // drop the captured streams too, book the failure, and re-execute
         // the region sequentially under the interpreter, which reproduces
         // exactly what an unoptimized shell would have done.
+        self.emit_node_spans(&compiled.dfg, &outcome, exec_start_us);
         if !outcome.is_clean() {
             self.book_failover(pipeline_text, shape.width, &outcome);
             return Ok(None);
         }
 
         self.runtime.regions_optimized += 1;
+        self.trace_optimized_region(shape.width, shape.buffered, projected, &outcome);
         self.trace.push(TraceEvent {
             pipeline: pipeline_text,
             action: Action::Optimized {
@@ -406,6 +501,7 @@ impl Jash {
         // Fingerprint the *pre-parallelization* graph: the shape key must
         // not depend on the width chosen this time around.
         let fp = base_dfg.fingerprint();
+        self.trace_region_attr("fingerprint", format!("{fp:016x}"));
         match self.breaker.route(fp) {
             Route::Interpret => {
                 self.runtime
@@ -454,7 +550,8 @@ impl Jash {
                 parallelize_all(&mut dfg, width);
             }
             let cfg = self.region_config(state, shape.buffered, &dfg, total_bytes);
-            let wall = std::time::Instant::now();
+            let wall = Instant::now();
+            let exec_start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
             let result = match execute_with_retry(
                 &dfg,
                 &cfg,
@@ -476,6 +573,7 @@ impl Jash {
                 }
             };
             total_attempts += result.attempts;
+            self.emit_node_spans(&dfg, &result.outcome, exec_start_us);
 
             if result.outcome.is_clean() {
                 if self.breaker.record_success(fp) {
@@ -493,6 +591,7 @@ impl Jash {
                 }
                 self.runtime.regions_optimized += 1;
                 self.checkpoint_clean(state, src_region, fp, &result.outcome);
+                self.trace_optimized_region(width, shape.buffered, projected, &result.outcome);
                 self.trace.push(TraceEvent {
                     pipeline: pipeline_text,
                     action: Action::Optimized {
@@ -522,6 +621,8 @@ impl Jash {
                             reason: reason.clone(),
                         });
                     }
+                    self.trace_region_attr("action", "aborted");
+                    self.trace_region_attr("reason", reason.as_str());
                     self.trace.push(TraceEvent {
                         pipeline: pipeline_text,
                         action: Action::Aborted { reason },
@@ -658,12 +759,15 @@ impl Jash {
             .and_then(|m| m.get(fp).ok())
             .flatten()
         else {
+            self.trace_counter("memo.misses");
             return Ok(None);
         };
         let Ok(input) = recovery::read_region_input(&state.fs, src_region) else {
+            self.trace_counter("memo.misses");
             return Ok(None);
         };
         if entry.input_len != input.len() as u64 || entry.input_hash != fnv1a(&input) {
+            self.trace_counter("memo.misses");
             return Ok(None);
         }
         // Re-journal the completion in this epoch, so a crash *during*
@@ -680,11 +784,18 @@ impl Jash {
             });
         }
         self.runtime.regions_resumed += 1;
+        self.trace_counter("memo.hits");
+        self.trace_region_attr("action", "resumed");
+        self.trace_region_attr("fingerprint", format!("{fp:016x}"));
+        self.trace_region_attr("bytes_in", entry.input_len);
+        self.trace_region_attr("bytes_out", entry.output.len() as u64);
         self.trace.push(TraceEvent {
             pipeline: pipeline_text.to_string(),
             action: Action::Resumed { fingerprint: fp },
         });
         let outcome = ExecOutcome {
+            bytes_in: entry.input_len,
+            bytes_out: entry.output.len() as u64,
             stdout: entry.output,
             stderr: Vec::new(),
             status: done.status,
@@ -694,6 +805,103 @@ impl Jash {
             fault_class: None,
         };
         self.deliver(state, io, outcome).map(Some)
+    }
+
+    /// Sets an attribute on the open region span, when tracing.
+    fn trace_region_attr(&self, key: &str, value: impl Into<AttrValue>) {
+        if let (Some(t), Some(s)) = (&self.tracer, self.current_region) {
+            t.set_attr(s, key, value);
+        }
+    }
+
+    /// Records one observation in a session timing histogram.
+    fn trace_hist(&self, name: &str, elapsed: std::time::Duration) {
+        if let Some(t) = &self.tracer {
+            t.metrics()
+                .histogram(name, DEFAULT_TIME_BOUNDS_US)
+                .record(elapsed.as_micros() as u64);
+        }
+    }
+
+    /// Bumps a session counter.
+    fn trace_counter(&self, name: &str) {
+        if let Some(t) = &self.tracer {
+            t.metrics().counter(name).incr();
+        }
+    }
+
+    /// Stamps the current region span with a successful optimized run.
+    fn trace_optimized_region(
+        &self,
+        width: usize,
+        buffered: bool,
+        projected: f64,
+        outcome: &ExecOutcome,
+    ) {
+        self.trace_region_attr("action", "optimized");
+        self.trace_region_attr("width", width as u64);
+        self.trace_region_attr("buffered", buffered);
+        self.trace_region_attr("projected_speedup", projected);
+        // Commands that read file operands directly (no ReadFile node)
+        // move bytes the executor's edge counters never see; the
+        // fs-derived figure already on the span is the truthful one then.
+        if outcome.bytes_in > 0 {
+            self.trace_region_attr("bytes_in", outcome.bytes_in);
+        }
+        self.trace_region_attr("bytes_out", outcome.bytes_out);
+    }
+
+    /// Emits one `node` span per executor metric under the current
+    /// region. Node timings arrive after the fact (the executor measures
+    /// them), so these are recorded rather than opened/closed; starts are
+    /// rebased onto the trace clock via `exec_start_us`.
+    fn emit_node_spans(&self, dfg: &Dfg, outcome: &ExecOutcome, exec_start_us: u64) {
+        let Some(t) = &self.tracer else { return };
+        let parent = self.current_region;
+        for m in &outcome.metrics {
+            let node = dfg.node(m.node);
+            let mut attrs: Vec<(String, AttrValue)> = vec![
+                ("bytes_in".to_string(), m.bytes_in.into()),
+                ("bytes_out".to_string(), m.bytes_out.into()),
+            ];
+            match &node.kind {
+                NodeKind::Command { name, .. } => {
+                    attrs.push(("cmd".to_string(), name.as_str().into()));
+                }
+                NodeKind::Split { width } => {
+                    attrs.push(("fan_out".to_string(), (*width as u64).into()));
+                }
+                NodeKind::Merge { .. } => {
+                    attrs.push(("fan_in".to_string(), (node.inputs.len() as u64).into()));
+                }
+                _ => {}
+            }
+            if let Some(status) = m.status {
+                attrs.push(("status".to_string(), i64::from(status).into()));
+            }
+            if let Some(f) = &m.failure {
+                attrs.push(("failure".to_string(), f.as_str().into()));
+            }
+            t.record_span_at(
+                "node",
+                &m.label,
+                parent,
+                exec_start_us.saturating_add(m.start_offset.as_micros() as u64),
+                m.wall.as_micros() as u64,
+                attrs,
+            );
+        }
+    }
+
+    /// Mirrors supervision-log entries appended since `from` onto the
+    /// trace timeline, so retry/degradation/breaker decisions land next
+    /// to the spans they explain.
+    fn mirror_supervision(&self, from: usize) {
+        let Some(t) = &self.tracer else { return };
+        for e in &self.runtime.supervision.events[from..] {
+            let (name, attrs) = supervision_attrs(e);
+            t.event(name, attrs);
+        }
     }
 
     /// Builds the per-rung executor configuration.
@@ -720,6 +928,8 @@ impl Jash {
 
     /// Books a fail-over in the runtime ledger and trace.
     fn book_failover(&mut self, pipeline_text: String, width: usize, outcome: &ExecOutcome) {
+        self.trace_region_attr("action", "failed_over");
+        self.trace_region_attr("width", width as u64);
         self.runtime.regions_failed_over += 1;
         self.runtime.failures.push(RegionFailure {
             pipeline: pipeline_text.clone(),
@@ -752,6 +962,100 @@ impl Jash {
         }
         state.last_status = outcome.status;
         Ok(outcome.status)
+    }
+}
+
+/// Renders one supervision event as a named trace event with typed
+/// attributes (the structured twin of [`SupervisionEvent`]'s `Display`).
+fn supervision_attrs(e: &SupervisionEvent) -> (&'static str, Vec<(String, AttrValue)>) {
+    fn a(k: &str, v: impl Into<AttrValue>) -> (String, AttrValue) {
+        (k.to_string(), v.into())
+    }
+    match e {
+        SupervisionEvent::Attempt {
+            region,
+            attempt,
+            width,
+        } => (
+            "supervision.attempt",
+            vec![
+                a("region", *region),
+                a("attempt", u64::from(*attempt)),
+                a("width", *width),
+            ],
+        ),
+        SupervisionEvent::Backoff {
+            region,
+            attempt,
+            delay,
+            class,
+        } => (
+            "supervision.backoff",
+            vec![
+                a("region", *region),
+                a("attempt", u64::from(*attempt)),
+                a("delay_us", delay.as_micros() as u64),
+                a("class", class.to_string()),
+            ],
+        ),
+        SupervisionEvent::Recovered {
+            region,
+            attempts,
+            width,
+        } => (
+            "supervision.recovered",
+            vec![
+                a("region", *region),
+                a("attempts", u64::from(*attempts)),
+                a("width", *width),
+            ],
+        ),
+        SupervisionEvent::WidthDegraded {
+            region,
+            from,
+            to,
+            class,
+        } => (
+            "supervision.width_degraded",
+            vec![
+                a("region", *region),
+                a("from", *from),
+                a("to", *to),
+                a("class", class.to_string()),
+            ],
+        ),
+        SupervisionEvent::FailedOver { region, class } => (
+            "supervision.failed_over",
+            vec![a("region", *region), a("class", class.to_string())],
+        ),
+        SupervisionEvent::BreakerOpened {
+            fingerprint,
+            failures,
+        } => (
+            "supervision.breaker_opened",
+            vec![
+                a("fingerprint", format!("{fingerprint:016x}")),
+                a("failures", u64::from(*failures)),
+            ],
+        ),
+        SupervisionEvent::BreakerRouted {
+            region,
+            fingerprint,
+        } => (
+            "supervision.breaker_routed",
+            vec![
+                a("region", *region),
+                a("fingerprint", format!("{fingerprint:016x}")),
+            ],
+        ),
+        SupervisionEvent::BreakerHalfOpen { fingerprint } => (
+            "supervision.breaker_half_open",
+            vec![a("fingerprint", format!("{fingerprint:016x}"))],
+        ),
+        SupervisionEvent::BreakerClosed { fingerprint } => (
+            "supervision.breaker_closed",
+            vec![a("fingerprint", format!("{fingerprint:016x}"))],
+        ),
     }
 }
 

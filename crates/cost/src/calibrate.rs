@@ -1,0 +1,213 @@
+//! Profile-fed calibration: closing the loop from trace to planner.
+//!
+//! The static cost model guesses per-command throughput from a fixed
+//! table ([`crate::default_cpu_rate`]). A recorded trace knows better: every
+//! `node` span carries the bytes a command actually moved and the wall
+//! time it took. [`Calibration::from_records`] distills those spans into
+//! per-command rates, and [`crate::choose_plan_with`] substitutes them for the
+//! table — so a second run plans with the throughput the first run
+//! *measured*, not the throughput the table assumed.
+//!
+//! Time scaling: the simulated machine stretches modeled seconds by
+//! `DiskProfile::time_scale` before sleeping, so a host-observed rate is
+//! the unscaled rate *divided* by the scale. [`Calibration::with_time_scale`]
+//! multiplies the observed rates back up so they are comparable with the
+//! planner's unscaled table.
+
+use jash_trace::Record;
+use std::collections::BTreeMap;
+
+/// Per-command CPU throughput learned from a prior run's trace,
+/// bytes/second on one core in the planner's unscaled time base.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Calibration {
+    rates: BTreeMap<String, f64>,
+}
+
+impl Calibration {
+    /// An empty calibration (the planner falls back to its table for
+    /// every command).
+    pub fn new() -> Self {
+        Calibration::default()
+    }
+
+    /// Sets (or replaces) the learned rate for `command`.
+    pub fn set_rate(&mut self, command: &str, bytes_per_sec: f64) {
+        if bytes_per_sec.is_finite() && bytes_per_sec > 0.0 {
+            self.rates.insert(command.to_string(), bytes_per_sec);
+        }
+    }
+
+    /// The learned rate for `command`, when one was observed.
+    pub fn rate(&self, command: &str) -> Option<f64> {
+        self.rates.get(command).copied()
+    }
+
+    /// Number of commands with learned rates.
+    pub fn len(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Whether nothing was learned.
+    pub fn is_empty(&self) -> bool {
+        self.rates.is_empty()
+    }
+
+    /// Commands with learned rates, sorted.
+    pub fn commands(&self) -> impl Iterator<Item = &str> {
+        self.rates.keys().map(String::as_str)
+    }
+
+    /// Distills per-command throughput from trace records.
+    ///
+    /// Every `node` span with a `cmd` attribute contributes its moved
+    /// bytes (the larger of `bytes_in`/`bytes_out`, since pure sources
+    /// read files directly and report no edge input) and its wall time.
+    /// Rates are throughput-weighted per command: total bytes over total
+    /// seconds, so long nodes dominate short noisy ones.
+    pub fn from_records(records: &[Record]) -> Self {
+        let mut bytes: BTreeMap<String, f64> = BTreeMap::new();
+        let mut secs: BTreeMap<String, f64> = BTreeMap::new();
+        for r in records {
+            let Record::Span { kind, wall_us, .. } = r else {
+                continue;
+            };
+            if kind != "node" {
+                continue;
+            }
+            let Some(cmd) = r.attr_str("cmd") else {
+                continue;
+            };
+            let moved = r
+                .attr_u64("bytes_in")
+                .unwrap_or(0)
+                .max(r.attr_u64("bytes_out").unwrap_or(0));
+            if moved == 0 || *wall_us == 0 {
+                continue;
+            }
+            *bytes.entry(cmd.to_string()).or_default() += moved as f64;
+            *secs.entry(cmd.to_string()).or_default() += *wall_us as f64 / 1e6;
+        }
+        let mut cal = Calibration::new();
+        for (cmd, b) in bytes {
+            let s = secs.get(&cmd).copied().unwrap_or(0.0);
+            if s > 0.0 {
+                cal.set_rate(&cmd, b / s);
+            }
+        }
+        cal
+    }
+
+    /// Rebases host-observed rates into the planner's unscaled time base:
+    /// a machine that stretches modeled time by `scale` makes commands
+    /// *look* `scale`× slower than the model says, so the observed rates
+    /// are multiplied by `scale` to compare with the unscaled table.
+    #[must_use]
+    pub fn with_time_scale(mut self, scale: f64) -> Self {
+        if scale.is_finite() && scale > 0.0 {
+            for rate in self.rates.values_mut() {
+                *rate *= scale;
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{choose_plan, choose_plan_with, InputInfo, MachineProfile, PlannerOptions};
+    use jash_dataflow::{compile, ExpandedCommand, Region};
+    use jash_spec::Registry;
+    use jash_trace::AttrValue;
+
+    fn node_span(cmd: &str, bytes_in: u64, wall_us: u64) -> Record {
+        Record::Span {
+            kind: "node".into(),
+            id: 0,
+            parent: Some(1),
+            name: cmd.into(),
+            start_us: 0,
+            wall_us,
+            attrs: vec![
+                ("cmd".into(), AttrValue::Str(cmd.into())),
+                ("bytes_in".into(), AttrValue::UInt(bytes_in)),
+                ("bytes_out".into(), AttrValue::UInt(bytes_in)),
+            ],
+        }
+    }
+
+    #[test]
+    fn learns_weighted_rates_from_node_spans() {
+        // Two sort nodes: 1 MB in 1 s and 3 MB in 1 s → 2 MB/s combined.
+        let records = vec![
+            node_span("sort", 1 << 20, 1_000_000),
+            node_span("sort", 3 << 20, 1_000_000),
+            node_span("cat", 8 << 20, 500_000),
+        ];
+        let cal = Calibration::from_records(&records);
+        assert_eq!(cal.len(), 2);
+        let sort = cal.rate("sort").unwrap();
+        assert!((sort - 2.0 * (1 << 20) as f64).abs() < 1.0, "{sort}");
+        let cat = cal.rate("cat").unwrap();
+        assert!((cat - 16.0 * (1 << 20) as f64).abs() < 1.0, "{cat}");
+        assert!(cal.rate("grep").is_none());
+    }
+
+    #[test]
+    fn ignores_degenerate_observations() {
+        let records = vec![
+            node_span("tr", 0, 1_000_000),
+            node_span("uniq", 1 << 20, 0),
+            Record::Counter {
+                name: "memo.hits".into(),
+                value: 3,
+            },
+        ];
+        assert!(Calibration::from_records(&records).is_empty());
+    }
+
+    #[test]
+    fn time_scale_rebases_observed_rates() {
+        let mut cal = Calibration::new();
+        cal.set_rate("sort", 100.0);
+        let cal = cal.with_time_scale(5.0);
+        assert_eq!(cal.rate("sort"), Some(500.0));
+    }
+
+    #[test]
+    fn calibration_changes_a_width_decision() {
+        // The acceptance loop: on a fast disk with a big input the static
+        // table projects a CPU bottleneck worth parallelizing…
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["-cs", "A-Za-z", "\\n"]),
+            ExpandedCommand::new("sort", &[]),
+        ];
+        let dfg = compile(&Region { commands: cmds }, &Registry::builtin())
+            .unwrap()
+            .dfg;
+        let m = MachineProfile::io_opt_ec2();
+        let input = InputInfo {
+            total_bytes: 3 << 30,
+        };
+        let opts = PlannerOptions::default();
+        let base = choose_plan(&dfg, &m, input, &opts);
+        assert!(base.transform(), "static table should parallelize");
+
+        // …but a trace that measured every stage running far faster than
+        // the table (CPU never the bottleneck) leaves nothing for width
+        // to win: the serial disk dominates, and the calibrated planner
+        // declines the rewrite the static table would have applied.
+        let mut cal = Calibration::new();
+        for c in ["cat", "tr", "sort"] {
+            cal.set_rate(c, 1e12);
+        }
+        let tuned = choose_plan_with(&dfg, &m, input, &opts, Some(&cal));
+        assert!(
+            !tuned.transform(),
+            "calibrated rates must flip the decision: {tuned:?}"
+        );
+        assert_ne!(base.shape.width, tuned.shape.width);
+    }
+}

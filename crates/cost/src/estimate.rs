@@ -13,6 +13,7 @@
 //!    (the PaSh baseline) moves every input byte through the disk two
 //!    extra times.
 
+use crate::calibrate::Calibration;
 use crate::machine::{default_cpu_rate, MachineProfile};
 use jash_dataflow::{Dfg, NodeKind};
 use jash_io::disk::IO_REQUEST_BYTES;
@@ -73,6 +74,20 @@ pub fn estimate(
     input: InputInfo,
     shape: PlanShape,
 ) -> Duration {
+    estimate_with(dfg, machine, input, shape, None)
+}
+
+/// [`estimate`] with optional profile-fed rates: commands with a
+/// calibrated throughput (learned from a prior run's trace) use it in
+/// place of the static table, so the model tracks what this workload
+/// actually measured rather than what the table assumes.
+pub fn estimate_with(
+    dfg: &Dfg,
+    machine: &MachineProfile,
+    input: InputInfo,
+    shape: PlanShape,
+    calibration: Option<&Calibration>,
+) -> Duration {
     let bytes = input.total_bytes.max(1);
     let mut burst = machine.disk.burst_credit_ios;
 
@@ -108,7 +123,9 @@ pub fn estimate(
         }
         node_count += 1;
         if let NodeKind::Command { name, spec, .. } = &dfg.node(n).kind {
-            let rate = default_cpu_rate(name);
+            let rate = calibration
+                .and_then(|c| c.rate(name))
+                .unwrap_or_else(|| default_cpu_rate(name));
             let mut stage_s = bytes as f64 / rate;
             if spec.class.is_splittable() && effective_width > 1 {
                 stage_s /= effective_width as f64;

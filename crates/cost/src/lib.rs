@@ -32,10 +32,12 @@
 //! assert!(decision.transform());
 //! ```
 
+pub mod calibrate;
 pub mod estimate;
 pub mod machine;
 pub mod optimize;
 
-pub use estimate::{disk_seconds, estimate, InputInfo, PlanShape};
+pub use calibrate::Calibration;
+pub use estimate::{disk_seconds, estimate, estimate_with, InputInfo, PlanShape};
 pub use machine::{default_cpu_rate, MachineProfile};
-pub use optimize::{choose_plan, pash_aot_plan, Decision, PlannerOptions};
+pub use optimize::{choose_plan, choose_plan_with, pash_aot_plan, Decision, PlannerOptions};

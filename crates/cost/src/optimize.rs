@@ -7,7 +7,8 @@
 //! picks the best — refusing to transform at all unless the projected
 //! speedup clears the no-regression margin ("no regressions!").
 
-use crate::estimate::{estimate, InputInfo, PlanShape};
+use crate::calibrate::Calibration;
+use crate::estimate::{estimate_with, InputInfo, PlanShape};
 use crate::machine::MachineProfile;
 use jash_dataflow::Dfg;
 use std::time::Duration;
@@ -71,11 +72,24 @@ pub fn choose_plan(
     input: InputInfo,
     opts: &PlannerOptions,
 ) -> Decision {
+    choose_plan_with(dfg, machine, input, opts, None)
+}
+
+/// [`choose_plan`] with optional profile-fed calibration: per-command
+/// rates learned from a prior run's trace replace the static table, so
+/// the planner's width decision reflects measured throughput.
+pub fn choose_plan_with(
+    dfg: &Dfg,
+    machine: &MachineProfile,
+    input: InputInfo,
+    opts: &PlannerOptions,
+    calibration: Option<&Calibration>,
+) -> Decision {
     let seq_shape = PlanShape {
         width: 1,
         buffered: false,
     };
-    let est_sequential = estimate(dfg, machine, input, seq_shape);
+    let est_sequential = estimate_with(dfg, machine, input, seq_shape, calibration);
 
     if let Some(w) = opts.force_width {
         let shape = PlanShape {
@@ -85,7 +99,7 @@ pub fn choose_plan(
         return Decision {
             shape,
             est_sequential,
-            est_chosen: estimate(dfg, machine, input, shape),
+            est_chosen: estimate_with(dfg, machine, input, shape, calibration),
             evaluated: 1,
         };
     }
@@ -113,7 +127,7 @@ pub fn choose_plan(
                 return finish(best, opts);
             }
             let shape = PlanShape { width, buffered };
-            let est = estimate(dfg, machine, input, shape);
+            let est = estimate_with(dfg, machine, input, shape, calibration);
             best.evaluated += 1;
             if est < best.est_chosen {
                 best.shape = shape;

@@ -115,8 +115,15 @@ pub struct NodeMetric {
     pub node: NodeId,
     /// Display label.
     pub label: String,
+    /// Offset of the node thread's start from the region's start.
+    pub start_offset: Duration,
     /// Wall time spent in the node's thread.
     pub wall: Duration,
+    /// Bytes the node pulled from its input edges.
+    pub bytes_in: u64,
+    /// Bytes the node pushed to its output edges (for the terminal node
+    /// this includes the captured stdout).
+    pub bytes_out: u64,
     /// Exit status (commands only).
     pub status: Option<i32>,
     /// Why the node failed, when it did: the IO error, the cancellation
@@ -143,6 +150,11 @@ pub struct ExecOutcome {
     pub metrics: Vec<NodeMetric>,
     /// End-to-end wall time.
     pub wall: Duration,
+    /// Bytes that entered the region from files (`ReadFile` sources).
+    pub bytes_in: u64,
+    /// Bytes the region produced: captured stdout plus bytes reaching
+    /// `WriteFile` sinks.
+    pub bytes_out: u64,
     /// Region-level failures: every node failure plus any commit
     /// failure. Empty means the region ran (and committed) cleanly —
     /// nonzero command statuses such as `grep` finding nothing are not
@@ -337,6 +349,10 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
         ins: Vec<Box<dyn ByteStream>>,
         outs: Vec<Box<dyn Sink>>,
         staging: Option<String>,
+        // Shared with the counting adapters wrapped around the node's
+        // edges, so byte totals survive the node thread.
+        bytes_in: Arc<AtomicU64>,
+        bytes_out: Arc<AtomicU64>,
     }
     let mut wired: Vec<Wired> = Vec::new();
     // (final path, staging path) for every transactional sink.
@@ -346,26 +362,35 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
             continue;
         }
         let kind = dfg.node(n).kind.clone();
+        let bytes_in = Arc::new(AtomicU64::new(0));
+        let bytes_out = Arc::new(AtomicU64::new(0));
         let mut ins: Vec<Box<dyn ByteStream>> = Vec::new();
         for e in &dfg.node(n).inputs {
-            ins.push(
-                readers
-                    .get_mut(e.0)
-                    .and_then(Option::take)
-                    .ok_or_else(|| wiring_error(e.0, "read"))?,
-            );
+            let r = readers
+                .get_mut(e.0)
+                .and_then(Option::take)
+                .ok_or_else(|| wiring_error(e.0, "read"))?;
+            ins.push(Box::new(jash_io::CountingStream::new(
+                r,
+                Arc::clone(&bytes_in),
+            )));
         }
         let mut outs: Vec<Box<dyn Sink>> = Vec::new();
         for e in &dfg.node(n).outputs {
-            outs.push(
-                writers
-                    .get_mut(e.0)
-                    .and_then(Option::take)
-                    .ok_or_else(|| wiring_error(e.0, "write"))?,
-            );
+            let w = writers
+                .get_mut(e.0)
+                .and_then(Option::take)
+                .ok_or_else(|| wiring_error(e.0, "write"))?;
+            outs.push(Box::new(jash_io::CountingSink::new(
+                w,
+                Arc::clone(&bytes_out),
+            )));
         }
         if terminal == Some(n) {
-            outs.push(Box::new(SharedSink(Arc::clone(&capture))));
+            outs.push(Box::new(jash_io::CountingSink::new(
+                SharedSink(Arc::clone(&capture)),
+                Arc::clone(&bytes_out),
+            )));
         }
         let staging = if let NodeKind::WriteFile { path, .. } = &kind {
             let final_path = jash_io::fs::normalize(&cfg.cwd, path);
@@ -381,6 +406,8 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
             ins,
             outs,
             staging,
+            bytes_in,
+            bytes_out,
         });
     }
     // Drop unconsumed endpoints (edges touching dead nodes) so their
@@ -420,6 +447,8 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                         ins,
                         outs,
                         staging,
+                        bytes_in,
+                        bytes_out,
                     } = w;
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         run_node(
@@ -463,7 +492,10 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                     metrics.lock().push(NodeMetric {
                         node,
                         label,
+                        start_offset: start.duration_since(t0),
                         wall: start.elapsed(),
+                        bytes_in: bytes_in.load(Ordering::Relaxed),
+                        bytes_out: bytes_out.load(Ordering::Relaxed),
                         status,
                         failure,
                         class,
@@ -567,14 +599,28 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
     for f in failures.iter().filter(|f| f.starts_with("commit ")) {
         stderr.extend_from_slice(format!("jash-exec: {f}\n").as_bytes());
     }
+    let stdout = Arc::try_unwrap(capture)
+        .map(|m| m.into_inner())
+        .unwrap_or_default();
+    // Region-level byte accounting: what entered through file sources,
+    // and what left through the capture buffer or file sinks.
+    let mut bytes_in = 0u64;
+    let mut bytes_out = stdout.len() as u64;
+    for m in &metrics {
+        match dfg.node(m.node).kind {
+            NodeKind::ReadFile { .. } => bytes_in = bytes_in.saturating_add(m.bytes_out),
+            NodeKind::WriteFile { .. } => bytes_out = bytes_out.saturating_add(m.bytes_in),
+            _ => {}
+        }
+    }
     Ok(ExecOutcome {
-        stdout: Arc::try_unwrap(capture)
-            .map(|m| m.into_inner())
-            .unwrap_or_default(),
+        stdout,
         stderr,
         status,
         metrics,
         wall: t0.elapsed(),
+        bytes_in,
+        bytes_out,
         failures,
         fault_class,
     })

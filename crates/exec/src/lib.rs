@@ -551,4 +551,81 @@ mod tests {
         assert_eq!(out.metrics.len(), live);
         assert!(out.wall.as_nanos() > 0);
     }
+
+    #[test]
+    fn byte_accounting_covers_sources_and_sinks() {
+        let input = "delta\nalpha\nbravo\n";
+        let fs = fs_with(&[("/in", input)]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("sort", &[]),
+        ];
+        let (out, compiled) = run_region(Arc::clone(&fs), cmds, 1);
+        assert_eq!(out.bytes_in, input.len() as u64, "read every input byte");
+        assert_eq!(
+            out.bytes_out,
+            out.stdout.len() as u64,
+            "stdout-terminated region's output is the capture"
+        );
+        // Every live node that touched data reports nonzero flow.
+        for m in &out.metrics {
+            match compiled.dfg.node(m.node).kind {
+                NodeKind::ReadFile { .. } => assert_eq!(m.bytes_out, input.len() as u64),
+                NodeKind::Command { .. } => {
+                    assert_eq!(m.bytes_in, input.len() as u64, "{}", m.label);
+                    assert_eq!(m.bytes_out, input.len() as u64, "{}", m.label);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn byte_accounting_through_file_sink_and_split() {
+        let content: String = (0..2000).map(|i| format!("row {i}\n")).collect();
+        let fs = fs_with(&[("/in", &content)]);
+        let region = Region {
+            commands: vec![
+                ExpandedCommand::new("cat", &["/in"]),
+                ExpandedCommand::new("tr", &["a-z", "A-Z"]),
+            ],
+        };
+        let mut compiled = compile(&region, &Registry::builtin()).unwrap();
+        // Redirect to a file sink.
+        let tail = compiled
+            .dfg
+            .node_ids()
+            .find(|n| {
+                compiled.dfg.node(*n).outputs.is_empty()
+                    && matches!(compiled.dfg.node(*n).kind, NodeKind::Command { .. })
+            })
+            .unwrap();
+        let w = compiled.dfg.add_node(NodeKind::WriteFile {
+            path: "/out".into(),
+            append: false,
+        });
+        compiled.dfg.connect(tail, w);
+        parallelize_all(&mut compiled.dfg, 2);
+        let mut cfg = ExecConfig::new(Arc::clone(&fs));
+        let mut plans = HashMap::new();
+        for n in compiled.dfg.node_ids() {
+            if let NodeKind::Split { width } = compiled.dfg.node(n).kind {
+                plans.insert(n, balanced_targets(content.len() as u64, width));
+            }
+        }
+        cfg.split_targets = plans;
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        assert!(out.is_clean(), "failures: {:?}", out.failures);
+        let written = jash_io::fs::read_to_vec(fs.as_ref(), "/out").unwrap();
+        assert_eq!(out.bytes_in, content.len() as u64);
+        assert_eq!(out.bytes_out, written.len() as u64, "file sink accounted");
+        // The split distributed all bytes across its branches.
+        let split_out: u64 = out
+            .metrics
+            .iter()
+            .filter(|m| matches!(compiled.dfg.node(m.node).kind, NodeKind::Split { .. }))
+            .map(|m| m.bytes_out)
+            .sum();
+        assert_eq!(split_out, content.len() as u64);
+    }
 }

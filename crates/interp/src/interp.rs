@@ -706,7 +706,15 @@ fn run_threaded_stages(state: &mut ShellState, mut stages: Vec<ThreadedStage>) -
                             &ctx,
                         )
                     };
-                    stdout.finish()?;
+                    // A flush hitting a closed pipe is the same benign
+                    // shutdown as a write hitting one: the downstream
+                    // stage (e.g. `head`) finished early. Real shells
+                    // exit 0 here, so must we.
+                    match stdout.finish() {
+                        Ok(()) => {}
+                        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+                        Err(e) => return Err(InterpError::Io(e)),
+                    }
                     match status {
                         Ok(s) => Ok(s),
                         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => Ok(0),
@@ -751,7 +759,11 @@ pub(crate) fn run_utility_stage(
         };
         jash_coreutils::run_utility(name, args, &mut util_io, &ctx)
     };
-    stdout.finish()?;
+    match stdout.finish() {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => {}
+        Err(e) => return Err(InterpError::Io(e)),
+    }
     let status = match status {
         Ok(s) => s,
         Err(e) if e.kind() == std::io::ErrorKind::BrokenPipe => 0,

@@ -608,13 +608,11 @@ mod tests {
 
     #[test]
     fn realfs_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("jash-io-test-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let fs = RealFs::new(&dir);
+        let dir = crate::tempdir::TempDir::new("jash-io-test");
+        let fs = RealFs::new(dir.path());
         write_file(&fs, "/sub/file.txt", b"real").unwrap();
         assert_eq!(read_to_vec(&fs, "/sub/file.txt").unwrap(), b"real");
         assert!(fs.list_dir("/sub").unwrap().contains(&"file.txt".to_string()));
         fs.remove("/sub/file.txt").unwrap();
-        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -202,6 +202,7 @@ pub struct Journal {
     fs: FsHandle,
     path: String,
     durable: bool,
+    fsyncs: std::sync::atomic::AtomicU64,
 }
 
 impl Journal {
@@ -211,12 +212,19 @@ impl Journal {
             fs,
             path: path.into(),
             durable,
+            fsyncs: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
     /// The journal's file path.
     pub fn path(&self) -> &str {
         &self.path
+    }
+
+    /// How many fsync barriers (file + directory) this journal has
+    /// issued — the durability cost observability reports per run.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Appends one record, durably when the journal is durable.
@@ -229,6 +237,8 @@ impl Journal {
         if self.durable {
             self.fs.sync(&self.path)?;
             self.fs.sync_dir(parent_dir(&self.path))?;
+            self.fsyncs
+                .fetch_add(2, std::sync::atomic::Ordering::Relaxed);
         }
         Ok(())
     }
@@ -396,15 +406,15 @@ mod tests {
     fn durable_appends_sync_file_and_directory() {
         let mem = std::sync::Arc::new(crate::MemFs::new());
         let fs: FsHandle = std::sync::Arc::clone(&mem) as FsHandle;
-        Journal::open(std::sync::Arc::clone(&fs), "/.jash/journal", true)
-            .append(&JournalRecord::RunComplete)
-            .unwrap();
+        let durable = Journal::open(std::sync::Arc::clone(&fs), "/.jash/journal", true);
+        durable.append(&JournalRecord::RunComplete).unwrap();
         assert!(mem.sync_count() >= 2, "file + parent dir fsync");
+        assert_eq!(durable.fsyncs(), 2, "journal counts its own barriers");
         let before = mem.sync_count();
-        Journal::open(fs, "/.jash/journal", false)
-            .append(&JournalRecord::RunComplete)
-            .unwrap();
+        let scratch = Journal::open(fs, "/.jash/journal", false);
+        scratch.append(&JournalRecord::RunComplete).unwrap();
         assert_eq!(mem.sync_count(), before, "non-durable journal never syncs");
+        assert_eq!(scratch.fsyncs(), 0);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod lines;
 pub mod memo;
 pub mod pipe;
 pub mod stream;
+pub mod tempdir;
 
 pub use cancel::CancelToken;
 pub use cpu::{cpu_rate, CpuMeteredStream, CpuModel};
@@ -30,7 +31,11 @@ pub use journal::{Journal, JournalRecord, Replay};
 pub use memo::{fnv1a, Memo};
 pub use lines::{split_lines, LineBuffer};
 pub use pipe::{pipe, pipe_with, PipeHooks, PipeReader, PipeWriter, DEFAULT_PIPE_DEPTH};
-pub use stream::{ByteStream, CoalescingSink, MemStream, Sink, VecSink, DEFAULT_CHUNK};
+pub use stream::{
+    ByteStream, CoalescingSink, CountingSink, CountingStream, MemStream, Sink, VecSink,
+    DEFAULT_CHUNK,
+};
+pub use tempdir::TempDir;
 
 use std::sync::Arc;
 

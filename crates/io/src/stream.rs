@@ -192,6 +192,59 @@ impl<S: Sink> Sink for CoalescingSink<S> {
     }
 }
 
+/// A stream wrapper that counts the bytes pulled through it.
+///
+/// The counter is a shared atomic so the executor can read per-node
+/// byte totals after the node's thread has finished (the stream itself
+/// is consumed inside the thread).
+pub struct CountingStream<S> {
+    inner: S,
+    count: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<S: ByteStream> CountingStream<S> {
+    /// Wraps `inner`, adding every pulled chunk's length to `count`.
+    pub fn new(inner: S, count: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Self {
+        CountingStream { inner, count }
+    }
+}
+
+impl<S: ByteStream> ByteStream for CountingStream<S> {
+    fn next_chunk(&mut self) -> io::Result<Option<Bytes>> {
+        let chunk = self.inner.next_chunk()?;
+        if let Some(c) = &chunk {
+            self.count
+                .fetch_add(c.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(chunk)
+    }
+}
+
+/// A sink wrapper that counts the bytes pushed through it.
+pub struct CountingSink<S> {
+    inner: S,
+    count: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl<S: Sink> CountingSink<S> {
+    /// Wraps `inner`, adding every written chunk's length to `count`.
+    pub fn new(inner: S, count: std::sync::Arc<std::sync::atomic::AtomicU64>) -> Self {
+        CountingSink { inner, count }
+    }
+}
+
+impl<S: Sink> Sink for CountingSink<S> {
+    fn write_chunk(&mut self, chunk: Bytes) -> io::Result<()> {
+        self.count
+            .fetch_add(chunk.len() as u64, std::sync::atomic::Ordering::Relaxed);
+        self.inner.write_chunk(chunk)
+    }
+
+    fn finish(&mut self) -> io::Result<()> {
+        self.inner.finish()
+    }
+}
+
 /// Chains multiple streams end to end (the streaming `cat`).
 pub struct ChainStream {
     streams: std::collections::VecDeque<BoxStream>,
@@ -245,6 +298,22 @@ mod tests {
         assert_eq!(n, 4);
         assert_eq!(dst.data, b"abcd");
         assert!(dst.is_finished());
+    }
+
+    #[test]
+    fn counting_adapters_count() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let read = Arc::new(AtomicU64::new(0));
+        let wrote = Arc::new(AtomicU64::new(0));
+        let mut src = CountingStream::new(
+            MemStream::from_chunks(vec![Bytes::from("abc"), Bytes::from("de")]),
+            Arc::clone(&read),
+        );
+        let mut dst = CountingSink::new(VecSink::new(), Arc::clone(&wrote));
+        copy(&mut src, &mut dst).unwrap();
+        assert_eq!(read.load(Ordering::Relaxed), 5);
+        assert_eq!(wrote.load(Ordering::Relaxed), 5);
     }
 
     #[test]

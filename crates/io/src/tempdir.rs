@@ -1,0 +1,143 @@
+//! Shared scratch-directory guard for tests and harnesses that touch the
+//! real filesystem.
+//!
+//! Integration tests and the bench crash sweep need genuine on-disk
+//! roots (a `RealFs`, a real child process, real SIGKILL). Hand-rolled
+//! `std::env::temp_dir().join(...)` scratch dirs leak whenever the test
+//! panics before its trailing `remove_dir_all` — and a panicking test is
+//! exactly when a later run must not find stale journals or
+//! `.jash-stage-*` debris from the last one. [`TempDir`] is the RAII
+//! answer: creation is collision-free across processes and threads, and
+//! the directory is removed on drop, which Rust runs during unwinding
+//! too.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(0);
+
+/// An owned scratch directory under the system temp dir, removed
+/// (recursively) when the guard drops — including on panic.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+    keep: bool,
+}
+
+impl TempDir {
+    /// Creates a fresh, empty directory named after `prefix`, the
+    /// process id, and a process-wide counter, so concurrent tests and
+    /// concurrent *processes* never collide.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created — scratch space is a
+    /// test precondition, not a recoverable condition.
+    #[must_use]
+    pub fn new(prefix: &str) -> Self {
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "{prefix}-{}-{n}",
+            std::process::id()
+        ));
+        // A clash can only be leftovers from a dead run with our pid
+        // recycled; reclaim it.
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path)
+            .unwrap_or_else(|e| panic!("create scratch dir {}: {e}", path.display()));
+        Self { path, keep: false }
+    }
+
+    /// The directory's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Disarms cleanup, leaving the directory on disk (e.g. to inspect a
+    /// failure by hand). Returns the path.
+    pub fn keep(mut self) -> PathBuf {
+        self.keep = true;
+        self.path.clone()
+    }
+
+    /// Recursively lists files under the guard whose *file name* matches
+    /// `pred` — the audit primitive for "no `.jash-stage-*` or journal
+    /// debris left behind".
+    #[must_use]
+    pub fn find_files(&self, pred: impl Fn(&str) -> bool) -> Vec<PathBuf> {
+        let mut found = Vec::new();
+        let mut stack = vec![self.path.clone()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = std::fs::read_dir(&dir) else {
+                continue;
+            };
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.file_name().and_then(|n| n.to_str()).is_some_and(&pred) {
+                    found.push(p);
+                }
+            }
+        }
+        found.sort();
+        found
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        if !self.keep {
+            let _ = std::fs::remove_dir_all(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creates_unique_dirs_and_removes_on_drop() {
+        let a = TempDir::new("jash-guard");
+        let b = TempDir::new("jash-guard");
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        let (pa, pb) = (a.path().to_path_buf(), b.path().to_path_buf());
+        std::fs::write(pa.join("f"), b"x").unwrap();
+        drop(a);
+        drop(b);
+        assert!(!pa.exists(), "guard must remove its dir");
+        assert!(!pb.exists());
+    }
+
+    #[test]
+    fn cleans_up_even_when_the_owner_panics() {
+        let leaked = std::sync::Mutex::new(PathBuf::new());
+        let r = std::panic::catch_unwind(|| {
+            let t = TempDir::new("jash-guard-panic");
+            std::fs::write(t.path().join("debris.jash-stage-1"), b"x").unwrap();
+            *leaked.lock().unwrap() = t.path().to_path_buf();
+            panic!("boom");
+        });
+        assert!(r.is_err());
+        let path = leaked.lock().unwrap().clone();
+        assert!(
+            !path.exists(),
+            "unwinding must still sweep the scratch dir"
+        );
+    }
+
+    #[test]
+    fn keep_disarms_cleanup_and_find_files_audits_debris() {
+        let t = TempDir::new("jash-guard-keep");
+        std::fs::create_dir_all(t.path().join("deep")).unwrap();
+        std::fs::write(t.path().join("deep/out.jash-stage-3"), b"x").unwrap();
+        std::fs::write(t.path().join("clean.txt"), b"x").unwrap();
+        let debris = t.find_files(|n| n.contains(".jash-stage-"));
+        assert_eq!(debris.len(), 1);
+        let path = t.keep();
+        assert!(path.exists(), "keep() must leave the dir behind");
+        std::fs::remove_dir_all(&path).unwrap();
+    }
+}

@@ -1,0 +1,188 @@
+//! A minimal JSON value model and writer.
+//!
+//! The workspace ships no serde; trace records need exactly five scalar
+//! shapes plus objects/arrays, written deterministically (insertion
+//! order, shortest-roundtrip floats) so golden-file tests are stable.
+
+use std::fmt::Write as _;
+
+/// A typed attribute value attached to spans and events.
+///
+/// Numeric equality coerces across `UInt`/`Int`/`Float` where the values
+/// are exactly representable, because the parser maps any non-negative
+/// integer literal to `UInt` regardless of how the writer produced it.
+#[derive(Debug, Clone)]
+pub enum AttrValue {
+    /// A string.
+    Str(String),
+    /// An unsigned integer (byte counts, widths, ids).
+    UInt(u64),
+    /// A signed integer (statuses, gauge values).
+    Int(i64),
+    /// A float (speedups, rates).
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &Self) -> bool {
+        use AttrValue::*;
+        match (self, other) {
+            (Str(a), Str(b)) => a == b,
+            (Bool(a), Bool(b)) => a == b,
+            (UInt(a), UInt(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Float(a), Float(b)) => a == b,
+            (UInt(a), Int(b)) | (Int(b), UInt(a)) => {
+                i64::try_from(*a).map(|a| a == *b).unwrap_or(false)
+            }
+            (UInt(a), Float(b)) | (Float(b), UInt(a)) => *a as f64 == *b,
+            (Int(a), Float(b)) | (Float(b), Int(a)) => *a as f64 == *b,
+            _ => false,
+        }
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(s: &str) -> Self {
+        AttrValue::Str(s.to_string())
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(n: u64) -> Self {
+        AttrValue::UInt(n)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(n: usize) -> Self {
+        AttrValue::UInt(n as u64)
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(n: i64) -> Self {
+        AttrValue::Int(n)
+    }
+}
+
+impl From<i32> for AttrValue {
+    fn from(n: i32) -> Self {
+        AttrValue::Int(n as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(n: f64) -> Self {
+        AttrValue::Float(n)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(b: bool) -> Self {
+        AttrValue::Bool(b)
+    }
+}
+
+/// Writes `s` as a JSON string literal (with escaping) into `out`.
+pub fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes a float the way the parser reads it back: finite values use
+/// Rust's shortest-roundtrip formatting (always with a decimal point or
+/// exponent so they re-parse as floats); non-finite values become null.
+pub fn write_f64(out: &mut String, v: f64) {
+    if !v.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let s = format!("{v}");
+    out.push_str(&s);
+    if !s.contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// Writes one attribute value.
+pub fn write_value(out: &mut String, v: &AttrValue) {
+    match v {
+        AttrValue::Str(s) => write_str(out, s),
+        AttrValue::UInt(n) => {
+            let _ = write!(out, "{n}");
+        }
+        AttrValue::Int(n) => {
+            let _ = write!(out, "{n}");
+        }
+        AttrValue::Float(f) => write_f64(out, *f),
+        AttrValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+    }
+}
+
+/// Writes an attribute map as a JSON object, in insertion order.
+pub fn write_attrs(out: &mut String, attrs: &[(String, AttrValue)]) {
+    out.push('{');
+    for (i, (k, v)) in attrs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_str(out, k);
+        out.push(':');
+        write_value(out, v);
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_escaping() {
+        let mut out = String::new();
+        write_str(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn floats_always_reparse_as_floats() {
+        let mut out = String::new();
+        write_f64(&mut out, 2.0);
+        assert_eq!(out, "2.0");
+        out.clear();
+        write_f64(&mut out, 1.5e300);
+        assert!(out.contains('e') || out.contains('.'));
+        out.clear();
+        write_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+    }
+
+    #[test]
+    fn numeric_equality_coerces() {
+        assert_eq!(AttrValue::UInt(3), AttrValue::Int(3));
+        assert_eq!(AttrValue::UInt(3), AttrValue::Float(3.0));
+        assert_ne!(AttrValue::UInt(u64::MAX), AttrValue::Int(-1));
+    }
+}

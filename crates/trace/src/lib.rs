@@ -1,0 +1,35 @@
+//! Structured runtime observability for Jash: spans, metrics, and a
+//! versioned JSONL trace format — with **zero external dependencies**,
+//! so every other crate in the workspace can depend on it without
+//! widening the build.
+//!
+//! The paper's argument for a JIT shell (§3.2) is that the runtime can
+//! *observe* what static tools cannot: live input sizes, actual region
+//! timings, resource pressure. This crate is where those observations
+//! become durable:
+//!
+//! * [`Tracer`] — structured spans in a `run → region → node` hierarchy,
+//!   each carrying typed attributes (chosen width, bytes in/out, the
+//!   action taken), plus point-in-time events for supervision decisions;
+//! * [`MetricsRegistry`] — lock-cheap named counters, gauges, and
+//!   fixed-boundary histograms shared across worker threads;
+//! * [`Record`] — the schema-v1 trace record, serialized one JSON object
+//!   per line ([`Record::to_json_line`]) and parsed back by a small
+//!   serde-free parser ([`parse_line`] / [`parse_jsonl`]);
+//! * [`summarize`] — the per-region table `jash trace summarize` renders.
+//!
+//! A recorded trace closes the loop: `jash-cost` can load per-command
+//! throughput observed in a prior run and replace its static rate table,
+//! making width choice measurement-driven.
+
+pub mod json;
+pub mod metrics;
+pub mod parse;
+pub mod span;
+pub mod summary;
+
+pub use json::AttrValue;
+pub use metrics::{Counter, Gauge, Histogram, MetricsRegistry, DEFAULT_TIME_BOUNDS_US};
+pub use parse::{parse_jsonl, parse_line, ParseError};
+pub use span::{Record, SpanId, Tracer, SCHEMA_VERSION};
+pub use summary::summarize;

@@ -1,0 +1,285 @@
+//! A lock-cheap metrics registry: named counters, gauges, and
+//! fixed-boundary histograms.
+//!
+//! Registration takes a mutex once per *name*; every subsequent update
+//! is a handful of atomic operations, so split workers can increment
+//! shared counters from inside the executor's hot loop without
+//! contending. All arithmetic saturates — a metrics overflow must never
+//! wrap into a lie.
+
+use crate::span::Record;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default histogram boundaries for microsecond timings: 10 µs … 10 s.
+pub const DEFAULT_TIME_BOUNDS_US: &[u64] = &[
+    10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+];
+
+/// A monotonically increasing counter (saturating).
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`, saturating at `u64::MAX`.
+    pub fn add(&self, n: u64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(n))
+            });
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A histogram over fixed upper-bound buckets plus an overflow bucket.
+///
+/// `bounds` are inclusive upper edges in ascending order; a recorded
+/// value lands in the first bucket whose bound is `>= value`, or the
+/// final overflow bucket past the last bound.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<u64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram with the given inclusive upper bounds.
+    pub fn new(bounds: &[u64]) -> Self {
+        let mut sorted = bounds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let buckets = (0..=sorted.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds: sorted,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_add(value))
+            });
+    }
+
+    /// The inclusive upper bounds.
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Per-bucket observation counts (one more entry than `bounds`; the
+    /// last is the overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Saturating sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named metrics.
+///
+/// Names are free-form dotted paths (`"region.bytes_out"`); snapshots
+/// emit records sorted by name, so serialization is deterministic no
+/// matter the registration order.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// The histogram named `name`, created on first use with `bounds`
+    /// (an existing histogram keeps its original bounds).
+    pub fn histogram(&self, name: &str, bounds: &[u64]) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(Histogram::new(bounds))),
+        )
+    }
+
+    /// Snapshots every metric as schema records, sorted by kind then name.
+    pub fn snapshot(&self) -> Vec<Record> {
+        let mut out = Vec::new();
+        for (name, c) in self.counters.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            out.push(Record::Counter {
+                name: name.clone(),
+                value: c.get(),
+            });
+        }
+        for (name, g) in self.gauges.lock().unwrap_or_else(|e| e.into_inner()).iter() {
+            out.push(Record::Gauge {
+                name: name.clone(),
+                value: g.get(),
+            });
+        }
+        for (name, h) in self
+            .histograms
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+        {
+            out.push(Record::Hist {
+                name: name.clone(),
+                bounds: h.bounds().to_vec(),
+                buckets: h.bucket_counts(),
+                count: h.count(),
+                sum: h.sum(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::default();
+        c.add(u64::MAX - 1);
+        c.add(10);
+        assert_eq!(c.get(), u64::MAX);
+        c.incr();
+        assert_eq!(c.get(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_bucket_edges_are_inclusive() {
+        let h = Histogram::new(&[10, 100]);
+        h.record(0);
+        h.record(10); // edge: lands in the first bucket
+        h.record(11); // just past: second bucket
+        h.record(100); // edge: second bucket
+        h.record(101); // overflow bucket
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 222);
+    }
+
+    #[test]
+    fn histogram_sum_saturates() {
+        let h = Histogram::new(&[1]);
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn registry_returns_same_instance_per_name() {
+        let r = MetricsRegistry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(3);
+        assert_eq!(b.get(), 3);
+        let h1 = r.histogram("h", &[5, 10]);
+        let h2 = r.histogram("h", &[999]); // bounds ignored on re-lookup
+        assert_eq!(h2.bounds(), h1.bounds());
+    }
+
+    #[test]
+    fn concurrent_increments_from_split_workers() {
+        let r = Arc::new(MetricsRegistry::new());
+        let c = r.counter("bytes");
+        let h = r.histogram("wall", &[1_000]);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = Arc::clone(&c);
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..1_000 {
+                        c.incr();
+                        h.record(i % 2_000);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8_000);
+        assert_eq!(h.count(), 8_000);
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 8_000);
+    }
+
+    #[test]
+    fn snapshot_sorted_by_name() {
+        let r = MetricsRegistry::new();
+        r.counter("zeta").incr();
+        r.counter("alpha").add(2);
+        r.gauge("mid").set(-7);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(matches!(&snap[0], Record::Counter { name, value: 2 } if name == "alpha"));
+        assert!(matches!(&snap[1], Record::Counter { name, value: 1 } if name == "zeta"));
+        assert!(matches!(&snap[2], Record::Gauge { name, value: -7 } if name == "mid"));
+    }
+}

@@ -1,0 +1,452 @@
+//! A small recursive-descent JSON parser and the schema-v1 record
+//! decoder.
+//!
+//! Versioned on purpose: every line carries `"v":1`, and the decoder
+//! rejects unknown versions loudly instead of guessing — a future
+//! schema bump must come with a new parser, not silent misreads.
+
+use crate::json::AttrValue;
+use crate::span::{Record, SCHEMA_VERSION};
+
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable reason.
+    pub reason: String,
+    /// 1-based line number when parsing a whole file.
+    pub line: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(reason: impl Into<String>) -> ParseError {
+    ParseError {
+        reason: reason.into(),
+        line: 1,
+    }
+}
+
+/// A parsed JSON value (internal to record decoding, but public so
+/// tests and tools can inspect unexpected lines).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer literal.
+    UInt(u64),
+    /// A negative integer literal.
+    Int(i64),
+    /// A float literal (has `.` or an exponent).
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            Json::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(n) => Some(*n),
+            Json::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_u64_array(&self) -> Option<Vec<u64>> {
+        match self {
+            Json::Arr(xs) => xs.iter().map(Json::as_u64).collect(),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Self {
+        Parser {
+            bytes: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') if self.eat_literal("true") => Ok(Json::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Json::Bool(false)),
+            Some(b'n') if self.eat_literal("null") => Ok(Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(err(format!("expected ',' or '}}' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(err(format!("expected ',' or ']' at byte {}", self.pos))),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(err(format!("bad escape {:?}", other.map(|c| c as char))))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy a full UTF-8 scalar, not a byte.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| err("invalid utf-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        let mut float = false;
+        if self.peek() == Some(b'.') {
+            float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| err("invalid number"))?;
+        if float {
+            text.parse::<f64>()
+                .map(Json::Float)
+                .map_err(|_| err(format!("bad float {text:?}")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Json::Int)
+                .map_err(|_| err(format!("bad integer {text:?}")))
+        } else {
+            text.parse::<u64>()
+                .map(Json::UInt)
+                .map_err(|_| err(format!("bad integer {text:?}")))
+        }
+    }
+}
+
+/// Parses one JSON value from `src` (trailing whitespace allowed).
+pub fn parse_json(src: &str) -> Result<Json, ParseError> {
+    let mut p = Parser::new(src);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(err(format!("trailing garbage at byte {}", p.pos)));
+    }
+    Ok(v)
+}
+
+fn json_to_attr(v: &Json) -> Result<AttrValue, ParseError> {
+    Ok(match v {
+        Json::Str(s) => AttrValue::Str(s.clone()),
+        Json::UInt(n) => AttrValue::UInt(*n),
+        Json::Int(n) => AttrValue::Int(*n),
+        Json::Float(f) => AttrValue::Float(*f),
+        Json::Bool(b) => AttrValue::Bool(*b),
+        Json::Null => AttrValue::Str(String::new()),
+        _ => return Err(err("nested attrs unsupported in schema v1")),
+    })
+}
+
+fn attrs_of(v: &Json, key: &str) -> Result<Vec<(String, AttrValue)>, ParseError> {
+    match v.get(key) {
+        None => Ok(Vec::new()),
+        Some(Json::Obj(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), json_to_attr(v)?)))
+            .collect(),
+        Some(_) => Err(err(format!("{key:?} must be an object"))),
+    }
+}
+
+fn field_u64(v: &Json, key: &str) -> Result<u64, ParseError> {
+    v.get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| err(format!("missing/invalid {key:?}")))
+}
+
+fn field_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, ParseError> {
+    v.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| err(format!("missing/invalid {key:?}")))
+}
+
+/// Decodes one trace line into a schema-v1 [`Record`].
+pub fn parse_line(line: &str) -> Result<Record, ParseError> {
+    let v = parse_json(line)?;
+    let version = field_u64(&v, "v")?;
+    if version != SCHEMA_VERSION {
+        return Err(err(format!(
+            "unsupported trace schema version {version} (this build reads v{SCHEMA_VERSION})"
+        )));
+    }
+    match field_str(&v, "t")? {
+        "span" => Ok(Record::Span {
+            kind: field_str(&v, "kind")?.to_string(),
+            id: field_u64(&v, "id")?,
+            parent: v.get("parent").and_then(Json::as_u64),
+            name: field_str(&v, "name")?.to_string(),
+            start_us: field_u64(&v, "start_us")?,
+            wall_us: field_u64(&v, "wall_us")?,
+            attrs: attrs_of(&v, "attrs")?,
+        }),
+        "event" => Ok(Record::Event {
+            name: field_str(&v, "name")?.to_string(),
+            at_us: field_u64(&v, "at_us")?,
+            attrs: attrs_of(&v, "attrs")?,
+        }),
+        "counter" => Ok(Record::Counter {
+            name: field_str(&v, "name")?.to_string(),
+            value: field_u64(&v, "value")?,
+        }),
+        "gauge" => Ok(Record::Gauge {
+            name: field_str(&v, "name")?.to_string(),
+            value: v
+                .get("value")
+                .and_then(Json::as_i64)
+                .ok_or_else(|| err("missing/invalid \"value\""))?,
+        }),
+        "hist" => Ok(Record::Hist {
+            name: field_str(&v, "name")?.to_string(),
+            bounds: v
+                .get("bounds")
+                .and_then(Json::as_u64_array)
+                .ok_or_else(|| err("missing/invalid \"bounds\""))?,
+            buckets: v
+                .get("buckets")
+                .and_then(Json::as_u64_array)
+                .ok_or_else(|| err("missing/invalid \"buckets\""))?,
+            count: field_u64(&v, "count")?,
+            sum: field_u64(&v, "sum")?,
+        }),
+        other => Err(err(format!("unknown record type {other:?}"))),
+    }
+}
+
+/// Parses a whole JSONL trace, skipping blank lines. The error carries
+/// the offending 1-based line number.
+pub fn parse_jsonl(src: &str) -> Result<Vec<Record>, ParseError> {
+    let mut out = Vec::new();
+    for (i, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        out.push(parse_line(line).map_err(|mut e| {
+            e.line = i + 1;
+            e
+        })?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_nesting() {
+        let v = parse_json(r#"{"a":1,"b":-2,"c":3.5,"d":"x\ny","e":[1,2],"f":true,"g":null}"#)
+            .unwrap();
+        assert_eq!(v.get("a"), Some(&Json::UInt(1)));
+        assert_eq!(v.get("b"), Some(&Json::Int(-2)));
+        assert_eq!(v.get("c"), Some(&Json::Float(3.5)));
+        assert_eq!(v.get("d").and_then(Json::as_str), Some("x\ny"));
+        assert_eq!(v.get("e").and_then(Json::as_u64_array), Some(vec![1, 2]));
+        assert_eq!(v.get("f"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("g"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let e = parse_line(r#"{"v":2,"t":"counter","name":"x","value":1}"#).unwrap_err();
+        assert!(e.reason.contains("version 2"), "{e}");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line(r#"{"v":1,"t":"mystery"}"#).is_err());
+        assert!(parse_json(r#"{"a":1} extra"#).is_err());
+    }
+
+    #[test]
+    fn jsonl_reports_line_numbers() {
+        let e = parse_jsonl("{\"v\":1,\"t\":\"counter\",\"name\":\"x\",\"value\":1}\n\nbroken\n")
+            .unwrap_err();
+        assert_eq!(e.line, 3);
+    }
+}

@@ -1,0 +1,439 @@
+//! Spans, events, and the schema-v1 trace record.
+//!
+//! The span hierarchy mirrors the engine's structure: one `run` span per
+//! script execution, one `region` span per top-level statement, and one
+//! `node` span per dataflow node the executor ran. Events are
+//! point-in-time observations (supervision decisions, resume claims)
+//! attached to the timeline rather than to a duration.
+
+use crate::json::{write_attrs, write_str, AttrValue};
+use crate::metrics::MetricsRegistry;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The trace schema version this crate reads and writes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Identifier of a started span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u64);
+
+/// One line of a schema-v1 JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// A completed span.
+    Span {
+        /// Hierarchy level: `"run"`, `"region"`, or `"node"`.
+        kind: String,
+        /// Unique id within the trace.
+        id: u64,
+        /// Parent span id (`None` for the run root).
+        parent: Option<u64>,
+        /// Display name (pipeline text, node label, script name).
+        name: String,
+        /// Start offset from trace origin, microseconds.
+        start_us: u64,
+        /// Duration, microseconds.
+        wall_us: u64,
+        /// Typed attributes, in insertion order.
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// A point-in-time event.
+    Event {
+        /// Event name (`"supervision"`, `"resume"`, …).
+        name: String,
+        /// Offset from trace origin, microseconds.
+        at_us: u64,
+        /// Typed attributes.
+        attrs: Vec<(String, AttrValue)>,
+    },
+    /// A counter snapshot.
+    Counter {
+        /// Metric name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// A gauge snapshot.
+    Gauge {
+        /// Metric name.
+        name: String,
+        /// Final value.
+        value: i64,
+    },
+    /// A histogram snapshot.
+    Hist {
+        /// Metric name.
+        name: String,
+        /// Inclusive upper bucket bounds.
+        bounds: Vec<u64>,
+        /// Per-bucket counts (one more than `bounds`: overflow last).
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Saturating sum of observations.
+        sum: u64,
+    },
+}
+
+fn write_u64_array(out: &mut String, xs: &[u64]) {
+    out.push('[');
+    for (i, x) in xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{x}");
+    }
+    out.push(']');
+}
+
+impl Record {
+    /// Serializes the record as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(96);
+        let _ = write!(out, "{{\"v\":{SCHEMA_VERSION},");
+        match self {
+            Record::Span {
+                kind,
+                id,
+                parent,
+                name,
+                start_us,
+                wall_us,
+                attrs,
+            } => {
+                out.push_str("\"t\":\"span\",\"kind\":");
+                write_str(&mut out, kind);
+                let _ = write!(out, ",\"id\":{id}");
+                if let Some(p) = parent {
+                    let _ = write!(out, ",\"parent\":{p}");
+                }
+                out.push_str(",\"name\":");
+                write_str(&mut out, name);
+                let _ = write!(out, ",\"start_us\":{start_us},\"wall_us\":{wall_us},\"attrs\":");
+                write_attrs(&mut out, attrs);
+            }
+            Record::Event { name, at_us, attrs } => {
+                out.push_str("\"t\":\"event\",\"name\":");
+                write_str(&mut out, name);
+                let _ = write!(out, ",\"at_us\":{at_us},\"attrs\":");
+                write_attrs(&mut out, attrs);
+            }
+            Record::Counter { name, value } => {
+                out.push_str("\"t\":\"counter\",\"name\":");
+                write_str(&mut out, name);
+                let _ = write!(out, ",\"value\":{value}");
+            }
+            Record::Gauge { name, value } => {
+                out.push_str("\"t\":\"gauge\",\"name\":");
+                write_str(&mut out, name);
+                let _ = write!(out, ",\"value\":{value}");
+            }
+            Record::Hist {
+                name,
+                bounds,
+                buckets,
+                count,
+                sum,
+            } => {
+                out.push_str("\"t\":\"hist\",\"name\":");
+                write_str(&mut out, name);
+                out.push_str(",\"bounds\":");
+                write_u64_array(&mut out, bounds);
+                out.push_str(",\"buckets\":");
+                write_u64_array(&mut out, buckets);
+                let _ = write!(out, ",\"count\":{count},\"sum\":{sum}");
+            }
+        }
+        out.push('}');
+        out
+    }
+
+    /// The attribute named `key`, for span and event records.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        let attrs = match self {
+            Record::Span { attrs, .. } | Record::Event { attrs, .. } => attrs,
+            _ => return None,
+        };
+        attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// An attribute as a string, when present and a string.
+    pub fn attr_str(&self, key: &str) -> Option<&str> {
+        match self.attr(key)? {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// An attribute as an unsigned integer, coercing `Int` when exact.
+    pub fn attr_u64(&self, key: &str) -> Option<u64> {
+        match self.attr(key)? {
+            AttrValue::UInt(n) => Some(*n),
+            AttrValue::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+}
+
+struct OpenSpan {
+    kind: String,
+    name: String,
+    parent: Option<u64>,
+    start: Instant,
+    attrs: Vec<(String, AttrValue)>,
+}
+
+#[derive(Default)]
+struct TracerState {
+    next_id: u64,
+    open: HashMap<u64, OpenSpan>,
+    records: Vec<Record>,
+}
+
+/// The span/event collector.
+///
+/// One `Tracer` serves a whole session; it is `Sync`, cheap when idle
+/// (one short mutex hold per span boundary), and carries its own
+/// [`MetricsRegistry`] so metrics ride along in the same trace file.
+pub struct Tracer {
+    state: Mutex<TracerState>,
+    metrics: MetricsRegistry,
+    origin: Instant,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// A fresh tracer; the creation instant becomes the trace origin.
+    pub fn new() -> Self {
+        Tracer {
+            state: Mutex::new(TracerState::default()),
+            metrics: MetricsRegistry::new(),
+            origin: Instant::now(),
+        }
+    }
+
+    /// The tracer's metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Microseconds elapsed since the trace origin.
+    pub fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TracerState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Starts a span of `kind` under `parent`.
+    pub fn start(&self, kind: &str, name: &str, parent: Option<SpanId>) -> SpanId {
+        let mut st = self.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.open.insert(
+            id,
+            OpenSpan {
+                kind: kind.to_string(),
+                name: name.to_string(),
+                parent: parent.map(|p| p.0),
+                start: Instant::now(),
+                attrs: Vec::new(),
+            },
+        );
+        SpanId(id)
+    }
+
+    /// Sets (or replaces) an attribute on an open span.
+    pub fn set_attr(&self, span: SpanId, key: &str, value: impl Into<AttrValue>) {
+        let mut st = self.lock();
+        if let Some(open) = st.open.get_mut(&span.0) {
+            let value = value.into();
+            if let Some(slot) = open.attrs.iter_mut().find(|(k, _)| k == key) {
+                slot.1 = value;
+            } else {
+                open.attrs.push((key.to_string(), value));
+            }
+        }
+    }
+
+    /// The start offset (µs since origin) of an open span.
+    pub fn start_us_of(&self, span: SpanId) -> Option<u64> {
+        let st = self.lock();
+        st.open
+            .get(&span.0)
+            .map(|o| o.start.duration_since(self.origin).as_micros() as u64)
+    }
+
+    /// Ends an open span, committing it to the record stream.
+    pub fn end(&self, span: SpanId) {
+        let mut st = self.lock();
+        if let Some(open) = st.open.remove(&span.0) {
+            let start_us = open.start.duration_since(self.origin).as_micros() as u64;
+            let wall_us = open.start.elapsed().as_micros() as u64;
+            st.records.push(Record::Span {
+                kind: open.kind,
+                id: span.0,
+                parent: open.parent,
+                name: open.name,
+                start_us,
+                wall_us,
+                attrs: open.attrs,
+            });
+        }
+    }
+
+    /// Records a pre-measured span in one call (used for nodes, whose
+    /// timings arrive after the fact from the executor's metrics).
+    pub fn record_span_at(
+        &self,
+        kind: &str,
+        name: &str,
+        parent: Option<SpanId>,
+        start_us: u64,
+        wall_us: u64,
+        attrs: Vec<(String, AttrValue)>,
+    ) -> SpanId {
+        let mut st = self.lock();
+        let id = st.next_id;
+        st.next_id += 1;
+        st.records.push(Record::Span {
+            kind: kind.to_string(),
+            id,
+            parent: parent.map(|p| p.0),
+            name: name.to_string(),
+            start_us,
+            wall_us,
+            attrs,
+        });
+        SpanId(id)
+    }
+
+    /// Records a point-in-time event.
+    pub fn event(&self, name: &str, attrs: Vec<(String, AttrValue)>) {
+        let at_us = self.now_us();
+        self.lock().records.push(Record::Event {
+            name: name.to_string(),
+            at_us,
+            attrs,
+        });
+    }
+
+    /// Drains everything recorded so far: committed spans and events in
+    /// completion order, any still-open spans force-closed at the current
+    /// instant, then a metrics snapshot.
+    pub fn drain(&self) -> Vec<Record> {
+        let mut st = self.lock();
+        let open: Vec<u64> = st.open.keys().copied().collect();
+        let mut open = open;
+        open.sort_unstable();
+        for id in open {
+            if let Some(o) = st.open.remove(&id) {
+                let start_us = o.start.duration_since(self.origin).as_micros() as u64;
+                let wall_us = o.start.elapsed().as_micros() as u64;
+                st.records.push(Record::Span {
+                    kind: o.kind,
+                    id,
+                    parent: o.parent,
+                    name: o.name,
+                    start_us,
+                    wall_us,
+                    attrs: o.attrs,
+                });
+            }
+        }
+        let mut out = std::mem::take(&mut st.records);
+        drop(st);
+        out.extend(self.metrics.snapshot());
+        out
+    }
+
+    /// Serializes [`Tracer::drain`] as JSONL (one record per line, with a
+    /// trailing newline when non-empty).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in self.drain() {
+            out.push_str(&r.to_json_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_hierarchy_and_attrs() {
+        let t = Tracer::new();
+        let run = t.start("run", "script", None);
+        let region = t.start("region", "cat /in | sort", Some(run));
+        t.set_attr(region, "width", 4u64);
+        t.set_attr(region, "width", 2u64); // last write wins
+        t.set_attr(region, "action", "optimized");
+        t.end(region);
+        t.end(run);
+        let records = t.drain();
+        assert_eq!(records.len(), 2);
+        let Record::Span {
+            kind,
+            parent,
+            attrs,
+            ..
+        } = &records[0]
+        else {
+            panic!("expected span");
+        };
+        assert_eq!(kind, "region");
+        assert_eq!(*parent, Some(0));
+        assert_eq!(
+            attrs.iter().find(|(k, _)| k == "width").map(|(_, v)| v),
+            Some(&AttrValue::UInt(2))
+        );
+    }
+
+    #[test]
+    fn drain_force_closes_open_spans() {
+        let t = Tracer::new();
+        let _run = t.start("run", "r", None);
+        let records = t.drain();
+        assert_eq!(records.len(), 1);
+        assert!(matches!(&records[0], Record::Span { kind, .. } if kind == "run"));
+    }
+
+    #[test]
+    fn metrics_ride_along_in_drain() {
+        let t = Tracer::new();
+        t.metrics().counter("memo.hits").add(2);
+        let records = t.drain();
+        assert!(records
+            .iter()
+            .any(|r| matches!(r, Record::Counter { name, value: 2 } if name == "memo.hits")));
+    }
+
+    #[test]
+    fn json_line_shape() {
+        let r = Record::Span {
+            kind: "region".into(),
+            id: 7,
+            parent: Some(1),
+            name: "cat /in".into(),
+            start_us: 10,
+            wall_us: 20,
+            attrs: vec![("width".into(), AttrValue::UInt(4))],
+        };
+        assert_eq!(
+            r.to_json_line(),
+            r#"{"v":1,"t":"span","kind":"region","id":7,"parent":1,"name":"cat /in","start_us":10,"wall_us":20,"attrs":{"width":4}}"#
+        );
+    }
+}

@@ -1,0 +1,196 @@
+//! The `jash trace summarize` renderer: a per-region table plus a
+//! metrics digest, built from parsed schema-v1 records.
+
+use crate::json::AttrValue;
+use crate::span::Record;
+use std::fmt::Write as _;
+
+fn attr_display(v: &AttrValue) -> String {
+    match v {
+        AttrValue::Str(s) => s.clone(),
+        AttrValue::UInt(n) => n.to_string(),
+        AttrValue::Int(n) => n.to_string(),
+        AttrValue::Float(f) => format!("{f:.2}"),
+        AttrValue::Bool(b) => b.to_string(),
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.chars().count() <= max {
+        return s.to_string();
+    }
+    let head: String = s.chars().take(max.saturating_sub(1)).collect();
+    format!("{head}…")
+}
+
+/// Renders a human-readable summary of a trace: one row per region span
+/// (in start order) with action, width, wall time, and bytes moved,
+/// followed by the run totals and every counter/gauge/histogram.
+pub fn summarize(records: &[Record]) -> String {
+    let mut out = String::new();
+
+    let mut regions: Vec<&Record> = records
+        .iter()
+        .filter(|r| matches!(r, Record::Span { kind, .. } if kind == "region"))
+        .collect();
+    regions.sort_by_key(|r| match r {
+        Record::Span { start_us, .. } => *start_us,
+        _ => 0,
+    });
+    let nodes_of = |region_id: u64| {
+        records
+            .iter()
+            .filter(move |r| {
+                matches!(r, Record::Span { kind, parent, .. }
+                    if kind == "node" && *parent == Some(region_id))
+            })
+            .count()
+    };
+
+    let _ = writeln!(
+        out,
+        "{:<44} {:>11} {:>5} {:>10} {:>12} {:>12} {:>6}",
+        "region", "action", "width", "wall(ms)", "bytes_in", "bytes_out", "nodes"
+    );
+    for r in &regions {
+        let Record::Span {
+            id, name, wall_us, ..
+        } = r
+        else {
+            continue;
+        };
+        let action = r
+            .attr("action")
+            .map(attr_display)
+            .unwrap_or_else(|| "?".to_string());
+        let width = r
+            .attr("width")
+            .map(attr_display)
+            .unwrap_or_else(|| "-".to_string());
+        let bytes_in = r
+            .attr("bytes_in")
+            .map(attr_display)
+            .unwrap_or_else(|| "-".to_string());
+        let bytes_out = r
+            .attr("bytes_out")
+            .map(attr_display)
+            .unwrap_or_else(|| "-".to_string());
+        let _ = writeln!(
+            out,
+            "{:<44} {:>11} {:>5} {:>10.3} {:>12} {:>12} {:>6}",
+            truncate(name, 44),
+            action,
+            width,
+            *wall_us as f64 / 1000.0,
+            bytes_in,
+            bytes_out,
+            nodes_of(*id),
+        );
+    }
+    if regions.is_empty() {
+        out.push_str("(no region spans)\n");
+    }
+
+    for r in records {
+        if let Record::Span {
+            kind,
+            name,
+            wall_us,
+            ..
+        } = r
+        {
+            if kind == "run" {
+                let _ = writeln!(
+                    out,
+                    "\nrun {:<40} {:>9.3} ms, {} region(s)",
+                    truncate(name, 40),
+                    *wall_us as f64 / 1000.0,
+                    regions.len()
+                );
+            }
+        }
+    }
+
+    let mut wrote_header = false;
+    for r in records {
+        let line = match r {
+            Record::Counter { name, value } => Some(format!("{name:<36} {value:>14}")),
+            Record::Gauge { name, value } => Some(format!("{name:<36} {value:>14}")),
+            Record::Hist {
+                name, count, sum, ..
+            } => {
+                let mean = sum.checked_div(*count).unwrap_or(0);
+                Some(format!(
+                    "{name:<36} {count:>8} obs, mean {mean} µs"
+                ))
+            }
+            _ => None,
+        };
+        if let Some(line) = line {
+            if !wrote_header {
+                out.push_str("\nmetrics\n");
+                wrote_header = true;
+            }
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_regions_and_metrics() {
+        let records = vec![
+            Record::Span {
+                kind: "run".into(),
+                id: 0,
+                parent: None,
+                name: "script".into(),
+                start_us: 0,
+                wall_us: 5_000,
+                attrs: vec![],
+            },
+            Record::Span {
+                kind: "region".into(),
+                id: 1,
+                parent: Some(0),
+                name: "cat /in | sort > /out".into(),
+                start_us: 10,
+                wall_us: 4_000,
+                attrs: vec![
+                    ("action".into(), AttrValue::Str("optimized".into())),
+                    ("width".into(), AttrValue::UInt(4)),
+                    ("bytes_in".into(), AttrValue::UInt(1024)),
+                    ("bytes_out".into(), AttrValue::UInt(1024)),
+                ],
+            },
+            Record::Span {
+                kind: "node".into(),
+                id: 2,
+                parent: Some(1),
+                name: "sort".into(),
+                start_us: 12,
+                wall_us: 3_000,
+                attrs: vec![],
+            },
+            Record::Counter {
+                name: "memo.hits".into(),
+                value: 3,
+            },
+        ];
+        let s = summarize(&records);
+        assert!(s.contains("cat /in | sort > /out"), "{s}");
+        assert!(s.contains("optimized"), "{s}");
+        assert!(s.contains("memo.hits"), "{s}");
+        assert!(s.contains("1024"), "{s}");
+    }
+
+    #[test]
+    fn empty_trace_is_graceful() {
+        assert!(summarize(&[]).contains("no region spans"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden-file test: serialization of every record type is byte-stable.
+//!
+//! If this test fails because the schema changed *intentionally*, bump
+//! `SCHEMA_VERSION` and regenerate the golden file — never edit the
+//! writer and the golden in the same commit without thinking about old
+//! traces.
+
+use jash_trace::{parse_jsonl, AttrValue, Record};
+
+fn golden_records() -> Vec<Record> {
+    vec![
+        Record::Span {
+            kind: "run".into(),
+            id: 0,
+            parent: None,
+            name: "script.sh".into(),
+            start_us: 0,
+            wall_us: 123_456,
+            attrs: vec![("status".into(), AttrValue::Int(0))],
+        },
+        Record::Span {
+            kind: "region".into(),
+            id: 1,
+            parent: Some(0),
+            name: "cat /in.txt | tr -cs A-Za-z '\\n' | sort > /out.txt".into(),
+            start_us: 42,
+            wall_us: 98_765,
+            attrs: vec![
+                ("action".into(), AttrValue::Str("optimized".into())),
+                ("width".into(), AttrValue::UInt(4)),
+                ("buffered".into(), AttrValue::Bool(false)),
+                ("projected_speedup".into(), AttrValue::Float(2.5)),
+                ("fingerprint".into(), AttrValue::Str("00c0ffee00c0ffee".into())),
+                ("bytes_in".into(), AttrValue::UInt(3_145_728)),
+                ("bytes_out".into(), AttrValue::UInt(3_145_728)),
+                ("status".into(), AttrValue::Int(0)),
+            ],
+        },
+        Record::Span {
+            kind: "node".into(),
+            id: 2,
+            parent: Some(1),
+            name: "sort".into(),
+            start_us: 50,
+            wall_us: 60_000,
+            attrs: vec![
+                ("cmd".into(), AttrValue::Str("sort".into())),
+                ("bytes_in".into(), AttrValue::UInt(786_432)),
+                ("bytes_out".into(), AttrValue::UInt(786_432)),
+            ],
+        },
+        Record::Event {
+            name: "supervision".into(),
+            at_us: 77,
+            attrs: vec![(
+                "event".into(),
+                AttrValue::Str("retry region=1 width=4 attempt=1".into()),
+            )],
+        },
+        Record::Counter {
+            name: "memo.hits".into(),
+            value: 2,
+        },
+        Record::Gauge {
+            name: "journal.fsyncs".into(),
+            value: 11,
+        },
+        Record::Hist {
+            name: "jit.plan_us".into(),
+            bounds: vec![10, 100, 1_000],
+            buckets: vec![0, 3, 1, 0],
+            count: 4,
+            sum: 612,
+        },
+    ]
+}
+
+fn render(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&r.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn serialization_matches_golden_file() {
+    let got = render(&golden_records());
+    if std::env::var("JASH_REGEN_GOLDEN").as_deref() == Ok("1") {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden.jsonl");
+        std::fs::write(path, &got).expect("regenerate golden file");
+    }
+    let want = include_str!("golden.jsonl");
+    assert_eq!(got, want, "trace JSONL drifted from tests/golden.jsonl");
+}
+
+#[test]
+fn golden_file_round_trips() {
+    let parsed = parse_jsonl(include_str!("golden.jsonl")).expect("golden parses");
+    assert_eq!(parsed, golden_records());
+}

@@ -3,7 +3,9 @@
 //! ```text
 //! jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR]
 //!      [--journal DIR] [--no-journal] [--no-durable] [--resume]
+//!      [--trace FILE] [--calibrate FILE]
 //!      (-c SCRIPT | FILE [args...])
+//! jash trace summarize FILE
 //! ```
 //!
 //! Runs a POSIX shell script under the chosen engine against a real
@@ -11,6 +13,13 @@
 //! script's stdout/stderr and exiting with its status. `--explain` dumps
 //! the JIT trace afterwards; `--lint` reports findings and exits without
 //! executing.
+//!
+//! Observability: `--trace FILE` (or the `JASH_TRACE` env var) records a
+//! structured run/region/node span trace plus session metrics as schema-v1
+//! JSONL; `jash trace summarize FILE` renders a recorded trace as a
+//! per-region table. `--calibrate FILE` feeds a previous run's trace back
+//! into the planner: per-command throughput measured then replaces the
+//! static cost table now.
 //!
 //! Crash safety: unless `--no-journal` is given, the session keeps a
 //! write-ahead execution journal under `--journal` (default `/.jash`
@@ -69,6 +78,8 @@ struct Options {
     journal: bool,
     durable: bool,
     resume: bool,
+    trace: Option<String>,
+    calibrate: Option<String>,
     script: String,
     args: Vec<String>,
     script_name: String,
@@ -78,7 +89,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR] \
          [--journal DIR] [--no-journal] [--no-durable] [--resume] \
-         (-c SCRIPT | FILE [args...])"
+         [--trace FILE] [--calibrate FILE] \
+         (-c SCRIPT | FILE [args...])\n       jash trace summarize FILE"
     );
     std::process::exit(2);
 }
@@ -92,6 +104,8 @@ fn parse_args() -> Options {
     let mut journal = true;
     let mut durable = true;
     let mut resume = false;
+    let mut trace = std::env::var("JASH_TRACE").ok().filter(|s| !s.is_empty());
+    let mut calibrate: Option<String> = None;
     let mut script: Option<String> = None;
     let mut script_name = "jash".to_string();
     let mut rest: Vec<String> = Vec::new();
@@ -114,6 +128,8 @@ fn parse_args() -> Options {
             "--no-journal" => journal = false,
             "--no-durable" => durable = false,
             "--resume" => resume = true,
+            "--trace" => trace = Some(argv.next().unwrap_or_else(|| usage())),
+            "--calibrate" => calibrate = Some(argv.next().unwrap_or_else(|| usage())),
             "-c" => {
                 script = Some(argv.next().unwrap_or_else(|| usage()));
                 rest.extend(argv.by_ref());
@@ -149,9 +165,62 @@ fn parse_args() -> Options {
         journal,
         durable,
         resume,
+        trace,
+        calibrate,
         script,
         args: rest,
         script_name,
+    }
+}
+
+/// The `jash trace summarize FILE` subcommand: parse a recorded JSONL
+/// trace (host path) and render the per-region table.
+fn trace_subcommand(args: &[String]) -> ! {
+    let file = match args {
+        [sub, file] if sub == "summarize" => file,
+        _ => usage(),
+    };
+    let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+        eprintln!("jash: {file}: {e}");
+        std::process::exit(1);
+    });
+    match jash::trace::parse_jsonl(&text) {
+        Ok(records) => {
+            print!("{}", jash::trace::summarize(&records));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("jash: {file}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Loads a prior run's trace as planner calibration, rebased onto the
+/// planner's unscaled time base via the machine's time scale.
+fn load_calibration(file: &str, machine: &MachineProfile) -> Option<jash::cost::Calibration> {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("jash: --calibrate {file}: {e}");
+            return None;
+        }
+    };
+    match jash::trace::parse_jsonl(&text) {
+        Ok(records) => {
+            let cal = jash::cost::Calibration::from_records(&records)
+                .with_time_scale(machine.disk.time_scale);
+            if cal.is_empty() {
+                eprintln!("jash: --calibrate {file}: no node spans with throughput data");
+                None
+            } else {
+                Some(cal)
+            }
+        }
+        Err(e) => {
+            eprintln!("jash: --calibrate {file}: {e}");
+            None
+        }
     }
 }
 
@@ -173,6 +242,12 @@ fn test_stall_plan() -> Option<(jash::io::FaultPlan, String)> {
 }
 
 fn main() {
+    // Subcommand dispatch before flag parsing: `jash trace summarize F`.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("trace") {
+        trace_subcommand(&argv[1..]);
+    }
+
     let opts = parse_args();
 
     if opts.lint {
@@ -217,6 +292,12 @@ fn main() {
     let mut shell = Jash::new(opts.engine, MachineProfile::laptop());
     shell.cancel = Some(cancel);
     shell.durable = opts.durable;
+    if opts.trace.is_some() {
+        shell.tracer = Some(Arc::new(jash::trace::Tracer::new()));
+    }
+    if let Some(file) = &opts.calibrate {
+        shell.calibration = load_calibration(file, &shell.machine);
+    }
     if std::env::var("JASH_TEST_EAGER").as_deref() == Ok("1") {
         shell.planner.min_speedup = 0.0;
         shell.planner.force_width = Some(4);
@@ -247,6 +328,12 @@ fn main() {
     };
     std::io::stdout().write_all(&result.stdout).ok();
     std::io::stderr().write_all(&result.stderr).ok();
+
+    if let (Some(file), Some(tracer)) = (&opts.trace, &shell.tracer) {
+        if let Err(e) = std::fs::write(file, tracer.to_jsonl()) {
+            eprintln!("jash: --trace {file}: {e}");
+        }
+    }
 
     if opts.explain {
         eprintln!("--- jit trace ({} engine) ---", opts.engine);

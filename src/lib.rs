@@ -16,3 +16,4 @@ pub use jash_io as io;
 pub use jash_lint as lint;
 pub use jash_parser as parser;
 pub use jash_spec as spec;
+pub use jash_trace as trace;

@@ -5,7 +5,7 @@
 //! and torn-journal replay ride the same harness.
 
 use std::fs;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
@@ -43,10 +43,10 @@ fn stage(root: &Path, regions: usize) {
     }
 }
 
-fn scratch(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("jash-it-{}-{name}", std::process::id()));
-    let _ = fs::remove_dir_all(&dir);
-    dir
+/// RAII scratch root: removed when the guard drops, so a panicking test
+/// can't leak journals or staged files into the next run's `TMPDIR`.
+fn scratch(name: &str) -> jash::io::TempDir {
+    jash::io::TempDir::new(&format!("jash-it-{name}"))
 }
 
 fn jash(root: &Path) -> Command {
@@ -147,42 +147,44 @@ fn summary_counter(stderr: &str, key: &str) -> u64 {
 fn sigkill_mid_region_then_resume_is_byte_identical() {
     let regions = 3;
     // Uninterrupted baseline.
-    let base = scratch("baseline");
-    stage(&base, regions);
-    assert!(jash(&base).args(["-c", &script(regions)]).status().unwrap().success());
+    let base_dir = scratch("baseline");
+    let base = base_dir.path();
+    stage(base, regions);
+    assert!(jash(base).args(["-c", &script(regions)]).status().unwrap().success());
 
     // Crash after one clean region, mid-write of the second.
-    let root = scratch("sigkill");
-    stage(&root, regions);
-    crash_run(&root, regions, 1, "KILL");
-    assert!(!debris(&root).is_empty(), "crash should strand a staging file");
+    let root_dir = scratch("sigkill");
+    let root = root_dir.path();
+    stage(root, regions);
+    crash_run(root, regions, 1, "KILL");
+    assert!(!debris(root).is_empty(), "crash should strand a staging file");
 
-    let out = jash(&root)
+    let out = jash(root)
         .args(["--resume", "--explain", "-c", &script(regions)])
         .output()
         .unwrap();
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(out.status.success(), "resume failed: {stderr}");
-    assert_eq!(outputs(&root, regions), outputs(&base, regions), "resume must be byte-identical");
-    assert_eq!(debris(&root), Vec::<String>::new(), "janitor must sweep staging debris");
+    assert_eq!(outputs(root, regions), outputs(base, regions), "resume must be byte-identical");
+    assert_eq!(debris(root), Vec::<String>::new(), "janitor must sweep staging debris");
     // The journaled-clean region replays from the memo; the rest execute.
     assert_eq!(summary_counter(&stderr, "resumed"), 1, "{stderr}");
     assert_eq!(summary_counter(&stderr, "optimized"), (regions - 1) as u64, "{stderr}");
     assert!(stderr.contains("previous run interrupted"), "{stderr}");
-    let _ = fs::remove_dir_all(&base);
-    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
 fn torn_final_journal_record_is_dropped_on_replay() {
     let regions = 2;
-    let base = scratch("torn-base");
-    stage(&base, regions);
-    assert!(jash(&base).args(["-c", &script(regions)]).status().unwrap().success());
+    let base_dir = scratch("torn-base");
+    let base = base_dir.path();
+    stage(base, regions);
+    assert!(jash(base).args(["-c", &script(regions)]).status().unwrap().success());
 
-    let root = scratch("torn");
-    stage(&root, regions);
-    crash_run(&root, regions, 1, "KILL");
+    let root_dir = scratch("torn");
+    let root = root_dir.path();
+    stage(root, regions);
+    crash_run(root, regions, 1, "KILL");
 
     // Simulate the crash tearing the tail record: a half-written line
     // with no newline and a bogus checksum. Replay must drop it (and
@@ -192,43 +194,41 @@ fn torn_final_journal_record_is_dropped_on_replay() {
     text.push_str("00000000deadbeef region-done 3f770c");
     fs::write(&journal, text).unwrap();
 
-    let out = jash(&root)
+    let out = jash(root)
         .args(["--resume", "--explain", "-c", &script(regions)])
         .output()
         .unwrap();
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(out.status.success(), "resume failed: {stderr}");
     assert!(stderr.contains("torn journal tail dropped"), "{stderr}");
-    assert_eq!(outputs(&root, regions), outputs(&base, regions));
+    assert_eq!(outputs(root, regions), outputs(base, regions));
     assert_eq!(summary_counter(&stderr, "resumed"), 1, "{stderr}");
-    let _ = fs::remove_dir_all(&base);
-    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
 fn sigterm_shuts_down_gracefully_with_status_143() {
     let regions = 2;
-    let root = scratch("sigterm");
-    stage(&root, regions);
-    let code = crash_run(&root, regions, 0, "TERM");
+    let root_dir = scratch("sigterm");
+    let root = root_dir.path();
+    stage(root, regions);
+    let code = crash_run(root, regions, 0, "TERM");
     assert_eq!(code, Some(143), "SIGTERM must exit 128+15");
     let journal = fs::read_to_string(root.join(".jash/journal")).unwrap();
     assert!(journal.contains(" region-aborted "), "abort must be journaled: {journal}");
     assert!(!journal.contains(" run-complete"), "run must stay resumable: {journal}");
-    assert_eq!(debris(&root), Vec::<String>::new(), "graceful shutdown must not strand staging files");
-    let _ = fs::remove_dir_all(&root);
+    assert_eq!(debris(root), Vec::<String>::new(), "graceful shutdown must not strand staging files");
 }
 
 #[test]
 fn sigint_shuts_down_gracefully_with_status_130() {
     let regions = 2;
-    let root = scratch("sigint");
-    stage(&root, regions);
-    let code = crash_run(&root, regions, 0, "INT");
+    let root_dir = scratch("sigint");
+    let root = root_dir.path();
+    stage(root, regions);
+    let code = crash_run(root, regions, 0, "INT");
     assert_eq!(code, Some(130), "SIGINT must exit 128+2");
     let journal = fs::read_to_string(root.join(".jash/journal")).unwrap();
     assert!(journal.contains(" region-aborted "), "{journal}");
-    let _ = fs::remove_dir_all(&root);
 }
 
 #[test]
@@ -237,13 +237,14 @@ fn edited_input_defeats_resume_and_reexecutes() {
     // still hashes the same. Editing the input between crash and resume
     // must force a re-execution with the new bytes.
     let regions = 2;
-    let root = scratch("edited");
-    stage(&root, regions);
-    crash_run(&root, regions, 1, "KILL");
+    let root_dir = scratch("edited");
+    let root = root_dir.path();
+    stage(root, regions);
+    crash_run(root, regions, 1, "KILL");
 
     // Region 0 completed; now rewrite its input.
     fs::write(root.join("in0"), input(99, 256 * 1024)).unwrap();
-    let out = jash(&root)
+    let out = jash(root)
         .args(["--resume", "--explain", "-c", &script(regions)])
         .output()
         .unwrap();
@@ -253,14 +254,12 @@ fn edited_input_defeats_resume_and_reexecutes() {
     assert_eq!(summary_counter(&stderr, "optimized"), regions as u64, "{stderr}");
 
     // And the re-executed output reflects the *new* input.
-    let fresh = scratch("edited-fresh");
-    fs::create_dir_all(&fresh).unwrap();
+    let fresh_dir = scratch("edited-fresh");
+    let fresh = fresh_dir.path();
     fs::write(fresh.join("in0"), input(99, 256 * 1024)).unwrap();
     fs::write(fresh.join("in1"), input(2, 256 * 1024)).unwrap();
-    assert!(jash(&fresh).args(["-c", &script(regions)]).status().unwrap().success());
-    assert_eq!(outputs(&root, regions), outputs(&fresh, regions));
-    let _ = fs::remove_dir_all(&root);
-    let _ = fs::remove_dir_all(&fresh);
+    assert!(jash(fresh).args(["-c", &script(regions)]).status().unwrap().success());
+    assert_eq!(outputs(root, regions), outputs(fresh, regions));
 }
 
 #[test]

@@ -353,3 +353,140 @@ fn optimized_file_writes_match_interpreted_ones() {
     let got = jash::io::fs::read_to_vec(fs_b.as_ref(), "/out.txt").unwrap();
     assert_eq!(expected, got);
 }
+
+/// Deterministic splitmix64 stream keying the random pipeline generator:
+/// the same seed always produces the same script, so a reported failure
+/// (`seed N: ...`) reproduces with `cargo test` and no date/host input.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn pick<'a>(&mut self, xs: &[&'a str]) -> &'a str {
+        xs[(self.next() % xs.len() as u64) as usize]
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo + 1)
+    }
+}
+
+/// Generates a random pipeline over the optimizable command set
+/// (`cat/tr/sort/uniq/grep/cut/head/comm`) with randomized flags and
+/// stage count — scripts that sweep the fragment's surface far more
+/// densely than the hand-written corpus above.
+fn random_pipeline(seed: u64) -> String {
+    let mut rng = Rng(seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1));
+    let source = rng.pick(&[
+        "cat /data/mixed.txt",
+        "cat /data/nums.txt",
+        "cat /data/mixed.txt /data/nums.txt",
+        "grep shell /data/mixed.txt",
+        "cut -c 1-8 /data/mixed.txt",
+    ]);
+    let stages = [
+        "tr a-z A-Z",
+        "tr A-Z a-z",
+        "tr -cs A-Za-z '\\n'",
+        "tr -d 0-9",
+        "sort",
+        "sort -n",
+        "sort -u",
+        "sort -rn",
+        "uniq",
+        "uniq -c",
+        "grep -v Word1",
+        "grep shell",
+        "cut -c 1-6",
+        "cut -c 2-9",
+        "head -n7",
+        "head -n40",
+    ];
+    let mut out = String::from(source);
+    for _ in 0..rng.range(1, 4) {
+        out.push_str(" | ");
+        out.push_str(rng.pick(&stages));
+    }
+    // Every fourth script or so gets the paper's spell-style tail, so the
+    // sorted-merge + comm path stays well covered.
+    if rng.next().is_multiple_of(4) {
+        out.push_str(" | sort -u | comm -13 /data/dict.txt -");
+    }
+    out
+}
+
+/// Runs `src` under the aggressive JIT with a tracer attached; returns
+/// status, stdout, and the drained trace records.
+fn run_jit_traced(src: &str) -> (i32, Vec<u8>, Vec<jash::trace::Record>) {
+    let fs = staged_fs();
+    let mut state = ShellState::new(fs);
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner = PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    };
+    let tracer = Arc::new(jash::trace::Tracer::new());
+    shell.tracer = Some(Arc::clone(&tracer));
+    let r = shell.run_script(&mut state, src).expect("script runs");
+    (r.status, r.stdout, tracer.drain())
+}
+
+/// The randomized differential harness: for a fixed matrix of seeds, the
+/// JIT (forced aggressive so rewrites actually fire) must match the
+/// interpreter oracle on exit status and stdout bytes — and when a region
+/// was optimized, its trace span must account for exactly the bytes the
+/// script produced.
+#[test]
+fn randomized_pipelines_differential_vs_interpreter() {
+    // `JASH_DIFF_SEEDS` widens the fixed matrix (CI runs more; the
+    // default keeps `cargo test` brisk). Seeds are always 0..N, so any
+    // failure report reproduces at every larger setting too.
+    let seeds: u64 = std::env::var("JASH_DIFF_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(220);
+    let mut optimized = 0usize;
+    for seed in 0..seeds {
+        let src = random_pipeline(seed);
+        let (bash_st, bash_out) = run(Engine::Bash, &src, false);
+        let (st, out, records) = run_jit_traced(&src);
+        assert_eq!(bash_st, st, "status diverged for seed {seed}: `{src}`");
+        assert_eq!(
+            String::from_utf8_lossy(&bash_out),
+            String::from_utf8_lossy(&out),
+            "stdout diverged for seed {seed}: `{src}`"
+        );
+        for r in &records {
+            let jash::trace::Record::Span { kind, .. } = r else {
+                continue;
+            };
+            if kind != "region" || r.attr_str("action") != Some("optimized") {
+                continue;
+            }
+            optimized += 1;
+            // Single-statement scripts with no file sinks: the region's
+            // traced output bytes are exactly the script's stdout.
+            assert_eq!(
+                r.attr_u64("bytes_out"),
+                Some(out.len() as u64),
+                "trace bytes_out diverged for seed {seed}: `{src}`"
+            );
+            assert!(
+                r.attr_u64("width").unwrap_or(0) > 1,
+                "optimized region without a width for seed {seed}: `{src}`"
+            );
+        }
+    }
+    let floor = (seeds / 5) as usize;
+    assert!(
+        optimized >= floor,
+        "only {optimized} optimized regions across {seeds} seeds (floor {floor}) — the fragment shrank"
+    );
+}

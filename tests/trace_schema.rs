@@ -1,0 +1,203 @@
+//! Trace schema compatibility, end to end: a live session's trace must
+//! survive the JSONL round trip through the versioned parser with every
+//! record type intact, every executed region must carry the attributes
+//! the observability layer promises (action, width, bytes, wall time),
+//! and resumed runs must tag replayed regions as `resumed`.
+
+use jash::core::{Engine, Jash};
+use jash::cost::{MachineProfile, PlannerOptions};
+use jash::expand::ShellState;
+use jash::trace::{parse_jsonl, Record, Tracer};
+use std::sync::Arc;
+
+fn machine() -> MachineProfile {
+    MachineProfile {
+        cores: 4,
+        disk: jash::io::DiskProfile::ramdisk(),
+        mem_mb: 4 * 1024,
+    }
+}
+
+fn eager() -> PlannerOptions {
+    PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    }
+}
+
+fn staged_fs() -> jash::io::FsHandle {
+    let fs = jash::io::mem_fs();
+    let doc: String = (0..2000)
+        .map(|i| format!("Word{} shell pipeline {}\n", i % 53, i))
+        .collect();
+    jash::io::fs::write_file(fs.as_ref(), "/in.txt", doc.as_bytes()).unwrap();
+    fs
+}
+
+/// Runs a multi-statement script under a traced, eager JIT and returns
+/// the run result plus drained records.
+fn traced_run(src: &str) -> (jash::interp::RunResult, Vec<Record>) {
+    let fs = staged_fs();
+    let mut state = ShellState::new(fs);
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner = eager();
+    let tracer = Arc::new(Tracer::new());
+    shell.tracer = Some(Arc::clone(&tracer));
+    let r = shell.run_script(&mut state, src).expect("script runs");
+    (r, tracer.drain())
+}
+
+#[test]
+fn live_trace_round_trips_through_versioned_parser() {
+    // One optimized pipeline, one interpreted statement: the trace holds
+    // run/region/node spans, histograms, and (when journaled) gauges.
+    let (r, records) = traced_run("cat /in.txt | tr a-z A-Z | sort | head -n5\necho done");
+    assert_eq!(r.status, 0);
+    assert!(!records.is_empty());
+
+    let jsonl: String = records
+        .iter()
+        .map(|rec| format!("{}\n", rec.to_json_line()))
+        .collect();
+    let reparsed = parse_jsonl(&jsonl).expect("live trace parses");
+    assert_eq!(
+        records, reparsed,
+        "schema round trip must be lossless for a live trace"
+    );
+
+    // All three span kinds and at least one histogram made the trip.
+    for kind in ["run", "region", "node"] {
+        assert!(
+            reparsed
+                .iter()
+                .any(|rec| matches!(rec, Record::Span { kind: k, .. } if k == kind)),
+            "missing {kind} span"
+        );
+    }
+    assert!(reparsed.iter().any(|rec| matches!(rec, Record::Hist { .. })));
+}
+
+#[test]
+fn every_executed_region_carries_promised_attrs() {
+    let (_, records) = traced_run(
+        "cat /in.txt | tr a-z A-Z | sort | head -n5\n\
+         grep -c shell /in.txt\n\
+         echo plain",
+    );
+    let regions: Vec<&Record> = records
+        .iter()
+        .filter(|r| matches!(r, Record::Span { kind, .. } if kind == "region"))
+        .collect();
+    assert_eq!(regions.len(), 3);
+    let mut optimized = 0;
+    for region in &regions {
+        for key in ["action", "width", "bytes_in", "bytes_out", "status"] {
+            assert!(region.attr(key).is_some(), "region missing `{key}`: {region:?}");
+        }
+        let Record::Span { wall_us, .. } = region else {
+            unreachable!()
+        };
+        assert!(*wall_us > 0, "region wall time must be measured");
+        if region.attr_str("action") == Some("optimized") {
+            optimized += 1;
+            assert!(region.attr_u64("width").unwrap() > 1);
+            assert!(region.attr_u64("bytes_out").unwrap() > 0);
+            assert!(region.attr("fingerprint").is_some());
+            // A source-less region (`echo plain`) truthfully reports zero
+            // input; the two that read /in.txt must account for it.
+            let Record::Span { name, .. } = region else {
+                unreachable!()
+            };
+            if name.contains("/in.txt") {
+                assert!(
+                    region.attr_u64("bytes_in").unwrap() > 0,
+                    "file-fed region must account input bytes: {region:?}"
+                );
+            }
+        }
+    }
+    assert!(optimized >= 1, "at least one region must optimize");
+
+    // Node spans parent into their region and carry byte accounting.
+    let nodes: Vec<&Record> = records
+        .iter()
+        .filter(|r| matches!(r, Record::Span { kind, .. } if kind == "node"))
+        .collect();
+    assert!(!nodes.is_empty());
+    let region_ids: Vec<u64> = regions
+        .iter()
+        .filter_map(|r| match r {
+            Record::Span { id, .. } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    for node in nodes {
+        let Record::Span { parent, .. } = node else {
+            unreachable!()
+        };
+        assert!(
+            parent.is_some_and(|p| region_ids.contains(&p)),
+            "node span must parent into a region: {node:?}"
+        );
+        assert!(node.attr("bytes_in").is_some() && node.attr("bytes_out").is_some());
+    }
+}
+
+#[test]
+fn resumed_runs_tag_replayed_regions() {
+    // The doctored-journal pattern: run once journaled, strip the
+    // RunComplete record so the journal reads as interrupted, and resume
+    // with a tracer attached. The replayed region must be tagged
+    // `resumed` (with its fingerprint) and the memo must count one hit.
+    let fs = staged_fs();
+    let src = "cat /in.txt | tr A-Z a-z | sort";
+
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner = eager();
+    shell.attach_journal(&fs, "/.jash", false).unwrap();
+    let mut state = ShellState::new(Arc::clone(&fs));
+    let first = shell.run_script(&mut state, src).unwrap();
+    assert_eq!(first.status, 0);
+    assert_eq!(shell.runtime.regions_optimized, 1);
+
+    let journal = jash::io::fs::read_to_vec(fs.as_ref(), "/.jash/journal").unwrap();
+    let doctored: String = String::from_utf8(journal)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("run-complete"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    jash::io::fs::write_file(fs.as_ref(), "/.jash/journal", doctored.as_bytes()).unwrap();
+
+    let mut shell2 = Jash::new(Engine::JashJit, machine());
+    shell2.planner = eager();
+    let tracer = Arc::new(Tracer::new());
+    shell2.tracer = Some(Arc::clone(&tracer));
+    let report = shell2.attach_journal(&fs, "/.jash", true).unwrap();
+    assert!(report.interrupted);
+    let mut state2 = ShellState::new(Arc::clone(&fs));
+    let second = shell2.run_script(&mut state2, src).unwrap();
+    assert_eq!(second.stdout, first.stdout);
+    assert_eq!(shell2.runtime.regions_resumed, 1);
+
+    let records = tracer.drain();
+    let region = records
+        .iter()
+        .find(|r| matches!(r, Record::Span { kind, .. } if kind == "region"))
+        .expect("resumed run has a region span");
+    assert_eq!(region.attr_str("action"), Some("resumed"));
+    assert!(region.attr("fingerprint").is_some());
+    assert_eq!(
+        region.attr_u64("bytes_out"),
+        Some(first.stdout.len() as u64),
+        "replayed region must account for the memoized output bytes"
+    );
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, Record::Counter { name, value: 1 } if name == "memo.hits")));
+    // The journal fsync gauge rides along when durability is on.
+    assert!(records
+        .iter()
+        .any(|r| matches!(r, Record::Gauge { name, value } if name == "journal.fsyncs" && *value > 0)));
+}
