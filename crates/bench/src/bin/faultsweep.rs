@@ -17,6 +17,12 @@
 //! and audited for byte-identical output, zero staging debris, and no
 //! re-execution of journaled-clean regions. Requires the `jash` binary
 //! to be built (`JASH_BIN` overrides its location).
+//!
+//! With `--serve`, runs the same fault matrix through the daemon path
+//! instead: every case is submitted to a real `jash serve` instance
+//! over its unix socket and the reply frames are compared against the
+//! sequential baseline. Exits nonzero on divergence, an unanswered
+//! submission, or staging debris surviving the drain.
 
 use jash_bench::faults::{
     default_supervision_sweep, default_sweep, render, render_supervision, run_supervision_sweep,
@@ -28,6 +34,7 @@ use jash_io::FsHandle;
 fn main() {
     let transient = std::env::args().any(|a| a == "--transient");
     let crash = std::env::args().any(|a| a == "--crash");
+    let serve = std::env::args().any(|a| a == "--serve");
     let bytes = jash_bench::bench_input_bytes().min(8 * 1024 * 1024);
 
     if crash {
@@ -81,6 +88,28 @@ fn main() {
     }
 
     let script = "cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u | comm -13 /data/dict.txt - > /out";
+
+    if serve {
+        println!("serve-mode fault sweep: {len} input bytes, seed {seed}\nscript: {script}\n");
+        let rows = jash_bench::serve::run_serve_sweep(
+            script,
+            &stage,
+            &default_sweep("/data/docs.txt", len, seed),
+            machine,
+        );
+        print!("{}", jash_bench::serve::render_serve(&rows));
+        if jash_bench::serve::serve_sweep_holds(&rows) {
+            println!(
+                "\ncrash-equivalence holds through the daemon path across {} cases",
+                rows.len()
+            );
+        } else {
+            println!("\nSERVE-MODE CRASH-EQUIVALENCE VIOLATED");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     println!("fault sweep: {len} input bytes, seed {seed}\nscript: {script}\n");
     let rows = run_sweep(script, &stage, &default_sweep("/data/docs.txt", len, seed), machine);
     print!("{}", render(&rows));

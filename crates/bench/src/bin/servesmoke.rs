@@ -1,0 +1,221 @@
+//! CI smoke drill for the `jash serve` daemon:
+//! `cargo run --release -p jash-bench --bin servesmoke`
+//!
+//! Starts a *real* `jash serve` child on a unix socket (the binary under
+//! test — `JASH_BIN` overrides its location), drives a 16-client storm
+//! with injected transient and sticky read faults plus four deliberately
+//! stalled runs, delivers SIGTERM mid-storm, and audits the drain:
+//!
+//! * the daemon exits 143 (128+SIGTERM) within the drain budget;
+//! * every client got a definitive answer — a `Done` frame (clean,
+//!   faulted, or aborted 143) or a structured `DRAINING` rejection;
+//! * the stalled in-flight runs were aborted, not leaked;
+//! * zero `.jash-stage-*` staging debris survives anywhere under the
+//!   serve root;
+//! * every per-run trace the daemon flushed parses with the schema-v1
+//!   parser.
+//!
+//! Exits nonzero on any violation, printing what broke.
+
+use jash_bench::crash::jash_binary;
+use jash_serve::{reject, submit, Request};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SCRIPT: &str = "cat /in.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u";
+
+#[derive(Debug)]
+enum Outcome {
+    Clean,
+    Faulted(i32),
+    Aborted,
+    Shed,
+    Error(String),
+}
+
+fn classify(i: usize, socket: &Path) -> Outcome {
+    let mut req = Request::new(SCRIPT);
+    req.tenant = format!("smoke-{}", i % 4);
+    req.timeout_ms = 30_000;
+    req.fault = match i {
+        // Four runs wedge on a long stall so SIGTERM lands mid-run;
+        // the injected stall is wired to the run's cancel token, so
+        // the drain aborts it instead of waiting it out.
+        0..=3 => Some("stall-read:/in.txt:60000".to_string()),
+        // Transient faults the supervisor must absorb.
+        4 | 5 => Some("transient-read:/in.txt:65536".to_string()),
+        // Sticky faults every engine sees.
+        6 | 7 => Some("read-error:/in.txt:65536".to_string()),
+        _ => None,
+    };
+    match submit(socket, &req) {
+        Err(e) => Outcome::Error(format!("client {i}: {e}")),
+        Ok(reply) => {
+            if let Some((code, ..)) = reply.rejected {
+                if code == reject::DRAINING {
+                    Outcome::Shed
+                } else {
+                    Outcome::Error(format!("client {i}: unexpected rejection code {code}"))
+                }
+            } else {
+                match reply.status {
+                    Some(0) => Outcome::Clean,
+                    Some(143) => Outcome::Aborted,
+                    Some(s) => Outcome::Faulted(s),
+                    None => Outcome::Error(format!("client {i}: connection closed mid-run")),
+                }
+            }
+        }
+    }
+}
+
+fn debris(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".jash-stage-"))
+            {
+                found.push(p);
+            }
+        }
+    }
+    found
+}
+
+fn fail(root: &Path, msg: &str) -> ! {
+    let _ = std::fs::remove_dir_all(root);
+    println!("\nSERVE SMOKE FAILED: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("jash-servesmoke-{}", std::process::id()));
+    std::fs::create_dir_all(&root).expect("create smoke root");
+    let docs = jash_bench::documents(512 * 1024, 7);
+    std::fs::write(root.join("in.txt"), &docs).expect("stage input");
+    let socket = root.join("sock");
+
+    println!(
+        "serve smoke: binary {}, root {}",
+        jash_binary().display(),
+        root.display()
+    );
+    let mut child = Command::new(jash_binary())
+        .arg("serve")
+        .arg("--socket")
+        .arg(&socket)
+        .arg("--root")
+        .arg(&root)
+        // 8 workers: the 4 stalled runs wedge half the pool while the
+        // other half churns through the fast submissions, so the storm
+        // exercises completion *and* mid-run abort in one drill.
+        .args(["--workers", "8", "--queue", "16"])
+        .args(["--drain-secs", "5", "--trace-dir", "/traces"])
+        .args(["--no-durable", "--test-faults"])
+        .env("JASH_TEST_EAGER", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn jash serve");
+
+    // Wait for the daemon to bind.
+    let bind_deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        if Instant::now() > bind_deadline {
+            let _ = child.kill();
+            fail(&root, "daemon never bound its socket");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The storm: 16 concurrent clients, mixed clean / transient-fault /
+    // sticky-fault / stalled submissions.
+    let clients: Vec<_> = (0..16)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || (i, classify(i, &socket)))
+        })
+        .collect();
+
+    // Let the fast runs finish and the stalled ones wedge in the
+    // workers, then SIGTERM the daemon mid-storm.
+    std::thread::sleep(Duration::from_millis(1500));
+    let term = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("deliver SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+
+    let mut counts = (0usize, 0usize, 0usize); // clean, aborted, shed
+    let mut faulted = Vec::new();
+    let mut errors = Vec::new();
+    for c in clients {
+        let (i, outcome) = c.join().expect("client thread panicked");
+        println!("  client {i:2}: {outcome:?}");
+        match outcome {
+            Outcome::Clean => counts.0 += 1,
+            Outcome::Faulted(s) => faulted.push(s),
+            Outcome::Aborted => counts.1 += 1,
+            Outcome::Shed => counts.2 += 1,
+            Outcome::Error(e) => errors.push(e),
+        }
+    }
+
+    let status = child.wait().expect("wait for daemon");
+    println!(
+        "daemon exit: {:?}; clean={} faulted={:?} aborted={} shed={}",
+        status.code(),
+        counts.0,
+        faulted,
+        counts.1,
+        counts.2
+    );
+    if !errors.is_empty() {
+        fail(&root, &errors.join("; "));
+    }
+    if status.code() != Some(143) {
+        fail(&root, &format!("daemon exited {:?}, want 143", status.code()));
+    }
+    if counts.0 == 0 {
+        fail(&root, "no client completed cleanly before the SIGTERM");
+    }
+    if counts.1 == 0 {
+        fail(&root, "no in-flight run was aborted by the drain");
+    }
+
+    let leaked = debris(&root);
+    if !leaked.is_empty() {
+        fail(&root, &format!("staging debris survived the drain: {leaked:?}"));
+    }
+
+    // Every trace the daemon flushed must parse with the schema-v1
+    // parser — including the aborted runs' traces.
+    let mut traces = 0usize;
+    if let Ok(entries) = std::fs::read_dir(root.join("traces")) {
+        for e in entries.flatten() {
+            let text = std::fs::read_to_string(e.path()).expect("read trace");
+            if let Err(err) = jash_trace::parse_jsonl(&text) {
+                fail(
+                    &root,
+                    &format!("trace {} unparseable: {err}", e.path().display()),
+                );
+            }
+            traces += 1;
+        }
+    }
+    if traces == 0 {
+        fail(&root, "daemon flushed no traces");
+    }
+
+    let _ = std::fs::remove_dir_all(&root);
+    println!("\nserve smoke holds: clean drain, {traces} parseable trace(s), zero debris");
+}

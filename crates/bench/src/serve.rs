@@ -1,0 +1,192 @@
+//! Serve-mode fault sweep: the existing fault matrix driven through the
+//! daemon path.
+//!
+//! The in-process sweep ([`crate::faults::run_sweep`]) established that
+//! the optimizing engines are crash-equivalent to sequential execution.
+//! This harness re-asks that question *through the front door*: each
+//! fault case is submitted to a real [`Server`] over its unix socket,
+//! executed by the JIT engine behind admission control, and the reply
+//! frames are compared against an in-process sequential Bash baseline
+//! under the same fault — same exit status, byte-identical stdout and
+//! `/out`, and zero transactional staging debris after drain.
+//!
+//! Run it with `cargo run --release -p jash-bench --bin faultsweep -- --serve`.
+
+use crate::faults::FaultCase;
+use jash_core::{Engine, Jash};
+use jash_cost::MachineProfile;
+use jash_expand::ShellState;
+use jash_io::{FaultFs, FsHandle, TempDir};
+use jash_serve::{submit, Request, Server, ServerConfig};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The daemon's behavior under one fault case.
+pub struct ServeSweepRow {
+    /// Fault case name.
+    pub case: String,
+    /// Exit status the `Done` frame reported.
+    pub status: i32,
+    /// Whether the daemon admitted and answered the run at all.
+    pub answered: bool,
+    /// Status, stdout, and `/out` all equal to the sequential baseline
+    /// under the same fault.
+    pub matches_baseline: bool,
+    /// Whether any `.jash-stage-*` file survived the drain.
+    pub staging_debris: bool,
+    /// Submit-to-Done wall time.
+    pub wall: Duration,
+}
+
+/// Recursive staging-debris audit over the whole virtual tree (served
+/// runs journal under per-run directories, so the flat probe in
+/// `faults.rs` is not enough here).
+fn debris(fs: &FsHandle) -> bool {
+    let mut stack = vec!["/".to_string()];
+    while let Some(dir) = stack.pop() {
+        for name in fs.list_dir(&dir).unwrap_or_default() {
+            let path = if dir == "/" {
+                format!("/{name}")
+            } else {
+                format!("{dir}/{name}")
+            };
+            if fs.metadata(&path).map(|m| m.is_dir).unwrap_or(false) {
+                stack.push(path);
+            } else if name.contains(".jash-stage-") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Runs every case through a fault-injecting daemon and compares each
+/// reply against the sequential baseline. `stage` is called with a
+/// fresh in-memory fs per run so each run sees identical inputs.
+pub fn run_serve_sweep(
+    script: &str,
+    stage: &dyn Fn(&FsHandle),
+    cases: &[FaultCase],
+    machine: MachineProfile,
+) -> Vec<ServeSweepRow> {
+    cases
+        .iter()
+        .map(|case| {
+            // Sequential ground truth under the same fault.
+            let base_fs = jash_io::mem_fs();
+            stage(&base_fs);
+            let faulted: FsHandle = if case.plan.is_empty() {
+                Arc::clone(&base_fs)
+            } else {
+                FaultFs::wrap(Arc::clone(&base_fs), case.plan.clone())
+            };
+            let mut state = ShellState::new(faulted);
+            let mut shell = Jash::new(Engine::Bash, machine);
+            let base = match shell.run_script(&mut state, script) {
+                Ok(r) => (r.status, r.stdout),
+                Err(e) => (2, format!("jash: {e}\n").into_bytes()),
+            };
+            let base_out = jash_io::fs::read_to_vec(base_fs.as_ref(), "/out").ok();
+
+            // The same case through the daemon: JIT engine, admission
+            // control, per-run journal, fault injected by the run's
+            // injector hook (wired to its cancel token).
+            let dir = TempDir::new("jash-serve-sweep");
+            let served_fs = jash_io::mem_fs();
+            stage(&served_fs);
+            let mut cfg = ServerConfig::new(dir.path().join("sock"), Arc::clone(&served_fs));
+            cfg.machine = machine;
+            cfg.workers = 2;
+            cfg.eager = true;
+            cfg.durable = false;
+            cfg.journal_root = Some("/.jash-serve".to_string());
+            let plan = case.plan.clone();
+            cfg.fault_injector = Some(Arc::new(move |_spec, fs, token| {
+                Some(FaultFs::wrap_with_cancel(fs, plan.clone(), token.clone()) as FsHandle)
+            }));
+            let server = Server::start(cfg).expect("serve sweep: bind");
+
+            let mut req = Request::new(script);
+            req.tenant = "sweep".to_string();
+            if !case.plan.is_empty() {
+                req.fault = Some(case.name.clone());
+            }
+            let t0 = Instant::now();
+            let reply = submit(server.socket(), &req).expect("serve sweep: submit");
+            let wall = t0.elapsed();
+            server.drain();
+
+            let served_out = jash_io::fs::read_to_vec(served_fs.as_ref(), "/out").ok();
+            ServeSweepRow {
+                case: case.name.clone(),
+                status: reply.status.unwrap_or(-1),
+                answered: reply.completed(),
+                matches_baseline: reply.status == Some(base.0)
+                    && reply.stdout == base.1
+                    && served_out == base_out,
+                staging_debris: debris(&served_fs),
+                wall,
+            }
+        })
+        .collect()
+}
+
+/// Renders the serve sweep as an aligned text table.
+pub fn render_serve(rows: &[ServeSweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>6} {:>9} {:>9} {:>8} {:>7}\n",
+        "fault", "status", "answered", "equal", "debris", "ms"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<28} {:>6} {:>9} {:>9} {:>8} {:>7}\n",
+            r.case,
+            r.status,
+            if r.answered { "yes" } else { "NO" },
+            if r.matches_baseline { "ok" } else { "DIVERGED" },
+            if r.staging_debris { "LEAKED" } else { "-" },
+            r.wall.as_millis(),
+        ));
+    }
+    out
+}
+
+/// Whether the daemon path upholds crash-equivalence: every case was
+/// answered, matched the sequential baseline, and leaked nothing.
+pub fn serve_sweep_holds(rows: &[ServeSweepRow]) -> bool {
+    rows.iter()
+        .all(|r| r.answered && r.matches_baseline && !r.staging_debris)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::default_sweep;
+
+    #[test]
+    fn daemon_path_is_crash_equivalent_to_sequential() {
+        let docs = crate::documents(64 * 1024, 11);
+        let dict = crate::dictionary();
+        let len = docs.len() as u64;
+        let stage = move |fs: &FsHandle| {
+            jash_io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs).unwrap();
+            jash_io::fs::write_file(fs.as_ref(), "/data/dict.txt", &dict).unwrap();
+        };
+        let script =
+            "cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u | comm -13 /data/dict.txt - > /out";
+        let machine = MachineProfile {
+            cores: 4,
+            disk: jash_io::DiskProfile::ramdisk(),
+            mem_mb: 4 * 1024,
+        };
+        let rows = run_serve_sweep(
+            script,
+            &stage,
+            &default_sweep("/data/docs.txt", len, 7),
+            machine,
+        );
+        assert_eq!(rows.len(), 8);
+        assert!(serve_sweep_holds(&rows), "\n{}", render_serve(&rows));
+    }
+}

@@ -78,6 +78,12 @@ pub struct Jash {
     /// by a previous run's trace (`--calibrate FILE`). `None` = the
     /// planner uses its static machine-profile rates.
     pub calibration: Option<jash_cost::Calibration>,
+    /// Extra attributes stamped onto the `run` span when tracing —
+    /// per-run/tenant accounting for hosts that multiplex sessions
+    /// (`jash serve` sets `run_id` and `tenant` here so one trace file
+    /// attributes work to the submission that caused it). Ignored when
+    /// no tracer is attached.
+    pub run_attrs: Vec<(String, AttrValue)>,
     /// Write-ahead execution journal, attached via
     /// [`Jash::attach_journal`]. `None` = journaling disabled.
     journal: Option<Arc<Journal>>,
@@ -110,6 +116,7 @@ impl Jash {
             durable: true,
             tracer: None,
             calibration: None,
+            run_attrs: Vec::new(),
             journal: None,
             memo: None,
             resume: None,
@@ -156,11 +163,13 @@ impl Jash {
         Ok(report)
     }
 
-    /// The exit status a pending graceful shutdown dictates, if the
-    /// session's cancel token was tripped by a signal (128 + signum).
+    /// The exit status a pending graceful abort dictates, if the
+    /// session's cancel token was tripped by a signal (128 + signum) or
+    /// a wall-clock deadline (124). `None` for fault cancellations,
+    /// which fail over instead of aborting.
     pub fn shutdown_status(&self) -> Option<i32> {
         let reason = self.cancel.as_ref()?.reason()?;
-        recovery::shutdown_code(&reason)
+        recovery::cancel_exit_code(&reason)
     }
 
     /// Parses and runs a script, returning captured stdio and status.
@@ -187,6 +196,9 @@ impl Jash {
             let s = t.start("run", "run", None);
             t.set_attr(s, "engine", self.engine.to_string());
             t.set_attr(s, "items", prog.items.len() as u64);
+            for (key, value) in &self.run_attrs {
+                t.set_attr(s, key, value.clone());
+            }
             s
         });
         self.current_run = run_span;

@@ -46,7 +46,8 @@ pub mod supervise;
 
 pub use engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
 pub use recovery::{
-    shutdown_code, shutdown_reason, sweep_stage_debris, RecoveryReport, ResumePlan,
+    cancel_exit_code, shutdown_code, shutdown_reason, sweep_stage_debris, RecoveryReport,
+    ResumePlan,
 };
 pub use jash_exec::{
     classify, ErrorClass, RetryPolicy, SupervisionEvent, SupervisionLog,
@@ -54,7 +55,8 @@ pub use jash_exec::{
 pub use jit::Jash;
 pub use region::{jit_region, static_region, Ineligible};
 pub use supervise::{
-    degradation_ladder, resource_pressure, BreakerConfig, CircuitBreaker, Route,
+    cross_run_pressure, degradation_ladder, resource_pressure, BreakerConfig, CircuitBreaker,
+    Route,
 };
 
 #[cfg(test)]

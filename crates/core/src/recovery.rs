@@ -52,6 +52,18 @@ pub fn shutdown_code(reason: &str) -> Option<i32> {
     Some(128 + sig)
 }
 
+/// Parses a cancellation reason into the exit code of a *graceful abort*
+/// of either flavor: signal shutdown (`shutdown:` → 128 + signum) or a
+/// wall-clock deadline (`deadline:` → 124, the `timeout(1)` convention).
+/// Both ride the same session path — stop between statements, journal
+/// `RegionAborted` mid-region, leave the run resumable — so everything
+/// that asks "should this cancellation abort rather than fail over?"
+/// asks here. `None` for fault cancellations (e.g. the stall watchdog),
+/// which *should* fail over.
+pub fn cancel_exit_code(reason: &str) -> Option<i32> {
+    shutdown_code(reason).or_else(|| jash_io::cancel::deadline_code(reason))
+}
+
 /// What one journaled-clean region finished with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DoneRegion {
@@ -244,6 +256,18 @@ mod tests {
         assert_eq!(shutdown_code(&shutdown_reason(15)), Some(143));
         assert_eq!(shutdown_code("watchdog: region stalled"), None);
         assert_eq!(shutdown_code("injected: disk gone"), None);
+    }
+
+    #[test]
+    fn cancel_exit_code_covers_both_graceful_flavors() {
+        use std::time::Duration;
+        assert_eq!(cancel_exit_code(&shutdown_reason(15)), Some(143));
+        assert_eq!(
+            cancel_exit_code(&jash_io::cancel::deadline_reason(Duration::from_secs(3))),
+            Some(124)
+        );
+        assert_eq!(cancel_exit_code("watchdog: region stalled"), None);
+        assert_eq!(cancel_exit_code("client disconnected"), None);
     }
 
     #[test]

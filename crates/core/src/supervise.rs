@@ -208,6 +208,40 @@ pub fn resource_pressure(
     disk_busy.max(cpu_busy).clamp(0.0, 1.0)
 }
 
+/// Aggregate pressure on a multi-run host, in `[0, 1]` — the signal the
+/// cross-run planner feeds to
+/// [`jash_cost::PlannerOptions::under_pressure`] so concurrent runs stop
+/// widening into each other.
+///
+/// Admission state contributes the *demand* half: worker occupancy and
+/// queue backlog, weighted equally. Full workers alone read as 0.5 —
+/// that is normal operation for a busy pool; it is full workers *plus* a
+/// backlog that pushes toward 1. The shared machine models contribute
+/// the *supply* half via `resources` (a [`resource_pressure`] reading
+/// over the shared disk/CPU token buckets); the louder of the two wins,
+/// so either a saturated queue or a saturated disk is enough to make
+/// every run's planner decline widening.
+pub fn cross_run_pressure(
+    active: usize,
+    workers: usize,
+    queued: usize,
+    queue_cap: usize,
+    resources: f64,
+) -> f64 {
+    let occupancy = if workers == 0 {
+        1.0
+    } else {
+        active as f64 / workers as f64
+    };
+    let backlog = if queue_cap == 0 {
+        0.0
+    } else {
+        queued as f64 / queue_cap as f64
+    };
+    let demand = 0.5 * occupancy.clamp(0.0, 1.0) + 0.5 * backlog.clamp(0.0, 1.0);
+    demand.max(resources).clamp(0.0, 1.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +321,23 @@ mod tests {
     fn pressure_reads_zero_without_models() {
         assert_eq!(resource_pressure(None, None, 1.0), 0.0);
         assert_eq!(resource_pressure(None, None, 0.0), 0.0);
+    }
+
+    #[test]
+    fn cross_run_pressure_combines_demand_and_supply() {
+        // Idle host: no pressure.
+        assert_eq!(cross_run_pressure(0, 4, 0, 8, 0.0), 0.0);
+        // Full workers but empty queue: busy, not overloaded.
+        let busy = cross_run_pressure(4, 4, 0, 8, 0.0);
+        assert!((busy - 0.5).abs() < 1e-9, "busy {busy}");
+        // Backlog pushes toward saturation.
+        let backed_up = cross_run_pressure(4, 4, 8, 8, 0.0);
+        assert!((backed_up - 1.0).abs() < 1e-9, "backed_up {backed_up}");
+        // A saturated shared disk alone is enough.
+        assert_eq!(cross_run_pressure(1, 8, 0, 8, 0.97), 0.97);
+        // Degenerate configs clamp instead of dividing by zero.
+        assert!(cross_run_pressure(3, 0, 0, 0, 0.0) >= 0.5);
+        assert!(cross_run_pressure(9, 4, 9, 8, 2.0) <= 1.0);
     }
 
     #[test]

@@ -40,6 +40,35 @@ impl Default for PlannerOptions {
     }
 }
 
+impl PlannerOptions {
+    /// These options tightened for aggregate pressure `pressure` ∈ [0, 1]
+    /// from *other* runs sharing the machine (a multi-run host like
+    /// `jash serve` computes it from worker occupancy, queue depth, and
+    /// the shared disk/CPU models).
+    ///
+    /// One run's widening math assumes the cores and disk tokens it is
+    /// promised are actually idle; under cross-run load they are not, so
+    /// the projected speedup is an overestimate. Rather than model every
+    /// concurrent run, the planner simply raises the bar: the required
+    /// speedup grows linearly with pressure (up to 3× the configured
+    /// margin), and near saturation widening is declined outright —
+    /// "first, do no harm" applied fleet-wide.
+    #[must_use]
+    pub fn under_pressure(&self, pressure: f64) -> PlannerOptions {
+        let p = pressure.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return *self;
+        }
+        let mut opts = *self;
+        opts.min_speedup = self.min_speedup.max(1.0) * (1.0 + 2.0 * p);
+        if p >= 0.95 {
+            // Saturated: run sequential, don't fight the other runs.
+            opts.force_width = Some(1);
+        }
+        opts
+    }
+}
+
 /// The chosen plan and its projections.
 #[derive(Debug, Clone, Copy)]
 pub struct Decision {
@@ -237,6 +266,31 @@ mod tests {
         assert_eq!(std, opt, "same plan regardless of disk");
         assert!(std.buffered);
         assert_eq!(std.width, 8);
+    }
+
+    #[test]
+    fn pressure_raises_the_widening_bar_monotonically() {
+        let base = PlannerOptions::default();
+        assert_eq!(base.under_pressure(0.0).min_speedup, base.min_speedup);
+        let mid = base.under_pressure(0.5);
+        let high = base.under_pressure(0.9);
+        assert!(mid.min_speedup > base.min_speedup);
+        assert!(high.min_speedup > mid.min_speedup);
+        assert_eq!(mid.force_width, None);
+        // Saturation declines widening outright.
+        assert_eq!(base.under_pressure(1.0).force_width, Some(1));
+        // Out-of-range input is clamped, not amplified.
+        assert_eq!(
+            base.under_pressure(7.0).min_speedup,
+            base.under_pressure(1.0).min_speedup
+        );
+        // An eager test config (min_speedup = 0) still gets a real bar
+        // under pressure instead of a scaled zero.
+        let eager = PlannerOptions {
+            min_speedup: 0.0,
+            ..PlannerOptions::default()
+        };
+        assert!(eager.under_pressure(0.5).min_speedup >= 1.0);
     }
 
     #[test]

@@ -126,6 +126,61 @@ impl CancelToken {
     }
 }
 
+/// Reason prefix a wall-clock deadline writes into a [`CancelToken`].
+///
+/// Mirrors the `shutdown:` convention from graceful signal handling: the
+/// session layer recognizes the prefix, aborts the in-flight region
+/// (journaled, resumable) instead of failing over, and surfaces exit
+/// code 124 — the `timeout(1)` convention.
+pub const DEADLINE_PREFIX: &str = "deadline:";
+
+/// The cancellation reason for a deadline of `limit`.
+pub fn deadline_reason(limit: Duration) -> String {
+    format!("{DEADLINE_PREFIX} wall-clock limit {}ms exceeded", limit.as_millis())
+}
+
+/// Parses a cancellation reason back into the timeout exit code (124,
+/// the `timeout(1)` convention). `None` when the reason is not a
+/// deadline cancellation.
+pub fn deadline_code(reason: &str) -> Option<i32> {
+    reason.starts_with(DEADLINE_PREFIX).then_some(124)
+}
+
+/// Arms a wall-clock deadline over a [`CancelToken`]: a watcher thread
+/// cancels the token with [`deadline_reason`] when the limit elapses.
+///
+/// The guard is the *disarm* handle. Dropping it (run finished first)
+/// retires the watcher promptly instead of leaving a thread parked for
+/// the rest of a long limit — which matters in a daemon arming one per
+/// run. The watcher sleeps on a private token, so disarming never
+/// touches the run's own token.
+pub struct DeadlineGuard {
+    disarm: CancelToken,
+}
+
+impl DeadlineGuard {
+    /// Starts the watcher: after `limit`, `token` is cancelled with the
+    /// deadline reason (first-reason-wins: if something else cancelled
+    /// the run earlier, that diagnosis is preserved).
+    pub fn arm(token: &CancelToken, limit: Duration) -> DeadlineGuard {
+        let disarm = CancelToken::new();
+        let watcher = disarm.clone();
+        let target = token.clone();
+        std::thread::spawn(move || {
+            if watcher.sleep(limit).is_ok() {
+                target.cancel(deadline_reason(limit));
+            }
+        });
+        DeadlineGuard { disarm }
+    }
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        self.disarm.cancel("deadline disarmed");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +203,37 @@ mod tests {
         let t0 = Instant::now();
         t.sleep(Duration::from_millis(20)).unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn deadline_guard_fires_and_maps_to_124() {
+        let t = CancelToken::new();
+        let _g = DeadlineGuard::arm(&t, Duration::from_millis(20));
+        let r = t.sleep(Duration::from_secs(10));
+        assert!(r.is_err(), "deadline must interrupt the sleep");
+        let reason = t.reason().unwrap();
+        assert!(reason.starts_with(DEADLINE_PREFIX), "reason: {reason}");
+        assert_eq!(deadline_code(&reason), Some(124));
+        assert_eq!(deadline_code("shutdown: SIGTERM (15) received"), None);
+    }
+
+    #[test]
+    fn dropped_guard_never_fires() {
+        let t = CancelToken::new();
+        {
+            let _g = DeadlineGuard::arm(&t, Duration::from_millis(30));
+        }
+        std::thread::sleep(Duration::from_millis(80));
+        assert!(!t.is_cancelled(), "disarmed deadline must not cancel the run");
+    }
+
+    #[test]
+    fn earlier_cancellation_outranks_the_deadline() {
+        let t = CancelToken::new();
+        let _g = DeadlineGuard::arm(&t, Duration::from_millis(10));
+        t.cancel("client disconnected");
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(t.reason().as_deref(), Some("client disconnected"));
     }
 
     #[test]

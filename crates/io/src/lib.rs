@@ -22,7 +22,7 @@ pub mod pipe;
 pub mod stream;
 pub mod tempdir;
 
-pub use cancel::CancelToken;
+pub use cancel::{deadline_code, deadline_reason, CancelToken, DeadlineGuard, DEADLINE_PREFIX};
 pub use cpu::{cpu_rate, CpuMeteredStream, CpuModel};
 pub use disk::{DiskModel, DiskProfile, DiskStats};
 pub use fault::{FaultFs, FaultPlan, FaultStream};

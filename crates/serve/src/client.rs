@@ -1,0 +1,139 @@
+//! A minimal blocking client for the serve protocol, used by the
+//! integration suite, the CI smoke drill, and `faultsweep --serve`.
+//!
+//! One call = one connection = one run: connect, send the Submit frame,
+//! read frames until `Done` or `Rejected`. For disconnect testing,
+//! [`submit_detached`] stops after `Accepted` and hands back the open
+//! stream so the caller can drop it mid-run.
+
+use crate::proto::{self, Frame};
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// One submission.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Script source.
+    pub script: String,
+    /// Wall-clock limit in milliseconds (`0` = daemon default).
+    pub timeout_ms: u64,
+    /// Tenant label for trace accounting.
+    pub tenant: String,
+    /// Optional fault-injection spec (test daemons only).
+    pub fault: Option<String>,
+}
+
+impl Request {
+    /// A plain request with no deadline, no faults, tenant "cli".
+    pub fn new(script: impl Into<String>) -> Request {
+        Request {
+            script: script.into(),
+            timeout_ms: 0,
+            tenant: "cli".to_string(),
+            fault: None,
+        }
+    }
+}
+
+/// Everything one run sent back.
+#[derive(Debug, Clone, Default)]
+pub struct RunReply {
+    /// Run id from the `Accepted` frame, when admitted.
+    pub run_id: Option<u64>,
+    /// `(code, active, queued, reason)` from a `Rejected` frame.
+    pub rejected: Option<(u8, u32, u32, String)>,
+    /// Exit status from `Done`, when the run executed.
+    pub status: Option<i32>,
+    /// Abort reason from `Done`, when the run was cancelled.
+    pub aborted: Option<String>,
+    /// Concatenated stdout frames.
+    pub stdout: Vec<u8>,
+    /// Concatenated stderr frames.
+    pub stderr: Vec<u8>,
+}
+
+impl RunReply {
+    /// Whether the daemon admitted and finished the run (any status).
+    pub fn completed(&self) -> bool {
+        self.status.is_some()
+    }
+}
+
+fn request_frame(req: &Request) -> Frame {
+    Frame::Submit {
+        script: req.script.clone(),
+        timeout_ms: req.timeout_ms,
+        tenant: req.tenant.clone(),
+        fault: req.fault.clone(),
+    }
+}
+
+/// Reads server frames off `conn` into a [`RunReply`] until the
+/// connection yields `Done`, `Rejected`, or EOF.
+pub fn collect(conn: &mut UnixStream, reply: &mut RunReply) -> io::Result<()> {
+    loop {
+        match proto::read_frame(conn)? {
+            Some(Frame::Accepted { run_id }) => reply.run_id = Some(run_id),
+            Some(Frame::Rejected {
+                code,
+                active,
+                queued,
+                reason,
+            }) => {
+                reply.rejected = Some((code, active, queued, reason));
+                return Ok(());
+            }
+            Some(Frame::Stdout(b)) => reply.stdout.extend_from_slice(&b),
+            Some(Frame::Stderr(b)) => reply.stderr.extend_from_slice(&b),
+            Some(Frame::Done { status, aborted }) => {
+                reply.status = Some(status);
+                reply.aborted = aborted;
+                return Ok(());
+            }
+            Some(Frame::Submit { .. }) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "server sent a Submit frame",
+                ));
+            }
+            None => return Ok(()), // Drained daemon closed mid-run.
+        }
+    }
+}
+
+/// Submits `req` and blocks until the run finishes (or is rejected).
+pub fn submit(socket: &Path, req: &Request) -> io::Result<RunReply> {
+    let mut conn = UnixStream::connect(socket)?;
+    proto::write_frame(&mut conn, &request_frame(req))?;
+    let mut reply = RunReply::default();
+    collect(&mut conn, &mut reply)?;
+    Ok(reply)
+}
+
+/// Submits `req` and returns as soon as the daemon answers `Accepted`,
+/// handing the caller the open stream — dropping it simulates a client
+/// that vanished mid-run. Returns the rejection instead when shed.
+pub fn submit_detached(
+    socket: &Path,
+    req: &Request,
+) -> io::Result<Result<(UnixStream, u64), RunReply>> {
+    let mut conn = UnixStream::connect(socket)?;
+    proto::write_frame(&mut conn, &request_frame(req))?;
+    match proto::read_frame(&mut conn)? {
+        Some(Frame::Accepted { run_id }) => Ok(Ok((conn, run_id))),
+        Some(Frame::Rejected {
+            code,
+            active,
+            queued,
+            reason,
+        }) => Ok(Err(RunReply {
+            rejected: Some((code, active, queued, reason)),
+            ..RunReply::default()
+        })),
+        _ => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected Accepted or Rejected",
+        )),
+    }
+}

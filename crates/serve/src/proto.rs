@@ -1,0 +1,384 @@
+//! The serve wire protocol: length-prefixed frames over a unix socket.
+//!
+//! The format is deliberately tiny — one tag byte, a big-endian `u32`
+//! length, then the payload — because the protocol's job is robustness,
+//! not expressiveness. Everything a hardened daemon needs is expressible
+//! in six frame types: a client submits exactly one script per
+//! connection ([`Frame::Submit`]), the daemon answers with either
+//! [`Frame::Accepted`] or a *structured* [`Frame::Rejected`] (overload is
+//! an answer, not a stall), streams captured output back as
+//! [`Frame::Stdout`] / [`Frame::Stderr`], and closes the exchange with
+//! [`Frame::Done`] carrying the exit status and, when the run was
+//! aborted (deadline, disconnect, drain), the abort reason.
+//!
+//! Encoding is hand-rolled over `std::io` so the crate adds no
+//! dependencies: no serde, no tokio — a 50-year protocol should be
+//! implementable in an afternoon from its description.
+
+use std::io::{self, Read, Write};
+
+/// Upper bound on a single frame payload. A malicious or corrupted
+/// length prefix must not make the daemon allocate unbounded memory;
+/// scripts and captured output beyond this are a misuse of a shell
+/// daemon, not a workload to support.
+pub const MAX_FRAME: u32 = 16 * 1024 * 1024;
+
+/// Structured rejection codes carried by [`Frame::Rejected`].
+pub mod reject {
+    /// The admission queue is full: shed load, retry later.
+    pub const OVERLOADED: u8 = 1;
+    /// The daemon is draining after SIGTERM: no new work, ever.
+    pub const DRAINING: u8 = 2;
+    /// The submission frame did not parse.
+    pub const MALFORMED: u8 = 3;
+    /// The submission carried a fault spec but the daemon was not
+    /// started with fault injection enabled.
+    pub const FAULTS_DISABLED: u8 = 4;
+
+    /// Human-readable name for a code.
+    pub fn name(code: u8) -> &'static str {
+        match code {
+            OVERLOADED => "overloaded",
+            DRAINING => "draining",
+            MALFORMED => "malformed",
+            FAULTS_DISABLED => "faults-disabled",
+            _ => "unknown",
+        }
+    }
+}
+
+const TAG_SUBMIT: u8 = 1;
+const TAG_ACCEPTED: u8 = 2;
+const TAG_REJECTED: u8 = 3;
+const TAG_STDOUT: u8 = 4;
+const TAG_STDERR: u8 = 5;
+const TAG_DONE: u8 = 6;
+
+/// One protocol frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client → server: run this script. One submit per connection.
+    Submit {
+        /// The script source.
+        script: String,
+        /// Wall-clock deadline in milliseconds; `0` = no client limit
+        /// (the daemon may still impose its own).
+        timeout_ms: u64,
+        /// Tenant label for per-run trace accounting (free-form).
+        tenant: String,
+        /// Optional fault-injection spec, honored only when the daemon
+        /// was started with faults enabled (tests and smoke drills).
+        fault: Option<String>,
+    },
+    /// Server → client: admitted; frames for run `run_id` follow.
+    Accepted {
+        /// Daemon-wide run identifier (also the journal/trace scope).
+        run_id: u64,
+    },
+    /// Server → client: not admitted, and here is exactly why — the
+    /// structured alternative to letting an overloaded daemon stall.
+    Rejected {
+        /// One of the [`reject`] codes.
+        code: u8,
+        /// Runs executing when the decision was made.
+        active: u32,
+        /// Submissions queued when the decision was made.
+        queued: u32,
+        /// Human-readable diagnosis.
+        reason: String,
+    },
+    /// Server → client: captured stdout bytes.
+    Stdout(Vec<u8>),
+    /// Server → client: captured stderr bytes.
+    Stderr(Vec<u8>),
+    /// Server → client: the run finished; last frame on the connection.
+    Done {
+        /// Exit status (`124` deadline, `143` drain, `125` isolated
+        /// panic, otherwise the script's own status).
+        status: i32,
+        /// The cancellation reason when the run was aborted rather than
+        /// run to completion.
+        aborted: Option<String>,
+    },
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_bytes(buf: &mut Vec<u8>, b: &[u8]) {
+    put_u32(buf, b.len() as u32);
+    buf.extend_from_slice(b);
+}
+
+fn take_u32(p: &mut &[u8]) -> io::Result<u32> {
+    let (head, rest) = p
+        .split_first_chunk::<4>()
+        .ok_or_else(|| malformed("truncated u32"))?;
+    *p = rest;
+    Ok(u32::from_be_bytes(*head))
+}
+
+fn take_u64(p: &mut &[u8]) -> io::Result<u64> {
+    let (head, rest) = p
+        .split_first_chunk::<8>()
+        .ok_or_else(|| malformed("truncated u64"))?;
+    *p = rest;
+    Ok(u64::from_be_bytes(*head))
+}
+
+fn take_u8(p: &mut &[u8]) -> io::Result<u8> {
+    let (&b, rest) = p.split_first().ok_or_else(|| malformed("truncated u8"))?;
+    *p = rest;
+    Ok(b)
+}
+
+fn take_bytes(p: &mut &[u8]) -> io::Result<Vec<u8>> {
+    let len = take_u32(p)? as usize;
+    if p.len() < len {
+        return Err(malformed("length prefix past end of frame"));
+    }
+    let (head, rest) = p.split_at(len);
+    *p = rest;
+    Ok(head.to_vec())
+}
+
+fn take_string(p: &mut &[u8]) -> io::Result<String> {
+    String::from_utf8(take_bytes(p)?).map_err(|_| malformed("invalid utf-8"))
+}
+
+fn malformed(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("malformed frame: {why}"))
+}
+
+impl Frame {
+    fn tag(&self) -> u8 {
+        match self {
+            Frame::Submit { .. } => TAG_SUBMIT,
+            Frame::Accepted { .. } => TAG_ACCEPTED,
+            Frame::Rejected { .. } => TAG_REJECTED,
+            Frame::Stdout(_) => TAG_STDOUT,
+            Frame::Stderr(_) => TAG_STDERR,
+            Frame::Done { .. } => TAG_DONE,
+        }
+    }
+
+    fn payload(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Frame::Submit {
+                script,
+                timeout_ms,
+                tenant,
+                fault,
+            } => {
+                buf.extend_from_slice(&timeout_ms.to_be_bytes());
+                put_bytes(&mut buf, tenant.as_bytes());
+                match fault {
+                    Some(f) => {
+                        buf.push(1);
+                        put_bytes(&mut buf, f.as_bytes());
+                    }
+                    None => buf.push(0),
+                }
+                buf.extend_from_slice(script.as_bytes());
+            }
+            Frame::Accepted { run_id } => buf.extend_from_slice(&run_id.to_be_bytes()),
+            Frame::Rejected {
+                code,
+                active,
+                queued,
+                reason,
+            } => {
+                buf.push(*code);
+                put_u32(&mut buf, *active);
+                put_u32(&mut buf, *queued);
+                buf.extend_from_slice(reason.as_bytes());
+            }
+            Frame::Stdout(b) | Frame::Stderr(b) => buf.extend_from_slice(b),
+            Frame::Done { status, aborted } => {
+                buf.extend_from_slice(&status.to_be_bytes());
+                match aborted {
+                    Some(r) => {
+                        buf.push(1);
+                        buf.extend_from_slice(r.as_bytes());
+                    }
+                    None => buf.push(0),
+                }
+            }
+        }
+        buf
+    }
+
+    fn decode(tag: u8, mut p: &[u8]) -> io::Result<Frame> {
+        let p = &mut p;
+        Ok(match tag {
+            TAG_SUBMIT => {
+                let timeout_ms = take_u64(p)?;
+                let tenant = take_string(p)?;
+                let fault = match take_u8(p)? {
+                    0 => None,
+                    1 => Some(take_string(p)?),
+                    _ => return Err(malformed("bad fault flag")),
+                };
+                let script = std::str::from_utf8(p)
+                    .map_err(|_| malformed("script not utf-8"))?
+                    .to_string();
+                Frame::Submit {
+                    script,
+                    timeout_ms,
+                    tenant,
+                    fault,
+                }
+            }
+            TAG_ACCEPTED => Frame::Accepted { run_id: take_u64(p)? },
+            TAG_REJECTED => {
+                let code = take_u8(p)?;
+                let active = take_u32(p)?;
+                let queued = take_u32(p)?;
+                let reason = std::str::from_utf8(p)
+                    .map_err(|_| malformed("reason not utf-8"))?
+                    .to_string();
+                Frame::Rejected {
+                    code,
+                    active,
+                    queued,
+                    reason,
+                }
+            }
+            TAG_STDOUT => Frame::Stdout(p.to_vec()),
+            TAG_STDERR => Frame::Stderr(p.to_vec()),
+            TAG_DONE => {
+                let status = take_u32(p)? as i32;
+                let aborted = match take_u8(p)? {
+                    0 => None,
+                    1 => Some(
+                        std::str::from_utf8(p)
+                            .map_err(|_| malformed("abort reason not utf-8"))?
+                            .to_string(),
+                    ),
+                    _ => return Err(malformed("bad abort flag")),
+                };
+                Frame::Done { status, aborted }
+            }
+            other => return Err(malformed(&format!("unknown tag {other}"))),
+        })
+    }
+}
+
+/// Writes one frame (tag, length, payload) and flushes.
+pub fn write_frame(w: &mut impl Write, frame: &Frame) -> io::Result<()> {
+    let payload = frame.payload();
+    if payload.len() as u64 > MAX_FRAME as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME",
+        ));
+    }
+    let mut head = [0u8; 5];
+    head[0] = frame.tag();
+    head[1..5].copy_from_slice(&(payload.len() as u32).to_be_bytes());
+    w.write_all(&head)?;
+    w.write_all(&payload)?;
+    w.flush()
+}
+
+/// Reads one frame. `Ok(None)` means the peer closed the connection
+/// cleanly at a frame boundary; EOF *inside* a frame is an error, as is
+/// a length prefix beyond [`MAX_FRAME`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Frame>> {
+    let mut head = [0u8; 5];
+    let mut got = 0;
+    while got < head.len() {
+        match r.read(&mut head[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(malformed("eof inside frame header")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(head[1..5].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(malformed("length prefix exceeds MAX_FRAME"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Frame::decode(head[0], &payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(f: Frame) {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &f).unwrap();
+        let back = read_frame(&mut buf.as_slice()).unwrap().unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        round_trip(Frame::Submit {
+            script: "cat /data/in | sort -u > /out".to_string(),
+            timeout_ms: 2500,
+            tenant: "tenant-a".to_string(),
+            fault: Some("read-error:/data/in:4096".to_string()),
+        });
+        round_trip(Frame::Submit {
+            script: String::new(),
+            timeout_ms: 0,
+            tenant: String::new(),
+            fault: None,
+        });
+        round_trip(Frame::Accepted { run_id: u64::MAX });
+        round_trip(Frame::Rejected {
+            code: reject::OVERLOADED,
+            active: 4,
+            queued: 8,
+            reason: "admission queue full (8/8)".to_string(),
+        });
+        round_trip(Frame::Stdout(b"hello\n".to_vec()));
+        round_trip(Frame::Stderr(Vec::new()));
+        round_trip(Frame::Done {
+            status: -1,
+            aborted: Some("deadline: wall-clock limit 2500ms exceeded".to_string()),
+        });
+        round_trip(Frame::Done {
+            status: 0,
+            aborted: None,
+        });
+    }
+
+    #[test]
+    fn multiple_frames_stream_in_order() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Frame::Accepted { run_id: 1 }).unwrap();
+        write_frame(&mut buf, &Frame::Stdout(b"x".to_vec())).unwrap();
+        write_frame(&mut buf, &Frame::Done { status: 0, aborted: None }).unwrap();
+        let mut r = buf.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Accepted { run_id: 1 }));
+        assert_eq!(read_frame(&mut r).unwrap(), Some(Frame::Stdout(b"x".to_vec())));
+        assert!(matches!(read_frame(&mut r).unwrap(), Some(Frame::Done { .. })));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean eof after last frame");
+    }
+
+    #[test]
+    fn corrupt_input_errors_instead_of_allocating() {
+        // Length prefix far past MAX_FRAME must be refused before any
+        // allocation happens.
+        let mut buf = vec![TAG_STDOUT];
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(read_frame(&mut buf.as_slice()).is_err());
+        // EOF mid-frame is an error, not a silent None.
+        let mut ok = Vec::new();
+        write_frame(&mut ok, &Frame::Stdout(b"abcdef".to_vec())).unwrap();
+        assert!(read_frame(&mut &ok[..ok.len() - 2]).is_err());
+        // Unknown tag.
+        let mut bad = vec![99u8, 0, 0, 0, 0];
+        assert!(read_frame(&mut bad.as_slice()).is_err());
+        bad[0] = TAG_SUBMIT; // empty submit payload: truncated u64
+        assert!(read_frame(&mut bad.as_slice()).is_err());
+    }
+}

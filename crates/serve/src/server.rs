@@ -1,0 +1,731 @@
+//! The `jash serve` daemon: a bounded worker pool multiplexing isolated
+//! shell runs over one shared machine.
+//!
+//! Robustness decisions, in the order a submission meets them:
+//!
+//! * **Admission control** — a bounded queue in front of a bounded pool.
+//!   A full queue answers with a structured [`Frame::Rejected`]
+//!   (code, active, queued, reason) and closes the connection: the
+//!   daemon *sheds* load, it never stalls accepting it. Draining is its
+//!   own rejection code so clients can tell "retry later" from "find
+//!   another server".
+//! * **Isolation** — every admitted run gets its own [`Jash`] engine,
+//!   journal scope, tracer, and [`CancelToken`]. What runs *share* is
+//!   the machine: one filesystem, one [`CpuModel`] token bucket, one
+//!   disk model — so the planner's resource math sees aggregate load.
+//! * **Cross-run pressure** — before each run is planned, the daemon
+//!   reads [`jash_core::cross_run_pressure`] (worker occupancy + queue
+//!   backlog + shared-model saturation) and tightens the run's
+//!   [`PlannerOptions::under_pressure`]: a busy daemon stops widening
+//!   regions into its own other tenants.
+//! * **Deadlines** — a per-run [`DeadlineGuard`] cancels the run's token
+//!   with the `deadline:` reason; the session layer aborts the region,
+//!   journals `RegionAborted`, and surfaces exit 124.
+//! * **Disconnect detection** — a monitor thread reads the client's half
+//!   of the socket; EOF before `Done` cancels the orphaned run and frees
+//!   its worker slot for queued submissions.
+//! * **Panic isolation** — the run executes under `catch_unwind`
+//!   (defense in depth over the executor's own per-node isolation): a
+//!   panicking run reports status 125 to its client and the daemon keeps
+//!   serving.
+//! * **Graceful drain** — [`Server::drain`] stops admission, sheds the
+//!   queue with `DRAINING` rejections, cancels in-flight runs with the
+//!   SIGTERM shutdown reason (journaled, resumable, exit 143), and waits
+//!   out a bounded drain budget. Stragglers are *reported*, never
+//!   waited on forever — the budget is the contract.
+
+use crate::proto::{self, reject, Frame};
+use jash_core::{cross_run_pressure, resource_pressure, Engine, Jash};
+use jash_cost::MachineProfile;
+use jash_expand::ShellState;
+use jash_io::{CancelToken, CpuModel, DeadlineGuard, DiskModel, FsHandle};
+use jash_trace::Tracer;
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Hook for wrapping a run's filesystem with injected faults. Called
+/// with the submission's fault spec, the shared filesystem, and the
+/// run's cancel token (so stall-style faults stay cancellable); returns
+/// the wrapped handle, or `None` when the spec does not parse.
+pub type FaultInjector =
+    Arc<dyn Fn(&str, FsHandle, &CancelToken) -> Option<FsHandle> + Send + Sync>;
+
+/// Daemon configuration.
+pub struct ServerConfig {
+    /// Unix socket path (host filesystem).
+    pub socket: PathBuf,
+    /// The shared filesystem every run executes against.
+    pub fs: FsHandle,
+    /// Machine profile handed to every run's planner.
+    pub machine: MachineProfile,
+    /// Engine for submitted runs.
+    pub engine: Engine,
+    /// Worker pool size (concurrent runs).
+    pub workers: usize,
+    /// Admission queue bound; submissions past it are rejected.
+    pub queue_cap: usize,
+    /// Deadline imposed on runs whose submission asked for none.
+    pub default_timeout: Option<Duration>,
+    /// How long [`Server::drain`] waits for in-flight runs to abort.
+    pub drain_budget: Duration,
+    /// Virtual directory for per-run journals (`<root>/run-<id>`), or
+    /// `None` to disable journaling.
+    pub journal_root: Option<String>,
+    /// Virtual directory for per-run schema-v1 traces
+    /// (`<root>/run-<id>.jsonl`), or `None` to disable tracing.
+    pub trace_root: Option<String>,
+    /// Whether run commits use the full durability protocol.
+    pub durable: bool,
+    /// Test knob: plan eagerly (`min_speedup = 0`, width 4) so small
+    /// inputs still exercise the optimized path.
+    pub eager: bool,
+    /// Shared CPU token bucket, charged by every run.
+    pub cpu: Option<Arc<CpuModel>>,
+    /// Shared disk model, read by the pressure signal.
+    pub disk: Option<Arc<DiskModel>>,
+    /// Fault-injection hook; `None` rejects submissions carrying fault
+    /// specs (production posture).
+    pub fault_injector: Option<FaultInjector>,
+}
+
+impl ServerConfig {
+    /// A config with production-shaped defaults: 4 workers, a queue of
+    /// 8, a 5-second drain budget, JIT engine, durable commits, no
+    /// fault injection.
+    pub fn new(socket: impl Into<PathBuf>, fs: FsHandle) -> ServerConfig {
+        ServerConfig {
+            socket: socket.into(),
+            fs,
+            machine: MachineProfile::laptop(),
+            engine: Engine::JashJit,
+            workers: 4,
+            queue_cap: 8,
+            default_timeout: None,
+            drain_budget: Duration::from_secs(5),
+            journal_root: None,
+            trace_root: None,
+            durable: true,
+            eager: false,
+            cpu: None,
+            disk: None,
+            fault_injector: None,
+        }
+    }
+}
+
+/// Daemon-lifetime counters, readable while running and reported by
+/// [`DrainReport`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Submissions admitted (Accepted frame sent).
+    pub accepted: u64,
+    /// Runs that finished and sent their Done frame.
+    pub completed: u64,
+    /// Submissions shed because the queue was full.
+    pub rejected_overload: u64,
+    /// Submissions shed because the daemon was draining.
+    pub rejected_draining: u64,
+    /// Connections dropped for unparseable submissions.
+    pub rejected_malformed: u64,
+    /// Submissions carrying fault specs while injection was disabled.
+    pub rejected_faults_disabled: u64,
+    /// Runs aborted by their wall-clock deadline.
+    pub deadline_aborts: u64,
+    /// Runs cancelled because their client vanished mid-run.
+    pub disconnect_cancels: u64,
+    /// Runs whose engine panicked and was contained.
+    pub panics_isolated: u64,
+}
+
+/// What [`Server::drain`] observed.
+#[derive(Debug, Clone)]
+pub struct DrainReport {
+    /// Runs in flight when drain began (each was cancelled with the
+    /// SIGTERM shutdown reason and given the budget to abort cleanly).
+    pub in_flight: usize,
+    /// Queued submissions shed with `DRAINING` rejections.
+    pub shed: usize,
+    /// Runs still executing when the budget expired (the daemon exits
+    /// anyway; a wedged run must not hold the process hostage).
+    pub stragglers: usize,
+    /// Whether every run retired within the budget.
+    pub within_budget: bool,
+    /// Final counters.
+    pub stats: ServeStats,
+}
+
+struct Job {
+    run_id: u64,
+    tenant: String,
+    script: String,
+    timeout: Option<Duration>,
+    fault: Option<String>,
+    conn: UnixStream,
+}
+
+#[derive(Default)]
+struct Gate {
+    draining: bool,
+    active: usize,
+    queue: VecDeque<Job>,
+    live: HashMap<u64, CancelToken>,
+    next_run: u64,
+    stats: ServeStats,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    gate: Mutex<Gate>,
+    /// Workers park here waiting for queued jobs.
+    work: Condvar,
+    /// Drain parks here waiting for `active` to reach zero.
+    idle: Condvar,
+    started: Instant,
+}
+
+/// A running daemon. Create with [`Server::start`], stop with
+/// [`Server::drain`].
+pub struct Server {
+    shared: Arc<Shared>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the socket and starts the accept loop and worker pool.
+    pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        // A stale socket file from a dead daemon refuses the bind.
+        let _ = std::fs::remove_file(&cfg.socket);
+        let listener = UnixListener::bind(&cfg.socket)?;
+        // Nonblocking accept + short poll, so drain can stop the loop
+        // without a wake-up connection or platform-specific tricks.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            cfg,
+            gate: Mutex::new(Gate::default()),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            started: Instant::now(),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&shared, &listener))
+        };
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The socket path clients connect to.
+    pub fn socket(&self) -> &PathBuf {
+        &self.shared.cfg.socket
+    }
+
+    /// A snapshot of the daemon counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.gate.lock().unwrap().stats.clone()
+    }
+
+    /// `(active, queued)` right now — the admission state tests and
+    /// operators poll to sequence against the worker pool.
+    pub fn load(&self) -> (usize, usize) {
+        let gate = self.shared.gate.lock().unwrap();
+        (gate.active, gate.queue.len())
+    }
+
+    /// The current cross-run pressure reading, as the next admitted
+    /// run's planner would see it.
+    pub fn pressure(&self) -> f64 {
+        self.shared.pressure()
+    }
+
+    /// Graceful drain: stop admitting, shed the queue, cancel in-flight
+    /// runs with the SIGTERM shutdown reason, and wait out the budget.
+    ///
+    /// Never blocks past `drain_budget` (plus scheduling noise): a run
+    /// that ignores its cancel token is reported as a straggler, and the
+    /// caller is expected to exit the process regardless.
+    pub fn drain(mut self) -> DrainReport {
+        let shared = Arc::clone(&self.shared);
+        let budget = shared.cfg.drain_budget;
+        let (in_flight, shed) = {
+            let mut gate = shared.gate.lock().unwrap();
+            gate.draining = true;
+            let shed: Vec<Job> = gate.queue.drain(..).collect();
+            for token in gate.live.values() {
+                token.cancel(jash_core::shutdown_reason(15));
+            }
+            let in_flight = gate.active;
+            gate.stats.rejected_draining += shed.len() as u64;
+            // Wake parked workers so they observe `draining` and exit.
+            self.shared.work.notify_all();
+            (in_flight, shed)
+        };
+        let shed_count = shed.len();
+        for job in shed {
+            let mut conn = job.conn;
+            let (active, queued) = (in_flight as u32, 0);
+            let _ = proto::write_frame(
+                &mut conn,
+                &Frame::Rejected {
+                    code: reject::DRAINING,
+                    active,
+                    queued,
+                    reason: "daemon draining (SIGTERM): submission shed".to_string(),
+                },
+            );
+        }
+        // Wait for in-flight runs to retire, bounded by the budget.
+        let deadline = Instant::now() + budget;
+        let stragglers = {
+            let mut gate = shared.gate.lock().unwrap();
+            loop {
+                if gate.active == 0 {
+                    break 0;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break gate.active;
+                }
+                let (g, _timeout) = shared.idle.wait_timeout(gate, deadline - now).unwrap();
+                gate = g;
+            }
+        };
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if stragglers == 0 {
+            for h in self.workers.drain(..) {
+                let _ = h.join();
+            }
+        } else {
+            // Wedged runs keep their (detached) threads; the process is
+            // about to exit and must not inherit their fate.
+            self.workers.clear();
+        }
+        let _ = std::fs::remove_file(&shared.cfg.socket);
+        let stats = shared.gate.lock().unwrap().stats.clone();
+        DrainReport {
+            in_flight,
+            shed: shed_count,
+            stragglers,
+            within_budget: stragglers == 0,
+            stats,
+        }
+    }
+}
+
+impl Shared {
+    fn pressure(&self) -> f64 {
+        let (active, queued) = {
+            let gate = self.gate.lock().unwrap();
+            (gate.active, gate.queue.len())
+        };
+        let resources = resource_pressure(
+            self.cfg.disk.as_ref(),
+            self.cfg.cpu.as_ref(),
+            self.started.elapsed().as_secs_f64(),
+        );
+        cross_run_pressure(
+            active,
+            self.cfg.workers,
+            queued,
+            self.cfg.queue_cap,
+            resources,
+        )
+    }
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &UnixListener) {
+    loop {
+        if shared.gate.lock().unwrap().draining {
+            return;
+        }
+        match listener.accept() {
+            Ok((conn, _addr)) => {
+                let shared = Arc::clone(shared);
+                // Intake runs off-thread: reading the submit frame from
+                // a slow client must not block the accept loop.
+                std::thread::spawn(move || intake(&shared, conn));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Reads one submission and runs admission control. All rejection paths
+/// answer with a structured frame before closing — shedding is visible,
+/// stalling is forbidden.
+fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
+    // A client that connects and then wedges without submitting must not
+    // pin the intake thread forever.
+    let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let submit = match proto::read_frame(&mut conn) {
+        Ok(Some(f @ Frame::Submit { .. })) => f,
+        _ => {
+            let mut gate = shared.gate.lock().unwrap();
+            gate.stats.rejected_malformed += 1;
+            let (active, queued) = (gate.active as u32, gate.queue.len() as u32);
+            drop(gate);
+            let _ = proto::write_frame(
+                &mut conn,
+                &Frame::Rejected {
+                    code: reject::MALFORMED,
+                    active,
+                    queued,
+                    reason: "expected a Submit frame".to_string(),
+                },
+            );
+            return;
+        }
+    };
+    let _ = conn.set_read_timeout(None);
+    let Frame::Submit {
+        script,
+        timeout_ms,
+        tenant,
+        fault,
+    } = submit
+    else {
+        unreachable!("matched Submit above");
+    };
+
+    let mut gate = shared.gate.lock().unwrap();
+    let reject_with = |code: u8, reason: String, gate: &Gate, conn: &mut UnixStream| {
+        let frame = Frame::Rejected {
+            code,
+            active: gate.active as u32,
+            queued: gate.queue.len() as u32,
+            reason,
+        };
+        let _ = proto::write_frame(conn, &frame);
+    };
+    if gate.draining {
+        gate.stats.rejected_draining += 1;
+        reject_with(
+            reject::DRAINING,
+            "daemon draining (SIGTERM): not admitting".to_string(),
+            &gate,
+            &mut conn,
+        );
+        return;
+    }
+    if fault.is_some() && shared.cfg.fault_injector.is_none() {
+        gate.stats.rejected_faults_disabled += 1;
+        reject_with(
+            reject::FAULTS_DISABLED,
+            "fault injection not enabled on this daemon".to_string(),
+            &gate,
+            &mut conn,
+        );
+        return;
+    }
+    if gate.queue.len() >= shared.cfg.queue_cap {
+        gate.stats.rejected_overload += 1;
+        reject_with(
+            reject::OVERLOADED,
+            format!(
+                "admission queue full ({}/{}), {} active",
+                gate.queue.len(),
+                shared.cfg.queue_cap,
+                gate.active
+            ),
+            &gate,
+            &mut conn,
+        );
+        return;
+    }
+    gate.next_run += 1;
+    let run_id = gate.next_run;
+    // Accepted is written under the lock so no later frame for this run
+    // can be ordered before it.
+    if proto::write_frame(&mut conn, &Frame::Accepted { run_id }).is_err() {
+        return; // Client vanished between connect and accept.
+    }
+    gate.stats.accepted += 1;
+    gate.queue.push_back(Job {
+        run_id,
+        tenant,
+        script,
+        timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
+        fault,
+        conn,
+    });
+    shared.work.notify_one();
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let job = {
+            let mut gate = shared.gate.lock().unwrap();
+            loop {
+                if let Some(job) = gate.queue.pop_front() {
+                    gate.active += 1;
+                    break job;
+                }
+                if gate.draining {
+                    return;
+                }
+                gate = shared.work.wait(gate).unwrap();
+            }
+        };
+        let run_id = job.run_id;
+        run_job(shared, job);
+        let mut gate = shared.gate.lock().unwrap();
+        gate.active -= 1;
+        gate.live.remove(&run_id);
+        gate.stats.completed += 1;
+        shared.idle.notify_all();
+    }
+}
+
+/// Executes one admitted run, fully isolated: own engine, journal,
+/// tracer, cancel token; shared fs/CPU/disk.
+fn run_job(shared: &Arc<Shared>, job: Job) {
+    let cfg = &shared.cfg;
+    let token = CancelToken::new();
+    shared
+        .gate
+        .lock()
+        .unwrap()
+        .live
+        .insert(job.run_id, token.clone());
+
+    // Deadline: the submission's limit, else the daemon's default. The
+    // guard disarms on drop, so a finished run retires its watcher.
+    let limit = job.timeout.or(cfg.default_timeout);
+    let _deadline = limit.map(|d| DeadlineGuard::arm(&token, d));
+
+    // Disconnect detection: the client sends nothing after Submit, so
+    // any read completing with 0 bytes means the peer closed. The
+    // monitor polls with a short read timeout and stands down once the
+    // run is done.
+    let done = Arc::new(AtomicBool::new(false));
+    if let Ok(reader) = job.conn.try_clone() {
+        let done = Arc::clone(&done);
+        let token = token.clone();
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || {
+            let mut reader = reader;
+            let _ = reader.set_read_timeout(Some(Duration::from_millis(50)));
+            let mut scratch = [0u8; 64];
+            loop {
+                if done.load(Ordering::SeqCst) {
+                    return;
+                }
+                match io::Read::read(&mut reader, &mut scratch) {
+                    Ok(0) => {
+                        if !done.load(Ordering::SeqCst) {
+                            token.cancel("client disconnected");
+                            shared.gate.lock().unwrap().stats.disconnect_cancels += 1;
+                        }
+                        return;
+                    }
+                    Ok(_) => {} // Extra client bytes are ignored.
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                        ) => {}
+                    Err(_) => {
+                        if !done.load(Ordering::SeqCst) {
+                            token.cancel("client disconnected");
+                            shared.gate.lock().unwrap().stats.disconnect_cancels += 1;
+                        }
+                        return;
+                    }
+                }
+            }
+        });
+    }
+
+    // Per-run filesystem: the shared handle, optionally wrapped with the
+    // submission's injected faults (test daemons only).
+    let mut run_fs = Arc::clone(&cfg.fs);
+    if let (Some(injector), Some(spec)) = (&cfg.fault_injector, &job.fault) {
+        match injector(spec, Arc::clone(&run_fs), &token) {
+            Some(wrapped) => run_fs = wrapped,
+            None => {
+                done.store(true, Ordering::SeqCst);
+                let mut conn = job.conn;
+                let _ = proto::write_frame(
+                    &mut conn,
+                    &Frame::Rejected {
+                        code: reject::MALFORMED,
+                        active: 0,
+                        queued: 0,
+                        reason: format!("unparseable fault spec: {spec}"),
+                    },
+                );
+                return;
+            }
+        }
+    }
+
+    // The isolated engine, planned under the *current* aggregate
+    // pressure: a busy daemon raises every new run's widening bar.
+    let mut shell = Jash::new(cfg.engine, cfg.machine);
+    shell.cancel = Some(token.clone());
+    shell.durable = cfg.durable;
+    if cfg.eager {
+        shell.planner.min_speedup = 0.0;
+        shell.planner.force_width = Some(4);
+    }
+    shell.planner = shell.planner.under_pressure(shared.pressure());
+    if cfg.trace_root.is_some() {
+        shell.tracer = Some(Arc::new(Tracer::new()));
+        shell.run_attrs = vec![
+            ("run_id".to_string(), job.run_id.into()),
+            ("tenant".to_string(), job.tenant.clone().into()),
+        ];
+    }
+    if let Some(root) = &cfg.journal_root {
+        if cfg.engine == Engine::JashJit {
+            let dir = format!("{root}/run-{}", job.run_id);
+            let _ = shell.attach_journal(&run_fs, &dir, false);
+        }
+    }
+
+    let mut state = ShellState::new(Arc::clone(&run_fs));
+    state.cpu = cfg.cpu.clone();
+    state.shell_name = format!("jash-serve:{}", job.run_id);
+
+    // Panic isolation: a run that blows up inside the engine must not
+    // take the worker (or the daemon) with it.
+    let script = job.script;
+    let outcome = catch_unwind(AssertUnwindSafe(|| shell.run_script(&mut state, &script)));
+
+    let (status, stdout, stderr, panicked) = match outcome {
+        Ok(Ok(r)) => (r.status, r.stdout, r.stderr, false),
+        Ok(Err(e)) => (2, Vec::new(), format!("jash: {e}\n").into_bytes(), false),
+        Err(panic) => {
+            let what = panic
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic".to_string());
+            (
+                125,
+                Vec::new(),
+                format!("jash: run panicked: {what}\n").into_bytes(),
+                true,
+            )
+        }
+    };
+    let aborted = token.reason();
+    {
+        let mut gate = shared.gate.lock().unwrap();
+        if panicked {
+            gate.stats.panics_isolated += 1;
+        }
+        if aborted
+            .as_deref()
+            .is_some_and(|r| jash_io::deadline_code(r).is_some())
+        {
+            gate.stats.deadline_aborts += 1;
+        }
+    }
+
+    // Flush the run's trace through the *unwrapped* shared fs — the
+    // observability record must survive the very faults it documents.
+    // This runs on every exit path (clean, aborted, panicked): a drain
+    // must never truncate a run's spans.
+    if let (Some(root), Some(tracer)) = (&cfg.trace_root, &shell.tracer) {
+        let path = format!("{root}/run-{}.jsonl", job.run_id);
+        let _ = jash_io::fs::write_file(cfg.fs.as_ref(), &path, tracer.to_jsonl().as_bytes());
+    }
+
+    // Stream the results. The client may be gone (that may be *why* the
+    // run aborted); send errors are unremarkable.
+    done.store(true, Ordering::SeqCst);
+    let mut conn = job.conn;
+    if !stdout.is_empty() {
+        let _ = proto::write_frame(&mut conn, &Frame::Stdout(stdout));
+    }
+    if !stderr.is_empty() {
+        let _ = proto::write_frame(&mut conn, &Frame::Stderr(stderr));
+    }
+    let _ = proto::write_frame(&mut conn, &Frame::Done { status, aborted });
+    let _ = conn.shutdown(std::net::Shutdown::Both);
+}
+
+/// Parses the wire-level fault specs the `jash serve --test-faults`
+/// daemon accepts, mirroring the crash/fault sweeps' vocabulary:
+///
+/// * `read-error:PATH:OFFSET` — sticky read error at a byte offset
+/// * `transient-read:PATH:OFFSET` — same, but fires once (retryable)
+/// * `stall-read:PATH:MILLIS` — first read stalls (cancellable)
+/// * `open-error:PATH` — open fails with permission denied
+/// * `truncate:PATH:OFFSET` — reads see early EOF
+///
+/// Returns `None` for anything else — the daemon answers with a
+/// structured rejection rather than guessing.
+pub fn parse_fault_spec(spec: &str) -> Option<jash_io::FaultPlan> {
+    let mut parts = spec.split(':');
+    let kind = parts.next()?;
+    let plan = jash_io::FaultPlan::new();
+    match kind {
+        "read-error" => {
+            let path = parts.next()?;
+            let offset: u64 = parts.next()?.parse().ok()?;
+            Some(plan.read_error_at(path, offset, "injected: disk surface error"))
+        }
+        "transient-read" => {
+            let path = parts.next()?;
+            let offset: u64 = parts.next()?.parse().ok()?;
+            Some(plan.rule(jash_io::fault::FaultRule {
+                path: Some(path.to_string()),
+                op: jash_io::fault::FaultOp::Read,
+                trigger: jash_io::fault::Trigger::AtByte(offset),
+                kind: jash_io::fault::FaultKind::Error {
+                    kind: std::io::ErrorKind::Other,
+                    msg: "injected: transient controller reset".to_string(),
+                },
+                once: true,
+            }))
+        }
+        "stall-read" => {
+            let path = parts.next()?;
+            let ms: u64 = parts.next()?.parse().ok()?;
+            Some(plan.stall_reads(path, Duration::from_millis(ms)))
+        }
+        "open-error" => {
+            let path = parts.next()?;
+            Some(plan.open_error(path, "permission denied"))
+        }
+        "truncate" => {
+            let path = parts.next()?;
+            let offset: u64 = parts.next()?.parse().ok()?;
+            Some(plan.truncate_at(path, offset))
+        }
+        _ => None,
+    }
+}
+
+/// The [`FaultInjector`] for [`parse_fault_spec`]'s vocabulary: wraps
+/// the shared fs in a [`jash_io::FaultFs`] wired to the run's cancel
+/// token, so injected stalls abort with the run instead of outliving it.
+pub fn spec_fault_injector() -> FaultInjector {
+    Arc::new(|spec: &str, fs: FsHandle, token: &CancelToken| {
+        parse_fault_spec(spec).map(|plan| {
+            jash_io::FaultFs::wrap_with_cancel(fs, plan, token.clone()) as FsHandle
+        })
+    })
+}

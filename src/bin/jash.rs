@@ -3,9 +3,12 @@
 //! ```text
 //! jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR]
 //!      [--journal DIR] [--no-journal] [--no-durable] [--resume]
-//!      [--trace FILE] [--calibrate FILE]
+//!      [--trace FILE] [--calibrate FILE] [--timeout SECS]
 //!      (-c SCRIPT | FILE [args...])
 //! jash trace summarize FILE
+//! jash serve --socket PATH [--root DIR] [--workers N] [--queue N]
+//!            [--timeout SECS] [--drain-secs S] [--journal DIR]
+//!            [--trace-dir DIR] [--no-durable] [--test-faults]
 //! ```
 //!
 //! Runs a POSIX shell script under the chosen engine against a real
@@ -26,8 +29,16 @@
 //! inside the root). After a hard crash, `--resume` replays regions the
 //! dead run completed from the durable memo instead of re-executing
 //! them. SIGINT/SIGTERM shut the session down gracefully (exit 130/143,
-//! run left resumable). `--no-durable` skips the fsync barriers for
-//! throwaway runs.
+//! run left resumable); `--timeout SECS` imposes a wall-clock deadline
+//! through the same graceful-abort path (exit 124, `timeout(1)`
+//! convention). `--no-durable` skips the fsync barriers for throwaway
+//! runs. On every exit path — success, error, signal, deadline — an
+//! open `--trace` sink is flushed before the process exits.
+//!
+//! `jash serve` runs the multi-tenant daemon on a unix socket: bounded
+//! worker pool, bounded admission queue with structured overload
+//! rejection, per-run deadlines, client-disconnect cancellation, and a
+//! SIGTERM-initiated graceful drain (exit 143). See `DESIGN.md` §9.
 
 use jash::core::{Engine, Jash};
 use jash::cost::MachineProfile;
@@ -80,6 +91,7 @@ struct Options {
     resume: bool,
     trace: Option<String>,
     calibrate: Option<String>,
+    timeout: Option<u64>,
     script: String,
     args: Vec<String>,
     script_name: String,
@@ -89,8 +101,11 @@ fn usage() -> ! {
     eprintln!(
         "usage: jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR] \
          [--journal DIR] [--no-journal] [--no-durable] [--resume] \
-         [--trace FILE] [--calibrate FILE] \
-         (-c SCRIPT | FILE [args...])\n       jash trace summarize FILE"
+         [--trace FILE] [--calibrate FILE] [--timeout SECS] \
+         (-c SCRIPT | FILE [args...])\n       jash trace summarize FILE\n       \
+         jash serve --socket PATH [--root DIR] [--workers N] [--queue N] \
+         [--timeout SECS] [--drain-secs S] [--journal DIR] [--trace-dir DIR] \
+         [--no-durable] [--test-faults]"
     );
     std::process::exit(2);
 }
@@ -106,6 +121,7 @@ fn parse_args() -> Options {
     let mut resume = false;
     let mut trace = std::env::var("JASH_TRACE").ok().filter(|s| !s.is_empty());
     let mut calibrate: Option<String> = None;
+    let mut timeout: Option<u64> = None;
     let mut script: Option<String> = None;
     let mut script_name = "jash".to_string();
     let mut rest: Vec<String> = Vec::new();
@@ -130,6 +146,13 @@ fn parse_args() -> Options {
             "--resume" => resume = true,
             "--trace" => trace = Some(argv.next().unwrap_or_else(|| usage())),
             "--calibrate" => calibrate = Some(argv.next().unwrap_or_else(|| usage())),
+            "--timeout" => {
+                timeout = Some(
+                    argv.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
             "-c" => {
                 script = Some(argv.next().unwrap_or_else(|| usage()));
                 rest.extend(argv.by_ref());
@@ -167,6 +190,7 @@ fn parse_args() -> Options {
         resume,
         trace,
         calibrate,
+        timeout,
         script,
         args: rest,
         script_name,
@@ -241,11 +265,97 @@ fn test_stall_plan() -> Option<(jash::io::FaultPlan, String)> {
     Some((plan, path))
 }
 
+/// The `jash serve` subcommand: run the multi-tenant daemon until a
+/// SIGINT/SIGTERM, then drain gracefully and exit 128+signum.
+fn serve_subcommand(args: &[String]) -> ! {
+    let mut socket: Option<String> = None;
+    let mut root = ".".to_string();
+    let mut workers = 4usize;
+    let mut queue = 8usize;
+    let mut timeout: Option<u64> = None;
+    let mut drain_secs = 5u64;
+    let mut journal_dir = "/.jash-serve".to_string();
+    let mut trace_dir: Option<String> = None;
+    let mut durable = true;
+    let mut test_faults = false;
+
+    fn parse_num(arg: Option<&String>) -> u64 {
+        arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--root" => root = it.next().cloned().unwrap_or_else(|| usage()),
+            "--workers" => workers = (parse_num(it.next()) as usize).max(1),
+            "--queue" => queue = parse_num(it.next()) as usize,
+            "--timeout" => timeout = Some(parse_num(it.next())),
+            "--drain-secs" => drain_secs = parse_num(it.next()),
+            "--journal" => journal_dir = it.next().cloned().unwrap_or_else(|| usage()),
+            "--trace-dir" => trace_dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--no-durable" => durable = false,
+            "--test-faults" => test_faults = true,
+            _ => usage(),
+        }
+    }
+    let Some(socket) = socket else { usage() };
+
+    let fs: jash::io::FsHandle = Arc::new(jash::io::RealFs::new(&root));
+    let machine = MachineProfile::laptop();
+    let mut cfg = jash::serve::ServerConfig::new(&socket, fs);
+    cfg.machine = machine;
+    cfg.workers = workers;
+    cfg.queue_cap = queue;
+    cfg.default_timeout = timeout.map(std::time::Duration::from_secs);
+    cfg.drain_budget = std::time::Duration::from_secs(drain_secs);
+    cfg.journal_root = Some(journal_dir);
+    cfg.trace_root = trace_dir;
+    cfg.durable = durable;
+    cfg.eager = std::env::var("JASH_TEST_EAGER").as_deref() == Ok("1");
+    // The shared CPU token bucket: time_scale 0 meters without
+    // throttling, so the pressure signal sees aggregate load for free.
+    cfg.cpu = Some(jash::io::CpuModel::new(machine.cores, 0.0));
+    if test_faults {
+        cfg.fault_injector = Some(jash::serve::spec_fault_injector());
+    }
+
+    let server = match jash::serve::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("jash: serve: bind {socket}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "jash: serving on {socket} ({workers} worker(s), queue {queue}{})",
+        if test_faults { ", fault injection ON" } else { "" }
+    );
+
+    sig::install();
+    let signum = loop {
+        if let Some(s) = sig::pending() {
+            break s;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(25));
+    };
+    eprintln!("jash: {} received, draining", if signum == 15 { "SIGTERM" } else { "SIGINT" });
+    let report = server.drain();
+    eprintln!(
+        "jash: drained: {} in flight, {} shed, {} straggler(s), {} run(s) completed",
+        report.in_flight, report.shed, report.stragglers, report.stats.completed
+    );
+    std::process::exit(128 + signum);
+}
+
 fn main() {
-    // Subcommand dispatch before flag parsing: `jash trace summarize F`.
+    // Subcommand dispatch before flag parsing: `jash trace summarize F`
+    // and `jash serve ...`.
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if argv.first().map(String::as_str) == Some("trace") {
         trace_subcommand(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("serve") {
+        serve_subcommand(&argv[1..]);
     }
 
     let opts = parse_args();
@@ -280,6 +390,12 @@ fn main() {
             std::thread::sleep(std::time::Duration::from_millis(25));
         });
     }
+    // `--timeout SECS`: a wall-clock deadline rides the same
+    // graceful-abort path as a signal (region aborted + journaled, run
+    // resumable), surfacing exit 124.
+    let _deadline = opts
+        .timeout
+        .map(|secs| jash::io::DeadlineGuard::arm(&cancel, std::time::Duration::from_secs(secs)));
 
     let mut fs: jash::io::FsHandle = Arc::new(jash::io::RealFs::new(&opts.root));
     if let Some((plan, _path)) = test_stall_plan() {
@@ -319,21 +435,29 @@ fn main() {
         }
     }
 
+    // The trace sink flushes on *every* exit path — success, script
+    // error, signal abort, deadline — never only the happy one. A
+    // SIGTERM drain that truncated the final spans would leave the
+    // schema-v1 file unparseable exactly when it matters most.
+    let flush_trace = |shell: &Jash| {
+        if let (Some(file), Some(tracer)) = (&opts.trace, &shell.tracer) {
+            if let Err(e) = std::fs::write(file, tracer.to_jsonl()) {
+                eprintln!("jash: --trace {file}: {e}");
+            }
+        }
+    };
+
     let result = match shell.run_script(&mut state, &opts.script) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("jash: {e}");
+            flush_trace(&shell);
             std::process::exit(2);
         }
     };
     std::io::stdout().write_all(&result.stdout).ok();
     std::io::stderr().write_all(&result.stderr).ok();
-
-    if let (Some(file), Some(tracer)) = (&opts.trace, &shell.tracer) {
-        if let Err(e) = std::fs::write(file, tracer.to_jsonl()) {
-            eprintln!("jash: --trace {file}: {e}");
-        }
-    }
+    flush_trace(&shell);
 
     if opts.explain {
         eprintln!("--- jit trace ({} engine) ---", opts.engine);

@@ -15,5 +15,6 @@ pub use jash_interp as interp;
 pub use jash_io as io;
 pub use jash_lint as lint;
 pub use jash_parser as parser;
+pub use jash_serve as serve;
 pub use jash_spec as spec;
 pub use jash_trace as trace;

@@ -1,0 +1,521 @@
+//! Integration suite for the `jash serve` daemon: a concurrent-client
+//! storm under injected faults, admission-control overload, mid-run
+//! client disconnects, wall-clock deadlines, graceful drain — and the
+//! trace-flush-on-SIGTERM regression test for the one-shot binary.
+//!
+//! The in-process tests run a real [`jash::serve::Server`] on a real
+//! unix socket over an in-memory filesystem, so fault injection and
+//! debris audits are deterministic; the binary tests spawn the actual
+//! `jash` executable and deliver actual signals.
+
+use jash::cost::MachineProfile;
+use jash::io::{CpuModel, FsHandle, TempDir};
+use jash::serve::{reject, Request, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn machine() -> MachineProfile {
+    MachineProfile {
+        cores: 8,
+        disk: jash::io::DiskProfile::ramdisk(),
+        mem_mb: 8 * 1024,
+    }
+}
+
+/// Deterministic mixed-case input, large enough that eager width-4
+/// plans actually split it.
+fn docs(bytes: usize) -> Vec<u8> {
+    let words = ["alpha", "Bravo", "CHARLIE", "delta", "Echo", "Foxtrot", "golf"];
+    let mut out = Vec::with_capacity(bytes + 64);
+    let mut x = 0x5eedu64;
+    while out.len() < bytes {
+        for _ in 0..8 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            out.extend_from_slice(words[(x % words.len() as u64) as usize].as_bytes());
+            out.push(b' ');
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+const SCRIPT: &str = "cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u";
+
+/// A server over a staged MemFs, plus everything a test needs to audit
+/// it afterwards.
+struct Rig {
+    server: Server,
+    fs: FsHandle,
+    socket: PathBuf,
+    _dir: TempDir,
+}
+
+fn rig(workers: usize, queue_cap: usize, configure: impl FnOnce(&mut ServerConfig)) -> Rig {
+    let dir = TempDir::new("jash-it-serve");
+    let socket = dir.path().join("sock");
+    let fs = jash::io::mem_fs();
+    jash::io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs(96 * 1024)).unwrap();
+    let mut cfg = ServerConfig::new(&socket, Arc::clone(&fs));
+    cfg.machine = machine();
+    cfg.workers = workers;
+    cfg.queue_cap = queue_cap;
+    cfg.eager = true;
+    cfg.durable = false;
+    cfg.drain_budget = Duration::from_secs(10);
+    cfg.journal_root = Some("/.jash-serve".to_string());
+    cfg.trace_root = Some("/traces".to_string());
+    cfg.cpu = Some(CpuModel::new(8, 0.0));
+    cfg.fault_injector = Some(jash::serve::spec_fault_injector());
+    configure(&mut cfg);
+    Rig {
+        server: Server::start(cfg).unwrap(),
+        fs,
+        socket,
+        _dir: dir,
+    }
+}
+
+/// Recursively walks the virtual fs for leaked `.jash-stage-*` files.
+fn debris(fs: &FsHandle) -> Vec<String> {
+    let mut found = Vec::new();
+    let mut stack = vec!["/".to_string()];
+    while let Some(dir) = stack.pop() {
+        for name in fs.list_dir(&dir).unwrap_or_default() {
+            let path = if dir == "/" {
+                format!("/{name}")
+            } else {
+                format!("{dir}/{name}")
+            };
+            if fs.metadata(&path).map(|m| m.is_dir).unwrap_or(false) {
+                stack.push(path);
+            } else if name.contains(".jash-stage-") {
+                found.push(path);
+            }
+        }
+    }
+    found
+}
+
+/// Looks up `key` in a span's insertion-ordered attribute list.
+fn attr<'a>(
+    attrs: &'a [(String, jash::trace::AttrValue)],
+    key: &str,
+) -> Option<&'a jash::trace::AttrValue> {
+    attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Parses run `run_id`'s trace with the schema-v1 parser and returns
+/// its records, panicking with the parse error if the file is invalid
+/// or missing.
+fn parsed_trace(fs: &FsHandle, run_id: u64) -> Vec<jash::trace::Record> {
+    let path = format!("/traces/run-{run_id}.jsonl");
+    let bytes = jash::io::fs::read_to_vec(fs.as_ref(), &path)
+        .unwrap_or_else(|e| panic!("trace {path} unreadable: {e}"));
+    let text = String::from_utf8(bytes).expect("trace is utf-8");
+    jash::trace::parse_jsonl(&text).unwrap_or_else(|e| panic!("trace {path} unparseable: {e}"))
+}
+
+fn poll_until(what: &str, deadline: Duration, mut ok: impl FnMut() -> bool) {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn storm_of_sixteen_clients_with_mixed_faults_stays_sound() {
+    let rig = rig(4, 16, |_| {});
+    let expected = {
+        // The ground truth: the same script under the sequential engine.
+        let fs = jash::io::mem_fs();
+        jash::io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs(96 * 1024)).unwrap();
+        let mut state = jash::expand::ShellState::new(fs);
+        let mut shell = jash::core::Jash::new(jash::core::Engine::Bash, machine());
+        shell.run_script(&mut state, SCRIPT).unwrap().stdout
+    };
+
+    let socket = rig.socket.clone();
+    let handles: Vec<_> = (0..16)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut req = Request::new(SCRIPT);
+                req.tenant = format!("tenant-{}", i % 4);
+                // Mixed workload: 12 clean runs, 2 transient faults the
+                // supervisor must absorb, 2 sticky faults that fail.
+                req.fault = match i % 8 {
+                    3 => Some("transient-read:/data/docs.txt:32768".to_string()),
+                    6 => Some("read-error:/data/docs.txt:32768".to_string()),
+                    _ => None,
+                };
+                (i, jash::serve::submit(&socket, &req).unwrap())
+            })
+        })
+        .collect();
+
+    let mut completed = 0;
+    for h in handles {
+        let (i, reply) = h.join().unwrap();
+        assert!(
+            reply.completed(),
+            "client {i} did not complete: {:?}",
+            reply.rejected
+        );
+        completed += 1;
+        let run_id = reply.run_id.expect("accepted runs carry a run id");
+        match i % 8 {
+            // Sticky read errors fail on every engine; status is
+            // nonzero but the daemon answered in full.
+            6 => assert_ne!(reply.status, Some(0), "client {i} should have faulted"),
+            // Clean and transient-fault runs both deliver the exact
+            // sequential answer — retry absorbed the transient.
+            _ => {
+                assert_eq!(reply.status, Some(0), "client {i}: {:?}", reply);
+                assert_eq!(
+                    reply.stdout, expected,
+                    "client {i} diverged from the sequential baseline"
+                );
+            }
+        }
+        // Every run's trace parses with the schema-v1 parser and is
+        // attributed to its run and tenant.
+        let records = parsed_trace(&rig.fs, run_id);
+        let run_attrs = records
+            .iter()
+            .find_map(|r| match r {
+                jash::trace::Record::Span { kind, attrs, .. } if kind == "run" => Some(attrs),
+                _ => None,
+            })
+            .expect("trace has a run span");
+        assert_eq!(
+            attr(run_attrs, "run_id"),
+            Some(&jash::trace::AttrValue::UInt(run_id))
+        );
+        assert!(attr(run_attrs, "tenant").is_some());
+    }
+    assert_eq!(completed, 16);
+
+    let stats = rig.server.stats();
+    assert_eq!(stats.accepted, 16);
+    assert_eq!(stats.rejected_overload, 0, "queue of 16 never overflows here");
+    assert_eq!(debris(&rig.fs), Vec::<String>::new(), "no staging debris");
+
+    let report = rig.server.drain();
+    assert!(report.within_budget);
+    assert_eq!(report.stragglers, 0);
+    assert_eq!(report.stats.completed, 16);
+}
+
+#[test]
+fn overload_is_shed_with_a_structured_rejection() {
+    let rig = rig(1, 1, |_| {});
+    let stall = || {
+        let mut req = Request::new(SCRIPT);
+        req.fault = Some("stall-read:/data/docs.txt:60000".to_string());
+        req
+    };
+    // Fill the worker...
+    let running = jash::serve::submit_detached(&rig.socket, &stall())
+        .unwrap()
+        .expect("first submission admitted");
+    poll_until("worker to pick up the stalled run", Duration::from_secs(5), || {
+        rig.server.load() == (1, 0)
+    });
+    // ...and the queue...
+    let queued = jash::serve::submit_detached(&rig.socket, &stall())
+        .unwrap()
+        .expect("second submission queued");
+    poll_until("queue to fill", Duration::from_secs(5), || {
+        rig.server.load() == (1, 1)
+    });
+    // ...and the next submission must be rejected immediately — shed,
+    // never stalled.
+    let t0 = Instant::now();
+    let reply = jash::serve::submit(&rig.socket, &Request::new(SCRIPT)).unwrap();
+    let answered_in = t0.elapsed();
+    let (code, active, queued_n, reason) = reply.rejected.expect("structured rejection");
+    assert_eq!(code, reject::OVERLOADED);
+    assert_eq!((active, queued_n), (1, 1));
+    assert!(reason.contains("queue full"), "reason: {reason}");
+    assert!(
+        answered_in < Duration::from_secs(2),
+        "rejection stalled for {answered_in:?}"
+    );
+    assert_eq!(rig.server.stats().rejected_overload, 1);
+
+    // Drain: the stalled run aborts via its (cancel-wired) fault stall,
+    // the queued one is shed with the DRAINING code.
+    let report = rig.server.drain();
+    assert!(report.within_budget, "stalled run ignored its cancel");
+    assert_eq!(report.in_flight, 1);
+    assert_eq!(report.shed, 1);
+    let (mut c1, _run) = running;
+    let mut r1 = jash::serve::RunReply::default();
+    jash::serve::client::collect(&mut c1, &mut r1).unwrap();
+    assert_eq!(r1.status, Some(143), "in-flight run aborted with 128+15");
+    assert!(r1.aborted.unwrap().starts_with("shutdown:"));
+    let (mut c2, _run) = queued;
+    let mut r2 = jash::serve::RunReply::default();
+    jash::serve::client::collect(&mut c2, &mut r2).unwrap();
+    assert_eq!(r2.rejected.as_ref().map(|r| r.0), Some(reject::DRAINING));
+}
+
+#[test]
+fn client_disconnect_cancels_the_run_and_frees_its_slot() {
+    let rig = rig(1, 4, |_| {});
+    let mut req = Request::new(SCRIPT);
+    req.fault = Some("stall-read:/data/docs.txt:60000".to_string());
+    let (conn, _run_id) = jash::serve::submit_detached(&rig.socket, &req)
+        .unwrap()
+        .expect("admitted");
+    poll_until("worker to pick up the stalled run", Duration::from_secs(5), || {
+        rig.server.load().0 == 1
+    });
+    // The client vanishes mid-run; the daemon must notice, cancel the
+    // orphaned run, and free the only worker slot.
+    drop(conn);
+    poll_until("disconnect to cancel the run", Duration::from_secs(5), || {
+        rig.server.stats().disconnect_cancels >= 1 && rig.server.load().0 == 0
+    });
+    // The freed slot serves the next client normally.
+    let reply = jash::serve::submit(&rig.socket, &Request::new(SCRIPT)).unwrap();
+    assert_eq!(reply.status, Some(0), "{reply:?}");
+    let report = rig.server.drain();
+    assert!(report.within_budget);
+    assert_eq!(debris(&rig.fs), Vec::<String>::new());
+}
+
+#[test]
+fn deadline_aborts_the_run_with_exit_124_and_journals_it() {
+    let rig = rig(1, 2, |_| {});
+    let mut req = Request::new(SCRIPT);
+    req.timeout_ms = 150;
+    req.fault = Some("stall-read:/data/docs.txt:60000".to_string());
+    let reply = jash::serve::submit(&rig.socket, &req).unwrap();
+    assert_eq!(reply.status, Some(124), "{reply:?}");
+    let aborted = reply.aborted.expect("deadline abort carries its reason");
+    assert!(aborted.starts_with("deadline:"), "reason: {aborted}");
+    assert_eq!(rig.server.stats().deadline_aborts, 1);
+    // The abort was journaled: the run is interrupted-but-resumable,
+    // exactly like a SIGTERM.
+    let run_id = reply.run_id.unwrap();
+    let journal = jash::io::fs::read_to_vec(
+        rig.fs.as_ref(),
+        &format!("/.jash-serve/run-{run_id}/journal"),
+    )
+    .expect("per-run journal exists");
+    let text = String::from_utf8(journal).unwrap();
+    assert!(
+        text.lines().any(|l| l.contains("region-aborted")),
+        "journal lacks the aborted region:\n{text}"
+    );
+    assert!(!text.contains("run-complete"), "aborted run must stay resumable");
+    rig.server.drain();
+}
+
+#[test]
+fn graceful_drain_retires_every_run_within_budget_with_zero_debris() {
+    let rig = rig(4, 8, |_| {});
+    let stall = || {
+        let mut req = Request::new(SCRIPT);
+        req.fault = Some("stall-read:/data/docs.txt:60000".to_string());
+        req
+    };
+    // Four runs wedged in the workers, two more waiting in the queue.
+    let mut streams = Vec::new();
+    for _ in 0..6 {
+        streams.push(
+            jash::serve::submit_detached(&rig.socket, &stall())
+                .unwrap()
+                .expect("admitted"),
+        );
+    }
+    poll_until("4 active + 2 queued", Duration::from_secs(5), || {
+        rig.server.load() == (4, 2)
+    });
+
+    let t0 = Instant::now();
+    let report = rig.server.drain();
+    assert!(report.within_budget, "drain blew its budget");
+    assert!(t0.elapsed() < Duration::from_secs(10));
+    assert_eq!(report.in_flight, 4);
+    assert_eq!(report.shed, 2);
+    assert_eq!(report.stragglers, 0);
+
+    // Every client got a definitive answer: aborted Done for in-flight
+    // runs, DRAINING rejection for queued ones.
+    let mut aborted = 0;
+    let mut shed = 0;
+    for (mut conn, run_id) in streams {
+        let mut reply = jash::serve::RunReply::default();
+        jash::serve::client::collect(&mut conn, &mut reply).unwrap();
+        if let Some(status) = reply.status {
+            assert_eq!(status, 143);
+            aborted += 1;
+            // The aborted run's trace still flushed and still parses.
+            let records = parsed_trace(&rig.fs, run_id);
+            assert!(!records.is_empty());
+        } else {
+            assert_eq!(reply.rejected.as_ref().map(|r| r.0), Some(reject::DRAINING));
+            shed += 1;
+        }
+    }
+    assert_eq!((aborted, shed), (4, 2));
+    assert_eq!(debris(&rig.fs), Vec::<String>::new(), "drain left staging debris");
+}
+
+#[test]
+fn pressure_tightens_the_planner_as_the_daemon_loads_up() {
+    let rig = rig(2, 4, |_| {});
+    let idle = rig.server.pressure();
+    assert!(idle < 0.3, "idle daemon reads high pressure: {idle}");
+    let mut req = Request::new(SCRIPT);
+    req.fault = Some("stall-read:/data/docs.txt:60000".to_string());
+    let _a = jash::serve::submit_detached(&rig.socket, &req).unwrap().unwrap();
+    let _b = jash::serve::submit_detached(&rig.socket, &req).unwrap().unwrap();
+    poll_until("both workers busy", Duration::from_secs(5), || {
+        rig.server.load().0 == 2
+    });
+    let busy = rig.server.pressure();
+    assert!(busy > idle, "pressure did not rise under load: {idle} -> {busy}");
+    // The signal feeds the planner: under full pressure widening is off.
+    let opts = jash::cost::PlannerOptions::default().under_pressure(1.0);
+    assert_eq!(opts.force_width, Some(1));
+    rig.server.drain();
+}
+
+// ---------------------------------------------------------------------
+// Binary-level regression tests (real process, real signals).
+// ---------------------------------------------------------------------
+
+const JASH: &str = env!("CARGO_BIN_EXE_jash");
+
+fn stage_root(name: &str) -> (TempDir, PathBuf) {
+    let dir = TempDir::new(&format!("jash-it-{name}"));
+    let root = dir.path().to_path_buf();
+    std::fs::write(root.join("in"), docs(256 * 1024)).unwrap();
+    (dir, root)
+}
+
+fn host_debris(root: &Path) -> Vec<String> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".jash-stage-"))
+            {
+                found.push(p.display().to_string());
+            }
+        }
+    }
+    found
+}
+
+/// Blocks until the wedged region is actually executing (staging file
+/// visible), so the signal/deadline lands mid-region.
+fn wait_for_stall(root: &Path) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while Instant::now() < deadline {
+        if !host_debris(root).is_empty() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("stalled region never started in {}", root.display());
+}
+
+/// Satellite regression: a SIGTERM received while the trace sink is
+/// open must flush the buffered JSONL records — the file parses with
+/// the schema-v1 parser and records the aborted region.
+#[test]
+fn sigterm_mid_region_flushes_a_parseable_trace() {
+    let (_guard, root) = stage_root("trace-term");
+    let trace_file = root.join("trace.jsonl");
+    let mut child = std::process::Command::new(JASH)
+        .arg("--root")
+        .arg(&root)
+        .arg("--trace")
+        .arg(&trace_file)
+        .args(["-c", "cat /in | tr A-Z a-z | sort > /out"])
+        .env("JASH_TEST_EAGER", "1")
+        .env("JASH_TEST_STALL_WRITE", "/out:65536:600000")
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    wait_for_stall(&root);
+    let ok = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(ok.success());
+    let status = child.wait().unwrap();
+    assert_eq!(status.code(), Some(143), "graceful SIGTERM exit");
+
+    let text = std::fs::read_to_string(&trace_file).expect("trace file written on abort");
+    let records = jash::trace::parse_jsonl(&text)
+        .unwrap_or_else(|e| panic!("SIGTERM truncated the trace: {e}\n{text}"));
+    let aborted_region = records.iter().any(|r| match r {
+        jash::trace::Record::Span { kind, attrs, .. } => {
+            kind == "region"
+                && attr(attrs, "action") == Some(&jash::trace::AttrValue::Str("aborted".into()))
+        }
+        _ => false,
+    });
+    assert!(aborted_region, "trace lacks the aborted region span:\n{text}");
+    let run_closed = records.iter().any(|r| match r {
+        jash::trace::Record::Span { kind, attrs, .. } => {
+            kind == "run" && attr(attrs, "status") == Some(&jash::trace::AttrValue::Int(143))
+        }
+        _ => false,
+    });
+    assert!(run_closed, "run span missing its final status:\n{text}");
+}
+
+/// Satellite: `--timeout` arms the shared deadline machinery — exit
+/// 124, region aborted and journaled, no staging debris, trace intact.
+#[test]
+fn one_shot_timeout_exits_124_with_journaled_abort() {
+    let (_guard, root) = stage_root("timeout");
+    let trace_file = root.join("trace.jsonl");
+    let t0 = Instant::now();
+    let out = std::process::Command::new(JASH)
+        .arg("--root")
+        .arg(&root)
+        .arg("--trace")
+        .arg(&trace_file)
+        .args(["--timeout", "1", "-c", "cat /in | tr A-Z a-z | sort > /out"])
+        .env("JASH_TEST_EAGER", "1")
+        .env("JASH_TEST_STALL_WRITE", "/out:65536:600000")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(124), "timeout(1) convention");
+    assert!(
+        t0.elapsed() < Duration::from_secs(30),
+        "deadline did not interrupt the stall"
+    );
+    // The abort is journaled (run interrupted, resumable)...
+    let journal = std::fs::read_to_string(root.join(".jash/journal")).unwrap();
+    assert!(journal.lines().any(|l| l.contains("region-aborted")), "{journal}");
+    assert!(!journal.contains("run-complete"));
+    // ...the transaction rolled back...
+    assert_eq!(host_debris(&root), Vec::<String>::new());
+    assert!(!root.join("out").exists(), "aborted region must not commit");
+    // ...and the trace flushed and parses.
+    let text = std::fs::read_to_string(&trace_file).unwrap();
+    jash::trace::parse_jsonl(&text).unwrap();
+}
