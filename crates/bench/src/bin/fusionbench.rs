@@ -1,0 +1,7 @@
+//! Fusion benchmark runner:
+//! `cargo run --release -p jash-bench --bin fusionbench [out.json]`
+//! (knobs: `JASH_BENCH_MB`, `JASH_FUSION_ITERS`, `JASH_FUSION_GATE`).
+
+fn main() {
+    jash_bench::fusion::main_with_gate();
+}

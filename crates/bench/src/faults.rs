@@ -206,6 +206,14 @@ pub enum Recovery {
     /// Permanent fault repeated until the circuit breaker opens: later
     /// matching regions route straight to the interpreter.
     Breaker,
+    /// Fused-kernel fault absorbed one rung down: the kernel is evicted
+    /// and the unfused channel-per-stage pipeline completes the region —
+    /// no failover, no width change.
+    KernelDegrade,
+    /// Fused-kernel fault whose unfused rung *also* faults (sticky commit
+    /// error): the region walks the whole ladder and lands on the
+    /// interpreter.
+    KernelFailover,
 }
 
 impl std::fmt::Display for Recovery {
@@ -214,6 +222,8 @@ impl std::fmt::Display for Recovery {
             Recovery::Retry => write!(f, "retry"),
             Recovery::Degrade => write!(f, "degrade"),
             Recovery::Breaker => write!(f, "breaker"),
+            Recovery::KernelDegrade => write!(f, "unfuse"),
+            Recovery::KernelFailover => write!(f, "unfuse+fo"),
         }
     }
 }
@@ -233,13 +243,22 @@ pub struct SupervisionCase {
     /// output must equal the *clean* run; sticky faults are visible to
     /// every engine, so the baseline runs faulted.
     pub baseline_faulted: bool,
+    /// Injected fused-kernel fault ([`Jash::kernel_fault`]): every fused
+    /// kernel in the run fails with this message. Only meaningful with
+    /// `force_fusion`.
+    pub kernel_fault: Option<String>,
+    /// Pin kernel fusion on so the fused rung is actually on the ladder.
+    pub force_fusion: bool,
 }
 
 /// The default supervised-recovery sweep: one case per rung of the
 /// degradation ladder (retry at full width, width degradation, breaker
-/// routing to the interpreter).
+/// routing to the interpreter, kernel eviction to the unfused pipeline,
+/// and the full kernel -> unfused -> interpreter walk).
 pub fn default_supervision_sweep(path: &str, input_len: u64) -> Vec<SupervisionCase> {
     let single = format!("cat {path} | tr A-Z a-z | tr -cs a-z '\\n' | sort -u > /out");
+    // A chain with a fusible run (`tr|grep|cut`) for the kernel cases.
+    let fusible = format!("cat {path} | tr A-Z a-z | grep -v qqqq | cut -c 1-40 > /out");
     vec![
         SupervisionCase {
             name: "transient read fault -> retry".to_string(),
@@ -256,6 +275,8 @@ pub fn default_supervision_sweep(path: &str, input_len: u64) -> Vec<SupervisionC
             }),
             expect: Recovery::Retry,
             baseline_faulted: false,
+            kernel_fault: None,
+            force_fusion: false,
         },
         SupervisionCase {
             name: "resource open faults -> width degradation".to_string(),
@@ -263,6 +284,8 @@ pub fn default_supervision_sweep(path: &str, input_len: u64) -> Vec<SupervisionC
             plan: FaultPlan::new().resource_open_errors(path, 2),
             expect: Recovery::Degrade,
             baseline_faulted: false,
+            kernel_fault: None,
+            force_fusion: false,
         },
         SupervisionCase {
             name: "sticky commit fault -> breaker".to_string(),
@@ -272,6 +295,26 @@ pub fn default_supervision_sweep(path: &str, input_len: u64) -> Vec<SupervisionC
             plan: FaultPlan::new().rename_error("/out", "media failure on commit"),
             expect: Recovery::Breaker,
             baseline_faulted: true,
+            kernel_fault: None,
+            force_fusion: false,
+        },
+        SupervisionCase {
+            name: "kernel fault -> unfused pipeline".to_string(),
+            script: fusible.clone(),
+            plan: FaultPlan::new(),
+            expect: Recovery::KernelDegrade,
+            baseline_faulted: false,
+            kernel_fault: Some("injected: fused kernel fault".to_string()),
+            force_fusion: true,
+        },
+        SupervisionCase {
+            name: "kernel fault + sticky commit -> interpreter".to_string(),
+            script: fusible,
+            plan: FaultPlan::new().rename_error("/out", "media failure on commit"),
+            expect: Recovery::KernelFailover,
+            baseline_faulted: true,
+            kernel_fault: Some("injected: fused kernel fault".to_string()),
+            force_fusion: true,
         },
     ]
 }
@@ -306,7 +349,7 @@ pub fn run_supervision_sweep(
         force_width: Some(machine.cores.min(4)),
         ..Default::default()
     };
-    let run = |engine: Engine, plan: Option<FaultPlan>, script: &str| {
+    let run = |engine: Engine, plan: Option<FaultPlan>, case: &SupervisionCase| {
         let inner = jash_io::mem_fs();
         stage(&inner);
         let fs: FsHandle = match plan {
@@ -316,7 +359,11 @@ pub fn run_supervision_sweep(
         let mut state = ShellState::new(fs);
         let mut shell = Jash::new(engine, machine);
         shell.planner = planner;
-        let result = match shell.run_script(&mut state, script) {
+        shell.planner.force_fusion = case.force_fusion;
+        if engine == Engine::JashJit {
+            shell.kernel_fault = case.kernel_fault.clone();
+        }
+        let result = match shell.run_script(&mut state, &case.script) {
             Ok(r) => r,
             Err(e) => jash_interp::RunResult {
                 status: 2,
@@ -332,9 +379,9 @@ pub fn run_supervision_sweep(
         .iter()
         .map(|case| {
             let baseline_plan = case.baseline_faulted.then(|| case.plan.clone());
-            let (base, base_out, _, _) = run(Engine::Bash, baseline_plan, &case.script);
+            let (base, base_out, _, _) = run(Engine::Bash, baseline_plan, case);
             let (jit, jit_out, jit_debris, runtime) =
-                run(Engine::JashJit, Some(case.plan.clone()), &case.script);
+                run(Engine::JashJit, Some(case.plan.clone()), case);
             let log = &runtime.supervision;
             let expected_behavior = match case.expect {
                 Recovery::Retry => {
@@ -352,6 +399,14 @@ pub fn run_supervision_sweep(
                         && log.degradations() >= 1
                 }
                 Recovery::Breaker => log.breaker_opens() >= 1 && log.breaker_routed() >= 1,
+                Recovery::KernelDegrade => {
+                    runtime.regions_failed_over == 0
+                        && log.kernel_degradations() >= 1
+                        && log.recoveries() >= 1
+                }
+                Recovery::KernelFailover => {
+                    log.kernel_degradations() >= 1 && runtime.regions_failed_over >= 1
+                }
             };
             SupervisionRow {
                 case: case.name.clone(),
@@ -457,7 +512,7 @@ mod tests {
         };
         let cases = default_supervision_sweep("/data/docs.txt", len);
         let rows = run_supervision_sweep(&stage, &cases, machine);
-        assert_eq!(rows.len(), 3);
+        assert_eq!(rows.len(), 5);
         assert!(
             supervision_holds(&rows),
             "\n{}",
@@ -467,5 +522,13 @@ mod tests {
         assert_eq!(rows[0].expect, Recovery::Retry);
         assert_eq!(rows[1].expect, Recovery::Degrade);
         assert_eq!(rows[2].expect, Recovery::Breaker);
+        assert_eq!(rows[3].expect, Recovery::KernelDegrade);
+        assert_eq!(rows[4].expect, Recovery::KernelFailover);
+        // The kernel-eviction story is spelled out in the rendered log.
+        assert!(
+            render_supervision(&rows).contains("kernel-degrade"),
+            "\n{}",
+            render_supervision(&rows)
+        );
     }
 }

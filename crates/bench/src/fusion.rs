@@ -1,0 +1,260 @@
+//! The fusion benchmark: single-pass fused kernels vs channel-per-stage
+//! threads vs sequential interpretation on a Figure-1-style stateless
+//! chain.
+//!
+//! Unlike Figure 1, this experiment runs over a *raw* in-memory
+//! filesystem with no disk or CPU models attached: the quantity under
+//! test is real engine overhead (thread hand-offs, pipe chunk copies,
+//! per-stage buffers) against the fused kernel's one pass per chunk, and
+//! a modeled machine would drown that signal in simulated sleeps.
+//!
+//! The `fusionbench` binary renders the table, writes `BENCH_fusion.json`
+//! for the CI artifact, and exits nonzero when the fused kernel fails to
+//! clear the configured speedup gate over the unfused path.
+
+use jash_core::{Engine, Jash};
+use jash_cost::MachineProfile;
+use jash_dataflow::{compile, Dfg, ExpandedCommand, NodeKind, Region};
+use jash_exec::ExecConfig;
+use jash_expand::ShellState;
+use jash_io::FsHandle;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The benchmarked chain: four stateless stages, all per-line, exactly
+/// the shape the fusion pass targets. `cat` compiles into the read
+/// layer, so the fused kernel covers `tr|grep|cut`.
+pub const SCRIPT: &str = "cat /in.txt | tr A-Z a-z | grep -v qqq | cut -c 1-48";
+
+fn chain_region() -> Region {
+    Region {
+        commands: vec![
+            ExpandedCommand::new("cat", &["/in.txt"]),
+            ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+            ExpandedCommand::new("grep", &["-v", "qqq"]),
+            ExpandedCommand::new("cut", &["-c", "1-48"]),
+        ],
+    }
+}
+
+/// One measured execution path.
+#[derive(Debug, Clone, Copy)]
+pub struct Measure {
+    /// Best-of-N wall time.
+    pub wall: Duration,
+    /// Input throughput at that wall time.
+    pub bytes_per_sec: f64,
+}
+
+impl Measure {
+    fn from_wall(wall: Duration, input_bytes: u64) -> Measure {
+        Measure {
+            wall,
+            bytes_per_sec: input_bytes as f64 / wall.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone)]
+pub struct FusionBench {
+    /// Input size.
+    pub input_bytes: u64,
+    /// Iterations per path (best wall time kept).
+    pub iterations: u32,
+    /// Stages collapsed into the kernel.
+    pub stages_fused: usize,
+    /// Fused-kernel path.
+    pub fused: Measure,
+    /// Channel-per-stage threaded path.
+    pub unfused: Measure,
+    /// Sequential interpreter.
+    pub interpreter: Measure,
+}
+
+impl FusionBench {
+    /// Fused throughput over unfused throughput (the gated ratio).
+    pub fn fused_over_unfused(&self) -> f64 {
+        self.fused.bytes_per_sec / self.unfused.bytes_per_sec
+    }
+
+    /// Fused throughput over the interpreter's.
+    pub fn fused_over_interpreter(&self) -> f64 {
+        self.fused.bytes_per_sec / self.interpreter.bytes_per_sec
+    }
+
+    /// Renders the `BENCH_fusion.json` document.
+    pub fn to_json(&self) -> String {
+        let m = |m: &Measure| {
+            format!(
+                "{{\"wall_s\": {:.6}, \"bytes_per_sec\": {:.0}}}",
+                m.wall.as_secs_f64(),
+                m.bytes_per_sec
+            )
+        };
+        format!(
+            "{{\n  \"bench\": \"fusion\",\n  \"script\": \"{}\",\n  \"input_bytes\": {},\n  \
+             \"iterations\": {},\n  \"stages_fused\": {},\n  \"fused\": {},\n  \"unfused\": {},\n  \
+             \"interpreter\": {},\n  \"fused_over_unfused\": {:.3},\n  \
+             \"fused_over_interpreter\": {:.3}\n}}\n",
+            SCRIPT.replace('\\', "\\\\").replace('"', "\\\""),
+            self.input_bytes,
+            self.iterations,
+            self.stages_fused,
+            m(&self.fused),
+            m(&self.unfused),
+            m(&self.interpreter),
+            self.fused_over_unfused(),
+            self.fused_over_interpreter(),
+        )
+    }
+}
+
+fn compile_chain(fused: bool) -> (Dfg, usize) {
+    let registry = jash_spec::Registry::builtin();
+    let compiled = compile(&chain_region(), &registry).expect("chain compiles");
+    let mut dfg = compiled.dfg;
+    let mut stages = 0;
+    if fused {
+        let regions = jash_dataflow::fuse_kernels(&mut dfg);
+        assert!(regions >= 1, "the benchmark chain must contain a fusible run");
+        stages = dfg
+            .node_ids()
+            .filter_map(|n| match &dfg.node(n).kind {
+                NodeKind::Fused { stages } => Some(stages.len()),
+                _ => None,
+            })
+            .sum();
+    }
+    (dfg, stages)
+}
+
+fn run_executor(fs: &FsHandle, fused: bool) -> (Duration, i32, Vec<u8>, usize) {
+    let (dfg, stages) = compile_chain(fused);
+    let cfg = ExecConfig::new(Arc::clone(fs));
+    let t0 = Instant::now();
+    let out = jash_exec::execute(&dfg, &cfg).expect("chain executes");
+    let wall = t0.elapsed();
+    assert!(
+        out.is_clean(),
+        "benchmark chain faulted ({}): {:?}",
+        if fused { "fused" } else { "unfused" },
+        out.failures
+    );
+    (wall, out.status, out.stdout, stages)
+}
+
+fn run_interpreter(fs: &FsHandle) -> (Duration, i32, Vec<u8>) {
+    let mut state = ShellState::new(Arc::clone(fs));
+    let mut shell = Jash::new(Engine::Bash, MachineProfile::laptop());
+    let t0 = Instant::now();
+    let r = shell.run_script(&mut state, SCRIPT).expect("script runs");
+    (t0.elapsed(), r.status, r.stdout)
+}
+
+/// Runs the experiment: `iterations` timed runs per path (best wall
+/// kept), with the three paths' stdout and status checked byte-identical
+/// before anything is reported.
+pub fn run_fusion_bench(input_bytes: u64, iterations: u32) -> FusionBench {
+    let fs = jash_io::mem_fs();
+    let corpus = crate::word_corpus(input_bytes, 42);
+    jash_io::fs::write_file(fs.as_ref(), "/in.txt", &corpus).expect("stage input");
+    let input_bytes = corpus.len() as u64;
+
+    let mut fused_wall = Duration::MAX;
+    let mut unfused_wall = Duration::MAX;
+    let mut interp_wall = Duration::MAX;
+    let mut stages_fused = 0;
+    let (_, ref_status, ref_out) = run_interpreter(&fs);
+    for _ in 0..iterations.max(1) {
+        let (wall, status, out, stages) = run_executor(&fs, true);
+        assert_eq!((status, &out), (ref_status, &ref_out), "fused output diverged");
+        fused_wall = fused_wall.min(wall);
+        stages_fused = stages;
+
+        let (wall, status, out, _) = run_executor(&fs, false);
+        assert_eq!((status, &out), (ref_status, &ref_out), "unfused output diverged");
+        unfused_wall = unfused_wall.min(wall);
+
+        let (wall, status, out) = run_interpreter(&fs);
+        assert_eq!((status, &out), (ref_status, &ref_out), "interpreter run diverged");
+        interp_wall = interp_wall.min(wall);
+    }
+
+    FusionBench {
+        input_bytes,
+        iterations: iterations.max(1),
+        stages_fused,
+        fused: Measure::from_wall(fused_wall, input_bytes),
+        unfused: Measure::from_wall(unfused_wall, input_bytes),
+        interpreter: Measure::from_wall(interp_wall, input_bytes),
+    }
+}
+
+/// Full run for the `fusionbench` binary: table, `BENCH_fusion.json`,
+/// and the perf gate (`JASH_FUSION_GATE`, default 1.0 — fused must not
+/// be slower than unfused).
+pub fn main_with_gate() {
+    let bytes = crate::bench_input_bytes();
+    let iters: u32 = std::env::var("JASH_FUSION_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "Fusion: {SCRIPT}\ninput {} MiB, best of {iters} (raw mem fs, no machine models)",
+        bytes / (1024 * 1024)
+    );
+    let bench = run_fusion_bench(bytes, iters);
+
+    crate::report_header(&format!("results ({} stages in kernel)", bench.stages_fused));
+    for (label, m) in [
+        ("fused kernel", &bench.fused),
+        ("unfused (channel-per-stage)", &bench.unfused),
+        ("interpreter", &bench.interpreter),
+    ] {
+        println!(
+            "  {label:<30} {:>9.1} ms  {:>8.1} MiB/s",
+            m.wall.as_secs_f64() * 1000.0,
+            m.bytes_per_sec / (1024.0 * 1024.0)
+        );
+    }
+    println!(
+        "  fused/unfused {:.2}x, fused/interpreter {:.2}x",
+        bench.fused_over_unfused(),
+        bench.fused_over_interpreter()
+    );
+
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_fusion.json".to_string());
+    std::fs::write(&path, bench.to_json()).expect("write BENCH_fusion.json");
+    println!("  wrote {path}");
+
+    let gate: f64 = std::env::var("JASH_FUSION_GATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    if bench.fused_over_unfused() < gate {
+        eprintln!(
+            "FAIL: fused/unfused {:.2}x below gate {gate:.2}x",
+            bench.fused_over_unfused()
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_paths_agree_and_report() {
+        let bench = run_fusion_bench(64 * 1024, 1);
+        assert_eq!(bench.stages_fused, 3);
+        assert!(bench.fused.bytes_per_sec > 0.0);
+        assert!(bench.unfused.bytes_per_sec > 0.0);
+        assert!(bench.interpreter.bytes_per_sec > 0.0);
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"fusion\""), "{json}");
+        assert!(json.contains("\"stages_fused\": 3"), "{json}");
+        assert!(json.contains("fused_over_unfused"), "{json}");
+    }
+}

@@ -19,6 +19,7 @@ use jash_core::{Engine, Jash, TraceEvent};
 pub mod crash;
 pub mod faults;
 pub mod fig1;
+pub mod fusion;
 pub mod serve;
 pub mod traceover;
 use jash_cost::MachineProfile;

@@ -52,6 +52,9 @@ pub enum Action {
         width: usize,
         /// Whether splits buffer through storage.
         buffered: bool,
+        /// Whether fusible stage runs executed as single-pass fused
+        /// kernels.
+        fused: bool,
         /// Planner's projected speedup (1.0 for PashAot, which does not
         /// estimate).
         projected_speedup: f64,
@@ -162,6 +165,7 @@ mod tests {
             action: Action::Optimized {
                 width: 4,
                 buffered: false,
+                fused: false,
                 projected_speedup: 2.0,
             },
         };

@@ -68,6 +68,10 @@ pub struct Jash {
     /// appends fsync. On by default; `--no-durable` turns it off for
     /// throwaway runs.
     pub durable: bool,
+    /// Fault injection for fused kernels (`faultsweep`): when set, every
+    /// fused-kernel node fails with this message, exercising the
+    /// kernel → unfused pipeline → interpreter degradation ladder.
+    pub kernel_fault: Option<String>,
     /// Structured trace collector (`--trace` / `JASH_TRACE`). When set,
     /// the session records a `run` span, one `region` span per top-level
     /// statement, `node` spans for every dataflow node the executor ran,
@@ -114,6 +118,7 @@ impl Jash {
             retry_policy: RetryPolicy::default(),
             breaker: CircuitBreaker::default(),
             durable: true,
+            kernel_fault: None,
             tracer: None,
             calibration: None,
             run_attrs: Vec::new(),
@@ -426,7 +431,7 @@ impl Jash {
             }
             Engine::Bash => unreachable!(),
         };
-        if shape.width <= 1 {
+        if shape.width <= 1 && !shape.fused {
             fallback(
                 self,
                 format!(
@@ -485,6 +490,7 @@ impl Jash {
             action: Action::Optimized {
                 width: shape.width,
                 buffered: shape.buffered,
+                fused: false,
                 projected_speedup: projected,
             },
         });
@@ -548,19 +554,36 @@ impl Jash {
             });
         }
 
-        // The ladder: planned width first, then halves down to 1. Width 1
-        // still runs through the dataflow executor (fused, unsplit) — the
-        // interpreter is only reached by failing off the last rung.
-        let mut widths = vec![shape.width];
-        widths.extend(degradation_ladder(shape.width));
+        // The ladder: the fused single-pass kernel first when planned,
+        // then the unfused channel-per-stage pipeline at the planned
+        // width, then halves down to 1. Width 1 still runs through the
+        // dataflow executor — the interpreter is only reached by failing
+        // off the last rung.
+        let mut rungs: Vec<(usize, bool)> = Vec::new();
+        if shape.fused {
+            rungs.push((shape.width, true));
+        }
+        rungs.push((shape.width, false));
+        rungs.extend(degradation_ladder(shape.width).into_iter().map(|w| (w, false)));
 
         let mut total_attempts = 0u32;
         let mut last_failure: Option<(ExecOutcome, ErrorClass)> = None;
-        for (i, &width) in widths.iter().enumerate() {
+        for (i, &(width, fused)) in rungs.iter().enumerate() {
             let mut dfg = base_dfg.clone();
             if width > 1 {
                 parallelize_all(&mut dfg, width);
             }
+            let fused_nodes = if fused {
+                jash_dataflow::fuse_kernels(&mut dfg);
+                dfg.node_ids()
+                    .filter_map(|n| match &dfg.node(n).kind {
+                        NodeKind::Fused { stages } => Some(stages.len()),
+                        _ => None,
+                    })
+                    .sum::<usize>()
+            } else {
+                0
+            };
             let cfg = self.region_config(state, shape.buffered, &dfg, total_bytes);
             let wall = Instant::now();
             let exec_start_us = self.tracer.as_ref().map_or(0, |t| t.now_us());
@@ -604,11 +627,16 @@ impl Jash {
                 self.runtime.regions_optimized += 1;
                 self.checkpoint_clean(state, src_region, fp, &result.outcome);
                 self.trace_optimized_region(width, shape.buffered, projected, &result.outcome);
+                self.trace_region_attr("fused", fused);
+                if fused {
+                    self.trace_region_attr("nodes_fused", fused_nodes as u64);
+                }
                 self.trace.push(TraceEvent {
                     pipeline: pipeline_text,
                     action: Action::Optimized {
                         width,
                         buffered: shape.buffered,
+                        fused,
                         projected_speedup: projected,
                     },
                 });
@@ -645,7 +673,22 @@ impl Jash {
             }
 
             let class = result.outcome.fault_class.unwrap_or(ErrorClass::Permanent);
-            let next = widths.get(i + 1).copied();
+            let next = rungs.get(i + 1).copied();
+            // A failing fused kernel steps to the unfused pipeline for
+            // ANY fault class: the kernel is an optimization, not a
+            // requirement, and the unfused rung below computes the same
+            // bytes with none of the kernel's code in the path.
+            if fused && !result.cancelled && next.is_some() {
+                self.runtime
+                    .supervision
+                    .push(SupervisionEvent::KernelDegraded {
+                        region,
+                        nodes: fused_nodes,
+                        class,
+                    });
+                last_failure = Some((result.outcome, class));
+                continue;
+            }
             // Resource starvation steps down the ladder instead of
             // burning retry budget against the same wall. A transient
             // fault that exhausted its retries gets the same treatment
@@ -658,7 +701,7 @@ impl Jash {
                 && (class == ErrorClass::Resource
                     || (class == ErrorClass::Transient && pressure > 0.9));
             last_failure = Some((result.outcome, class));
-            if let (true, Some(to)) = (degrade, next) {
+            if let (true, Some((to, _))) = (degrade, next) {
                 self.runtime
                     .supervision
                     .push(SupervisionEvent::WidthDegraded {
@@ -880,6 +923,13 @@ impl Jash {
                 NodeKind::Command { name, .. } => {
                     attrs.push(("cmd".to_string(), name.as_str().into()));
                 }
+                NodeKind::Fused { stages } => {
+                    // `cmd: fused` makes calibration learn a measured
+                    // fused-kernel rate exactly like any other command.
+                    attrs.push(("cmd".to_string(), "fused".into()));
+                    attrs.push(("nodes_fused".to_string(), (stages.len() as u64).into()));
+                    attrs.push(("lines".to_string(), m.lines.into()));
+                }
                 NodeKind::Split { width } => {
                     attrs.push(("fan_out".to_string(), (*width as u64).into()));
                 }
@@ -935,6 +985,7 @@ impl Jash {
         cfg.cancel = self.cancel.clone();
         cfg.durable = self.durable;
         cfg.journal = self.journal.clone();
+        cfg.kernel_fault = self.kernel_fault.clone();
         cfg
     }
 
@@ -1033,6 +1084,18 @@ fn supervision_attrs(e: &SupervisionEvent) -> (&'static str, Vec<(String, AttrVa
                 a("region", *region),
                 a("from", *from),
                 a("to", *to),
+                a("class", class.to_string()),
+            ],
+        ),
+        SupervisionEvent::KernelDegraded {
+            region,
+            nodes,
+            class,
+        } => (
+            "supervision.kernel_degraded",
+            vec![
+                a("region", *region),
+                a("nodes", *nodes),
                 a("class", class.to_string()),
             ],
         ),

@@ -189,6 +189,126 @@ fn process_line(
     Ok(!*quitting)
 }
 
+/// Streaming per-line `sed` state for the fused-kernel executor.
+///
+/// Reuses the exact rule machinery of [`run`] — same parser, same
+/// selection, same substitution — but drives one line at a time into a
+/// plain buffer instead of a [`jash_io::Sink`]. Only invocations the
+/// kernel can reproduce byte-for-byte are accepted: `$` addresses need
+/// lookahead (`is_last`) the kernel does not have, and file operands or
+/// unknown flags belong to the real implementation.
+pub(crate) struct KernelSed {
+    rules: Vec<Rule>,
+    quiet: bool,
+    lineno: u64,
+    quitting: bool,
+}
+
+/// Builds a [`KernelSed`] for `args`, or `None` if the invocation is
+/// outside the kernel-supported subset.
+pub(crate) fn kernel_sed(args: &[String]) -> Option<KernelSed> {
+    let mut quiet = false;
+    let mut scripts: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "-n" {
+            quiet = true;
+        } else if a == "-e" {
+            i += 1;
+            scripts.push(args.get(i)?.clone());
+        } else if a == "--" {
+            // Everything after `--` is a file operand in `run`.
+            if args.len() > i + 1 {
+                return None;
+            }
+            break;
+        } else if a.starts_with('-') && a.len() > 1 {
+            return None;
+        } else if scripts.is_empty() {
+            scripts.push(a.clone());
+        } else {
+            return None; // File operand.
+        }
+        i += 1;
+    }
+    if scripts.is_empty() {
+        return None;
+    }
+    let mut rules = Vec::new();
+    for script in &scripts {
+        for part in split_script(script) {
+            rules.push(parse_rule(&part).ok()?);
+        }
+    }
+    let uses_last = rules.iter().any(|r| {
+        matches!(&r.addr, AddrSpec::One(Addr::Last))
+            || matches!(&r.addr, AddrSpec::Range(a, b)
+                if matches!(a, Addr::Last) || matches!(b, Addr::Last))
+    });
+    if uses_last {
+        return None;
+    }
+    Some(KernelSed {
+        rules,
+        quiet,
+        lineno: 0,
+        quitting: false,
+    })
+}
+
+impl KernelSed {
+    /// Processes one line body (no trailing newline), appending output to
+    /// `out`. Returns `false` once a `q` command fires — mirroring
+    /// [`process_line`]'s early-stop contract.
+    pub(crate) fn line(&mut self, body: &[u8], out: &mut Vec<u8>) -> bool {
+        if self.quitting {
+            return false;
+        }
+        self.lineno += 1;
+        let mut pattern_space = body.to_vec();
+        let mut deleted = false;
+        let mut extra_prints = 0usize;
+        for rule in self.rules.iter_mut() {
+            if !rule_selects(rule, &pattern_space, self.lineno, false) {
+                continue;
+            }
+            match &rule.cmd {
+                Cmd::Delete => {
+                    deleted = true;
+                    break;
+                }
+                Cmd::Print => extra_prints += 1,
+                Cmd::Quit => {
+                    self.quitting = true;
+                    break;
+                }
+                Cmd::Subst {
+                    re,
+                    repl,
+                    global,
+                    print,
+                } => {
+                    let (new, changed) = substitute(re, repl, &pattern_space, *global);
+                    pattern_space = new;
+                    if changed && *print {
+                        extra_prints += 1;
+                    }
+                }
+            }
+        }
+        if !deleted && !self.quiet {
+            out.extend_from_slice(&pattern_space);
+            out.push(b'\n');
+        }
+        for _ in 0..extra_prints {
+            out.extend_from_slice(&pattern_space);
+            out.push(b'\n');
+        }
+        !self.quitting
+    }
+}
+
 fn rule_selects(rule: &mut Rule, line: &[u8], lineno: u64, is_last: bool) -> bool {
     let hit = |a: &Addr| match a {
         Addr::Line(n) => *n == lineno,

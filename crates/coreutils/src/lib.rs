@@ -14,6 +14,7 @@
 //! on `UtilCtx::fs`; the conventional `-` means standard input.
 
 pub mod cmds;
+pub mod kernel;
 pub mod regex;
 pub mod util;
 

@@ -27,6 +27,20 @@ pub struct PlanShape {
     pub width: usize,
     /// Whether split chunks are materialized through the disk.
     pub buffered: bool,
+    /// Whether maximal fusible runs execute as single-pass fused kernels
+    /// (zero intermediate channels) instead of channel-per-stage threads.
+    pub fused: bool,
+}
+
+impl PlanShape {
+    /// The do-nothing plan: sequential, streaming, unfused.
+    pub fn sequential() -> PlanShape {
+        PlanShape {
+            width: 1,
+            buffered: false,
+            fused: false,
+        }
+    }
 }
 
 /// What the estimator needs to know about the region's input.
@@ -115,10 +129,19 @@ pub fn estimate_with(
     // CPU: slowest stage governs the pipeline; splittable stages divide
     // by the effective width.
     let effective_width = shape.width.min(machine.cores).max(1);
+    // Under a fused plan, each maximal fusible run executes as ONE
+    // virtual stage; its members drop out of the per-stage bottleneck.
+    let runs = if shape.fused {
+        jash_dataflow::fusible_runs(dfg)
+    } else {
+        Vec::new()
+    };
+    let fused_members: std::collections::HashSet<jash_dataflow::NodeId> =
+        runs.iter().flatten().copied().collect();
     let mut cpu_bottleneck = 0.0f64;
     let mut node_count = 0usize;
     for n in dfg.node_ids() {
-        if !jash_dataflow::is_live(dfg, n) {
+        if !jash_dataflow::is_live(dfg, n) || fused_members.contains(&n) {
             continue;
         }
         node_count += 1;
@@ -132,6 +155,36 @@ pub fn estimate_with(
             }
             cpu_bottleneck = cpu_bottleneck.max(stage_s);
         }
+    }
+    for run in &runs {
+        // One virtual stage per kernel: a calibrated `fused` rate when a
+        // prior trace measured one, else 2× the harmonic composition of
+        // the member rates (same formula as `jash_io::fused_cpu_rate`, so
+        // the planner's belief matches the simulation).
+        node_count += 1;
+        let rate = calibration.and_then(|c| c.rate("fused")).unwrap_or_else(|| {
+            let inv: f64 = run
+                .iter()
+                .filter_map(|&n| match &dfg.node(n).kind {
+                    NodeKind::Command { name, .. } => Some(1.0 / default_cpu_rate(name)),
+                    _ => None,
+                })
+                .sum();
+            if inv <= 0.0 {
+                default_cpu_rate("")
+            } else {
+                2.0 / inv
+            }
+        });
+        let mut stage_s = bytes as f64 / rate;
+        let all_splittable = run.iter().all(|&n| match &dfg.node(n).kind {
+            NodeKind::Command { spec, .. } => spec.class.is_splittable(),
+            _ => false,
+        });
+        if all_splittable && effective_width > 1 {
+            stage_s /= effective_width as f64;
+        }
+        cpu_bottleneck = cpu_bottleneck.max(stage_s);
     }
     // Aggregation: merging k sorted/partial streams is a linear pass that
     // pipelines with everything else — one more stage in the max.
@@ -182,8 +235,8 @@ mod tests {
         let dfg = sort_words_dfg();
         let m = MachineProfile::io_opt_ec2();
         let input = InputInfo { total_bytes: 3 * GB };
-        let seq = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false });
-        let par = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: true });
+        let seq = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false, fused: false });
+        let par = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: true, fused: false });
         assert!(par < seq, "par {par:?} should beat seq {seq:?} on gp3");
     }
 
@@ -194,8 +247,8 @@ mod tests {
         let dfg = sort_words_dfg();
         let m = MachineProfile::standard_ec2();
         let input = InputInfo { total_bytes: 3 * GB };
-        let seq = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false });
-        let pash = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: true });
+        let seq = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false, fused: false });
+        let pash = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: true, fused: false });
         assert!(
             pash > seq,
             "buffered parallel {pash:?} must regress behind sequential {seq:?} on gp2"
@@ -203,7 +256,7 @@ mod tests {
         // And the unbuffered (Jash) plan does not meaningfully regress
         // (only thread-startup noise separates it from sequential when
         // the disk is the bottleneck).
-        let jash = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: false });
+        let jash = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: false, fused: false });
         assert!(jash.as_secs_f64() <= seq.as_secs_f64() * 1.01);
     }
 
@@ -212,9 +265,49 @@ mod tests {
         let dfg = sort_words_dfg();
         let m = MachineProfile::io_opt_ec2();
         let input = InputInfo { total_bytes: GB };
-        let at_cores = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: false });
-        let beyond = estimate(&dfg, &m, input, PlanShape { width: 64, buffered: false });
+        let at_cores = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: false, fused: false });
+        let beyond = estimate(&dfg, &m, input, PlanShape { width: 64, buffered: false, fused: false });
         assert!(beyond >= at_cores);
+    }
+
+    fn fusible_chain_dfg() -> Dfg {
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+            ExpandedCommand::new("grep", &["x"]),
+            ExpandedCommand::new("cut", &["-c", "1-20"]),
+        ];
+        compile(&Region { commands: cmds }, &Registry::builtin())
+            .unwrap()
+            .dfg
+    }
+
+    #[test]
+    fn fusion_lowers_cpu_bound_estimate() {
+        // tr|grep|cut: unfused bottleneck is grep (120 MB/s); the fused
+        // kernel composes to ~141 MB/s, so the fused plan must win when
+        // the CPU, not the disk, is the binding constraint.
+        let dfg = fusible_chain_dfg();
+        let m = MachineProfile::io_opt_ec2();
+        let input = InputInfo { total_bytes: 3 * GB };
+        let unfused = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false, fused: false });
+        let fused = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false, fused: true });
+        assert!(fused < unfused, "fused {fused:?} vs unfused {unfused:?}");
+    }
+
+    #[test]
+    fn calibrated_fused_rate_overrides_composition() {
+        let dfg = fusible_chain_dfg();
+        let m = MachineProfile::io_opt_ec2();
+        let input = InputInfo { total_bytes: 3 * GB };
+        let shape = PlanShape { width: 1, buffered: false, fused: true };
+        // A measured fused-kernel rate far above the harmonic default
+        // must shrink the estimate accordingly.
+        let mut cal = Calibration::default();
+        cal.set_rate("fused", 2000.0 * 1024.0 * 1024.0);
+        let calibrated = estimate_with(&dfg, &m, input, shape, Some(&cal));
+        let default = estimate_with(&dfg, &m, input, shape, None);
+        assert!(calibrated < default, "{calibrated:?} vs {default:?}");
     }
 
     #[test]
@@ -222,8 +315,8 @@ mod tests {
         let dfg = sort_words_dfg();
         let m = MachineProfile::io_opt_ec2();
         let input = InputInfo { total_bytes: 4096 };
-        let seq = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false });
-        let par = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: false });
+        let seq = estimate(&dfg, &m, input, PlanShape { width: 1, buffered: false, fused: false });
+        let par = estimate(&dfg, &m, input, PlanShape { width: 8, buffered: false, fused: false });
         assert!(par > seq, "startup overhead should dominate tiny inputs");
     }
 }

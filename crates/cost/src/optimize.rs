@@ -24,6 +24,12 @@ pub struct PlannerOptions {
     pub min_speedup: f64,
     /// Whether plans may materialize split chunks through the disk.
     pub allow_buffered: bool,
+    /// Whether fusible runs may collapse into single-pass kernels
+    /// (`--no-fuse` clears this).
+    pub allow_fusion: bool,
+    /// Consider only fused candidates and keep fusion even when the
+    /// no-regression guard declines (benchmark sweeps and tests).
+    pub force_fusion: bool,
     /// Bypass estimation and force this width (benchmark sweeps and
     /// tests; `None` for normal operation).
     pub force_width: Option<usize>,
@@ -35,6 +41,8 @@ impl Default for PlannerOptions {
             budget: 16,
             min_speedup: 1.15,
             allow_buffered: false,
+            allow_fusion: true,
+            force_fusion: false,
             force_width: None,
         }
     }
@@ -83,9 +91,10 @@ pub struct Decision {
 }
 
 impl Decision {
-    /// Whether the optimizer decided to transform at all.
+    /// Whether the optimizer decided to transform at all (widening,
+    /// kernel fusion, or both).
     pub fn transform(&self) -> bool {
-        self.shape.width > 1
+        self.shape.width > 1 || self.shape.fused
     }
 
     /// Projected speedup of the chosen plan.
@@ -114,16 +123,17 @@ pub fn choose_plan_with(
     opts: &PlannerOptions,
     calibration: Option<&Calibration>,
 ) -> Decision {
-    let seq_shape = PlanShape {
-        width: 1,
-        buffered: false,
-    };
+    let seq_shape = PlanShape::sequential();
     let est_sequential = estimate_with(dfg, machine, input, seq_shape, calibration);
+    // Fusion is only on the table when the graph actually has a run to
+    // fuse; otherwise every fused shape is identical to its unfused twin.
+    let fusion_ok = opts.allow_fusion && !jash_dataflow::fusible_runs(dfg).is_empty();
 
     if let Some(w) = opts.force_width {
         let shape = PlanShape {
             width: w,
             buffered: false,
+            fused: fusion_ok && opts.force_fusion,
         };
         return Decision {
             shape,
@@ -141,40 +151,57 @@ pub fn choose_plan_with(
     widths.sort_unstable();
     widths.dedup();
 
+    let fused_choices: &[bool] = match (fusion_ok, opts.force_fusion) {
+        (true, true) => &[true],
+        (true, false) => &[false, true],
+        (false, _) => &[false],
+    };
     let mut best = Decision {
         shape: seq_shape,
         est_sequential,
         est_chosen: est_sequential,
         evaluated: 1,
     };
+    // Width 1 is a real candidate under fusion: a fused sequential plan
+    // (zero channels, one pass) can win where widening cannot.
+    widths.insert(0, 1);
     for &width in &widths {
         for buffered in [false, true] {
             if buffered && !opts.allow_buffered {
                 continue;
             }
-            if best.evaluated >= opts.budget {
-                return finish(best, opts);
-            }
-            let shape = PlanShape { width, buffered };
-            let est = estimate_with(dfg, machine, input, shape, calibration);
-            best.evaluated += 1;
-            if est < best.est_chosen {
-                best.shape = shape;
-                best.est_chosen = est;
+            for &fused in fused_choices {
+                if width == 1 && (!fused || buffered) {
+                    continue; // plain sequential is already `best`'s floor
+                }
+                if best.evaluated >= opts.budget {
+                    return finish(best, opts, fusion_ok);
+                }
+                let shape = PlanShape { width, buffered, fused };
+                let est = estimate_with(dfg, machine, input, shape, calibration);
+                best.evaluated += 1;
+                if est < best.est_chosen {
+                    best.shape = shape;
+                    best.est_chosen = est;
+                }
             }
         }
     }
-    finish(best, opts)
+    finish(best, opts, fusion_ok)
 }
 
-/// Applies the no-regression guard.
-fn finish(mut d: Decision, opts: &PlannerOptions) -> Decision {
+/// Applies the no-regression guard. Widening must clear `min_speedup`;
+/// a declined wide plan falls back to plain sequential (fusion rides a
+/// width-1 candidate on its own merits next time around). `force_fusion`
+/// pins fusion on regardless — benchmark sweeps need the fused engine
+/// even where the model declines it.
+fn finish(mut d: Decision, opts: &PlannerOptions, fusion_ok: bool) -> Decision {
     if d.shape.width > 1 && d.projected_speedup() < opts.min_speedup {
-        d.shape = PlanShape {
-            width: 1,
-            buffered: false,
-        };
+        d.shape = PlanShape::sequential();
         d.est_chosen = d.est_sequential;
+    }
+    if fusion_ok && opts.force_fusion {
+        d.shape.fused = true;
     }
     d
 }
@@ -186,6 +213,7 @@ pub fn pash_aot_plan(machine: &MachineProfile) -> PlanShape {
     PlanShape {
         width: machine.cores,
         buffered: true,
+        fused: false,
     }
 }
 
@@ -291,6 +319,92 @@ mod tests {
             ..PlannerOptions::default()
         };
         assert!(eager.under_pressure(0.5).min_speedup >= 1.0);
+    }
+
+    fn fusible_dfg() -> Dfg {
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+            ExpandedCommand::new("grep", &["x"]),
+            ExpandedCommand::new("cut", &["-c", "1-20"]),
+        ];
+        compile(&Region { commands: cmds }, &Registry::builtin())
+            .unwrap()
+            .dfg
+    }
+
+    /// A machine whose disk never bottlenecks, so CPU shape decides.
+    fn cpu_bound_machine() -> MachineProfile {
+        MachineProfile {
+            cores: 8,
+            disk: jash_io::DiskProfile::ramdisk(),
+            mem_mb: 8 * 1024,
+        }
+    }
+
+    #[test]
+    fn fusion_chosen_when_kernel_throughput_wins() {
+        let d = choose_plan(
+            &fusible_dfg(),
+            &cpu_bound_machine(),
+            InputInfo { total_bytes: 3 * GB },
+            &PlannerOptions::default(),
+        );
+        assert!(d.transform());
+        assert!(
+            d.shape.fused,
+            "on a CPU-bound machine the fused kernel beats channel-per-stage: {d:?}"
+        );
+    }
+
+    #[test]
+    fn no_fuse_option_disables_fusion() {
+        let opts = PlannerOptions {
+            allow_fusion: false,
+            ..PlannerOptions::default()
+        };
+        let d = choose_plan(
+            &fusible_dfg(),
+            &cpu_bound_machine(),
+            InputInfo { total_bytes: 3 * GB },
+            &opts,
+        );
+        assert!(!d.shape.fused, "--no-fuse must suppress fusion: {d:?}");
+    }
+
+    #[test]
+    fn force_fusion_overrides_the_guard() {
+        // Tiny input: the model would decline any transform, but a forced
+        // sweep needs the fused engine regardless.
+        let opts = PlannerOptions {
+            force_fusion: true,
+            ..PlannerOptions::default()
+        };
+        let d = choose_plan(
+            &fusible_dfg(),
+            &MachineProfile::io_opt_ec2(),
+            InputInfo { total_bytes: 10_000 },
+            &opts,
+        );
+        assert!(d.shape.fused && d.transform(), "{d:?}");
+        assert_eq!(d.shape.width, 1, "forcing fusion does not force width");
+    }
+
+    #[test]
+    fn fusion_needs_a_fusible_run() {
+        // cat | sort has no two adjacent fusible stages; even forced
+        // fusion must leave the shape unfused.
+        let opts = PlannerOptions {
+            force_fusion: true,
+            ..PlannerOptions::default()
+        };
+        let d = choose_plan(
+            &dfg(),
+            &MachineProfile::io_opt_ec2(),
+            InputInfo { total_bytes: 3 * GB },
+            &opts,
+        );
+        assert!(!d.shape.fused, "{d:?}");
     }
 
     #[test]

@@ -47,6 +47,8 @@ pub fn to_shell(dfg: &Dfg) -> Option<Program> {
                     return None;
                 }
             }
+            // A fused kernel has no single-command POSIX spelling.
+            NodeKind::Fused { .. } => return None,
             NodeKind::Split { .. } => return None,
             NodeKind::Discard => {
                 if !dfg.node(n).inputs.is_empty() {

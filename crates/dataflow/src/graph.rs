@@ -53,8 +53,24 @@ pub enum NodeKind {
         /// How partial streams recombine.
         agg: Aggregator,
     },
+    /// A maximal run of fusible stages collapsed into one single-pass
+    /// kernel (see `rewrite::fuse_kernels`). At most one stdin edge and
+    /// one stdout edge; executes with zero intermediate channels.
+    Fused {
+        /// The collapsed stages, in pipeline order.
+        stages: Vec<FusedStage>,
+    },
     /// Discards its input (used for `>/dev/null`-style sinks).
     Discard,
+}
+
+/// One stage of a [`NodeKind::Fused`] kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedStage {
+    /// Command name.
+    pub name: String,
+    /// Fully expanded argument vector.
+    pub args: Vec<String>,
 }
 
 impl NodeKind {
@@ -74,6 +90,10 @@ impl NodeKind {
             }
             NodeKind::Split { width } => format!("split x{width}"),
             NodeKind::Merge { agg } => format!("merge {agg:?}"),
+            NodeKind::Fused { stages } => {
+                let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
+                format!("fused[{}]", names.join("|"))
+            }
             NodeKind::Discard => "discard".to_string(),
         }
     }
@@ -212,6 +232,7 @@ impl Dfg {
                     let _ = spec;
                     stdin_ok && stdout_ok
                 }
+                NodeKind::Fused { stages } => ins == 1 && outs <= 1 && !stages.is_empty(),
                 NodeKind::Split { width } => ins == 1 && outs == *width && *width >= 2,
                 // A merge may be terminal (its output is the region's
                 // captured stdout).

@@ -40,5 +40,8 @@ pub mod rewrite;
 
 pub use compile::{compile, Compiled, CompileError, ExpandedCommand, Region};
 pub use emit::{explain, to_shell};
-pub use graph::{Dfg, Edge, EdgeId, Node, NodeId, NodeKind};
-pub use rewrite::{fuse_merge_split, is_live, is_parallelizable, parallelize_all, parallelize_node};
+pub use graph::{Dfg, Edge, EdgeId, FusedStage, Node, NodeId, NodeKind};
+pub use rewrite::{
+    fuse_kernels, fuse_merge_split, fusible_runs, is_live, is_parallelizable, parallelize_all,
+    parallelize_node,
+};

@@ -12,7 +12,7 @@
 //! Rewrites preserve the order-aware semantics: every aggregator
 //! reconstructs exactly the sequential output.
 
-use crate::graph::{Dfg, NodeId, NodeKind};
+use crate::graph::{Dfg, FusedStage, NodeId, NodeKind};
 use jash_spec::Aggregator;
 
 /// Whether the node is a command that may be replicated.
@@ -161,6 +161,103 @@ pub fn parallelize_all(dfg: &mut Dfg, width: usize) -> usize {
     count
 }
 
+/// Whether the node can join a fused kernel run: a command whose
+/// concrete invocation the kernel layer reproduces exactly, wired as a
+/// plain one-in/at-most-one-out pipeline stage.
+fn is_fusible(dfg: &Dfg, n: NodeId) -> bool {
+    match &dfg.node(n).kind {
+        NodeKind::Command { name, args, spec } => {
+            jash_spec::fusibility(name, args, spec).is_fusible()
+                && dfg.node(n).inputs.len() == 1
+                && dfg.node(n).outputs.len() <= 1
+        }
+        _ => false,
+    }
+}
+
+/// Whether `a`'s single output feeds `b` directly.
+fn feeds(dfg: &Dfg, a: NodeId, b: NodeId) -> bool {
+    dfg.node(a).outputs.len() == 1 && dfg.edge(dfg.node(a).outputs[0]).to == b
+}
+
+/// Maximal runs (length ≥ 2, in pipeline order) of fusible command
+/// nodes connected as a linear chain. Each run is what
+/// [`fuse_kernels`] collapses into one [`NodeKind::Fused`] node.
+pub fn fusible_runs(dfg: &Dfg) -> Vec<Vec<NodeId>> {
+    let mut runs = Vec::new();
+    let mut in_run = vec![false; dfg.nodes.len()];
+    for n in dfg.topo_order().unwrap_or_default() {
+        if in_run[n.0] || !is_fusible(dfg, n) {
+            continue;
+        }
+        // Only start a run at a node whose producer cannot extend it.
+        let producer = dfg.edge(dfg.node(n).inputs[0]).from;
+        if is_fusible(dfg, producer) && feeds(dfg, producer, n) {
+            continue;
+        }
+        let mut run = vec![n];
+        let mut cur = n;
+        loop {
+            if dfg.node(cur).outputs.len() != 1 {
+                break;
+            }
+            let next = dfg.edge(dfg.node(cur).outputs[0]).to;
+            if !is_fusible(dfg, next) || !feeds(dfg, cur, next) {
+                break;
+            }
+            run.push(next);
+            cur = next;
+        }
+        if run.len() >= 2 {
+            for &m in &run {
+                in_run[m.0] = true;
+            }
+            runs.push(run);
+        }
+    }
+    runs
+}
+
+/// Collapses every maximal fusible run into a single
+/// [`NodeKind::Fused`] kernel node. The run's head node becomes the
+/// fused node (keeping its input edge); the tail's output edge is
+/// re-pointed at it; interior nodes become disconnected tombstones.
+/// Returns the number of runs fused.
+pub fn fuse_kernels(dfg: &mut Dfg) -> usize {
+    let runs = fusible_runs(dfg);
+    for run in &runs {
+        let head = run[0];
+        let tail = *run.last().expect("runs are non-empty");
+        let stages: Vec<FusedStage> = run
+            .iter()
+            .map(|&n| match &dfg.node(n).kind {
+                NodeKind::Command { name, args, .. } => FusedStage {
+                    name: name.clone(),
+                    args: args.clone(),
+                },
+                _ => unreachable!("fusible runs contain only commands"),
+            })
+            .collect();
+        let tail_outputs: Vec<_> = dfg.node(tail).outputs.clone();
+        // Drop the head's interior edge, neutralize the rest of the run,
+        // then adopt the tail's output edge. Interior edges end up
+        // referenced by no port list, like other rewrite tombstones.
+        dfg.node_mut(head).outputs.clear();
+        for &n in &run[1..] {
+            let node = dfg.node_mut(n);
+            node.inputs.clear();
+            node.outputs.clear();
+            tombstone(dfg, n);
+        }
+        for e in tail_outputs {
+            dfg.edges[e.0].from = head;
+            dfg.node_mut(head).outputs.push(e);
+        }
+        dfg.node_mut(head).kind = NodeKind::Fused { stages };
+    }
+    runs.len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +340,121 @@ mod tests {
         let before = dfg.nodes.len();
         assert_eq!(parallelize_all(&mut dfg, 1), 0);
         assert_eq!(dfg.nodes.len(), before);
+    }
+
+    fn compile_pipeline(cmds: Vec<ExpandedCommand>) -> Dfg {
+        compile(&Region { commands: cmds }, &Registry::builtin())
+            .unwrap()
+            .dfg
+    }
+
+    #[test]
+    fn fusible_runs_found_and_bounded_by_barriers() {
+        // cat /in is rewritten to a ReadFile; tr|grep|cut is the run;
+        // sort is a barrier.
+        let dfg = compile_pipeline(vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+            ExpandedCommand::new("grep", &["x"]),
+            ExpandedCommand::new("cut", &["-c", "1-3"]),
+            ExpandedCommand::new("sort", &[]),
+        ]);
+        let runs = fusible_runs(&dfg);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].len(), 3);
+        let names: Vec<String> = runs[0]
+            .iter()
+            .map(|&n| match &dfg.node(n).kind {
+                NodeKind::Command { name, .. } => name.clone(),
+                _ => panic!("non-command in run"),
+            })
+            .collect();
+        assert_eq!(names, ["tr", "grep", "cut"]);
+    }
+
+    #[test]
+    fn single_fusible_stage_is_not_a_run() {
+        let dfg = compile_pipeline(vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+            ExpandedCommand::new("sort", &[]),
+        ]);
+        assert!(fusible_runs(&dfg).is_empty());
+    }
+
+    #[test]
+    fn fuse_kernels_collapses_run_into_one_node() {
+        let mut dfg = compile_pipeline(vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+            ExpandedCommand::new("grep", &["x"]),
+            ExpandedCommand::new("cut", &["-c", "1-3"]),
+            ExpandedCommand::new("sort", &[]),
+        ]);
+        assert_eq!(fuse_kernels(&mut dfg), 1);
+        dfg.validate().unwrap();
+        let fused: Vec<_> = dfg
+            .node_ids()
+            .filter(|&n| matches!(dfg.node(n).kind, NodeKind::Fused { .. }))
+            .collect();
+        assert_eq!(fused.len(), 1);
+        match &dfg.node(fused[0]).kind {
+            NodeKind::Fused { stages } => {
+                let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
+                assert_eq!(names, ["tr", "grep", "cut"]);
+            }
+            _ => unreachable!(),
+        }
+        // The fused node sits between the read and the sort barrier.
+        let read_out = dfg
+            .node_ids()
+            .find(|&n| matches!(dfg.node(n).kind, NodeKind::ReadFile { .. }))
+            .map(|n| dfg.edge(dfg.node(n).outputs[0]).to)
+            .unwrap();
+        assert_eq!(read_out, fused[0]);
+        let downstream = dfg.edge(dfg.node(fused[0]).outputs[0]).to;
+        assert!(
+            matches!(&dfg.node(downstream).kind, NodeKind::Command { name, .. } if name == "sort")
+        );
+        // Interior nodes are dead tombstones.
+        let live_commands = dfg
+            .node_ids()
+            .filter(|&n| is_live(&dfg, n) && matches!(dfg.node(n).kind, NodeKind::Command { .. }))
+            .count();
+        assert_eq!(live_commands, 1, "only sort survives as a command");
+    }
+
+    #[test]
+    fn fuse_kernels_fuses_terminal_run() {
+        // The run ends the region (captured stdout): tail has no output
+        // edge.
+        let mut dfg = compile_pipeline(vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("grep", &["x"]),
+            ExpandedCommand::new("head", &["-n2"]),
+        ]);
+        assert_eq!(fuse_kernels(&mut dfg), 1);
+        dfg.validate().unwrap();
+        let fused = dfg
+            .node_ids()
+            .find(|&n| matches!(dfg.node(n).kind, NodeKind::Fused { .. }))
+            .unwrap();
+        assert!(dfg.node(fused).outputs.is_empty());
+    }
+
+    #[test]
+    fn fuse_kernels_after_parallelize_fuses_each_branch() {
+        let mut dfg = compile_pipeline(vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["a", "b"]),
+            ExpandedCommand::new("tr", &["b", "c"]),
+            ExpandedCommand::new("sort", &[]),
+        ]);
+        parallelize_all(&mut dfg, 3);
+        dfg.validate().unwrap();
+        let fused = fuse_kernels(&mut dfg);
+        assert_eq!(fused, 3, "one tr|tr kernel per branch");
+        dfg.validate().unwrap();
     }
 
     #[test]

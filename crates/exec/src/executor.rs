@@ -87,6 +87,10 @@ pub struct ExecConfig {
     /// ([`jash_io::JournalRecord::StageCommitted`]), when the session
     /// keeps one.
     pub journal: Option<Arc<jash_io::Journal>>,
+    /// Fault injection: make every fused kernel node fail with this
+    /// message instead of executing. Exercises the kernel → unfused →
+    /// interpreter degradation ladder.
+    pub kernel_fault: Option<String>,
 }
 
 impl ExecConfig {
@@ -104,6 +108,7 @@ impl ExecConfig {
             cancel: None,
             durable: true,
             journal: None,
+            kernel_fault: None,
         }
     }
 }
@@ -124,8 +129,10 @@ pub struct NodeMetric {
     /// Bytes the node pushed to its output edges (for the terminal node
     /// this includes the captured stdout).
     pub bytes_out: u64,
-    /// Exit status (commands only).
+    /// Exit status (commands and fused kernels only).
     pub status: Option<i32>,
+    /// Input lines consumed (fused kernels only; 0 elsewhere).
+    pub lines: u64,
     /// Why the node failed, when it did: the IO error, the cancellation
     /// reason, or a captured panic message. `None` for clean completion
     /// (including benign broken-pipe shutdown).
@@ -336,7 +343,10 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
             && dfg.node(n).outputs.is_empty()
             && matches!(
                 dfg.node(n).kind,
-                NodeKind::Command { .. } | NodeKind::Merge { .. } | NodeKind::ReadFile { .. }
+                NodeKind::Command { .. }
+                    | NodeKind::Merge { .. }
+                    | NodeKind::ReadFile { .. }
+                    | NodeKind::Fused { .. }
             )
     });
 
@@ -353,6 +363,8 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
         // edges, so byte totals survive the node thread.
         bytes_in: Arc<AtomicU64>,
         bytes_out: Arc<AtomicU64>,
+        // Input lines consumed (fused kernels report through this).
+        lines: Arc<AtomicU64>,
     }
     let mut wired: Vec<Wired> = Vec::new();
     // (final path, staging path) for every transactional sink.
@@ -364,6 +376,7 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
         let kind = dfg.node(n).kind.clone();
         let bytes_in = Arc::new(AtomicU64::new(0));
         let bytes_out = Arc::new(AtomicU64::new(0));
+        let lines = Arc::new(AtomicU64::new(0));
         let mut ins: Vec<Box<dyn ByteStream>> = Vec::new();
         for e in &dfg.node(n).inputs {
             let r = readers
@@ -408,6 +421,7 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
             staging,
             bytes_in,
             bytes_out,
+            lines,
         });
     }
     // Drop unconsumed endpoints (edges touching dead nodes) so their
@@ -436,6 +450,8 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                 let block_lines = cfg.block_lines;
                 let buffer_dir = cfg.buffer_splits_in.clone();
                 let cpu = cfg.cpu.clone();
+                let kernel_fault = cfg.kernel_fault.clone();
+                let terminal_capture = terminal == Some(w.node);
 
                 inner.spawn(move || {
                     let start = Instant::now();
@@ -449,6 +465,7 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                         staging,
                         bytes_in,
                         bytes_out,
+                        lines,
                     } = w;
                     let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
                         run_node(
@@ -464,6 +481,9 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                             buffer_dir,
                             cpu,
                             staging,
+                            kernel_fault,
+                            terminal_capture,
+                            &lines,
                         )
                     }));
                     let (status, failure, class) = match result {
@@ -497,6 +517,7 @@ pub fn execute(dfg: &Dfg, cfg: &ExecConfig) -> io::Result<ExecOutcome> {
                         bytes_in: bytes_in.load(Ordering::Relaxed),
                         bytes_out: bytes_out.load(Ordering::Relaxed),
                         status,
+                        lines: lines.load(Ordering::Relaxed),
                         failure,
                         class,
                     });
@@ -679,6 +700,9 @@ fn run_node(
     buffer_dir: Option<String>,
     cpu: Option<Arc<jash_io::CpuModel>>,
     staging: Option<String>,
+    kernel_fault: Option<String>,
+    terminal_capture: bool,
+    lines: &AtomicU64,
 ) -> io::Result<Option<i32>> {
     let one_output = |outs: &mut Vec<Box<dyn Sink>>| -> io::Result<Box<dyn Sink>> {
         outs.pop()
@@ -817,8 +841,15 @@ fn run_node(
                 Some(s) => s,
                 None => Box::new(NullSink),
             };
-            // Batch line-grained command output into chunk-sized writes.
-            let mut stdout: Box<dyn Sink> = Box::new(jash_io::CoalescingSink::new(stdout_inner));
+            // Batch line-grained command output into chunk-sized writes —
+            // except into the terminal capture buffer, which is already
+            // in memory: coalescing there would stage every byte through
+            // a dead intermediate copy before the final append.
+            let mut stdout: Box<dyn Sink> = if terminal_capture {
+                stdout_inner
+            } else {
+                Box::new(jash_io::CoalescingSink::new(stdout_inner))
+            };
             let mut err_sink = BufSink(stderr);
             let ctx = UtilCtx {
                 fs,
@@ -838,6 +869,59 @@ fn run_node(
             drop(stdout);
             drop(stdin);
             Ok(Some(status?))
+        }
+        NodeKind::Fused { stages } => {
+            if let Some(msg) = kernel_fault {
+                return Err(io::Error::other(format!("injected kernel fault: {msg}")));
+            }
+            let spec: Vec<(&str, Vec<String>)> = stages
+                .iter()
+                .map(|s| (s.name.as_str(), s.args.clone()))
+                .collect();
+            // A build failure (a stage outside the kernel subset slipped
+            // past planning) is an execution failure: the supervision
+            // layer degrades to the unfused pipeline.
+            let mut kernel = jash_coreutils::kernel::Kernel::build(&spec).map_err(io::Error::other)?;
+            let mut input = one_input(&mut ins)?;
+            if let Some(model) = &cpu {
+                let names: Vec<&str> = stages.iter().map(|s| s.name.as_str()).collect();
+                input = Box::new(jash_io::CpuMeteredStream::new(
+                    input,
+                    Arc::clone(model),
+                    jash_io::fused_cpu_rate(&names),
+                ));
+            }
+            let mut out: Box<dyn Sink> = match outs.pop() {
+                Some(s) => s,
+                None => Box::new(NullSink),
+            };
+            // One pass per chunk: every stage runs inside `feed`, with no
+            // intermediate channels; `scratch` is the single reused
+            // output buffer.
+            let mut scratch: Vec<u8> = Vec::new();
+            while let Some(chunk) = input.next_chunk()? {
+                scratch.clear();
+                let more = kernel.feed(&chunk, &mut scratch);
+                if !scratch.is_empty() {
+                    out.write_chunk(Bytes::copy_from_slice(&scratch))?;
+                }
+                if !more {
+                    // Early stop (`head`, `sed q`): stop consuming input;
+                    // dropping the stream is the SIGPIPE analogue for the
+                    // upstream producer.
+                    break;
+                }
+            }
+            scratch.clear();
+            kernel.finish(&mut scratch);
+            if !scratch.is_empty() {
+                out.write_chunk(Bytes::copy_from_slice(&scratch))?;
+            }
+            out.finish()?;
+            drop(out);
+            drop(input);
+            lines.store(kernel.lines(), Ordering::Relaxed);
+            Ok(Some(kernel.status()))
         }
     }
 }
@@ -864,7 +948,10 @@ fn region_status(dfg: &Dfg, metrics: &[NodeMetric]) -> i32 {
             .map(|&e| dfg.edge(e).to)
             .collect();
         while let Some(m) = stack.pop() {
-            if matches!(dfg.node(m).kind, NodeKind::Command { .. }) {
+            if matches!(
+                dfg.node(m).kind,
+                NodeKind::Command { .. } | NodeKind::Fused { .. }
+            ) {
                 downstream_cmd = true;
                 break;
             }

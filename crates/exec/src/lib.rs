@@ -581,6 +581,131 @@ mod tests {
     }
 
     #[test]
+    fn fused_kernel_matches_unfused_pipeline() {
+        let content: String = (0..3000)
+            .map(|i| format!("Line NUMBER {i} Mixed CASE\n"))
+            .collect();
+        let cmds = || {
+            vec![
+                ExpandedCommand::new("cat", &["/in"]),
+                ExpandedCommand::new("tr", &["A-Z", "a-z"]),
+                ExpandedCommand::new("grep", &["number"]),
+                ExpandedCommand::new("cut", &["-c", "1-20"]),
+            ]
+        };
+        let (unfused, _) = run_region(fs_with(&[("/in", &content)]), cmds(), 1);
+        let mut compiled =
+            compile(&Region { commands: cmds() }, &Registry::builtin()).unwrap();
+        assert_eq!(jash_dataflow::fuse_kernels(&mut compiled.dfg), 1);
+        compiled.dfg.validate().unwrap();
+        let fs = fs_with(&[("/in", &content)]);
+        let out = execute(&compiled.dfg, &ExecConfig::new(fs)).unwrap();
+        assert!(out.is_clean(), "failures: {:?}", out.failures);
+        assert_eq!(out.stdout, unfused.stdout);
+        // The kernel reports input lines consumed for tracing.
+        let fused_metric = out
+            .metrics
+            .iter()
+            .find(|m| {
+                matches!(compiled.dfg.node(m.node).kind, NodeKind::Fused { .. })
+            })
+            .expect("fused node metric");
+        assert_eq!(fused_metric.lines, 3000);
+        assert_eq!(fused_metric.status, Some(0));
+    }
+
+    #[test]
+    fn fused_kernel_early_stop_is_benign() {
+        // head -n1 inside the kernel stops the pass; upstream sees a
+        // benign BrokenPipe, exactly like the unfused pipeline.
+        let content = "match me\n".repeat(5000);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("grep", &["match"]),
+            ExpandedCommand::new("head", &["-n1"]),
+        ];
+        let mut compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        assert_eq!(jash_dataflow::fuse_kernels(&mut compiled.dfg), 1);
+        let fs = fs_with(&[("/in", &content)]);
+        let out = execute(&compiled.dfg, &ExecConfig::new(fs)).unwrap();
+        assert!(out.is_clean(), "failures: {:?}", out.failures);
+        assert_eq!(out.stdout, b"match me\n");
+    }
+
+    #[test]
+    fn fused_kernel_propagates_grep_status() {
+        let fs = fs_with(&[("/in", "nothing here\n")]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["a-z", "A-Z"]),
+            ExpandedCommand::new("grep", &["absent-pattern"]),
+        ];
+        let mut compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        assert_eq!(jash_dataflow::fuse_kernels(&mut compiled.dfg), 1);
+        let out = execute(&compiled.dfg, &ExecConfig::new(fs)).unwrap();
+        assert_eq!(out.status, 1, "grep found nothing; kernel exits 1");
+    }
+
+    #[test]
+    fn fused_kernel_writes_through_staged_sink() {
+        let fs = fs_with(&[("/in", "b\nB\na\nA\n"), ("/out", "old\n")]);
+        let mut grep = ExpandedCommand::new("grep", &["-i", "a"]);
+        grep.stdout_redirect = Some(("/out".into(), false));
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["a-z", "A-Z"]),
+            grep,
+        ];
+        let mut compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        assert_eq!(jash_dataflow::fuse_kernels(&mut compiled.dfg), 1);
+        let out = execute(&compiled.dfg, &ExecConfig::new(Arc::clone(&fs))).unwrap();
+        assert!(out.is_clean(), "failures: {:?}", out.failures);
+        assert_eq!(
+            jash_io::fs::read_to_vec(fs.as_ref(), "/out").unwrap(),
+            b"A\nA\n"
+        );
+    }
+
+    #[test]
+    fn kernel_fault_injection_fails_the_fused_region() {
+        let fs = fs_with(&[("/in", "x\n")]);
+        let cmds = vec![
+            ExpandedCommand::new("cat", &["/in"]),
+            ExpandedCommand::new("tr", &["a-z", "A-Z"]),
+            ExpandedCommand::new("grep", &["X"]),
+        ];
+        let mut compiled = compile(&Region { commands: cmds }, &Registry::builtin()).unwrap();
+        assert_eq!(jash_dataflow::fuse_kernels(&mut compiled.dfg), 1);
+        let mut cfg = ExecConfig::new(Arc::clone(&fs));
+        cfg.kernel_fault = Some("simulated kernel defect".into());
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        assert!(!out.is_clean());
+        assert_eq!(out.status, 125);
+        assert!(
+            out.failures
+                .iter()
+                .any(|f| f.contains("injected kernel fault")),
+            "failures: {:?}",
+            out.failures
+        );
+        // The same graph unfused ignores the kernel fault entirely.
+        let compiled = compile(
+            &Region {
+                commands: vec![
+                    ExpandedCommand::new("cat", &["/in"]),
+                    ExpandedCommand::new("tr", &["a-z", "A-Z"]),
+                    ExpandedCommand::new("grep", &["X"]),
+                ],
+            },
+            &Registry::builtin(),
+        )
+        .unwrap();
+        let out = execute(&compiled.dfg, &cfg).unwrap();
+        assert!(out.is_clean(), "failures: {:?}", out.failures);
+        assert_eq!(out.stdout, b"X\n");
+    }
+
+    #[test]
     fn byte_accounting_through_file_sink_and_split() {
         let content: String = (0..2000).map(|i| format!("row {i}\n")).collect();
         let fs = fs_with(&[("/in", &content)]);

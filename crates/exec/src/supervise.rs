@@ -203,6 +203,18 @@ pub enum SupervisionEvent {
         /// Classification of the fault that forced the step down.
         class: ErrorClass,
     },
+    /// A fused kernel failed; the region stepped down to the unfused
+    /// channel-per-stage pipeline (the rung below on the degradation
+    /// ladder). Tracked separately from [`SupervisionEvent::WidthDegraded`]
+    /// because no parallelism width changed — only the execution strategy.
+    KernelDegraded {
+        /// Logical region number.
+        region: u64,
+        /// Stages that were fused in the failed kernel.
+        nodes: usize,
+        /// Classification of the fault that evicted the kernel.
+        class: ErrorClass,
+    },
     /// The supervisor gave up on optimization; the region re-ran under
     /// the interpreter (PR 1's original safety valve).
     FailedOver {
@@ -268,6 +280,11 @@ impl fmt::Display for SupervisionEvent {
                 to,
                 class,
             } => write!(f, "r{region} degrade w{from}->w{to} ({class})"),
+            SupervisionEvent::KernelDegraded {
+                region,
+                nodes,
+                class,
+            } => write!(f, "r{region} kernel-degrade {nodes} stages -> unfused ({class})"),
             SupervisionEvent::FailedOver { region, class } => {
                 write!(f, "r{region} failover ({class})")
             }
@@ -315,6 +332,16 @@ impl SupervisionLog {
         self.events
             .iter()
             .filter(|e| matches!(e, SupervisionEvent::WidthDegraded { .. }))
+            .count()
+    }
+
+    /// Fused-kernel eviction steps (kernel → unfused pipeline). Not
+    /// counted by [`SupervisionLog::degradations`], which tracks width
+    /// steps only.
+    pub fn kernel_degradations(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, SupervisionEvent::KernelDegraded { .. }))
             .count()
     }
 

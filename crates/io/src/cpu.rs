@@ -41,6 +41,21 @@ pub fn cpu_rate(command: &str) -> f64 {
     }
 }
 
+/// Modeled throughput of a fused kernel running `names` in one pass.
+///
+/// A fused chain still does every stage's per-byte work, but on one
+/// core with no channel hops, no per-stage buffer copies, and no
+/// cross-thread handoff — modeled as 2× the harmonic composition of the
+/// member rates. The cost model uses the same formula, and `--calibrate`
+/// replaces it with measured `fused` span throughput.
+pub fn fused_cpu_rate(names: &[&str]) -> f64 {
+    let inv: f64 = names.iter().map(|n| 1.0 / cpu_rate(n)).sum();
+    if inv <= 0.0 {
+        return cpu_rate("");
+    }
+    2.0 / inv
+}
+
 /// An N-core virtual CPU.
 pub struct CpuModel {
     cores: Mutex<Vec<Duration>>,

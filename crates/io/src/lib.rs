@@ -23,7 +23,7 @@ pub mod stream;
 pub mod tempdir;
 
 pub use cancel::{deadline_code, deadline_reason, CancelToken, DeadlineGuard, DEADLINE_PREFIX};
-pub use cpu::{cpu_rate, CpuMeteredStream, CpuModel};
+pub use cpu::{cpu_rate, fused_cpu_rate, CpuMeteredStream, CpuModel};
 pub use disk::{DiskModel, DiskProfile, DiskStats};
 pub use fault::{FaultFs, FaultPlan, FaultStream};
 pub use fs::{FileMeta, Fs, MemFs, RealFs};

@@ -1,0 +1,116 @@
+//! Fusibility classification — which stages admit single-pass kernel
+//! composition.
+//!
+//! Fusibility is *not* parallelizability. A stage is fusible when its
+//! whole effect is a sequential stdin→stdout transform a kernel op can
+//! reproduce in-order: `head -n` is non-parallelizable (prefix-only) yet
+//! perfectly fusible, while `sort` is parallelizable yet a barrier (it
+//! buffers everything). The spec layer supplies the coarse guards —
+//! blocking, extra outputs, file inputs, side effects — and delegates
+//! the fine-grained per-invocation answer to
+//! [`jash_coreutils::kernel::op_shape`], the same classifier the kernel
+//! builder uses. Classification and buildability therefore cannot
+//! drift: a stage is `PerLine`/`PerChunk` exactly when a kernel op
+//! exists for its concrete argument vector.
+
+use crate::class::ParallelClass;
+use crate::spec::InstanceSpec;
+use jash_coreutils::kernel::KernelShape;
+
+/// How a stage participates in kernel fusion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fusible {
+    /// Consumes framed lines; composable into a fused kernel.
+    PerLine,
+    /// Consumes raw byte chunks; composable into a fused kernel.
+    PerChunk,
+    /// Cannot join a fused run (buffers input, touches files, has side
+    /// effects, or uses features the kernel does not reproduce).
+    Barrier,
+}
+
+impl Fusible {
+    /// Whether the stage can join a fused run.
+    pub fn is_fusible(self) -> bool {
+        !matches!(self, Fusible::Barrier)
+    }
+}
+
+/// Classifies one concrete invocation.
+///
+/// `spec` is the invocation's resolved [`InstanceSpec`] — the guards
+/// here keep fusion away from anything whose behavior is not a pure
+/// in-order stdin→stdout byte transform.
+pub fn fusibility(name: &str, args: &[String], spec: &InstanceSpec) -> Fusible {
+    if spec.blocking
+        || !spec.output_files.is_empty()
+        || !spec.input_args.is_empty()
+        || !spec.reads_stdin
+        || matches!(spec.class, ParallelClass::SideEffectful)
+    {
+        return Fusible::Barrier;
+    }
+    match jash_coreutils::kernel::op_shape(name, args) {
+        Some(KernelShape::PerLine) => Fusible::PerLine,
+        Some(KernelShape::PerChunk) => Fusible::PerChunk,
+        None => Fusible::Barrier,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn classify(name: &str, args: &[&str]) -> Fusible {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let spec = Registry::builtin().resolve(name, &args).unwrap();
+        fusibility(name, &args, &spec)
+    }
+
+    #[test]
+    fn streaming_transforms_are_fusible() {
+        assert_eq!(classify("tr", &["A-Z", "a-z"]), Fusible::PerChunk);
+        assert_eq!(classify("cat", &[]), Fusible::PerChunk);
+        assert_eq!(classify("grep", &["x"]), Fusible::PerLine);
+        assert_eq!(classify("cut", &["-c", "1-3"]), Fusible::PerLine);
+        assert_eq!(classify("sed", &["s/a/b/"]), Fusible::PerLine);
+        assert_eq!(classify("rev", &[]), Fusible::PerLine);
+        assert_eq!(classify("fold", &["-w5"]), Fusible::PerLine);
+        assert_eq!(classify("uniq", &[]), Fusible::PerLine);
+    }
+
+    #[test]
+    fn prefix_only_is_fusible_sequentially() {
+        // Not parallelizable, but exact in a single in-order pass.
+        assert_eq!(classify("head", &["-n3"]), Fusible::PerLine);
+        assert_eq!(classify("sed", &["3q"]), Fusible::PerLine);
+        assert_eq!(classify("sed", &["2,4d"]), Fusible::PerLine);
+    }
+
+    #[test]
+    fn blocking_and_stateful_commands_are_barriers() {
+        assert_eq!(classify("sort", &[]), Fusible::Barrier);
+        assert_eq!(classify("wc", &["-l"]), Fusible::Barrier);
+        assert_eq!(classify("tac", &[]), Fusible::Barrier);
+        assert_eq!(classify("shuf", &[]), Fusible::Barrier);
+        assert_eq!(classify("nl", &[]), Fusible::Barrier);
+    }
+
+    #[test]
+    fn file_touching_invocations_are_barriers() {
+        // File operands bypass stdin; tee writes extra outputs.
+        assert_eq!(classify("cat", &["/etc/passwd"]), Fusible::Barrier);
+        assert_eq!(classify("grep", &["x", "/f"]), Fusible::Barrier);
+        assert_eq!(classify("tee", &["/out"]), Fusible::Barrier);
+        assert_eq!(classify("echo", &["hi"]), Fusible::Barrier);
+    }
+
+    #[test]
+    fn unsupported_kernel_features_are_barriers() {
+        assert_eq!(classify("grep", &["-c", "x"]), Fusible::Barrier);
+        assert_eq!(classify("head", &["-c", "5"]), Fusible::Barrier);
+        assert_eq!(classify("sed", &["$d"]), Fusible::Barrier);
+        assert_eq!(classify("uniq", &["-c"]), Fusible::Barrier);
+    }
+}

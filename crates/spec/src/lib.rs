@@ -30,12 +30,14 @@
 //! ```
 
 pub mod class;
+pub mod fuse;
 pub mod infer;
 pub mod json;
 pub mod registry;
 pub mod spec;
 
 pub use class::{Aggregator, ParallelClass, SortKeySpec};
+pub use fuse::{fusibility, Fusible};
 pub use json::JsonError;
 pub use infer::{check_conformance, infer_class, Inference};
 pub use registry::{FlagRule, Registry, UserSpec};

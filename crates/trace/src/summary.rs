@@ -111,6 +111,33 @@ pub fn summarize(records: &[Record]) -> String {
         }
     }
 
+    // Fusion digest: how much of the run flowed through single-pass
+    // fused kernels (regions with `fused: true`; node spans with
+    // `cmd: fused` carry the per-kernel stage/byte/line counts).
+    let fused_regions = regions
+        .iter()
+        .filter(|r| matches!(r.attr("fused"), Some(AttrValue::Bool(true))))
+        .count();
+    let mut fused_nodes = 0u64;
+    let mut fused_bytes = 0u64;
+    let mut fused_lines = 0u64;
+    for r in records {
+        if let Record::Span { kind, .. } = r {
+            if kind == "node" && r.attr_str("cmd") == Some("fused") {
+                fused_nodes += r.attr_u64("nodes_fused").unwrap_or(0);
+                fused_bytes += r.attr_u64("bytes_in").unwrap_or(0);
+                fused_lines += r.attr_u64("lines").unwrap_or(0);
+            }
+        }
+    }
+    if fused_regions > 0 || fused_nodes > 0 {
+        let _ = writeln!(
+            out,
+            "fusion: {fused_regions} region(s) fused, {fused_nodes} stage(s) in kernels, \
+             {fused_bytes} bytes / {fused_lines} lines through kernels"
+        );
+    }
+
     let mut wrote_header = false;
     for r in records {
         let line = match r {
@@ -192,5 +219,58 @@ mod tests {
     #[test]
     fn empty_trace_is_graceful() {
         assert!(summarize(&[]).contains("no region spans"));
+    }
+
+    #[test]
+    fn fusion_row_aggregates_kernel_spans() {
+        let records = vec![
+            Record::Span {
+                kind: "region".into(),
+                id: 1,
+                parent: None,
+                name: "cat /in | tr a b | grep x".into(),
+                start_us: 0,
+                wall_us: 1_000,
+                attrs: vec![
+                    ("action".into(), AttrValue::Str("optimized".into())),
+                    ("fused".into(), AttrValue::Bool(true)),
+                    ("nodes_fused".into(), AttrValue::UInt(2)),
+                ],
+            },
+            Record::Span {
+                kind: "node".into(),
+                id: 2,
+                parent: Some(1),
+                name: "fused[tr|grep]".into(),
+                start_us: 1,
+                wall_us: 900,
+                attrs: vec![
+                    ("cmd".into(), AttrValue::Str("fused".into())),
+                    ("nodes_fused".into(), AttrValue::UInt(2)),
+                    ("bytes_in".into(), AttrValue::UInt(4096)),
+                    ("lines".into(), AttrValue::UInt(128)),
+                ],
+            },
+        ];
+        let s = summarize(&records);
+        assert!(
+            s.contains("fusion: 1 region(s) fused, 2 stage(s) in kernels"),
+            "{s}"
+        );
+        assert!(s.contains("4096 bytes / 128 lines"), "{s}");
+    }
+
+    #[test]
+    fn unfused_trace_has_no_fusion_row() {
+        let records = vec![Record::Span {
+            kind: "region".into(),
+            id: 1,
+            parent: None,
+            name: "cat /in | sort".into(),
+            start_us: 0,
+            wall_us: 1_000,
+            attrs: vec![("action".into(), AttrValue::Str("optimized".into()))],
+        }];
+        assert!(!summarize(&records).contains("fusion:"));
     }
 }

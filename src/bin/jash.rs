@@ -3,7 +3,7 @@
 //! ```text
 //! jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR]
 //!      [--journal DIR] [--no-journal] [--no-durable] [--resume]
-//!      [--trace FILE] [--calibrate FILE] [--timeout SECS]
+//!      [--trace FILE] [--calibrate FILE] [--timeout SECS] [--no-fuse]
 //!      (-c SCRIPT | FILE [args...])
 //! jash trace summarize FILE
 //! jash serve --socket PATH [--root DIR] [--workers N] [--queue N]
@@ -16,6 +16,12 @@
 //! script's stdout/stderr and exiting with its status. `--explain` dumps
 //! the JIT trace afterwards; `--lint` reports findings and exits without
 //! executing.
+//!
+//! `--no-fuse` disables kernel fusion (the single-pass execution of
+//! stateless stage chains); the planner then only considers width. The
+//! calibration loop covers fused kernels too: a traced run records a
+//! `fused` pseudo-command rate that `--calibrate` feeds back to the
+//! fusion decision.
 //!
 //! Observability: `--trace FILE` (or the `JASH_TRACE` env var) records a
 //! structured run/region/node span trace plus session metrics as schema-v1
@@ -92,6 +98,7 @@ struct Options {
     trace: Option<String>,
     calibrate: Option<String>,
     timeout: Option<u64>,
+    fuse: bool,
     script: String,
     args: Vec<String>,
     script_name: String,
@@ -101,7 +108,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR] \
          [--journal DIR] [--no-journal] [--no-durable] [--resume] \
-         [--trace FILE] [--calibrate FILE] [--timeout SECS] \
+         [--trace FILE] [--calibrate FILE] [--timeout SECS] [--no-fuse] \
          (-c SCRIPT | FILE [args...])\n       jash trace summarize FILE\n       \
          jash serve --socket PATH [--root DIR] [--workers N] [--queue N] \
          [--timeout SECS] [--drain-secs S] [--journal DIR] [--trace-dir DIR] \
@@ -122,6 +129,7 @@ fn parse_args() -> Options {
     let mut trace = std::env::var("JASH_TRACE").ok().filter(|s| !s.is_empty());
     let mut calibrate: Option<String> = None;
     let mut timeout: Option<u64> = None;
+    let mut fuse = true;
     let mut script: Option<String> = None;
     let mut script_name = "jash".to_string();
     let mut rest: Vec<String> = Vec::new();
@@ -153,6 +161,7 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| usage()),
                 );
             }
+            "--no-fuse" => fuse = false,
             "-c" => {
                 script = Some(argv.next().unwrap_or_else(|| usage()));
                 rest.extend(argv.by_ref());
@@ -191,6 +200,7 @@ fn parse_args() -> Options {
         trace,
         calibrate,
         timeout,
+        fuse,
         script,
         args: rest,
         script_name,
@@ -408,6 +418,7 @@ fn main() {
     let mut shell = Jash::new(opts.engine, MachineProfile::laptop());
     shell.cancel = Some(cancel);
     shell.durable = opts.durable;
+    shell.planner.allow_fusion = opts.fuse;
     if opts.trace.is_some() {
         shell.tracer = Some(Arc::new(jash::trace::Tracer::new()));
     }

@@ -378,9 +378,11 @@ impl Rng {
 }
 
 /// Generates a random pipeline over the optimizable command set
-/// (`cat/tr/sort/uniq/grep/cut/head/comm`) with randomized flags and
-/// stage count — scripts that sweep the fragment's surface far more
-/// densely than the hand-written corpus above.
+/// (`cat/tr/sort/uniq/grep/cut/sed/rev/fold/head/comm`) with randomized
+/// flags and stage count — scripts that sweep the fragment's surface far
+/// more densely than the hand-written corpus above. The stage pool leans
+/// toward stateless per-line commands so adjacent fusible runs (the
+/// kernel-fusion substrate) occur on a healthy share of seeds.
 fn random_pipeline(seed: u64) -> String {
     let mut rng = Rng(seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1));
     let source = rng.pick(&[
@@ -403,13 +405,19 @@ fn random_pipeline(seed: u64) -> String {
         "uniq -c",
         "grep -v Word1",
         "grep shell",
+        "grep -i SHELL",
+        "grep -F pipeline",
         "cut -c 1-6",
         "cut -c 2-9",
+        "sed s/Word/W/g",
+        "sed s/shell/sh3ll/",
+        "rev",
+        "fold -w32",
         "head -n7",
         "head -n40",
     ];
     let mut out = String::from(source);
-    for _ in 0..rng.range(1, 4) {
+    for _ in 0..rng.range(1, 5) {
         out.push_str(" | ");
         out.push_str(rng.pick(&stages));
     }
@@ -488,5 +496,68 @@ fn randomized_pipelines_differential_vs_interpreter() {
     assert!(
         optimized >= floor,
         "only {optimized} optimized regions across {seeds} seeds (floor {floor}) — the fragment shrank"
+    );
+}
+
+/// The fusion-forced differential: the same seed matrix with kernel
+/// fusion pinned on (`force_fusion`), so every pipeline with a fusible
+/// run executes through a single-pass fused kernel. The fused engine
+/// must stay byte-identical to the interpreter oracle, and the trace
+/// must prove fusion actually fired — a fused region attribute AND a
+/// `cmd: fused` kernel node span — on a healthy share of seeds.
+#[test]
+fn randomized_pipelines_differential_with_fusion_forced() {
+    let seeds: u64 = std::env::var("JASH_DIFF_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(220);
+    let mut fused_regions = 0usize;
+    let mut kernel_spans = 0usize;
+    for seed in 0..seeds {
+        let src = random_pipeline(seed);
+        let (bash_st, bash_out) = run(Engine::Bash, &src, false);
+
+        let fs = staged_fs();
+        let mut state = ShellState::new(fs);
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner = PlannerOptions {
+            min_speedup: 0.0,
+            force_fusion: true,
+            ..Default::default()
+        };
+        let tracer = Arc::new(jash::trace::Tracer::new());
+        shell.tracer = Some(Arc::clone(&tracer));
+        let r = shell.run_script(&mut state, &src).expect("script runs");
+
+        assert_eq!(bash_st, r.status, "status diverged for seed {seed}: `{src}`");
+        assert_eq!(
+            String::from_utf8_lossy(&bash_out),
+            String::from_utf8_lossy(&r.stdout),
+            "fused stdout diverged for seed {seed}: `{src}`"
+        );
+        for rec in tracer.drain() {
+            let jash::trace::Record::Span { ref kind, .. } = rec else {
+                continue;
+            };
+            if kind == "region"
+                && rec.attr("fused") == Some(&jash::trace::AttrValue::Bool(true))
+            {
+                fused_regions += 1;
+                assert!(
+                    rec.attr_u64("nodes_fused").unwrap_or(0) >= 2,
+                    "fused region without stages for seed {seed}: `{src}`"
+                );
+            }
+            if kind == "node" && rec.attr_str("cmd") == Some("fused") {
+                kernel_spans += 1;
+            }
+        }
+    }
+    // Fusion must actually exercise on this matrix, not vacuously pass.
+    let floor = (seeds / 8).max(1) as usize;
+    assert!(
+        fused_regions >= floor && kernel_spans >= floor,
+        "fusion fired on {fused_regions} region(s) / {kernel_spans} kernel span(s) \
+         across {seeds} seeds (floor {floor}) — the fusible fragment shrank"
     );
 }

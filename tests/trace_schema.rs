@@ -145,6 +145,63 @@ fn every_executed_region_carries_promised_attrs() {
 }
 
 #[test]
+fn fused_kernel_spans_round_trip_with_attrs() {
+    // A fused execution must stamp the region with `fused`/`nodes_fused`
+    // and emit a kernel node span (`cmd: fused`) carrying stage, byte,
+    // and line accounting — all surviving the schema round trip.
+    let fs = staged_fs();
+    let mut state = ShellState::new(fs);
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner = PlannerOptions {
+        min_speedup: 0.0,
+        force_fusion: true,
+        ..Default::default()
+    };
+    let tracer = Arc::new(Tracer::new());
+    shell.tracer = Some(Arc::clone(&tracer));
+    let r = shell
+        .run_script(&mut state, "cat /in.txt | tr a-z A-Z | grep SHELL | cut -c 1-30")
+        .expect("script runs");
+    assert_eq!(r.status, 0);
+    assert_eq!(shell.runtime.regions_optimized, 1);
+    let records = tracer.drain();
+
+    let jsonl: String = records
+        .iter()
+        .map(|rec| format!("{}\n", rec.to_json_line()))
+        .collect();
+    let reparsed = parse_jsonl(&jsonl).expect("fused trace parses");
+    assert_eq!(records, reparsed, "fused spans must round trip losslessly");
+
+    let region = reparsed
+        .iter()
+        .find(|rec| matches!(rec, Record::Span { kind, .. } if kind == "region"))
+        .expect("region span");
+    assert_eq!(region.attr_str("action"), Some("optimized"));
+    assert_eq!(
+        region.attr("fused"),
+        Some(&jash::trace::AttrValue::Bool(true)),
+        "{region:?}"
+    );
+    assert!(region.attr_u64("nodes_fused").unwrap() >= 3);
+
+    let kernel = reparsed
+        .iter()
+        .find(|rec| {
+            matches!(rec, Record::Span { kind, .. } if kind == "node")
+                && rec.attr_str("cmd") == Some("fused")
+        })
+        .expect("fused kernel node span");
+    assert_eq!(kernel.attr_u64("nodes_fused"), Some(3), "{kernel:?}");
+    assert!(kernel.attr_u64("bytes_in").unwrap() > 0);
+    assert!(kernel.attr_u64("lines").unwrap() > 0, "{kernel:?}");
+    let Record::Span { name, .. } = kernel else {
+        unreachable!()
+    };
+    assert_eq!(name, "fused[tr|grep|cut]");
+}
+
+#[test]
 fn resumed_runs_tag_replayed_regions() {
     // The doctored-journal pattern: run once journaled, strip the
     // RunComplete record so the journal reads as interrupted, and resume
