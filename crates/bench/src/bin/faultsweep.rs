@@ -21,8 +21,11 @@
 //! With `--serve`, runs the same fault matrix through the daemon path
 //! instead: every case is submitted to a real `jash serve` instance
 //! over its unix socket and the reply frames are compared against the
-//! sequential baseline. Exits nonzero on divergence, an unanswered
-//! submission, or staging debris surviving the drain.
+//! sequential baseline, followed by the noisy-neighbor quarantine
+//! drill (a tenant failing into quarantine and paroling by probe while
+//! steady tenants commit byte-identical outputs). Exits nonzero on
+//! divergence, an unanswered submission, broken quarantine isolation,
+//! or staging debris surviving the drain.
 
 use jash_bench::faults::{
     default_supervision_sweep, default_sweep, render, render_supervision, run_supervision_sweep,
@@ -105,6 +108,16 @@ fn main() {
             );
         } else {
             println!("\nSERVE-MODE CRASH-EQUIVALENCE VIOLATED");
+            std::process::exit(1);
+        }
+
+        println!("\nnoisy-neighbor quarantine drill:");
+        let drill = jash_bench::serve::run_quarantine_drill(len.min(256 * 1024), machine);
+        print!("{}", jash_bench::serve::render_quarantine(&drill));
+        if jash_bench::serve::quarantine_holds(&drill) {
+            println!("\nquarantine isolation holds: noisy tenant exiled and paroled, steady tenants untouched");
+        } else {
+            println!("\nQUARANTINE ISOLATION VIOLATED");
             std::process::exit(1);
         }
         return;

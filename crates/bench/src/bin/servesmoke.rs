@@ -2,13 +2,19 @@
 //! `cargo run --release -p jash-bench --bin servesmoke`
 //!
 //! Starts a *real* `jash serve` child on a unix socket (the binary under
-//! test — `JASH_BIN` overrides its location), drives a 16-client storm
-//! with injected transient and sticky read faults plus four deliberately
-//! stalled runs, delivers SIGTERM mid-storm, and audits the drain:
+//! test — `JASH_BIN` overrides its location), drives a 24-client
+//! multi-tenant storm — 16 clients across four well-behaved tenants
+//! with injected transient and sticky read faults plus four
+//! deliberately stalled runs, and 8 clients of a quota-shaped `flood`
+//! tenant (`--tenant flood=1.0:1:2`) — delivers SIGTERM mid-storm, and
+//! audits the drain:
 //!
 //! * the daemon exits 143 (128+SIGTERM) within the drain budget;
 //! * every client got a definitive answer — a `Done` frame (clean,
-//!   faulted, or aborted 143) or a structured `DRAINING` rejection;
+//!   faulted, or aborted 143) or a structured `DRAINING`/`QUOTA`
+//!   rejection;
+//! * only the flood tenant absorbed `QUOTA` rejections, and it absorbed
+//!   at least one — its per-tenant cap held under the burst;
 //! * the stalled in-flight runs were aborted, not leaked;
 //! * zero `.jash-stage-*` staging debris survives anywhere under the
 //!   serve root;
@@ -31,12 +37,20 @@ enum Outcome {
     Faulted(i32),
     Aborted,
     Shed,
+    Quota,
     Error(String),
 }
 
 fn classify(i: usize, socket: &Path) -> Outcome {
+    let flood = i >= 16;
     let mut req = Request::new(SCRIPT);
-    req.tenant = format!("smoke-{}", i % 4);
+    req.tenant = if flood {
+        // The quota-shaped tenant: 8 clients burst against a cap of
+        // one active run + two queued, so most must shed with QUOTA.
+        "flood".to_string()
+    } else {
+        format!("smoke-{}", i % 4)
+    };
     req.timeout_ms = 30_000;
     req.fault = match i {
         // Four runs wedge on a long stall so SIGTERM lands mid-run;
@@ -55,6 +69,8 @@ fn classify(i: usize, socket: &Path) -> Outcome {
             if let Some((code, ..)) = reply.rejected {
                 if code == reject::DRAINING {
                     Outcome::Shed
+                } else if code == reject::QUOTA && flood {
+                    Outcome::Quota
                 } else {
                     Outcome::Error(format!("client {i}: unexpected rejection code {code}"))
                 }
@@ -118,7 +134,8 @@ fn main() {
         // 8 workers: the 4 stalled runs wedge half the pool while the
         // other half churns through the fast submissions, so the storm
         // exercises completion *and* mid-run abort in one drill.
-        .args(["--workers", "8", "--queue", "16"])
+        .args(["--workers", "8", "--queue", "24"])
+        .args(["--tenant", "flood=1.0:1:2"])
         .args(["--drain-secs", "5", "--trace-dir", "/traces"])
         .args(["--no-durable", "--test-faults"])
         .env("JASH_TEST_EAGER", "1")
@@ -137,9 +154,11 @@ fn main() {
         std::thread::sleep(Duration::from_millis(10));
     }
 
-    // The storm: 16 concurrent clients, mixed clean / transient-fault /
-    // sticky-fault / stalled submissions.
-    let clients: Vec<_> = (0..16)
+    // The storm: 24 concurrent clients — 16 mixed clean /
+    // transient-fault / sticky-fault / stalled submissions across four
+    // tenants, plus 8 flood-tenant bursts against a 1-active/2-queued
+    // quota.
+    let clients: Vec<_> = (0..24)
         .map(|i| {
             let socket = socket.clone();
             std::thread::spawn(move || (i, classify(i, &socket)))
@@ -155,7 +174,7 @@ fn main() {
         .expect("deliver SIGTERM");
     assert!(term.success(), "kill -TERM failed");
 
-    let mut counts = (0usize, 0usize, 0usize); // clean, aborted, shed
+    let mut counts = (0usize, 0usize, 0usize, 0usize); // clean, aborted, shed, quota
     let mut faulted = Vec::new();
     let mut errors = Vec::new();
     for c in clients {
@@ -166,18 +185,20 @@ fn main() {
             Outcome::Faulted(s) => faulted.push(s),
             Outcome::Aborted => counts.1 += 1,
             Outcome::Shed => counts.2 += 1,
+            Outcome::Quota => counts.3 += 1,
             Outcome::Error(e) => errors.push(e),
         }
     }
 
     let status = child.wait().expect("wait for daemon");
     println!(
-        "daemon exit: {:?}; clean={} faulted={:?} aborted={} shed={}",
+        "daemon exit: {:?}; clean={} faulted={:?} aborted={} shed={} quota={}",
         status.code(),
         counts.0,
         faulted,
         counts.1,
-        counts.2
+        counts.2,
+        counts.3
     );
     if !errors.is_empty() {
         fail(&root, &errors.join("; "));
@@ -190,6 +211,9 @@ fn main() {
     }
     if counts.1 == 0 {
         fail(&root, "no in-flight run was aborted by the drain");
+    }
+    if counts.3 == 0 {
+        fail(&root, "the flood tenant's burst was never shed with QUOTA");
     }
 
     let leaked = debris(&root);
@@ -217,5 +241,8 @@ fn main() {
     }
 
     let _ = std::fs::remove_dir_all(&root);
-    println!("\nserve smoke holds: clean drain, {traces} parseable trace(s), zero debris");
+    println!(
+        "\nserve smoke holds: clean drain, {traces} parseable trace(s), {} quota shed(s), zero debris",
+        counts.3
+    );
 }

@@ -1,0 +1,13 @@
+//! Multi-tenant fairness gate:
+//! `cargo run --release -p jash-bench --bin tenantbench -- BENCH_tenant.json`
+//! (knobs: `JASH_TENANT_MS`, `JASH_TENANT_GATE`).
+//!
+//! Drives an 8-vs-2 closed-loop client storm (a 4:1 offered-load skew)
+//! at equal tenant weights through an in-process daemon, writes
+//! `BENCH_tenant.json`, and exits nonzero when Jain's fairness index
+//! over completed runs falls below the gate (default 0.9 — a FIFO
+//! admission queue scores ≈ 0.74 here and must fail).
+
+fn main() {
+    jash_bench::tenant::main_with_gate();
+}

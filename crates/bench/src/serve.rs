@@ -159,6 +159,161 @@ pub fn serve_sweep_holds(rows: &[ServeSweepRow]) -> bool {
         .all(|r| r.answered && r.matches_baseline && !r.staging_debris)
 }
 
+/// What the noisy-neighbor quarantine drill observed.
+#[derive(Debug)]
+pub struct QuarantineDrill {
+    /// Every steady-tenant run completed with status 0.
+    pub steady_all_clean: bool,
+    /// The steady tenants' committed outputs are byte-identical to the
+    /// sequential baseline.
+    pub steady_matches_baseline: bool,
+    /// The noisy tenant's post-threshold submission was bounced with
+    /// `QUARANTINED` (without running).
+    pub noisy_rejected: bool,
+    /// The half-open probe ran clean and lifted the quarantine.
+    pub paroled: bool,
+    /// Consecutive failures the drain report attributed to the noisy
+    /// tenant (expect exactly the threshold).
+    pub noisy_failures: u64,
+    /// Quarantine onsets the drain report counted (expect 1).
+    pub quarantines: u64,
+    /// Whether any `.jash-stage-*` file survived the drain.
+    pub staging_debris: bool,
+}
+
+/// Whether the quarantine drill upholds tenant isolation end to end.
+pub fn quarantine_holds(d: &QuarantineDrill) -> bool {
+    d.steady_all_clean
+        && d.steady_matches_baseline
+        && d.noisy_rejected
+        && d.paroled
+        && d.noisy_failures == 3
+        && d.quarantines == 1
+        && !d.staging_debris
+}
+
+/// Renders the drill result as a checklist.
+pub fn render_quarantine(d: &QuarantineDrill) -> String {
+    let tick = |ok: bool| if ok { "ok" } else { "FAILED" };
+    format!(
+        "{:<44} {}\n{:<44} {}\n{:<44} {}\n{:<44} {}\n{:<44} {} ({} failures, {} quarantine(s))\n\
+         {:<44} {}\n",
+        "steady tenants all clean",
+        tick(d.steady_all_clean),
+        "steady outputs byte-identical to baseline",
+        tick(d.steady_matches_baseline),
+        "noisy tenant bounced with QUARANTINED",
+        tick(d.noisy_rejected),
+        "half-open probe paroled the tenant",
+        tick(d.paroled),
+        "drain report attribution",
+        tick(d.noisy_failures == 3 && d.quarantines == 1),
+        d.noisy_failures,
+        d.quarantines,
+        "zero staging debris",
+        tick(!d.staging_debris),
+    )
+}
+
+/// The noisy-neighbor quarantine drill: one tenant fails its way into
+/// quarantine while two steady tenants keep committing; the breaker
+/// must exile only the noisy tenant, the steady outputs must match the
+/// sequential baseline byte for byte, and the probe must parole.
+pub fn run_quarantine_drill(input_bytes: u64, machine: MachineProfile) -> QuarantineDrill {
+    let docs = crate::documents(input_bytes, 19);
+    let steady_script = |out: &str| {
+        format!("cat /data/docs.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u > {out}")
+    };
+    const NOISY_SCRIPT: &str = "cat /data/docs.txt | tr A-Z a-z | sort -u";
+
+    // Sequential ground truth for the steady tenants' committed file.
+    let base_fs = jash_io::mem_fs();
+    jash_io::fs::write_file(base_fs.as_ref(), "/data/docs.txt", &docs).unwrap();
+    let mut state = ShellState::new(Arc::clone(&base_fs));
+    let mut shell = Jash::new(Engine::Bash, machine);
+    shell
+        .run_script(&mut state, &steady_script("/out-base"))
+        .expect("baseline runs");
+    let baseline = jash_io::fs::read_to_vec(base_fs.as_ref(), "/out-base").expect("baseline /out");
+
+    let dir = TempDir::new("jash-quarantine-drill");
+    let served_fs = jash_io::mem_fs();
+    jash_io::fs::write_file(served_fs.as_ref(), "/data/docs.txt", &docs).unwrap();
+    let mut cfg = ServerConfig::new(dir.path().join("sock"), Arc::clone(&served_fs));
+    cfg.machine = machine;
+    cfg.workers = 2;
+    cfg.eager = true;
+    cfg.durable = false;
+    cfg.journal_root = Some("/.jash-serve".to_string());
+    cfg.quarantine_failures = 3;
+    cfg.quarantine_cooldown = 2;
+    cfg.fault_injector = Some(jash_serve::spec_fault_injector());
+    let server = Server::start(cfg).expect("quarantine drill: bind");
+    let socket = server.socket().to_path_buf();
+
+    // Phase 1: the steady tenants run concurrently (4 runs each, two
+    // workers) and must all commit.
+    let steady: Vec<_> = [("steady-a", "/out-a"), ("steady-b", "/out-b")]
+        .into_iter()
+        .map(|(tenant, out)| {
+            let socket = socket.clone();
+            let script = steady_script(out);
+            std::thread::spawn(move || {
+                (0..4).all(|_| {
+                    submit(&socket, &Request::new(&script).with_tenant(tenant))
+                        .is_ok_and(|r| r.status == Some(0))
+                })
+            })
+        })
+        .collect();
+    let mut steady_all_clean = steady.into_iter().all(|h| h.join().unwrap());
+
+    // Phase 2: the noisy tenant fails three consecutive runs (sticky
+    // read fault), tripping the breaker.
+    for _ in 0..3 {
+        let mut req = Request::new(NOISY_SCRIPT).with_tenant("noisy");
+        req.fault = Some("read-error:/data/docs.txt:16384".to_string());
+        let reply = submit(&socket, &req).expect("noisy submit");
+        assert!(reply.completed() && reply.status != Some(0), "noisy run was meant to fail");
+    }
+
+    // Phase 3: quarantined — the next submission bounces without a run.
+    let reply = submit(&socket, &Request::new(NOISY_SCRIPT).with_tenant("noisy")).unwrap();
+    let noisy_rejected = reply
+        .rejected
+        .as_ref()
+        .is_some_and(|(code, ..)| *code == jash_serve::reject::QUARANTINED)
+        && reply.run_id.is_none();
+
+    // Phase 4: a steady run during the quarantine stays clean and ages
+    // the cooldown by one admission tick.
+    let reply = submit(&socket, &Request::new(steady_script("/out-a")).with_tenant("steady-a"))
+        .unwrap();
+    steady_all_clean &= reply.status == Some(0);
+
+    // Phase 5-6: cooldown elapsed — the probe runs clean and paroles;
+    // the run after it is admitted normally.
+    let paroled = (0..2).all(|_| {
+        submit(&socket, &Request::new(NOISY_SCRIPT).with_tenant("noisy"))
+            .is_ok_and(|r| r.status == Some(0))
+    });
+
+    let report = server.drain();
+    let noisy_row = report.tenants.iter().find(|t| t.tenant == "noisy");
+    let steady_matches_baseline = ["/out-a", "/out-b"].iter().all(|out| {
+        jash_io::fs::read_to_vec(served_fs.as_ref(), out).ok().as_deref() == Some(&baseline[..])
+    });
+    QuarantineDrill {
+        steady_all_clean,
+        steady_matches_baseline,
+        noisy_rejected,
+        paroled,
+        noisy_failures: noisy_row.map_or(0, |t| t.failures),
+        quarantines: noisy_row.map_or(0, |t| t.quarantines),
+        staging_debris: debris(&served_fs),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,5 +343,16 @@ mod tests {
         );
         assert_eq!(rows.len(), 8);
         assert!(serve_sweep_holds(&rows), "\n{}", render_serve(&rows));
+    }
+
+    #[test]
+    fn noisy_neighbor_is_quarantined_without_collateral() {
+        let machine = MachineProfile {
+            cores: 4,
+            disk: jash_io::DiskProfile::ramdisk(),
+            mem_mb: 4 * 1024,
+        };
+        let drill = run_quarantine_drill(64 * 1024, machine);
+        assert!(quarantine_holds(&drill), "\n{}", render_quarantine(&drill));
     }
 }

@@ -520,7 +520,7 @@ impl Jash {
         // not depend on the width chosen this time around.
         let fp = base_dfg.fingerprint();
         self.trace_region_attr("fingerprint", format!("{fp:016x}"));
-        match self.breaker.route(fp) {
+        match self.breaker.route(&fp) {
             Route::Interpret => {
                 self.runtime
                     .supervision
@@ -611,7 +611,7 @@ impl Jash {
             self.emit_node_spans(&dfg, &result.outcome, exec_start_us);
 
             if result.outcome.is_clean() {
-                if self.breaker.record_success(fp) {
+                if self.breaker.record_success(&fp) {
                     self.runtime
                         .supervision
                         .push(SupervisionEvent::BreakerClosed { fingerprint: fp });
@@ -738,12 +738,12 @@ impl Jash {
         self.runtime
             .supervision
             .push(SupervisionEvent::FailedOver { region, class });
-        if self.breaker.record_failure(fp) {
+        if self.breaker.record_failure(&fp) {
             self.runtime
                 .supervision
                 .push(SupervisionEvent::BreakerOpened {
                     fingerprint: fp,
-                    failures: self.breaker.failures(fp),
+                    failures: self.breaker.failures(&fp),
                 });
         }
         self.book_failover(pipeline_text, shape.width, &outcome);

@@ -18,6 +18,7 @@
 
 use jash_io::{CpuModel, DiskModel};
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::Arc;
 
 /// Breaker tunables.
@@ -64,24 +65,41 @@ struct ShapeRecord {
     consecutive_failures: u32,
 }
 
-/// A per-shape circuit breaker over region fingerprints.
+/// A keyed circuit breaker: open/half-open/closed with a logical-tick
+/// cool-down, generic over the key it quarantines.
 ///
-/// Shapes start closed. Each fail-over of a shape increments its
+/// The JIT instantiates it over region fingerprints (`u64`) to
+/// quarantine region *shapes* whose optimized runs keep failing over;
+/// the serve daemon instantiates it over tenant names (`String`) to
+/// quarantine *tenants* whose runs keep failing. Both share one state
+/// machine:
+///
+/// Keys start closed. Each failure of a key increments its
 /// consecutive-failure count; reaching [`BreakerConfig::failure_threshold`]
 /// opens the breaker for [`BreakerConfig::cooldown_regions`] logical
 /// ticks, during which [`CircuitBreaker::route`] answers
-/// [`Route::Interpret`]. After the cool-down the next matching region is
+/// [`Route::Interpret`]. After the cool-down the next matching key is
 /// a [`Route::HalfOpenTrial`]: success closes the breaker (count reset),
 /// failure re-opens it for a fresh cool-down.
-#[derive(Debug, Clone, Default)]
-pub struct CircuitBreaker {
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker<K = u64> {
     /// Tunables.
     pub config: BreakerConfig,
-    shapes: HashMap<u64, ShapeRecord>,
+    shapes: HashMap<K, ShapeRecord>,
     ticks: u64,
 }
 
-impl CircuitBreaker {
+impl<K> Default for CircuitBreaker<K> {
+    fn default() -> Self {
+        CircuitBreaker {
+            config: BreakerConfig::default(),
+            shapes: HashMap::new(),
+            ticks: 0,
+        }
+    }
+}
+
+impl<K: Eq + Hash + Clone> CircuitBreaker<K> {
     /// A breaker with custom tunables.
     pub fn new(config: BreakerConfig) -> Self {
         CircuitBreaker {
@@ -102,12 +120,11 @@ impl CircuitBreaker {
         self.ticks
     }
 
-    /// Routing decision for a region of shape `fingerprint` at the
-    /// current tick. Transitions Open → HalfOpen when the cool-down has
-    /// elapsed.
-    pub fn route(&mut self, fingerprint: u64) -> Route {
+    /// Routing decision for `key` at the current tick. Transitions
+    /// Open → HalfOpen when the cool-down has elapsed.
+    pub fn route(&mut self, key: &K) -> Route {
         let ticks = self.ticks;
-        let Some(rec) = self.shapes.get_mut(&fingerprint) else {
+        let Some(rec) = self.shapes.get_mut(key) else {
             return Route::Try;
         };
         match rec.state {
@@ -122,13 +139,13 @@ impl CircuitBreaker {
         }
     }
 
-    /// Records a fail-over of `fingerprint`. Returns `true` when this
-    /// failure newly opened (or re-opened) the breaker.
-    pub fn record_failure(&mut self, fingerprint: u64) -> bool {
+    /// Records a failure of `key`. Returns `true` when this failure
+    /// newly opened (or re-opened) the breaker.
+    pub fn record_failure(&mut self, key: &K) -> bool {
         let ticks = self.ticks;
         let threshold = self.config.failure_threshold.max(1);
         let cooldown = self.config.cooldown_regions;
-        let rec = self.shapes.entry(fingerprint).or_insert(ShapeRecord {
+        let rec = self.shapes.entry(key.clone()).or_insert(ShapeRecord {
             state: BreakerState::Closed,
             consecutive_failures: 0,
         });
@@ -147,10 +164,10 @@ impl CircuitBreaker {
         should_open
     }
 
-    /// Records a clean optimized run of `fingerprint`. Returns `true`
-    /// when this closed a half-open breaker.
-    pub fn record_success(&mut self, fingerprint: u64) -> bool {
-        let Some(rec) = self.shapes.get_mut(&fingerprint) else {
+    /// Records a clean run of `key`. Returns `true` when this closed a
+    /// half-open breaker.
+    pub fn record_success(&mut self, key: &K) -> bool {
+        let Some(rec) = self.shapes.get_mut(key) else {
             return false;
         };
         let was_half_open = rec.state == BreakerState::HalfOpen;
@@ -159,11 +176,17 @@ impl CircuitBreaker {
         was_half_open
     }
 
-    /// Consecutive fail-overs currently on the books for `fingerprint`.
-    pub fn failures(&self, fingerprint: u64) -> u32 {
+    /// Consecutive failures currently on the books for `key`.
+    pub fn failures(&self, key: &K) -> u32 {
+        self.shapes.get(key).map_or(0, |r| r.consecutive_failures)
+    }
+
+    /// Whether `key`'s breaker is currently open or half-open (i.e. the
+    /// key is quarantined pending a successful probe).
+    pub fn is_open(&self, key: &K) -> bool {
         self.shapes
-            .get(&fingerprint)
-            .map_or(0, |r| r.consecutive_failures)
+            .get(key)
+            .is_some_and(|r| r.state != BreakerState::Closed)
     }
 }
 
@@ -265,24 +288,24 @@ mod tests {
         let fp = 0xabcd;
         // Two consecutive failures open it.
         b.tick();
-        assert_eq!(b.route(fp), Route::Try);
-        assert!(!b.record_failure(fp));
+        assert_eq!(b.route(&fp), Route::Try);
+        assert!(!b.record_failure(&fp));
         b.tick();
-        assert_eq!(b.route(fp), Route::Try);
-        assert!(b.record_failure(fp), "threshold reached must open");
+        assert_eq!(b.route(&fp), Route::Try);
+        assert!(b.record_failure(&fp), "threshold reached must open");
         // Cooling down: routed to the interpreter for 3 ticks.
         for _ in 0..3 {
             b.tick();
-            assert_eq!(b.route(fp), Route::Interpret);
+            assert_eq!(b.route(&fp), Route::Interpret);
         }
         // Cool-down over: half-open trial.
         b.tick();
-        assert_eq!(b.route(fp), Route::HalfOpenTrial);
+        assert_eq!(b.route(&fp), Route::HalfOpenTrial);
         // Trial succeeds → closed, counters reset.
-        assert!(b.record_success(fp));
+        assert!(b.record_success(&fp));
         b.tick();
-        assert_eq!(b.route(fp), Route::Try);
-        assert_eq!(b.failures(fp), 0);
+        assert_eq!(b.route(&fp), Route::Try);
+        assert_eq!(b.failures(&fp), 0);
     }
 
     #[test]
@@ -293,15 +316,15 @@ mod tests {
         });
         let fp = 7;
         b.tick();
-        assert!(b.record_failure(fp));
+        assert!(b.record_failure(&fp));
         b.tick();
         b.tick();
-        assert_eq!(b.route(fp), Route::Interpret);
+        assert_eq!(b.route(&fp), Route::Interpret);
         b.tick();
-        assert_eq!(b.route(fp), Route::HalfOpenTrial);
-        assert!(b.record_failure(fp), "failed trial re-opens");
+        assert_eq!(b.route(&fp), Route::HalfOpenTrial);
+        assert!(b.record_failure(&fp), "failed trial re-opens");
         b.tick();
-        assert_eq!(b.route(fp), Route::Interpret);
+        assert_eq!(b.route(&fp), Route::Interpret);
     }
 
     #[test]
@@ -311,10 +334,10 @@ mod tests {
             cooldown_regions: 10,
         });
         b.tick();
-        assert!(b.record_failure(1));
+        assert!(b.record_failure(&1));
         b.tick();
-        assert_eq!(b.route(1), Route::Interpret);
-        assert_eq!(b.route(2), Route::Try, "other shapes unaffected");
+        assert_eq!(b.route(&1), Route::Interpret);
+        assert_eq!(b.route(&2), Route::Try, "other shapes unaffected");
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Per-tenant resource sub-accounts.
+//!
+//! The serve daemon multiplexes many tenants over one shared
+//! [`DiskModel`](crate::DiskModel)/[`CpuModel`] pair. Those models answer
+//! "how loaded is the machine?"; this module answers "*who* loaded it?".
+//! A [`UsageMeter`] is a cheap atomic tally of one tenant's consumed CPU
+//! time and disk bytes, fed by a [`CpuModel::sub_model`] (CPU side) and a
+//! [`MeteredFs`] wrapper (disk side). A [`FairShareBucket`] converts the
+//! tally into a token-bucket *pressure* signal: each tenant continuously
+//! earns resource-seconds in proportion to its configured weight share of
+//! the machine, spends them as its runs consume CPU and disk, and reads
+//! back an overdraft fraction in `[0, 1]` once it has burned through its
+//! burst allowance. Heavy tenants therefore see planner pressure (narrower
+//! widths, eventually sequential plans) before light tenants do, while an
+//! idle machine lets any single tenant burst to full speed.
+//!
+//! Determinism: the bucket never reads the wall clock itself — callers
+//! pass `Instant`s — so tests can replay an exact refill/debit schedule.
+
+use crate::fs::{FileMeta, Fs, ReadHandle, WriteHandle};
+use crate::DiskModel;
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An atomic tally of one tenant's resource consumption.
+#[derive(Debug, Default)]
+pub struct UsageMeter {
+    cpu_ns: AtomicU64,
+    disk_bytes: AtomicU64,
+}
+
+impl UsageMeter {
+    /// A fresh, zeroed meter.
+    pub fn new() -> Arc<Self> {
+        Arc::new(UsageMeter::default())
+    }
+
+    /// Adds modeled CPU time.
+    pub fn add_cpu_ns(&self, ns: u64) {
+        self.cpu_ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Adds disk transfer bytes (reads and writes alike).
+    pub fn add_disk_bytes(&self, n: u64) {
+        self.disk_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Total modeled CPU seconds consumed so far.
+    pub fn cpu_seconds(&self) -> f64 {
+        self.cpu_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// Total modeled CPU nanoseconds consumed so far.
+    pub fn cpu_ns(&self) -> u64 {
+        self.cpu_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total disk bytes moved so far.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes.load(Ordering::Relaxed)
+    }
+}
+
+struct BucketState {
+    /// Spendable resource-seconds. Refills toward `capacity`; debits may
+    /// drive it negative (overdraft), floored at `-capacity` so one
+    /// enormous run saturates pressure instead of exiling the tenant.
+    tokens: f64,
+    last_refill: Instant,
+    /// High-water marks of the meter already debited, so each consumed
+    /// nanosecond/byte is charged exactly once.
+    charged_cpu_ns: u64,
+    charged_disk_bytes: u64,
+}
+
+/// A per-tenant token bucket over modeled resource-seconds.
+///
+/// `refill_per_sec` is the tenant's entitled share of the machine in
+/// resource-seconds per wall second (e.g. weight-share × modeled core
+/// count); `capacity` is the burst allowance. [`FairShareBucket::settle`]
+/// refills for elapsed wall time, debits any new consumption recorded on
+/// the tenant's [`UsageMeter`], and returns the resulting pressure.
+pub struct FairShareBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    /// Bytes/second used to convert disk bytes into resource-seconds.
+    disk_rate: f64,
+    state: Mutex<BucketState>,
+}
+
+impl FairShareBucket {
+    /// A full bucket created at `now`.
+    pub fn new(capacity: f64, refill_per_sec: f64, disk_rate: f64, now: Instant) -> Self {
+        let capacity = capacity.max(0.001);
+        FairShareBucket {
+            capacity,
+            refill_per_sec: refill_per_sec.max(0.0),
+            disk_rate: disk_rate.max(1.0),
+            state: Mutex::new(BucketState {
+                tokens: capacity,
+                last_refill: now,
+                charged_cpu_ns: 0,
+                charged_disk_bytes: 0,
+            }),
+        }
+    }
+
+    /// Refills for wall time elapsed up to `now`, debits consumption newly
+    /// recorded on `meter`, and returns the pressure in `[0, 1]`: `0`
+    /// while the tenant is within its allowance, rising linearly with
+    /// overdraft to `1` at a full bucket-capacity of debt.
+    pub fn settle(&self, meter: &UsageMeter, now: Instant) -> f64 {
+        let mut st = self.state.lock();
+        let elapsed = now
+            .saturating_duration_since(st.last_refill)
+            .as_secs_f64();
+        st.last_refill = now;
+        st.tokens = (st.tokens + elapsed * self.refill_per_sec).min(self.capacity);
+
+        let cpu = meter.cpu_ns();
+        let disk = meter.disk_bytes();
+        let new_cpu = cpu.saturating_sub(st.charged_cpu_ns) as f64 / 1e9;
+        let new_disk = disk.saturating_sub(st.charged_disk_bytes) as f64 / self.disk_rate;
+        st.charged_cpu_ns = cpu;
+        st.charged_disk_bytes = disk;
+        st.tokens = (st.tokens - new_cpu - new_disk).max(-self.capacity);
+
+        if st.tokens >= 0.0 {
+            0.0
+        } else {
+            (-st.tokens / self.capacity).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Current pressure without refilling or debiting — the value the last
+    /// [`FairShareBucket::settle`] left behind.
+    pub fn pressure(&self) -> f64 {
+        let st = self.state.lock();
+        if st.tokens >= 0.0 {
+            0.0
+        } else {
+            (-st.tokens / self.capacity).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// A delegating [`Fs`] wrapper that tallies every transferred byte into a
+/// [`UsageMeter`], attributing shared-filesystem traffic to one tenant.
+///
+/// Mirrors the [`FaultFs`](crate::FaultFs) idiom: wrap the handles, pass
+/// everything else through (including [`Fs::disk`], so global disk
+/// accounting and throttling still apply).
+pub struct MeteredFs {
+    inner: crate::FsHandle,
+    meter: Arc<UsageMeter>,
+}
+
+impl MeteredFs {
+    /// Wraps `inner`, attributing its traffic to `meter`.
+    pub fn new(inner: crate::FsHandle, meter: Arc<UsageMeter>) -> Self {
+        MeteredFs { inner, meter }
+    }
+}
+
+impl Fs for MeteredFs {
+    fn open_read(&self, path: &str) -> io::Result<Box<dyn ReadHandle>> {
+        let inner = self.inner.open_read(path)?;
+        Ok(Box::new(MeteredReadHandle {
+            inner,
+            meter: Arc::clone(&self.meter),
+        }))
+    }
+
+    fn open_write(&self, path: &str, append: bool) -> io::Result<Box<dyn WriteHandle>> {
+        let inner = self.inner.open_write(path, append)?;
+        Ok(Box::new(MeteredWriteHandle {
+            inner,
+            meter: Arc::clone(&self.meter),
+        }))
+    }
+
+    fn metadata(&self, path: &str) -> io::Result<FileMeta> {
+        self.inner.metadata(path)
+    }
+
+    fn list_dir(&self, path: &str) -> io::Result<Vec<String>> {
+        self.inner.list_dir(path)
+    }
+
+    fn remove(&self, path: &str) -> io::Result<()> {
+        self.inner.remove(path)
+    }
+
+    fn rename(&self, from: &str, to: &str) -> io::Result<()> {
+        self.inner.rename(from, to)
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.inner.exists(path)
+    }
+
+    fn sync(&self, path: &str) -> io::Result<()> {
+        self.inner.sync(path)
+    }
+
+    fn sync_dir(&self, path: &str) -> io::Result<()> {
+        self.inner.sync_dir(path)
+    }
+
+    fn disk(&self) -> Option<Arc<DiskModel>> {
+        self.inner.disk()
+    }
+}
+
+struct MeteredReadHandle {
+    inner: Box<dyn ReadHandle>,
+    meter: Arc<UsageMeter>,
+}
+
+impl ReadHandle for MeteredReadHandle {
+    fn read_chunk(&mut self, max: usize) -> io::Result<Option<Bytes>> {
+        let chunk = self.inner.read_chunk(max)?;
+        if let Some(c) = &chunk {
+            self.meter.add_disk_bytes(c.len() as u64);
+        }
+        Ok(chunk)
+    }
+}
+
+struct MeteredWriteHandle {
+    inner: Box<dyn WriteHandle>,
+    meter: Arc<UsageMeter>,
+}
+
+impl WriteHandle for MeteredWriteHandle {
+    fn write_all(&mut self, data: &[u8]) -> io::Result<()> {
+        self.inner.write_all(data)?;
+        self.meter.add_disk_bytes(data.len() as u64);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::{read_to_vec, write_file, MemFs};
+    use std::time::Duration;
+
+    #[test]
+    fn meter_tallies() {
+        let m = UsageMeter::new();
+        m.add_cpu_ns(1_500_000_000);
+        m.add_disk_bytes(4096);
+        assert!((m.cpu_seconds() - 1.5).abs() < 1e-9);
+        assert_eq!(m.disk_bytes(), 4096);
+    }
+
+    #[test]
+    fn metered_fs_attributes_bytes() {
+        let meter = UsageMeter::new();
+        let fs = MeteredFs::new(crate::mem_fs(), Arc::clone(&meter));
+        write_file(&fs, "/f", b"hello world").unwrap();
+        assert_eq!(meter.disk_bytes(), 11);
+        let back = read_to_vec(&fs, "/f").unwrap();
+        assert_eq!(back, b"hello world");
+        assert_eq!(meter.disk_bytes(), 22);
+    }
+
+    #[test]
+    fn metered_fs_delegates_everything_else() {
+        let meter = UsageMeter::new();
+        let mem = MemFs::new();
+        mem.install("/d/a", b"x".to_vec());
+        let fs = MeteredFs::new(Arc::new(mem), meter);
+        assert!(fs.exists("/d/a"));
+        assert_eq!(fs.list_dir("/d").unwrap(), vec!["a"]);
+        fs.rename("/d/a", "/d/b").unwrap();
+        assert!(fs.metadata("/d/b").is_ok());
+        fs.sync("/d/b").unwrap();
+        fs.remove("/d/b").unwrap();
+        assert!(!fs.exists("/d/b"));
+    }
+
+    #[test]
+    fn bucket_pressure_rises_with_overdraft_and_refills() {
+        let t0 = Instant::now();
+        // 2 resource-seconds of burst, earning 1 resource-second per wall
+        // second, disk at 1 MiB/s.
+        let b = FairShareBucket::new(2.0, 1.0, 1024.0 * 1024.0, t0);
+        let m = UsageMeter::new();
+
+        // Within allowance: no pressure.
+        m.add_cpu_ns(1_000_000_000);
+        assert_eq!(b.settle(&m, t0), 0.0);
+
+        // Burn 3 more seconds instantly: tokens 1.0 → -2.0 → pressure 1.
+        m.add_cpu_ns(3_000_000_000);
+        let p = b.settle(&m, t0);
+        assert!((p - 1.0).abs() < 1e-9, "pressure {p}");
+
+        // Each consumed unit is charged once: settling again is free.
+        assert_eq!(b.settle(&m, t0), 1.0);
+
+        // One wall second of refill pays back half the debt.
+        let p = b.settle(&m, t0 + Duration::from_secs(1));
+        assert!((p - 0.5).abs() < 1e-9, "pressure {p}");
+
+        // Enough wall time clears the debt entirely (refill caps at
+        // capacity, never above).
+        let p = b.settle(&m, t0 + Duration::from_secs(60));
+        assert_eq!(p, 0.0);
+        assert_eq!(b.pressure(), 0.0);
+    }
+
+    #[test]
+    fn bucket_charges_disk_bytes_at_disk_rate() {
+        let t0 = Instant::now();
+        let b = FairShareBucket::new(1.0, 0.0, 1000.0, t0);
+        let m = UsageMeter::new();
+        // 1500 bytes at 1000 B/s = 1.5 resource-seconds against a 1.0
+        // bucket → 0.5s overdraft → pressure 0.5.
+        m.add_disk_bytes(1500);
+        let p = b.settle(&m, t0);
+        assert!((p - 0.5).abs() < 1e-9, "pressure {p}");
+    }
+
+    #[test]
+    fn sub_model_forwards_to_parent_and_meters() {
+        let parent = crate::CpuModel::new(4, 0.0);
+        let meter = UsageMeter::new();
+        let sub = parent.sub_model(Arc::clone(&meter));
+        assert_eq!(sub.cores(), 4);
+        sub.charge(0.25);
+        // Both the tenant's view and the machine's view advance; the
+        // meter records the tenant's share.
+        assert!((sub.busy_seconds() - 0.25).abs() < 1e-9);
+        assert!((parent.busy_seconds() - 0.25).abs() < 1e-9);
+        assert!((meter.cpu_seconds() - 0.25).abs() < 1e-9);
+    }
+}

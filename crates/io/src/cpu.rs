@@ -57,11 +57,19 @@ pub fn fused_cpu_rate(names: &[&str]) -> f64 {
 }
 
 /// An N-core virtual CPU.
+///
+/// A model is either the *machine* (owns the core horizons) or a tenant
+/// *sub-account* created by [`CpuModel::sub_model`]: the sub-account
+/// tallies its own busy time and a [`crate::UsageMeter`], then forwards
+/// the charge to its parent so global queueing and contention still
+/// happen on the shared cores.
 pub struct CpuModel {
     cores: Mutex<Vec<Duration>>,
     epoch: Instant,
     time_scale: f64,
     busy_ns: std::sync::atomic::AtomicU64,
+    parent: Option<Arc<CpuModel>>,
+    meter: Option<Arc<crate::UsageMeter>>,
 }
 
 impl CpuModel {
@@ -73,6 +81,23 @@ impl CpuModel {
             epoch: Instant::now(),
             time_scale,
             busy_ns: std::sync::atomic::AtomicU64::new(0),
+            parent: None,
+            meter: None,
+        })
+    }
+
+    /// A tenant-scoped sub-account of this model: charges are recorded on
+    /// `meter` (and the sub-account's own busy tally), then forwarded to
+    /// this model, so per-tenant attribution never changes the machine's
+    /// modeled contention.
+    pub fn sub_model(self: &Arc<Self>, meter: Arc<crate::UsageMeter>) -> Arc<CpuModel> {
+        Arc::new(CpuModel {
+            cores: Mutex::new(Vec::new()),
+            epoch: self.epoch,
+            time_scale: self.time_scale,
+            busy_ns: std::sync::atomic::AtomicU64::new(0),
+            parent: Some(Arc::clone(self)),
+            meter: Some(meter),
         })
     }
 
@@ -86,6 +111,13 @@ impl CpuModel {
             (seconds * 1e9) as u64,
             std::sync::atomic::Ordering::Relaxed,
         );
+        if let Some(meter) = &self.meter {
+            meter.add_cpu_ns((seconds * 1e9) as u64);
+        }
+        if let Some(parent) = &self.parent {
+            // Queueing and sleeping happen on the shared machine cores.
+            return parent.charge(seconds);
+        }
         let service = Duration::from_secs_f64(seconds * self.time_scale);
         let wait = {
             let mut cores = self.cores.lock();
@@ -110,9 +142,12 @@ impl CpuModel {
         self.busy_ns.load(std::sync::atomic::Ordering::Relaxed) as f64 / 1e9
     }
 
-    /// Number of modeled cores.
+    /// Number of modeled cores (a sub-account reports its machine's).
     pub fn cores(&self) -> usize {
-        self.cores.lock().len()
+        match &self.parent {
+            Some(p) => p.cores(),
+            None => self.cores.lock().len(),
+        }
     }
 }
 

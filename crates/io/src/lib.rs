@@ -10,6 +10,7 @@
 //! bandwidth/IOPS contention that makes resource-oblivious parallelism
 //! backfire on slow disks.
 
+pub mod accounts;
 pub mod cancel;
 pub mod cpu;
 pub mod disk;
@@ -22,6 +23,7 @@ pub mod pipe;
 pub mod stream;
 pub mod tempdir;
 
+pub use accounts::{FairShareBucket, MeteredFs, UsageMeter};
 pub use cancel::{deadline_code, deadline_reason, CancelToken, DeadlineGuard, DEADLINE_PREFIX};
 pub use cpu::{cpu_rate, fused_cpu_rate, CpuMeteredStream, CpuModel};
 pub use disk::{DiskModel, DiskProfile, DiskStats};

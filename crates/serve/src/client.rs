@@ -34,6 +34,19 @@ impl Request {
             fault: None,
         }
     }
+
+    /// The same request submitted as `tenant` — the knob multi-tenant
+    /// tests, benches, and `jash submit --tenant` ride on.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Request {
+        self.tenant = tenant.into();
+        self
+    }
+
+    /// The same request with a wall-clock limit.
+    pub fn with_timeout_ms(mut self, ms: u64) -> Request {
+        self.timeout_ms = ms;
+        self
+    }
 }
 
 /// Everything one run sent back.

@@ -17,11 +17,13 @@
 
 pub mod client;
 pub mod proto;
+pub mod sched;
 pub mod server;
 
 pub use client::{submit, submit_detached, Request, RunReply};
 pub use proto::{read_frame, reject, write_frame, Frame, MAX_FRAME};
+pub use sched::{Popped, Scheduler, TenantPolicy, TenantSnapshot};
 pub use server::{
     parse_fault_spec, spec_fault_injector, DrainReport, FaultInjector, ServeStats, Server,
-    ServerConfig,
+    ServerConfig, TenantReport,
 };

@@ -34,6 +34,14 @@ pub mod reject {
     /// The submission carried a fault spec but the daemon was not
     /// started with fault injection enabled.
     pub const FAULTS_DISABLED: u8 = 4;
+    /// The *tenant's* queue is at its depth cap (the machine may be
+    /// idle): the tenant is over its own quota, not the daemon over
+    /// capacity. Retrying helps only after the tenant's backlog drains.
+    pub const QUOTA: u8 = 5;
+    /// The tenant is quarantined: its recent runs kept failing and its
+    /// circuit breaker is open. Submissions are refused until a
+    /// half-open probe run succeeds.
+    pub const QUARANTINED: u8 = 6;
 
     /// Human-readable name for a code.
     pub fn name(code: u8) -> &'static str {
@@ -42,6 +50,8 @@ pub mod reject {
             DRAINING => "draining",
             MALFORMED => "malformed",
             FAULTS_DISABLED => "faults-disabled",
+            QUOTA => "quota",
+            QUARANTINED => "quarantined",
             _ => "unknown",
         }
     }

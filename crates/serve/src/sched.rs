@@ -1,0 +1,510 @@
+//! Weighted deficit-round-robin scheduling over per-tenant queues.
+//!
+//! The PR-6 daemon admitted work into one FIFO queue, so a flooding
+//! tenant could fill every queue slot and starve everyone behind it.
+//! [`Scheduler`] replaces the FIFO with one bounded queue *per tenant*
+//! and a deficit-round-robin ring between them: each tenant earns
+//! service credit in proportion to its configured weight, spends one
+//! credit per dispatched job, and a tenant with an empty queue leaves
+//! the ring (and forfeits its credit — idle tenants must not hoard
+//! bursts). The result is classic DRR fairness with unit job cost:
+//! over any window in which both tenants have work queued, a weight-2
+//! tenant dispatches twice as often as a weight-1 tenant, and a
+//! flooding tenant's surplus load waits in *its own* queue (or is
+//! rejected by *its own* depth cap) without adding a microsecond of
+//! queue wait for anyone else.
+//!
+//! Two per-tenant limits are enforced here:
+//!
+//! * **`queue_cap`** gates admission: [`Scheduler::quota_exceeded`]
+//!   reports a tenant already at its depth cap, and the gate answers
+//!   the client with a structured `QUOTA` rejection.
+//! * **`max_active`** gates dispatch: a tenant at its concurrency cap
+//!   is rotated past without earning credit until a run completes, so
+//!   its queued work waits without blocking the ring.
+//!
+//! The scheduler is deliberately clock-free (callers pass `Instant`s
+//! for wait accounting) and lock-free (the serve gate owns it under
+//! its existing mutex), so its fairness behavior is unit-testable in
+//! isolation.
+
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Per-tenant scheduling limits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantPolicy {
+    /// Relative service share; clamped to `[0.01, 100]` at use. A
+    /// weight-2 tenant dispatches twice as often as a weight-1 tenant
+    /// when both have work queued.
+    pub weight: f64,
+    /// Concurrent-run cap; `0` = bounded only by the worker pool.
+    pub max_active: usize,
+    /// Queue-depth cap; `0` = bounded only by the global admission cap.
+    pub queue_cap: usize,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        TenantPolicy {
+            weight: 1.0,
+            max_active: 0,
+            queue_cap: 0,
+        }
+    }
+}
+
+impl TenantPolicy {
+    fn clamped_weight(&self) -> f64 {
+        if self.weight.is_finite() {
+            self.weight.clamp(0.01, 100.0)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// One dispatched job with its provenance.
+#[derive(Debug)]
+pub struct Popped<J> {
+    /// The tenant the job belongs to.
+    pub tenant: String,
+    /// The job itself.
+    pub job: J,
+    /// How long the job sat queued before dispatch.
+    pub waited: Duration,
+}
+
+/// Read-only view of one tenant's scheduling state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSnapshot {
+    /// Tenant name.
+    pub tenant: String,
+    /// Effective policy.
+    pub policy: TenantPolicy,
+    /// Jobs waiting in the tenant's queue.
+    pub queued: usize,
+    /// Jobs currently dispatched and running.
+    pub active: usize,
+    /// Jobs dispatched over the scheduler's lifetime.
+    pub dispatched: u64,
+    /// Runs retired (completed in any status).
+    pub completed: u64,
+    /// Longest queue wait any of this tenant's jobs has seen.
+    pub max_wait: Duration,
+}
+
+struct TenantState<J> {
+    policy: TenantPolicy,
+    queue: VecDeque<(J, Instant)>,
+    active: usize,
+    deficit: f64,
+    in_ring: bool,
+    dispatched: u64,
+    completed: u64,
+    max_wait: Duration,
+}
+
+impl<J> TenantState<J> {
+    fn new(policy: TenantPolicy) -> Self {
+        TenantState {
+            policy,
+            queue: VecDeque::new(),
+            active: 0,
+            deficit: 0.0,
+            in_ring: false,
+            dispatched: 0,
+            completed: 0,
+            max_wait: Duration::ZERO,
+        }
+    }
+}
+
+/// Weighted deficit-round-robin over per-tenant queues. See the module
+/// docs for the fairness contract.
+pub struct Scheduler<J> {
+    default_policy: TenantPolicy,
+    tenants: HashMap<String, TenantState<J>>,
+    /// Tenants with queued work, in service order. Invariant: a name is
+    /// in the ring iff its state has `in_ring == true`, and every
+    /// tenant with a nonempty queue is in the ring.
+    ring: VecDeque<String>,
+    queued: usize,
+}
+
+impl<J> Scheduler<J> {
+    /// A scheduler where unknown tenants get `default_policy`.
+    pub fn new(default_policy: TenantPolicy) -> Self {
+        Scheduler {
+            default_policy,
+            tenants: HashMap::new(),
+            ring: VecDeque::new(),
+            queued: 0,
+        }
+    }
+
+    /// Pins `tenant`'s policy (otherwise it inherits the default on
+    /// first contact).
+    pub fn set_policy(&mut self, tenant: &str, policy: TenantPolicy) {
+        self.tenant_mut(tenant).policy = policy;
+    }
+
+    /// The policy `tenant` is (or would be) scheduled under.
+    pub fn policy(&self, tenant: &str) -> TenantPolicy {
+        self.tenants
+            .get(tenant)
+            .map(|t| t.policy)
+            .unwrap_or(self.default_policy)
+    }
+
+    fn tenant_mut(&mut self, tenant: &str) -> &mut TenantState<J> {
+        let default = self.default_policy;
+        self.tenants
+            .entry(tenant.to_string())
+            .or_insert_with(|| TenantState::new(default))
+    }
+
+    /// `Some((depth, cap))` when `tenant`'s queue is at its depth cap
+    /// and the next push must be rejected with `QUOTA`.
+    pub fn quota_exceeded(&self, tenant: &str) -> Option<(usize, usize)> {
+        let policy = self.policy(tenant);
+        if policy.queue_cap == 0 {
+            return None;
+        }
+        let depth = self.tenants.get(tenant).map_or(0, |t| t.queue.len());
+        (depth >= policy.queue_cap).then_some((depth, policy.queue_cap))
+    }
+
+    /// Queues `job` for `tenant`, stamped `now` for wait accounting.
+    /// Callers check [`Scheduler::quota_exceeded`] first; push itself
+    /// never rejects (the global admission cap is the gate's job).
+    pub fn push(&mut self, tenant: &str, job: J, now: Instant) {
+        let t = self.tenant_mut(tenant);
+        t.queue.push_back((job, now));
+        if !t.in_ring {
+            t.in_ring = true;
+            self.ring.push_back(tenant.to_string());
+        }
+        self.queued += 1;
+    }
+
+    /// Dispatches the next job by DRR order, or `None` when every
+    /// queued tenant is at its concurrency cap (or nothing is queued).
+    /// The dispatched tenant's `active` count rises; callers must pair
+    /// each pop with a [`Scheduler::complete`].
+    pub fn pop(&mut self, now: Instant) -> Option<Popped<J>> {
+        if self.queued == 0 {
+            return None;
+        }
+        // Termination: every visit to an uncapped front tenant either
+        // serves (returns) or banks ≥ 0.01 credit, so a serve happens
+        // within ~100 visits per tenant; a full lap of only-capped
+        // tenants returns None. The guard is a belt over those braces.
+        let mut capped_streak = 0usize;
+        let mut guard = self.ring.len().saturating_mul(128) + 8;
+        while let Some(name) = self.ring.front().cloned() {
+            guard -= 1;
+            if guard == 0 {
+                return None;
+            }
+            let t = self.tenants.get_mut(&name).expect("ring name has state");
+            if t.queue.is_empty() {
+                // Emptied since it was ringed; forfeit banked credit so
+                // an idle tenant cannot hoard a burst.
+                t.in_ring = false;
+                t.deficit = 0.0;
+                self.ring.pop_front();
+                continue;
+            }
+            if t.policy.max_active > 0 && t.active >= t.policy.max_active {
+                capped_streak += 1;
+                if capped_streak >= self.ring.len() {
+                    return None;
+                }
+                self.ring.rotate_left(1);
+                continue;
+            }
+            capped_streak = 0;
+            if t.deficit < 1.0 {
+                t.deficit += t.policy.clamped_weight();
+                if t.deficit < 1.0 {
+                    self.ring.rotate_left(1);
+                    continue;
+                }
+            }
+            t.deficit -= 1.0;
+            let (job, queued_at) = t.queue.pop_front().expect("nonempty queue");
+            t.active += 1;
+            t.dispatched += 1;
+            self.queued -= 1;
+            let waited = now.saturating_duration_since(queued_at);
+            if waited > t.max_wait {
+                t.max_wait = waited;
+            }
+            if t.queue.is_empty() {
+                t.in_ring = false;
+                t.deficit = 0.0;
+                self.ring.pop_front();
+            } else if t.deficit < 1.0 {
+                // Credit spent; let the next tenant serve. A weight>1
+                // tenant with credit to spare stays at the front and
+                // bursts on the next pop.
+                self.ring.rotate_left(1);
+            }
+            return Some(Popped {
+                tenant: name,
+                job,
+                waited,
+            });
+        }
+        None
+    }
+
+    /// Retires one of `tenant`'s dispatched runs, freeing a concurrency
+    /// slot.
+    pub fn complete(&mut self, tenant: &str) {
+        let t = self.tenant_mut(tenant);
+        t.active = t.active.saturating_sub(1);
+        t.completed += 1;
+    }
+
+    /// Total jobs queued across all tenants.
+    pub fn queued_total(&self) -> usize {
+        self.queued
+    }
+
+    /// Jobs queued for one tenant.
+    pub fn queued_for(&self, tenant: &str) -> usize {
+        self.tenants.get(tenant).map_or(0, |t| t.queue.len())
+    }
+
+    /// Empties every queue (drain path), returning the shed jobs in
+    /// tenant-grouped order.
+    pub fn drain_queues(&mut self) -> Vec<(String, J)> {
+        let mut shed = Vec::new();
+        for name in self.ring.drain(..) {
+            if let Some(t) = self.tenants.get_mut(&name) {
+                t.in_ring = false;
+                t.deficit = 0.0;
+                for (job, _at) in t.queue.drain(..) {
+                    shed.push((name.clone(), job));
+                }
+            }
+        }
+        self.queued = 0;
+        shed
+    }
+
+    /// Snapshots of every tenant the scheduler has seen, sorted by name.
+    pub fn snapshots(&self) -> Vec<TenantSnapshot> {
+        let mut rows: Vec<TenantSnapshot> = self
+            .tenants
+            .iter()
+            .map(|(name, t)| TenantSnapshot {
+                tenant: name.clone(),
+                policy: t.policy,
+                queued: t.queue.len(),
+                active: t.active,
+                dispatched: t.dispatched,
+                completed: t.completed,
+                max_wait: t.max_wait,
+            })
+            .collect();
+        rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> Scheduler<u32> {
+        Scheduler::new(TenantPolicy::default())
+    }
+
+    #[test]
+    fn fifo_within_one_tenant() {
+        let mut s = sched();
+        let t0 = Instant::now();
+        for i in 0..3 {
+            s.push("a", i, t0);
+        }
+        let order: Vec<u32> = (0..3).map(|_| s.pop(t0).unwrap().job).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+        assert!(s.pop(t0).is_none());
+    }
+
+    #[test]
+    fn equal_weights_interleave() {
+        let mut s = sched();
+        let t0 = Instant::now();
+        // Tenant a floods first; b's single job must not wait behind
+        // all of a's.
+        for i in 0..4 {
+            s.push("a", i, t0);
+        }
+        s.push("b", 100, t0);
+        let tenants: Vec<String> = (0..5).map(|_| s.pop(t0).unwrap().tenant).collect();
+        let b_pos = tenants.iter().position(|t| t == "b").unwrap();
+        assert!(b_pos <= 1, "b served at position {b_pos} of {tenants:?}");
+    }
+
+    #[test]
+    fn weights_skew_service_two_to_one() {
+        let mut s = sched();
+        s.set_policy(
+            "heavy",
+            TenantPolicy {
+                weight: 2.0,
+                ..TenantPolicy::default()
+            },
+        );
+        let t0 = Instant::now();
+        for i in 0..20 {
+            s.push("heavy", i, t0);
+            s.push("light", i, t0);
+        }
+        // First 12 dispatches: heavy should take ~2/3.
+        let first: Vec<String> = (0..12).map(|_| s.pop(t0).unwrap().tenant).collect();
+        let heavy = first.iter().filter(|t| *t == "heavy").count();
+        assert_eq!(heavy, 8, "heavy got {heavy}/12 in {first:?}");
+    }
+
+    #[test]
+    fn fractional_weight_is_served_eventually() {
+        let mut s = sched();
+        s.set_policy(
+            "slow",
+            TenantPolicy {
+                weight: 0.25,
+                ..TenantPolicy::default()
+            },
+        );
+        let t0 = Instant::now();
+        for i in 0..8 {
+            s.push("slow", i, t0);
+            s.push("norm", i, t0);
+        }
+        let order: Vec<String> = (0..16).map(|_| s.pop(t0).unwrap().tenant).collect();
+        // slow gets ~1/5 of early service but everything eventually.
+        assert_eq!(order.iter().filter(|t| *t == "slow").count(), 8);
+        let first_slow = order.iter().position(|t| t == "slow").unwrap();
+        assert!(first_slow >= 3, "slow served too early: {order:?}");
+    }
+
+    #[test]
+    fn max_active_caps_dispatch_until_complete() {
+        let mut s = sched();
+        s.set_policy(
+            "a",
+            TenantPolicy {
+                max_active: 1,
+                ..TenantPolicy::default()
+            },
+        );
+        let t0 = Instant::now();
+        s.push("a", 1, t0);
+        s.push("a", 2, t0);
+        assert_eq!(s.pop(t0).unwrap().job, 1);
+        // Second job blocked on the concurrency cap, not lost.
+        assert!(s.pop(t0).is_none());
+        assert_eq!(s.queued_total(), 1);
+        s.complete("a");
+        assert_eq!(s.pop(t0).unwrap().job, 2);
+    }
+
+    #[test]
+    fn capped_tenant_does_not_block_others() {
+        let mut s = sched();
+        s.set_policy(
+            "capped",
+            TenantPolicy {
+                max_active: 1,
+                ..TenantPolicy::default()
+            },
+        );
+        let t0 = Instant::now();
+        s.push("capped", 1, t0);
+        s.push("capped", 2, t0);
+        s.push("free", 3, t0);
+        assert_eq!(s.pop(t0).unwrap().job, 1);
+        // capped is at its cap; free must still dispatch.
+        assert_eq!(s.pop(t0).unwrap().job, 3);
+        assert!(s.pop(t0).is_none());
+    }
+
+    #[test]
+    fn quota_reports_depth_cap() {
+        let mut s = sched();
+        s.set_policy(
+            "a",
+            TenantPolicy {
+                queue_cap: 2,
+                ..TenantPolicy::default()
+            },
+        );
+        let t0 = Instant::now();
+        assert!(s.quota_exceeded("a").is_none());
+        s.push("a", 1, t0);
+        s.push("a", 2, t0);
+        assert_eq!(s.quota_exceeded("a"), Some((2, 2)));
+        // Other tenants are unaffected (no cap by default).
+        assert!(s.quota_exceeded("b").is_none());
+        // Dispatch frees depth.
+        let _ = s.pop(t0);
+        assert!(s.quota_exceeded("a").is_none());
+    }
+
+    #[test]
+    fn empty_tenant_forfeits_banked_credit() {
+        let mut s = sched();
+        s.set_policy(
+            "burst",
+            TenantPolicy {
+                weight: 2.0,
+                ..TenantPolicy::default()
+            },
+        );
+        let t0 = Instant::now();
+        // burst drains its queue (earning 2, spending 1: one credit
+        // banked), goes idle, and returns: the banked credit must be
+        // gone, so a fresh contest still splits 2:1, not 3:1.
+        s.push("burst", 0, t0);
+        assert_eq!(s.pop(t0).unwrap().job, 0);
+        s.complete("burst");
+        for i in 0..6 {
+            s.push("burst", 10 + i, t0);
+            s.push("other", 20 + i, t0);
+        }
+        let first: Vec<String> = (0..6).map(|_| s.pop(t0).unwrap().tenant).collect();
+        let bursts = first.iter().filter(|t| *t == "burst").count();
+        assert_eq!(bursts, 4, "burst got {bursts}/6 in {first:?}");
+    }
+
+    #[test]
+    fn drain_returns_everything_queued() {
+        let mut s = sched();
+        let t0 = Instant::now();
+        s.push("a", 1, t0);
+        s.push("b", 2, t0);
+        s.push("a", 3, t0);
+        let _ = s.pop(t0);
+        let shed = s.drain_queues();
+        assert_eq!(shed.len(), 2);
+        assert_eq!(s.queued_total(), 0);
+        assert!(s.pop(t0).is_none());
+    }
+
+    #[test]
+    fn wait_accounting_tracks_max() {
+        let mut s = sched();
+        let t0 = Instant::now();
+        s.push("a", 1, t0);
+        let later = t0 + Duration::from_millis(250);
+        let p = s.pop(later).unwrap();
+        assert_eq!(p.waited, Duration::from_millis(250));
+        let snap = &s.snapshots()[0];
+        assert_eq!(snap.max_wait, Duration::from_millis(250));
+    }
+}

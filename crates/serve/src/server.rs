@@ -3,21 +3,41 @@
 //!
 //! Robustness decisions, in the order a submission meets them:
 //!
-//! * **Admission control** — a bounded queue in front of a bounded pool.
-//!   A full queue answers with a structured [`Frame::Rejected`]
-//!   (code, active, queued, reason) and closes the connection: the
-//!   daemon *sheds* load, it never stalls accepting it. Draining is its
-//!   own rejection code so clients can tell "retry later" from "find
-//!   another server".
+//! * **Admission control** — per-tenant bounded queues under one global
+//!   bound, scheduled by weighted deficit round-robin
+//!   ([`crate::sched::Scheduler`]). Every shed answers with a
+//!   structured [`Frame::Rejected`] (code, active, queued, reason) and
+//!   closes the connection: the daemon *sheds* load, it never stalls
+//!   accepting it. The code says exactly why: `OVERLOADED` (machine
+//!   full — retry later), `QUOTA` (your own queue full — drain your
+//!   backlog), `QUARANTINED` (your runs keep failing — fix them),
+//!   `DRAINING` (find another server).
+//! * **Noisy-neighbor quarantine** — a tenant-keyed
+//!   [`CircuitBreaker`] (the same open/half-open/closed machine the
+//!   JIT uses on region fingerprints) counts each tenant's consecutive
+//!   failed/panicked/deadlined runs. At the threshold the tenant is
+//!   quarantined: submissions bounce with `QUARANTINED` for a cooldown
+//!   measured in admission ticks, after which exactly one probe run is
+//!   admitted half-open — success lifts the quarantine, failure
+//!   re-arms it. Drain aborts and client disconnects are *not*
+//!   failures; a tenant must not be exiled for the daemon's shutdown.
 //! * **Isolation** — every admitted run gets its own [`Jash`] engine,
 //!   journal scope, tracer, and [`CancelToken`]. What runs *share* is
 //!   the machine: one filesystem, one [`CpuModel`] token bucket, one
 //!   disk model — so the planner's resource math sees aggregate load.
+//! * **Per-tenant attribution** — each run's filesystem is wrapped in a
+//!   [`MeteredFs`] and its CPU charges flow through a
+//!   [`CpuModel::sub_model`], tallying a per-tenant [`UsageMeter`]. A
+//!   [`FairShareBucket`] converts the tally into tenant pressure:
+//!   heavy tenants overdraw their weight-share of the machine and see
+//!   narrower plans *before* light tenants feel anything.
 //! * **Cross-run pressure** — before each run is planned, the daemon
 //!   reads [`jash_core::cross_run_pressure`] (worker occupancy + queue
-//!   backlog + shared-model saturation) and tightens the run's
+//!   backlog + shared-model saturation), takes the max with the
+//!   tenant's own bucket pressure, and tightens the run's
 //!   [`PlannerOptions::under_pressure`]: a busy daemon stops widening
-//!   regions into its own other tenants.
+//!   regions into its own other tenants, and a greedy tenant stops
+//!   widening into anyone.
 //! * **Deadlines** — a per-run [`DeadlineGuard`] cancels the run's token
 //!   with the `deadline:` reason; the session layer aborts the region,
 //!   journals `RegionAborted`, and surfaces exit 124.
@@ -35,12 +55,18 @@
 //!   waited on forever — the budget is the contract.
 
 use crate::proto::{self, reject, Frame};
-use jash_core::{cross_run_pressure, resource_pressure, Engine, Jash};
+use crate::sched::{Scheduler, TenantPolicy, TenantSnapshot};
+use jash_core::{
+    cross_run_pressure, resource_pressure, BreakerConfig, CircuitBreaker, Engine, Jash, Route,
+};
 use jash_cost::MachineProfile;
 use jash_expand::ShellState;
-use jash_io::{CancelToken, CpuModel, DeadlineGuard, DiskModel, FsHandle};
+use jash_io::{
+    CancelToken, CpuModel, DeadlineGuard, DiskModel, FairShareBucket, FsHandle, MeteredFs,
+    UsageMeter,
+};
 use jash_trace::Tracer;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -92,6 +118,25 @@ pub struct ServerConfig {
     /// Fault-injection hook; `None` rejects submissions carrying fault
     /// specs (production posture).
     pub fault_injector: Option<FaultInjector>,
+    /// Policy for tenants not listed in `tenants`.
+    pub tenant_default: TenantPolicy,
+    /// Per-tenant policy overrides (weight, concurrency cap, queue cap).
+    pub tenants: Vec<(String, TenantPolicy)>,
+    /// Consecutive failed runs that quarantine a tenant; `0` disables
+    /// the tenant breaker entirely.
+    pub quarantine_failures: u32,
+    /// Quarantine cooldown in admission ticks (one tick per well-formed
+    /// submission, so a busy daemon ages quarantines quickly and an
+    /// idle one holds them — deterministic either way).
+    pub quarantine_cooldown: u64,
+    /// Per-tenant burst allowance in modeled resource-seconds: how far
+    /// a tenant can run ahead of its sustained share before its bucket
+    /// pressure starts rising.
+    pub tenant_burst_secs: f64,
+    /// Sustained entitlement in modeled resource-seconds per wall
+    /// second *per unit weight*. Scale to `cores / expected-tenants`
+    /// for a machine-proportional split.
+    pub tenant_share_secs: f64,
 }
 
 impl ServerConfig {
@@ -115,6 +160,12 @@ impl ServerConfig {
             cpu: None,
             disk: None,
             fault_injector: None,
+            tenant_default: TenantPolicy::default(),
+            tenants: Vec::new(),
+            quarantine_failures: 5,
+            quarantine_cooldown: 16,
+            tenant_burst_secs: 2.0,
+            tenant_share_secs: 0.5,
         }
     }
 }
@@ -135,6 +186,12 @@ pub struct ServeStats {
     pub rejected_malformed: u64,
     /// Submissions carrying fault specs while injection was disabled.
     pub rejected_faults_disabled: u64,
+    /// Submissions shed because the *tenant's* queue was at its cap.
+    pub rejected_quota: u64,
+    /// Submissions refused because the tenant was quarantined.
+    pub rejected_quarantined: u64,
+    /// Times any tenant's breaker newly opened (quarantine onsets).
+    pub tenants_quarantined: u64,
     /// Runs aborted by their wall-clock deadline.
     pub deadline_aborts: u64,
     /// Runs cancelled because their client vanished mid-run.
@@ -158,6 +215,44 @@ pub struct DrainReport {
     pub within_budget: bool,
     /// Final counters.
     pub stats: ServeStats,
+    /// Per-tenant accounting rows, sorted by tenant name.
+    pub tenants: Vec<TenantReport>,
+}
+
+/// One tenant's lifetime accounting, merged from the scheduler, the
+/// breaker, and the resource sub-account.
+#[derive(Debug, Clone)]
+pub struct TenantReport {
+    /// Tenant name.
+    pub tenant: String,
+    /// Configured (or default) service weight.
+    pub weight: f64,
+    /// Jobs queued right now.
+    pub queued: usize,
+    /// Runs executing right now.
+    pub active: usize,
+    /// Runs dispatched over the daemon's lifetime.
+    pub dispatched: u64,
+    /// Runs retired (any exit status).
+    pub completed: u64,
+    /// Runs that counted as failures toward quarantine.
+    pub failures: u64,
+    /// Times this tenant's breaker opened.
+    pub quarantines: u64,
+    /// Whether the tenant is quarantined (open or half-open) right now.
+    pub quarantined_now: bool,
+    /// Submissions bounced for a full tenant queue.
+    pub rejected_quota: u64,
+    /// Submissions bounced while quarantined.
+    pub rejected_quarantined: u64,
+    /// Longest queue wait any of this tenant's jobs saw, in ms.
+    pub max_queue_wait_ms: u64,
+    /// Modeled CPU seconds attributed to this tenant.
+    pub cpu_seconds: f64,
+    /// Disk bytes attributed to this tenant.
+    pub disk_bytes: u64,
+    /// The tenant's fair-share bucket pressure at snapshot time.
+    pub pressure: f64,
 }
 
 struct Job {
@@ -167,16 +262,126 @@ struct Job {
     timeout: Option<Duration>,
     fault: Option<String>,
     conn: UnixStream,
+    /// This run is a quarantined tenant's half-open probe: its outcome
+    /// alone decides whether the quarantine lifts.
+    probe: bool,
 }
 
-#[derive(Default)]
+/// A tenant's resource sub-account: the meter fed by the run-side
+/// wrappers, the bucket converting it to pressure, and the breaker-probe
+/// latch.
+struct TenantAccount {
+    meter: Arc<UsageMeter>,
+    bucket: FairShareBucket,
+    cpu: Option<Arc<CpuModel>>,
+    /// A half-open probe run is in flight; further submissions keep
+    /// bouncing until it reports.
+    probing: bool,
+    failures: u64,
+    quarantines: u64,
+    rejected_quota: u64,
+    rejected_quarantined: u64,
+}
+
 struct Gate {
     draining: bool,
     active: usize,
-    queue: VecDeque<Job>,
+    sched: Scheduler<Job>,
+    breaker: CircuitBreaker<String>,
+    accounts: HashMap<String, TenantAccount>,
     live: HashMap<u64, CancelToken>,
     next_run: u64,
     stats: ServeStats,
+}
+
+/// Looks up (or lazily creates) `tenant`'s resource sub-account.
+fn account_mut<'a>(gate: &'a mut Gate, cfg: &ServerConfig, tenant: &str) -> &'a mut TenantAccount {
+    if !gate.accounts.contains_key(tenant) {
+        let meter = UsageMeter::new();
+        let weight = gate.sched.policy(tenant).weight.clamp(0.01, 100.0);
+        // Disk bytes convert to resource-seconds at the modeled disk's
+        // sequential read rate (or a 128 MiB/s stand-in without one).
+        let disk_rate = cfg
+            .disk
+            .as_ref()
+            .map(|d| d.profile().read_mbps * 1024.0 * 1024.0)
+            .unwrap_or(128.0 * 1024.0 * 1024.0);
+        let bucket = FairShareBucket::new(
+            cfg.tenant_burst_secs,
+            weight * cfg.tenant_share_secs,
+            disk_rate,
+            Instant::now(),
+        );
+        let cpu = cfg.cpu.as_ref().map(|c| c.sub_model(Arc::clone(&meter)));
+        gate.accounts.insert(
+            tenant.to_string(),
+            TenantAccount {
+                meter,
+                bucket,
+                cpu,
+                probing: false,
+                failures: 0,
+                quarantines: 0,
+                rejected_quota: 0,
+                rejected_quarantined: 0,
+            },
+        );
+    }
+    gate.accounts.get_mut(tenant).expect("just inserted")
+}
+
+impl TenantAccount {
+    fn settle(&self, now: Instant) -> f64 {
+        self.bucket.settle(&self.meter, now)
+    }
+}
+
+/// Merges scheduler snapshots, breaker state, and resource accounts
+/// into per-tenant report rows.
+fn tenant_reports(gate: &Gate) -> Vec<TenantReport> {
+    let snapshots = gate.sched.snapshots();
+    let mut seen: std::collections::HashSet<&str> =
+        snapshots.iter().map(|s| s.tenant.as_str()).collect();
+    let mut rows: Vec<TenantReport> = snapshots.iter().map(|s| tenant_row(gate, s)).collect();
+    // Accounts can exist for tenants the scheduler never queued (e.g.
+    // every submission bounced); report them too.
+    for name in gate.accounts.keys() {
+        if seen.insert(name) {
+            let empty = TenantSnapshot {
+                tenant: name.clone(),
+                policy: gate.sched.policy(name),
+                queued: 0,
+                active: 0,
+                dispatched: 0,
+                completed: 0,
+                max_wait: Duration::ZERO,
+            };
+            rows.push(tenant_row(gate, &empty));
+        }
+    }
+    rows.sort_by(|a, b| a.tenant.cmp(&b.tenant));
+    rows
+}
+
+fn tenant_row(gate: &Gate, snap: &TenantSnapshot) -> TenantReport {
+    let acct = gate.accounts.get(&snap.tenant);
+    TenantReport {
+        tenant: snap.tenant.clone(),
+        weight: snap.policy.weight,
+        queued: snap.queued,
+        active: snap.active,
+        dispatched: snap.dispatched,
+        completed: snap.completed,
+        failures: acct.map_or(0, |a| a.failures),
+        quarantines: acct.map_or(0, |a| a.quarantines),
+        quarantined_now: gate.breaker.is_open(&snap.tenant),
+        rejected_quota: acct.map_or(0, |a| a.rejected_quota),
+        rejected_quarantined: acct.map_or(0, |a| a.rejected_quarantined),
+        max_queue_wait_ms: snap.max_wait.as_millis() as u64,
+        cpu_seconds: acct.map_or(0.0, |a| a.meter.cpu_seconds()),
+        disk_bytes: acct.map_or(0, |a| a.meter.disk_bytes()),
+        pressure: acct.map_or(0.0, |a| a.bucket.pressure()),
+    }
 }
 
 struct Shared {
@@ -206,9 +411,27 @@ impl Server {
         // Nonblocking accept + short poll, so drain can stop the loop
         // without a wake-up connection or platform-specific tricks.
         listener.set_nonblocking(true)?;
+        let mut sched = Scheduler::new(cfg.tenant_default);
+        for (name, policy) in &cfg.tenants {
+            sched.set_policy(name, *policy);
+        }
+        let breaker = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: cfg.quarantine_failures.max(1),
+            cooldown_regions: cfg.quarantine_cooldown,
+        });
+        let gate = Gate {
+            draining: false,
+            active: 0,
+            sched,
+            breaker,
+            accounts: HashMap::new(),
+            live: HashMap::new(),
+            next_run: 0,
+            stats: ServeStats::default(),
+        };
         let shared = Arc::new(Shared {
             cfg,
-            gate: Mutex::new(Gate::default()),
+            gate: Mutex::new(gate),
             work: Condvar::new(),
             idle: Condvar::new(),
             started: Instant::now(),
@@ -244,7 +467,13 @@ impl Server {
     /// operators poll to sequence against the worker pool.
     pub fn load(&self) -> (usize, usize) {
         let gate = self.shared.gate.lock().unwrap();
-        (gate.active, gate.queue.len())
+        (gate.active, gate.sched.queued_total())
+    }
+
+    /// Per-tenant accounting rows (scheduling, quarantine, resource
+    /// attribution), sorted by tenant name.
+    pub fn tenants(&self) -> Vec<TenantReport> {
+        tenant_reports(&self.shared.gate.lock().unwrap())
     }
 
     /// The current cross-run pressure reading, as the next admitted
@@ -265,7 +494,7 @@ impl Server {
         let (in_flight, shed) = {
             let mut gate = shared.gate.lock().unwrap();
             gate.draining = true;
-            let shed: Vec<Job> = gate.queue.drain(..).collect();
+            let shed: Vec<(String, Job)> = gate.sched.drain_queues();
             for token in gate.live.values() {
                 token.cancel(jash_core::shutdown_reason(15));
             }
@@ -276,7 +505,7 @@ impl Server {
             (in_flight, shed)
         };
         let shed_count = shed.len();
-        for job in shed {
+        for (_tenant, job) in shed {
             let mut conn = job.conn;
             let (active, queued) = (in_flight as u32, 0);
             let _ = proto::write_frame(
@@ -318,13 +547,17 @@ impl Server {
             self.workers.clear();
         }
         let _ = std::fs::remove_file(&shared.cfg.socket);
-        let stats = shared.gate.lock().unwrap().stats.clone();
+        let (stats, tenants) = {
+            let gate = shared.gate.lock().unwrap();
+            (gate.stats.clone(), tenant_reports(&gate))
+        };
         DrainReport {
             in_flight,
             shed: shed_count,
             stragglers,
             within_budget: stragglers == 0,
             stats,
+            tenants,
         }
     }
 }
@@ -333,7 +566,7 @@ impl Shared {
     fn pressure(&self) -> f64 {
         let (active, queued) = {
             let gate = self.gate.lock().unwrap();
-            (gate.active, gate.queue.len())
+            (gate.active, gate.sched.queued_total())
         };
         let resources = resource_pressure(
             self.cfg.disk.as_ref(),
@@ -382,7 +615,7 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
         _ => {
             let mut gate = shared.gate.lock().unwrap();
             gate.stats.rejected_malformed += 1;
-            let (active, queued) = (gate.active as u32, gate.queue.len() as u32);
+            let (active, queued) = (gate.active as u32, gate.sched.queued_total() as u32);
             drop(gate);
             let _ = proto::write_frame(
                 &mut conn,
@@ -412,7 +645,7 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
         let frame = Frame::Rejected {
             code,
             active: gate.active as u32,
-            queued: gate.queue.len() as u32,
+            queued: gate.sched.queued_total() as u32,
             reason,
         };
         let _ = proto::write_frame(conn, &frame);
@@ -437,13 +670,38 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
         );
         return;
     }
-    if gate.queue.len() >= shared.cfg.queue_cap {
+    // One admission tick per well-formed submission: the quarantine
+    // cooldown ages with daemon activity, never with wall time, so the
+    // same submission sequence quarantines and paroles at the same
+    // points on every run.
+    let quarantine_on = shared.cfg.quarantine_failures > 0;
+    let route = if quarantine_on {
+        gate.breaker.tick();
+        gate.breaker.route(&tenant)
+    } else {
+        Route::Try
+    };
+    if route == Route::Interpret
+        || (route == Route::HalfOpenTrial
+            && gate.accounts.get(&tenant).is_some_and(|a| a.probing))
+    {
+        gate.stats.rejected_quarantined += 1;
+        account_mut(&mut gate, &shared.cfg, &tenant).rejected_quarantined += 1;
+        let reason = if route == Route::Interpret {
+            format!("tenant {tenant} quarantined: recent runs kept failing; cooling down")
+        } else {
+            format!("tenant {tenant} quarantined: half-open probe already in flight")
+        };
+        reject_with(reject::QUARANTINED, reason, &gate, &mut conn);
+        return;
+    }
+    if gate.sched.queued_total() >= shared.cfg.queue_cap {
         gate.stats.rejected_overload += 1;
         reject_with(
             reject::OVERLOADED,
             format!(
                 "admission queue full ({}/{}), {} active",
-                gate.queue.len(),
+                gate.sched.queued_total(),
                 shared.cfg.queue_cap,
                 gate.active
             ),
@@ -452,33 +710,58 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
         );
         return;
     }
+    if let Some((depth, cap)) = gate.sched.quota_exceeded(&tenant) {
+        gate.stats.rejected_quota += 1;
+        account_mut(&mut gate, &shared.cfg, &tenant).rejected_quota += 1;
+        reject_with(
+            reject::QUOTA,
+            format!("tenant {tenant} queue full ({depth}/{cap}): over per-tenant quota"),
+            &gate,
+            &mut conn,
+        );
+        return;
+    }
+    // Past every check: latch the probe only now, so a probe bounced by
+    // OVERLOADED/QUOTA above does not wedge the half-open state.
+    let probe = route == Route::HalfOpenTrial;
+    if probe {
+        account_mut(&mut gate, &shared.cfg, &tenant).probing = true;
+    }
     gate.next_run += 1;
     let run_id = gate.next_run;
     // Accepted is written under the lock so no later frame for this run
     // can be ordered before it.
     if proto::write_frame(&mut conn, &Frame::Accepted { run_id }).is_err() {
+        if probe {
+            account_mut(&mut gate, &shared.cfg, &tenant).probing = false;
+        }
         return; // Client vanished between connect and accept.
     }
     gate.stats.accepted += 1;
-    gate.queue.push_back(Job {
+    let job = Job {
         run_id,
-        tenant,
+        tenant: tenant.clone(),
         script,
         timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         fault,
         conn,
-    });
+        probe,
+    };
+    gate.sched.push(&tenant, job, Instant::now());
     shared.work.notify_one();
 }
 
 fn worker_loop(shared: &Arc<Shared>) {
     loop {
-        let job = {
+        let popped = {
             let mut gate = shared.gate.lock().unwrap();
             loop {
-                if let Some(job) = gate.queue.pop_front() {
+                // DRR dispatch: `None` means nothing runnable — either
+                // empty queues or every queued tenant at its concurrency
+                // cap; a completion or push wakes us either way.
+                if let Some(p) = gate.sched.pop(Instant::now()) {
                     gate.active += 1;
-                    break job;
+                    break p;
                 }
                 if gate.draining {
                     return;
@@ -486,27 +769,37 @@ fn worker_loop(shared: &Arc<Shared>) {
                 gate = shared.work.wait(gate).unwrap();
             }
         };
-        let run_id = job.run_id;
-        run_job(shared, job);
+        let run_id = popped.job.run_id;
+        let tenant = popped.tenant;
+        run_job(shared, popped.job, popped.waited);
         let mut gate = shared.gate.lock().unwrap();
         gate.active -= 1;
+        gate.sched.complete(&tenant);
         gate.live.remove(&run_id);
         gate.stats.completed += 1;
+        // The retired run may have freed a capped tenant's only slot:
+        // wake a worker to re-evaluate dispatch, and drain's idle wait.
+        shared.work.notify_one();
         shared.idle.notify_all();
     }
 }
 
 /// Executes one admitted run, fully isolated: own engine, journal,
-/// tracer, cancel token; shared fs/CPU/disk.
-fn run_job(shared: &Arc<Shared>, job: Job) {
+/// tracer, cancel token; shared fs/CPU/disk, metered per tenant.
+fn run_job(shared: &Arc<Shared>, job: Job, waited: Duration) {
     let cfg = &shared.cfg;
     let token = CancelToken::new();
-    shared
-        .gate
-        .lock()
-        .unwrap()
-        .live
-        .insert(job.run_id, token.clone());
+    // The tenant's sub-account: CPU charges route through the
+    // sub-model, disk bytes through the metered fs wrapper, and the
+    // bucket settlement here prices the run under everything the
+    // tenant has consumed so far.
+    let (tenant_cpu, tenant_meter, tenant_pressure) = {
+        let mut gate = shared.gate.lock().unwrap();
+        gate.live.insert(job.run_id, token.clone());
+        let acct = account_mut(&mut gate, cfg, &job.tenant);
+        let pressure = acct.settle(Instant::now());
+        (acct.cpu.clone(), Arc::clone(&acct.meter), pressure)
+    };
 
     // Deadline: the submission's limit, else the daemon's default. The
     // guard disarms on drop, so a finished run retires its watcher.
@@ -556,9 +849,14 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         });
     }
 
-    // Per-run filesystem: the shared handle, optionally wrapped with the
-    // submission's injected faults (test daemons only).
-    let mut run_fs = Arc::clone(&cfg.fs);
+    // Per-run filesystem: the shared handle metered into the tenant's
+    // account, optionally wrapped with the submission's injected faults
+    // (test daemons only). Metering sits *inside* the fault layer so a
+    // tenant is charged for bytes actually moved, not bytes faulted.
+    let mut run_fs: FsHandle = Arc::new(MeteredFs::new(
+        Arc::clone(&cfg.fs),
+        Arc::clone(&tenant_meter),
+    ));
     if let (Some(injector), Some(spec)) = (&cfg.fault_injector, &job.fault) {
         match injector(spec, Arc::clone(&run_fs), &token) {
             Some(wrapped) => run_fs = wrapped,
@@ -588,13 +886,25 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         shell.planner.min_speedup = 0.0;
         shell.planner.force_width = Some(4);
     }
-    shell.planner = shell.planner.under_pressure(shared.pressure());
+    // The run is planned under the worse of the machine's aggregate
+    // pressure and the tenant's own fair-share overdraft: a greedy
+    // tenant narrows its *own* plans first.
+    shell.planner = shell
+        .planner
+        .under_pressure(shared.pressure().max(tenant_pressure));
     if cfg.trace_root.is_some() {
         shell.tracer = Some(Arc::new(Tracer::new()));
         shell.run_attrs = vec![
             ("run_id".to_string(), job.run_id.into()),
             ("tenant".to_string(), job.tenant.clone().into()),
+            ("queue_wait_ms".to_string(), (waited.as_millis() as u64).into()),
+            ("tenant_pressure".to_string(), tenant_pressure.into()),
         ];
+        if job.probe {
+            shell
+                .run_attrs
+                .push(("quarantine_probe".to_string(), true.into()));
+        }
     }
     if let Some(root) = &cfg.journal_root {
         if cfg.engine == Engine::JashJit {
@@ -604,7 +914,9 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
     }
 
     let mut state = ShellState::new(Arc::clone(&run_fs));
-    state.cpu = cfg.cpu.clone();
+    // The tenant's CPU sub-model (when a machine model exists): global
+    // contention unchanged, charges attributed to this tenant's meter.
+    state.cpu = tenant_cpu.or_else(|| cfg.cpu.clone());
     state.shell_name = format!("jash-serve:{}", job.run_id);
 
     // Panic isolation: a run that blows up inside the engine must not
@@ -630,17 +942,40 @@ fn run_job(shared: &Arc<Shared>, job: Job) {
         }
     };
     let aborted = token.reason();
+    let deadline = aborted
+        .as_deref()
+        .is_some_and(|r| jash_io::deadline_code(r).is_some());
     {
         let mut gate = shared.gate.lock().unwrap();
         if panicked {
             gate.stats.panics_isolated += 1;
         }
-        if aborted
-            .as_deref()
-            .is_some_and(|r| jash_io::deadline_code(r).is_some())
-        {
+        if deadline {
             gate.stats.deadline_aborts += 1;
         }
+        // Tenant health: panics, deadline overruns, and plain nonzero
+        // exits count toward quarantine. Externally-caused aborts —
+        // drain (shutdown) and client disconnects — do not: a tenant
+        // must not be exiled for the daemon's own lifecycle.
+        let failed = panicked || deadline || (status != 0 && aborted.is_none());
+        let clean = !panicked && status == 0 && aborted.is_none();
+        if cfg.quarantine_failures > 0 {
+            if job.probe {
+                account_mut(&mut gate, cfg, &job.tenant).probing = false;
+            }
+            if failed {
+                account_mut(&mut gate, cfg, &job.tenant).failures += 1;
+                if gate.breaker.record_failure(&job.tenant) {
+                    gate.stats.tenants_quarantined += 1;
+                    account_mut(&mut gate, cfg, &job.tenant).quarantines += 1;
+                }
+            } else if clean {
+                gate.breaker.record_success(&job.tenant);
+            }
+        }
+        // Debit what the run consumed now, so the tenant's *next* run
+        // is planned under the pressure this one created.
+        let _ = account_mut(&mut gate, cfg, &job.tenant).settle(Instant::now());
     }
 
     // Flush the run's trace through the *unwrapped* shared fs — the

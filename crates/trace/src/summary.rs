@@ -138,6 +138,78 @@ pub fn summarize(records: &[Record]) -> String {
         );
     }
 
+    // Tenant digest: multi-tenant serve traces tag each run span with a
+    // `tenant` attribute (plus queue wait, fair-share pressure, and a
+    // quarantine-probe marker). Aggregate them so one summarize call
+    // over a merged trace directory shows who ran, who waited, and who
+    // was being probed back to health.
+    struct TenantRow {
+        runs: u64,
+        wall_us: u64,
+        max_wait_ms: u64,
+        max_pressure: f64,
+        probes: u64,
+    }
+    let mut tenant_rows: Vec<(String, TenantRow)> = Vec::new();
+    for r in records {
+        let Record::Span { kind, wall_us, .. } = r else {
+            continue;
+        };
+        if kind != "run" {
+            continue;
+        }
+        let Some(tenant) = r.attr_str("tenant") else {
+            continue;
+        };
+        let row = match tenant_rows.iter_mut().find(|(t, _)| t == tenant) {
+            Some((_, row)) => row,
+            None => {
+                tenant_rows.push((
+                    tenant.to_string(),
+                    TenantRow {
+                        runs: 0,
+                        wall_us: 0,
+                        max_wait_ms: 0,
+                        max_pressure: 0.0,
+                        probes: 0,
+                    },
+                ));
+                &mut tenant_rows.last_mut().unwrap().1
+            }
+        };
+        row.runs += 1;
+        row.wall_us += *wall_us;
+        row.max_wait_ms = row.max_wait_ms.max(r.attr_u64("queue_wait_ms").unwrap_or(0));
+        if let Some(AttrValue::Float(p)) = r.attr("tenant_pressure") {
+            if *p > row.max_pressure {
+                row.max_pressure = *p;
+            }
+        }
+        if matches!(r.attr("quarantine_probe"), Some(AttrValue::Bool(true))) {
+            row.probes += 1;
+        }
+    }
+    if !tenant_rows.is_empty() {
+        tenant_rows.sort_by(|a, b| a.0.cmp(&b.0));
+        let _ = writeln!(
+            out,
+            "\ntenants\n{:<24} {:>6} {:>10} {:>12} {:>9} {:>7}",
+            "tenant", "runs", "wall(ms)", "max_wait_ms", "pressure", "probes"
+        );
+        for (tenant, row) in &tenant_rows {
+            let _ = writeln!(
+                out,
+                "{:<24} {:>6} {:>10.3} {:>12} {:>9.2} {:>7}",
+                truncate(tenant, 24),
+                row.runs,
+                row.wall_us as f64 / 1000.0,
+                row.max_wait_ms,
+                row.max_pressure,
+                row.probes,
+            );
+        }
+    }
+
     let mut wrote_header = false;
     for r in records {
         let line = match r {
@@ -258,6 +330,56 @@ mod tests {
             "{s}"
         );
         assert!(s.contains("4096 bytes / 128 lines"), "{s}");
+    }
+
+    #[test]
+    fn tenant_digest_aggregates_run_spans() {
+        let run = |id: u64, tenant: &str, wall: u64, wait: u64, probe: bool| {
+            let mut attrs = vec![
+                ("tenant".to_string(), AttrValue::Str(tenant.to_string())),
+                ("queue_wait_ms".to_string(), AttrValue::UInt(wait)),
+                ("tenant_pressure".to_string(), AttrValue::Float(0.25)),
+            ];
+            if probe {
+                attrs.push(("quarantine_probe".to_string(), AttrValue::Bool(true)));
+            }
+            Record::Span {
+                kind: "run".into(),
+                id,
+                parent: None,
+                name: format!("run-{id}"),
+                start_us: 0,
+                wall_us: wall,
+                attrs,
+            }
+        };
+        let records = vec![
+            run(1, "heavy", 4_000, 120, false),
+            run(2, "heavy", 6_000, 40, false),
+            run(3, "light", 1_000, 7, true),
+        ];
+        let s = summarize(&records);
+        assert!(s.contains("tenants"), "{s}");
+        // heavy: 2 runs, 10ms wall, max wait 120; light: 1 run, 1 probe.
+        assert!(s.contains("heavy"), "{s}");
+        assert!(s.contains("120"), "{s}");
+        let light_row = s.lines().find(|l| l.starts_with("light")).unwrap();
+        assert!(light_row.contains('1'), "{light_row}");
+        assert!(light_row.trim_end().ends_with('1'), "probe count: {light_row}");
+    }
+
+    #[test]
+    fn untenanted_trace_has_no_tenant_digest() {
+        let records = vec![Record::Span {
+            kind: "run".into(),
+            id: 1,
+            parent: None,
+            name: "script".into(),
+            start_us: 0,
+            wall_us: 1_000,
+            attrs: vec![],
+        }];
+        assert!(!summarize(&records).contains("tenants"));
     }
 
     #[test]

@@ -9,6 +9,12 @@
 //! jash serve --socket PATH [--root DIR] [--workers N] [--queue N]
 //!            [--timeout SECS] [--drain-secs S] [--journal DIR]
 //!            [--trace-dir DIR] [--no-durable] [--test-faults]
+//!            [--tenant NAME=WEIGHT[:ACTIVE[:QUEUE]]]...
+//!            [--tenant-active N] [--tenant-queue N]
+//!            [--quarantine-failures N] [--quarantine-cooldown N]
+//!            [--tenant-burst SECS] [--tenant-share SECS]
+//! jash submit --socket PATH [--tenant NAME] [--timeout SECS]
+//!             (-c SCRIPT | FILE)
 //! ```
 //!
 //! Runs a POSIX shell script under the chosen engine against a real
@@ -42,9 +48,14 @@
 //! open `--trace` sink is flushed before the process exits.
 //!
 //! `jash serve` runs the multi-tenant daemon on a unix socket: bounded
-//! worker pool, bounded admission queue with structured overload
-//! rejection, per-run deadlines, client-disconnect cancellation, and a
-//! SIGTERM-initiated graceful drain (exit 143). See `DESIGN.md` §9.
+//! worker pool, per-tenant bounded queues scheduled by weighted deficit
+//! round-robin, per-tenant quotas (`QUOTA` rejections) and noisy-neighbor
+//! quarantine (`QUARANTINED` rejections until a probe run succeeds),
+//! structured overload rejection, per-run deadlines, client-disconnect
+//! cancellation, and a SIGTERM-initiated graceful drain (exit 143). See
+//! `DESIGN.md` §9 and §11. `jash submit` is the matching client: it
+//! submits one script to a running daemon under `--tenant` and mirrors
+//! the run's stdout/stderr/status (rejections exit 75, `EX_TEMPFAIL`).
 
 use jash::core::{Engine, Jash};
 use jash::cost::MachineProfile;
@@ -112,7 +123,10 @@ fn usage() -> ! {
          (-c SCRIPT | FILE [args...])\n       jash trace summarize FILE\n       \
          jash serve --socket PATH [--root DIR] [--workers N] [--queue N] \
          [--timeout SECS] [--drain-secs S] [--journal DIR] [--trace-dir DIR] \
-         [--no-durable] [--test-faults]"
+         [--no-durable] [--test-faults] [--tenant NAME=WEIGHT[:ACTIVE[:QUEUE]]]... \
+         [--tenant-active N] [--tenant-queue N] [--quarantine-failures N] \
+         [--quarantine-cooldown N] [--tenant-burst SECS] [--tenant-share SECS]\n       \
+         jash submit --socket PATH [--tenant NAME] [--timeout SECS] (-c SCRIPT | FILE)"
     );
     std::process::exit(2);
 }
@@ -288,9 +302,40 @@ fn serve_subcommand(args: &[String]) -> ! {
     let mut trace_dir: Option<String> = None;
     let mut durable = true;
     let mut test_faults = false;
+    let mut tenants: Vec<(String, jash::serve::TenantPolicy)> = Vec::new();
+    let mut default_active = 0usize;
+    let mut default_queue = 0usize;
+    let mut quarantine_failures = 5u32;
+    let mut quarantine_cooldown = 16u64;
+    let mut tenant_burst = 2.0f64;
+    let mut tenant_share = 0.5f64;
 
     fn parse_num(arg: Option<&String>) -> u64 {
         arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    }
+    fn parse_float(arg: Option<&String>) -> f64 {
+        arg.and_then(|s| s.parse().ok()).unwrap_or_else(|| usage())
+    }
+    /// `NAME=WEIGHT[:MAX_ACTIVE[:QUEUE_CAP]]`, e.g. `batch=0.5:2:4`.
+    fn parse_tenant(arg: Option<&String>) -> (String, jash::serve::TenantPolicy) {
+        let Some(spec) = arg else { usage() };
+        let Some((name, rest)) = spec.split_once('=') else { usage() };
+        let mut parts = rest.split(':');
+        let mut policy = jash::serve::TenantPolicy::default();
+        match parts.next().map(str::parse) {
+            Some(Ok(w)) => policy.weight = w,
+            _ => usage(),
+        }
+        if let Some(a) = parts.next() {
+            policy.max_active = a.parse().unwrap_or_else(|_| usage());
+        }
+        if let Some(q) = parts.next() {
+            policy.queue_cap = q.parse().unwrap_or_else(|_| usage());
+        }
+        if parts.next().is_some() || name.is_empty() {
+            usage();
+        }
+        (name.to_string(), policy)
     }
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -305,6 +350,13 @@ fn serve_subcommand(args: &[String]) -> ! {
             "--trace-dir" => trace_dir = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "--no-durable" => durable = false,
             "--test-faults" => test_faults = true,
+            "--tenant" => tenants.push(parse_tenant(it.next())),
+            "--tenant-active" => default_active = parse_num(it.next()) as usize,
+            "--tenant-queue" => default_queue = parse_num(it.next()) as usize,
+            "--quarantine-failures" => quarantine_failures = parse_num(it.next()) as u32,
+            "--quarantine-cooldown" => quarantine_cooldown = parse_num(it.next()),
+            "--tenant-burst" => tenant_burst = parse_float(it.next()),
+            "--tenant-share" => tenant_share = parse_float(it.next()),
             _ => usage(),
         }
     }
@@ -325,6 +377,16 @@ fn serve_subcommand(args: &[String]) -> ! {
     // The shared CPU token bucket: time_scale 0 meters without
     // throttling, so the pressure signal sees aggregate load for free.
     cfg.cpu = Some(jash::io::CpuModel::new(machine.cores, 0.0));
+    cfg.tenant_default = jash::serve::TenantPolicy {
+        weight: 1.0,
+        max_active: default_active,
+        queue_cap: default_queue,
+    };
+    cfg.tenants = tenants;
+    cfg.quarantine_failures = quarantine_failures;
+    cfg.quarantine_cooldown = quarantine_cooldown;
+    cfg.tenant_burst_secs = tenant_burst;
+    cfg.tenant_share_secs = tenant_share;
     if test_faults {
         cfg.fault_injector = Some(jash::serve::spec_fault_injector());
     }
@@ -354,7 +416,87 @@ fn serve_subcommand(args: &[String]) -> ! {
         "jash: drained: {} in flight, {} shed, {} straggler(s), {} run(s) completed",
         report.in_flight, report.shed, report.stragglers, report.stats.completed
     );
+    for t in &report.tenants {
+        eprintln!(
+            "jash:   tenant {}: {} completed, {} failed, {} quarantine(s), \
+             {} quota-shed, {} quarantine-shed, max wait {}ms, cpu {:.3}s, disk {}B",
+            t.tenant,
+            t.completed,
+            t.failures,
+            t.quarantines,
+            t.rejected_quota,
+            t.rejected_quarantined,
+            t.max_queue_wait_ms,
+            t.cpu_seconds,
+            t.disk_bytes,
+        );
+    }
     std::process::exit(128 + signum);
+}
+
+/// The `jash submit` subcommand: a one-shot client for a running
+/// `jash serve` daemon. Mirrors the run's stdout/stderr and exits with
+/// its status; structured rejections (overload, quota, quarantine,
+/// draining) print the daemon's reason and exit 75 (`EX_TEMPFAIL`).
+fn submit_subcommand(args: &[String]) -> ! {
+    let mut socket: Option<String> = None;
+    let mut tenant = "cli".to_string();
+    let mut timeout: Option<u64> = None;
+    let mut script: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "--tenant" => tenant = it.next().cloned().unwrap_or_else(|| usage()),
+            "--timeout" => {
+                timeout = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            "-c" => script = Some(it.next().cloned().unwrap_or_else(|| usage())),
+            "-h" | "--help" => usage(),
+            file if script.is_none() => match std::fs::read_to_string(file) {
+                Ok(s) => script = Some(s),
+                Err(e) => {
+                    eprintln!("jash: {file}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            _ => usage(),
+        }
+    }
+    let (Some(socket), Some(script)) = (socket, script) else {
+        usage()
+    };
+
+    let mut req = jash::serve::Request::new(script).with_tenant(tenant);
+    if let Some(secs) = timeout {
+        req.timeout_ms = secs.saturating_mul(1000);
+    }
+    match jash::serve::submit(std::path::Path::new(&socket), &req) {
+        Ok(reply) => {
+            std::io::stdout().write_all(&reply.stdout).ok();
+            std::io::stderr().write_all(&reply.stderr).ok();
+            if let Some((code, active, queued, reason)) = &reply.rejected {
+                eprintln!(
+                    "jash: submit rejected ({}): {reason} [{active} active, {queued} queued]",
+                    jash::serve::reject::name(*code),
+                );
+                std::process::exit(75);
+            }
+            if let Some(reason) = &reply.aborted {
+                eprintln!("jash: run aborted: {reason}");
+            }
+            std::process::exit(reply.status.unwrap_or(1));
+        }
+        Err(e) => {
+            eprintln!("jash: submit: {socket}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -366,6 +508,9 @@ fn main() {
     }
     if argv.first().map(String::as_str) == Some("serve") {
         serve_subcommand(&argv[1..]);
+    }
+    if argv.first().map(String::as_str) == Some("submit") {
+        submit_subcommand(&argv[1..]);
     }
 
     let opts = parse_args();

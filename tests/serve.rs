@@ -391,6 +391,180 @@ fn pressure_tightens_the_planner_as_the_daemon_loads_up() {
     rig.server.drain();
 }
 
+/// Starvation drill: a flooding tenant hammers the daemon while a light
+/// tenant trickles in. Fair-share scheduling must keep the light tenant
+/// whole — every light submission completes with the exact sequential
+/// answer and a bounded queue wait — while the flooder alone absorbs
+/// every per-tenant QUOTA rejection.
+#[test]
+fn flooding_tenant_cannot_starve_the_light_tenant() {
+    let rig = rig(2, 64, |cfg| {
+        // The flooder gets one worker slot and a shallow queue; the
+        // light tenant rides the (unbounded) default policy.
+        cfg.tenants = vec![(
+            "flood".to_string(),
+            jash::serve::TenantPolicy {
+                weight: 1.0,
+                max_active: 1,
+                queue_cap: 4,
+            },
+        )];
+    });
+    let expected = {
+        let fs = jash::io::mem_fs();
+        jash::io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs(96 * 1024)).unwrap();
+        let mut state = jash::expand::ShellState::new(fs);
+        let mut shell = jash::core::Jash::new(jash::core::Engine::Bash, machine());
+        shell.run_script(&mut state, SCRIPT).unwrap().stdout
+    };
+
+    // 16 flood clients arrive at once. Each run stalls ~400ms, so the
+    // flooder's single slot plus 4 queue places wedge; the rest must be
+    // shed with QUOTA, immediately, and never promoted over the cap.
+    let socket = rig.socket.clone();
+    let flood: Vec<_> = (0..16)
+        .map(|_| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut req = Request::new(SCRIPT).with_tenant("flood");
+                req.fault = Some("stall-read:/data/docs.txt:400".to_string());
+                jash::serve::submit(&socket, &req).unwrap()
+            })
+        })
+        .collect();
+    poll_until("flood to wedge its quota", Duration::from_secs(5), || {
+        rig.server
+            .tenants()
+            .iter()
+            .any(|t| t.tenant == "flood" && t.active == 1 && t.queued >= 1)
+    });
+
+    // The light tenant submits six runs through the storm; all must
+    // come back complete, correct, and un-queued (the second worker is
+    // the light tenant's by fair share — the flooder is capped at one).
+    for i in 0..6 {
+        let req = Request::new(SCRIPT).with_tenant("light");
+        let reply = jash::serve::submit(&rig.socket, &req).unwrap();
+        assert_eq!(reply.status, Some(0), "light run {i}: {:?}", reply.rejected);
+        assert_eq!(reply.stdout, expected, "light run {i} diverged");
+    }
+
+    let mut flood_completed = 0;
+    let mut flood_quota = 0;
+    for h in flood {
+        let reply = h.join().unwrap();
+        if let Some((code, _, _, reason)) = &reply.rejected {
+            assert_eq!(*code, reject::QUOTA, "flood shed with the wrong code");
+            assert!(reason.contains("quota"), "reason: {reason}");
+            flood_quota += 1;
+        } else {
+            assert!(reply.completed());
+            flood_completed += 1;
+        }
+    }
+    assert_eq!(flood_completed + flood_quota, 16);
+    assert!(flood_quota >= 8, "only {flood_quota} of 16 flood runs shed");
+
+    let report = rig.server.drain();
+    assert!(report.within_budget);
+    let row = |name: &str| {
+        report
+            .tenants
+            .iter()
+            .find(|t| t.tenant == name)
+            .unwrap_or_else(|| panic!("no tenant report for {name}"))
+            .clone()
+    };
+    let light = row("light");
+    assert_eq!(light.completed, 6);
+    assert_eq!(light.rejected_quota, 0, "light tenant absorbed a QUOTA shed");
+    assert!(
+        light.max_queue_wait_ms < 2_000,
+        "light tenant waited {}ms behind the flood",
+        light.max_queue_wait_ms
+    );
+    let flood_row = row("flood");
+    assert_eq!(flood_row.rejected_quota, flood_quota as u64);
+    assert_eq!(flood_row.completed, flood_completed as u64);
+    assert!(
+        flood_row.disk_bytes > 0 && flood_row.cpu_seconds > 0.0,
+        "flood usage not attributed: {flood_row:?}"
+    );
+    assert_eq!(debris(&rig.fs), Vec::<String>::new());
+}
+
+/// Quarantine round-trip: a tenant that fails its threshold of
+/// consecutive runs is exiled with `QUARANTINED` while a bystander
+/// keeps committing cleanly; after the cooldown, exactly one half-open
+/// probe is admitted, and its success lifts the quarantine.
+#[test]
+fn failing_tenant_is_quarantined_and_paroled_by_a_probe() {
+    let rig = rig(1, 8, |cfg| {
+        cfg.quarantine_failures = 3;
+        cfg.quarantine_cooldown = 2;
+    });
+    let sticky = || {
+        let mut req = Request::new(SCRIPT).with_tenant("victim");
+        req.fault = Some("read-error:/data/docs.txt:32768".to_string());
+        req
+    };
+
+    // Ticks 1-3: three consecutive sticky-fault failures trip the
+    // breaker (threshold 3), opening the quarantine through tick 5.
+    for i in 0..3 {
+        let reply = jash::serve::submit(&rig.socket, &sticky()).unwrap();
+        assert!(reply.completed(), "failing run {i} still gets an answer");
+        assert_ne!(reply.status, Some(0), "run {i} was meant to fail");
+    }
+    assert_eq!(rig.server.stats().tenants_quarantined, 1);
+
+    // Tick 4: the quarantined tenant is bounced without running.
+    let reply = jash::serve::submit(&rig.socket, &sticky()).unwrap();
+    let (code, _, _, reason) = reply.rejected.expect("quarantined tenants are shed");
+    assert_eq!(code, reject::QUARANTINED);
+    assert!(reason.contains("quarantined"), "reason: {reason}");
+    assert!(reply.run_id.is_none(), "quarantined submission must not run");
+
+    // Tick 5: a bystander sails through — quarantine is per-tenant.
+    let reply =
+        jash::serve::submit(&rig.socket, &Request::new(SCRIPT).with_tenant("bystander")).unwrap();
+    assert_eq!(reply.status, Some(0), "bystander caught the quarantine");
+
+    // Tick 6: cooldown elapsed — the victim's next submission is the
+    // half-open probe. It runs clean, which closes the breaker.
+    let reply =
+        jash::serve::submit(&rig.socket, &Request::new(SCRIPT).with_tenant("victim")).unwrap();
+    assert_eq!(reply.status, Some(0), "probe run failed: {:?}", reply.aborted);
+    let probe_id = reply.run_id.expect("probe was admitted");
+    let records = parsed_trace(&rig.fs, probe_id);
+    let probed = records.iter().any(|r| match r {
+        jash::trace::Record::Span { kind, attrs, .. } => {
+            kind == "run"
+                && attr(attrs, "quarantine_probe") == Some(&jash::trace::AttrValue::Bool(true))
+        }
+        _ => false,
+    });
+    assert!(probed, "probe run's trace is not marked quarantine_probe");
+
+    // Tick 7: parole — the tenant is back to normal admission.
+    let reply =
+        jash::serve::submit(&rig.socket, &Request::new(SCRIPT).with_tenant("victim")).unwrap();
+    assert_eq!(reply.status, Some(0));
+
+    let report = rig.server.drain();
+    let victim = report
+        .tenants
+        .iter()
+        .find(|t| t.tenant == "victim")
+        .expect("victim report");
+    assert_eq!(victim.failures, 3);
+    assert_eq!(victim.quarantines, 1);
+    assert_eq!(victim.rejected_quarantined, 1);
+    assert!(!victim.quarantined_now, "parole did not stick");
+    assert_eq!(report.stats.rejected_quarantined, 1);
+    assert_eq!(debris(&rig.fs), Vec::<String>::new());
+}
+
 // ---------------------------------------------------------------------
 // Binary-level regression tests (real process, real signals).
 // ---------------------------------------------------------------------
