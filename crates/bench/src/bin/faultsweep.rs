@@ -18,6 +18,14 @@
 //! re-execution of journaled-clean regions. Requires the `jash` binary
 //! to be built (`JASH_BIN` overrides its location).
 //!
+//! With `--serve-crash`, runs the exactly-once serve-recovery drill: a
+//! real `jash serve` daemon is SIGKILLed mid-storm at every kill point,
+//! restarted on the same root, and audited — every keyed submission
+//! completes exactly once and byte-identically (interrupted runs
+//! finalized by the startup janitor, finished runs replayed from the
+//! cached result, never re-executed), the drain stays clean, and zero
+//! staging debris or orphaned run scopes survive.
+//!
 //! With `--serve`, runs the same fault matrix through the daemon path
 //! instead: every case is submitted to a real `jash serve` instance
 //! over its unix socket and the reply frames are compared against the
@@ -37,8 +45,32 @@ use jash_io::FsHandle;
 fn main() {
     let transient = std::env::args().any(|a| a == "--transient");
     let crash = std::env::args().any(|a| a == "--crash");
+    let serve_crash = std::env::args().any(|a| a == "--serve-crash");
     let serve = std::env::args().any(|a| a == "--serve");
     let bytes = jash_bench::bench_input_bytes().min(8 * 1024 * 1024);
+
+    if serve_crash {
+        let seed: u64 = std::env::var("JASH_FAULT_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(7);
+        println!(
+            "serve-crash sweep: {bytes} input bytes, binary {}\n",
+            jash_bench::crash::jash_binary().display()
+        );
+        let rows = jash_bench::servecrash::run_serve_crash_sweep(bytes, seed);
+        print!("{}", jash_bench::servecrash::render_serve_crash(&rows));
+        if jash_bench::servecrash::serve_crash_holds(&rows) {
+            println!(
+                "\nexactly-once serve recovery holds across {} kill points",
+                rows.len()
+            );
+        } else {
+            println!("\nSERVE CRASH RECOVERY VIOLATED");
+            std::process::exit(1);
+        }
+        return;
+    }
 
     if crash {
         let seed: u64 = std::env::var("JASH_FAULT_SEED")

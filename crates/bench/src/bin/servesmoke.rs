@@ -21,12 +21,22 @@
 //! * every per-run trace the daemon flushed parses with the schema-v1
 //!   parser.
 //!
+//! Phase two then proves the *ungraceful* path on the same root: a
+//! durable daemon takes eight keyed submissions (two wedged on long
+//! stalls), is SIGKILLed mid-storm, and a third daemon restarts —
+//! every keyed client must still collect `Done 0` through its retry
+//! loop (interrupted runs finalized by the startup janitor), every
+//! resubmitted key must replay the cached result byte-identically, and
+//! the final drain must leave zero staging debris and zero orphaned
+//! `run-*` scopes. Flushed traces are copied to `servesmoke-traces/`
+//! in the working directory for CI artifact upload.
+//!
 //! Exits nonzero on any violation, printing what broke.
 
 use jash_bench::crash::jash_binary;
-use jash_serve::{reject, submit, Request};
+use jash_serve::{reject, submit, submit_with_retry, Request, RetryConfig};
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 const SCRIPT: &str = "cat /in.txt | tr A-Z a-z | tr -cs a-z '\\n' | sort -u";
@@ -221,8 +231,125 @@ fn main() {
         fail(&root, &format!("staging debris survived the drain: {leaked:?}"));
     }
 
-    // Every trace the daemon flushed must parse with the schema-v1
-    // parser — including the aborted runs' traces.
+    // ---- Phase two: SIGKILL + restart on the same root. -------------
+    // A durable daemon (admission ledger ON) takes eight keyed clients
+    // — two wedged on long stalls — and is killed ungracefully; a third
+    // daemon restarts, finalizes the interrupted runs, and replays the
+    // finished ones.
+    println!("\nphase 2: crash-restart resilience");
+    let mut daemon2 = spawn_durable(&root, &socket);
+    let bind_deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        if Instant::now() > bind_deadline {
+            let _ = daemon2.kill();
+            fail(&root, "phase-2 daemon never bound its socket");
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let keyed: Vec<_> = (0..8)
+        .map(|i| {
+            let socket = socket.clone();
+            std::thread::spawn(move || {
+                let mut req = Request::new(SCRIPT).with_key(format!("smoke2-{i}"));
+                req.timeout_ms = 120_000;
+                if i < 2 {
+                    // Wedged mid-read: these are the runs the SIGKILL
+                    // orphans and the restart's janitor must finalize.
+                    req.fault = Some("stall-read:/in.txt:60000".to_string());
+                }
+                let cfg = RetryConfig {
+                    attempts: 40,
+                    base: Duration::from_millis(100),
+                    ..RetryConfig::default()
+                };
+                (i, submit_with_retry(&socket, &req, &cfg))
+            })
+        })
+        .collect();
+
+    // Let the clean runs finish and the stalled pair wedge, then pull
+    // the plug — SIGKILL, no drain, no destructors.
+    std::thread::sleep(Duration::from_millis(1200));
+    daemon2.kill().expect("SIGKILL phase-2 daemon");
+    let _ = daemon2.wait();
+
+    let mut daemon3 = spawn_durable(&root, &socket);
+    // No bind-wait possible: the dead daemon's socket file lingers
+    // until the restart rebinds it. The clients' retry loops are the
+    // readiness probe.
+    let mut replies = Vec::new();
+    for c in keyed {
+        let (i, result) = c.join().expect("phase-2 client panicked");
+        match result {
+            Ok(reply) if reply.status == Some(0) => replies.push((i, reply)),
+            other => {
+                let _ = daemon3.kill();
+                fail(
+                    &root,
+                    &format!("phase-2 client {i} did not recover to Done 0: {other:?}"),
+                );
+            }
+        }
+    }
+
+    // Every key resubmitted once: must replay the cached result —
+    // attached, byte-identical, never re-executed.
+    for (i, first) in &replies {
+        let req = Request::new(SCRIPT).with_key(format!("smoke2-{i}"));
+        match submit(&socket, &req) {
+            Ok(r)
+                if r.status == Some(0)
+                    && r.attached.is_some()
+                    && r.stdout == first.stdout => {}
+            other => {
+                let _ = daemon3.kill();
+                fail(
+                    &root,
+                    &format!("phase-2 key smoke2-{i} was not replayed byte-identically: {other:?}"),
+                );
+            }
+        }
+    }
+
+    let term = Command::new("kill")
+        .args(["-TERM", &daemon3.id().to_string()])
+        .status()
+        .expect("deliver SIGTERM");
+    assert!(term.success(), "kill -TERM failed");
+    let status3 = daemon3.wait().expect("wait for phase-2 daemon");
+    if status3.code() != Some(143) {
+        fail(
+            &root,
+            &format!("restarted daemon exited {:?}, want 143", status3.code()),
+        );
+    }
+
+    let leaked = debris(&root);
+    if !leaked.is_empty() {
+        fail(&root, &format!("staging debris survived the restart: {leaked:?}"));
+    }
+    let scopes: Vec<_> = std::fs::read_dir(root.join(".jash-serve"))
+        .map(|it| {
+            it.flatten()
+                .filter(|e| {
+                    e.path().is_dir()
+                        && e.file_name().to_str().is_some_and(|n| n.starts_with("run-"))
+                })
+                .map(|e| e.path())
+                .collect()
+        })
+        .unwrap_or_default();
+    if !scopes.is_empty() {
+        fail(&root, &format!("orphaned run scopes survived the restart: {scopes:?}"));
+    }
+
+    // Every trace any daemon flushed must parse with the schema-v1
+    // parser — including the aborted and recovered runs' traces — and
+    // the set is copied out for CI artifact upload.
+    let artifact_dir = PathBuf::from("servesmoke-traces");
+    let _ = std::fs::remove_dir_all(&artifact_dir);
+    std::fs::create_dir_all(&artifact_dir).expect("create trace artifact dir");
     let mut traces = 0usize;
     if let Ok(entries) = std::fs::read_dir(root.join("traces")) {
         for e in entries.flatten() {
@@ -233,6 +360,7 @@ fn main() {
                     &format!("trace {} unparseable: {err}", e.path().display()),
                 );
             }
+            let _ = std::fs::copy(e.path(), artifact_dir.join(e.file_name()));
             traces += 1;
         }
     }
@@ -242,7 +370,28 @@ fn main() {
 
     let _ = std::fs::remove_dir_all(&root);
     println!(
-        "\nserve smoke holds: clean drain, {traces} parseable trace(s), {} quota shed(s), zero debris",
+        "\nserve smoke holds: clean drain, crash-restart recovered all {} keyed run(s), \
+         {traces} parseable trace(s), {} quota shed(s), zero debris",
+        replies.len(),
         counts.3
     );
+}
+
+/// A durable daemon for the crash-restart phase: admission ledger ON
+/// (`--no-durable` omitted), same root, same fault injection.
+fn spawn_durable(root: &Path, socket: &Path) -> Child {
+    Command::new(jash_binary())
+        .arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .arg("--root")
+        .arg(root)
+        .args(["--workers", "8", "--queue", "24"])
+        .args(["--drain-secs", "5", "--trace-dir", "/traces"])
+        .arg("--test-faults")
+        .env("JASH_TEST_EAGER", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn durable jash serve")
 }

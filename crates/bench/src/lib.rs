@@ -21,6 +21,7 @@ pub mod faults;
 pub mod fig1;
 pub mod fusion;
 pub mod serve;
+pub mod servecrash;
 pub mod tenant;
 pub mod traceover;
 use jash_cost::MachineProfile;

@@ -1,0 +1,466 @@
+//! Serve-crash drill: SIGKILL a real `jash serve` daemon mid-storm,
+//! restart it, and prove the admission ledger's promise — every keyed
+//! submission completes **exactly once**, byte-identical, with zero
+//! staging debris and zero orphaned run scopes.
+//!
+//! Per kill point k ∈ {0, 1, 2}:
+//!
+//! 1. A fresh daemon serves two workloads: run **A**, a three-region
+//!    pipeline whose (k+1)-th region is wedged mid-write by an injected
+//!    `stall-write` fault (the deterministic kill window), submitted
+//!    through [`jash_serve::submit_with_retry`] with idempotency key
+//!    `crash-A`; and runs **B0..B2**, keyed submissions that finish
+//!    cleanly before the crash.
+//! 2. The daemon is SIGKILLed inside the window — no destructors, no
+//!    drain. The B output files are then overwritten with sentinel
+//!    junk: if the restarted daemon re-executes a finished run, the
+//!    sentinels get clobbered and the drill fails.
+//! 3. A second daemon starts on the same root. Its startup janitor
+//!    must finalize A (resuming the k journaled-clean regions from the
+//!    durable memo, not re-running them) and cache B's terminal
+//!    results. Client A's retry loop rides the restart and collects
+//!    A's terminal reply; resubmitting the B keys must *replay* the
+//!    cached results — byte-identical stdout, sentinels untouched.
+//! 4. The audit: A's outputs byte-identical to an uninterrupted
+//!    baseline, the recovery banner reporting `finalized=1 resumed=k
+//!    cached=3`, a clean SIGTERM drain (exit 143), zero `.jash-stage-*`
+//!    debris, and zero leftover `run-*` scopes.
+
+use std::fs;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::crash::jash_binary;
+use jash_serve::{submit, submit_with_retry, Request, RetryConfig};
+
+/// How one kill-point scenario went.
+#[derive(Debug)]
+pub struct ServeCrashRow {
+    /// Regions run A completed before the SIGKILL landed.
+    pub kill_after: usize,
+    /// `finalized=` counter from the restarted daemon's recovery banner.
+    pub finalized: u64,
+    /// `resumed=` counter — journaled-clean regions replayed from memo.
+    pub resumed: u64,
+    /// `cached=` counter — finished keyed runs loaded for replay.
+    pub cached: u64,
+    /// Extra attempts client A needed to ride out the restart.
+    pub a_retries: u32,
+    /// Restarted daemon's exit status after the SIGTERM drain.
+    pub exit: Option<i32>,
+    /// Run A's outputs byte-identical to the uninterrupted baseline.
+    pub identical: bool,
+    /// Resubmitted B keys replayed (attached, same bytes, sentinels
+    /// untouched) instead of re-executing.
+    pub replayed: bool,
+    /// `.jash-stage-*` files left anywhere after the drain.
+    pub debris: usize,
+    /// `run-*` scopes left under the serve journal root after the drain.
+    pub scopes: usize,
+    /// Failure annotation, empty when the scenario held.
+    pub note: String,
+}
+
+const REGIONS: usize = 3;
+const B_RUNS: usize = 3;
+const SENTINEL: &[u8] = b"sentinel: replay must not clobber this\n";
+
+fn script_a() -> String {
+    (0..REGIONS)
+        .map(|j| format!("cat /inA{j} | tr A-Z a-z | sort > /outA{j}\n"))
+        .collect()
+}
+
+fn script_b(i: usize) -> String {
+    // Two statements: produce a file *and* stream it back, so replay
+    // has both a result blob and an on-disk artifact to protect.
+    format!("cat /inB{i} | tr A-Z a-z | sort > /outB{i}\ncat /outB{i}\n")
+}
+
+fn stage_root(root: &Path, bytes: u64, seed: u64) {
+    fs::create_dir_all(root).expect("create serve-crash root");
+    for j in 0..REGIONS {
+        // At least 128 KiB per region so the staged write always
+        // reaches the 64 KiB stall offset and the kill window opens.
+        let per_region = (bytes / REGIONS as u64).max(128 * 1024);
+        let docs = crate::documents(per_region, seed + j as u64);
+        fs::write(root.join(format!("inA{j}")), docs).expect("stage A input");
+    }
+    for i in 0..B_RUNS {
+        let docs = crate::documents(64 * 1024, seed + 100 + i as u64);
+        fs::write(root.join(format!("inB{i}")), docs).expect("stage B input");
+    }
+}
+
+fn spawn_daemon(root: &Path, socket: &Path, stderr: Stdio) -> Child {
+    Command::new(jash_binary())
+        .arg("serve")
+        .arg("--socket")
+        .arg(socket)
+        .arg("--root")
+        .arg(root)
+        .args(["--workers", "4", "--queue", "16"])
+        .args(["--drain-secs", "5", "--test-faults"])
+        .env("JASH_TEST_EAGER", "1")
+        .stdout(Stdio::null())
+        .stderr(stderr)
+        .spawn()
+        .expect("spawn jash serve")
+}
+
+fn read_outputs(root: &Path) -> Vec<Option<Vec<u8>>> {
+    (0..REGIONS)
+        .map(|j| fs::read(root.join(format!("outA{j}"))).ok())
+        .collect()
+}
+
+fn count_debris(root: &Path) -> usize {
+    let mut n = 0;
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else { continue };
+        for e in entries.flatten() {
+            let path = e.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.contains(".jash-stage-"))
+            {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+fn count_scopes(root: &Path) -> usize {
+    let Ok(entries) = fs::read_dir(root.join(".jash-serve")) else {
+        return 0;
+    };
+    entries
+        .flatten()
+        .filter(|e| {
+            e.path().is_dir()
+                && e.file_name()
+                    .to_str()
+                    .is_some_and(|n| n.starts_with("run-"))
+        })
+        .count()
+}
+
+/// Waits until run A's journal shows `kill_after` completed regions, a
+/// live (k+1)-th region, and its stalled staging file on disk — the
+/// deterministic kill window. Gives up after `timeout`.
+fn wait_for_kill_window(root: &Path, kill_after: usize, timeout: Duration) -> bool {
+    let journal = root.join(".jash-serve/run-1/journal");
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        let text = fs::read_to_string(&journal).unwrap_or_default();
+        let done = text.lines().filter(|l| l.contains(" region-done ")).count();
+        let started = text
+            .lines()
+            .filter(|l| l.contains(" region-start "))
+            .count();
+        if done >= kill_after && started > kill_after && count_debris(root) > 0 {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// Pulls `key=value` counters off the daemon's
+/// `jash: serve recovery: ...` banner.
+fn recovery_counter(stderr: &str, key: &str) -> Option<u64> {
+    let line = stderr
+        .lines()
+        .find(|l| l.contains("serve recovery:"))?;
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Drains a piped stderr into a shared buffer without blocking the
+/// child on a full pipe.
+fn capture_stderr(child: &mut Child) -> Arc<Mutex<String>> {
+    let buf = Arc::new(Mutex::new(String::new()));
+    let pipe = child.stderr.take().expect("piped stderr");
+    let sink = Arc::clone(&buf);
+    std::thread::spawn(move || {
+        for line in BufReader::new(pipe).lines().map_while(Result::ok) {
+            sink.lock().unwrap().push_str(&line);
+            sink.lock().unwrap().push('\n');
+        }
+    });
+    buf
+}
+
+fn sigterm(child: &Child) {
+    let _ = Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status();
+}
+
+/// Runs the serve-crash sweep: an uninterrupted baseline, then one
+/// scenario per kill point.
+pub fn run_serve_crash_sweep(bytes: u64, seed: u64) -> Vec<ServeCrashRow> {
+    // RAII scratch: removed when the sweep returns — or panics, so an
+    // aborted sweep can't seed the next one with stale ledgers.
+    let scratch = jash_io::TempDir::new("jash-servecrash");
+
+    // Baseline: run A's script one-shot, never interrupted.
+    let base_root = scratch.path().join("baseline");
+    stage_root(&base_root, bytes, seed);
+    let status = Command::new(jash_binary())
+        .arg("--root")
+        .arg(&base_root)
+        .args(["-c", &script_a()])
+        .env("JASH_TEST_EAGER", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .expect("run baseline jash");
+    assert!(status.success(), "baseline run failed: {status:?}");
+    let baseline = read_outputs(&base_root);
+
+    let mut rows = Vec::new();
+    for kill_after in 0..REGIONS {
+        rows.push(run_scenario(
+            &scratch.path().join(format!("kill{kill_after}")),
+            kill_after,
+            bytes,
+            seed,
+            &baseline,
+        ));
+    }
+    rows
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_scenario(
+    root: &Path,
+    kill_after: usize,
+    bytes: u64,
+    seed: u64,
+    baseline: &[Option<Vec<u8>>],
+) -> ServeCrashRow {
+    let mut row = ServeCrashRow {
+        kill_after,
+        finalized: 0,
+        resumed: 0,
+        cached: 0,
+        a_retries: 0,
+        exit: None,
+        identical: false,
+        replayed: false,
+        debris: 0,
+        scopes: 0,
+        note: String::new(),
+    };
+    let mut notes = Vec::new();
+
+    stage_root(root, bytes, seed);
+    let socket = root.join("sock");
+    let mut daemon = spawn_daemon(root, &socket, Stdio::null());
+    let bind_deadline = Instant::now() + Duration::from_secs(10);
+    while !socket.exists() {
+        if Instant::now() > bind_deadline {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            row.note = "first daemon never bound its socket".into();
+            return row;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Client A: keyed, wedged mid-write of region (k+1), and patient
+    // enough to ride out the SIGKILL + restart on its retry budget.
+    let a_thread = {
+        let socket = socket.to_path_buf();
+        let req = Request::new(script_a())
+            .with_key("crash-A")
+            .with_timeout_ms(120_000);
+        let req = Request {
+            fault: Some(format!("stall-write:/outA{kill_after}:65536:600000")),
+            ..req
+        };
+        let cfg = RetryConfig {
+            attempts: 80,
+            base: Duration::from_millis(250),
+            ..RetryConfig::default()
+        };
+        std::thread::spawn(move || submit_with_retry(&socket, &req, &cfg))
+    };
+
+    // Wait until A is admitted and running (its journal scope exists),
+    // so the B runs land while A wedges a worker.
+    let a_deadline = Instant::now() + Duration::from_secs(30);
+    while !root.join(".jash-serve/run-1/journal").exists() {
+        if Instant::now() > a_deadline {
+            let _ = daemon.kill();
+            let _ = daemon.wait();
+            row.note = "run A never started".into();
+            return row;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // The B runs: keyed, finish cleanly, terminal results journaled to
+    // the ledger before the Done frame reaches us.
+    let mut b_stdout = Vec::new();
+    for i in 0..B_RUNS {
+        let req = Request::new(script_b(i)).with_key(format!("crash-B{i}"));
+        match submit(&socket, &req) {
+            Ok(reply) if reply.status == Some(0) && !reply.stdout.is_empty() => {
+                b_stdout.push(reply.stdout);
+            }
+            other => {
+                let _ = daemon.kill();
+                let _ = daemon.wait();
+                row.note = format!("run B{i} did not complete cleanly: {other:?}");
+                return row;
+            }
+        }
+    }
+
+    let windowed = wait_for_kill_window(root, kill_after, Duration::from_secs(60));
+    daemon.kill().expect("SIGKILL jash serve"); // SIGKILL: no cleanup runs
+    let _ = daemon.wait();
+    if !windowed {
+        row.note = "kill window never opened".into();
+        return row;
+    }
+
+    // Plant the sentinels: re-execution of any B run would clobber them.
+    for i in 0..B_RUNS {
+        fs::write(root.join(format!("outB{i}")), SENTINEL).expect("plant sentinel");
+    }
+
+    // Restart on the same root. Recovery runs before the bind, so any
+    // client that gets a connection sees the janitor's finished estate.
+    let mut daemon2 = spawn_daemon(root, &socket, Stdio::piped());
+    let stderr2 = capture_stderr(&mut daemon2);
+
+    // Client A's retry loop must deliver A's terminal reply through the
+    // restart: the resubmitted key replays the recovered result.
+    match a_thread.join().expect("client A panicked") {
+        Ok(reply) if reply.status == Some(0) => row.a_retries = reply.retries,
+        other => notes.push(format!("run A did not recover: {other:?}")),
+    }
+
+    // Resubmitting the B keys must replay, not re-execute.
+    let mut replayed = true;
+    for (i, first_stdout) in b_stdout.iter().enumerate() {
+        let req = Request::new(script_b(i)).with_key(format!("crash-B{i}"));
+        match submit(&socket, &req) {
+            Ok(reply)
+                if reply.status == Some(0)
+                    && reply.attached.is_some()
+                    && &reply.stdout == first_stdout => {}
+            other => {
+                replayed = false;
+                notes.push(format!("run B{i} was not replayed byte-identically: {other:?}"));
+            }
+        }
+        let on_disk = fs::read(root.join(format!("outB{i}"))).unwrap_or_default();
+        if on_disk != SENTINEL {
+            replayed = false;
+            notes.push(format!("run B{i} re-executed: sentinel clobbered"));
+        }
+    }
+    row.replayed = replayed;
+
+    // Drain the second daemon and audit the estate.
+    sigterm(&daemon2);
+    let drain_deadline = Instant::now() + Duration::from_secs(15);
+    let exit = loop {
+        match daemon2.try_wait().expect("wait for daemon") {
+            Some(status) => break status.code(),
+            None if Instant::now() > drain_deadline => {
+                let _ = daemon2.kill();
+                let _ = daemon2.wait();
+                break None;
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    row.exit = exit;
+    if exit != Some(143) {
+        notes.push(format!("restarted daemon exited {exit:?}, want 143"));
+    }
+
+    let stderr = stderr2.lock().unwrap().clone();
+    row.finalized = recovery_counter(&stderr, "finalized").unwrap_or(0);
+    row.resumed = recovery_counter(&stderr, "resumed").unwrap_or(0);
+    row.cached = recovery_counter(&stderr, "cached").unwrap_or(0);
+    if row.finalized != 1 {
+        notes.push(format!("finalized {}, expected 1", row.finalized));
+    }
+    if row.resumed != kill_after as u64 {
+        notes.push(format!("resumed {}, expected {kill_after}", row.resumed));
+    }
+    if row.cached != B_RUNS as u64 {
+        notes.push(format!("cached {}, expected {B_RUNS}", row.cached));
+    }
+
+    row.identical = read_outputs(root) == baseline;
+    if !row.identical {
+        notes.push("run A output diverged from baseline".into());
+    }
+    row.debris = count_debris(root);
+    if row.debris > 0 {
+        notes.push(format!("{} staging file(s) leaked", row.debris));
+    }
+    row.scopes = count_scopes(root);
+    if row.scopes > 0 {
+        notes.push(format!("{} orphan run scope(s) leaked", row.scopes));
+    }
+    row.note = notes.join("; ");
+    row
+}
+
+/// Renders the sweep as a fixed-width table.
+pub fn render_serve_crash(rows: &[ServeCrashRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>9} {:>7} {:>6} {:>9} {:>6} {:>10} {:>8} {:>7} {:>7}  note\n",
+        "kill-after",
+        "finalized",
+        "resumed",
+        "cached",
+        "a-retries",
+        "exit",
+        "identical",
+        "replayed",
+        "debris",
+        "scopes"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<12} {:>9} {:>7} {:>6} {:>9} {:>6} {:>10} {:>8} {:>7} {:>7}  {}\n",
+            r.kill_after,
+            r.finalized,
+            r.resumed,
+            r.cached,
+            r.a_retries,
+            r.exit.map_or("?".into(), |c| c.to_string()),
+            if r.identical { "yes" } else { "NO" },
+            if r.replayed { "yes" } else { "NO" },
+            r.debris,
+            r.scopes,
+            r.note,
+        ));
+    }
+    out
+}
+
+/// Whether every scenario held: exactly-once completion, byte-identical
+/// outputs, clean drain, zero debris, zero orphan scopes.
+pub fn serve_crash_holds(rows: &[ServeCrashRow]) -> bool {
+    rows.len() == REGIONS && rows.iter().all(|r| r.note.is_empty())
+}

@@ -46,8 +46,8 @@ pub mod supervise;
 
 pub use engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
 pub use recovery::{
-    cancel_exit_code, shutdown_code, shutdown_reason, sweep_stage_debris, RecoveryReport,
-    ResumePlan,
+    cancel_exit_code, list_run_scopes, recover_serve_root, remove_tree, shutdown_code,
+    shutdown_reason, sweep_stage_debris, RecoveredRun, RecoveryReport, ResumePlan, ServeRecovery,
 };
 pub use jash_exec::{
     classify, ErrorClass, RetryPolicy, SupervisionEvent, SupervisionLog,

@@ -23,6 +23,8 @@ use jash_io::{Fs, FsHandle};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use std::io;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Reason prefix a graceful shutdown writes into the shared
 /// [`jash_io::CancelToken`]; the session recognizes it and aborts rather
@@ -227,6 +229,245 @@ pub fn read_region_input(fs: &FsHandle, region: &Region) -> io::Result<Vec<u8>> 
         }
     }
     Ok(input)
+}
+
+/// Best-effort recursive removal of `dir` and everything under it.
+/// Errors are swallowed: a scope that cannot be fully removed is left
+/// for the next janitor pass rather than failing recovery.
+pub fn remove_tree(fs: &dyn Fs, dir: &str) {
+    if let Ok(names) = fs.list_dir(dir) {
+        for name in names {
+            let path = if dir.ends_with('/') {
+                format!("{dir}{name}")
+            } else {
+                format!("{dir}/{name}")
+            };
+            match fs.metadata(&path) {
+                Ok(m) if m.is_dir => remove_tree(fs, &path),
+                _ => {
+                    let _ = fs.remove(&path);
+                }
+            }
+        }
+    }
+    let _ = fs.remove_dir(dir);
+}
+
+/// The `run-<id>` journal scopes under a serve root, in run-id order.
+pub fn list_run_scopes(fs: &dyn Fs, root: &str) -> Vec<(u64, String)> {
+    let mut scopes = Vec::new();
+    let Ok(names) = fs.list_dir(root) else {
+        return scopes;
+    };
+    for name in names {
+        let Some(id) = name
+            .strip_prefix("run-")
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        let path = format!("{root}/{name}");
+        if fs.metadata(&path).map(|m| m.is_dir).unwrap_or(false) {
+            scopes.push((id, path));
+        }
+    }
+    scopes.sort();
+    scopes
+}
+
+/// What the serve startup janitor did with a dead daemon's estate.
+#[derive(Debug, Clone, Default)]
+pub struct ServeRecovery {
+    /// Ledgered-accepted runs with no terminal record.
+    pub orphans: usize,
+    /// Keyed orphans re-run (resuming journaled-clean regions) to a
+    /// terminal result the returning client can collect.
+    pub finalized: usize,
+    /// Unkeyed orphans marked aborted — their clients saw the daemon
+    /// die and, keyless, cannot safely resubmit, so nobody will return
+    /// for the result.
+    pub aborted: usize,
+    /// Journaled-clean regions satisfied from the durable memo instead
+    /// of re-executing during finalization.
+    pub regions_resumed: u64,
+    /// Keyed terminal results reloaded into the replay cache.
+    pub cached: usize,
+    /// Stale `run-<id>` scope directories removed.
+    pub scopes_removed: usize,
+    /// Orphaned `.jash-stage-*` files swept.
+    pub swept: usize,
+    /// Whether the ledger ended in a torn record (dropped).
+    pub torn_tail: bool,
+}
+
+impl ServeRecovery {
+    /// Whether the janitor found anything at all to do.
+    pub fn acted(&self) -> bool {
+        self.orphans > 0 || self.cached > 0 || self.scopes_removed > 0 || self.swept > 0
+    }
+}
+
+/// One terminal result a restarted daemon can replay to a duplicate
+/// keyed submission: either reloaded from ledgered blobs or produced by
+/// finalizing an orphan.
+#[derive(Debug, Clone)]
+pub struct RecoveredRun {
+    /// Run id from the previous daemon's numbering.
+    pub run_id: u64,
+    /// Idempotency key (never empty — unkeyed runs are not replayable).
+    pub key: String,
+    /// Terminal exit status.
+    pub status: i32,
+    /// Abort reason, when the run was cancelled.
+    pub aborted: Option<String>,
+    /// Terminal stdout bytes.
+    pub stdout: Vec<u8>,
+    /// Terminal stderr bytes.
+    pub stderr: Vec<u8>,
+}
+
+/// Re-runs an orphaned submission's script in its journal scope with
+/// `resume` on: regions the dead run journaled clean are satisfied from
+/// the durable memo, execution restarts at the first incomplete region.
+/// Returns `(status, stdout, stderr, regions_resumed)`.
+fn finalize_orphan(
+    fs: &FsHandle,
+    scope: &str,
+    script: &str,
+    engine: crate::Engine,
+    machine: jash_cost::MachineProfile,
+    eager: bool,
+    durable: bool,
+) -> (i32, Vec<u8>, Vec<u8>, u64) {
+    let mut shell = crate::Jash::new(engine, machine);
+    shell.durable = durable;
+    if eager {
+        shell.planner.min_speedup = 0.0;
+        shell.planner.force_width = Some(4);
+    }
+    if engine == crate::Engine::JashJit {
+        let _ = shell.attach_journal(fs, scope, true);
+    }
+    let mut state = jash_expand::ShellState::new(Arc::clone(fs));
+    state.shell_name = format!("jash-serve:recovery:{scope}");
+    let outcome = catch_unwind(AssertUnwindSafe(|| shell.run_script(&mut state, script)));
+    let resumed = shell.runtime.regions_resumed;
+    match outcome {
+        Ok(Ok(r)) => (r.status, r.stdout, r.stderr, resumed),
+        Ok(Err(e)) => (2, Vec::new(), format!("jash: {e}\n").into_bytes(), resumed),
+        Err(_) => (
+            125,
+            Vec::new(),
+            b"jash: recovery run panicked\n".to_vec(),
+            resumed,
+        ),
+    }
+}
+
+/// The serve startup janitor: replays the admission ledger at
+/// `<root>/ledger`, finalizes or aborts every orphaned run, reloads
+/// cached keyed results, removes stale `run-<id>` scopes, and sweeps
+/// staging debris. Runs *before* the daemon binds its socket, so a
+/// successful connect implies recovery is complete.
+///
+/// Keyed orphans are re-run to completion (their clients hold an
+/// idempotency key and will resubmit to collect the result); regions the
+/// dead daemon journaled clean are replayed from the durable memo, not
+/// re-executed. Unkeyed orphans are marked aborted (status 143) — with
+/// no key there is no safe way for their client to reclaim them.
+/// Recovery deliberately ignores the original submission deadline: the
+/// promise being kept is "accepted work reaches a terminal state", and a
+/// late result beats a resource leak.
+///
+/// Returns the janitor's report, the replayable terminal results, and
+/// the run-id watermark the new daemon must continue numbering from.
+pub fn recover_serve_root(
+    fs: &FsHandle,
+    root: &str,
+    engine: crate::Engine,
+    machine: jash_cost::MachineProfile,
+    eager: bool,
+    durable: bool,
+) -> io::Result<(ServeRecovery, Vec<RecoveredRun>, u64)> {
+    let ledger_path = format!("{root}/ledger");
+    let replay = jash_io::Ledger::replay(fs.as_ref(), &ledger_path)?;
+    let mut report = ServeRecovery {
+        torn_tail: replay.torn_tail,
+        ..ServeRecovery::default()
+    };
+    let state = jash_io::ledger::fold(&replay.records);
+    let ledger = jash_io::Ledger::open(Arc::clone(fs), &ledger_path, durable);
+    let mut runs = Vec::new();
+
+    // Terminal results from the previous life whose clients may still
+    // resubmit their key.
+    for fin in &state.finished {
+        if fin.key.is_empty() {
+            continue;
+        }
+        report.cached += 1;
+        runs.push(RecoveredRun {
+            run_id: fin.run_id,
+            key: fin.key.clone(),
+            status: fin.status,
+            aborted: fin.aborted.clone(),
+            stdout: jash_io::ledger::read_result_blob(fs.as_ref(), root, fin.run_id, "out"),
+            stderr: jash_io::ledger::read_result_blob(fs.as_ref(), root, fin.run_id, "err"),
+        });
+    }
+
+    report.orphans = state.orphans.len();
+    for orphan in &state.orphans {
+        let scope = format!("{root}/run-{}", orphan.run_id);
+        if orphan.key.is_empty() {
+            ledger.append(&jash_io::LedgerRecord::Done {
+                run_id: orphan.run_id,
+                status: 143,
+                aborted: Some("recovery: daemon restarted; unkeyed run aborted".to_string()),
+            })?;
+            report.aborted += 1;
+        } else {
+            let (status, stdout, stderr, resumed) =
+                finalize_orphan(fs, &scope, &orphan.script, engine, machine, eager, durable);
+            report.regions_resumed += resumed;
+            // Blobs before the Done record: a crash between the two
+            // leaves the run an orphan again, never a Done whose result
+            // bytes are missing.
+            jash_io::ledger::write_result_blobs(
+                fs.as_ref(),
+                root,
+                orphan.run_id,
+                &stdout,
+                &stderr,
+                durable,
+            )?;
+            ledger.append(&jash_io::LedgerRecord::Done {
+                run_id: orphan.run_id,
+                status,
+                aborted: None,
+            })?;
+            report.finalized += 1;
+            runs.push(RecoveredRun {
+                run_id: orphan.run_id,
+                key: orphan.key.clone(),
+                status,
+                aborted: None,
+                stdout,
+                stderr,
+            });
+        }
+    }
+
+    // Every surviving scope is now stale: finalized runs are terminal,
+    // aborted ones abandoned, and completed runs' scopes should have
+    // been removed at completion. (Removal comes *after* finalization —
+    // resume needs the scopes' journals and memos.)
+    for (_, scope) in list_run_scopes(fs.as_ref(), root) {
+        remove_tree(fs.as_ref(), &scope);
+        report.scopes_removed += 1;
+    }
+    report.swept = sweep_stage_debris(fs.as_ref()).len();
+    Ok((report, runs, state.next_run))
 }
 
 /// The input paths a region reads, for the `RegionStart` journal record.

@@ -48,6 +48,14 @@ pub trait Fs: Send + Sync {
     fn list_dir(&self, path: &str) -> io::Result<Vec<String>>;
     /// Removes a file.
     fn remove(&self, path: &str) -> io::Result<()>;
+
+    /// Removes an (expected-empty) directory. Filesystems whose
+    /// directories are implicit in file paths ([`MemFs`]) treat this as
+    /// a no-op success; [`RealFs`] removes the host directory so a
+    /// recovered run scope leaves nothing behind.
+    fn remove_dir(&self, _path: &str) -> io::Result<()> {
+        Ok(())
+    }
     /// Atomically renames `from` to `to`, replacing any existing file.
     ///
     /// This is the commit step of transactional region execution: sinks
@@ -460,6 +468,10 @@ impl Fs for RealFs {
 
     fn remove(&self, path: &str) -> io::Result<()> {
         std::fs::remove_file(self.host_path(path))
+    }
+
+    fn remove_dir(&self, path: &str) -> io::Result<()> {
+        std::fs::remove_dir(self.host_path(path))
     }
 
     fn rename(&self, from: &str, to: &str) -> io::Result<()> {

@@ -133,7 +133,9 @@ impl JournalRecord {
 }
 
 /// Percent-encodes the bytes that would break the line/field framing.
-fn escape(s: &str) -> String {
+/// Shared with the serve admission ledger ([`crate::ledger`]), which
+/// rides the same line format.
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for b in s.bytes() {
         match b {
@@ -146,7 +148,7 @@ fn escape(s: &str) -> String {
     out
 }
 
-fn unescape(s: &str) -> String {
+pub(crate) fn unescape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     let bytes = s.as_bytes();
     let mut i = 0;

@@ -17,6 +17,7 @@ pub mod disk;
 pub mod fault;
 pub mod fs;
 pub mod journal;
+pub mod ledger;
 pub mod lines;
 pub mod memo;
 pub mod pipe;
@@ -30,6 +31,7 @@ pub use disk::{DiskModel, DiskProfile, DiskStats};
 pub use fault::{FaultFs, FaultPlan, FaultStream};
 pub use fs::{FileMeta, Fs, MemFs, RealFs};
 pub use journal::{Journal, JournalRecord, Replay};
+pub use ledger::{Ledger, LedgerRecord, LedgerReplay, LedgerState};
 pub use memo::{fnv1a, Memo};
 pub use lines::{split_lines, LineBuffer};
 pub use pipe::{pipe, pipe_with, PipeHooks, PipeReader, PipeWriter, DEFAULT_PIPE_DEPTH};

@@ -5,11 +5,19 @@
 //! read frames until `Done` or `Rejected`. For disconnect testing,
 //! [`submit_detached`] stops after `Accepted` and hands back the open
 //! stream so the caller can drop it mid-run.
+//!
+//! [`submit_with_retry`] is the resilient path `jash submit` rides:
+//! bounded jittered-backoff over connect failures, retryable rejections
+//! (`OVERLOADED`/`DRAINING`/`QUOTA`/`QUARANTINED`), and — when the
+//! request carries an idempotency key — mid-stream disconnects, where a
+//! resubmission of the same key attaches to the live run or replays the
+//! cached terminal result instead of executing twice.
 
-use crate::proto::{self, Frame};
+use crate::proto::{self, reject, Frame};
 use std::io;
 use std::os::unix::net::UnixStream;
 use std::path::Path;
+use std::time::Duration;
 
 /// One submission.
 #[derive(Debug, Clone)]
@@ -20,6 +28,10 @@ pub struct Request {
     pub timeout_ms: u64,
     /// Tenant label for trace accounting.
     pub tenant: String,
+    /// Idempotency key (empty = none). Resubmitting the same key after
+    /// a disconnect or daemon restart attaches to the live run or
+    /// replays the cached result rather than executing the script again.
+    pub key: String,
     /// Optional fault-injection spec (test daemons only).
     pub fault: Option<String>,
 }
@@ -31,6 +43,7 @@ impl Request {
             script: script.into(),
             timeout_ms: 0,
             tenant: "cli".to_string(),
+            key: String::new(),
             fault: None,
         }
     }
@@ -45,6 +58,12 @@ impl Request {
     /// The same request with a wall-clock limit.
     pub fn with_timeout_ms(mut self, ms: u64) -> Request {
         self.timeout_ms = ms;
+        self
+    }
+
+    /// The same request carrying an idempotency key.
+    pub fn with_key(mut self, key: impl Into<String>) -> Request {
+        self.key = key.into();
         self
     }
 }
@@ -64,6 +83,12 @@ pub struct RunReply {
     pub stdout: Vec<u8>,
     /// Concatenated stderr frames.
     pub stderr: Vec<u8>,
+    /// Run id from an `Attach` frame — set when this reply came from a
+    /// duplicate submission that joined a live run or replayed a cached
+    /// result instead of executing.
+    pub attached: Option<u64>,
+    /// How many extra attempts [`submit_with_retry`] needed.
+    pub retries: u32,
 }
 
 impl RunReply {
@@ -78,6 +103,7 @@ fn request_frame(req: &Request) -> Frame {
         script: req.script.clone(),
         timeout_ms: req.timeout_ms,
         tenant: req.tenant.clone(),
+        key: req.key.clone(),
         fault: req.fault.clone(),
     }
 }
@@ -88,6 +114,10 @@ pub fn collect(conn: &mut UnixStream, reply: &mut RunReply) -> io::Result<()> {
     loop {
         match proto::read_frame(conn)? {
             Some(Frame::Accepted { run_id }) => reply.run_id = Some(run_id),
+            Some(Frame::Attach { run_id }) => {
+                reply.attached = Some(run_id);
+                reply.run_id = Some(run_id);
+            }
             Some(Frame::Rejected {
                 code,
                 active,
@@ -149,4 +179,134 @@ pub fn submit_detached(
             "expected Accepted or Rejected",
         )),
     }
+}
+
+/// Backoff schedule for [`submit_with_retry`]: exponential with
+/// deterministic multiplicative jitter, same scheme as the per-region
+/// retry supervisor in `jash-exec`.
+#[derive(Debug, Clone)]
+pub struct RetryConfig {
+    /// Total attempts (1 = no retries).
+    pub attempts: u32,
+    /// Delay before the first retry.
+    pub base: Duration,
+    /// Growth factor per retry.
+    pub multiplier: f64,
+    /// Ceiling on any single delay.
+    pub max: Duration,
+    /// Jitter width: each delay is scaled by a deterministic factor in
+    /// `[1 - jitter/2, 1 + jitter/2)`.
+    pub jitter: f64,
+    /// Seed for the jitter stream (so drills replay byte-identically).
+    pub seed: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> RetryConfig {
+        RetryConfig {
+            attempts: 5,
+            base: Duration::from_millis(100),
+            multiplier: 2.0,
+            max: Duration::from_secs(2),
+            jitter: 0.5,
+            seed: 0x6a61_7368, // "jash"
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl RetryConfig {
+    /// Delay before retry number `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self.base.as_secs_f64() * self.multiplier.powi(attempt.saturating_sub(1) as i32);
+        let capped = exp.min(self.max.as_secs_f64());
+        let unit = splitmix64(
+            self.seed
+                .wrapping_mul(0x0100_0000_01b3)
+                .wrapping_add(attempt as u64),
+        ) as f64
+            / u64::MAX as f64;
+        let factor = 1.0 - self.jitter / 2.0 + self.jitter * unit;
+        Duration::from_secs_f64((capped * factor).max(0.0))
+    }
+}
+
+/// Whether a failed attempt is safe to retry. Connect failures are
+/// always retryable — the Submit frame never reached a daemon. Once
+/// frames have flowed, a resubmission may execute the script twice, so
+/// mid-exchange failures are retryable only when `req` carries an
+/// idempotency key (the daemon then replays or attaches instead of
+/// re-running). Retryable rejections are safe either way: the daemon
+/// explicitly declined to start the run.
+fn attempt_outcome(
+    req: &Request,
+    result: io::Result<RunReply>,
+) -> Result<RunReply, (io::Error, bool)> {
+    let keyed = !req.key.is_empty();
+    match result {
+        Err(e)
+            if e.kind() == io::ErrorKind::NotFound
+                || e.kind() == io::ErrorKind::ConnectionRefused =>
+        {
+            Err((e, true))
+        }
+        Err(e) => Err((e, keyed)),
+        Ok(reply) => {
+            if let Some((code, _, _, ref reason)) = reply.rejected {
+                if reject::is_retryable(code) {
+                    return Err((
+                        io::Error::other(format!("rejected (code {code}): {reason}")),
+                        true,
+                    ));
+                }
+                return Ok(reply); // Permanent rejection: surface it.
+            }
+            if reply.status.is_some() {
+                return Ok(reply);
+            }
+            // Accepted (or attached) but the stream died before Done —
+            // e.g. the daemon was killed mid-run. Only a key makes a
+            // resubmission safe.
+            Err((
+                io::Error::other("connection closed before the run finished"),
+                keyed,
+            ))
+        }
+    }
+}
+
+/// Submits `req`, retrying per `cfg` on connect failure, retryable
+/// rejection, and — for keyed requests — mid-stream disconnection.
+/// Returns the last error when every attempt fails, and the permanent
+/// rejection or terminal reply as soon as one arrives.
+pub fn submit_with_retry(socket: &Path, req: &Request, cfg: &RetryConfig) -> io::Result<RunReply> {
+    let attempts = cfg.attempts.max(1);
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(cfg.backoff(attempt));
+        }
+        match attempt_outcome(req, submit(socket, req)) {
+            Ok(mut reply) => {
+                reply.retries = attempt;
+                return Ok(reply);
+            }
+            Err((e, retryable)) => {
+                if !retryable {
+                    return Err(io::Error::other(format!(
+                        "submission failed mid-run with no idempotency key; \
+                         not retrying (the run may still execute): {e}"
+                    )));
+                }
+                last_err = Some(e);
+            }
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no attempts made")))
 }

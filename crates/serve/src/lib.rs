@@ -3,7 +3,7 @@
 //! The paper's closing argument is that the shell should grow from a
 //! one-shot interpreter into a long-lived, resource-aware *runtime*.
 //! This crate is that runtime's front door: a unix-socket daemon
-//! ([`Server`]) speaking a six-frame length-prefixed protocol
+//! ([`Server`]) speaking a seven-frame length-prefixed protocol
 //! ([`proto::Frame`]), multiplexing isolated shell runs over one shared
 //! machine — shared filesystem, shared disk/CPU token buckets, and a
 //! cross-run pressure signal that stops concurrent runs from widening
@@ -11,19 +11,24 @@
 //!
 //! Robustness is the organizing principle, not a feature list: bounded
 //! admission with structured overload rejection, per-run wall-clock
-//! deadlines, client-disconnect cancellation, panic isolation, and a
-//! SIGTERM drain that retires every run within a budget and exits 143.
-//! See `DESIGN.md` §9 for the admission/drain state machine.
+//! deadlines, client-disconnect cancellation, panic isolation, a
+//! SIGTERM drain that retires every run within a budget and exits 143,
+//! and — with a journal root — a durable admission ledger giving a
+//! SIGKILLed daemon exactly-once restart recovery (idempotency keys,
+//! cached-result replay, attach-to-live-run). See `DESIGN.md` §9 for
+//! the admission/drain state machine and §12 for crash recovery.
 
 pub mod client;
 pub mod proto;
 pub mod sched;
 pub mod server;
 
-pub use client::{submit, submit_detached, Request, RunReply};
+pub use client::{
+    submit, submit_detached, submit_with_retry, Request, RetryConfig, RunReply,
+};
 pub use proto::{read_frame, reject, write_frame, Frame, MAX_FRAME};
 pub use sched::{Popped, Scheduler, TenantPolicy, TenantSnapshot};
 pub use server::{
     parse_fault_spec, spec_fault_injector, DrainReport, FaultInjector, ServeStats, Server,
-    ServerConfig, TenantReport,
+    ServerConfig, TenantReport, Terminal,
 };

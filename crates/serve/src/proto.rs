@@ -55,6 +55,18 @@ pub mod reject {
             _ => "unknown",
         }
     }
+
+    /// Whether a rejection is worth retrying. `OVERLOADED`, `QUOTA`,
+    /// `QUARANTINED`, and `DRAINING` are *conditions* — the machine,
+    /// the tenant's backlog, the breaker, or the daemon's lifecycle —
+    /// that pass with time, so a scripted caller should back off and
+    /// resubmit (`jash submit` exits 75, `EX_TEMPFAIL`). `MALFORMED`
+    /// and `FAULTS_DISABLED` describe the *submission*: retrying the
+    /// same bytes can never succeed (`jash submit` exits 65,
+    /// `EX_DATAERR`).
+    pub fn is_retryable(code: u8) -> bool {
+        matches!(code, OVERLOADED | DRAINING | QUOTA | QUARANTINED)
+    }
 }
 
 const TAG_SUBMIT: u8 = 1;
@@ -63,6 +75,7 @@ const TAG_REJECTED: u8 = 3;
 const TAG_STDOUT: u8 = 4;
 const TAG_STDERR: u8 = 5;
 const TAG_DONE: u8 = 6;
+const TAG_ATTACH: u8 = 7;
 
 /// One protocol frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +89,11 @@ pub enum Frame {
         timeout_ms: u64,
         /// Tenant label for per-run trace accounting (free-form).
         tenant: String,
+        /// Client-supplied idempotency key (empty = none). Submitting
+        /// the same key twice never executes the script twice: a
+        /// finished run's cached result is replayed, a live run's
+        /// output is attached to.
+        key: String,
         /// Optional fault-injection spec, honored only when the daemon
         /// was started with faults enabled (tests and smoke drills).
         fault: Option<String>,
@@ -83,6 +101,14 @@ pub enum Frame {
     /// Server → client: admitted; frames for run `run_id` follow.
     Accepted {
         /// Daemon-wide run identifier (also the journal/trace scope).
+        run_id: u64,
+    },
+    /// Server → client: this submission's idempotency key matches run
+    /// `run_id`, which already exists — the script was *not* executed
+    /// again. The frames that follow are the cached result (finished
+    /// run) or the live run's output once it completes.
+    Attach {
+        /// The existing run this connection is now attached to.
         run_id: u64,
     },
     /// Server → client: not admitted, and here is exactly why — the
@@ -166,6 +192,7 @@ impl Frame {
         match self {
             Frame::Submit { .. } => TAG_SUBMIT,
             Frame::Accepted { .. } => TAG_ACCEPTED,
+            Frame::Attach { .. } => TAG_ATTACH,
             Frame::Rejected { .. } => TAG_REJECTED,
             Frame::Stdout(_) => TAG_STDOUT,
             Frame::Stderr(_) => TAG_STDERR,
@@ -180,10 +207,12 @@ impl Frame {
                 script,
                 timeout_ms,
                 tenant,
+                key,
                 fault,
             } => {
                 buf.extend_from_slice(&timeout_ms.to_be_bytes());
                 put_bytes(&mut buf, tenant.as_bytes());
+                put_bytes(&mut buf, key.as_bytes());
                 match fault {
                     Some(f) => {
                         buf.push(1);
@@ -193,7 +222,9 @@ impl Frame {
                 }
                 buf.extend_from_slice(script.as_bytes());
             }
-            Frame::Accepted { run_id } => buf.extend_from_slice(&run_id.to_be_bytes()),
+            Frame::Accepted { run_id } | Frame::Attach { run_id } => {
+                buf.extend_from_slice(&run_id.to_be_bytes())
+            }
             Frame::Rejected {
                 code,
                 active,
@@ -226,6 +257,7 @@ impl Frame {
             TAG_SUBMIT => {
                 let timeout_ms = take_u64(p)?;
                 let tenant = take_string(p)?;
+                let key = take_string(p)?;
                 let fault = match take_u8(p)? {
                     0 => None,
                     1 => Some(take_string(p)?),
@@ -238,10 +270,12 @@ impl Frame {
                     script,
                     timeout_ms,
                     tenant,
+                    key,
                     fault,
                 }
             }
             TAG_ACCEPTED => Frame::Accepted { run_id: take_u64(p)? },
+            TAG_ATTACH => Frame::Attach { run_id: take_u64(p)? },
             TAG_REJECTED => {
                 let code = take_u8(p)?;
                 let active = take_u32(p)?;
@@ -334,15 +368,18 @@ mod tests {
             script: "cat /data/in | sort -u > /out".to_string(),
             timeout_ms: 2500,
             tenant: "tenant-a".to_string(),
+            key: "nightly-etl-42".to_string(),
             fault: Some("read-error:/data/in:4096".to_string()),
         });
         round_trip(Frame::Submit {
             script: String::new(),
             timeout_ms: 0,
             tenant: String::new(),
+            key: String::new(),
             fault: None,
         });
         round_trip(Frame::Accepted { run_id: u64::MAX });
+        round_trip(Frame::Attach { run_id: 7 });
         round_trip(Frame::Rejected {
             code: reject::OVERLOADED,
             active: 4,
@@ -390,5 +427,101 @@ mod tests {
         assert!(read_frame(&mut bad.as_slice()).is_err());
         bad[0] = TAG_SUBMIT; // empty submit payload: truncated u64
         assert!(read_frame(&mut bad.as_slice()).is_err());
+    }
+
+    fn splitmix64(mut x: u64) -> u64 {
+        x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    /// Seeded randomized robustness sweep: every mutation of a valid
+    /// frame stream — truncation, byte flips, oversized length prefixes,
+    /// garbage tags — must yield a clean `Err` or a decoded frame, never
+    /// a panic, and an oversized length prefix must be refused before
+    /// the payload buffer is allocated.
+    #[test]
+    fn randomized_corruption_never_panics() {
+        let corpus: Vec<Frame> = vec![
+            Frame::Submit {
+                script: "cat /in | tr a-z A-Z | sort > /out".to_string(),
+                timeout_ms: 1234,
+                tenant: "t%0A weird".to_string(),
+                key: "key with spaces %25".to_string(),
+                fault: Some("stall-read:/in:50".to_string()),
+            },
+            Frame::Accepted { run_id: 3 },
+            Frame::Attach { run_id: 9 },
+            Frame::Rejected {
+                code: reject::QUOTA,
+                active: 2,
+                queued: 3,
+                reason: "quota".to_string(),
+            },
+            Frame::Stdout(b"line one\nline two\n".to_vec()),
+            Frame::Stderr(b"oops".to_vec()),
+            Frame::Done {
+                status: 143,
+                aborted: Some("drain".to_string()),
+            },
+        ];
+        let mut clean = Vec::new();
+        for f in &corpus {
+            write_frame(&mut clean, f).unwrap();
+        }
+
+        let mut rng = 0x6a61_7368_u64; // deterministic: "jash"
+        let mut next = |bound: usize| {
+            rng = splitmix64(rng);
+            (rng % bound.max(1) as u64) as usize
+        };
+
+        for round in 0..2000 {
+            let mut buf = clean.clone();
+            match round % 4 {
+                // Torn stream: cut anywhere, including mid-header.
+                0 => buf.truncate(next(buf.len() + 1)),
+                // Single byte flip anywhere (tag, length, payload).
+                1 => {
+                    let i = next(buf.len());
+                    buf[i] ^= (1 + next(255)) as u8;
+                }
+                // Oversized length prefix spliced over a real header.
+                2 => {
+                    let i = next(buf.len().saturating_sub(5));
+                    let huge = MAX_FRAME as u64 + 1 + next(1 << 30) as u64;
+                    buf[i + 1..i + 5].copy_from_slice(&(huge as u32).to_be_bytes());
+                }
+                // Garbage tag with a short payload of random bytes.
+                _ => {
+                    let mut junk = vec![next(256) as u8, 0, 0, 0, next(32) as u8];
+                    let len = junk[4] as usize;
+                    for _ in 0..len {
+                        junk.push(next(256) as u8);
+                    }
+                    buf = junk;
+                }
+            }
+            // Drain the stream until error or clean EOF. The only
+            // assertion is "no panic, no runaway allocation": a frame
+            // whose length prefix exceeds MAX_FRAME must error before
+            // its payload is reserved.
+            let mut r = buf.as_slice();
+            for _ in 0..corpus.len() + 2 {
+                match read_frame(&mut r) {
+                    Ok(Some(_)) => continue,
+                    Ok(None) | Err(_) => break,
+                }
+            }
+        }
+
+        // Explicit oversized-prefix check: the reader must reject the
+        // header without allocating the advertised 4 GiB payload.
+        let mut huge = vec![TAG_STDOUT];
+        huge.extend_from_slice(&(MAX_FRAME + 1).to_be_bytes());
+        huge.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut huge.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("MAX_FRAME"), "got: {err}");
     }
 }

@@ -53,20 +53,41 @@
 //!   SIGTERM shutdown reason (journaled, resumable, exit 143), and waits
 //!   out a bounded drain budget. Stragglers are *reported*, never
 //!   waited on forever — the budget is the contract.
+//! * **Durable admission ledger** — with a journal root configured,
+//!   every admission is appended to `<root>/ledger` *before* the
+//!   `Accepted` frame is written and every terminal result is recorded
+//!   (blobs first, then the `Done` record). [`Server::start`] runs the
+//!   startup janitor ([`jash_core::recover_serve_root`]) before binding
+//!   the socket: orphaned keyed runs are finalized (resuming
+//!   journaled-clean regions from the durable memo), unkeyed orphans
+//!   aborted, and cached results reloaded — a SIGKILLed daemon restarts
+//!   into exactly-once semantics.
+//! * **Idempotency keys** — a submission carrying a key that matches a
+//!   finished run replays the cached terminal result (`Attach` frame +
+//!   the original bytes, no re-execution); a key matching an in-flight
+//!   run attaches the connection as a waiter that receives the same
+//!   terminal frames the primary client does. Keyed runs are *not*
+//!   cancelled when their client disconnects — the key is the client's
+//!   promise to come back.
+//! * **Slow-loris hardening** — every connection carries a bounded
+//!   write timeout ([`ServerConfig::write_stall`]); a client that stops
+//!   reading its own result frames stalls out and frees the slot
+//!   instead of pinning a worker forever.
 
 use crate::proto::{self, reject, Frame};
 use crate::sched::{Scheduler, TenantPolicy, TenantSnapshot};
 use jash_core::{
-    cross_run_pressure, resource_pressure, BreakerConfig, CircuitBreaker, Engine, Jash, Route,
+    cross_run_pressure, recover_serve_root, remove_tree, resource_pressure, BreakerConfig,
+    CircuitBreaker, Engine, Jash, Route, ServeRecovery,
 };
 use jash_cost::MachineProfile;
 use jash_expand::ShellState;
 use jash_io::{
-    CancelToken, CpuModel, DeadlineGuard, DiskModel, FairShareBucket, FsHandle, MeteredFs,
-    UsageMeter,
+    CancelToken, CpuModel, DeadlineGuard, DiskModel, FairShareBucket, FsHandle, Ledger,
+    LedgerRecord, MeteredFs, UsageMeter,
 };
 use jash_trace::Tracer;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -137,6 +158,10 @@ pub struct ServerConfig {
     /// second *per unit weight*. Scale to `cores / expected-tenants`
     /// for a machine-proportional split.
     pub tenant_share_secs: f64,
+    /// Write timeout on every client connection: a client that stops
+    /// reading its result frames (slow loris) stalls out after this
+    /// long and the daemon drops the connection, freeing the slot.
+    pub write_stall: Duration,
 }
 
 impl ServerConfig {
@@ -166,6 +191,7 @@ impl ServerConfig {
             quarantine_cooldown: 16,
             tenant_burst_secs: 2.0,
             tenant_share_secs: 0.5,
+            write_stall: Duration::from_secs(10),
         }
     }
 }
@@ -198,6 +224,14 @@ pub struct ServeStats {
     pub disconnect_cancels: u64,
     /// Runs whose engine panicked and was contained.
     pub panics_isolated: u64,
+    /// Duplicate keyed submissions answered from the result cache
+    /// without re-execution.
+    pub replayed: u64,
+    /// Duplicate keyed submissions attached to an in-flight run.
+    pub attached: u64,
+    /// Result-frame writes that stalled out against a slow or vanished
+    /// client (the connection was dropped).
+    pub write_stalls: u64,
 }
 
 /// What [`Server::drain`] observed.
@@ -261,11 +295,32 @@ struct Job {
     script: String,
     timeout: Option<Duration>,
     fault: Option<String>,
+    /// Idempotency key; empty = none.
+    key: String,
     conn: UnixStream,
     /// This run is a quarantined tenant's half-open probe: its outcome
     /// alone decides whether the quarantine lifts.
     probe: bool,
 }
+
+/// A finished run's terminal result, cached for replay to duplicate
+/// keyed submissions.
+#[derive(Debug, Clone)]
+pub struct Terminal {
+    /// Exit status.
+    pub status: i32,
+    /// Abort reason, when cancelled.
+    pub aborted: Option<String>,
+    /// Terminal stdout bytes.
+    pub stdout: Vec<u8>,
+    /// Terminal stderr bytes.
+    pub stderr: Vec<u8>,
+}
+
+/// Bound on the keyed result cache: beyond this many finished runs the
+/// oldest entry (and its key mapping and result blobs) is evicted, so a
+/// long-lived daemon's exactly-once window is bounded, not leaky.
+const RESULT_CACHE_CAP: usize = 1024;
 
 /// A tenant's resource sub-account: the meter fed by the run-side
 /// wrappers, the bucket converting it to pressure, and the breaker-probe
@@ -292,6 +347,41 @@ struct Gate {
     live: HashMap<u64, CancelToken>,
     next_run: u64,
     stats: ServeStats,
+    /// The durable admission ledger (`Some` when a journal root is
+    /// configured): appended under this lock so ledger order is
+    /// admission order.
+    ledger: Option<Ledger>,
+    /// Finished runs by id: `(key, terminal result)`, for replay.
+    finished: HashMap<u64, (String, Arc<Terminal>)>,
+    /// Finished-run ids in completion order, for cache eviction.
+    finished_order: VecDeque<u64>,
+    /// Idempotency key → run id, spanning queued, live, and finished.
+    keys: HashMap<String, u64>,
+    /// Connections attached to an in-flight run, each owed the run's
+    /// terminal frames.
+    waiters: HashMap<u64, Vec<UnixStream>>,
+}
+
+impl Gate {
+    /// Records a finished keyed run in the replay cache, evicting the
+    /// oldest entry (cache row, key mapping, result blobs) past the cap.
+    fn cache_result(&mut self, cfg: &ServerConfig, run_id: u64, key: &str, term: Arc<Terminal>) {
+        self.finished.insert(run_id, (key.to_string(), term));
+        self.finished_order.push_back(run_id);
+        while self.finished_order.len() > RESULT_CACHE_CAP {
+            let Some(old) = self.finished_order.pop_front() else {
+                break;
+            };
+            if let Some((old_key, _)) = self.finished.remove(&old) {
+                if self.keys.get(&old_key) == Some(&old) {
+                    self.keys.remove(&old_key);
+                }
+            }
+            if let Some(root) = &cfg.journal_root {
+                jash_io::ledger::remove_result_blobs(cfg.fs.as_ref(), root, old);
+            }
+        }
+    }
 }
 
 /// Looks up (or lazily creates) `tenant`'s resource sub-account.
@@ -400,11 +490,37 @@ pub struct Server {
     shared: Arc<Shared>,
     accept: Option<std::thread::JoinHandle<()>>,
     workers: Vec<std::thread::JoinHandle<()>>,
+    recovery: ServeRecovery,
 }
 
 impl Server {
-    /// Binds the socket and starts the accept loop and worker pool.
+    /// Runs the startup janitor over the previous daemon's estate, then
+    /// binds the socket and starts the accept loop and worker pool.
+    /// Recovery completes *before* the bind: a client that connects is
+    /// guaranteed the ledger is settled and cached results are loaded.
     pub fn start(cfg: ServerConfig) -> io::Result<Server> {
+        let mut recovery = ServeRecovery::default();
+        let mut recovered = Vec::new();
+        let mut next_run = 0;
+        let mut ledger = None;
+        if let Some(root) = &cfg.journal_root {
+            let (report, runs, watermark) = recover_serve_root(
+                &cfg.fs,
+                root,
+                cfg.engine,
+                cfg.machine,
+                cfg.eager,
+                cfg.durable,
+            )?;
+            recovery = report;
+            recovered = runs;
+            next_run = watermark;
+            ledger = Some(Ledger::open(
+                Arc::clone(&cfg.fs),
+                format!("{root}/ledger"),
+                cfg.durable,
+            ));
+        }
         // A stale socket file from a dead daemon refuses the bind.
         let _ = std::fs::remove_file(&cfg.socket);
         let listener = UnixListener::bind(&cfg.socket)?;
@@ -419,16 +535,35 @@ impl Server {
             failure_threshold: cfg.quarantine_failures.max(1),
             cooldown_regions: cfg.quarantine_cooldown,
         });
-        let gate = Gate {
+        let mut gate = Gate {
             draining: false,
             active: 0,
             sched,
             breaker,
             accounts: HashMap::new(),
             live: HashMap::new(),
-            next_run: 0,
+            next_run,
             stats: ServeStats::default(),
+            ledger,
+            finished: HashMap::new(),
+            finished_order: VecDeque::new(),
+            keys: HashMap::new(),
+            waiters: HashMap::new(),
         };
+        for run in recovered {
+            gate.keys.insert(run.key.clone(), run.run_id);
+            gate.cache_result(
+                &cfg,
+                run.run_id,
+                &run.key,
+                Arc::new(Terminal {
+                    status: run.status,
+                    aborted: run.aborted,
+                    stdout: run.stdout,
+                    stderr: run.stderr,
+                }),
+            );
+        }
         let shared = Arc::new(Shared {
             cfg,
             gate: Mutex::new(gate),
@@ -450,12 +585,19 @@ impl Server {
             shared,
             accept: Some(accept),
             workers,
+            recovery,
         })
     }
 
     /// The socket path clients connect to.
     pub fn socket(&self) -> &PathBuf {
         &self.shared.cfg.socket
+    }
+
+    /// What the startup janitor recovered from the previous daemon's
+    /// estate (all zeroes when journaling is off or the start was clean).
+    pub fn recovery(&self) -> &ServeRecovery {
+        &self.recovery
     }
 
     /// A snapshot of the daemon counters.
@@ -491,10 +633,20 @@ impl Server {
     pub fn drain(mut self) -> DrainReport {
         let shared = Arc::clone(&self.shared);
         let budget = shared.cfg.drain_budget;
-        let (in_flight, shed) = {
+        let (in_flight, shed, shed_waiters) = {
             let mut gate = shared.gate.lock().unwrap();
             gate.draining = true;
             let shed: Vec<(String, Job)> = gate.sched.drain_queues();
+            // Waiters attached to *queued* runs will never see a Done:
+            // shed them with the same rejection. (Waiters on in-flight
+            // runs get their terminal frames when the cancelled run
+            // retires.)
+            let mut shed_waiters = Vec::new();
+            for (_, job) in &shed {
+                if let Some(ws) = gate.waiters.remove(&job.run_id) {
+                    shed_waiters.extend(ws);
+                }
+            }
             for token in gate.live.values() {
                 token.cancel(jash_core::shutdown_reason(15));
             }
@@ -502,21 +654,26 @@ impl Server {
             gate.stats.rejected_draining += shed.len() as u64;
             // Wake parked workers so they observe `draining` and exit.
             self.shared.work.notify_all();
-            (in_flight, shed)
+            (in_flight, shed, shed_waiters)
         };
         let shed_count = shed.len();
-        for (_tenant, job) in shed {
-            let mut conn = job.conn;
-            let (active, queued) = (in_flight as u32, 0);
+        let drain_reject = |conn: &mut UnixStream| {
             let _ = proto::write_frame(
-                &mut conn,
+                conn,
                 &Frame::Rejected {
                     code: reject::DRAINING,
-                    active,
-                    queued,
+                    active: in_flight as u32,
+                    queued: 0,
                     reason: "daemon draining (SIGTERM): submission shed".to_string(),
                 },
             );
+        };
+        for (_tenant, job) in shed {
+            let mut conn = job.conn;
+            drain_reject(&mut conn);
+        }
+        for mut conn in shed_waiters {
+            drain_reject(&mut conn);
         }
         // Wait for in-flight runs to retire, bounded by the budget.
         let deadline = Instant::now() + budget;
@@ -608,8 +765,11 @@ fn accept_loop(shared: &Arc<Shared>, listener: &UnixListener) {
 /// stalling is forbidden.
 fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
     // A client that connects and then wedges without submitting must not
-    // pin the intake thread forever.
+    // pin the intake thread forever — and one that stops *reading* must
+    // not pin any thread that writes to it (slow-loris hardening; the
+    // timeout rides the connection into the worker and waiter paths).
     let _ = conn.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = conn.set_write_timeout(Some(shared.cfg.write_stall));
     let submit = match proto::read_frame(&mut conn) {
         Ok(Some(f @ Frame::Submit { .. })) => f,
         _ => {
@@ -634,6 +794,7 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
         script,
         timeout_ms,
         tenant,
+        key,
         fault,
     } = submit
     else {
@@ -669,6 +830,32 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
             &mut conn,
         );
         return;
+    }
+    // Idempotency: a known key never creates a second run. A finished
+    // run replays its cached terminal result; an in-flight (queued or
+    // executing) run adopts this connection as a waiter. Either way the
+    // duplicate bypasses admission control — no new work is created, so
+    // there is nothing to shed.
+    if !key.is_empty() {
+        if let Some(&run_id) = gate.keys.get(&key) {
+            if let Some((_, term)) = gate.finished.get(&run_id) {
+                let term = Arc::clone(term);
+                gate.stats.replayed += 1;
+                drop(gate);
+                if send_terminal_frames(&mut conn, Some(run_id), &term) {
+                    shared.gate.lock().unwrap().stats.write_stalls += 1;
+                }
+                return;
+            }
+            gate.stats.attached += 1;
+            // Attach is written under the lock so the run cannot retire
+            // (and drain its waiter list) between the lookup and the
+            // registration.
+            if proto::write_frame(&mut conn, &Frame::Attach { run_id }).is_ok() {
+                gate.waiters.entry(run_id).or_default().push(conn);
+            }
+            return;
+        }
     }
     // One admission tick per well-formed submission: the quarantine
     // cooldown ages with daemon activity, never with wall time, so the
@@ -729,13 +916,70 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
     }
     gate.next_run += 1;
     let run_id = gate.next_run;
+    // Exactly-once, step 1: the admission is ledgered *before* the
+    // client hears `Accepted`. If the daemon dies any time after this
+    // fsync, restart recovery finds the record and finalizes the run —
+    // the promise survives the promiser. Appending under the gate lock
+    // serializes admission on the fsync; that is the price of the
+    // guarantee and it is paid only when journaling is on.
+    if let Some(ledger) = &gate.ledger {
+        let append = ledger.append(&LedgerRecord::Accepted {
+            run_id,
+            key: key.clone(),
+            tenant: tenant.clone(),
+            timeout_ms,
+            script_hash: jash_io::fnv1a(script.as_bytes()),
+            script: script.clone(),
+        });
+        if append.is_err() {
+            // Can't make the durability promise — shed instead of
+            // admitting at-most-once work under an exactly-once flag.
+            // The run id is burned, not reused: the failed append may
+            // still have persisted a full line, and a best-effort Done
+            // closes it against a restart re-executing a run whose
+            // client heard `Rejected`.
+            let _ = ledger.append(&LedgerRecord::Done {
+                run_id,
+                status: 1,
+                aborted: Some("admission ledger write failed".to_string()),
+            });
+            if probe {
+                account_mut(&mut gate, &shared.cfg, &tenant).probing = false;
+            }
+            gate.stats.rejected_overload += 1;
+            reject_with(
+                reject::OVERLOADED,
+                "admission ledger unavailable".to_string(),
+                &gate,
+                &mut conn,
+            );
+            return;
+        }
+    }
+    if !key.is_empty() {
+        gate.keys.insert(key.clone(), run_id);
+    }
     // Accepted is written under the lock so no later frame for this run
     // can be ordered before it.
     if proto::write_frame(&mut conn, &Frame::Accepted { run_id }).is_err() {
+        // Client vanished between connect and accept. The admission is
+        // already ledgered, so close it out: without a terminal record a
+        // restart would execute a run whose client never heard
+        // `Accepted`.
+        if let Some(ledger) = &gate.ledger {
+            let _ = ledger.append(&LedgerRecord::Done {
+                run_id,
+                status: 1,
+                aborted: Some("client vanished before accept".to_string()),
+            });
+        }
+        if gate.keys.get(&key) == Some(&run_id) {
+            gate.keys.remove(&key);
+        }
         if probe {
             account_mut(&mut gate, &shared.cfg, &tenant).probing = false;
         }
-        return; // Client vanished between connect and accept.
+        return;
     }
     gate.stats.accepted += 1;
     let job = Job {
@@ -744,6 +988,7 @@ fn intake(shared: &Arc<Shared>, mut conn: UnixStream) {
         script,
         timeout: (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms)),
         fault,
+        key,
         conn,
         probe,
     };
@@ -809,9 +1054,11 @@ fn run_job(shared: &Arc<Shared>, job: Job, waited: Duration) {
     // Disconnect detection: the client sends nothing after Submit, so
     // any read completing with 0 bytes means the peer closed. The
     // monitor polls with a short read timeout and stands down once the
-    // run is done.
+    // run is done. *Keyed* runs skip the monitor entirely: the key is
+    // the client's declared intent to return (reconnect-and-attach or
+    // replay), so a vanished client must not cancel the work.
     let done = Arc::new(AtomicBool::new(false));
-    if let Ok(reader) = job.conn.try_clone() {
+    if let (true, Ok(reader)) = (job.key.is_empty(), job.conn.try_clone()) {
         let done = Arc::clone(&done);
         let token = token.clone();
         let shared = Arc::clone(shared);
@@ -987,18 +1234,100 @@ fn run_job(shared: &Arc<Shared>, job: Job, waited: Duration) {
         let _ = jash_io::fs::write_file(cfg.fs.as_ref(), &path, tracer.to_jsonl().as_bytes());
     }
 
-    // Stream the results. The client may be gone (that may be *why* the
-    // run aborted); send errors are unremarkable.
     done.store(true, Ordering::SeqCst);
+    let term = Arc::new(Terminal {
+        status,
+        aborted: aborted.clone(),
+        stdout,
+        stderr,
+    });
+
+    // Exactly-once, step 2: result blobs land before the terminal
+    // record, the terminal record before any client hears `Done`. A
+    // crash between blobs and record leaves the run an orphan (recovery
+    // finalizes it again — resumed, not re-executed); a crash after the
+    // record replays this exact result forever.
+    if !job.key.is_empty() {
+        if let Some(root) = &cfg.journal_root {
+            let _ = jash_io::ledger::write_result_blobs(
+                cfg.fs.as_ref(),
+                root,
+                job.run_id,
+                &term.stdout,
+                &term.stderr,
+                cfg.durable,
+            );
+        }
+    }
+    let waiters = {
+        let mut gate = shared.gate.lock().unwrap();
+        if let Some(ledger) = &gate.ledger {
+            let _ = ledger.append(&LedgerRecord::Done {
+                run_id: job.run_id,
+                status,
+                aborted: aborted.clone(),
+            });
+        }
+        if !job.key.is_empty() {
+            gate.cache_result(cfg, job.run_id, &job.key, Arc::clone(&term));
+        }
+        gate.waiters.remove(&job.run_id).unwrap_or_default()
+    };
+
+    // A cleanly-retired ledgered run no longer needs its journal scope —
+    // the ledger and blobs are its record now. Aborted runs keep theirs
+    // (the journal is the resume evidence a restart reads).
+    if aborted.is_none() && cfg.engine == Engine::JashJit {
+        if let Some(root) = &cfg.journal_root {
+            remove_tree(cfg.fs.as_ref(), &format!("{root}/run-{}", job.run_id));
+        }
+    }
+
+    // Stream the results to the primary client and every attached
+    // waiter. The client may be gone (that may be *why* the run
+    // aborted); send errors are unremarkable — except stalls, which are
+    // the slow-loris signal.
     let mut conn = job.conn;
-    if !stdout.is_empty() {
-        let _ = proto::write_frame(&mut conn, &Frame::Stdout(stdout));
+    let mut stalls = 0u64;
+    stalls += u64::from(send_terminal_frames(&mut conn, None, &term));
+    for mut w in waiters {
+        stalls += u64::from(send_terminal_frames(&mut w, Some(job.run_id), &term));
     }
-    if !stderr.is_empty() {
-        let _ = proto::write_frame(&mut conn, &Frame::Stderr(stderr));
+    if stalls > 0 {
+        shared.gate.lock().unwrap().stats.write_stalls += stalls;
     }
-    let _ = proto::write_frame(&mut conn, &Frame::Done { status, aborted });
+}
+
+/// Streams a run's terminal frames — optionally preceded by `Attach`
+/// (for waiters and cache replays) — and reports whether any write
+/// stalled out against a client that stopped reading.
+fn send_terminal_frames(conn: &mut UnixStream, attach: Option<u64>, term: &Terminal) -> bool {
+    let mut frames: Vec<Frame> = Vec::new();
+    if let Some(run_id) = attach {
+        frames.push(Frame::Attach { run_id });
+    }
+    if !term.stdout.is_empty() {
+        frames.push(Frame::Stdout(term.stdout.clone()));
+    }
+    if !term.stderr.is_empty() {
+        frames.push(Frame::Stderr(term.stderr.clone()));
+    }
+    frames.push(Frame::Done {
+        status: term.status,
+        aborted: term.aborted.clone(),
+    });
+    let mut stalled = false;
+    for f in &frames {
+        if let Err(e) = proto::write_frame(conn, f) {
+            stalled = matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+            );
+            break;
+        }
+    }
     let _ = conn.shutdown(std::net::Shutdown::Both);
+    stalled
 }
 
 /// Parses the wire-level fault specs the `jash serve --test-faults`
@@ -1007,6 +1336,8 @@ fn run_job(shared: &Arc<Shared>, job: Job, waited: Duration) {
 /// * `read-error:PATH:OFFSET` — sticky read error at a byte offset
 /// * `transient-read:PATH:OFFSET` — same, but fires once (retryable)
 /// * `stall-read:PATH:MILLIS` — first read stalls (cancellable)
+/// * `stall-write:PATH:OFFSET:MILLIS` — writes stall at a byte offset
+///   (cancellable) — the crash drill's kill window
 /// * `open-error:PATH` — open fails with permission denied
 /// * `truncate:PATH:OFFSET` — reads see early EOF
 ///
@@ -1040,6 +1371,12 @@ pub fn parse_fault_spec(spec: &str) -> Option<jash_io::FaultPlan> {
             let path = parts.next()?;
             let ms: u64 = parts.next()?.parse().ok()?;
             Some(plan.stall_reads(path, Duration::from_millis(ms)))
+        }
+        "stall-write" => {
+            let path = parts.next()?;
+            let offset: u64 = parts.next()?.parse().ok()?;
+            let ms: u64 = parts.next()?.parse().ok()?;
+            Some(plan.stall_writes_at(path, offset, Duration::from_millis(ms)))
         }
         "open-error" => {
             let path = parts.next()?;

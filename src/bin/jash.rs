@@ -14,6 +14,7 @@
 //!            [--quarantine-failures N] [--quarantine-cooldown N]
 //!            [--tenant-burst SECS] [--tenant-share SECS]
 //! jash submit --socket PATH [--tenant NAME] [--timeout SECS]
+//!             [--key KEY] [--retries N] [--retry-ms MS]
 //!             (-c SCRIPT | FILE)
 //! ```
 //!
@@ -52,10 +53,21 @@
 //! round-robin, per-tenant quotas (`QUOTA` rejections) and noisy-neighbor
 //! quarantine (`QUARANTINED` rejections until a probe run succeeds),
 //! structured overload rejection, per-run deadlines, client-disconnect
-//! cancellation, and a SIGTERM-initiated graceful drain (exit 143). See
-//! `DESIGN.md` §9 and §11. `jash submit` is the matching client: it
-//! submits one script to a running daemon under `--tenant` and mirrors
-//! the run's stdout/stderr/status (rejections exit 75, `EX_TEMPFAIL`).
+//! cancellation, and a SIGTERM-initiated graceful drain (exit 143). With
+//! journaling on (the default), admissions are ledgered durably: a
+//! SIGKILLed daemon restarts into exactly-once recovery — orphaned keyed
+//! runs are finalized (resuming journaled-clean regions), cached results
+//! replay to duplicate submissions. See `DESIGN.md` §9, §11, and §12.
+//!
+//! `jash submit` is the matching client: it submits one script to a
+//! running daemon under `--tenant` and mirrors the run's
+//! stdout/stderr/status. `--key` attaches an idempotency key, making
+//! retries and daemon restarts safe (duplicates replay or attach, never
+//! re-execute); `--retries`/`--retry-ms` bound the jittered exponential
+//! backoff. Exit taxonomy: retryable rejections (overload, quota,
+//! quarantine, draining) and exhausted retries exit 75 (`EX_TEMPFAIL`);
+//! permanent rejections (malformed, faults-disabled) exit 65
+//! (`EX_DATAERR`).
 
 use jash::core::{Engine, Jash};
 use jash::cost::MachineProfile;
@@ -126,7 +138,8 @@ fn usage() -> ! {
          [--no-durable] [--test-faults] [--tenant NAME=WEIGHT[:ACTIVE[:QUEUE]]]... \
          [--tenant-active N] [--tenant-queue N] [--quarantine-failures N] \
          [--quarantine-cooldown N] [--tenant-burst SECS] [--tenant-share SECS]\n       \
-         jash submit --socket PATH [--tenant NAME] [--timeout SECS] (-c SCRIPT | FILE)"
+         jash submit --socket PATH [--tenant NAME] [--timeout SECS] [--key KEY] \
+         [--retries N] [--retry-ms MS] (-c SCRIPT | FILE)"
     );
     std::process::exit(2);
 }
@@ -398,6 +411,21 @@ fn serve_subcommand(args: &[String]) -> ! {
             std::process::exit(1);
         }
     };
+    // One parseable line when the startup janitor found a previous
+    // daemon's estate — the crash drill asserts on these counters.
+    let rec = server.recovery();
+    if rec.acted() {
+        eprintln!(
+            "jash: serve recovery: finalized={} aborted={} resumed={} cached={} scopes={} swept={}{}",
+            rec.finalized,
+            rec.aborted,
+            rec.regions_resumed,
+            rec.cached,
+            rec.scopes_removed,
+            rec.swept,
+            if rec.torn_tail { " (torn ledger tail dropped)" } else { "" },
+        );
+    }
     eprintln!(
         "jash: serving on {socket} ({workers} worker(s), queue {queue}{})",
         if test_faults { ", fault injection ON" } else { "" }
@@ -436,12 +464,19 @@ fn serve_subcommand(args: &[String]) -> ! {
 
 /// The `jash submit` subcommand: a one-shot client for a running
 /// `jash serve` daemon. Mirrors the run's stdout/stderr and exits with
-/// its status; structured rejections (overload, quota, quarantine,
-/// draining) print the daemon's reason and exit 75 (`EX_TEMPFAIL`).
+/// its status. Connect failures and retryable rejections (overload,
+/// quota, quarantine, draining) are retried with jittered exponential
+/// backoff, then exit 75 (`EX_TEMPFAIL`); permanent rejections
+/// (malformed, faults-disabled) exit 65 (`EX_DATAERR`). With `--key`,
+/// a mid-run disconnect is also retryable: the resubmission attaches to
+/// the live run or replays the cached result.
 fn submit_subcommand(args: &[String]) -> ! {
     let mut socket: Option<String> = None;
     let mut tenant = "cli".to_string();
     let mut timeout: Option<u64> = None;
+    let mut key = String::new();
+    let mut retries = 4u32;
+    let mut retry_ms = 100u64;
     let mut script: Option<String> = None;
 
     let mut it = args.iter();
@@ -455,6 +490,19 @@ fn submit_subcommand(args: &[String]) -> ! {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+            }
+            "--key" => key = it.next().cloned().unwrap_or_else(|| usage()),
+            "--retries" => {
+                retries = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--retry-ms" => {
+                retry_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "-c" => script = Some(it.next().cloned().unwrap_or_else(|| usage())),
             "-h" | "--help" => usage(),
@@ -472,20 +520,38 @@ fn submit_subcommand(args: &[String]) -> ! {
         usage()
     };
 
-    let mut req = jash::serve::Request::new(script).with_tenant(tenant);
+    let mut req = jash::serve::Request::new(script)
+        .with_tenant(tenant)
+        .with_key(key);
     if let Some(secs) = timeout {
         req.timeout_ms = secs.saturating_mul(1000);
     }
-    match jash::serve::submit(std::path::Path::new(&socket), &req) {
+    let cfg = jash::serve::RetryConfig {
+        attempts: retries.saturating_add(1),
+        base: std::time::Duration::from_millis(retry_ms.max(1)),
+        ..jash::serve::RetryConfig::default()
+    };
+    match jash::serve::submit_with_retry(std::path::Path::new(&socket), &req, &cfg) {
         Ok(reply) => {
             std::io::stdout().write_all(&reply.stdout).ok();
             std::io::stderr().write_all(&reply.stderr).ok();
             if let Some((code, active, queued, reason)) = &reply.rejected {
+                // Only permanent rejections reach here (retryable ones
+                // were retried and, exhausted, surface as Err) — but
+                // classify defensively either way.
+                let temp = jash::serve::reject::is_retryable(*code);
                 eprintln!(
                     "jash: submit rejected ({}): {reason} [{active} active, {queued} queued]",
                     jash::serve::reject::name(*code),
                 );
-                std::process::exit(75);
+                std::process::exit(if temp { 75 } else { 65 });
+            }
+            if reply.attached.is_some() {
+                eprintln!("jash: submit: duplicate key: attached to existing run");
+            }
+            if reply.retries > 0 {
+                eprintln!("jash: submit: succeeded after {} retr{}",
+                    reply.retries, if reply.retries == 1 { "y" } else { "ies" });
             }
             if let Some(reason) = &reply.aborted {
                 eprintln!("jash: run aborted: {reason}");
@@ -494,7 +560,7 @@ fn submit_subcommand(args: &[String]) -> ! {
         }
         Err(e) => {
             eprintln!("jash: submit: {socket}: {e}");
-            std::process::exit(1);
+            std::process::exit(75);
         }
     }
 }

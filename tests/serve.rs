@@ -566,6 +566,297 @@ fn failing_tenant_is_quarantined_and_paroled_by_a_probe() {
 }
 
 // ---------------------------------------------------------------------
+// Exactly-once: idempotency keys, restart recovery, client resilience.
+// ---------------------------------------------------------------------
+
+#[test]
+fn duplicate_keyed_submission_replays_the_cached_result() {
+    let rig = rig(2, 4, |_| {});
+    let req = Request::new(SCRIPT).with_key("nightly-etl");
+    let first = jash::serve::submit(&rig.socket, &req).unwrap();
+    assert_eq!(first.status, Some(0), "{first:?}");
+    assert!(first.attached.is_none(), "first submission must execute");
+
+    // Clobber the input: if the duplicate re-executes instead of
+    // replaying, its stdout diverges.
+    jash::io::fs::write_file(rig.fs.as_ref(), "/data/docs.txt", b"SENTINEL JUNK\n").unwrap();
+
+    let dup = jash::serve::submit(&rig.socket, &req).unwrap();
+    assert_eq!(dup.status, Some(0), "{dup:?}");
+    assert_eq!(dup.attached, first.run_id, "duplicate must attach, not execute");
+    assert_eq!(dup.stdout, first.stdout, "replay must be byte-identical");
+    assert_eq!(rig.server.stats().replayed, 1);
+
+    // A cleanly-retired ledgered run needs no journal scope.
+    let scopes: Vec<String> = rig
+        .fs
+        .list_dir("/.jash-serve")
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|n| n.starts_with("run-"))
+        .collect();
+    assert_eq!(scopes, Vec::<String>::new(), "clean run left its scope behind");
+
+    rig.server.drain();
+    assert_eq!(debris(&rig.fs), Vec::<String>::new());
+}
+
+#[test]
+fn duplicate_keyed_submission_attaches_to_the_live_run() {
+    let rig = rig(1, 2, |_| {});
+    let req = {
+        let mut r = Request::new(SCRIPT).with_key("long-haul");
+        // A finite stall: long enough for the duplicate to arrive
+        // mid-run, short enough that both clients then finish cleanly.
+        r.fault = Some("stall-read:/data/docs.txt:800".to_string());
+        r
+    };
+    let socket = rig.socket.clone();
+    let racer = {
+        let req = req.clone();
+        std::thread::spawn(move || jash::serve::submit(&socket, &req).unwrap())
+    };
+    poll_until("worker to pick up the keyed run", Duration::from_secs(5), || {
+        rig.server.load().0 == 1
+    });
+
+    // Same key while the run is in flight: the daemon must attach this
+    // connection as a waiter, not queue a second execution.
+    let dup = jash::serve::submit(&rig.socket, &req).unwrap();
+    let first = racer.join().unwrap();
+    assert_eq!(first.status, Some(0), "{first:?}");
+    assert_eq!(dup.status, Some(0), "{dup:?}");
+    assert_eq!(dup.attached, first.run_id, "duplicate must attach to the live run");
+    assert_eq!(dup.stdout, first.stdout);
+    assert!(rig.server.stats().attached >= 1);
+    assert_eq!(rig.server.stats().replayed + rig.server.stats().attached, 1);
+
+    rig.server.drain();
+    assert_eq!(debris(&rig.fs), Vec::<String>::new());
+}
+
+#[test]
+fn restart_recovery_finalizes_orphans_and_replays_cached_results() {
+    use jash::io::{Ledger, LedgerRecord};
+
+    let dir = TempDir::new("jash-it-recover");
+    let socket = dir.path().join("sock");
+    let fs = jash::io::mem_fs();
+    jash::io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs(96 * 1024)).unwrap();
+
+    // Fabricate the estate of a daemon that died mid-storm. Run 1: a
+    // keyed run interrupted mid-flight — execute it once to build a
+    // real journal, then strip `run-complete` so it reads as
+    // interrupted (the crash_recovery idiom).
+    let eager = jash::cost::PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    };
+    let mut shell = jash::core::Jash::new(jash::core::Engine::JashJit, machine());
+    shell.planner = eager;
+    shell.durable = false;
+    shell.attach_journal(&fs, "/.jash-serve/run-1", false).unwrap();
+    let mut state = jash::expand::ShellState::new(Arc::clone(&fs));
+    let first = shell.run_script(&mut state, SCRIPT).unwrap();
+    assert_eq!(first.status, 0);
+    let journal = jash::io::fs::read_to_vec(fs.as_ref(), "/.jash-serve/run-1/journal").unwrap();
+    let doctored: String = String::from_utf8(journal)
+        .unwrap()
+        .lines()
+        .filter(|l| !l.contains("run-complete"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    jash::io::fs::write_file(fs.as_ref(), "/.jash-serve/run-1/journal", doctored.as_bytes())
+        .unwrap();
+
+    // The admission ledger the dead daemon left behind: run 1 keyed and
+    // open, run 2 unkeyed and open, run 3 keyed and finished with its
+    // result blobs on disk.
+    let accepted = |run_id: u64, key: &str| LedgerRecord::Accepted {
+        run_id,
+        key: key.to_string(),
+        tenant: "cli".to_string(),
+        timeout_ms: 0,
+        script_hash: jash::io::fnv1a(SCRIPT.as_bytes()),
+        script: SCRIPT.to_string(),
+    };
+    let ledger = Ledger::open(Arc::clone(&fs), "/.jash-serve/ledger", false);
+    ledger.append(&accepted(1, "nightly")).unwrap();
+    ledger.append(&accepted(2, "")).unwrap();
+    ledger.append(&accepted(3, "archived")).unwrap();
+    jash::io::ledger::write_result_blobs(
+        fs.as_ref(),
+        "/.jash-serve",
+        3,
+        b"hello from the previous daemon\n",
+        b"",
+        false,
+    )
+    .unwrap();
+    ledger
+        .append(&LedgerRecord::Done { run_id: 3, status: 0, aborted: None })
+        .unwrap();
+    drop(ledger);
+
+    let mut cfg = ServerConfig::new(&socket, Arc::clone(&fs));
+    cfg.machine = machine();
+    cfg.workers = 2;
+    cfg.queue_cap = 4;
+    cfg.eager = true;
+    cfg.durable = false;
+    cfg.journal_root = Some("/.jash-serve".to_string());
+    let server = Server::start(cfg).unwrap();
+
+    let rec = server.recovery();
+    assert_eq!(rec.finalized, 1, "keyed orphan must be finalized: {rec:?}");
+    assert_eq!(rec.aborted, 1, "unkeyed orphan must be aborted: {rec:?}");
+    assert_eq!(rec.cached, 1, "finished keyed run must be cached: {rec:?}");
+    assert!(rec.regions_resumed >= 1, "clean regions must resume from memo: {rec:?}");
+
+    // Clobber the input *after* recovery: the keyed resubmissions below
+    // must come from the result cache — re-execution would diverge.
+    jash::io::fs::write_file(fs.as_ref(), "/data/docs.txt", b"SENTINEL JUNK\n").unwrap();
+
+    // Resubmitting the interrupted run's key replays the recovered
+    // terminal result, byte-identical to the uninterrupted first run.
+    let r1 = jash::serve::submit(&socket, &Request::new(SCRIPT).with_key("nightly")).unwrap();
+    assert_eq!(r1.status, Some(0), "{r1:?}");
+    assert_eq!(r1.attached, Some(1));
+    assert_eq!(r1.stdout, first.stdout, "recovered stdout must match the original");
+
+    // Resubmitting the finished run's key replays its cached blobs.
+    let r3 = jash::serve::submit(&socket, &Request::new(SCRIPT).with_key("archived")).unwrap();
+    assert_eq!(r3.status, Some(0), "{r3:?}");
+    assert_eq!(r3.attached, Some(3));
+    assert_eq!(r3.stdout, b"hello from the previous daemon\n".to_vec());
+
+    // The run-id watermark continues past the dead daemon's ledger.
+    let fresh = jash::serve::submit(&socket, &Request::new(SCRIPT)).unwrap();
+    assert_eq!(fresh.status, Some(0), "{fresh:?}");
+    assert!(fresh.run_id >= Some(4), "watermark regressed: {:?}", fresh.run_id);
+
+    // The janitor removed every orphaned run scope.
+    let scopes: Vec<String> = fs
+        .list_dir("/.jash-serve")
+        .unwrap_or_default()
+        .into_iter()
+        .filter(|n| n.starts_with("run-"))
+        .collect();
+    assert_eq!(scopes, Vec::<String>::new(), "orphan scopes survived recovery");
+
+    server.drain();
+    assert_eq!(debris(&fs), Vec::<String>::new());
+}
+
+#[test]
+fn submit_with_retry_rides_out_connect_failure_and_overload() {
+    use jash::serve::{submit_with_retry, RetryConfig};
+    let retry = || RetryConfig {
+        attempts: 60,
+        base: Duration::from_millis(50),
+        max: Duration::from_millis(200),
+        ..RetryConfig::default()
+    };
+
+    // Connect failure: the client starts before the daemon exists and
+    // must ride its backoff until the socket appears.
+    let dir = TempDir::new("jash-it-retry");
+    let socket = dir.path().join("sock");
+    let client = {
+        let socket = socket.clone();
+        let retry = retry();
+        std::thread::spawn(move || submit_with_retry(&socket, &Request::new(SCRIPT), &retry))
+    };
+    std::thread::sleep(Duration::from_millis(250));
+    let fs = jash::io::mem_fs();
+    jash::io::fs::write_file(fs.as_ref(), "/data/docs.txt", &docs(96 * 1024)).unwrap();
+    let mut cfg = ServerConfig::new(&socket, Arc::clone(&fs));
+    cfg.machine = machine();
+    cfg.workers = 1;
+    cfg.queue_cap = 2;
+    cfg.eager = true;
+    cfg.durable = false;
+    cfg.journal_root = Some("/.jash-serve".to_string());
+    cfg.fault_injector = Some(jash::serve::spec_fault_injector());
+    let server = Server::start(cfg).unwrap();
+    let reply = client.join().unwrap().expect("retry must outlast the late bind");
+    assert_eq!(reply.status, Some(0), "{reply:?}");
+    assert!(reply.retries >= 1, "no retry was needed, so the drill proved nothing");
+    server.drain();
+
+    // Overload: a full daemon sheds with OVERLOADED (retryable); the
+    // client's backoff must outlast the congestion.
+    let rig = rig(1, 1, |_| {});
+    let stall = || {
+        let mut r = Request::new(SCRIPT);
+        r.fault = Some("stall-read:/data/docs.txt:60000".to_string());
+        r
+    };
+    let mut wedged = Vec::new();
+    for _ in 0..2 {
+        wedged.push(
+            jash::serve::submit_detached(&rig.socket, &stall())
+                .unwrap()
+                .expect("admitted"),
+        );
+    }
+    poll_until("1 active + 1 queued", Duration::from_secs(5), || {
+        rig.server.load() == (1, 1)
+    });
+    let racer = {
+        let socket = rig.socket.clone();
+        let retry = retry();
+        std::thread::spawn(move || submit_with_retry(&socket, &Request::new(SCRIPT), &retry))
+    };
+    // Give the racer time to absorb at least one OVERLOADED rejection,
+    // then clear the congestion by hanging up the wedged clients.
+    std::thread::sleep(Duration::from_millis(300));
+    drop(wedged);
+    let reply = racer.join().unwrap().expect("retry must outlast the overload");
+    assert_eq!(reply.status, Some(0), "{reply:?}");
+    assert!(reply.retries >= 1, "overload never pushed back");
+    assert!(rig.server.stats().rejected_overload >= 1);
+    rig.server.drain();
+    assert_eq!(debris(&rig.fs), Vec::<String>::new());
+}
+
+#[test]
+fn slow_loris_client_cannot_wedge_a_worker_forever() {
+    use jash::serve::{write_frame, Frame};
+    let rig = rig(1, 2, |cfg| {
+        cfg.write_stall = Duration::from_millis(500);
+    });
+    // Enough stdout to overflow the socket buffer of a client that
+    // never reads: the daemon's frame writes must hit the write-stall
+    // timeout instead of blocking the worker forever.
+    jash::io::fs::write_file(rig.fs.as_ref(), "/data/big.txt", &docs(4 * 1024 * 1024)).unwrap();
+    let mut conn = std::os::unix::net::UnixStream::connect(&rig.socket).unwrap();
+    write_frame(
+        &mut conn,
+        &Frame::Submit {
+            script: "cat /data/big.txt".to_string(),
+            timeout_ms: 0,
+            tenant: "loris".to_string(),
+            key: String::new(),
+            fault: None,
+        },
+    )
+    .unwrap();
+    // The client goes silent — connected, never reading.
+    poll_until("write stall to fire and free the slot", Duration::from_secs(10), || {
+        rig.server.stats().write_stalls >= 1 && rig.server.load().0 == 0
+    });
+    drop(conn);
+
+    // The freed slot serves the next client normally.
+    let reply = jash::serve::submit(&rig.socket, &Request::new(SCRIPT)).unwrap();
+    assert_eq!(reply.status, Some(0), "{reply:?}");
+    rig.server.drain();
+    assert_eq!(debris(&rig.fs), Vec::<String>::new());
+}
+
+// ---------------------------------------------------------------------
 // Binary-level regression tests (real process, real signals).
 // ---------------------------------------------------------------------
 
