@@ -1,0 +1,8 @@
+//! Dynamic-region benchmark runner:
+//! `cargo run --release -p jash-bench --bin dynbench [out.json]`
+//! (knobs: `JASH_DYN_MB`, `JASH_DYN_LOOP`, `JASH_DYN_ITERS`,
+//! `JASH_DYN_GATE`).
+
+fn main() {
+    jash_bench::dynbench::main_with_gate();
+}

@@ -1,0 +1,278 @@
+//! The dynamic-region benchmark: a `for` loop over a fusible chain,
+//! timed three ways — JIT with the per-fingerprint plan cache (iteration
+//! 1 plans, iterations 2..N reuse), JIT with the cache disabled (every
+//! iteration re-plans from scratch), and plain interpretation.
+//!
+//! The quantity under test is the planning cost the cache elides: the
+//! loop body is identical across iterations up to the file path it
+//! reads, so a width-insensitive fingerprint hits on every iteration
+//! after the first. The `dynbench` binary renders the table, writes
+//! `BENCH_dyn.json` for the CI artifact, and exits nonzero when the
+//! cached path fails to clear the configured gate over re-planning.
+
+use jash_core::{Engine, Jash};
+use jash_cost::MachineProfile;
+use jash_expand::ShellState;
+use jash_io::FsHandle;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The benchmarked loop body — the same fusible shape `fusionbench`
+/// measures, reached through the interpreter's `for` walk instead of a
+/// top-level statement.
+pub const BODY: &str = "cat $f | tr A-Z a-z | grep -v qqq | cut -c 1-48";
+
+/// Builds the loop script over however many files were staged.
+pub fn loop_script() -> String {
+    format!("for f in /loop/*.txt; do {BODY}; done")
+}
+
+/// One measured execution path.
+#[derive(Debug, Clone, Copy)]
+pub struct Measure {
+    /// Best-of-N wall time.
+    pub wall: Duration,
+    /// Input throughput at that wall time.
+    pub bytes_per_sec: f64,
+}
+
+impl Measure {
+    fn from_wall(wall: Duration, input_bytes: u64) -> Measure {
+        Measure {
+            wall,
+            bytes_per_sec: input_bytes as f64 / wall.as_secs_f64().max(1e-9),
+        }
+    }
+}
+
+/// The full experiment result.
+#[derive(Debug, Clone)]
+pub struct DynBench {
+    /// Total staged input across all loop files.
+    pub input_bytes: u64,
+    /// Timed repeats per path (best wall time kept).
+    pub iterations: u32,
+    /// Loop trip count (number of staged files).
+    pub loop_iters: usize,
+    /// Plan-cache hits observed in one cached run.
+    pub cache_hits: u64,
+    /// JIT with the plan cache on.
+    pub cached: Measure,
+    /// JIT re-planning every iteration.
+    pub replanned: Measure,
+    /// Sequential interpreter.
+    pub interpreter: Measure,
+}
+
+impl DynBench {
+    /// Cached throughput over re-planned throughput (the gated ratio).
+    pub fn cached_over_replanned(&self) -> f64 {
+        self.cached.bytes_per_sec / self.replanned.bytes_per_sec
+    }
+
+    /// Cached throughput over the interpreter's.
+    pub fn cached_over_interpreter(&self) -> f64 {
+        self.cached.bytes_per_sec / self.interpreter.bytes_per_sec
+    }
+
+    /// Renders the `BENCH_dyn.json` document.
+    pub fn to_json(&self) -> String {
+        let m = |m: &Measure| {
+            format!(
+                "{{\"wall_s\": {:.6}, \"bytes_per_sec\": {:.0}}}",
+                m.wall.as_secs_f64(),
+                m.bytes_per_sec
+            )
+        };
+        format!(
+            "{{\n  \"bench\": \"dyn\",\n  \"script\": \"{}\",\n  \"input_bytes\": {},\n  \
+             \"iterations\": {},\n  \"loop_iters\": {},\n  \"cache_hits\": {},\n  \
+             \"cached\": {},\n  \"replanned\": {},\n  \"interpreter\": {},\n  \
+             \"cached_over_replanned\": {:.3},\n  \"cached_over_interpreter\": {:.3}\n}}\n",
+            loop_script().replace('\\', "\\\\").replace('"', "\\\""),
+            self.input_bytes,
+            self.iterations,
+            self.loop_iters,
+            self.cache_hits,
+            m(&self.cached),
+            m(&self.replanned),
+            m(&self.interpreter),
+            self.cached_over_replanned(),
+            self.cached_over_interpreter(),
+        )
+    }
+}
+
+fn machine() -> MachineProfile {
+    MachineProfile {
+        cores: 8,
+        disk: jash_io::DiskProfile::ramdisk(),
+        mem_mb: 8 * 1024,
+    }
+}
+
+fn stage(loop_iters: usize, total_bytes: u64) -> (FsHandle, u64) {
+    let fs = jash_io::mem_fs();
+    let per_file = (total_bytes / loop_iters as u64).max(4 * 1024);
+    let mut staged = 0u64;
+    for i in 0..loop_iters {
+        let corpus = crate::word_corpus(per_file, 1000 + i as u64);
+        staged += corpus.len() as u64;
+        jash_io::fs::write_file(fs.as_ref(), &format!("/loop/f{i:02}.txt"), &corpus)
+            .expect("stage input");
+    }
+    (fs, staged)
+}
+
+/// One timed JIT run over a fresh shell; returns wall, status, stdout,
+/// and the plan-cache counters the run accumulated.
+fn run_jit(fs: &FsHandle, cache: bool) -> (Duration, i32, Vec<u8>, u64, u64) {
+    let mut state = ShellState::new(Arc::clone(fs));
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner.min_speedup = 0.0;
+    shell.plan_cache.set_enabled(cache);
+    let src = loop_script();
+    let t0 = Instant::now();
+    let r = shell.run_script(&mut state, &src).expect("script runs");
+    let wall = t0.elapsed();
+    (wall, r.status, r.stdout, shell.plan_cache.hits, shell.plan_cache.misses)
+}
+
+fn run_interpreter(fs: &FsHandle) -> (Duration, i32, Vec<u8>) {
+    let mut state = ShellState::new(Arc::clone(fs));
+    let mut shell = Jash::new(Engine::Bash, machine());
+    let src = loop_script();
+    let t0 = Instant::now();
+    let r = shell.run_script(&mut state, &src).expect("script runs");
+    (t0.elapsed(), r.status, r.stdout)
+}
+
+/// Runs the experiment: `iterations` timed runs per path (best wall
+/// kept), with all three paths' stdout and status checked byte-identical
+/// before anything is reported, and the cached path required to show
+/// `loop_iters - 1` plan-cache hits.
+pub fn run_dyn_bench(loop_iters: usize, total_bytes: u64, iterations: u32) -> DynBench {
+    let (fs, input_bytes) = stage(loop_iters, total_bytes);
+
+    let (_, ref_status, ref_out) = run_interpreter(&fs);
+    let mut cached_wall = Duration::MAX;
+    let mut replan_wall = Duration::MAX;
+    let mut interp_wall = Duration::MAX;
+    let mut cache_hits = 0;
+    for _ in 0..iterations.max(1) {
+        let (wall, status, out, hits, misses) = run_jit(&fs, true);
+        assert_eq!((status, &out), (ref_status, &ref_out), "cached output diverged");
+        assert_eq!(
+            hits as usize,
+            loop_iters - 1,
+            "iterations 2..N must hit the plan cache (misses: {misses})"
+        );
+        cached_wall = cached_wall.min(wall);
+        cache_hits = hits;
+
+        let (wall, status, out, hits, _) = run_jit(&fs, false);
+        assert_eq!((status, &out), (ref_status, &ref_out), "re-planned output diverged");
+        assert_eq!(hits, 0, "a disabled cache must never hit");
+        replan_wall = replan_wall.min(wall);
+
+        let (wall, status, out) = run_interpreter(&fs);
+        assert_eq!((status, &out), (ref_status, &ref_out), "interpreter run diverged");
+        interp_wall = interp_wall.min(wall);
+    }
+
+    DynBench {
+        input_bytes,
+        iterations: iterations.max(1),
+        loop_iters,
+        cache_hits,
+        cached: Measure::from_wall(cached_wall, input_bytes),
+        replanned: Measure::from_wall(replan_wall, input_bytes),
+        interpreter: Measure::from_wall(interp_wall, input_bytes),
+    }
+}
+
+/// Full run for the `dynbench` binary: table, `BENCH_dyn.json`, and the
+/// perf gate (`JASH_DYN_GATE`, default 1.0 — the cache must not make
+/// loops slower than re-planning every iteration).
+pub fn main_with_gate() {
+    // The signal under test is per-iteration planning cost, so the
+    // default shape is many small files (planning share visible), not
+    // the streaming-throughput shape `fusionbench` uses.
+    let mb: u64 = std::env::var("JASH_DYN_MB")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let bytes = mb * 1024 * 1024;
+    let loop_iters: usize = std::env::var("JASH_DYN_LOOP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96);
+    let iters: u32 = std::env::var("JASH_DYN_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "Dynamic regions: {}\n{} loop iterations over {} MiB total, best of {iters}",
+        loop_script(),
+        loop_iters,
+        bytes / (1024 * 1024)
+    );
+    let bench = run_dyn_bench(loop_iters, bytes, iters);
+
+    crate::report_header(&format!(
+        "results ({} plan-cache hit(s) per run)",
+        bench.cache_hits
+    ));
+    for (label, m) in [
+        ("jit + plan cache", &bench.cached),
+        ("jit, re-plan every iter", &bench.replanned),
+        ("interpreter", &bench.interpreter),
+    ] {
+        println!(
+            "  {label:<30} {:>9.1} ms  {:>8.1} MiB/s",
+            m.wall.as_secs_f64() * 1000.0,
+            m.bytes_per_sec / (1024.0 * 1024.0)
+        );
+    }
+    println!(
+        "  cached/replanned {:.2}x, cached/interpreter {:.2}x",
+        bench.cached_over_replanned(),
+        bench.cached_over_interpreter()
+    );
+
+    let path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_dyn.json".to_string());
+    std::fs::write(&path, bench.to_json()).expect("write BENCH_dyn.json");
+    println!("  wrote {path}");
+
+    let gate: f64 = std::env::var("JASH_DYN_GATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    if bench.cached_over_replanned() < gate {
+        eprintln!(
+            "FAIL: cached/replanned {:.2}x below gate {gate:.2}x",
+            bench.cached_over_replanned()
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_paths_agree_and_report() {
+        let bench = run_dyn_bench(6, 96 * 1024, 1);
+        assert_eq!(bench.loop_iters, 6);
+        assert_eq!(bench.cache_hits, 5);
+        assert!(bench.cached.bytes_per_sec > 0.0);
+        assert!(bench.replanned.bytes_per_sec > 0.0);
+        assert!(bench.interpreter.bytes_per_sec > 0.0);
+        let json = bench.to_json();
+        assert!(json.contains("\"bench\": \"dyn\""), "{json}");
+        assert!(json.contains("\"loop_iters\": 6"), "{json}");
+        assert!(json.contains("\"cache_hits\": 5"), "{json}");
+        assert!(json.contains("cached_over_replanned"), "{json}");
+    }
+}

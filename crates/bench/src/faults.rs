@@ -214,6 +214,11 @@ pub enum Recovery {
     /// error): the region walks the whole ladder and lands on the
     /// interpreter.
     KernelFailover,
+    /// A fault inside iteration k of a JIT'd loop: that iteration (and
+    /// only that iteration) walks kernel → unfused → interpreter; loop
+    /// state stays correct, and iteration k+1 re-attempts the cached
+    /// plan instead of staying de-optimized.
+    LoopRecovery,
 }
 
 impl std::fmt::Display for Recovery {
@@ -224,6 +229,7 @@ impl std::fmt::Display for Recovery {
             Recovery::Breaker => write!(f, "breaker"),
             Recovery::KernelDegrade => write!(f, "unfuse"),
             Recovery::KernelFailover => write!(f, "unfuse+fo"),
+            Recovery::LoopRecovery => write!(f, "loop-iter"),
         }
     }
 }
@@ -316,6 +322,34 @@ pub fn default_supervision_sweep(path: &str, input_len: u64) -> Vec<SupervisionC
             kernel_fault: Some("injected: fused kernel fault".to_string()),
             force_fusion: true,
         },
+        SupervisionCase {
+            name: "loop: iteration-1 fault -> recover next iter".to_string(),
+            // Three iterations of a fused chain. The kernel fault hits
+            // every fused rung; the once-only commit fault additionally
+            // breaks iteration 1's unfused rung — so iteration 1 walks
+            // the whole ladder to the interpreter while iterations 2-3
+            // stop at the unfused pipeline, re-attempting the plan the
+            // cache kept (failures never evict). The trailing echo
+            // proves loop state ($f, $?) survived the mid-loop failover.
+            script: format!(
+                "for f in 1 2 3; do cat {path} | tr A-Z a-z | grep -v qqqq | cut -c 1-40 >> /out; done\n\
+                 echo loop-done $f $?"
+            ),
+            plan: FaultPlan::new().rule(jash_io::fault::FaultRule {
+                path: Some("/out".to_string()),
+                op: jash_io::fault::FaultOp::Rename,
+                trigger: jash_io::fault::Trigger::Always,
+                kind: jash_io::fault::FaultKind::Error {
+                    kind: std::io::ErrorKind::Other,
+                    msg: "injected: media failure on commit".to_string(),
+                },
+                once: true,
+            }),
+            expect: Recovery::LoopRecovery,
+            baseline_faulted: false,
+            kernel_fault: Some("injected: fused kernel fault".to_string()),
+            force_fusion: true,
+        },
     ]
 }
 
@@ -333,6 +367,9 @@ pub struct SupervisionRow {
     pub staging_debris: bool,
     /// Whether the supervision log shows the expected recovery events.
     pub expected_behavior: bool,
+    /// Plan-cache hits in the JashJit run (loop cases reuse iteration
+    /// 1's plan; failures must not evict it).
+    pub plan_cache_hits: u64,
     /// The runtime record of the JashJit run (counters + event log).
     pub runtime: RuntimeInfo,
 }
@@ -372,15 +409,16 @@ pub fn run_supervision_sweep(
             },
         };
         let out_file = jash_io::fs::read_to_vec(inner.as_ref(), "/out").ok();
-        (result, out_file, debris(&inner), shell.runtime)
+        let hits = shell.core.plan_cache.hits;
+        (result, out_file, debris(&inner), shell.core.runtime, hits)
     };
 
     cases
         .iter()
         .map(|case| {
             let baseline_plan = case.baseline_faulted.then(|| case.plan.clone());
-            let (base, base_out, _, _) = run(Engine::Bash, baseline_plan, case);
-            let (jit, jit_out, jit_debris, runtime) =
+            let (base, base_out, _, _, _) = run(Engine::Bash, baseline_plan, case);
+            let (jit, jit_out, jit_debris, runtime, plan_cache_hits) =
                 run(Engine::JashJit, Some(case.plan.clone()), case);
             let log = &runtime.supervision;
             let expected_behavior = match case.expect {
@@ -407,6 +445,16 @@ pub fn run_supervision_sweep(
                 Recovery::KernelFailover => {
                     log.kernel_degradations() >= 1 && runtime.regions_failed_over >= 1
                 }
+                Recovery::LoopRecovery => {
+                    // Iteration 1 (and only it) failed over; later
+                    // iterations re-attempted the cached plan and
+                    // recovered at the unfused rung.
+                    runtime.regions_failed_over == 1
+                        && log.kernel_degradations() >= 2
+                        && runtime.regions_optimized >= 2
+                        && log.recoveries() >= 1
+                        && plan_cache_hits >= 2
+                }
             };
             SupervisionRow {
                 case: case.name.clone(),
@@ -417,6 +465,7 @@ pub fn run_supervision_sweep(
                     && jit_out == base_out,
                 staging_debris: jit_debris,
                 expected_behavior,
+                plan_cache_hits,
                 runtime,
             }
         })
@@ -512,7 +561,7 @@ mod tests {
         };
         let cases = default_supervision_sweep("/data/docs.txt", len);
         let rows = run_supervision_sweep(&stage, &cases, machine);
-        assert_eq!(rows.len(), 5);
+        assert_eq!(rows.len(), 6);
         assert!(
             supervision_holds(&rows),
             "\n{}",
@@ -524,6 +573,11 @@ mod tests {
         assert_eq!(rows[2].expect, Recovery::Breaker);
         assert_eq!(rows[3].expect, Recovery::KernelDegrade);
         assert_eq!(rows[4].expect, Recovery::KernelFailover);
+        assert_eq!(rows[5].expect, Recovery::LoopRecovery);
+        // The loop case's fault hit one iteration; the others recovered
+        // on the cached plan.
+        assert_eq!(rows[5].runtime.regions_failed_over, 1);
+        assert!(rows[5].plan_cache_hits >= 2, "\n{}", render_supervision(&rows));
         // The kernel-eviction story is spelled out in the rendered log.
         assert!(
             render_supervision(&rows).contains("kernel-degrade"),

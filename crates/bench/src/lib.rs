@@ -17,6 +17,7 @@
 use jash_core::{Engine, Jash, TraceEvent};
 
 pub mod crash;
+pub mod dynbench;
 pub mod faults;
 pub mod fig1;
 pub mod fusion;
@@ -123,7 +124,7 @@ pub fn run_engine_traced(
     let result = shell
         .run_script(&mut state, script)
         .expect("benchmark script runs");
-    (t0.elapsed(), result, shell.trace)
+    (t0.elapsed(), result, shell.core.trace)
 }
 
 // ---------------------------------------------------------------------

@@ -10,10 +10,11 @@
 //! file sizes, machine resources).
 
 use crate::engine::{Action, Engine, RegionFailure, RuntimeInfo, TraceEvent};
+use crate::plancache::{byte_bucket, options_signature, PlanCache};
 use crate::recovery::{self, RecoveryReport, ResumePlan};
 use crate::region::{jit_region, resolve_paths, static_region, Ineligible};
 use crate::supervise::{degradation_ladder, resource_pressure, CircuitBreaker, Route};
-use jash_ast::{ListItem, Program};
+use jash_ast::{AndOrList, CommandKind, ListItem, Pipeline, Program};
 use jash_cost::{
     choose_plan_with, pash_aot_plan, InputInfo, MachineProfile, PlanShape, PlannerOptions,
 };
@@ -23,7 +24,7 @@ use jash_exec::{
     RetryPolicy, SupervisionEvent,
 };
 use jash_expand::ShellState;
-use jash_interp::{Flow, InterpError, Interpreter, RunResult, ShellIo};
+use jash_interp::{Flow, InputBinding, InterpError, Interpreter, PipelineJit, RunResult, ShellIo};
 use jash_io::journal::JournalRecord;
 use jash_io::memo::Entry;
 use jash_io::{fnv1a, FsHandle, Journal, Memo};
@@ -33,8 +34,47 @@ use std::io;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// A Jash shell session.
+/// A Jash shell session: the JIT engine core plus the interpreter it
+/// delegates dynamic execution to.
+///
+/// The split matters for borrow reasons: while the interpreter walks a
+/// compound statement it holds `&mut Interpreter`, and at every pipeline
+/// it reaches it offers the engine (as [`PipelineJit`]) a chance to run
+/// the region — which needs `&mut JitCore`. Keeping the two halves as
+/// sibling fields lets both be borrowed at once. `Deref`/`DerefMut` to
+/// [`JitCore`] keep the session's public field surface (`planner`,
+/// `trace`, `breaker`, …) unchanged.
 pub struct Jash {
+    /// The engine: planner, supervisor, journal, trace — everything but
+    /// the interpreter.
+    pub core: JitCore,
+    interp: Interpreter,
+}
+
+impl std::ops::Deref for Jash {
+    type Target = JitCore;
+    fn deref(&self) -> &JitCore {
+        &self.core
+    }
+}
+
+impl std::ops::DerefMut for Jash {
+    fn deref_mut(&mut self) -> &mut JitCore {
+        &mut self.core
+    }
+}
+
+/// An open nested-region record: accounting the JIT callout opened for a
+/// pipeline it declined, closed by [`PipelineJit::pipeline_interpreted`].
+struct NestedRegion {
+    span: Option<SpanId>,
+    prev_region: Option<SpanId>,
+    sup_mark: usize,
+}
+
+/// The engine state of a [`Jash`] session (everything except the
+/// interpreter). All session tunables live here; `Jash` derefs to it.
+pub struct JitCore {
     /// Strategy under evaluation.
     pub engine: Engine,
     /// The machine the planner believes it is running on.
@@ -100,81 +140,30 @@ pub struct Jash {
     current_run: Option<SpanId>,
     /// Open `region` span while `run_item` is on the stack.
     current_region: Option<SpanId>,
-    interp: Interpreter,
+    /// Per-fingerprint plan cache: loop iterations 2..N reuse iteration
+    /// 1's planning decision (see [`crate::plancache`] for the
+    /// invalidation rules). `plan_cache.set_enabled(false)` restores
+    /// re-planning at every expansion boundary (`--no-plan-cache`).
+    pub plan_cache: PlanCache,
+    /// Innermost-first stack of live loop iteration counters, fed by the
+    /// interpreter's loop markers; stamps `loop_iter` onto region spans.
+    loop_iters: Vec<u64>,
+    /// Open accounting for pipelines offered at expansion boundaries and
+    /// declined (closed when the interpretation finishes).
+    nested: Vec<NestedRegion>,
+    /// High-water mark of supervision events already mirrored onto the
+    /// trace timeline, so nested regions and the enclosing statement
+    /// never mirror the same event twice.
+    mirrored: usize,
 }
 
 impl Jash {
     /// Creates a session for `engine` on `machine`.
     pub fn new(engine: Engine, machine: MachineProfile) -> Self {
         Jash {
-            engine,
-            machine,
-            registry: jash_spec::Registry::builtin(),
-            planner: PlannerOptions::default(),
-            trace: Vec::new(),
-            runtime: RuntimeInfo::default(),
-            node_timeout: None,
-            cancel: None,
-            retry_policy: RetryPolicy::default(),
-            breaker: CircuitBreaker::default(),
-            durable: true,
-            kernel_fault: None,
-            tracer: None,
-            calibration: None,
-            run_attrs: Vec::new(),
-            journal: None,
-            memo: None,
-            resume: None,
-            current_run: None,
-            current_region: None,
+            core: JitCore::new(engine, machine),
             interp: Interpreter::new(),
         }
-    }
-
-    /// Attaches the crash-recovery journal rooted at `dir` (typically
-    /// `/.jash`): replays `dir/journal`, sweeps staging debris if the
-    /// previous run died mid-flight, opens a fresh epoch, and — when
-    /// `resume` is set and the previous run was interrupted — arms the
-    /// resume plan so journaled-clean regions replay from the durable
-    /// memo at `dir/memo` instead of re-executing.
-    ///
-    /// Call once, before `run_script`. Returns what recovery found.
-    pub fn attach_journal(
-        &mut self,
-        fs: &FsHandle,
-        dir: &str,
-        resume: bool,
-    ) -> io::Result<RecoveryReport> {
-        let journal_path = format!("{dir}/journal");
-        let replay = Journal::replay(fs.as_ref(), &journal_path)?;
-        let (mut report, plan) = recovery::scan_journal(&replay);
-        if report.interrupted {
-            report.swept = recovery::sweep_stage_debris(fs.as_ref());
-        } else if fs.exists(&journal_path) {
-            // Previous run completed: its history is dead weight. Reset
-            // the journal so it never grows across healthy sessions.
-            fs.remove(&journal_path)?;
-        }
-        if resume && report.interrupted {
-            self.resume = plan;
-        }
-        let journal = Journal::open(Arc::clone(fs), &journal_path, self.durable);
-        journal.append(&JournalRecord::RunStart {
-            epoch: report.epoch,
-        })?;
-        self.journal = Some(Arc::new(journal));
-        self.memo =
-            Some(Memo::new(Arc::clone(fs), format!("{dir}/memo")).with_durable(self.durable));
-        Ok(report)
-    }
-
-    /// The exit status a pending graceful abort dictates, if the
-    /// session's cancel token was tripped by a signal (128 + signum) or
-    /// a wall-clock deadline (124). `None` for fault cancellations,
-    /// which fail over instead of aborting.
-    pub fn shutdown_status(&self) -> Option<i32> {
-        let reason = self.cancel.as_ref()?.reason()?;
-        recovery::cancel_exit_code(&reason)
     }
 
     /// Parses and runs a script, returning captured stdio and status.
@@ -313,31 +302,130 @@ impl Jash {
         item: &ListItem,
         io: &ShellIo,
     ) -> jash_interp::Result<i32> {
-        let optimizable = !item.background
+        let plain = !item.background
             && item.and_or.rest.is_empty()
-            && !item.and_or.first.negated
-            && self.engine != Engine::Bash;
-        if optimizable {
-            match self.try_optimize(state, item, io) {
+            && !item.and_or.first.negated;
+        let all_simple = item
+            .and_or
+            .first
+            .commands
+            .iter()
+            .all(|c| matches!(c.kind, CommandKind::Simple(_)));
+        let single = Program {
+            items: vec![item.clone()],
+        };
+        if self.engine != Engine::Bash && plain && all_simple {
+            // A plain top-level pipeline: the statement's own region span
+            // already covers it, so attempt the region directly and
+            // interpret hooklessly on decline (no second attempt).
+            let text = jash_ast::unparse(&single);
+            match self.core.try_optimize(state, &item.and_or.first, io, &text) {
                 Ok(Some(status)) => return Ok(status),
                 Ok(None) => {}
                 Err(e) => return Err(e),
             }
-        } else if self.engine != Engine::Bash {
-            self.trace.push(TraceEvent {
-                pipeline: jash_ast::unparse(&Program {
-                    items: vec![item.clone()],
-                }),
+            return self.interp.run_program(state, &single, io);
+        }
+        if self.engine != Engine::Bash {
+            self.core.trace.push(TraceEvent {
+                pipeline: jash_ast::unparse(&single),
                 action: Action::Interpreted {
                     reason: "not a plain foreground pipeline".to_string(),
                 },
             });
         }
-        // Interpret.
-        let single = Program {
-            items: vec![item.clone()],
-        };
-        self.interp.run_program(state, &single, io)
+        // Compound statements (and `&&`/`||` chains, negations) interpret
+        // with the JIT callout threaded in: every pipeline the walk
+        // reaches under control flow is offered to the engine at its
+        // expansion boundary (paper §3.2 — optimize *after* expansion,
+        // per iteration). Background items stay hookless: their subshell
+        // effects are discarded wholesale.
+        let Jash { core, interp } = self;
+        let hook: Option<&mut dyn PipelineJit> =
+            if core.engine == Engine::JashJit && !item.background {
+                Some(core)
+            } else {
+                None
+            };
+        interp.run_program_jit(state, &single, io, hook)
+    }
+}
+
+impl JitCore {
+    /// Creates the engine state for `engine` on `machine`.
+    fn new(engine: Engine, machine: MachineProfile) -> Self {
+        JitCore {
+            engine,
+            machine,
+            registry: jash_spec::Registry::builtin(),
+            planner: PlannerOptions::default(),
+            trace: Vec::new(),
+            runtime: RuntimeInfo::default(),
+            node_timeout: None,
+            cancel: None,
+            retry_policy: RetryPolicy::default(),
+            breaker: CircuitBreaker::default(),
+            durable: true,
+            kernel_fault: None,
+            tracer: None,
+            calibration: None,
+            run_attrs: Vec::new(),
+            journal: None,
+            memo: None,
+            resume: None,
+            current_run: None,
+            current_region: None,
+            plan_cache: PlanCache::new(),
+            loop_iters: Vec::new(),
+            nested: Vec::new(),
+            mirrored: 0,
+        }
+    }
+
+    /// Attaches the crash-recovery journal rooted at `dir` (typically
+    /// `/.jash`): replays `dir/journal`, sweeps staging debris if the
+    /// previous run died mid-flight, opens a fresh epoch, and — when
+    /// `resume` is set and the previous run was interrupted — arms the
+    /// resume plan so journaled-clean regions replay from the durable
+    /// memo at `dir/memo` instead of re-executing.
+    ///
+    /// Call once, before `run_script`. Returns what recovery found.
+    pub fn attach_journal(
+        &mut self,
+        fs: &FsHandle,
+        dir: &str,
+        resume: bool,
+    ) -> io::Result<RecoveryReport> {
+        let journal_path = format!("{dir}/journal");
+        let replay = Journal::replay(fs.as_ref(), &journal_path)?;
+        let (mut report, plan) = recovery::scan_journal(&replay);
+        if report.interrupted {
+            report.swept = recovery::sweep_stage_debris(fs.as_ref());
+        } else if fs.exists(&journal_path) {
+            // Previous run completed: its history is dead weight. Reset
+            // the journal so it never grows across healthy sessions.
+            fs.remove(&journal_path)?;
+        }
+        if resume && report.interrupted {
+            self.resume = plan;
+        }
+        let journal = Journal::open(Arc::clone(fs), &journal_path, self.durable);
+        journal.append(&JournalRecord::RunStart {
+            epoch: report.epoch,
+        })?;
+        self.journal = Some(Arc::new(journal));
+        self.memo =
+            Some(Memo::new(Arc::clone(fs), format!("{dir}/memo")).with_durable(self.durable));
+        Ok(report)
+    }
+
+    /// The exit status a pending graceful abort dictates, if the
+    /// session's cancel token was tripped by a signal (128 + signum) or
+    /// a wall-clock deadline (124). `None` for fault cancellations,
+    /// which fail over instead of aborting.
+    pub fn shutdown_status(&self) -> Option<i32> {
+        let reason = self.cancel.as_ref()?.reason()?;
+        recovery::cancel_exit_code(&reason)
     }
 
     /// Attempts the optimize path; `Ok(None)` means "fall back to the
@@ -345,25 +433,27 @@ impl Jash {
     fn try_optimize(
         &mut self,
         state: &mut ShellState,
-        item: &ListItem,
+        pl: &Pipeline,
         io: &ShellIo,
+        pipeline_text: &str,
     ) -> jash_interp::Result<Option<i32>> {
-        let pipeline_text = jash_ast::unparse(&Program {
-            items: vec![item.clone()],
-        });
         let fallback = |this: &mut Self, reason: String| {
             this.trace_region_attr("reason", reason.as_str());
             this.trace.push(TraceEvent {
-                pipeline: pipeline_text.clone(),
+                pipeline: pipeline_text.to_string(),
                 action: Action::Interpreted { reason },
             });
         };
 
-        // 1. Extract the region the way the engine can.
+        // 1. Extract the region the way the engine can — *after*
+        // expansion, with the live shell state: inside a loop the same
+        // syntactic pipeline extracts to a different region each
+        // iteration ($f has a new value), which is the paper's whole
+        // argument for JIT-at-the-expansion-boundary.
         let expand_start = Instant::now();
         let region = match self.engine {
-            Engine::PashAot => static_region(state, &item.and_or.first),
-            Engine::JashJit => jit_region(state, &item.and_or.first),
+            Engine::PashAot => static_region(state, pl),
+            Engine::JashJit => jit_region(state, pl),
             Engine::Bash => unreachable!("caller filtered"),
         };
         self.trace_hist("jit.expand_us", expand_start.elapsed());
@@ -402,7 +492,7 @@ impl Jash {
         // work, so the planner has no veto.
         if self.engine == Engine::JashJit && self.resume.is_some() {
             if let Some(status) =
-                self.try_resume(state, io, &pipeline_text, &region, &compiled.dfg)?
+                self.try_resume(state, io, pipeline_text, &region, &compiled.dfg)?
             {
                 return Ok(Some(status));
             }
@@ -414,20 +504,40 @@ impl Jash {
         };
         self.trace_region_attr("bytes_in", input.total_bytes);
 
-        // 4. Plan.
+        // 4. Plan — through the per-fingerprint plan cache when this
+        // shape has been planned before at a comparable input scale
+        // under the same options (loop iterations 2..N hit here and skip
+        // the candidate sweep entirely). The cached entry remembers the
+        // *decision*, declines included, so an unprofitable loop body
+        // also stops paying for planning after iteration 1.
         let (shape, projected) = match self.engine {
             Engine::PashAot => (pash_aot_plan(&self.machine), 1.0),
             Engine::JashJit => {
-                let plan_start = Instant::now();
-                let d = choose_plan_with(
-                    &compiled.dfg,
-                    &self.machine,
-                    input,
-                    &self.planner,
-                    self.calibration.as_ref(),
-                );
-                self.trace_hist("jit.plan_us", plan_start.elapsed());
-                (d.shape, d.projected_speedup())
+                let pfp = compiled.dfg.plan_fingerprint();
+                let bucket = byte_bucket(input.total_bytes);
+                let sig = options_signature(&self.planner);
+                if let Some((shape, projected)) = self.plan_cache.lookup(pfp, bucket, sig) {
+                    self.trace_counter("jit.plan_cache.hits");
+                    self.trace_region_attr("plan_cache_hit", true);
+                    (shape, projected)
+                } else {
+                    if self.plan_cache.enabled() {
+                        self.trace_counter("jit.plan_cache.misses");
+                        self.trace_region_attr("plan_cache_hit", false);
+                    }
+                    let plan_start = Instant::now();
+                    let d = choose_plan_with(
+                        &compiled.dfg,
+                        &self.machine,
+                        input,
+                        &self.planner,
+                        self.calibration.as_ref(),
+                    );
+                    self.trace_hist("jit.plan_us", plan_start.elapsed());
+                    self.plan_cache
+                        .insert(pfp, bucket, sig, d.shape, d.projected_speedup());
+                    (d.shape, d.projected_speedup())
+                }
             }
             Engine::Bash => unreachable!(),
         };
@@ -450,7 +560,7 @@ impl Jash {
             return self.execute_supervised(
                 state,
                 io,
-                pipeline_text,
+                pipeline_text.to_string(),
                 &region,
                 &compiled.dfg,
                 shape,
@@ -479,14 +589,14 @@ impl Jash {
         // exactly what an unoptimized shell would have done.
         self.emit_node_spans(&compiled.dfg, &outcome, exec_start_us);
         if !outcome.is_clean() {
-            self.book_failover(pipeline_text, shape.width, &outcome);
+            self.book_failover(pipeline_text.to_string(), shape.width, &outcome);
             return Ok(None);
         }
 
         self.runtime.regions_optimized += 1;
         self.trace_optimized_region(shape.width, shape.buffered, projected, &outcome);
         self.trace.push(TraceEvent {
-            pipeline: pipeline_text,
+            pipeline: pipeline_text.to_string(),
             action: Action::Optimized {
                 width: shape.width,
                 buffered: shape.buffered,
@@ -957,10 +1067,15 @@ impl Jash {
 
     /// Mirrors supervision-log entries appended since `from` onto the
     /// trace timeline, so retry/degradation/breaker decisions land next
-    /// to the spans they explain.
-    fn mirror_supervision(&self, from: usize) {
+    /// to the spans they explain. The watermark makes this idempotent:
+    /// a nested region mirrors its own events when it closes, and the
+    /// enclosing statement's sweep skips everything already mirrored.
+    fn mirror_supervision(&mut self, from: usize) {
+        let upto = self.runtime.supervision.events.len();
+        let from = from.max(self.mirrored);
+        self.mirrored = self.mirrored.max(upto);
         let Some(t) = &self.tracer else { return };
-        for e in &self.runtime.supervision.events[from..] {
+        for e in &self.runtime.supervision.events[from..upto] {
             let (name, attrs) = supervision_attrs(e);
             t.event(name, attrs);
         }
@@ -1025,6 +1140,150 @@ impl Jash {
         }
         state.last_status = outcome.status;
         Ok(outcome.status)
+    }
+}
+
+/// The JIT callout the interpreter offers every pipeline it reaches
+/// under control flow (`if`/`while`/`for`/brace groups/`&&`/`||`).
+///
+/// This is where "optimize at the expansion boundary" happens for
+/// dynamic code: the walk has already run the surrounding control flow,
+/// so the shell state the region extracts against is the live,
+/// per-iteration one. A handled pipeline returns `Some(status)` and the
+/// interpreter skips it; a declined pipeline returns `None` with an
+/// open [`NestedRegion`] record that [`PipelineJit::pipeline_interpreted`]
+/// closes — so interpreted pipelines inside control flow get the same
+/// span/status accounting as top-level regions.
+impl PipelineJit for JitCore {
+    fn on_pipeline(
+        &mut self,
+        state: &mut ShellState,
+        pl: &Pipeline,
+        io: &ShellIo,
+    ) -> Option<jash_interp::Result<i32>> {
+        // A signal or deadline tripped mid-statement: unwind the walk
+        // gracefully instead of starting more work. The exit flow keeps
+        // the journal open so `--resume` recognizes the interruption.
+        if let Some(code) = self.shutdown_status() {
+            return Some(Err(InterpError::Flow(Flow::Exit(code))));
+        }
+        let all_simple = pl
+            .commands
+            .iter()
+            .all(|c| matches!(c.kind, CommandKind::Simple(_)));
+        if !all_simple {
+            // A compound stage (the pipeline wrapping an `if`, a loop, a
+            // brace group…): nothing extractable at this level — the
+            // pipelines *inside* each get their own offer. Stay silent:
+            // no span, no trace event.
+            self.nested.push(NestedRegion {
+                span: None,
+                prev_region: self.current_region,
+                sup_mark: self.runtime.supervision.events.len(),
+            });
+            return None;
+        }
+        let text = jash_ast::unparse(&Program {
+            items: vec![ListItem {
+                and_or: AndOrList::single(pl.clone()),
+                background: false,
+            }],
+        });
+        // One region span per offered pipeline, nested under the
+        // enclosing statement's span. Attrs start pessimistic exactly
+        // like top-level regions; the optimize path overwrites them.
+        let span = self.tracer.as_ref().map(|t| {
+            let s = t.start(
+                "region",
+                &text,
+                self.current_region.or(self.current_run),
+            );
+            t.set_attr(s, "action", "interpreted");
+            t.set_attr(s, "width", 1u64);
+            t.set_attr(s, "bytes_in", 0u64);
+            t.set_attr(s, "bytes_out", 0u64);
+            if let Some(iter) = self.loop_iters.last() {
+                t.set_attr(s, "loop_iter", *iter);
+            }
+            s
+        });
+        let prev_region = self.current_region;
+        self.current_region = span;
+        let sup_mark = self.runtime.supervision.events.len();
+        // A live stdin binding (`... | while read`, a redirected body)
+        // feeds the pipeline bytes the region extractor cannot see;
+        // only file-fed regions are offered to the engine.
+        if !matches!(io.stdin, InputBinding::Empty) {
+            self.trace_region_attr("reason", "live stdin binding");
+            self.trace.push(TraceEvent {
+                pipeline: text,
+                action: Action::Interpreted {
+                    reason: "live stdin binding".to_string(),
+                },
+            });
+            self.nested.push(NestedRegion {
+                span,
+                prev_region,
+                sup_mark,
+            });
+            return None;
+        }
+        match self.try_optimize(state, pl, io, &text) {
+            Ok(Some(status)) => {
+                self.mirror_supervision(sup_mark);
+                if let (Some(t), Some(s)) = (&self.tracer, span) {
+                    t.set_attr(s, "status", i64::from(status));
+                    t.end(s);
+                }
+                self.current_region = prev_region;
+                Some(Ok(status))
+            }
+            Ok(None) => {
+                // Declined (ineligible, planner said no, or failed over):
+                // leave the span open — the interpreter runs the pipeline
+                // next and `pipeline_interpreted` closes the books.
+                self.nested.push(NestedRegion {
+                    span,
+                    prev_region,
+                    sup_mark,
+                });
+                None
+            }
+            Err(e) => {
+                self.mirror_supervision(sup_mark);
+                if let (Some(t), Some(s)) = (&self.tracer, span) {
+                    t.end(s);
+                }
+                self.current_region = prev_region;
+                Some(Err(e))
+            }
+        }
+    }
+
+    fn pipeline_interpreted(&mut self, result: &jash_interp::Result<i32>) {
+        let Some(n) = self.nested.pop() else { return };
+        self.mirror_supervision(n.sup_mark);
+        if let (Some(t), Some(s)) = (&self.tracer, n.span) {
+            if let Ok(status) = result {
+                t.set_attr(s, "status", i64::from(*status));
+            }
+            t.end(s);
+        }
+        self.current_region = n.prev_region;
+    }
+
+    fn loop_enter(&mut self) {
+        self.loop_iters.push(0);
+    }
+
+    fn loop_iter(&mut self, iter: u64) {
+        if let Some(top) = self.loop_iters.last_mut() {
+            *top = iter;
+        }
+    }
+
+    fn loop_exit(&mut self) {
+        self.loop_iters.pop();
     }
 }
 

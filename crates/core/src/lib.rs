@@ -40,6 +40,7 @@
 
 pub mod engine;
 pub mod jit;
+pub mod plancache;
 pub mod recovery;
 pub mod region;
 pub mod supervise;
@@ -52,7 +53,8 @@ pub use recovery::{
 pub use jash_exec::{
     classify, ErrorClass, RetryPolicy, SupervisionEvent, SupervisionLog,
 };
-pub use jit::Jash;
+pub use jit::{Jash, JitCore};
+pub use plancache::{byte_bucket, options_signature, PlanCache};
 pub use region::{jit_region, static_region, Ineligible};
 pub use supervise::{
     cross_run_pressure, degradation_ladder, resource_pressure, BreakerConfig, CircuitBreaker,
@@ -536,8 +538,263 @@ echo passes-done
         assert_eq!(r.status, 0);
         let text = String::from_utf8_lossy(&r.stdout);
         assert!(text.ends_with("passes-done\n"));
-        // Pipeline inside the loop runs twice (interpreted: not top
-        // level), producing two identical `a b c` lines.
+        // Pipeline inside the loop runs twice (offered to the JIT at its
+        // expansion boundary each iteration), producing two identical
+        // `a b c` lines either way.
         assert_eq!(text.matches("a b c\n").count(), 2);
+    }
+
+    #[test]
+    fn loop_bodies_jit_compile_and_reuse_the_cached_plan() {
+        // The tentpole contract: every iteration's body pipeline is
+        // offered at its expansion boundary (so `$f` is already bound),
+        // iteration 1 plans, iterations 2..N hit the plan cache.
+        let content = "Zebra Apple Mango\n".repeat(200);
+        let files = &[
+            ("/d/a.txt", content.as_str()),
+            ("/d/b.txt", content.as_str()),
+            ("/d/c.txt", content.as_str()),
+        ];
+        let src = r#"
+for f in /d/a.txt /d/b.txt /d/c.txt; do
+    cat $f | tr A-Z a-z | sort -u
+done
+"#;
+        let (r, shell) = run_engine(Engine::JashJit, fs_with(files), src);
+        assert_eq!(r.status, 0);
+        let optimized = shell.trace.iter().filter(|t| t.was_optimized()).count();
+        assert_eq!(
+            optimized, 3,
+            "each iteration's body must be optimized: {:?}",
+            shell.trace
+        );
+        assert_eq!(shell.plan_cache.misses, 1, "only iteration 1 plans");
+        assert_eq!(shell.plan_cache.hits, 2, "iterations 2..N reuse the plan");
+        let (bash, _) = run_engine(Engine::Bash, fs_with(files), src);
+        assert_eq!(r.stdout, bash.stdout, "optimized loop must match bash");
+    }
+
+    #[test]
+    fn input_scale_change_invalidates_the_cached_plan() {
+        // Same dataflow shape, radically different input size: the log2
+        // byte bucket in the cache key moves, so iteration 2 re-plans
+        // instead of reusing a decision made for a different regime.
+        let small = "a b\n".repeat(4);
+        let large = "Zebra Apple Mango\n".repeat(4000);
+        let src = r#"
+for f in /small.txt /large.txt; do
+    cat $f | tr A-Z a-z | sort -u
+done
+"#;
+        let (r, shell) = run_engine(
+            Engine::JashJit,
+            fs_with(&[("/small.txt", &small), ("/large.txt", &large)]),
+            src,
+        );
+        assert_eq!(r.status, 0);
+        assert_eq!(shell.plan_cache.hits, 0);
+        assert_eq!(shell.plan_cache.misses, 2);
+        assert_eq!(
+            shell.plan_cache.invalidations, 1,
+            "the stale small-input entry must be dropped"
+        );
+    }
+
+    #[test]
+    fn cached_plan_respects_a_no_fuse_options_change() {
+        // A serve host may retune the planner mid-session; a fused plan
+        // cached under fusion-era options must not leak into a --no-fuse
+        // configuration — the options signature forces a re-plan.
+        let content = "Zebra Apple Mango\n".repeat(300);
+        let files = &[
+            ("/d/a.txt", content.as_str()),
+            ("/d/b.txt", content.as_str()),
+        ];
+        let src = "for f in /d/a.txt /d/b.txt; do cat $f | tr A-Z a-z | grep -v qq | cut -c 1-20; done";
+        let mut state = ShellState::new(fs_with(files));
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner = jash_cost::PlannerOptions {
+            force_fusion: true,
+            ..eager()
+        };
+        let r1 = shell.run_script(&mut state, src).unwrap();
+        assert_eq!(r1.status, 0);
+        assert!(
+            shell.trace.iter().any(
+                |t| matches!(t.action, Action::Optimized { fused: true, .. })
+            ),
+            "first pass must run fused: {:?}",
+            shell.trace
+        );
+        assert_eq!(shell.plan_cache.hits, 1);
+
+        // Retune: fusion off. The cached fused plan must not be reused.
+        shell.planner = jash_cost::PlannerOptions {
+            allow_fusion: false,
+            force_fusion: false,
+            ..eager()
+        };
+        let mark = shell.trace.len();
+        let r2 = shell.run_script(&mut state, src).unwrap();
+        assert_eq!(r2.status, 0);
+        assert_eq!(r1.stdout, r2.stdout);
+        assert!(
+            shell.trace[mark..]
+                .iter()
+                .filter(|t| t.was_optimized())
+                .all(|t| matches!(t.action, Action::Optimized { fused: false, .. })),
+            "--no-fuse pass must never run a cached fused plan: {:?}",
+            &shell.trace[mark..]
+        );
+    }
+
+    #[test]
+    fn cached_plan_respects_pressure_forced_sequential() {
+        // Under full resource pressure the planner forces width 1; a
+        // relaxed-era cached plan (width 4) must miss, and the pressured
+        // decision (sequential → interpret) must win.
+        let content = "Zebra Apple Mango\n".repeat(300);
+        let files = &[
+            ("/d/a.txt", content.as_str()),
+            ("/d/b.txt", content.as_str()),
+        ];
+        let src = "for f in /d/a.txt /d/b.txt; do cat $f | tr A-Z a-z | sort -u; done";
+        let mut state = ShellState::new(fs_with(files));
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner = eager();
+        let r1 = shell.run_script(&mut state, src).unwrap();
+        assert_eq!(r1.status, 0);
+        assert!(shell.trace.iter().any(TraceEvent::was_optimized));
+
+        shell.planner = shell.planner.under_pressure(1.0);
+        let mark = shell.trace.len();
+        let r2 = shell.run_script(&mut state, src).unwrap();
+        assert_eq!(r2.status, 0);
+        assert_eq!(r1.stdout, r2.stdout);
+        assert!(
+            !shell.trace[mark..].iter().any(TraceEvent::was_optimized),
+            "pressure-forced sequential must interpret, not reuse width 4: {:?}",
+            &shell.trace[mark..]
+        );
+    }
+
+    #[test]
+    fn disabled_plan_cache_replans_every_iteration() {
+        let content = "Zebra Apple Mango\n".repeat(200);
+        let files = &[
+            ("/d/a.txt", content.as_str()),
+            ("/d/b.txt", content.as_str()),
+            ("/d/c.txt", content.as_str()),
+        ];
+        let src = "for f in /d/a.txt /d/b.txt /d/c.txt; do cat $f | tr A-Z a-z | sort -u; done";
+        let mut state = ShellState::new(fs_with(files));
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner = eager();
+        shell.plan_cache.set_enabled(false);
+        let r = shell.run_script(&mut state, src).unwrap();
+        assert_eq!(r.status, 0);
+        assert_eq!(shell.plan_cache.hits, 0);
+        assert_eq!(
+            shell
+                .trace
+                .iter()
+                .filter(|t| t.was_optimized())
+                .count(),
+            3,
+            "disabling the cache changes planning cost, never behavior"
+        );
+    }
+
+    #[test]
+    fn while_loop_bodies_hit_the_plan_cache_too() {
+        let content = "Delta Echo Foxtrot\n".repeat(200);
+        let files = &[("/w.txt", content.as_str())];
+        let src = r#"
+i=0
+while [ $i -lt 4 ]; do
+    cat /w.txt | tr A-Z a-z | sort -u
+    i=$((i+1))
+done
+echo done $i
+"#;
+        let (r, shell) = run_engine(Engine::JashJit, fs_with(files), src);
+        assert_eq!(r.status, 0, "{:?}", shell.trace);
+        assert!(String::from_utf8_lossy(&r.stdout).ends_with("done 4\n"));
+        assert_eq!(
+            shell
+                .trace
+                .iter()
+                .filter(|t| t.was_optimized() && t.pipeline.contains("tr A-Z"))
+                .count(),
+            4,
+            "every iteration's body must be optimized: {:?}",
+            shell.trace
+        );
+        // Two planned shapes (the body chain and the trailing echo), each
+        // planned once; the body's three further iterations hit.
+        assert_eq!(shell.plan_cache.misses, 2);
+        assert_eq!(shell.plan_cache.hits, 3);
+        let (bash, _) = run_engine(Engine::Bash, fs_with(files), src);
+        assert_eq!(r.stdout, bash.stdout);
+    }
+
+    #[test]
+    fn loop_fault_degrades_one_iteration_and_recovers_the_next() {
+        // A once-only fault inside iteration 2 of a JIT'd loop: that
+        // iteration degrades through the ladder, loop state ($f, $?) stays
+        // correct, and iteration 3 re-attempts the cached plan cleanly.
+        let content = "Zebra Apple Mango\n".repeat(300);
+        let make_fs = || {
+            let fs = fs_with(&[
+                ("/d/a.txt", &content),
+                ("/d/b.txt", &content),
+                ("/d/c.txt", &content),
+            ]);
+            let plan = jash_io::FaultPlan::new().rule(jash_io::fault::FaultRule {
+                path: Some("/d/b.txt".into()),
+                op: jash_io::fault::FaultOp::Read,
+                trigger: jash_io::fault::Trigger::AtByte(128),
+                kind: jash_io::fault::FaultKind::Error {
+                    kind: std::io::ErrorKind::Other,
+                    msg: "injected: transient controller reset".into(),
+                },
+                once: true,
+            });
+            jash_io::FaultFs::wrap(fs, plan) as FsHandle
+        };
+        let src = r#"
+for f in /d/a.txt /d/b.txt /d/c.txt; do
+    cat $f | tr A-Z a-z | sort -u
+done
+echo loop-done $f $?
+"#;
+        let (jash, shell) = run_engine(Engine::JashJit, make_fs(), src);
+        // The once-fault fires inside a speculative optimized attempt,
+        // whose staged effects are discarded — so the JIT's final output
+        // must equal a run with no fault at all.
+        let clean_fs = fs_with(&[
+            ("/d/a.txt", &content),
+            ("/d/b.txt", &content),
+            ("/d/c.txt", &content),
+        ]);
+        let (bash, _) = run_engine(Engine::Bash, clean_fs, src);
+        assert_eq!(jash.status, 0, "log: {}", shell.runtime.supervision.render());
+        assert_eq!(jash.stdout, bash.stdout, "loop state must survive the fault");
+        assert!(String::from_utf8_lossy(&jash.stdout).ends_with("loop-done /d/c.txt 0\n"));
+        assert_eq!(
+            shell
+                .trace
+                .iter()
+                .filter(|t| t.was_optimized() && t.pipeline.contains("tr A-Z"))
+                .count(),
+            3,
+            "the faulted iteration recovers optimized, the next re-attempts the cached plan: {}",
+            shell.runtime.supervision.render()
+        );
+        assert!(shell.runtime.supervision.recoveries() >= 1);
+        // The fault must not evict the cached plan: the body misses once
+        // (the trailing echo is the second miss), iterations 2..3 hit.
+        assert_eq!(shell.plan_cache.misses, 2);
+        assert_eq!(shell.plan_cache.hits, 2);
     }
 }

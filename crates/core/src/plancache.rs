@@ -1,0 +1,243 @@
+//! The per-fingerprint plan cache: iteration 2..N of a loop reuses the
+//! plan iteration 1 chose.
+//!
+//! The paper's JIT regime re-plans every pipeline at its expansion
+//! boundary with live information. Inside a loop that discipline is
+//! mostly redundant work: `for f in *.txt; do cat $f | tr … ; done`
+//! produces the same dataflow *shape* every iteration, over inputs of
+//! comparable size, under the same planner options — so the planner
+//! would sweep the same candidates to the same decision N times. This
+//! cache short-circuits that: the key is the width-insensitive,
+//! path-insensitive [`jash_dataflow::Dfg::plan_fingerprint`], and a hit
+//! returns the remembered [`PlanShape`] and projection without invoking
+//! the planner at all.
+//!
+//! Invalidation is deliberate and coarse:
+//!
+//! - **Input size** enters the key as a log2 bucket. An assignment that
+//!   redirects a region at a radically different input (KB → MB)
+//!   invalidates reuse; per-iteration jitter within the same power of
+//!   two does not.
+//! - **Planner options** enter as a signature over every tunable
+//!   (budget, margin, fusion/buffering switches, forced width). A cached
+//!   fused plan can never leak into a `--no-fuse` run, and a serve host
+//!   that tightens options under pressure misses the relaxed entries.
+//! - **Failures never evict.** A fault in iteration k degrades that
+//!   iteration through the supervision ladder; iteration k+1 re-attempts
+//!   the cached plan — transient trouble must not permanently de-optimize
+//!   a loop.
+
+use jash_cost::{PlanShape, PlannerOptions};
+use std::collections::HashMap;
+
+/// One remembered planning decision.
+#[derive(Debug, Clone, Copy)]
+struct PlanEntry {
+    shape: PlanShape,
+    projected: f64,
+    bytes_bucket: u32,
+    opts_sig: u64,
+}
+
+/// A session-lifetime cache of planner decisions keyed by plan
+/// fingerprint (see module docs for the invalidation rules).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: HashMap<u64, PlanEntry>,
+    /// Lookups satisfied from the cache.
+    pub hits: u64,
+    /// Lookups that had to invoke the planner.
+    pub misses: u64,
+    /// Entries dropped because the input-size bucket moved.
+    pub invalidations: u64,
+    disabled: bool,
+}
+
+impl PlanCache {
+    /// A fresh, enabled cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Whether lookups can hit (`--no-plan-cache` turns this off; the
+    /// bench harness uses it to measure re-planning every iteration).
+    pub fn enabled(&self) -> bool {
+        !self.disabled
+    }
+
+    /// Enables or disables the cache. Disabling keeps the counters but
+    /// makes every lookup miss and every insert a no-op.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.disabled = !enabled;
+    }
+
+    /// Looks up the plan for `fp` under the given input-size bucket and
+    /// options signature. Counts a hit or a miss either way; a bucket
+    /// mismatch drops the stale entry (and counts an invalidation), an
+    /// options mismatch leaves it in place for the options that made it.
+    pub fn lookup(&mut self, fp: u64, bytes_bucket: u32, opts_sig: u64) -> Option<(PlanShape, f64)> {
+        if self.disabled {
+            return None;
+        }
+        match self.entries.get(&fp) {
+            Some(e) if e.opts_sig == opts_sig && e.bytes_bucket == bytes_bucket => {
+                self.hits += 1;
+                Some((e.shape, e.projected))
+            }
+            Some(e) if e.opts_sig == opts_sig => {
+                // Same shape, same options, different input scale: the
+                // old decision is for a different regime. Re-plan.
+                self.invalidations += 1;
+                self.entries.remove(&fp);
+                self.misses += 1;
+                None
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remembers a planning decision.
+    pub fn insert(
+        &mut self,
+        fp: u64,
+        bytes_bucket: u32,
+        opts_sig: u64,
+        shape: PlanShape,
+        projected: f64,
+    ) {
+        if self.disabled {
+            return;
+        }
+        self.entries.insert(
+            fp,
+            PlanEntry {
+                shape,
+                projected,
+                bytes_bucket,
+                opts_sig,
+            },
+        );
+    }
+
+    /// Number of cached decisions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no decisions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The log2 size bucket an input byte count falls into. Bucket 0 is the
+/// empty input; each further bucket covers one power of two.
+pub fn byte_bucket(bytes: u64) -> u32 {
+    64 - bytes.leading_zeros()
+}
+
+/// An FNV-1a signature over every planner tunable, so cached decisions
+/// are scoped to the exact options that produced them.
+pub fn options_signature(opts: &PlannerOptions) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+    };
+    write(&(opts.budget as u64).to_le_bytes());
+    write(&opts.min_speedup.to_bits().to_le_bytes());
+    write(&[
+        u8::from(opts.allow_buffered),
+        u8::from(opts.allow_fusion),
+        u8::from(opts.force_fusion),
+    ]);
+    match opts.force_width {
+        Some(w) => write(&(w as u64).to_le_bytes()),
+        None => write(&[0xff]),
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape(width: usize) -> PlanShape {
+        PlanShape {
+            width,
+            buffered: false,
+            fused: false,
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_hit() {
+        let mut c = PlanCache::new();
+        let sig = options_signature(&PlannerOptions::default());
+        assert!(c.lookup(7, 10, sig).is_none());
+        c.insert(7, 10, sig, shape(4), 2.0);
+        for _ in 0..3 {
+            let (s, p) = c.lookup(7, 10, sig).expect("hit");
+            assert_eq!(s.width, 4);
+            assert!((p - 2.0).abs() < f64::EPSILON);
+        }
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn bucket_change_invalidates() {
+        let mut c = PlanCache::new();
+        let sig = options_signature(&PlannerOptions::default());
+        c.insert(7, 10, sig, shape(4), 2.0);
+        assert!(c.lookup(7, 20, sig).is_none(), "bigger input re-plans");
+        assert_eq!(c.invalidations, 1);
+        assert!(c.is_empty(), "the stale entry is dropped");
+    }
+
+    #[test]
+    fn options_change_misses_without_evicting() {
+        let mut c = PlanCache::new();
+        let base = PlannerOptions::default();
+        let nofuse = PlannerOptions {
+            allow_fusion: false,
+            ..base
+        };
+        c.insert(7, 10, options_signature(&base), shape(4), 2.0);
+        assert!(
+            c.lookup(7, 10, options_signature(&nofuse)).is_none(),
+            "--no-fuse must not reuse a fusion-era plan"
+        );
+        assert!(
+            c.lookup(7, 10, options_signature(&base)).is_some(),
+            "the original options still hit"
+        );
+        // Pressure-forced sequential mode is an options change too.
+        let pressured = base.under_pressure(1.0);
+        assert!(c.lookup(7, 10, options_signature(&pressured)).is_none());
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let mut c = PlanCache::new();
+        let sig = options_signature(&PlannerOptions::default());
+        c.set_enabled(false);
+        c.insert(7, 10, sig, shape(4), 2.0);
+        assert!(c.lookup(7, 10, sig).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn byte_buckets_are_log2() {
+        assert_eq!(byte_bucket(0), 0);
+        assert_eq!(byte_bucket(1), 1);
+        assert_eq!(byte_bucket(1024), 11);
+        assert_eq!(byte_bucket(1500), 11);
+        assert_ne!(byte_bucket(1024), byte_bucket(1024 * 1024));
+    }
+}

@@ -319,6 +319,43 @@ impl Dfg {
         }
         hash
     }
+
+    /// Like [`Dfg::fingerprint`], but with file endpoints normalized
+    /// away: `ReadFile`/`WriteFile` nodes hash as bare `read`/`write`
+    /// regardless of path. This is the *plan-cache* key — iteration 2..N
+    /// of a loop like `for f in *.txt; do cat $f | tr … ; done` compiles
+    /// to the same shape with a different path each time, and the chosen
+    /// plan (width, buffering, fusion) depends on the shape and the input
+    /// *size*, never on the path itself. Callers pair this key with a
+    /// size bucket and a planner-options signature; the circuit breaker
+    /// keeps using the path-sensitive [`Dfg::fingerprint`].
+    pub fn plan_fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut write = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        let mut last: Option<String> = None;
+        for n in self.topo_order().unwrap_or_default() {
+            let label = match &self.node(n).kind {
+                NodeKind::Split { .. } => "split".to_string(),
+                NodeKind::ReadFile { .. } => "read".to_string(),
+                NodeKind::WriteFile { append, .. } => {
+                    if *append { "write+" } else { "write" }.to_string()
+                }
+                other => other.label(),
+            };
+            if last.as_deref() == Some(label.as_str()) {
+                continue;
+            }
+            write(label.as_bytes());
+            write(&[0]);
+            last = Some(label);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -438,6 +475,30 @@ mod tests {
             g.fingerprint()
         };
         assert_eq!(with_split(2), with_split(4));
+    }
+
+    #[test]
+    fn plan_fingerprint_ignores_paths_but_not_flags() {
+        let chain = |path: &str, args: &[&str]| {
+            let mut g = Dfg::new();
+            let r = g.add_node(NodeKind::ReadFile { path: path.into() });
+            let c = g.add_node(NodeKind::Command {
+                name: "grep".into(),
+                args: args.iter().map(|s| s.to_string()).collect(),
+                spec: jash_spec::resolve_builtin("grep", &["x".into()]).unwrap(),
+            });
+            g.connect(r, c);
+            g
+        };
+        // Same shape over a different file: same plan key, different
+        // breaker key.
+        let a = chain("/data/f1.txt", &["x"]);
+        let b = chain("/data/f2.txt", &["x"]);
+        assert_eq!(a.plan_fingerprint(), b.plan_fingerprint());
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Different flags still re-plan.
+        let c = chain("/data/f1.txt", &["y"]);
+        assert_ne!(a.plan_fingerprint(), c.plan_fingerprint());
     }
 
     #[test]

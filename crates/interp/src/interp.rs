@@ -37,6 +37,47 @@ pub struct Interpreter {
     pub base_stderr: Option<OutputBinding>,
 }
 
+/// A JIT callout threaded through the tree walk.
+///
+/// This is the expansion boundary of the paper's dynamic architecture:
+/// the interpreter owns control flow (loops, conditionals, functions) and
+/// offers every pipeline it is about to run — *after* the surrounding
+/// control flow has produced the live [`ShellState`] (loop variables,
+/// assignments, `$(...)` results) but *before* any word in the pipeline
+/// is expanded — to an engine that may compile and run it as a dataflow
+/// region instead.
+///
+/// Contract: if [`PipelineJit::on_pipeline`] returns `Some`, the engine
+/// ran the pipeline and the interpreter uses that result (applying `!`
+/// negation itself). If it returns `None`, the interpreter runs the
+/// pipeline and then calls [`PipelineJit::pipeline_interpreted`] exactly
+/// once with the outcome, so the engine can close any accounting it
+/// opened when it declined.
+pub trait PipelineJit {
+    /// Offered a pipeline at its expansion boundary. `Some(result)`
+    /// means the engine handled it (status is pre-negation); `None`
+    /// hands it back to the interpreter.
+    fn on_pipeline(
+        &mut self,
+        state: &mut ShellState,
+        pl: &Pipeline,
+        io: &ShellIo,
+    ) -> Option<Result<i32>>;
+
+    /// Called exactly once after the interpreter ran a pipeline the
+    /// engine declined, with the interpretation's result.
+    fn pipeline_interpreted(&mut self, result: &Result<i32>);
+
+    /// A `for`/`while` loop body is about to start iterating.
+    fn loop_enter(&mut self) {}
+
+    /// Iteration `iter` (1-based) of the innermost loop is starting.
+    fn loop_iter(&mut self, _iter: u64) {}
+
+    /// The innermost loop finished (normally or via `break`/error).
+    fn loop_exit(&mut self) {}
+}
+
 /// Outcome of running a whole script.
 #[derive(Debug)]
 pub struct RunResult {
@@ -98,18 +139,34 @@ impl Interpreter {
         prog: &Program,
         io: &ShellIo,
     ) -> Result<i32> {
+        self.run_program_jit(state, prog, io, None)
+    }
+
+    /// [`Interpreter::run_program`] with a JIT callout: every pipeline
+    /// the walk reaches — including those under `if`/`while`/`for`/brace
+    /// groups and `&&`/`||` chains — is offered to `jit` at its
+    /// expansion boundary before being interpreted. Background items and
+    /// command substitutions stay hookless (they run in subshells whose
+    /// effects are discarded or captured wholesale).
+    pub fn run_program_jit(
+        &mut self,
+        state: &mut ShellState,
+        prog: &Program,
+        io: &ShellIo,
+        mut jit: Option<&mut (dyn PipelineJit + '_)>,
+    ) -> Result<i32> {
         let mut status = state.last_status;
         for item in &prog.items {
             if item.background {
                 // No job control: background items run in a subshell whose
                 // effects are discarded; the parent proceeds with status 0.
                 let mut sub = state.subshell();
-                let _ = self.run_and_or(&mut sub, &item.and_or, io);
+                let _ = self.run_and_or(&mut sub, &item.and_or, io, None);
                 status = 0;
                 state.last_status = 0;
                 continue;
             }
-            status = self.run_and_or(state, &item.and_or, io)?;
+            status = self.run_and_or(state, &item.and_or, io, jit.as_deref_mut())?;
             state.last_status = status;
             if status != 0 && state.errexit && self.condition_depth == 0 {
                 return Err(InterpError::Flow(Flow::Exit(status)));
@@ -123,13 +180,14 @@ impl Interpreter {
         state: &mut ShellState,
         ao: &jash_ast::AndOrList,
         io: &ShellIo,
+        mut jit: Option<&mut (dyn PipelineJit + '_)>,
     ) -> Result<i32> {
         // All but the final pipeline are condition contexts for `set -e`.
         let has_rest = !ao.rest.is_empty();
         if has_rest {
             self.condition_depth += 1;
         }
-        let status = self.run_pipeline(state, &ao.first, io);
+        let status = self.run_pipeline(state, &ao.first, io, jit.as_deref_mut());
         if has_rest {
             self.condition_depth -= 1;
         }
@@ -146,7 +204,7 @@ impl Interpreter {
             if !last {
                 self.condition_depth += 1;
             }
-            let r = self.run_pipeline(state, pl, io);
+            let r = self.run_pipeline(state, pl, io, jit.as_deref_mut());
             if !last {
                 self.condition_depth -= 1;
             }
@@ -161,12 +219,35 @@ impl Interpreter {
         state: &mut ShellState,
         pl: &Pipeline,
         io: &ShellIo,
+        mut jit: Option<&mut (dyn PipelineJit + '_)>,
     ) -> Result<i32> {
-        let status = if pl.commands.len() == 1 {
-            self.run_command(state, &pl.commands[0], io)?
-        } else {
-            self.run_multi_pipeline(state, pl, io)?
+        // The expansion boundary: the engine sees the pipeline with the
+        // live state before a single word is expanded.
+        let offered = match jit.as_deref_mut() {
+            Some(j) => match j.on_pipeline(state, pl, io) {
+                Some(result) => {
+                    let status = result?;
+                    return Ok(if pl.negated {
+                        i32::from(status == 0)
+                    } else {
+                        status
+                    });
+                }
+                None => true,
+            },
+            None => false,
         };
+        let result = if pl.commands.len() == 1 {
+            self.run_command_jit(state, &pl.commands[0], io, jit.as_deref_mut())
+        } else {
+            self.run_multi_pipeline(state, pl, io)
+        };
+        if offered {
+            if let Some(j) = jit {
+                j.pipeline_interpreted(&result);
+            }
+        }
+        let status = result?;
         Ok(if pl.negated {
             i32::from(status == 0)
         } else {
@@ -288,6 +369,18 @@ impl Interpreter {
         cmd: &Command,
         io: &ShellIo,
     ) -> Result<i32> {
+        self.run_command_jit(state, cmd, io, None)
+    }
+
+    /// [`Interpreter::run_command`] with the JIT callout threaded into
+    /// compound bodies (and loop-iteration markers for `for`/`while`).
+    pub fn run_command_jit(
+        &mut self,
+        state: &mut ShellState,
+        cmd: &Command,
+        io: &ShellIo,
+        mut jit: Option<&mut (dyn PipelineJit + '_)>,
+    ) -> Result<i32> {
         let compound = !matches!(cmd.kind, CommandKind::Simple(_));
         let io = if cmd.redirects.is_empty() {
             io.clone()
@@ -296,10 +389,10 @@ impl Interpreter {
         };
         match &cmd.kind {
             CommandKind::Simple(_) => self.run_simple(state, cmd, &io),
-            CommandKind::BraceGroup(body) => self.run_program(state, body, &io),
+            CommandKind::BraceGroup(body) => self.run_program_jit(state, body, &io, jit),
             CommandKind::Subshell(body) => {
                 let mut sub = state.subshell();
-                let status = match self.run_program(&mut sub, body, &io) {
+                let status = match self.run_program_jit(&mut sub, body, &io, jit) {
                     Ok(s) => s,
                     Err(InterpError::Flow(Flow::Exit(s))) => s,
                     Err(e) => return Err(e),
@@ -309,30 +402,34 @@ impl Interpreter {
             }
             CommandKind::If(c) => {
                 self.condition_depth += 1;
-                let cond = self.run_program(state, &c.cond, &io);
+                let cond = self.run_program_jit(state, &c.cond, &io, jit.as_deref_mut());
                 self.condition_depth -= 1;
                 if cond? == 0 {
-                    return self.run_program(state, &c.then_body, &io);
+                    return self.run_program_jit(state, &c.then_body, &io, jit);
                 }
                 for (econd, ebody) in &c.elifs {
                     self.condition_depth += 1;
-                    let ec = self.run_program(state, econd, &io);
+                    let ec = self.run_program_jit(state, econd, &io, jit.as_deref_mut());
                     self.condition_depth -= 1;
                     if ec? == 0 {
-                        return self.run_program(state, ebody, &io);
+                        return self.run_program_jit(state, ebody, &io, jit);
                     }
                 }
                 match &c.else_body {
-                    Some(e) => self.run_program(state, e, &io),
+                    Some(e) => self.run_program_jit(state, e, &io, jit),
                     None => Ok(0),
                 }
             }
             CommandKind::While(c) => {
                 let mut status = 0;
                 state.loop_depth += 1;
+                if let Some(j) = jit.as_deref_mut() {
+                    j.loop_enter();
+                }
+                let mut iter: u64 = 0;
                 let result = loop {
                     self.condition_depth += 1;
-                    let cond = self.run_program(state, &c.cond, &io);
+                    let cond = self.run_program_jit(state, &c.cond, &io, jit.as_deref_mut());
                     self.condition_depth -= 1;
                     let cond = match cond {
                         Ok(s) => s,
@@ -342,7 +439,11 @@ impl Interpreter {
                     if !proceed {
                         break Ok(status);
                     }
-                    match self.run_program(state, &c.body, &io) {
+                    iter += 1;
+                    if let Some(j) = jit.as_deref_mut() {
+                        j.loop_iter(iter);
+                    }
+                    match self.run_program_jit(state, &c.body, &io, jit.as_deref_mut()) {
                         Ok(s) => status = s,
                         Err(InterpError::Flow(Flow::Break(n))) => {
                             if n > 1 {
@@ -358,6 +459,9 @@ impl Interpreter {
                         Err(e) => break Err(e),
                     }
                 };
+                if let Some(j) = jit.as_deref_mut() {
+                    j.loop_exit();
+                }
                 state.loop_depth -= 1;
                 result
             }
@@ -368,10 +472,16 @@ impl Interpreter {
                 };
                 let mut status = 0;
                 state.loop_depth += 1;
+                if let Some(j) = jit.as_deref_mut() {
+                    j.loop_enter();
+                }
                 let mut result = Ok(());
-                'outer: for item in items {
+                'outer: for (i, item) in items.into_iter().enumerate() {
                     state.set_var(&c.var, item);
-                    match self.run_program(state, &c.body, &io) {
+                    if let Some(j) = jit.as_deref_mut() {
+                        j.loop_iter(i as u64 + 1);
+                    }
+                    match self.run_program_jit(state, &c.body, &io, jit.as_deref_mut()) {
                         Ok(s) => status = s,
                         Err(InterpError::Flow(Flow::Break(n))) => {
                             if n > 1 {
@@ -391,10 +501,13 @@ impl Interpreter {
                         }
                     }
                 }
+                if let Some(j) = jit.as_deref_mut() {
+                    j.loop_exit();
+                }
                 state.loop_depth -= 1;
                 result.map(|()| status)
             }
-            CommandKind::Case(c) => self.run_case(state, c, &io),
+            CommandKind::Case(c) => self.run_case(state, c, &io, jit),
             CommandKind::FunctionDef { name, body } => {
                 state.set_function(name, (**body).clone());
                 Ok(0)
@@ -407,13 +520,14 @@ impl Interpreter {
         state: &mut ShellState,
         c: &CaseClause,
         io: &ShellIo,
+        jit: Option<&mut (dyn PipelineJit + '_)>,
     ) -> Result<i32> {
         let subject = expand_word_single(state, self, &c.word)?;
         for arm in &c.arms {
             for pattern in &arm.patterns {
                 let field = expand_word_field(state, self, pattern)?;
                 if field.to_pattern().matches(&subject) {
-                    return self.run_program(state, &arm.body, io);
+                    return self.run_program_jit(state, &arm.body, io, jit);
                 }
             }
         }

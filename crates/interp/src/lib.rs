@@ -33,7 +33,7 @@ pub mod io;
 pub mod test_expr;
 
 pub use errors::{Flow, InterpError, Result};
-pub use interp::{Interpreter, RunResult};
+pub use interp::{Interpreter, PipelineJit, RunResult};
 pub use io::{InputBinding, LineStream, OutputBinding, ShellIo};
 
 use jash_expand::ShellState;

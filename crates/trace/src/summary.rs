@@ -138,6 +138,30 @@ pub fn summarize(records: &[Record]) -> String {
         );
     }
 
+    // Plan-cache digest: regions planned through the per-fingerprint
+    // cache carry a `plan_cache_hit` attribute (true = the planner was
+    // skipped, false = this region paid for planning and seeded the
+    // cache). Loop-heavy traces should show hits ≈ iterations − 1.
+    let cache_hits = regions
+        .iter()
+        .filter(|r| matches!(r.attr("plan_cache_hit"), Some(AttrValue::Bool(true))))
+        .count();
+    let cache_misses = regions
+        .iter()
+        .filter(|r| matches!(r.attr("plan_cache_hit"), Some(AttrValue::Bool(false))))
+        .count();
+    let loop_regions = regions
+        .iter()
+        .filter(|r| r.attr("loop_iter").is_some())
+        .count();
+    if cache_hits > 0 || cache_misses > 0 {
+        let _ = writeln!(
+            out,
+            "plan cache: {cache_hits} hit(s), {cache_misses} planned, \
+             {loop_regions} region(s) inside loops"
+        );
+    }
+
     // Tenant digest: multi-tenant serve traces tag each run span with a
     // `tenant` attribute (plus queue wait, fair-share pressure, and a
     // quarantine-probe marker). Aggregate them so one summarize call
@@ -366,6 +390,52 @@ mod tests {
         let light_row = s.lines().find(|l| l.starts_with("light")).unwrap();
         assert!(light_row.contains('1'), "{light_row}");
         assert!(light_row.trim_end().ends_with('1'), "probe count: {light_row}");
+    }
+
+    #[test]
+    fn plan_cache_row_aggregates_region_attrs() {
+        let region = |id: u64, hit: bool, iter: Option<u64>| {
+            let mut attrs = vec![
+                ("action".into(), AttrValue::Str("optimized".into())),
+                ("plan_cache_hit".into(), AttrValue::Bool(hit)),
+            ];
+            if let Some(i) = iter {
+                attrs.push(("loop_iter".into(), AttrValue::UInt(i)));
+            }
+            Record::Span {
+                kind: "region".into(),
+                id,
+                parent: None,
+                name: format!("cat /f{id} | sort"),
+                start_us: id,
+                wall_us: 100,
+                attrs,
+            }
+        };
+        let records = vec![
+            region(1, false, Some(1)),
+            region(2, true, Some(2)),
+            region(3, true, Some(3)),
+        ];
+        let s = summarize(&records);
+        assert!(
+            s.contains("plan cache: 2 hit(s), 1 planned, 3 region(s) inside loops"),
+            "{s}"
+        );
+    }
+
+    #[test]
+    fn cacheless_trace_has_no_plan_cache_row() {
+        let records = vec![Record::Span {
+            kind: "region".into(),
+            id: 1,
+            parent: None,
+            name: "cat /in | sort".into(),
+            start_us: 0,
+            wall_us: 1_000,
+            attrs: vec![("action".into(), AttrValue::Str("optimized".into()))],
+        }];
+        assert!(!summarize(&records).contains("plan cache:"));
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR]
 //!      [--journal DIR] [--no-journal] [--no-durable] [--resume]
 //!      [--trace FILE] [--calibrate FILE] [--timeout SECS] [--no-fuse]
+//!      [--no-plan-cache]
 //!      (-c SCRIPT | FILE [args...])
 //! jash trace summarize FILE
 //! jash serve --socket PATH [--root DIR] [--workers N] [--queue N]
@@ -29,6 +30,11 @@
 //! calibration loop covers fused kernels too: a traced run records a
 //! `fused` pseudo-command rate that `--calibrate` feeds back to the
 //! fusion decision.
+//!
+//! `--no-plan-cache` disables the per-fingerprint plan cache, so every
+//! pipeline a loop reaches re-plans at its expansion boundary instead of
+//! reusing the decision iteration 1 made (planning cost only — behavior
+//! and output never change).
 //!
 //! Observability: `--trace FILE` (or the `JASH_TRACE` env var) records a
 //! structured run/region/node span trace plus session metrics as schema-v1
@@ -122,6 +128,7 @@ struct Options {
     calibrate: Option<String>,
     timeout: Option<u64>,
     fuse: bool,
+    plan_cache: bool,
     script: String,
     args: Vec<String>,
     script_name: String,
@@ -132,7 +139,7 @@ fn usage() -> ! {
         "usage: jash [--engine bash|pash|jash] [--explain] [--lint] [--root DIR] \
          [--journal DIR] [--no-journal] [--no-durable] [--resume] \
          [--trace FILE] [--calibrate FILE] [--timeout SECS] [--no-fuse] \
-         (-c SCRIPT | FILE [args...])\n       jash trace summarize FILE\n       \
+         [--no-plan-cache] (-c SCRIPT | FILE [args...])\n       jash trace summarize FILE\n       \
          jash serve --socket PATH [--root DIR] [--workers N] [--queue N] \
          [--timeout SECS] [--drain-secs S] [--journal DIR] [--trace-dir DIR] \
          [--no-durable] [--test-faults] [--tenant NAME=WEIGHT[:ACTIVE[:QUEUE]]]... \
@@ -157,6 +164,7 @@ fn parse_args() -> Options {
     let mut calibrate: Option<String> = None;
     let mut timeout: Option<u64> = None;
     let mut fuse = true;
+    let mut plan_cache = true;
     let mut script: Option<String> = None;
     let mut script_name = "jash".to_string();
     let mut rest: Vec<String> = Vec::new();
@@ -189,6 +197,7 @@ fn parse_args() -> Options {
                 );
             }
             "--no-fuse" => fuse = false,
+            "--no-plan-cache" => plan_cache = false,
             "-c" => {
                 script = Some(argv.next().unwrap_or_else(|| usage()));
                 rest.extend(argv.by_ref());
@@ -228,6 +237,7 @@ fn parse_args() -> Options {
         calibrate,
         timeout,
         fuse,
+        plan_cache,
         script,
         args: rest,
         script_name,
@@ -630,6 +640,7 @@ fn main() {
     shell.cancel = Some(cancel);
     shell.durable = opts.durable;
     shell.planner.allow_fusion = opts.fuse;
+    shell.plan_cache.set_enabled(opts.plan_cache);
     if opts.trace.is_some() {
         shell.tracer = Some(Arc::new(jash::trace::Tracer::new()));
     }

@@ -499,6 +499,235 @@ fn randomized_pipelines_differential_vs_interpreter() {
     );
 }
 
+/// Generates a random *control-flow* script: a pipeline-bearing loop or
+/// branch whose body the JIT can only reach through the interpreter's
+/// walk — the substrate of the expansion-boundary callout. Five classes,
+/// cycled by seed: `for` over a word list, `for` over a glob, `for` over
+/// a command substitution, a while-counter loop, and an `if`/`elif`
+/// guard. Bodies mix dynamically-bound paths (`$f`), dynamic grep
+/// operands (`$w`), assignments, and arithmetic — all things a static
+/// (AOT) optimizer must decline but the JIT sees fully expanded.
+fn random_control_flow(seed: u64) -> (u64, String) {
+    let mut rng = Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(7));
+    let class = seed % 5;
+    // Bodies over a loop-bound *path* (cache-friendly: the plan key
+    // normalizes paths out).
+    let file_bodies = [
+        "cat $f | tr A-Z a-z | sort -u | head -n6",
+        "cat $f | grep -v Word1 | wc -l",
+        "cat $f | tr -d 0-9 | sort | head -n4",
+        "cat $f | cut -c 1-8 | sort -u | head -n5",
+    ];
+    // Bodies over a loop-bound *word* (re-planned per distinct operand).
+    let word_bodies = [
+        "cat /data/mixed.txt | grep -i $w | tr A-Z a-z | sort | head -n5",
+        "grep $w /data/mixed.txt | wc -l",
+        "cat /data/mixed.txt | grep $w | cut -c 1-12 | sort -u | head -n4",
+    ];
+    let words = ["shell", "pipeline", "mixed", "Word1", "Word7", "word"];
+    let src = match class {
+        0 => {
+            let n = rng.range(2, 4);
+            let mut list = Vec::new();
+            for _ in 0..n {
+                list.push(rng.pick(&words));
+            }
+            format!(
+                "for w in {}; do {}; done\necho loop-done $w",
+                list.join(" "),
+                rng.pick(&word_bodies)
+            )
+        }
+        1 => format!(
+            "for f in /data/*.txt; do {}; done",
+            rng.pick(&file_bodies)
+        ),
+        2 => format!(
+            "for w in $(head -n{} /data/dict.txt); do {}; done",
+            rng.range(2, 4),
+            rng.pick(&word_bodies)
+        ),
+        3 => format!(
+            "i=0\nwhile [ $i -lt {} ]; do\n  f=/data/mixed.txt\n  {}\n  i=$((i+1))\ndone\necho end $i",
+            rng.range(2, 4),
+            rng.pick(&file_bodies)
+        ),
+        _ => format!(
+            "F=/data/mixed.txt\nif grep -q {} $F; then\n  cat $F | {}\nelif grep -q {} $F; then\n  cat $F | tr A-Z a-z | head -n3\nelse\n  echo neither\nfi",
+            rng.pick(&words),
+            rng.pick(&["tr A-Z a-z | sort | head -n5", "cut -c 1-10 | sort -u | head -n4"]),
+            rng.pick(&words),
+        ),
+    };
+    (class, src)
+}
+
+/// Runs `src` under an engine, returning status, stdout, AND stderr —
+/// the control-flow differential compares all three.
+fn run_full(engine: Engine, src: &str, aggressive: bool) -> (i32, Vec<u8>, Vec<u8>) {
+    let fs = staged_fs();
+    let mut state = ShellState::new(fs);
+    let mut shell = Jash::new(engine, machine());
+    if aggressive {
+        shell.planner = PlannerOptions {
+            min_speedup: 0.0,
+            force_width: Some(4),
+            ..Default::default()
+        };
+    }
+    let r = shell.run_script(&mut state, src).expect("script runs");
+    (r.status, r.stdout, r.stderr)
+}
+
+/// The control-flow differential harness (the tentpole's proof): for a
+/// fixed seed matrix of loop/branch scripts, the JIT must match the
+/// interpreter oracle byte-for-byte on stdout, stderr, and exit status —
+/// and the trace must show `Action::Optimized` firing *inside* loop
+/// bodies (regions carrying a `loop_iter` attribute) for every loop
+/// class, plus optimized nested regions for the branch class. A JIT
+/// that silently stopped reaching pipelines under control flow would
+/// still pass the byte checks; the per-class floors catch that.
+#[test]
+fn control_flow_differential_vs_interpreter() {
+    let seeds: u64 = std::env::var("JASH_DIFF_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(220);
+    let mut class_optimized = [0usize; 5];
+    let mut loop_body_optimized = 0usize;
+    for seed in 0..seeds {
+        let (class, src) = random_control_flow(seed);
+        let (bash_st, bash_out, bash_err) = run_full(Engine::Bash, &src, false);
+
+        let fs = staged_fs();
+        let mut state = ShellState::new(fs);
+        let mut shell = Jash::new(Engine::JashJit, machine());
+        shell.planner = PlannerOptions {
+            min_speedup: 0.0,
+            force_width: Some(4),
+            ..Default::default()
+        };
+        let tracer = Arc::new(jash::trace::Tracer::new());
+        shell.tracer = Some(Arc::clone(&tracer));
+        let r = shell.run_script(&mut state, &src).expect("script runs");
+
+        assert_eq!(bash_st, r.status, "status diverged for seed {seed}:\n{src}");
+        assert_eq!(
+            String::from_utf8_lossy(&bash_out),
+            String::from_utf8_lossy(&r.stdout),
+            "stdout diverged for seed {seed}:\n{src}"
+        );
+        assert_eq!(
+            String::from_utf8_lossy(&bash_err),
+            String::from_utf8_lossy(&r.stderr),
+            "stderr diverged for seed {seed}:\n{src}"
+        );
+
+        let mut seed_optimized = false;
+        for rec in tracer.drain() {
+            let jash::trace::Record::Span { ref kind, .. } = rec else {
+                continue;
+            };
+            if kind != "region" || rec.attr_str("action") != Some("optimized") {
+                continue;
+            }
+            seed_optimized = true;
+            if rec.attr_u64("loop_iter").is_some() {
+                loop_body_optimized += 1;
+            }
+        }
+        if seed_optimized {
+            class_optimized[class as usize] += 1;
+        }
+    }
+    // Every class must have produced optimized regions on some seeds —
+    // loops via their bodies, the if/elif class via its nested branches.
+    for (class, count) in class_optimized.iter().enumerate() {
+        assert!(
+            *count >= 1,
+            "control-flow class {class} never optimized across {seeds} seeds \
+             — the expansion-boundary callout regressed"
+        );
+    }
+    let floor = (seeds / 10).max(1) as usize;
+    assert!(
+        loop_body_optimized >= floor,
+        "only {loop_body_optimized} optimized loop-body regions across {seeds} seeds \
+         (floor {floor}) — loops are no longer JIT'd per iteration"
+    );
+}
+
+/// The acceptance scenario pinned explicitly: a `for` loop over ≥8
+/// glob-expanded file operands JIT-compiles every iteration's body, and
+/// the trace proves the plan cache carried iterations 2..N
+/// (`plan_cache_hit` on at least iterations − 1 regions).
+#[test]
+fn for_loop_over_eight_files_reuses_the_cached_plan() {
+    let line = "Foxtrot ECHO delta bravo Alpha golf hotel india\n";
+    let stage = || {
+        let fs = jash::io::mem_fs();
+        for i in 0..8 {
+            jash::io::fs::write_file(
+                fs.as_ref(),
+                &format!("/corpus/doc{i}.txt"),
+                line.repeat(400).as_bytes(),
+            )
+            .unwrap();
+        }
+        fs
+    };
+    let src = "for f in /corpus/*.txt; do cat $f | tr A-Z a-z | sort -u | head -n5; done";
+
+    let mut state = ShellState::new(stage());
+    let oracle = Jash::new(Engine::Bash, machine())
+        .run_script(&mut state, src)
+        .unwrap();
+
+    let mut state = ShellState::new(stage());
+    let mut shell = Jash::new(Engine::JashJit, machine());
+    shell.planner = PlannerOptions {
+        min_speedup: 0.0,
+        force_width: Some(4),
+        ..Default::default()
+    };
+    let tracer = Arc::new(jash::trace::Tracer::new());
+    shell.tracer = Some(Arc::clone(&tracer));
+    let r = shell.run_script(&mut state, src).unwrap();
+
+    assert_eq!(oracle.status, r.status);
+    assert_eq!(
+        String::from_utf8_lossy(&oracle.stdout),
+        String::from_utf8_lossy(&r.stdout),
+        "JIT'd loop must match the interpreter byte for byte"
+    );
+
+    let records = tracer.drain();
+    let optimized_in_loop = records
+        .iter()
+        .filter(|rec| {
+            matches!(rec, jash::trace::Record::Span { kind, .. } if kind == "region")
+                && rec.attr_str("action") == Some("optimized")
+                && rec.attr_u64("loop_iter").is_some()
+        })
+        .count();
+    assert!(
+        optimized_in_loop >= 8,
+        "all 8 iterations must optimize, got {optimized_in_loop}"
+    );
+    let cache_hits = records
+        .iter()
+        .filter(|rec| {
+            matches!(rec, jash::trace::Record::Span { kind, .. } if kind == "region")
+                && rec.attr("plan_cache_hit") == Some(&jash::trace::AttrValue::Bool(true))
+        })
+        .count();
+    assert!(
+        cache_hits >= 7,
+        "iterations 2..8 must hit the plan cache, got {cache_hits} hit(s)"
+    );
+    assert_eq!(shell.plan_cache.misses, 1, "only iteration 1 plans");
+}
+
 /// The fusion-forced differential: the same seed matrix with kernel
 /// fusion pinned on (`force_fusion`), so every pipeline with a fusible
 /// run executes through a single-pass fused kernel. The fused engine
